@@ -1,0 +1,116 @@
+//! Baseline-defense benchmarks: what each alternative mechanism costs
+//! per operation, next to CookieGuard's (see `guard.rs`).
+//!
+//! * blocklist classification (the per-fetch cost of a content blocker)
+//!   and whole-site pruning;
+//! * CSP parsing and per-load `allows_external` checks;
+//! * CookieGraph-lite feature extraction, forest training, and
+//!   inference;
+//! * partitioned-store jar resolution.
+
+use cg_baselines::{
+    extract_samples, label_samples, BlocklistDefense, CookieGraphLite, ForestConfig,
+    PartitionedStore, PartitioningModel,
+};
+use cg_browser::{visit_site, VisitConfig};
+use cg_http::CspPolicy;
+use cg_url::Url;
+use cg_webgen::{csp_for_site, CspStyle, GenConfig, WebGenerator};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn generator() -> WebGenerator {
+    WebGenerator::new(GenConfig::small(400), 0xC00C1E)
+}
+
+fn bench_blocklist(c: &mut Criterion) {
+    let gen = generator();
+    let defense = BlocklistDefense::from_registry(gen.registry());
+    let site = (1..=200).map(|r| gen.blueprint(r)).find(|b| b.spec.crawl_ok).unwrap();
+
+    c.bench_function("baseline_blocklist/classify_url", |b| {
+        b.iter(|| {
+            black_box(defense.blocks(
+                black_box("https://cdn.tracker-like.com/analytics.js"),
+                "site.com",
+            ))
+        })
+    });
+    c.bench_function("baseline_blocklist/prune_site", |b| {
+        b.iter(|| black_box(defense.prune_site(&site)))
+    });
+}
+
+fn bench_csp(c: &mut Criterion) {
+    let gen = generator();
+    let site = (1..=200)
+        .map(|r| gen.blueprint(r))
+        .find(|b| b.spec.crawl_ok && !b.injectables.is_empty())
+        .unwrap();
+    let header = csp_for_site(&site, CspStyle::FullStack);
+    let policy = CspPolicy::parse(&header);
+    let doc = Url::parse(&site.landing_url()).unwrap();
+    let script = Url::parse("https://cdn.some-vendor.net/tag.js").unwrap();
+
+    c.bench_function("baseline_csp/parse_header", |b| {
+        b.iter(|| black_box(CspPolicy::parse(black_box(&header))))
+    });
+    c.bench_function("baseline_csp/allows_external", |b| {
+        b.iter(|| black_box(policy.allows_external(black_box(&script), &doc, None)))
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let gen = generator();
+    // Build a training corpus once.
+    let mut train = Vec::new();
+    let mut one_log = None;
+    for rank in 1..=120 {
+        let site = gen.blueprint(rank);
+        if !site.spec.crawl_ok {
+            continue;
+        }
+        let log = visit_site(&site, &VisitConfig::regular(), gen.site_seed(rank)).log;
+        let mut samples = extract_samples(&log);
+        label_samples(&mut samples, gen.registry());
+        train.extend(samples);
+        one_log.get_or_insert(log);
+    }
+    let log = one_log.expect("at least one complete site");
+    let (clf, _) = CookieGraphLite::train(&train, &ForestConfig::default(), 42);
+    let sample = train.first().unwrap().clone();
+
+    c.bench_function("baseline_cookiegraph/extract_features_per_site", |b| {
+        b.iter(|| black_box(extract_samples(black_box(&log))))
+    });
+    let mut group = c.benchmark_group("baseline_cookiegraph/train");
+    group.sample_size(10);
+    for &trees in &[5usize, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(trees), &trees, |b, &trees| {
+            let cfg = ForestConfig { n_trees: trees, ..ForestConfig::default() };
+            b.iter(|| black_box(CookieGraphLite::train(black_box(&train), &cfg, 42)))
+        });
+    }
+    group.finish();
+    c.bench_function("baseline_cookiegraph/predict", |b| {
+        b.iter(|| black_box(clf.classify(black_box(&sample))))
+    });
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    c.bench_function("baseline_partitioning/jar_resolution", |b| {
+        let mut store = PartitionedStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let top = ["a.com", "b.com", "c.com", "d.com"][(i % 4) as usize];
+            black_box(
+                store
+                    .embedded_jar(PartitioningModel::FirefoxTcp, top, "tracker.com", false)
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_blocklist, bench_csp, bench_classifier, bench_partitioning);
+criterion_main!(benches);

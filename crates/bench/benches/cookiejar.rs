@@ -1,0 +1,62 @@
+//! Cookie-jar micro-benchmarks: the raw cost of the operations the
+//! paper's extension intercepts (`document.cookie` get/set, CookieStore
+//! get/getAll) at realistic jar sizes.
+
+use cg_cookiejar::{CookieJar, CookieStore};
+use cg_url::Url;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn jar_with(n: usize) -> (CookieJar, Url) {
+    let url = Url::parse("https://www.site.com/").unwrap();
+    let mut jar = CookieJar::new();
+    for i in 0..n {
+        jar.set_document_cookie(&format!("cookie_{i}=value_{i:08x}; Max-Age=86400"), &url, i as i64)
+            .unwrap();
+    }
+    (jar, url)
+}
+
+fn bench_document_cookie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("document_cookie");
+    for &n in &[5usize, 20, 60] {
+        let (jar, url) = jar_with(n);
+        group.bench_with_input(BenchmarkId::new("get", n), &n, |b, _| {
+            b.iter(|| black_box(jar.document_cookie(&url, 1_000)));
+        });
+        group.bench_with_input(BenchmarkId::new("set", n), &n, |b, _| {
+            let mut jar = jar.clone();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                jar.set_document_cookie(&format!("hot={i}"), &url, i as i64).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cookie_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cookie_store");
+    for &n in &[5usize, 20, 60] {
+        let (mut jar, url) = jar_with(n);
+        group.bench_with_input(BenchmarkId::new("get_all", n), &n, |b, _| {
+            let store = CookieStore::open(&mut jar, &url).unwrap();
+            b.iter(|| black_box(store.get_all(1_000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_request_header(c: &mut Criterion) {
+    let (jar, url) = jar_with(30);
+    c.bench_function("cookie_header_for_request/30", |b| {
+        b.iter(|| black_box(jar.cookie_header_for_request(&url, 1_000)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_document_cookie, bench_cookie_store, bench_request_header
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Filter-list engine benchmarks: the §4.3 classification cost (each
+//! third-party script occurrence is matched against the nine combined
+//! lists during the measurement).
+
+use cg_filterlist::{FilterEngine, MatchContext, ResourceType};
+use cg_webgen::VendorRegistry;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn engine() -> FilterEngine {
+    cg_analysis::build_filter_engine(&VendorRegistry::new(cg_webgen::longtail::generate_longtail(7, 800)))
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let engine = engine();
+    let ctx = MatchContext {
+        page_domain: "dailynews-17.com".into(),
+        resource: ResourceType::Script,
+        third_party: true,
+    };
+    let urls = [
+        "https://www.googletagmanager.com/gtm.js?id=GTM-XYZ",
+        "https://cdn.pixelads1.io/t/1.js",
+        "https://static.benign-widgets.org/carousel.min.js",
+        "https://connect.facebook.net/en_US/fbevents.js",
+        "https://www.dailynews-17.com/static/app.js",
+    ];
+    c.bench_function("filter_classify_mixed_urls", |b| {
+        b.iter(|| {
+            for url in &urls {
+                black_box(engine.classify(url, &ctx));
+            }
+        });
+    });
+    c.bench_function("filter_classify_no_match", |b| {
+        b.iter(|| black_box(engine.classify("https://static.benign-widgets.org/carousel.min.js", &ctx)));
+    });
+}
+
+fn bench_compilation(c: &mut Criterion) {
+    c.bench_function("filter_engine_compile_9_lists", |b| {
+        b.iter(|| black_box(engine().len()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_classification, bench_compilation
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Parsing micro-benchmarks: the per-event costs on the measurement's
+//! hot paths — every intercepted write parses a Set-Cookie string, every
+//! attribution parses a URL and derives an eTLD+1, every inclusion is
+//! classified against the filter lists.
+
+use cg_filterlist::FilterRule;
+use cg_http::parse_set_cookie;
+use cg_url::{psl, Url};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_set_cookie_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_cookie_parse");
+    let simple = "_ga=GA1.1.444332364.1746838827";
+    let full = "_fbp=fb.1.1746746266109.868308499845957651; Domain=shop.example; \
+                Path=/; Max-Age=7776000; Secure; SameSite=None; HttpOnly";
+    let expires = "sid=abc; Expires=Wed, 08 Jun 2026 12:00:00 GMT; Path=/account";
+    group.bench_function("simple_pair", |b| b.iter(|| black_box(parse_set_cookie(black_box(simple)))));
+    group.bench_function("all_attributes", |b| b.iter(|| black_box(parse_set_cookie(black_box(full)))));
+    group.bench_function("expires_date", |b| b.iter(|| black_box(parse_set_cookie(black_box(expires)))));
+    group.finish();
+}
+
+fn bench_url_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("url_parse");
+    let script = "https://www.googletagmanager.com/gtm.js?id=GTM-ABCD12";
+    let exfil = "https://px.ads.linkedin.com/attribution_trigger?pid=621340&time=1746838846149\
+                 &url=www.optimonk.com&_ga=NDQ0MzMyMzY0LjE3NDY4Mzg4Mjc";
+    group.bench_function("script_url", |b| b.iter(|| black_box(Url::parse(black_box(script)))));
+    group.bench_function("long_query", |b| b.iter(|| black_box(Url::parse(black_box(exfil)))));
+    group.finish();
+}
+
+fn bench_psl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psl");
+    for host in ["www.site.com", "a.b.c.shop.example.co.uk", "cdn.shopifycloud.com"] {
+        group.bench_function(host, |b| b.iter(|| black_box(psl::registrable_domain(black_box(host)))));
+    }
+    group.finish();
+}
+
+fn bench_rule_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_rule_parse");
+    let host_anchor = "||googletagmanager.com^$third-party,script";
+    let exception = "@@||analytics.site.com/allowed.js";
+    let wildcard = "/ads/*/banner$image,domain=~news.example";
+    group.bench_function("host_anchor", |b| b.iter(|| black_box(FilterRule::parse(black_box(host_anchor)))));
+    group.bench_function("exception", |b| b.iter(|| black_box(FilterRule::parse(black_box(exception)))));
+    group.bench_function("wildcard_options", |b| b.iter(|| black_box(FilterRule::parse(black_box(wildcard)))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_set_cookie_parse, bench_url_parse, bench_psl, bench_rule_parse
+}
+criterion_main!(benches);

@@ -1,0 +1,228 @@
+//! The crawl dataset and per-site cookie-ownership reconstruction.
+
+use cg_instrument::{CookieApi, SetEvent, VisitLog, WriteKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A unique cookie pair, as the paper defines it (§5.2, footnote 2):
+/// the tuple of cookie name and the eTLD+1 of the script that set it —
+/// `(_ga, google-analytics.com)` is distinct from
+/// `(_ga, googletagmanager.com)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PairKey {
+    /// Cookie name.
+    pub name: String,
+    /// eTLD+1 of the creating script/server.
+    pub owner: String,
+}
+
+/// One cookie pair's reconstructed history on one site.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PairHistory {
+    /// The API that created the cookie.
+    pub api: Option<CookieApi>,
+    /// Every value the pair held (identifier extraction runs over all).
+    pub values: Vec<String>,
+    /// Full URL of the creating script, when known.
+    pub owner_url: Option<String>,
+}
+
+/// Per-site ownership reconstruction: the §4.4 step-1/step-2 replay.
+#[derive(Debug, Clone, Default)]
+pub struct SiteCookies {
+    /// The site's eTLD+1.
+    pub site: String,
+    /// Every pair observed, with history.
+    pub pairs: HashMap<PairKey, PairHistory>,
+    /// Cross-domain overwrite events: (pair, acting domain, attr flags).
+    pub cross_overwrites: Vec<(PairKey, String, Option<cg_instrument::AttrChangeFlags>)>,
+    /// Cross-domain delete events: (pair, acting domain, via which API).
+    pub cross_deletes: Vec<(PairKey, String, CookieApi)>,
+}
+
+/// The effective actor of a set event: inline/unattributed scripts count
+/// as first-party (the paper's attribution fallback), so they map to the
+/// site domain.
+pub fn effective_actor(ev: &SetEvent, site: &str) -> String {
+    ev.actor.clone().unwrap_or_else(|| site.to_string())
+}
+
+/// Replays a visit log into ownership + manipulation events.
+pub fn reconstruct(log: &VisitLog) -> SiteCookies {
+    let mut out = SiteCookies { site: log.site_domain.clone(), ..SiteCookies::default() };
+    // live owner per cookie name
+    let mut live: HashMap<String, PairKey> = HashMap::new();
+    for ev in &log.sets {
+        if ev.blocked {
+            continue; // the operation never reached the jar
+        }
+        let actor = effective_actor(ev, &log.site_domain);
+        match ev.kind {
+            WriteKind::Create => {
+                let key = PairKey { name: ev.name.clone(), owner: actor.clone() };
+                let hist = out.pairs.entry(key.clone()).or_default();
+                if hist.api.is_none() {
+                    hist.api = Some(ev.api);
+                    hist.owner_url = ev.actor_url.clone();
+                }
+                hist.values.push(ev.value.clone());
+                live.insert(ev.name.clone(), key);
+            }
+            WriteKind::Overwrite => {
+                let key = live
+                    .get(&ev.name)
+                    .cloned()
+                    .unwrap_or_else(|| PairKey { name: ev.name.clone(), owner: actor.clone() });
+                if key.owner != actor {
+                    out.cross_overwrites.push((key.clone(), actor.clone(), ev.changes));
+                }
+                if let Some(hist) = out.pairs.get_mut(&key) {
+                    hist.values.push(ev.value.clone());
+                } else {
+                    // Overwrite of a cookie we never saw created (e.g. a
+                    // blind write that the jar treated as an overwrite of
+                    // an HttpOnly-invisible cookie): register the pair.
+                    out.pairs.insert(
+                        key.clone(),
+                        PairHistory { api: Some(ev.api), values: vec![ev.value.clone()], owner_url: ev.actor_url.clone() },
+                    );
+                }
+            }
+            WriteKind::Delete => {
+                if let Some(key) = live.remove(&ev.name) {
+                    if key.owner != actor {
+                        out.cross_deletes.push((key, actor.clone(), ev.api));
+                    }
+                } else if out.pairs.keys().any(|k| k.name == ev.name) {
+                    // Deleting a cookie whose live entry was already
+                    // removed: attribute against the recorded pair.
+                    if let Some(key) = out.pairs.keys().find(|k| k.name == ev.name).cloned() {
+                        if key.owner != actor {
+                            out.cross_deletes.push((key, actor.clone(), ev.api));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The crawl dataset: complete visit logs plus reconstructed ownership.
+pub struct Dataset {
+    /// Logs retained by the §4.2 completeness filter.
+    pub logs: Vec<VisitLog>,
+    /// Per-site reconstruction, parallel to `logs`.
+    pub sites: Vec<SiteCookies>,
+    /// Number of visits before filtering.
+    pub crawled: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from raw visit logs, dropping incomplete visits.
+    pub fn from_logs(all: Vec<VisitLog>) -> Dataset {
+        let crawled = all.len();
+        let logs: Vec<VisitLog> = all.into_iter().filter(|l| l.complete).collect();
+        let sites = logs.iter().map(reconstruct).collect();
+        Dataset { logs, sites, crawled }
+    }
+
+    /// Number of analyzable sites.
+    pub fn site_count(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// All unique cookie pairs created through `api` across the dataset.
+    pub fn unique_pairs(&self, api: CookieApi) -> std::collections::HashSet<PairKey> {
+        let mut set = std::collections::HashSet::new();
+        for site in &self.sites {
+            for (key, hist) in &site.pairs {
+                if hist.api == Some(api) {
+                    set.insert(key.clone());
+                }
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_instrument::{Recorder, VisitLog};
+
+    fn set(r: &mut Recorder, name: &str, value: &str, actor: Option<&str>, kind: WriteKind) {
+        r.record_set(name, value, actor, None, CookieApi::DocumentCookie, kind, None, false, 0);
+    }
+
+    fn log_with(events: impl FnOnce(&mut Recorder)) -> VisitLog {
+        let mut r = Recorder::new("site.com", 1);
+        events(&mut r);
+        r.finish()
+    }
+
+    #[test]
+    fn ownership_follows_first_creator() {
+        let log = log_with(|r| {
+            set(r, "_ga", "GA1.1.1.2", Some("gtm.com"), WriteKind::Create);
+            set(r, "_ga", "GA1.1.9.9", Some("other.com"), WriteKind::Overwrite);
+        });
+        let sc = reconstruct(&log);
+        let key = PairKey { name: "_ga".into(), owner: "gtm.com".into() };
+        assert!(sc.pairs.contains_key(&key));
+        assert_eq!(sc.cross_overwrites.len(), 1);
+        assert_eq!(sc.cross_overwrites[0].1, "other.com");
+        // Values accumulate under the original pair.
+        assert_eq!(sc.pairs[&key].values.len(), 2);
+    }
+
+    #[test]
+    fn same_domain_overwrite_not_cross() {
+        let log = log_with(|r| {
+            set(r, "c", "1", Some("a.com"), WriteKind::Create);
+            set(r, "c", "2", Some("a.com"), WriteKind::Overwrite);
+        });
+        assert!(reconstruct(&log).cross_overwrites.is_empty());
+    }
+
+    #[test]
+    fn inline_actor_maps_to_site() {
+        let log = log_with(|r| {
+            set(r, "c", "1", None, WriteKind::Create);
+            set(r, "c", "", Some("cm.com"), WriteKind::Delete);
+        });
+        let sc = reconstruct(&log);
+        assert!(sc.pairs.contains_key(&PairKey { name: "c".into(), owner: "site.com".into() }));
+        assert_eq!(sc.cross_deletes.len(), 1);
+    }
+
+    #[test]
+    fn blocked_events_ignored() {
+        let mut r = Recorder::new("site.com", 1);
+        r.record_set("x", "1", Some("a.com"), None, CookieApi::DocumentCookie, WriteKind::Create, None, true, 0);
+        let sc = reconstruct(&r.finish());
+        assert!(sc.pairs.is_empty());
+    }
+
+    #[test]
+    fn recreate_after_delete_makes_new_pair() {
+        let log = log_with(|r| {
+            set(r, "n", "1", Some("a.com"), WriteKind::Create);
+            set(r, "n", "", Some("a.com"), WriteKind::Delete);
+            set(r, "n", "2", Some("b.com"), WriteKind::Create);
+        });
+        let sc = reconstruct(&log);
+        assert!(sc.pairs.contains_key(&PairKey { name: "n".into(), owner: "a.com".into() }));
+        assert!(sc.pairs.contains_key(&PairKey { name: "n".into(), owner: "b.com".into() }));
+        assert!(sc.cross_deletes.is_empty());
+    }
+
+    #[test]
+    fn dataset_filters_incomplete() {
+        let mut incomplete = Recorder::new("bad.com", 2);
+        incomplete.mark_incomplete();
+        let ds = Dataset::from_logs(vec![log_with(|_| {}), incomplete.finish()]);
+        assert_eq!(ds.crawled, 2);
+        assert_eq!(ds.site_count(), 1);
+    }
+}

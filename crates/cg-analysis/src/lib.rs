@@ -1,0 +1,28 @@
+//! The analysis framework (§4.4): consumes instrumentation logs and
+//! produces every number the paper reports in §5, plus the inputs of the
+//! §7 evaluation figures.
+//!
+//! The framework deliberately sees only [`cg_instrument::VisitLog`]s —
+//! the same events the paper's extension records — so detection of
+//! cross-domain access, manipulation, and exfiltration is an *inference*
+//! over observable events, with the same blind spots (e.g. full-value
+//! Base64 encodings defeat segment-level identifier matching).
+
+pub mod dataset;
+pub mod dom_pilot;
+pub mod exfiltration;
+pub mod intent;
+pub mod manipulation;
+pub mod prevalence;
+pub mod server_side;
+pub mod stats;
+pub mod table1;
+
+pub use dataset::{Dataset, PairKey, SiteCookies};
+pub use dom_pilot::dom_pilot_stats;
+pub use exfiltration::{detect_exfiltration, ExfilAnalysis};
+pub use intent::{classify_intents, IntentReport, ManipulationIntent};
+pub use manipulation::{detect_manipulation, ManipulationAnalysis};
+pub use prevalence::{api_usage, build_filter_engine, inclusion_stats, prevalence_stats};
+pub use server_side::{detect_server_side, ForwardMap, ServerSideReport};
+pub use table1::{cross_domain_summary, CrossDomainSummary};

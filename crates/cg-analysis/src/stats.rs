@@ -1,0 +1,102 @@
+//! Small statistics helpers shared by the analyses and experiments.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Median by sorting a copy (0 for empty input).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// Percentile (nearest-rank on a sorted copy; `p` in [0, 100]).
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Five-number summary + mean, the data behind a boxplot.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BoxStats {
+    /// Minimum (post-whisker clamp is the consumer's concern).
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary for `values`.
+    pub fn of(values: &[f64]) -> BoxStats {
+        if values.is_empty() {
+            return BoxStats { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0, n: 0 };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        BoxStats {
+            min: sorted[0],
+            q1: percentile(&sorted, 25.0),
+            median: percentile(&sorted, 50.0),
+            q3: percentile(&sorted, 75.0),
+            max: sorted[sorted.len() - 1],
+            mean: mean(&sorted),
+            n: sorted.len(),
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let v = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(mean(&v), 22.0);
+        assert_eq!(median(&v), 3.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(BoxStats::of(&[]).n, 0);
+    }
+
+    #[test]
+    fn box_stats_ordering() {
+        let v: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let b = BoxStats::of(&v);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 51.0);
+        assert_eq!(b.max, 101.0);
+        assert!(b.q1 < b.median && b.median < b.q3);
+        assert_eq!(b.n, 101);
+        assert!(b.iqr() > 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Table 1: prevalence of cross-domain cookie actions across websites
+//! and affected cookies, per API.
+
+use crate::dataset::Dataset;
+use crate::exfiltration::ExfilAnalysis;
+use crate::manipulation::ManipulationAnalysis;
+use cg_instrument::CookieApi;
+use serde::{Deserialize, Serialize};
+
+/// One Table 1 row: an action on one API's cookies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ActionRow {
+    /// % of sites with ≥1 such cross-domain action.
+    pub sites_pct: f64,
+    /// % of that API's unique pairs affected.
+    pub cookies_pct: f64,
+    /// Absolute number of affected pairs.
+    pub cookies_count: usize,
+}
+
+/// The whole of Table 1.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrossDomainSummary {
+    /// Total analyzable sites.
+    pub sites: usize,
+    /// Unique `document.cookie` pairs in the dataset.
+    pub doc_pairs_total: usize,
+    /// Unique CookieStore pairs in the dataset.
+    pub store_pairs_total: usize,
+    /// document.cookie: exfiltration.
+    pub doc_exfiltration: ActionRow,
+    /// document.cookie: overwriting.
+    pub doc_overwriting: ActionRow,
+    /// document.cookie: deleting.
+    pub doc_deleting: ActionRow,
+    /// CookieStore: exfiltration.
+    pub store_exfiltration: ActionRow,
+    /// CookieStore: overwriting.
+    pub store_overwriting: ActionRow,
+    /// CookieStore: deleting.
+    pub store_deleting: ActionRow,
+}
+
+/// Assembles Table 1 from the two analyses.
+pub fn cross_domain_summary(
+    ds: &Dataset,
+    exfil: &ExfilAnalysis,
+    manip: &ManipulationAnalysis,
+) -> CrossDomainSummary {
+    let sites = ds.site_count();
+    let n = sites.max(1) as f64;
+    let doc_total = ds.unique_pairs(CookieApi::DocumentCookie).len()
+        + ds.unique_pairs(CookieApi::HttpHeader).len();
+    let store_total = ds.unique_pairs(CookieApi::CookieStore).len();
+
+    let row = |site_count: usize, pair_count: usize, total: usize| ActionRow {
+        sites_pct: 100.0 * site_count as f64 / n,
+        cookies_pct: if total == 0 { 0.0 } else { 100.0 * pair_count as f64 / total as f64 },
+        cookies_count: pair_count,
+    };
+
+    CrossDomainSummary {
+        sites,
+        doc_pairs_total: doc_total,
+        store_pairs_total: store_total,
+        doc_exfiltration: row(exfil.sites_with_cross_exfil_doc.len(), exfil.cross_exfiltrated_pairs_doc.len(), doc_total),
+        doc_overwriting: row(manip.sites_with_overwrite_doc.len(), manip.overwritten_pairs_doc.len(), doc_total),
+        doc_deleting: row(manip.sites_with_delete_doc.len(), manip.deleted_pairs_doc.len(), doc_total),
+        store_exfiltration: row(
+            exfil.sites_with_cross_exfil_store.len(),
+            exfil.cross_exfiltrated_pairs_store.len(),
+            store_total,
+        ),
+        store_overwriting: row(
+            manip.sites_with_overwrite_store.len(),
+            manip.overwritten_pairs_store.len(),
+            store_total,
+        ),
+        store_deleting: row(manip.sites_with_delete_store.len(), manip.deleted_pairs_store.len(), store_total),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exfiltration::detect_exfiltration;
+    use crate::manipulation::detect_manipulation;
+    use cg_instrument::{Recorder, WriteKind};
+
+    #[test]
+    fn summary_assembles() {
+        let mut r = Recorder::new("site.com", 1);
+        r.record_set("_ga", "GA1.1.444332364.17468", Some("gtm.com"), None, CookieApi::DocumentCookie, WriteKind::Create, None, false, 0);
+        r.record_set("_ga", "GA1.1.999999999.17468", Some("evil.com"), None, CookieApi::DocumentCookie, WriteKind::Overwrite, None, false, 1);
+        let script = cg_url::Url::parse("https://evil.com/e.js").unwrap();
+        r.record_request("https://sink.evil.com/c?id=444332364", cg_http::RequestKind::Image, Some(&script), "site.com", None, 2);
+        let ds = Dataset::from_logs(vec![r.finish()]);
+
+        let entities = cg_entity::builtin_entity_map();
+        let exfil = detect_exfiltration(&ds, &entities);
+        let manip = detect_manipulation(&ds, &entities);
+        let summary = cross_domain_summary(&ds, &exfil, &manip);
+
+        assert_eq!(summary.sites, 1);
+        assert_eq!(summary.doc_pairs_total, 1);
+        assert!((summary.doc_exfiltration.sites_pct - 100.0).abs() < 1e-9);
+        assert!((summary.doc_overwriting.sites_pct - 100.0).abs() < 1e-9);
+        assert!((summary.doc_deleting.sites_pct - 0.0).abs() < 1e-9);
+        assert_eq!(summary.doc_exfiltration.cookies_count, 1);
+        assert_eq!(summary.store_pairs_total, 0);
+    }
+}

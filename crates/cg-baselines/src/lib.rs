@@ -1,0 +1,42 @@
+//! Baseline defenses the paper positions CookieGuard against, built to
+//! run on the same simulator and be measured by the same analyses.
+//!
+//! The paper's argument for per-script-origin isolation rests on three
+//! comparisons that are made informally in §1, §2.1, and §9:
+//!
+//! 1. **Storage partitioning** (Safari ITP, Firefox Total Cookie
+//!    Protection, Chrome CHIPS) stops cross-*site* tracking through
+//!    embedded contexts but does nothing inside the main frame
+//!    ([`partitioning`]);
+//! 2. **Blocklists** (EasyList/EasyPrivacy-style script blocking) stop
+//!    *listed* trackers but "struggle against domain or URL
+//!    manipulation" (Storey et al. \[65\]) ([`blocklist`]);
+//! 3. **ML cookie classifiers** (CookieGraph, Munir et al. \[44\]) block
+//!    tracking cookies they recognize, with false negatives that keep
+//!    leaking and false positives that break features ([`classifier`],
+//!    [`tree`], [`features`]).
+//!
+//! [`compare`] runs all of them — and CookieGuard — over one generated
+//! population and emits the protection-vs-breakage matrix.
+
+pub mod blocklist;
+pub mod classifier;
+pub mod compare;
+pub mod csp_gap;
+pub mod features;
+pub mod partitioning;
+pub mod tree;
+
+pub use blocklist::{apply_evasion, BlocklistDefense, EvasionConfig, EvasionStats, EvasionTechnique, PruneStats};
+pub use classifier::{
+    counterfactual_block, fidelity_study, label_samples, residual_log, BlockOutcome,
+    CookieGraphLite, EvalReport, FidelityStudy, TrainReport,
+};
+pub use compare::{run_defense_matrix, Defense, DefenseRow, MatrixOptions};
+pub use csp_gap::{run_csp_gap, CspCondition, CspGapRow};
+pub use features::{extract_samples, id_segments, shannon_entropy, PairSample, FEATURE_COUNT, FEATURE_NAMES};
+pub use partitioning::{
+    main_frame_leak_demo, simulate_embedded_tracking, sop_boundary_demo, EmbeddedTrackingOutcome,
+    MainFrameLeak, PartitionKey, PartitionedStore, PartitioningModel, SopBoundary,
+};
+pub use tree::{DecisionTree, ForestConfig, RandomForest, TreeConfig};

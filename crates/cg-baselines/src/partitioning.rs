@@ -1,0 +1,364 @@
+//! Storage-partitioning baselines (paper §2.1).
+//!
+//! Safari's Intelligent Tracking Prevention, Firefox's Total Cookie
+//! Protection, and Chrome's CHIPS all key *embedded third-party*
+//! storage by the top-level site, which stops classic cross-site
+//! tracking through third-party iframes. None of them touches the main
+//! frame: every script executing there — first-party or ghost-writing
+//! third-party — shares the one first-party cookie jar. That gap is the
+//! paper's motivation, and this module makes it mechanically checkable:
+//!
+//! * [`PartitionedStore`] implements the partition-keyed jar layout each
+//!   model prescribes for embedded contexts;
+//! * [`simulate_embedded_tracking`] shows the models *working* in the
+//!   scope they were designed for (a tracker iframe sees one identifier
+//!   across sites without partitioning, a fresh one per site with it);
+//! * [`main_frame_leak_demo`] shows the same models doing *nothing* in
+//!   the main frame: a cross-domain read of a ghost-written cookie
+//!   succeeds under every model.
+
+use cg_cookiejar::CookieJar;
+use cg_url::Url;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which browser partitioning mechanism is simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitioningModel {
+    /// No partitioning: the pre-ITP web. Embedded frames share one
+    /// third-party jar across all top-level sites.
+    Unpartitioned,
+    /// Safari ITP: third-party cookies in embedded contexts are
+    /// partitioned per top-level site.
+    SafariItp,
+    /// Firefox Total Cookie Protection: *all* third-party storage is
+    /// partitioned per top-level site.
+    FirefoxTcp,
+    /// Chrome CHIPS: partitioning is opt-in per cookie via the
+    /// `Partitioned` attribute; cookies without it stay in the shared
+    /// third-party jar.
+    ChromeChips,
+}
+
+impl PartitioningModel {
+    /// Whether a cookie in an embedded third-party context lands in a
+    /// per-top-level-site partition (`true`) or the shared third-party
+    /// jar (`false`). `partitioned_attr` is the CHIPS `Partitioned`
+    /// cookie attribute.
+    pub fn partitions_embedded(&self, partitioned_attr: bool) -> bool {
+        match self {
+            PartitioningModel::Unpartitioned => false,
+            PartitioningModel::SafariItp | PartitioningModel::FirefoxTcp => true,
+            PartitioningModel::ChromeChips => partitioned_attr,
+        }
+    }
+
+    /// Whether the model changes anything about main-frame script
+    /// execution. Structurally `false` for every shipping mechanism —
+    /// the paper's §2.1 observation. (CookieGuard is the first mechanism
+    /// for which this would be `true`.)
+    pub fn affects_main_frame(&self) -> bool {
+        false
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitioningModel::Unpartitioned => "unpartitioned",
+            PartitioningModel::SafariItp => "safari-itp",
+            PartitioningModel::FirefoxTcp => "firefox-tcp",
+            PartitioningModel::ChromeChips => "chrome-chips",
+        }
+    }
+}
+
+/// The storage key for one embedded-context jar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartitionKey {
+    /// eTLD+1 of the embedded (iframe) party.
+    pub embedded_site: String,
+    /// eTLD+1 of the top-level site, when the jar is partitioned;
+    /// `None` is the shared (classic third-party) jar.
+    pub top_level_site: Option<String>,
+}
+
+/// A browser profile's cookie storage under a partitioning model:
+/// one unpartitioned first-party jar per top-level site (the main-frame
+/// jar the paper studies) plus partition-keyed embedded jars.
+#[derive(Debug, Default)]
+pub struct PartitionedStore {
+    main_frame: HashMap<String, CookieJar>,
+    embedded: HashMap<PartitionKey, CookieJar>,
+}
+
+impl PartitionedStore {
+    /// An empty store.
+    pub fn new() -> PartitionedStore {
+        PartitionedStore::default()
+    }
+
+    /// The main-frame jar for a top-level site. Identical under every
+    /// [`PartitioningModel`]: the jar is keyed by the site alone, never
+    /// by the executing script's origin — which is exactly why
+    /// ghost-written first-party cookies stay shared.
+    pub fn main_frame_jar(&mut self, top_level_site: &str) -> &mut CookieJar {
+        self.main_frame.entry(top_level_site.to_ascii_lowercase()).or_default()
+    }
+
+    /// The jar an embedded `embedded_site` iframe on `top_level_site`
+    /// reads and writes under `model`. `partitioned_attr` is the CHIPS
+    /// opt-in bit of the cookie being handled.
+    pub fn embedded_jar(
+        &mut self,
+        model: PartitioningModel,
+        top_level_site: &str,
+        embedded_site: &str,
+        partitioned_attr: bool,
+    ) -> &mut CookieJar {
+        let key = PartitionKey {
+            embedded_site: embedded_site.to_ascii_lowercase(),
+            top_level_site: model
+                .partitions_embedded(partitioned_attr)
+                .then(|| top_level_site.to_ascii_lowercase()),
+        };
+        self.embedded.entry(key).or_default()
+    }
+
+    /// Number of distinct embedded-context jars materialized so far.
+    pub fn embedded_partition_count(&self) -> usize {
+        self.embedded.len()
+    }
+}
+
+/// Outcome of [`simulate_embedded_tracking`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbeddedTrackingOutcome {
+    /// The identifier the tracker observed on each visited site, in
+    /// visit order.
+    pub ids_seen: Vec<String>,
+    /// Number of distinct identifiers across all sites. `1` means the
+    /// tracker linked every site visit to one profile (cross-site
+    /// tracking works); `sites.len()` means full partitioning.
+    pub distinct_ids: usize,
+}
+
+/// Simulates the scenario partitioning was built for: a tracker iframe
+/// embedded on several top-level sites stores an identifier cookie in
+/// its own (third-party) context and re-reads it on every site.
+///
+/// `partitioned_attr` models whether the tracker sets its cookie with
+/// the CHIPS `Partitioned` attribute.
+pub fn simulate_embedded_tracking(
+    model: PartitioningModel,
+    tracker: &str,
+    sites: &[&str],
+    partitioned_attr: bool,
+) -> EmbeddedTrackingOutcome {
+    let mut store = PartitionedStore::new();
+    let frame_url = Url::parse(&format!("https://{tracker}/sync-frame")).expect("tracker URL");
+    let mut minted = 0u32;
+    let mut ids_seen = Vec::with_capacity(sites.len());
+
+    for (t, site) in sites.iter().enumerate() {
+        let jar = store.embedded_jar(model, site, tracker, partitioned_attr);
+        let now = t as i64 * 1_000;
+        let existing = jar
+            .cookies_for_document(&frame_url, now)
+            .into_iter()
+            .find(|c| c.name == "uid")
+            .map(|c| c.value);
+        let id = match existing {
+            Some(v) => v,
+            None => {
+                minted += 1;
+                let v = format!("uid-{minted:04}");
+                jar.set_document_cookie(&format!("uid={v}"), &frame_url, now)
+                    .expect("tracker cookie");
+                v
+            }
+        };
+        ids_seen.push(id);
+    }
+
+    let mut distinct = ids_seen.clone();
+    distinct.sort();
+    distinct.dedup();
+    EmbeddedTrackingOutcome { distinct_ids: distinct.len(), ids_seen }
+}
+
+/// Outcome of [`main_frame_leak_demo`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MainFrameLeak {
+    /// The cookie pairs the cross-domain reader observed.
+    pub reader_saw: Vec<(String, String)>,
+    /// True when the reader saw the ghost-written cookie it did not set
+    /// — i.e. the model failed to isolate the main frame.
+    pub leaked: bool,
+}
+
+/// The paper's motivating scenario, replayed against a partitioning
+/// model: on `site`, a script from `writer` ghost-writes a first-party
+/// cookie through `document.cookie`; a script from a different domain
+/// then reads `document.cookie`.
+///
+/// Under every [`PartitioningModel`] both scripts hit the same
+/// main-frame jar, so the read leaks. (CookieGuard's per-script-origin
+/// filter is what closes this; see `cookieguard_core`.)
+pub fn main_frame_leak_demo(model: PartitioningModel, site: &str) -> MainFrameLeak {
+    debug_assert!(!model.affects_main_frame());
+    let mut store = PartitionedStore::new();
+    let page = Url::parse(&format!("https://www.{site}/")).expect("site URL");
+
+    // Both scripts execute in the main frame: the jar they touch is the
+    // *site's* first-party jar, regardless of their own origins.
+    let jar = store.main_frame_jar(site);
+    jar.set_document_cookie("_tid=track-7f3a9c21", &page, 0).expect("ghost write");
+
+    let reader_saw: Vec<(String, String)> = jar
+        .cookies_for_document(&page, 1)
+        .into_iter()
+        .map(|c| (c.name, c.value))
+        .collect();
+    let leaked = reader_saw.iter().any(|(n, _)| n == "_tid");
+    MainFrameLeak { reader_saw, leaked }
+}
+
+/// Outcome of [`sop_boundary_demo`] — Figure 1's two sides.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SopBoundary {
+    /// Cookie names a script inside a cross-origin iframe can read.
+    pub iframe_sees: Vec<String>,
+    /// Cookie names a third-party script in the main frame can read.
+    pub main_frame_script_sees: Vec<String>,
+}
+
+/// Figure 1 / §3: the Same-Origin Policy boundary, replayed.
+///
+/// On `site`, the server sets a first-party cookie and a `tracker`
+/// script in the main frame ghost-writes another. Then two vantage
+/// points read `document.cookie`:
+///
+/// * a script inside a cross-origin `<iframe>` sourced from `tracker` —
+///   its document is the tracker's origin, so SOP resolves the read
+///   against the *tracker's* jar: neither first-party cookie is visible
+///   (the boundary works);
+/// * the tracker's script in the *main frame* — it inherits the
+///   first-party origin and sees everything (the boundary the paper
+///   shows does not exist).
+pub fn sop_boundary_demo(site: &str, tracker: &str) -> SopBoundary {
+    let mut store = PartitionedStore::new();
+    let page = Url::parse(&format!("https://www.{site}/")).expect("site URL");
+    let frame = Url::parse(&format!("https://{tracker}/widget")).expect("tracker URL");
+
+    // The main-frame jar accumulates the site's cookie and the
+    // ghost-written one — the jar is keyed by the site, not the writer.
+    let main = store.main_frame_jar(site);
+    main.set_document_cookie("session=s1", &page, 0).expect("first-party cookie");
+    main.set_document_cookie("_tid=track-1", &page, 1).expect("ghost-written cookie");
+    let main_frame_script_sees: Vec<String> = main
+        .cookies_for_document(&page, 2)
+        .into_iter()
+        .map(|c| c.name)
+        .collect();
+
+    // The iframe's document belongs to the tracker's origin: its
+    // document.cookie resolves against the tracker's (embedded) jar.
+    let iframe_jar = store.embedded_jar(PartitioningModel::Unpartitioned, site, tracker, false);
+    let iframe_sees: Vec<String> = iframe_jar
+        .cookies_for_document(&frame, 2)
+        .into_iter()
+        .map(|c| c.name)
+        .collect();
+
+    SopBoundary { iframe_sees, main_frame_script_sees }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SITES: [&str; 4] = ["news.example", "shop.example", "blog.example", "mail.example"];
+
+    #[test]
+    fn sop_isolates_iframes_not_main_frame_scripts() {
+        let b = sop_boundary_demo("site.com", "tracker.com");
+        assert!(b.iframe_sees.is_empty(), "SOP: cross-origin iframe reads nothing of the site's jar");
+        assert_eq!(
+            b.main_frame_script_sees,
+            vec!["session".to_string(), "_tid".to_string()],
+            "main-frame scripts inherit the first-party origin and see the whole jar"
+        );
+    }
+
+    #[test]
+    fn unpartitioned_tracker_links_all_sites() {
+        let out = simulate_embedded_tracking(PartitioningModel::Unpartitioned, "tracker.com", &SITES, false);
+        assert_eq!(out.distinct_ids, 1, "one profile across all sites: {:?}", out.ids_seen);
+    }
+
+    #[test]
+    fn itp_and_tcp_partition_per_site() {
+        for model in [PartitioningModel::SafariItp, PartitioningModel::FirefoxTcp] {
+            let out = simulate_embedded_tracking(model, "tracker.com", &SITES, false);
+            assert_eq!(out.distinct_ids, SITES.len(), "{model:?} must mint one id per site");
+        }
+    }
+
+    #[test]
+    fn chips_partitions_only_opted_in_cookies() {
+        let opted = simulate_embedded_tracking(PartitioningModel::ChromeChips, "tracker.com", &SITES, true);
+        assert_eq!(opted.distinct_ids, SITES.len());
+        let not_opted = simulate_embedded_tracking(PartitioningModel::ChromeChips, "tracker.com", &SITES, false);
+        assert_eq!(not_opted.distinct_ids, 1, "CHIPS is opt-in: unflagged cookies stay shared");
+    }
+
+    #[test]
+    fn revisits_reuse_the_partitioned_identifier() {
+        // Same site twice: even under TCP the tracker re-reads its own
+        // partition — partitioning is per-site, not per-visit.
+        let out = simulate_embedded_tracking(
+            PartitioningModel::FirefoxTcp,
+            "tracker.com",
+            &["news.example", "shop.example", "news.example"],
+            false,
+        );
+        assert_eq!(out.ids_seen[0], out.ids_seen[2]);
+        assert_eq!(out.distinct_ids, 2);
+    }
+
+    #[test]
+    fn every_model_leaks_in_the_main_frame() {
+        for model in [
+            PartitioningModel::Unpartitioned,
+            PartitioningModel::SafariItp,
+            PartitioningModel::FirefoxTcp,
+            PartitioningModel::ChromeChips,
+        ] {
+            let leak = main_frame_leak_demo(model, "site.com");
+            assert!(leak.leaked, "{model:?} unexpectedly isolated the main frame");
+            assert!(!model.affects_main_frame());
+        }
+    }
+
+    #[test]
+    fn partition_count_reflects_keying() {
+        let mut store = PartitionedStore::new();
+        store.embedded_jar(PartitioningModel::FirefoxTcp, "a.com", "t.com", false);
+        store.embedded_jar(PartitioningModel::FirefoxTcp, "b.com", "t.com", false);
+        store.embedded_jar(PartitioningModel::Unpartitioned, "a.com", "t.com", false);
+        store.embedded_jar(PartitioningModel::Unpartitioned, "b.com", "t.com", false);
+        // Two partitioned jars + one shared jar.
+        assert_eq!(store.embedded_partition_count(), 3);
+    }
+
+    #[test]
+    fn main_frame_jars_keyed_by_site_only() {
+        let mut store = PartitionedStore::new();
+        let page_a = Url::parse("https://www.a.com/").unwrap();
+        store.main_frame_jar("a.com").set_document_cookie("x=1", &page_a, 0).unwrap();
+        assert_eq!(store.main_frame_jar("a.com").len(), 1);
+        assert_eq!(store.main_frame_jar("b.com").len(), 0);
+        // Case-insensitive site keys.
+        assert_eq!(store.main_frame_jar("A.COM").len(), 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! A from-scratch CART decision tree and bagged random forest.
+//!
+//! CookieGraph (Munir et al. \[44\]) trains a random-forest classifier
+//! over behavioural cookie features. This is the minimal faithful
+//! substrate: binary classification, Gini-impurity splits on numeric
+//! features, depth/size stopping rules, bootstrap aggregation with
+//! per-split feature subsampling, and deterministic training from a
+//! seed so the reproduction's experiments are replayable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum Gini improvement required to accept a split.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> TreeConfig {
+        TreeConfig { max_depth: 8, min_samples_split: 4, min_gain: 1e-7 }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Probability of the positive class at this leaf.
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        /// Samples with `x[feature] <= threshold` go left.
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted binary CART tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Fits a tree on `xs[i]` / `ys[i]`. All rows must share a length.
+    /// `features` restricts which feature indices may be split on
+    /// (`None` = all); the forest uses this for feature subsampling.
+    pub fn fit(xs: &[&[f64]], ys: &[bool], cfg: &TreeConfig, features: Option<&[usize]>) -> DecisionTree {
+        assert_eq!(xs.len(), ys.len(), "sample/label length mismatch");
+        let all: Vec<usize> = match features {
+            Some(f) => f.to_vec(),
+            None => (0..xs.first().map_or(0, |r| r.len())).collect(),
+        };
+        let mut tree = DecisionTree { nodes: Vec::new() };
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        tree.build(xs, ys, &idx, &all, cfg, 0);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        xs: &[&[f64]],
+        ys: &[bool],
+        idx: &[usize],
+        features: &[usize],
+        cfg: &TreeConfig,
+        depth: usize,
+    ) -> usize {
+        let pos = idx.iter().filter(|&&i| ys[i]).count();
+        let total = idx.len();
+        let leaf_prob = if total == 0 { 0.0 } else { pos as f64 / total as f64 };
+
+        let stop = depth >= cfg.max_depth
+            || total < cfg.min_samples_split
+            || pos == 0
+            || pos == total;
+        if !stop {
+            if let Some((feature, threshold, gain)) = best_split(xs, ys, idx, features) {
+                if gain > cfg.min_gain {
+                    let (li, ri): (Vec<usize>, Vec<usize>) =
+                        idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+                    if !li.is_empty() && !ri.is_empty() {
+                        let me = self.nodes.len();
+                        self.nodes.push(Node::Leaf { prob: leaf_prob }); // placeholder
+                        let left = self.build(xs, ys, &li, features, cfg, depth + 1);
+                        let right = self.build(xs, ys, &ri, features, cfg, depth + 1);
+                        self.nodes[me] = Node::Split { feature, threshold, left, right };
+                        return me;
+                    }
+                }
+            }
+        }
+        self.nodes.push(Node::Leaf { prob: leaf_prob });
+        self.nodes.len() - 1
+    }
+
+    /// Probability of the positive class for one sample.
+    pub fn predict_prob(&self, x: &[f64]) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split { feature, threshold, left, right } => {
+                    at = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Maximum depth of the fitted tree (a root-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Finds the (feature, threshold) pair with the highest Gini gain over
+/// the rows in `idx`. Thresholds are midpoints between consecutive
+/// distinct values.
+fn best_split(xs: &[&[f64]], ys: &[bool], idx: &[usize], features: &[usize]) -> Option<(usize, f64, f64)> {
+    let total = idx.len();
+    let total_pos = idx.iter().filter(|&&i| ys[i]).count();
+    let parent = gini(total_pos, total);
+    let mut best: Option<(usize, f64, f64)> = None;
+
+    for &feature in features {
+        // Sort rows by this feature.
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| {
+            xs[a][feature].partial_cmp(&xs[b][feature]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_pos = 0usize;
+        for (k, &i) in order.iter().enumerate().take(total.saturating_sub(1)) {
+            if ys[i] {
+                left_pos += 1;
+            }
+            let this = xs[i][feature];
+            let next = xs[order[k + 1]][feature];
+            if next <= this {
+                continue; // no boundary between equal values
+            }
+            let left_n = k + 1;
+            let right_n = total - left_n;
+            let right_pos = total_pos - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / total as f64;
+            let gain = parent - weighted;
+            let threshold = (this + next) / 2.0;
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((feature, threshold, gain));
+            }
+        }
+    }
+    best
+}
+
+/// A bagged ensemble of CART trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Bootstrap sample fraction per tree.
+    pub sample_frac: f64,
+    /// Features considered per tree (fraction of all, ≥1 feature).
+    pub feature_frac: f64,
+    /// Per-tree CART settings.
+    pub tree: TreeConfig,
+}
+
+impl Default for ForestConfig {
+    fn default() -> ForestConfig {
+        ForestConfig { n_trees: 15, sample_frac: 0.8, feature_frac: 0.7, tree: TreeConfig::default() }
+    }
+}
+
+impl RandomForest {
+    /// Fits a forest; deterministic for a given `seed`.
+    pub fn fit(xs: &[&[f64]], ys: &[bool], cfg: &ForestConfig, seed: u64) -> RandomForest {
+        assert!(!xs.is_empty(), "cannot fit a forest on zero samples");
+        let n = xs.len();
+        let d = xs[0].len();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF0_4E57);
+        let per_tree_n = ((n as f64 * cfg.sample_frac).round() as usize).clamp(1, n);
+        let per_tree_d = ((d as f64 * cfg.feature_frac).round() as usize).clamp(1, d);
+
+        let trees = (0..cfg.n_trees.max(1))
+            .map(|_| {
+                // Bootstrap rows (with replacement).
+                let rows: Vec<usize> = (0..per_tree_n).map(|_| rng.gen_range(0..n)).collect();
+                let bx: Vec<&[f64]> = rows.iter().map(|&i| xs[i]).collect();
+                let by: Vec<bool> = rows.iter().map(|&i| ys[i]).collect();
+                // Subsample features (without replacement).
+                let mut feats: Vec<usize> = (0..d).collect();
+                for k in 0..per_tree_d {
+                    let j = rng.gen_range(k..d);
+                    feats.swap(k, j);
+                }
+                feats.truncate(per_tree_d);
+                feats.sort_unstable();
+                DecisionTree::fit(&bx, &by, &cfg.tree, Some(&feats))
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Mean positive-class probability across trees.
+    pub fn predict_prob(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict_prob(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True when the forest holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rows(data: &[Vec<f64>]) -> Vec<&[f64]> {
+        data.iter().map(Vec::as_slice).collect()
+    }
+
+    #[test]
+    fn single_feature_threshold_is_learned() {
+        let data: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let ys: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let tree = DecisionTree::fit(&rows(&data), &ys, &TreeConfig::default(), None);
+        assert!(tree.predict_prob(&[3.0]) < 0.5);
+        assert!(tree.predict_prob(&[33.0]) > 0.5);
+        assert_eq!(tree.depth(), 1, "one split suffices: {tree:?}");
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // Positive iff x0 > 5 AND x1 > 5 — needs depth 2.
+        let mut data = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                data.push(vec![a as f64, b as f64]);
+                ys.push(a > 5 && b > 5);
+            }
+        }
+        let tree = DecisionTree::fit(&rows(&data), &ys, &TreeConfig::default(), None);
+        assert!(tree.predict_prob(&[9.0, 9.0]) > 0.5);
+        assert!(tree.predict_prob(&[9.0, 1.0]) < 0.5);
+        assert!(tree.predict_prob(&[1.0, 9.0]) < 0.5);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let mut data = Vec::new();
+        let mut ys = Vec::new();
+        // Noise-free but complex parity-ish labels force deep trees.
+        for i in 0..128 {
+            data.push(vec![(i % 16) as f64, (i / 16) as f64]);
+            ys.push((i % 3) == 0);
+        }
+        let cfg = TreeConfig { max_depth: 2, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&rows(&data), &ys, &cfg, None);
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let data = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![true, true, true];
+        let tree = DecisionTree::fit(&rows(&data), &ys, &TreeConfig::default(), None);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_prob(&[99.0]), 1.0);
+    }
+
+    #[test]
+    fn feature_restriction_is_honoured() {
+        // Labels depend only on feature 1; restrict the tree to feature 0.
+        let data: Vec<Vec<f64>> = (0..40).map(|i| vec![0.0, i as f64]).collect();
+        let ys: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let tree = DecisionTree::fit(&rows(&data), &ys, &TreeConfig::default(), Some(&[0]));
+        // Feature 0 is constant, so no split is possible.
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn forest_is_deterministic_and_beats_chance() {
+        let mut data = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..12 {
+            for b in 0..12 {
+                data.push(vec![a as f64, b as f64, (a + b) as f64 % 3.0]);
+                ys.push(a > 6 && b > 6);
+            }
+        }
+        let cfg = ForestConfig::default();
+        let f1 = RandomForest::fit(&rows(&data), &ys, &cfg, 42);
+        let f2 = RandomForest::fit(&rows(&data), &ys, &cfg, 42);
+        let correct = data
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| (f1.predict_prob(x) > 0.5) == y)
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.9, "forest accuracy {correct}/{}", data.len());
+        for x in data.iter().take(10) {
+            assert_eq!(f1.predict_prob(x), f2.predict_prob(x));
+        }
+        assert_eq!(f1.len(), cfg.n_trees);
+    }
+
+    proptest! {
+        /// Predictions are always valid probabilities.
+        #[test]
+        fn probabilities_in_unit_interval(
+            raw in proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, 3), 2..40),
+            labels in proptest::collection::vec(any::<bool>(), 40),
+            query in proptest::collection::vec(-1000.0f64..1000.0, 3),
+        ) {
+            let ys = &labels[..raw.len()];
+            let tree = DecisionTree::fit(&rows(&raw), ys, &TreeConfig::default(), None);
+            let p = tree.predict_prob(&query);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        /// Fitting never panics and training accuracy on separable data
+        /// with a generous depth is perfect.
+        #[test]
+        fn separable_data_fits_perfectly(thr in 1.0f64..9.0) {
+            let data: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0]).collect();
+            let ys: Vec<bool> = data.iter().map(|r| r[0] > thr).collect();
+            let tree = DecisionTree::fit(&rows(&data), &ys, &TreeConfig { max_depth: 12, min_samples_split: 2, min_gain: 0.0 }, None);
+            for (x, &y) in data.iter().zip(&ys) {
+                prop_assert_eq!(tree.predict_prob(x) > 0.5, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Breakage evaluation: paired visits, probe-regression classification.
+
+use cg_browser::{visit_site, VisitConfig};
+use cg_instrument::ProbeEvent;
+use cg_webgen::WebGenerator;
+use cookieguard_core::GuardConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The paper's four breakage categories (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BreakageCategory {
+    /// Moving between pages.
+    Navigation,
+    /// Initiating and maintaining login state.
+    Sso,
+    /// Visual consistency.
+    Appearance,
+    /// Chats, search, shopping cart, embedded widgets, ads.
+    Functionality,
+}
+
+/// Severity, per the paper's rubric: minor = difficult but possible;
+/// major = impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BreakageSeverity {
+    /// Feature usable with difficulty.
+    Minor,
+    /// Feature unusable.
+    Major,
+}
+
+/// Breakage found on one site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteBreakage {
+    /// Site domain.
+    pub site: String,
+    /// Rank.
+    pub rank: usize,
+    /// Which (category, severity) regressions occurred.
+    pub findings: Vec<(BreakageCategory, BreakageSeverity, String)>,
+}
+
+/// The Table 3 aggregate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BreakageReport {
+    /// Sites evaluated.
+    pub sites: usize,
+    /// Per (category, severity): number of affected sites. (Tuple keys
+    /// cannot be JSON map keys, so this serializes as an entry list.)
+    #[serde(with = "count_entries")]
+    pub counts: HashMap<(BreakageCategory, BreakageSeverity), usize>,
+    /// Detailed per-site findings (non-empty only).
+    pub details: Vec<SiteBreakage>,
+}
+
+/// Serializes the tuple-keyed count map as a list of entries.
+mod count_entries {
+    use super::{BreakageCategory, BreakageSeverity};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    type Map = HashMap<(BreakageCategory, BreakageSeverity), usize>;
+
+    pub fn serialize<S: Serializer>(map: &Map, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(&BreakageCategory, &BreakageSeverity, &usize)> =
+            map.iter().map(|((c, v), n)| (c, v, n)).collect();
+        entries.sort_by_key(|(c, v, _)| format!("{c:?}/{v:?}"));
+        entries.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Map, D::Error> {
+        let entries: Vec<(BreakageCategory, BreakageSeverity, usize)> = Vec::deserialize(d)?;
+        Ok(entries.into_iter().map(|(c, v, n)| ((c, v), n)).collect())
+    }
+}
+
+impl BreakageReport {
+    /// % of evaluated sites with a *major* breakage in `cat`.
+    pub fn major_pct(&self, cat: BreakageCategory) -> f64 {
+        self.pct(cat, BreakageSeverity::Major)
+    }
+
+    /// % of evaluated sites with a *minor* breakage in `cat`.
+    pub fn minor_pct(&self, cat: BreakageCategory) -> f64 {
+        self.pct(cat, BreakageSeverity::Minor)
+    }
+
+    fn pct(&self, cat: BreakageCategory, sev: BreakageSeverity) -> f64 {
+        let c = self.counts.get(&(cat, sev)).copied().unwrap_or(0);
+        100.0 * c as f64 / self.sites.max(1) as f64
+    }
+
+    /// % of sites with any breakage at all.
+    pub fn any_breakage_pct(&self) -> f64 {
+        100.0 * self.details.len() as f64 / self.sites.max(1) as f64
+    }
+}
+
+/// Classifies a probe feature into (category, severity).
+fn classify(feature: &str) -> Option<(BreakageCategory, BreakageSeverity)> {
+    match feature {
+        "sso" => Some((BreakageCategory::Sso, BreakageSeverity::Major)),
+        "sso_reload" => Some((BreakageCategory::Sso, BreakageSeverity::Minor)),
+        "functionality" | "chat" | "cart" => {
+            Some((BreakageCategory::Functionality, BreakageSeverity::Major))
+        }
+        "ads" => Some((BreakageCategory::Functionality, BreakageSeverity::Minor)),
+        "navigation" => Some((BreakageCategory::Navigation, BreakageSeverity::Major)),
+        "appearance" => Some((BreakageCategory::Appearance, BreakageSeverity::Major)),
+        _ => None,
+    }
+}
+
+/// Keyed probe outcomes: (feature, cookie, actor) → all-succeeded?
+fn probe_outcomes(probes: &[ProbeEvent]) -> HashMap<(String, String, Option<String>), bool> {
+    let mut map: HashMap<(String, String, Option<String>), bool> = HashMap::new();
+    for p in probes {
+        let entry = map.entry((p.feature.clone(), p.cookie.clone(), p.actor.clone())).or_insert(true);
+        *entry &= p.ok;
+    }
+    map
+}
+
+/// Evaluates breakage over ranks `[from, to]`: every site is visited
+/// twice (regular, guarded); a probe that passes regular but fails
+/// guarded is a regression. Incomplete-crawl sites are skipped, like the
+/// paper's manual protocol which only assessed reachable sites.
+pub fn evaluate_breakage(
+    gen: &WebGenerator,
+    guard: &GuardConfig,
+    from: usize,
+    to: usize,
+    _threads: usize,
+) -> BreakageReport {
+    let mut report = BreakageReport::default();
+    for rank in from..=to {
+        let bp = gen.blueprint(rank);
+        if !bp.spec.crawl_ok {
+            continue;
+        }
+        let seed = gen.site_seed(rank) ^ 0x0b1e;
+        let regular = visit_site(&bp, &VisitConfig::regular(), seed);
+        let guarded = visit_site(&bp, &VisitConfig::guarded(guard.clone()), seed);
+        report.sites += 1;
+
+        let before = probe_outcomes(&regular.log.probes);
+        let after = probe_outcomes(&guarded.log.probes);
+
+        let mut findings: Vec<(BreakageCategory, BreakageSeverity, String)> = Vec::new();
+        let mut seen: std::collections::HashSet<(BreakageCategory, BreakageSeverity)> =
+            std::collections::HashSet::new();
+        for (key, ok_before) in &before {
+            if !ok_before {
+                continue; // broken even without the guard: not our breakage
+            }
+            let regressed = matches!(after.get(key), Some(false));
+            if regressed {
+                if let Some((cat, sev)) = classify(&key.0) {
+                    if seen.insert((cat, sev)) {
+                        findings.push((cat, sev, format!("{} depends on {}", key.0, key.1)));
+                    }
+                }
+            }
+        }
+        if !findings.is_empty() {
+            for (cat, sev, _) in &findings {
+                *report.counts.entry((*cat, *sev)).or_insert(0) += 1;
+            }
+            report.details.push(SiteBreakage { site: bp.spec.domain.clone(), rank, findings });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_features() {
+        assert_eq!(classify("sso"), Some((BreakageCategory::Sso, BreakageSeverity::Major)));
+        assert_eq!(classify("sso_reload"), Some((BreakageCategory::Sso, BreakageSeverity::Minor)));
+        assert_eq!(classify("ads"), Some((BreakageCategory::Functionality, BreakageSeverity::Minor)));
+        assert_eq!(classify("chat"), Some((BreakageCategory::Functionality, BreakageSeverity::Major)));
+        assert_eq!(classify("unknown"), None);
+    }
+
+    #[test]
+    fn probe_outcomes_and_of_repeats() {
+        let probes = vec![
+            ProbeEvent { feature: "sso".into(), cookie: "s".into(), ok: true, actor: Some("a.com".into()) },
+            ProbeEvent { feature: "sso".into(), cookie: "s".into(), ok: false, actor: Some("a.com".into()) },
+        ];
+        let map = probe_outcomes(&probes);
+        assert_eq!(map.len(), 1);
+        assert!(!map[&("sso".into(), "s".into(), Some("a.com".into()))]);
+    }
+
+    #[test]
+    fn report_percentages() {
+        let mut r = BreakageReport { sites: 100, ..BreakageReport::default() };
+        r.counts.insert((BreakageCategory::Sso, BreakageSeverity::Major), 11);
+        r.counts.insert((BreakageCategory::Sso, BreakageSeverity::Minor), 1);
+        assert!((r.major_pct(BreakageCategory::Sso) - 11.0).abs() < 1e-9);
+        assert!((r.minor_pct(BreakageCategory::Sso) - 1.0).abs() < 1e-9);
+        assert_eq!(r.major_pct(BreakageCategory::Navigation), 0.0);
+    }
+}

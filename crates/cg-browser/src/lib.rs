@@ -1,0 +1,31 @@
+//! The browser simulator: executes site blueprints through a cookie jar,
+//! DOM, script engine, and (optionally) CookieGuard, while the
+//! instrumentation layer records everything — the equivalent of the
+//! paper's Chromium + Selenium + extension stack (§4.1–§4.2).
+//!
+//! Layering at the `document.cookie` / `CookieStore` chokepoint:
+//!
+//! ```text
+//!   script behaviour (cg-script)
+//!        │  Platform trait calls, with stack-trace attribution
+//!        ▼
+//!   Page (this crate)
+//!        │  1. CookieGuard policy (optional)   — the defense
+//!        │  2. Recorder logging                — the measurement
+//!        ▼
+//!   CookieJar / Document / network log
+//! ```
+//!
+//! The same [`Page`] type therefore reproduces both halves of the paper:
+//! crawling without a guard yields the §5 measurement dataset; attaching
+//! a [`cookieguard_core::CookieGuard`] yields the §7 evaluation.
+
+pub mod crawler;
+pub mod page;
+pub mod timing;
+pub mod visit;
+
+pub use crawler::{crawl_range, CrawlSummary};
+pub use page::Page;
+pub use timing::{simulate_timing, PageTiming};
+pub use visit::{visit_site, visit_site_with_jar, VisitConfig, VisitOutcome};

@@ -1,0 +1,83 @@
+//! The jar's change log — the substrate for the CookieStore `change`
+//! event.
+//!
+//! The CookieStore specification fires a `change` event at the store
+//! whenever a script-visible cookie is created, replaced, deleted,
+//! evicted, or expires. The jar records every mutation here; the browser
+//! layer drains the log and dispatches events to registered listeners
+//! (filtered through CookieGuard, which hides foreign cookies' changes).
+
+use serde::{Deserialize, Serialize};
+
+/// Why a change record was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeCause {
+    /// A new cookie was stored.
+    Created,
+    /// An existing cookie was replaced (same name/domain/path identity).
+    Replaced,
+    /// The cookie was removed by an explicit deletion (`cookieStore.delete`
+    /// or an expiry-in-the-past `document.cookie` write).
+    Deleted,
+    /// The cookie was evicted by the per-domain cap.
+    Evicted,
+    /// The cookie was dropped because its expiry passed.
+    Expired,
+}
+
+impl ChangeCause {
+    /// True for causes that remove the cookie from the jar.
+    pub fn is_removal(&self) -> bool {
+        matches!(self, ChangeCause::Deleted | ChangeCause::Evicted | ChangeCause::Expired)
+    }
+}
+
+/// One observable mutation of the jar.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CookieChange {
+    /// Cookie name.
+    pub name: String,
+    /// The stored value for creations/replacements; the last value for
+    /// removals.
+    pub value: String,
+    /// What happened.
+    pub cause: ChangeCause,
+    /// Whether the affected cookie is `HttpOnly` — such changes are never
+    /// delivered to script listeners (the CookieStore spec hides them).
+    pub http_only: bool,
+    /// Wall-clock time of the mutation (unix ms).
+    pub at_ms: i64,
+}
+
+impl CookieChange {
+    /// True when the change removed the cookie.
+    pub fn is_removal(&self) -> bool {
+        self.cause.is_removal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removal_causes() {
+        assert!(ChangeCause::Deleted.is_removal());
+        assert!(ChangeCause::Evicted.is_removal());
+        assert!(ChangeCause::Expired.is_removal());
+        assert!(!ChangeCause::Created.is_removal());
+        assert!(!ChangeCause::Replaced.is_removal());
+    }
+
+    #[test]
+    fn change_mirrors_cause() {
+        let c = CookieChange {
+            name: "_tid".into(),
+            value: "abc".into(),
+            cause: ChangeCause::Deleted,
+            http_only: false,
+            at_ms: 0,
+        };
+        assert!(c.is_removal());
+    }
+}

@@ -1,0 +1,682 @@
+//! The cookie jar proper: storage, matching, and the `document.cookie`
+//! string interface.
+
+use crate::changes::{ChangeCause, CookieChange};
+use crate::cookie::{default_path, Cookie};
+use cg_http::{parse_set_cookie, SetCookie};
+use cg_url::{psl, Url};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-domain cookie cap, matching Chromium's 180-per-eTLD+1 limit.
+/// When exceeded, the oldest cookies for that domain are evicted.
+const MAX_COOKIES_PER_DOMAIN: usize = 180;
+
+/// Why a `Set-Cookie` (header or JS write) was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetCookieError {
+    /// The string did not parse as a cookie at all.
+    Unparseable,
+    /// The `Domain` attribute does not domain-match the setting host.
+    DomainMismatch,
+    /// The `Domain` attribute is a public suffix (`Domain=com`).
+    PublicSuffixDomain,
+    /// A script attempted to create an `HttpOnly` cookie (forbidden for
+    /// non-HTTP APIs, RFC 6265 §5.3 step 10).
+    HttpOnlyFromScript,
+    /// A script attempted to overwrite an existing `HttpOnly` cookie
+    /// (RFC 6265 §5.3 step 11.2).
+    OverwritesHttpOnly,
+    /// A `Secure` cookie cannot be set from an insecure context.
+    SecureFromInsecure,
+    /// A `__Secure-`/`__Host-` prefixed name whose attributes violate
+    /// the prefix contract (RFC 6265bis §4.1.3).
+    InvalidPrefix,
+}
+
+impl fmt::Display for SetCookieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SetCookieError::Unparseable => "unparseable cookie string",
+            SetCookieError::DomainMismatch => "Domain attribute does not match setting host",
+            SetCookieError::PublicSuffixDomain => "Domain attribute is a public suffix",
+            SetCookieError::HttpOnlyFromScript => "scripts cannot create HttpOnly cookies",
+            SetCookieError::OverwritesHttpOnly => "scripts cannot overwrite HttpOnly cookies",
+            SetCookieError::SecureFromInsecure => "Secure cookie from insecure context",
+            SetCookieError::InvalidPrefix => "cookie name prefix contract violated",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SetCookieError {}
+
+/// The browser's cookie store for one profile.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CookieJar {
+    cookies: Vec<Cookie>,
+    #[serde(default)]
+    changes: Vec<CookieChange>,
+}
+
+impl CookieJar {
+    /// An empty jar.
+    pub fn new() -> CookieJar {
+        CookieJar::default()
+    }
+
+    /// Number of stored (possibly expired, not yet purged) cookies.
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    /// True when the jar holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+
+    /// Iterates over all stored cookies (tests and forensics).
+    pub fn iter(&self) -> impl Iterator<Item = &Cookie> {
+        self.cookies.iter()
+    }
+
+    // ------------------------------------------------------------------
+    // Change log (CookieStore `change` event substrate)
+    // ------------------------------------------------------------------
+
+    /// Total number of change records so far. Use as a cursor for
+    /// [`CookieJar::changes_since`].
+    pub fn change_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// All change records.
+    pub fn changes(&self) -> &[CookieChange] {
+        &self.changes
+    }
+
+    /// Change records appended since `cursor` (a previous
+    /// [`CookieJar::change_count`] value). Out-of-range cursors yield an
+    /// empty slice.
+    pub fn changes_since(&self, cursor: usize) -> &[CookieChange] {
+        self.changes.get(cursor..).unwrap_or(&[])
+    }
+
+    // ------------------------------------------------------------------
+    // Storage
+    // ------------------------------------------------------------------
+
+    /// Stores a cookie arriving on an HTTP response for `url` (the analog
+    /// of processing a `Set-Cookie` header).
+    pub fn set_from_header(&mut self, sc: &SetCookie, url: &Url, now_ms: i64) -> Result<(), SetCookieError> {
+        self.store(sc, url, now_ms, true)
+    }
+
+    /// Stores a cookie written through `document.cookie = "…"` or
+    /// `cookieStore.set(…)` on the document at `url`.
+    ///
+    /// Returns the stored cookie on success so instrumentation can log the
+    /// exact stored form.
+    pub fn set_document_cookie(&mut self, raw: &str, url: &Url, now_ms: i64) -> Result<Cookie, SetCookieError> {
+        let sc = parse_set_cookie(raw).ok_or(SetCookieError::Unparseable)?;
+        self.store(&sc, url, now_ms, false)?;
+        // store() succeeded, so the cookie it stored is the last match.
+        let host = url.host_str();
+        let c = self
+            .cookies
+            .iter()
+            .rev()
+            .find(|c| c.name == sc.name && c.domain_matches(&host))
+            .cloned()
+            .expect("cookie just stored");
+        Ok(c)
+    }
+
+    fn store(&mut self, sc: &SetCookie, url: &Url, now_ms: i64, http_api: bool) -> Result<(), SetCookieError> {
+        let host = url.host_str();
+        if !http_api && sc.http_only {
+            return Err(SetCookieError::HttpOnlyFromScript);
+        }
+        if sc.secure && url.scheme != "https" {
+            return Err(SetCookieError::SecureFromInsecure);
+        }
+        // RFC 6265bis §4.1.3 name-prefix contracts (checked
+        // case-insensitively, as modern browsers do).
+        let lower_name = sc.name.to_ascii_lowercase();
+        if lower_name.starts_with("__secure-") && !(sc.secure && url.scheme == "https") {
+            return Err(SetCookieError::InvalidPrefix);
+        }
+        if lower_name.starts_with("__host-") {
+            let path_ok = sc.path.as_deref() == Some("/");
+            if !(sc.secure && url.scheme == "https" && sc.domain.is_none() && path_ok) {
+                return Err(SetCookieError::InvalidPrefix);
+            }
+        }
+        if let Some(d) = &sc.domain {
+            if psl::is_public_suffix(d) && !host.eq_ignore_ascii_case(d) {
+                return Err(SetCookieError::PublicSuffixDomain);
+            }
+            if !cg_url::host::domain_match(&host, d) {
+                return Err(SetCookieError::DomainMismatch);
+            }
+        }
+        let cookie = Cookie::from_set_cookie(sc, &host, &default_path(&url.path), now_ms);
+
+        // Replace any cookie with the same (name, domain, path) identity.
+        if let Some(existing) = self
+            .cookies
+            .iter_mut()
+            .find(|c| c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path)
+        {
+            if existing.http_only && !http_api {
+                return Err(SetCookieError::OverwritesHttpOnly);
+            }
+            // Creation time is preserved on replacement (RFC 6265 §5.3.11.3).
+            let created = existing.created_at_ms;
+            *existing = cookie;
+            existing.created_at_ms = created;
+            let (name, value, http_only) =
+                (existing.name.clone(), existing.value.clone(), existing.http_only);
+            self.changes.push(CookieChange {
+                name,
+                value,
+                cause: ChangeCause::Replaced,
+                http_only,
+                at_ms: now_ms,
+            });
+        } else {
+            self.changes.push(CookieChange {
+                name: cookie.name.clone(),
+                value: cookie.value.clone(),
+                cause: ChangeCause::Created,
+                http_only: cookie.http_only,
+                at_ms: now_ms,
+            });
+            self.cookies.push(cookie);
+            self.evict_if_needed(&host, now_ms);
+        }
+        Ok(())
+    }
+
+    /// Expires a cookie immediately (what `cookieStore.delete` and the
+    /// `expires-in-the-past` JS idiom do). Returns true when a visible
+    /// cookie was removed.
+    pub fn delete(&mut self, name: &str, url: &Url, now_ms: i64) -> bool {
+        let host = url.host_str();
+        let before = self.cookies.len();
+        let changes = &mut self.changes;
+        self.cookies.retain(|c| {
+            let hit = c.name == name
+                && c.domain_matches(&host)
+                && c.path_matches(&url.path)
+                && !c.is_expired(now_ms);
+            if hit {
+                changes.push(CookieChange {
+                    name: c.name.clone(),
+                    value: c.value.clone(),
+                    cause: ChangeCause::Deleted,
+                    http_only: c.http_only,
+                    at_ms: now_ms,
+                });
+            }
+            !hit
+        });
+        before != self.cookies.len()
+    }
+
+    /// Drops expired cookies.
+    pub fn purge_expired(&mut self, now_ms: i64) {
+        let changes = &mut self.changes;
+        self.cookies.retain(|c| {
+            if c.is_expired(now_ms) {
+                changes.push(CookieChange {
+                    name: c.name.clone(),
+                    value: c.value.clone(),
+                    cause: ChangeCause::Expired,
+                    http_only: c.http_only,
+                    at_ms: now_ms,
+                });
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn evict_if_needed(&mut self, host: &str, now_ms: i64) {
+        let domain_key = psl::registrable_domain(host).unwrap_or_else(|| host.to_string());
+        let count = self
+            .cookies
+            .iter()
+            .filter(|c| psl::registrable_domain(&c.domain).as_deref() == Some(domain_key.as_str()))
+            .count();
+        if count > MAX_COOKIES_PER_DOMAIN {
+            // Evict the oldest cookie for this registrable domain.
+            if let Some((idx, _)) = self
+                .cookies
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| psl::registrable_domain(&c.domain).as_deref() == Some(domain_key.as_str()))
+                .min_by_key(|(_, c)| c.created_at_ms)
+            {
+                let evicted = self.cookies.remove(idx);
+                self.changes.push(CookieChange {
+                    name: evicted.name,
+                    value: evicted.value,
+                    cause: ChangeCause::Evicted,
+                    http_only: evicted.http_only,
+                    at_ms: now_ms,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Retrieval
+    // ------------------------------------------------------------------
+
+    /// The cookies a script at `url`'s document can observe: domain- and
+    /// path-matching, unexpired, not `HttpOnly`, and `Secure` only when
+    /// the document is https. This is the raw jar view that
+    /// `document.cookie` serializes and that CookieGuard filters.
+    pub fn cookies_for_document(&self, url: &Url, now_ms: i64) -> Vec<Cookie> {
+        let mut matching: Vec<Cookie> = self
+            .cookies
+            .iter()
+            .filter(|c| {
+                !c.is_expired(now_ms)
+                    && !c.http_only
+                    && c.domain_matches(&url.host_str())
+                    && c.path_matches(&url.path)
+                    && (!c.secure || url.scheme == "https")
+            })
+            .cloned()
+            .collect();
+        sort_for_serialization(&mut matching);
+        matching
+    }
+
+    /// The `document.cookie` getter: `"a=1; b=2"`.
+    pub fn document_cookie(&self, url: &Url, now_ms: i64) -> String {
+        self.cookies_for_document(url, now_ms)
+            .iter()
+            .map(Cookie::pair)
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// The `Cookie:` header value attached to an HTTP request for `url`.
+    /// Unlike the document view, `HttpOnly` cookies are included — they
+    /// are invisible to scripts, not to the network.
+    pub fn cookie_header_for_request(&self, url: &Url, now_ms: i64) -> String {
+        let mut matching: Vec<Cookie> = self
+            .cookies
+            .iter()
+            .filter(|c| {
+                !c.is_expired(now_ms)
+                    && c.domain_matches(&url.host_str())
+                    && c.path_matches(&url.path)
+                    && (!c.secure || url.scheme == "https")
+            })
+            .cloned()
+            .collect();
+        sort_for_serialization(&mut matching);
+        matching.iter().map(Cookie::pair).collect::<Vec<_>>().join("; ")
+    }
+
+    /// The `Cookie:` header for a *subresource* request to `url` made
+    /// by a page whose top-level site is `top_level_site`, with RFC
+    /// 6265bis `SameSite` enforcement:
+    ///
+    /// * same-site requests (destination's registrable domain equals
+    ///   the top-level site) attach everything, like
+    ///   [`CookieJar::cookie_header_for_request`];
+    /// * cross-site requests attach only `SameSite=None; Secure`
+    ///   cookies. Unspecified `SameSite` defaults to `Lax` (the modern
+    ///   browser default), and `SameSite=None` without `Secure` is
+    ///   treated as `Lax` — both therefore stay home.
+    pub fn cookie_header_for_subresource(&self, url: &Url, top_level_site: &str, now_ms: i64) -> String {
+        let same_site = url
+            .registrable_domain()
+            .is_some_and(|d| d.eq_ignore_ascii_case(top_level_site));
+        if same_site {
+            return self.cookie_header_for_request(url, now_ms);
+        }
+        let mut matching: Vec<Cookie> = self
+            .cookies
+            .iter()
+            .filter(|c| {
+                !c.is_expired(now_ms)
+                    && c.domain_matches(&url.host_str())
+                    && c.path_matches(&url.path)
+                    && (!c.secure || url.scheme == "https")
+                    && c.same_site == Some(cg_http::SameSite::None)
+                    && c.secure
+            })
+            .cloned()
+            .collect();
+        sort_for_serialization(&mut matching);
+        matching.iter().map(Cookie::pair).collect::<Vec<_>>().join("; ")
+    }
+}
+
+/// RFC 6265 §5.4 step 2: longer paths first; among equal-length paths,
+/// earlier creation times first.
+fn sort_for_serialization(cookies: &mut [Cookie]) {
+    cookies.sort_by(|a, b| {
+        b.path
+            .len()
+            .cmp(&a.path.len())
+            .then(a.created_at_ms.cmp(&b.created_at_ms))
+            .then(a.name.cmp(&b.name))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn jar_with(raws: &[&str], at: &str) -> CookieJar {
+        let mut jar = CookieJar::new();
+        let u = url(at);
+        for (i, raw) in raws.iter().enumerate() {
+            jar.set_document_cookie(raw, &u, i as i64).unwrap();
+        }
+        jar
+    }
+
+    #[test]
+    fn document_cookie_serializes_in_order() {
+        let jar = jar_with(&["a=1", "b=2", "c=3"], "https://www.site.com/");
+        assert_eq!(jar.document_cookie(&url("https://www.site.com/"), 10), "a=1; b=2; c=3");
+    }
+
+    #[test]
+    fn longer_path_sorts_first() {
+        let u = url("https://site.com/a/b/page");
+        let mut jar = CookieJar::new();
+        jar.set_document_cookie("root=1; Path=/", &u, 0).unwrap();
+        jar.set_document_cookie("deep=2; Path=/a/b", &u, 1).unwrap();
+        assert_eq!(jar.document_cookie(&u, 10), "deep=2; root=1");
+    }
+
+    #[test]
+    fn http_only_invisible_to_scripts_but_sent_on_requests() {
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        let sc = cg_http::parse_set_cookie("sid=secret; HttpOnly").unwrap();
+        jar.set_from_header(&sc, &u, 0).unwrap();
+        assert_eq!(jar.document_cookie(&u, 1), "");
+        assert_eq!(jar.cookie_header_for_request(&u, 1), "sid=secret");
+    }
+
+    #[test]
+    fn script_cannot_create_or_overwrite_httponly() {
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        assert_eq!(
+            jar.set_document_cookie("x=1; HttpOnly", &u, 0).unwrap_err(),
+            SetCookieError::HttpOnlyFromScript
+        );
+        let sc = cg_http::parse_set_cookie("sid=secret; HttpOnly").unwrap();
+        jar.set_from_header(&sc, &u, 0).unwrap();
+        assert_eq!(
+            jar.set_document_cookie("sid=stolen", &u, 1).unwrap_err(),
+            SetCookieError::OverwritesHttpOnly
+        );
+        assert_eq!(jar.cookie_header_for_request(&u, 2), "sid=secret");
+    }
+
+    #[test]
+    fn domain_attribute_validation() {
+        let u = url("https://www.site.com/");
+        let mut jar = CookieJar::new();
+        assert_eq!(
+            jar.set_document_cookie("a=1; Domain=other.com", &u, 0).unwrap_err(),
+            SetCookieError::DomainMismatch
+        );
+        assert_eq!(
+            jar.set_document_cookie("a=1; Domain=com", &u, 0).unwrap_err(),
+            SetCookieError::PublicSuffixDomain
+        );
+        jar.set_document_cookie("a=1; Domain=site.com", &u, 0).unwrap();
+        assert_eq!(jar.document_cookie(&url("https://api.site.com/"), 1), "a=1");
+    }
+
+    #[test]
+    fn secure_requires_https() {
+        let mut jar = CookieJar::new();
+        assert_eq!(
+            jar.set_document_cookie("a=1; Secure", &url("http://site.com/"), 0).unwrap_err(),
+            SetCookieError::SecureFromInsecure
+        );
+        jar.set_document_cookie("a=1; Secure", &url("https://site.com/"), 0).unwrap();
+        assert_eq!(jar.document_cookie(&url("http://site.com/"), 1), "");
+        assert_eq!(jar.document_cookie(&url("https://site.com/"), 1), "a=1");
+    }
+
+    #[test]
+    fn delete_removes_visible_cookie() {
+        let u = url("https://site.com/");
+        let mut jar = jar_with(&["a=1", "b=2"], "https://site.com/");
+        assert!(jar.delete("a", &u, 10));
+        assert!(!jar.delete("a", &u, 10));
+        assert_eq!(jar.document_cookie(&u, 10), "b=2");
+    }
+
+    #[test]
+    fn replacement_preserves_creation_time() {
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        jar.set_document_cookie("a=1", &u, 5).unwrap();
+        jar.set_document_cookie("b=2", &u, 6).unwrap();
+        jar.set_document_cookie("a=99", &u, 100).unwrap();
+        // "a" keeps its original creation time, so it still sorts first.
+        assert_eq!(jar.document_cookie(&u, 200), "a=99; b=2");
+    }
+
+    #[test]
+    fn eviction_caps_per_domain() {
+        let u = url("https://big.com/");
+        let mut jar = CookieJar::new();
+        for i in 0..(MAX_COOKIES_PER_DOMAIN + 20) {
+            jar.set_document_cookie(&format!("c{i}=v"), &u, i as i64).unwrap();
+        }
+        assert!(jar.len() <= MAX_COOKIES_PER_DOMAIN + 1);
+        // The earliest cookies were evicted.
+        assert!(!jar.document_cookie(&u, 0).contains("c0=v"));
+    }
+
+    #[test]
+    fn purge_expired_drops_cookies() {
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        jar.set_document_cookie("a=1; Max-Age=1", &u, 0).unwrap();
+        jar.set_document_cookie("b=2", &u, 0).unwrap();
+        jar.purge_expired(2_000);
+        assert_eq!(jar.len(), 1);
+    }
+
+    #[test]
+    fn subdomain_cannot_read_host_only_cookie_of_parent() {
+        let mut jar = CookieJar::new();
+        jar.set_document_cookie("ho=1", &url("https://site.com/"), 0).unwrap();
+        assert_eq!(jar.document_cookie(&url("https://sub.site.com/"), 1), "");
+    }
+
+    // ------------------------------------------------------------------
+    // RFC 6265bis: name prefixes and SameSite
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn secure_prefix_requires_secure_attribute() {
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        assert_eq!(
+            jar.set_document_cookie("__Secure-id=1", &u, 0).unwrap_err(),
+            SetCookieError::InvalidPrefix
+        );
+        jar.set_document_cookie("__Secure-id=1; Secure", &u, 0).unwrap();
+        assert_eq!(jar.document_cookie(&u, 1), "__Secure-id=1");
+        // Case-insensitive prefix check, like modern browsers.
+        assert_eq!(
+            jar.set_document_cookie("__secure-other=1", &u, 0).unwrap_err(),
+            SetCookieError::InvalidPrefix
+        );
+    }
+
+    #[test]
+    fn host_prefix_contract() {
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        // Missing Secure.
+        assert_eq!(
+            jar.set_document_cookie("__Host-sid=1; Path=/", &u, 0).unwrap_err(),
+            SetCookieError::InvalidPrefix
+        );
+        // Missing Path=/.
+        assert_eq!(
+            jar.set_document_cookie("__Host-sid=1; Secure", &u, 0).unwrap_err(),
+            SetCookieError::InvalidPrefix
+        );
+        // Domain attribute forbidden.
+        assert_eq!(
+            jar.set_document_cookie("__Host-sid=1; Secure; Path=/; Domain=site.com", &u, 0).unwrap_err(),
+            SetCookieError::InvalidPrefix
+        );
+        // The conforming form stores (and is host-only).
+        jar.set_document_cookie("__Host-sid=1; Secure; Path=/", &u, 0).unwrap();
+        assert_eq!(jar.document_cookie(&u, 1), "__Host-sid=1");
+        assert_eq!(jar.document_cookie(&url("https://sub.site.com/"), 1), "");
+    }
+
+    #[test]
+    fn host_prefix_rejected_on_http() {
+        let u = url("http://site.com/");
+        let mut jar = CookieJar::new();
+        // On http the Secure attribute itself is rejected first; either
+        // way the cookie must not store.
+        assert!(jar.set_document_cookie("__Host-sid=1; Secure; Path=/", &u, 0).is_err());
+        assert!(jar.is_empty());
+    }
+
+    #[test]
+    fn prefixed_rejections_emit_no_change() {
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        let _ = jar.set_document_cookie("__Host-x=1", &u, 0);
+        let _ = jar.set_document_cookie("__Secure-y=1", &u, 0);
+        assert_eq!(jar.change_count(), 0);
+    }
+
+    #[test]
+    fn same_site_subresource_attachment() {
+        let u = url("https://tracker.com/");
+        let mut jar = CookieJar::new();
+        // Four flavours on the tracker's own domain.
+        let hdr = |raw: &str| cg_http::parse_set_cookie(raw).unwrap();
+        jar.set_from_header(&hdr("none_ok=1; SameSite=None; Secure"), &u, 0).unwrap();
+        jar.set_from_header(&hdr("none_insecure=1; SameSite=None"), &u, 0).unwrap();
+        jar.set_from_header(&hdr("lax=1; SameSite=Lax"), &u, 0).unwrap();
+        jar.set_from_header(&hdr("unspecified=1"), &u, 0).unwrap();
+
+        // Cross-site: a page on site.com requests tracker.com.
+        let cross = jar.cookie_header_for_subresource(&u, "site.com", 1);
+        assert_eq!(cross, "none_ok=1", "only SameSite=None; Secure travels cross-site");
+
+        // Same-site: a tracker.com page requesting tracker.com gets all.
+        let same = jar.cookie_header_for_subresource(&u, "tracker.com", 1);
+        for name in ["none_ok", "none_insecure", "lax", "unspecified"] {
+            assert!(same.contains(name), "{name} missing from same-site header: {same}");
+        }
+    }
+
+    #[test]
+    fn same_site_strict_never_travels_cross_site() {
+        let u = url("https://idp.com/");
+        let mut jar = CookieJar::new();
+        let sc = cg_http::parse_set_cookie("session=tok; SameSite=Strict; Secure; HttpOnly").unwrap();
+        jar.set_from_header(&sc, &u, 0).unwrap();
+        assert_eq!(jar.cookie_header_for_subresource(&u, "shop.com", 1), "");
+        assert_eq!(jar.cookie_header_for_subresource(&u, "idp.com", 1), "session=tok");
+    }
+
+    // ------------------------------------------------------------------
+    // Change log
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn change_log_records_create_replace_delete() {
+        use crate::changes::ChangeCause;
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        jar.set_document_cookie("a=1", &u, 0).unwrap();
+        jar.set_document_cookie("a=2", &u, 1).unwrap();
+        jar.delete("a", &u, 2);
+        let causes: Vec<ChangeCause> = jar.changes().iter().map(|c| c.cause).collect();
+        assert_eq!(causes, vec![ChangeCause::Created, ChangeCause::Replaced, ChangeCause::Deleted]);
+        assert_eq!(jar.changes()[1].value, "2");
+        assert!(jar.changes()[2].is_removal());
+    }
+
+    #[test]
+    fn change_cursor_yields_only_new_records() {
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        jar.set_document_cookie("a=1", &u, 0).unwrap();
+        let cursor = jar.change_count();
+        assert!(jar.changes_since(cursor).is_empty());
+        jar.set_document_cookie("b=2", &u, 1).unwrap();
+        let fresh = jar.changes_since(cursor);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].name, "b");
+        // Out-of-range cursors are harmless.
+        assert!(jar.changes_since(cursor + 100).is_empty());
+    }
+
+    #[test]
+    fn failed_sets_emit_no_change() {
+        let u = url("https://www.site.com/");
+        let mut jar = CookieJar::new();
+        assert!(jar.set_document_cookie("a=1; Domain=other.com", &u, 0).is_err());
+        assert!(jar.set_document_cookie("x=1; HttpOnly", &u, 0).is_err());
+        assert_eq!(jar.change_count(), 0);
+    }
+
+    #[test]
+    fn httponly_changes_are_flagged() {
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        let sc = cg_http::parse_set_cookie("sid=secret; HttpOnly").unwrap();
+        jar.set_from_header(&sc, &u, 0).unwrap();
+        assert_eq!(jar.change_count(), 1);
+        assert!(jar.changes()[0].http_only);
+    }
+
+    #[test]
+    fn expiry_purge_emits_expired_changes() {
+        use crate::changes::ChangeCause;
+        let u = url("https://site.com/");
+        let mut jar = CookieJar::new();
+        jar.set_document_cookie("temp=1; Max-Age=1", &u, 0).unwrap();
+        jar.purge_expired(5_000);
+        let last = jar.changes().last().unwrap();
+        assert_eq!(last.cause, ChangeCause::Expired);
+        assert_eq!(last.name, "temp");
+    }
+
+    #[test]
+    fn eviction_emits_evicted_change() {
+        use crate::changes::ChangeCause;
+        let u = url("https://big.com/");
+        let mut jar = CookieJar::new();
+        for i in 0..(MAX_COOKIES_PER_DOMAIN + 1) {
+            jar.set_document_cookie(&format!("c{i}=v"), &u, i as i64).unwrap();
+        }
+        assert!(jar.changes().iter().any(|c| c.cause == ChangeCause::Evicted && c.name == "c0"));
+    }
+}

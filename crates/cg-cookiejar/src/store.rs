@@ -1,0 +1,215 @@
+//! The `CookieStore` API analog: structured, promise-based cookie access.
+//!
+//! The paper (§2.3, §5.2) measures this newer API separately from
+//! `document.cookie` and finds it on only 2.8% of sites, dominated by two
+//! cookies (`_awl`, `keep_alive`). The simulator exposes the same four
+//! operations the paper's extension wraps: `get`, `getAll`, `set`,
+//! `delete`. "Promises" are modelled by the event loop in `cg-script`
+//! scheduling the callback as a microtask; this module only provides the
+//! synchronous storage semantics.
+
+use crate::cookie::Cookie;
+use crate::jar::{CookieJar, SetCookieError};
+use cg_http::SameSite;
+use cg_url::Url;
+use serde::{Deserialize, Serialize};
+
+/// The structured cookie object `cookieStore.get`/`getAll` resolve with —
+/// a mirror of the web platform's `CookieListItem`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CookieListItem {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// Domain, or `None` for host-only cookies (matching the web API,
+    /// which reports `null`).
+    pub domain: Option<String>,
+    /// Path.
+    pub path: String,
+    /// Expiry in unix ms, `None` for session cookies.
+    pub expires: Option<i64>,
+    /// Whether the cookie is `Secure`.
+    pub secure: bool,
+    /// `SameSite`, defaulting to `Strict` like the real API reports.
+    pub same_site: Option<SameSite>,
+}
+
+impl CookieListItem {
+    fn from_cookie(c: &Cookie) -> CookieListItem {
+        CookieListItem {
+            name: c.name.clone(),
+            value: c.value.clone(),
+            domain: if c.host_only { None } else { Some(c.domain.clone()) },
+            path: c.path.clone(),
+            expires: c.expires_ms,
+            secure: c.secure,
+            same_site: c.same_site,
+        }
+    }
+}
+
+/// Options accepted by `cookieStore.set` (the dictionary form).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetOptions {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// Optional domain (eTLD+1-scoped sharing).
+    pub domain: Option<String>,
+    /// Optional path (defaults to `/` — note: *not* the document default
+    /// path; the CookieStore spec always defaults to `/`).
+    pub path: Option<String>,
+    /// Optional expiry, unix ms.
+    pub expires: Option<i64>,
+    /// Optional SameSite.
+    pub same_site: Option<SameSite>,
+}
+
+/// A thin facade over [`CookieJar`] implementing CookieStore semantics.
+///
+/// The store requires a secure context (https), like the real API.
+pub struct CookieStore<'a> {
+    jar: &'a mut CookieJar,
+    document_url: Url,
+}
+
+impl<'a> CookieStore<'a> {
+    /// Binds the store to a jar and a document. Returns `None` when the
+    /// document is not a secure context, mirroring the API's availability.
+    pub fn open(jar: &'a mut CookieJar, document_url: &Url) -> Option<CookieStore<'a>> {
+        if document_url.scheme != "https" {
+            return None;
+        }
+        Some(CookieStore { jar, document_url: document_url.clone() })
+    }
+
+    /// `cookieStore.get(name)` — the first matching cookie.
+    pub fn get(&self, name: &str, now_ms: i64) -> Option<CookieListItem> {
+        self.jar
+            .cookies_for_document(&self.document_url, now_ms)
+            .iter()
+            .find(|c| c.name == name)
+            .map(CookieListItem::from_cookie)
+    }
+
+    /// `cookieStore.getAll()` — every script-visible cookie, structured.
+    pub fn get_all(&self, now_ms: i64) -> Vec<CookieListItem> {
+        self.jar
+            .cookies_for_document(&self.document_url, now_ms)
+            .iter()
+            .map(CookieListItem::from_cookie)
+            .collect()
+    }
+
+    /// `cookieStore.set(options)` (or the two-argument shorthand).
+    pub fn set(&mut self, opts: &SetOptions, now_ms: i64) -> Result<(), SetCookieError> {
+        let mut raw = format!("{}={}", opts.name, opts.value);
+        if let Some(d) = &opts.domain {
+            raw.push_str("; Domain=");
+            raw.push_str(d);
+        }
+        // CookieStore defaults the path to "/" (unlike document.cookie).
+        raw.push_str("; Path=");
+        raw.push_str(opts.path.as_deref().unwrap_or("/"));
+        if let Some(e) = opts.expires {
+            raw.push_str(&format!("; Expires=@{e}"));
+        }
+        if let Some(ss) = opts.same_site {
+            raw.push_str(&format!("; SameSite={ss}"));
+        }
+        self.jar.set_document_cookie(&raw, &self.document_url, now_ms).map(|_| ())
+    }
+
+    /// `cookieStore.delete(name)`.
+    pub fn delete(&mut self, name: &str, now_ms: i64) -> bool {
+        self.jar.delete(name, &self.document_url, now_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn requires_secure_context() {
+        let mut jar = CookieJar::new();
+        assert!(CookieStore::open(&mut jar, &url("http://site.com/")).is_none());
+        assert!(CookieStore::open(&mut jar, &url("https://site.com/")).is_some());
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut jar = CookieJar::new();
+        let u = url("https://shop.example/");
+        let mut store = CookieStore::open(&mut jar, &u).unwrap();
+        store
+            .set(
+                &SetOptions {
+                    name: "keep_alive".into(),
+                    value: "tab1:1".into(),
+                    expires: Some(60_000),
+                    ..SetOptions::default()
+                },
+                0,
+            )
+            .unwrap();
+        let item = store.get("keep_alive", 1).unwrap();
+        assert_eq!(item.value, "tab1:1");
+        assert_eq!(item.path, "/");
+        assert_eq!(item.expires, Some(60_000));
+        assert_eq!(item.domain, None); // host-only reports null domain
+    }
+
+    #[test]
+    fn get_all_returns_structured_list() {
+        let mut jar = CookieJar::new();
+        let u = url("https://site.com/");
+        jar.set_document_cookie("_awl=1.1746838827.5-abc", &u, 0).unwrap();
+        jar.set_document_cookie("other=x", &u, 1).unwrap();
+        let store = CookieStore::open(&mut jar, &u).unwrap();
+        let all = store.get_all(2);
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().any(|c| c.name == "_awl"));
+    }
+
+    #[test]
+    fn delete_expires_cookie() {
+        let mut jar = CookieJar::new();
+        let u = url("https://site.com/");
+        jar.set_document_cookie("gone=1", &u, 0).unwrap();
+        let mut store = CookieStore::open(&mut jar, &u).unwrap();
+        assert!(store.delete("gone", 1));
+        assert!(store.get("gone", 2).is_none());
+    }
+
+    #[test]
+    fn domain_scoped_set() {
+        let mut jar = CookieJar::new();
+        let u = url("https://www.site.com/");
+        let mut store = CookieStore::open(&mut jar, &u).unwrap();
+        store
+            .set(
+                &SetOptions { name: "shared".into(), value: "1".into(), domain: Some("site.com".into()), ..SetOptions::default() },
+                0,
+            )
+            .unwrap();
+        let item = store.get("shared", 1).unwrap();
+        assert_eq!(item.domain.as_deref(), Some("site.com"));
+        // Visible from a sibling subdomain too.
+        assert_eq!(jar.document_cookie(&url("https://api.site.com/"), 1), "shared=1");
+    }
+
+    #[test]
+    fn get_missing_returns_none() {
+        let mut jar = CookieJar::new();
+        let u = url("https://site.com/");
+        let store = CookieStore::open(&mut jar, &u).unwrap();
+        assert!(store.get("nope", 0).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! DOM elements with ownership tracking.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an element within its document's arena.
+pub type ElementId = usize;
+
+/// The kinds of mutation a script can apply to an element — the taxonomy
+/// of the paper's §8 pilot (content, style, attributes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElementMutation {
+    /// `innerText` / `innerHTML` changes.
+    Content,
+    /// CSS / style changes.
+    Style,
+    /// Attribute or class changes (e.g. `src`).
+    Attribute,
+    /// Element removal.
+    Remove,
+    /// New element insertion.
+    Insert,
+}
+
+/// A DOM element. The simulator tracks just enough structure for the
+/// cross-domain DOM-manipulation pilot: identity, tag, a content string,
+/// and which domain owns (created or legitimately manages) the node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Element {
+    /// Arena id.
+    pub id: ElementId,
+    /// Tag name, lowercased (`div`, `img`, `script`, …).
+    pub tag: String,
+    /// The `id` attribute, if any.
+    pub dom_id: Option<String>,
+    /// Class list.
+    pub classes: Vec<String>,
+    /// Flattened text/markup content.
+    pub content: String,
+    /// Inline style string.
+    pub style: String,
+    /// The eTLD+1 of the party that created the element: the site domain
+    /// for parser-inserted markup, or the injecting script's domain.
+    pub owner_domain: String,
+    /// Parent element, if any.
+    pub parent: Option<ElementId>,
+    /// Whether the element has been removed from the tree.
+    pub detached: bool,
+}
+
+impl Element {
+    /// Creates an element owned by `owner_domain`.
+    pub fn new(id: ElementId, tag: &str, owner_domain: &str) -> Element {
+        Element {
+            id,
+            tag: tag.to_ascii_lowercase(),
+            dom_id: None,
+            classes: Vec::new(),
+            content: String::new(),
+            style: String::new(),
+            owner_domain: owner_domain.to_string(),
+            parent: None,
+            detached: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_tag() {
+        let e = Element::new(0, "DIV", "site.com");
+        assert_eq!(e.tag, "div");
+        assert_eq!(e.owner_domain, "site.com");
+        assert!(!e.detached);
+    }
+}

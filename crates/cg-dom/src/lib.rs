@@ -1,0 +1,25 @@
+//! DOM-lite: the document structures the measurement and defense reason
+//! about.
+//!
+//! The paper's threat model (§3, Figure 1) is drawn on the DOM: scripts in
+//! the *main frame* share every main-frame resource (cookie jar, DOM,
+//! global namespace) regardless of where they were fetched from, while
+//! cross-origin *iframes* are isolated by SOP. This crate models exactly
+//! that topology:
+//!
+//! * a [`Document`] per frame, with the main frame distinguished;
+//! * [`ScriptNode`]s with their source URL (or inline), how they were
+//!   included (directly via markup or injected by another script — the
+//!   paper finds indirect inclusions outnumber direct ones 2.5×), and the
+//!   resulting inclusion chain;
+//! * [`Element`]s with an *owner* (the domain of the script that created
+//!   or last modified them), backing the §8 pilot measurement of
+//!   cross-domain DOM manipulation.
+
+pub mod document;
+pub mod element;
+pub mod script_node;
+
+pub use document::{Document, FrameKind};
+pub use element::{Element, ElementId, ElementMutation};
+pub use script_node::{InclusionKind, ScriptId, ScriptNode, ScriptSource};

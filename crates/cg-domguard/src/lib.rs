@@ -1,0 +1,384 @@
+//! **DomGuard** — per-script-origin isolation of the main frame's DOM.
+//!
+//! The paper's §8 pilot finds cross-domain DOM modification on 9.4% of
+//! sites — third-party scripts editing content, styles, attributes, or
+//! removing elements they do not own — and calls for "a targeted defense
+//! mechanism to mitigate this behavior". This crate is that mechanism,
+//! built on the same ownership model as CookieGuard:
+//!
+//! * every element records the eTLD+1 of the party that created it
+//!   (`cg_dom::Element::owner_domain`: the site for parser-inserted
+//!   markup, the injecting script's domain for script-created nodes);
+//! * a [`DomGuard`] authorizes each mutation against that ownership:
+//!   scripts may freely mutate **their own** elements, the **site
+//!   owner's** scripts may mutate anything, and — with entity grouping —
+//!   same-organization domains share access;
+//! * inline scripts follow the same strict/relaxed dichotomy as
+//!   CookieGuard ([`InlinePolicy`]).
+//!
+//! Insertion of *new* elements is always allowed (creating your own node
+//! threatens nobody); the guard polices what happens to nodes that
+//! already exist.
+//!
+//! # Example
+//!
+//! ```
+//! use cg_domguard::{DomGuard, DomGuardConfig, MutationKind};
+//! use cookieguard_core::Caller;
+//!
+//! let mut guard = DomGuard::new(DomGuardConfig::strict(), "shop.example");
+//!
+//! // An ad script may restyle its own ad slot…
+//! let ads = Caller::external("ads.example.net");
+//! assert!(guard.authorize(&ads, "ads.example.net", MutationKind::Style).is_allow());
+//!
+//! // …but not rewrite the site's own markup.
+//! assert!(!guard.authorize(&ads, "shop.example", MutationKind::Content).is_allow());
+//!
+//! // The site owner edits everything.
+//! let owner = Caller::external("shop.example");
+//! assert!(guard.authorize(&owner, "ads.example.net", MutationKind::Remove).is_allow());
+//! ```
+
+use cg_entity::EntityMap;
+use cookieguard_core::{AccessDecision, AllowReason, BlockReason, Caller, InlinePolicy};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The mutation kinds the guard distinguishes — the §8 pilot's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MutationKind {
+    /// `innerText` / `innerHTML` changes.
+    Content,
+    /// CSS / style changes.
+    Style,
+    /// Attribute or class changes.
+    Attribute,
+    /// Element removal.
+    Remove,
+}
+
+/// DomGuard's policy knobs — deliberately parallel to
+/// [`cookieguard_core::GuardConfig`] so a deployment can share one
+/// configuration surface for both guards.
+#[derive(Debug, Clone)]
+pub struct DomGuardConfig {
+    /// Inline-script handling (same dichotomy as CookieGuard §6.1).
+    pub inline_policy: InlinePolicy,
+    /// When present, same-organization domains share DOM access.
+    pub entity_map: Option<EntityMap>,
+    /// Domains granted full DOM access (site-operator escape hatch).
+    pub whitelist: HashSet<String>,
+    /// Kinds the guard enforces. Site operators can e.g. police only
+    /// `Content` and `Remove` (defacement/ad-fraud) while tolerating
+    /// style/attribute tweaks from A/B-testing vendors.
+    pub enforced_kinds: HashSet<MutationKind>,
+}
+
+impl DomGuardConfig {
+    /// Enforce everything, strict inline handling, no grouping.
+    pub fn strict() -> DomGuardConfig {
+        DomGuardConfig {
+            inline_policy: InlinePolicy::Strict,
+            entity_map: None,
+            whitelist: HashSet::new(),
+            enforced_kinds: [
+                MutationKind::Content,
+                MutationKind::Style,
+                MutationKind::Attribute,
+                MutationKind::Remove,
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// Strict enforcement of content changes and removals only — the
+    /// low-breakage profile (A/B-testing and personalization vendors
+    /// mostly touch style/attributes).
+    pub fn content_and_removal() -> DomGuardConfig {
+        DomGuardConfig {
+            enforced_kinds: [MutationKind::Content, MutationKind::Remove].into_iter().collect(),
+            ..DomGuardConfig::strict()
+        }
+    }
+
+    /// Relaxed inline handling.
+    pub fn relaxed() -> DomGuardConfig {
+        DomGuardConfig { inline_policy: InlinePolicy::Relaxed, ..DomGuardConfig::strict() }
+    }
+
+    /// Enables entity grouping with the given map.
+    pub fn with_entity_grouping(mut self, map: EntityMap) -> DomGuardConfig {
+        self.entity_map = Some(map);
+        self
+    }
+
+    /// Adds a domain to the full-access whitelist.
+    pub fn with_whitelisted(mut self, domain: &str) -> DomGuardConfig {
+        self.whitelist.insert(domain.to_ascii_lowercase());
+        self
+    }
+}
+
+impl Default for DomGuardConfig {
+    fn default() -> DomGuardConfig {
+        DomGuardConfig::strict()
+    }
+}
+
+/// Counters for everything the DOM guard decided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomGuardStats {
+    /// Mutations allowed (own elements, owner, entity, whitelist).
+    pub allowed: u64,
+    /// Cross-domain mutations blocked.
+    pub blocked: u64,
+    /// Mutations that passed because their kind is not enforced.
+    pub unenforced: u64,
+}
+
+/// The per-site DOM guard: one per top-level page visit.
+#[derive(Debug, Clone)]
+pub struct DomGuard {
+    config: DomGuardConfig,
+    site_domain: String,
+    stats: DomGuardStats,
+}
+
+impl DomGuard {
+    /// Creates a guard for a visit to `site_domain` under `config`.
+    pub fn new(config: DomGuardConfig, site_domain: &str) -> DomGuard {
+        DomGuard { config, site_domain: site_domain.to_ascii_lowercase(), stats: DomGuardStats::default() }
+    }
+
+    /// The guarded site.
+    pub fn site_domain(&self) -> &str {
+        &self.site_domain
+    }
+
+    /// Accumulated decision counters.
+    pub fn stats(&self) -> DomGuardStats {
+        self.stats
+    }
+
+    /// Authorizes `caller` to apply a `kind` mutation to an element owned
+    /// by `owner_domain` and updates the counters. The decision mirrors
+    /// CookieGuard's cookie policy with element ownership in the role of
+    /// cookie creatorship.
+    pub fn authorize(&mut self, caller: &Caller, owner_domain: &str, kind: MutationKind) -> AccessDecision {
+        if !self.config.enforced_kinds.contains(&kind) {
+            self.stats.unenforced += 1;
+            return AccessDecision::Allow(AllowReason::NewCookie);
+        }
+        let decision = self.check(caller, owner_domain);
+        if decision.is_allow() {
+            self.stats.allowed += 1;
+        } else {
+            self.stats.blocked += 1;
+        }
+        decision
+    }
+
+    /// The pure policy decision (no counter updates).
+    pub fn check(&self, caller: &Caller, owner_domain: &str) -> AccessDecision {
+        let owner = owner_domain.to_ascii_lowercase();
+        let caller_domain = match &caller.domain {
+            Some(d) => d.clone(),
+            None => {
+                return match self.config.inline_policy {
+                    // Inline scripts own the "<inline>" pseudo-domain: they
+                    // may touch other inline-created nodes, nothing else.
+                    InlinePolicy::Strict if owner == "<inline>" => {
+                        AccessDecision::Allow(AllowReason::Creator)
+                    }
+                    InlinePolicy::Strict => AccessDecision::Block(BlockReason::InlineStrict),
+                    InlinePolicy::Relaxed => AccessDecision::Allow(AllowReason::RelaxedInline),
+                }
+            }
+        };
+        if caller_domain == self.site_domain {
+            return AccessDecision::Allow(AllowReason::SiteOwner);
+        }
+        if self.config.whitelist.contains(&caller_domain) {
+            return AccessDecision::Allow(AllowReason::Whitelisted);
+        }
+        if caller_domain == owner {
+            return AccessDecision::Allow(AllowReason::Creator);
+        }
+        if let Some(map) = &self.config.entity_map {
+            if map.contains(&caller_domain) && map.contains(&owner) && map.same_entity(&caller_domain, &owner) {
+                return AccessDecision::Allow(AllowReason::SameEntity);
+            }
+        }
+        AccessDecision::Block(BlockReason::CrossDomain)
+    }
+}
+
+/// Maps the script-engine mutation kinds onto the guard's taxonomy.
+pub fn mutation_kind_of(kind: cg_dom::ElementMutation) -> Option<MutationKind> {
+    match kind {
+        cg_dom::ElementMutation::Content => Some(MutationKind::Content),
+        cg_dom::ElementMutation::Style => Some(MutationKind::Style),
+        cg_dom::ElementMutation::Attribute => Some(MutationKind::Attribute),
+        cg_dom::ElementMutation::Remove => Some(MutationKind::Remove),
+        cg_dom::ElementMutation::Insert => None, // insertion is never policed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> DomGuard {
+        DomGuard::new(DomGuardConfig::strict(), "site.com")
+    }
+
+    #[test]
+    fn own_elements_freely_mutable() {
+        let mut g = guard();
+        let d = g.authorize(&Caller::external("widget.io"), "widget.io", MutationKind::Content);
+        assert_eq!(d, AccessDecision::Allow(AllowReason::Creator));
+        assert_eq!(g.stats().allowed, 1);
+    }
+
+    #[test]
+    fn cross_domain_mutation_blocked() {
+        let mut g = guard();
+        let d = g.authorize(&Caller::external("ads.net"), "site.com", MutationKind::Content);
+        assert_eq!(d, AccessDecision::Block(BlockReason::CrossDomain));
+        assert_eq!(g.stats().blocked, 1);
+    }
+
+    #[test]
+    fn site_owner_mutates_everything() {
+        let mut g = guard();
+        for kind in [MutationKind::Content, MutationKind::Style, MutationKind::Attribute, MutationKind::Remove] {
+            assert!(g.authorize(&Caller::external("site.com"), "tracker.com", kind).is_allow());
+        }
+        assert_eq!(g.stats().allowed, 4);
+    }
+
+    #[test]
+    fn inline_strict_owns_inline_nodes_only() {
+        let mut g = guard();
+        assert!(g.authorize(&Caller::inline(), "<inline>", MutationKind::Style).is_allow());
+        assert!(!g.authorize(&Caller::inline(), "site.com", MutationKind::Style).is_allow());
+        assert!(!g.authorize(&Caller::inline(), "ads.net", MutationKind::Style).is_allow());
+    }
+
+    #[test]
+    fn inline_relaxed_acts_as_first_party() {
+        let mut g = DomGuard::new(DomGuardConfig::relaxed(), "site.com");
+        assert!(g.authorize(&Caller::inline(), "ads.net", MutationKind::Content).is_allow());
+    }
+
+    #[test]
+    fn entity_grouping_shares_within_org() {
+        let mut g = DomGuard::new(
+            DomGuardConfig::strict().with_entity_grouping(cg_entity::builtin_entity_map()),
+            "site.com",
+        );
+        assert!(g.authorize(&Caller::external("fbcdn.net"), "facebook.net", MutationKind::Content).is_allow());
+        assert!(!g.authorize(&Caller::external("criteo.com"), "facebook.net", MutationKind::Content).is_allow());
+    }
+
+    #[test]
+    fn whitelist_grants_full_access() {
+        let mut g = DomGuard::new(DomGuardConfig::strict().with_whitelisted("optimize.io"), "site.com");
+        assert!(g.authorize(&Caller::external("optimize.io"), "site.com", MutationKind::Content).is_allow());
+    }
+
+    #[test]
+    fn unenforced_kinds_pass_and_are_counted() {
+        let mut g = DomGuard::new(DomGuardConfig::content_and_removal(), "site.com");
+        assert!(g.authorize(&Caller::external("abtest.io"), "site.com", MutationKind::Style).is_allow());
+        assert_eq!(g.stats().unenforced, 1);
+        assert!(!g.authorize(&Caller::external("abtest.io"), "site.com", MutationKind::Content).is_allow());
+        assert_eq!(g.stats().blocked, 1);
+    }
+
+    #[test]
+    fn mutation_kind_mapping() {
+        assert_eq!(mutation_kind_of(cg_dom::ElementMutation::Content), Some(MutationKind::Content));
+        assert_eq!(mutation_kind_of(cg_dom::ElementMutation::Remove), Some(MutationKind::Remove));
+        assert_eq!(mutation_kind_of(cg_dom::ElementMutation::Insert), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn domain_strategy() -> impl Strategy<Value = String> {
+        prop::sample::select(vec![
+            "site.com".to_string(),
+            "tracker.com".to_string(),
+            "ads.net".to_string(),
+            "facebook.net".to_string(),
+            "fbcdn.net".to_string(),
+            "<inline>".to_string(),
+        ])
+    }
+
+    fn kind_strategy() -> impl Strategy<Value = MutationKind> {
+        prop::sample::select(vec![
+            MutationKind::Content,
+            MutationKind::Style,
+            MutationKind::Attribute,
+            MutationKind::Remove,
+        ])
+    }
+
+    proptest! {
+        /// Strict, ungrouped: a mutation is allowed iff caller==owner or
+        /// caller is the site owner (the exact cross-domain predicate of
+        /// the §8 pilot).
+        #[test]
+        fn strict_policy_is_the_pilot_predicate(
+            caller in domain_strategy(),
+            owner in domain_strategy(),
+            kind in kind_strategy(),
+        ) {
+            prop_assume!(caller != "<inline>"); // inline handled separately
+            let mut g = DomGuard::new(DomGuardConfig::strict(), "site.com");
+            let allowed = g.authorize(&Caller::external(&caller), &owner, kind).is_allow();
+            prop_assert_eq!(allowed, caller == owner || caller == "site.com");
+        }
+
+        /// Entity grouping only ever adds visibility within an entity.
+        #[test]
+        fn grouping_monotone_and_entity_bounded(
+            caller in domain_strategy(),
+            owner in domain_strategy(),
+            kind in kind_strategy(),
+        ) {
+            prop_assume!(caller != "<inline>");
+            let entities = cg_entity::builtin_entity_map();
+            let mut strict = DomGuard::new(DomGuardConfig::strict(), "site.com");
+            let mut grouped = DomGuard::new(
+                DomGuardConfig::strict().with_entity_grouping(entities.clone()),
+                "site.com",
+            );
+            let s = strict.authorize(&Caller::external(&caller), &owner, kind).is_allow();
+            let g = grouped.authorize(&Caller::external(&caller), &owner, kind).is_allow();
+            if s {
+                prop_assert!(g, "grouping removed access {} -> {}", caller, owner);
+            }
+            if g && !s {
+                prop_assert!(entities.same_entity(&caller, &owner), "grouping leaked {} -> {}", caller, owner);
+            }
+        }
+
+        /// Decisions are pure: the counters change, the answer does not.
+        #[test]
+        fn decisions_are_stable(caller in domain_strategy(), owner in domain_strategy(), kind in kind_strategy()) {
+            prop_assume!(caller != "<inline>");
+            let mut g = DomGuard::new(DomGuardConfig::strict(), "site.com");
+            let first = g.authorize(&Caller::external(&caller), &owner, kind);
+            let second = g.authorize(&Caller::external(&caller), &owner, kind);
+            prop_assert_eq!(first, second);
+        }
+    }
+}

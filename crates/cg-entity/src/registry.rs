@@ -1,0 +1,159 @@
+//! The built-in entity registry: the organizations and domains that appear
+//! in the paper's tables and case studies, plus the vendors the synthetic
+//! ecosystem deploys. Mirrors the role of DuckDuckGo Tracker Radar's
+//! `entities/` dataset.
+
+use crate::map::EntityMap;
+
+/// `(entity, domains)` seed data. Domains are eTLD+1.
+///
+/// Sources: the entities named in Tables 2 and 5, Figures 2 and 8, and the
+/// case studies of §5.4–§5.5, with each organization's well-known script
+/// and CDN domains.
+pub const ENTITY_SEED: &[(&str, &[&str])] = &[
+    ("Google", &[
+        "google.com", "googletagmanager.com", "google-analytics.com", "doubleclick.net",
+        "googlesyndication.com", "googleadservices.com", "gstatic.com", "googleapis.com",
+        "youtube.com", "ggpht.com", "googleusercontent.com", "accounts-google.com",
+    ]),
+    ("Meta", &["facebook.com", "facebook.net", "fbcdn.net", "instagram.com", "meta.com"]),
+    ("Microsoft", &[
+        "microsoft.com", "live.com", "bing.com", "msn.com", "azureedge.net", "clarity.ms",
+        "linkedin.com", "licdn.com", "msauth.net",
+    ]),
+    ("Amazon", &["amazon.com", "amazon-adsystem.com", "media-amazon.com", "awsstatic.com"]),
+    ("Criteo", &["criteo.com", "criteo.net", "emailretargeting.com"]),
+    ("PubMatic", &["pubmatic.com"]),
+    ("OpenX", &["openx.net"]),
+    ("HubSpot", &[
+        "hubspot.com", "hsforms.net", "hscollectedforms.net", "hsleadflows.net",
+        "usemessages.com", "hs-scripts.com", "hs-analytics.net", "hubapi.com",
+    ]),
+    ("Yandex", &["yandex.ru", "yandex.net", "mc-yandex.ru", "ymetrica.com"]),
+    ("Pinterest", &["pinterest.com", "pinimg.com"]),
+    ("Adobe", &["adobe.com", "adobedtm.com", "omtrdc.net", "demdex.net", "everesttech.net"]),
+    ("Taboola", &["taboola.com", "taboolanews.com"]),
+    ("Outbrain", &["outbrain.com", "outbrainimg.com"]),
+    ("AdThrive", &["adthrive.com"]),
+    ("Mediavine", &["mediavine.com"]),
+    ("LiveIntent", &["liadm.com", "liveintent.com"]),
+    ("Lotame", &["crwdcntrl.net", "lotame.com"]),
+    ("Osano", &["osano.com"]),
+    ("OneTrust", &["cookielaw.org", "onetrust.com", "cookiepro.com"]),
+    ("CookieYes", &["cdn-cookieyes.com", "cookieyes.com"]),
+    ("Cookie-Script", &["cookie-script.com"]),
+    ("Cookiebot", &["cookiebot.com", "cybotcookiebot.com"]),
+    ("Civic Computing", &["civiccomputing.com"]),
+    ("Tealium", &["tiqcdn.com", "tealiumiq.com", "tealium.com"]),
+    ("Segment.io", &["segment.com", "segment.io", "cdn-segment.com"]),
+    ("Functional Software", &["sentry-cdn.com", "sentry.io"]),
+    ("Marketo", &["marketo.net", "marketo.com", "mktoresp.com"]),
+    ("Salesforce.com", &["salesforce.com", "pardot.com", "force.com", "krxd.net"]),
+    ("Snap", &["snapchat.com", "sc-static.net", "snap-dev.net"]),
+    ("TikTok", &["tiktok.com", "tiktokcdn.com", "analytics-tiktok.com"]),
+    ("X", &["x.com", "twitter.com", "twimg.com", "ads-twitter.com"]),
+    ("Shopify", &["shopify.com", "shopifycloud.com", "shopifycdn.com", "myshopify.com"]),
+    ("Admiral", &["getadmiral.com", "admiral-cdn.com"]),
+    ("Cloudflare", &["cloudflare.com", "cdnjs-cloudflare.com", "cloudflareinsights.com"]),
+    ("Fastly", &["fastly.net"]),
+    ("Akamai", &["akamaized.net", "akamai.net", "go-mpulse.net"]),
+    ("Oracle", &["bluekai.com", "addthis.com", "moatads.com"]),
+    ("Nielsen", &["imrworldwide.com", "nielsen.com"]),
+    ("comScore", &["scorecardresearch.com", "comscore.com"]),
+    ("Quantcast", &["quantserve.com", "quantcount.com"]),
+    ("The Trade Desk", &["adsrvr.org", "thetradedesk.com"]),
+    ("Magnite", &["rubiconproject.com", "magnite.com"]),
+    ("Index Exchange", &["casalemedia.com", "indexww.com"]),
+    ("ID5", &["id5-sync.com"]),
+    ("LiveRamp", &["rlcdn.com", "liveramp.com", "pippio.com"]),
+    ("33Across", &["33across.com"]),
+    ("Sharethrough", &["sharethrough.com"]),
+    ("Intergi Entertainment", &["intergi.com", "playwire.com"]),
+    ("New Relic", &["newrelic.com", "nr-data.net"]),
+    ("Dynatrace", &["dynatrace.com", "ruxit.com"]),
+    ("Hotjar", &["hotjar.com", "hotjar.io"]),
+    ("FullStory", &["fullstory.com"]),
+    ("Optimizely", &["optimizely.com", "optimizelyapis.com"]),
+    ("VWO", &["visualwebsiteoptimizer.com", "vwo.com"]),
+    ("Olark", &["olark.com"]),
+    ("Intercom", &["intercom.io", "intercomcdn.com"]),
+    ("Zendesk", &["zendesk.com", "zdassets.com"]),
+    ("Drift", &["drift.com", "driftt.com"]),
+    ("StatCounter", &["statcounter.com"]),
+    ("Matomo", &["matomo.cloud", "matomo.org"]),
+    ("Plausible", &["plausible.io"]),
+    ("Cxense", &["cxense.com"]),
+    ("Piano", &["piano.io", "npttech.com"]),
+    ("Ketch", &["ketchjs.com", "ketch.com"]),
+    ("GA Connector", &["gaconnector.com"]),
+    ("Yahoo Japan", &["yimg.jp", "yahoo.co.jp"]),
+    ("Yahoo", &["yahoo.com", "yimg.com", "adtechus.com"]),
+    ("Mail.ru", &["mail.ru", "imgsmail.ru", "top-fwz1.mail.ru"]),
+    ("Wordpress", &["wordpress.com", "wp.com", "gravatar.com"]),
+    ("Wix", &["wix.com", "wixstatic.com", "parastorage.com"]),
+    ("Squarespace", &["squarespace.com", "squarespace-cdn.com"]),
+    ("Okta", &["okta.com", "oktacdn.com"]),
+    ("Auth0", &["auth0.com", "auth0usercontent.com"]),
+    ("Ezoic", &["ezodn.com", "ezoic.com", "ezoic.net"]),
+    ("Freestar", &["pub.network", "freestar.com"]),
+    ("Mountain", &["mountain.com"]),
+    ("Script.ac", &["script.ac"]),
+    ("Envybox", &["envybox.io"]),
+    ("Mango Office", &["mango-office.ru"]),
+    ("Prettylittlething", &["prettylittlething.com"]),
+    ("WarnerMedia", &["cnn.com", "warnermedia.com", "turner.com"]),
+    ("Zoom", &["zoom.us", "zoomgov.com"]),
+    ("Gatehouse Media", &["gatehousemedia.com", "gannett-cdn.com"]),
+    ("AddShoppers", &["addshoppers.com", "shop.pe"]),
+    ("Attentive", &["attentivemobile.com", "attn.tv"]),
+    ("Klaviyo", &["klaviyo.com"]),
+    ("Mailchimp", &["mailchimp.com", "list-manage.com", "chimpstatic.com"]),
+    ("Braze", &["braze.com", "appboycdn.com"]),
+    ("OptiMonk", &["optimonk.com"]),
+];
+
+/// Builds the built-in entity map.
+pub fn builtin_entity_map() -> EntityMap {
+    let mut map = EntityMap::new();
+    for (entity, domains) in ENTITY_SEED {
+        for d in *domains {
+            map.insert(d, entity);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_has_no_duplicate_domains() {
+        let mut seen = std::collections::HashSet::new();
+        for (_, domains) in ENTITY_SEED {
+            for d in *domains {
+                assert!(seen.insert(*d), "domain {d} registered twice");
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_covers_table2_domains() {
+        let map = builtin_entity_map();
+        // Every owner domain from Table 2 must be attributable to an entity.
+        for d in [
+            "googletagmanager.com", "google-analytics.com", "openx.net", "pubmatic.com",
+            "facebook.net", "marketo.net", "yandex.ru", "crwdcntrl.net", "ketchjs.com",
+            "yimg.jp", "gaconnector.com", "statcounter.com",
+        ] {
+            assert!(map.contains(d), "missing {d}");
+        }
+    }
+
+    #[test]
+    fn linkedin_is_microsoft() {
+        // Table 2 lists Microsoft as a top exfiltrator via licdn.com scripts.
+        let map = builtin_entity_map();
+        assert_eq!(map.entity_of("licdn.com"), "Microsoft");
+    }
+}

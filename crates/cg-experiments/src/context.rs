@@ -1,0 +1,69 @@
+//! Shared experiment context: one crawl, many analyses.
+
+use cg_analysis::Dataset;
+use cg_browser::{crawl_range, VisitConfig};
+use cg_entity::EntityMap;
+use cg_filterlist::FilterEngine;
+use cg_webgen::{GenConfig, WebGenerator};
+
+/// Command-line-shaped options for the harness.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Number of ranked sites to generate/crawl.
+    pub sites: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> ExperimentOptions {
+        ExperimentOptions { sites: 20_000, seed: 0xC00C1E, threads: num_threads() }
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// The products of the §4 data-collection pipeline, shared by all §5
+/// experiments.
+pub struct CrawlContext {
+    /// The generator (registry, seeds).
+    pub gen: WebGenerator,
+    /// The analyzable dataset (complete visits only).
+    pub dataset: Dataset,
+    /// Entity map for aggregation.
+    pub entities: EntityMap,
+    /// Filter engine for ad/tracking classification.
+    pub engine: FilterEngine,
+    /// Visits attempted.
+    pub crawled: usize,
+}
+
+impl CrawlContext {
+    /// Generates the ecosystem and performs the regular (no-guard) crawl.
+    pub fn collect(opts: &ExperimentOptions) -> CrawlContext {
+        let cfg = if opts.sites >= 20_000 { GenConfig::default() } else { GenConfig::small(opts.sites) };
+        let gen = WebGenerator::new(cfg, opts.seed);
+        let engine = cg_analysis::build_filter_engine(gen.registry());
+        let entities = cg_entity::builtin_entity_map();
+        let (outcomes, summary) = crawl_range(&gen, &VisitConfig::regular(), 1, opts.sites, opts.threads);
+        let dataset = Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect());
+        CrawlContext { gen, dataset, entities, engine, crawled: summary.visited }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_collects_small_crawl() {
+        let ctx = CrawlContext::collect(&ExperimentOptions { sites: 50, seed: 1, threads: 2 });
+        assert_eq!(ctx.crawled, 50);
+        assert!(ctx.dataset.site_count() > 20);
+        assert!(ctx.dataset.site_count() < 50);
+    }
+}

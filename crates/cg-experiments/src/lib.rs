@@ -1,0 +1,27 @@
+//! The experiment harness: one entry point per table and figure of the
+//! paper, each printing the measured result next to the published value.
+//!
+//! Run `cg-experiments --exp all` for the full reproduction, or pick one
+//! of: `sec5_1`, `sec5_2`, `table1`, `table2`, `fig2`, `sec5_5`,
+//! `table5`, `fig8`, `sec5_6`, `sec8_dom`, `fig5`, `table3`, `table4`,
+//! `fig6`, `fig7`, `fig9`, `fig10`, `sec5_7`, `domguard`, plus the
+//! explicit-only `ablation`, `rollout`, `baselines` (the defense
+//! matrix: blocklist ± evasion, partitioning, CookieGraph-lite,
+//! CookieGuard), and `csp` (the §2.1 CSP gap). Scale with `--sites N`
+//! (default 20,000) and `--threads T`.
+
+pub mod ablation;
+pub mod baselines;
+pub mod context;
+pub mod evaluation;
+pub mod extensions;
+pub mod expectations;
+pub mod measurement;
+pub mod render;
+
+pub use ablation::run_ablation;
+pub use baselines::{run_baselines, run_csp_gap_exp};
+pub use context::{CrawlContext, ExperimentOptions};
+pub use evaluation::{run_fig5, run_table3, run_table4_and_figs};
+pub use extensions::{run_domguard, run_rollout, run_sec5_7};
+pub use measurement::run_measurement_experiments;

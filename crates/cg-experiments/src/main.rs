@@ -1,0 +1,174 @@
+//! CLI entry point: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cg-experiments --exp all --sites 20000 --threads 8 --seed 12648430
+//! cg-experiments --exp table1,fig2
+//! cg-experiments --exp table4 --sites 20000 --json out.json
+//! ```
+
+use cg_experiments::{
+    run_domguard, run_fig5, run_measurement_experiments, run_rollout, run_sec5_7, run_table3,
+    run_table4_and_figs, CrawlContext, ExperimentOptions,
+};
+
+const MEASUREMENT_EXPERIMENTS: &[&str] = &[
+    "crawl", "sec5_1", "sec5_2", "table1", "table2", "fig2", "sec5_5", "table5", "fig8", "sec5_6",
+    "sec8_dom",
+];
+const EVALUATION_EXPERIMENTS: &[&str] = &[
+    "fig5", "table3", "table4", "fig6", "fig7", "fig9", "fig10", "ablation", "sec5_7", "domguard",
+    "rollout", "baselines", "csp",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = ExperimentOptions::default();
+    let mut exps: Vec<String> = vec!["all".to_string()];
+    let mut json_path: Option<String> = None;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exps = args.get(i).map(|s| s.split(',').map(str::to_string).collect()).unwrap_or_default();
+            }
+            "--sites" => {
+                i += 1;
+                opts.sites = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(opts.sites);
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(opts.seed);
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(opts.threads);
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; see --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let wanted: Vec<&str> = exps.iter().map(String::as_str).collect();
+    let all = wanted.contains(&"all");
+    let wants_measurement = all || wanted.iter().any(|e| MEASUREMENT_EXPERIMENTS.contains(e));
+    let wants = |name: &str| all || wanted.contains(&name);
+
+    for e in &wanted {
+        if *e != "all" && !MEASUREMENT_EXPERIMENTS.contains(e) && !EVALUATION_EXPERIMENTS.contains(e) {
+            eprintln!("unknown experiment {e:?}; see --help");
+            std::process::exit(2);
+        }
+    }
+
+    println!(
+        "CookieGuard reproduction — sites={} seed={:#x} threads={}",
+        opts.sites, opts.seed, opts.threads
+    );
+
+    let mut json = serde_json::Map::new();
+
+    if wants_measurement {
+        eprintln!("[crawl] generating ecosystem and crawling {} sites…", opts.sites);
+        let ctx = CrawlContext::collect(&opts);
+        let results = run_measurement_experiments(&ctx, &wanted);
+        let mut v = serde_json::to_value(&results).expect("serialize");
+        // The per-event intent findings are bulky; store the summary only.
+        if let Some(obj) = v.get_mut("intents").and_then(|i| i.as_object_mut()) {
+            obj.remove("findings");
+        }
+        json.insert("measurement".into(), v);
+    }
+
+    if wants("fig5") {
+        eprintln!("[fig5] paired guarded/unguarded crawl…");
+        let r = run_fig5(&opts);
+        json.insert("fig5".into(), serde_json::to_value(&r).expect("serialize"));
+    }
+
+    if wants("ablation") && !wanted.contains(&"all") {
+        // Not part of --exp all (it is 5 extra crawls); run explicitly.
+        eprintln!("[ablation] five policy-variant crawls…");
+        let rows = cg_experiments::run_ablation(&opts);
+        json.insert("ablation".into(), serde_json::to_value(&rows).expect("serialize"));
+    }
+
+    if wants("sec5_7") {
+        eprintln!("[sec5_7] server-side tracking, paired crawl…");
+        let r = run_sec5_7(&opts);
+        json.insert("sec5_7".into(), serde_json::to_value(&r).expect("serialize"));
+    }
+
+    if wants("domguard") {
+        eprintln!("[domguard] DOM-isolation evaluation, three crawls…");
+        let r = run_domguard(&opts);
+        json.insert("domguard".into(), serde_json::to_value(&r).expect("serialize"));
+    }
+
+    if wants("baselines") && !wanted.contains(&"all") {
+        // Explicit-only: the matrix performs seven extra crawls.
+        eprintln!("[baselines] defense matrix (blocklist, partitioning, ML, guard)…");
+        let r = cg_experiments::run_baselines(&opts);
+        json.insert("baselines".into(), serde_json::to_value(&r).expect("serialize"));
+    }
+
+    if wants("csp") && !wanted.contains(&"all") {
+        // Explicit-only: four extra crawls.
+        eprintln!("[csp] §2.1 CSP-gap experiment…");
+        let r = cg_experiments::run_csp_gap_exp(&opts);
+        json.insert("csp".into(), serde_json::to_value(&r).expect("serialize"));
+    }
+
+    if wants("rollout") && !wanted.contains(&"all") {
+        // Not part of --exp all (several extra crawls); run explicitly.
+        eprintln!("[rollout] deployment ladder + preset frontier…");
+        let r = run_rollout(&opts);
+        json.insert("rollout".into(), serde_json::to_value(&r).expect("serialize"));
+    }
+
+    if wants("table3") {
+        eprintln!("[table3] breakage evaluation…");
+        let r = run_table3(&opts);
+        json.insert("table3".into(), serde_json::to_value(&r).expect("serialize"));
+    }
+
+    if wants("table4") || wants("fig6") || wants("fig7") || wants("fig9") || wants("fig10") {
+        eprintln!("[perf] paired timing measurement…");
+        let r = run_table4_and_figs(&opts, &wanted);
+        // The raw pair list is large; store the summaries only.
+        let mut v = serde_json::to_value(&r).expect("serialize");
+        if let Some(obj) = v.get_mut("report").and_then(|r| r.as_object_mut()) {
+            obj.remove("pairs");
+        }
+        json.insert("performance".into(), v);
+    }
+
+    if let Some(path) = json_path {
+        let out = serde_json::Value::Object(json);
+        std::fs::write(&path, serde_json::to_string_pretty(&out).expect("serialize"))
+            .unwrap_or_else(|e| eprintln!("failed to write {path}: {e}"));
+        println!("\nresults written to {path}");
+    }
+}
+
+fn print_help() {
+    println!("cg-experiments — regenerate the CookieGuard paper's tables and figures");
+    println!();
+    println!("USAGE: cg-experiments [--exp LIST] [--sites N] [--seed S] [--threads T] [--json PATH]");
+    println!();
+    println!("Experiments (comma-separated, default 'all'):");
+    println!("  measurement: {}", MEASUREMENT_EXPERIMENTS.join(", "));
+    println!("  evaluation:  {}", EVALUATION_EXPERIMENTS.join(", "));
+}

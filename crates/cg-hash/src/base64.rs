@@ -1,0 +1,104 @@
+//! Base64 (RFC 4648, standard alphabet) encode/decode.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as standard Base64 with `=` padding.
+pub fn b64encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(triple >> 6) as usize & 0x3f] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[triple as usize & 0x3f] as char } else { '=' });
+    }
+    out
+}
+
+/// Encodes without trailing padding (the form trackers put in URLs).
+pub fn b64encode_no_pad(data: &[u8]) -> String {
+    let mut s = b64encode(data);
+    while s.ends_with('=') {
+        s.pop();
+    }
+    s
+}
+
+/// Decodes standard Base64; padding optional. Returns `None` on any
+/// character outside the alphabet or an impossible length.
+pub fn b64decode(input: &str) -> Option<Vec<u8>> {
+    let trimmed = input.trim_end_matches('=');
+    let mut out = Vec::with_capacity(trimmed.len() * 3 / 4);
+    let mut buf: u32 = 0;
+    let mut bits = 0u32;
+    for c in trimmed.bytes() {
+        let v = decode_char(c)?;
+        buf = (buf << 6) | v as u32;
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((buf >> bits) as u8);
+        }
+    }
+    // A single leftover sextet (len % 4 == 1) is impossible.
+    if trimmed.len() % 4 == 1 {
+        return None;
+    }
+    Some(out)
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        let cases = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(b64encode(plain.as_bytes()), enc, "encode {plain:?}");
+            assert_eq!(b64decode(enc).unwrap(), plain.as_bytes(), "decode {enc:?}");
+        }
+    }
+
+    #[test]
+    fn no_pad_round_trip() {
+        assert_eq!(b64encode_no_pad(b"f"), "Zg");
+        assert_eq!(b64decode("Zg").unwrap(), b"f");
+        assert_eq!(b64decode("Zm9vYg").unwrap(), b"foob");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(b64decode("a"), None); // impossible length
+        assert_eq!(b64decode("ab!d"), None); // bad character
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(b64decode(&b64encode(&data)).unwrap(), data);
+    }
+}

@@ -1,0 +1,349 @@
+//! Content Security Policy — the `script-src` subset that governs
+//! script inclusion (§2.1).
+//!
+//! The paper's background observes that "CSP allows some control over
+//! script inclusion, [but] it does not regulate cookie access or define
+//! which scripts may read or modify cookies." To make that claim
+//! measurable, the simulator enforces a faithful `script-src` model at
+//! script-load time: a site can allowlist the vendors it intends to
+//! include, and everything the policy blocks never executes — yet every
+//! script the policy *allows* still enjoys full main-frame privileges.
+//!
+//! Supported grammar (the subset sites actually use for scripts):
+//! `default-src` fallback, `'self'`, `'none'`, `'unsafe-inline'`,
+//! `'nonce-…'`, scheme sources (`https:`), host sources with optional
+//! scheme, `*.` wildcard subdomains, optional port and path prefix, and
+//! the bare `*` wildcard.
+
+use cg_url::Url;
+use serde::{Deserialize, Serialize};
+
+/// One source expression in a `script-src` (or `default-src`) list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceExpr {
+    /// `'self'` — same origin as the protected document.
+    SelfSource,
+    /// `'unsafe-inline'` — allow inline scripts.
+    UnsafeInline,
+    /// `'nonce-<value>'` — allow scripts carrying this nonce.
+    Nonce(String),
+    /// A scheme source like `https:`.
+    Scheme(String),
+    /// A host source: optional scheme, host pattern (leading `*.` =
+    /// any subdomain), optional port, optional path prefix.
+    Host {
+        /// Required scheme, when given (`https://cdn.x.com`).
+        scheme: Option<String>,
+        /// Host pattern, lowercased; `*.example.com` matches any
+        /// subdomain of `example.com` (not the bare domain, per spec).
+        host: String,
+        /// Required port, when given.
+        port: Option<u16>,
+        /// Path prefix, when given (`/js/`).
+        path: Option<String>,
+    },
+    /// `*` — any source except data:/blob: style schemes.
+    Wildcard,
+}
+
+/// A parsed policy, reduced to script loading.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CspPolicy {
+    /// Effective `script-src` list (falls back to `default-src` when no
+    /// explicit `script-src` is present). Empty with
+    /// `explicit_none = false` means "no policy for scripts" (allow).
+    pub script_src: Vec<SourceExpr>,
+    /// True when the effective list was `'none'`.
+    pub explicit_none: bool,
+    /// Whether any script-governing directive was present at all.
+    pub governs_scripts: bool,
+}
+
+impl CspPolicy {
+    /// Parses a `Content-Security-Policy` header value. Unknown
+    /// directives and unparseable source expressions are skipped, as
+    /// browsers do. Never panics.
+    pub fn parse(header: &str) -> CspPolicy {
+        let mut script_src: Option<Vec<SourceExpr>> = None;
+        let mut default_src: Option<Vec<SourceExpr>> = None;
+        for directive in header.split(';') {
+            let mut tokens = directive.split_whitespace();
+            let Some(name) = tokens.next() else { continue };
+            let sources: Vec<&str> = tokens.collect();
+            match name.to_ascii_lowercase().as_str() {
+                // First directive of a name wins (spec: duplicates ignored).
+                "script-src" if script_src.is_none() => {
+                    script_src = Some(parse_sources(&sources));
+                }
+                "default-src" if default_src.is_none() => {
+                    default_src = Some(parse_sources(&sources));
+                }
+                _ => {}
+            }
+        }
+        let (effective, governs) = match (script_src, default_src) {
+            (Some(s), _) => (s, true),
+            (None, Some(d)) => (d, true),
+            (None, None) => (Vec::new(), false),
+        };
+        let explicit_none = governs && effective.is_empty();
+        CspPolicy { script_src: effective, explicit_none, governs_scripts: governs }
+    }
+
+    /// Whether inline scripts may execute under this policy.
+    pub fn allows_inline(&self) -> bool {
+        if !self.governs_scripts {
+            return true;
+        }
+        self.script_src
+            .iter()
+            .any(|s| matches!(s, SourceExpr::UnsafeInline))
+    }
+
+    /// Whether an external script at `script_url`, included by a
+    /// document at `document_url`, may load. `nonce` is the value of
+    /// the script element's `nonce` attribute, if any.
+    pub fn allows_external(&self, script_url: &Url, document_url: &Url, nonce: Option<&str>) -> bool {
+        if !self.governs_scripts {
+            return true;
+        }
+        if self.explicit_none {
+            return false;
+        }
+        self.script_src.iter().any(|src| match src {
+            SourceExpr::SelfSource => {
+                script_url.scheme == document_url.scheme
+                    && script_url.host_str().eq_ignore_ascii_case(&document_url.host_str())
+                    && script_url.effective_port() == document_url.effective_port()
+            }
+            SourceExpr::UnsafeInline => false,
+            SourceExpr::Nonce(n) => nonce == Some(n.as_str()),
+            SourceExpr::Scheme(s) => script_url.scheme.eq_ignore_ascii_case(s),
+            SourceExpr::Wildcard => true,
+            SourceExpr::Host { scheme, host, port, path } => {
+                if let Some(s) = scheme {
+                    if !script_url.scheme.eq_ignore_ascii_case(s) {
+                        return false;
+                    }
+                }
+                if let Some(p) = port {
+                    if script_url.effective_port() != *p {
+                        return false;
+                    }
+                }
+                if let Some(prefix) = path {
+                    if !script_url.path.starts_with(prefix.as_str()) {
+                        return false;
+                    }
+                }
+                host_matches(&script_url.host_str(), host)
+            }
+        })
+    }
+
+    /// True when the policy names this host anywhere in its source list
+    /// (diagnostics: "did the site allowlist its tracker?").
+    pub fn names_host(&self, host: &str) -> bool {
+        self.script_src.iter().any(|s| match s {
+            SourceExpr::Host { host: h, .. } => host_matches(host, h),
+            _ => false,
+        })
+    }
+}
+
+/// CSP host-source matching: exact (case-insensitive) or `*.`-wildcard
+/// subdomain matching. Per the spec, `*.example.com` does **not** match
+/// the bare `example.com`.
+fn host_matches(request_host: &str, pattern: &str) -> bool {
+    let request = request_host.to_ascii_lowercase();
+    let pattern = pattern.to_ascii_lowercase();
+    if let Some(base) = pattern.strip_prefix("*.") {
+        return request.len() > base.len() + 1
+            && request.ends_with(base)
+            && request.as_bytes()[request.len() - base.len() - 1] == b'.';
+    }
+    request == pattern
+}
+
+fn parse_sources(tokens: &[&str]) -> Vec<SourceExpr> {
+    let mut out = Vec::with_capacity(tokens.len());
+    for raw in tokens {
+        let t = raw.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let lower = t.to_ascii_lowercase();
+        match lower.as_str() {
+            "'none'" => return Vec::new(), // 'none' must be the only member
+            "'self'" => out.push(SourceExpr::SelfSource),
+            "'unsafe-inline'" => out.push(SourceExpr::UnsafeInline),
+            "*" => out.push(SourceExpr::Wildcard),
+            _ => {
+                if let Some(nonce) = lower.strip_prefix("'nonce-").and_then(|s| s.strip_suffix('\'')) {
+                    // Nonces are case-sensitive: recover from the raw token.
+                    let raw_nonce = &t[7..t.len() - 1];
+                    let _ = nonce;
+                    out.push(SourceExpr::Nonce(raw_nonce.to_string()));
+                } else if let Some(scheme) = lower.strip_suffix(':') {
+                    if !scheme.is_empty() && scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-') {
+                        out.push(SourceExpr::Scheme(scheme.to_string()));
+                    }
+                } else if let Some(h) = parse_host_source(&lower) {
+                    out.push(h);
+                }
+                // Unrecognized tokens ('unsafe-eval', hashes, data:…)
+                // are skipped — they never allow an external script here.
+            }
+        }
+    }
+    out
+}
+
+fn parse_host_source(token: &str) -> Option<SourceExpr> {
+    let (scheme, rest) = match token.split_once("://") {
+        Some((s, r)) => (Some(s.to_string()), r),
+        None => (None, token),
+    };
+    let (hostport, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], Some(rest[i..].to_string())),
+        None => (rest, None),
+    };
+    let (host, port) = match hostport.rsplit_once(':') {
+        Some((h, p)) if p.chars().all(|c| c.is_ascii_digit()) && !p.is_empty() => {
+            (h.to_string(), Some(p.parse::<u16>().ok()?))
+        }
+        _ => (hostport.to_string(), None),
+    };
+    if host.is_empty() {
+        return None;
+    }
+    let bare = host.strip_prefix("*.").unwrap_or(&host);
+    let valid = !bare.is_empty()
+        && bare
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-');
+    if !valid {
+        return None;
+    }
+    Some(SourceExpr::Host { scheme, host, port, path })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    const DOC: &str = "https://www.site.com/page";
+
+    #[test]
+    fn no_policy_allows_everything() {
+        let p = CspPolicy::parse("img-src 'self'");
+        assert!(!p.governs_scripts);
+        assert!(p.allows_inline());
+        assert!(p.allows_external(&url("https://evil.com/x.js"), &url(DOC), None));
+    }
+
+    #[test]
+    fn self_matches_same_origin_only() {
+        let p = CspPolicy::parse("script-src 'self'");
+        assert!(p.allows_external(&url("https://www.site.com/app.js"), &url(DOC), None));
+        assert!(!p.allows_external(&url("https://cdn.site.com/app.js"), &url(DOC), None), "different host");
+        assert!(!p.allows_external(&url("http://www.site.com/app.js"), &url(DOC), None), "different scheme");
+        assert!(!p.allows_inline(), "'self' does not allow inline");
+    }
+
+    #[test]
+    fn host_sources_and_wildcards() {
+        let p = CspPolicy::parse("script-src cdn.vendor.com *.gstatic.com");
+        assert!(p.allows_external(&url("https://cdn.vendor.com/v.js"), &url(DOC), None));
+        assert!(!p.allows_external(&url("https://evil.vendor.com/v.js"), &url(DOC), None));
+        assert!(p.allows_external(&url("https://fonts.gstatic.com/f.js"), &url(DOC), None));
+        assert!(p.allows_external(&url("https://a.b.gstatic.com/f.js"), &url(DOC), None));
+        assert!(!p.allows_external(&url("https://gstatic.com/f.js"), &url(DOC), None), "*.x does not match bare x");
+        assert!(!p.allows_external(&url("https://notgstatic.com/f.js"), &url(DOC), None));
+    }
+
+    #[test]
+    fn scheme_port_and_path_constraints() {
+        let p = CspPolicy::parse("script-src https://cdn.x.com:8443/js/");
+        assert!(p.allows_external(&url("https://cdn.x.com:8443/js/a.js"), &url(DOC), None));
+        assert!(!p.allows_external(&url("https://cdn.x.com:8443/other/a.js"), &url(DOC), None));
+        assert!(!p.allows_external(&url("https://cdn.x.com/js/a.js"), &url(DOC), None), "port mismatch");
+        assert!(!p.allows_external(&url("http://cdn.x.com:8443/js/a.js"), &url(DOC), None), "scheme mismatch");
+    }
+
+    #[test]
+    fn scheme_source() {
+        let p = CspPolicy::parse("script-src https:");
+        assert!(p.allows_external(&url("https://anything.example/x.js"), &url(DOC), None));
+        assert!(!p.allows_external(&url("http://anything.example/x.js"), &url(DOC), None));
+    }
+
+    #[test]
+    fn none_blocks_all_scripts() {
+        let p = CspPolicy::parse("script-src 'none'");
+        assert!(p.explicit_none);
+        assert!(!p.allows_inline());
+        assert!(!p.allows_external(&url("https://www.site.com/app.js"), &url(DOC), None));
+    }
+
+    #[test]
+    fn unsafe_inline_and_nonce() {
+        let p = CspPolicy::parse("script-src 'self' 'unsafe-inline'");
+        assert!(p.allows_inline());
+        let p = CspPolicy::parse("script-src 'nonce-AbC123'");
+        assert!(!p.allows_inline());
+        assert!(p.allows_external(&url("https://x.com/a.js"), &url(DOC), Some("AbC123")));
+        assert!(!p.allows_external(&url("https://x.com/a.js"), &url(DOC), Some("abc123")), "nonces are case-sensitive");
+        assert!(!p.allows_external(&url("https://x.com/a.js"), &url(DOC), None));
+    }
+
+    #[test]
+    fn default_src_fallback_and_script_src_override() {
+        let p = CspPolicy::parse("default-src 'self'");
+        assert!(p.governs_scripts);
+        assert!(!p.allows_external(&url("https://cdn.v.com/v.js"), &url(DOC), None));
+        let p = CspPolicy::parse("default-src 'none'; script-src cdn.v.com");
+        assert!(p.allows_external(&url("https://cdn.v.com/v.js"), &url(DOC), None));
+        assert!(!p.allows_external(&url("https://other.com/v.js"), &url(DOC), None));
+    }
+
+    #[test]
+    fn wildcard_source() {
+        let p = CspPolicy::parse("script-src *");
+        assert!(p.allows_external(&url("https://anywhere.io/x.js"), &url(DOC), None));
+        assert!(!p.allows_inline(), "* does not allow inline");
+    }
+
+    #[test]
+    fn duplicate_directives_first_wins() {
+        let p = CspPolicy::parse("script-src 'self'; script-src *");
+        assert!(!p.allows_external(&url("https://evil.com/x.js"), &url(DOC), None));
+    }
+
+    #[test]
+    fn malformed_tokens_are_skipped() {
+        let p = CspPolicy::parse("script-src 'self' ht!tp%%// 'sha256-xyz' ''");
+        assert_eq!(p.script_src.len(), 1);
+        assert!(p.allows_external(&url("https://www.site.com/a.js"), &url(DOC), None));
+    }
+
+    #[test]
+    fn names_host_diagnostic() {
+        let p = CspPolicy::parse("script-src 'self' cdn.tracker.com *.wild.net");
+        assert!(p.names_host("cdn.tracker.com"));
+        assert!(p.names_host("deep.wild.net"));
+        assert!(!p.names_host("wild.net"));
+        assert!(!p.names_host("www.site.com"), "'self' is not a host source");
+    }
+
+    #[test]
+    fn parser_is_total_on_junk() {
+        for junk in ["", ";;;", "script-src", "🍪; script-src 🍪", "default-src ; ; 'self'"] {
+            let _ = CspPolicy::parse(junk);
+        }
+    }
+}

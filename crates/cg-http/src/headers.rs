@@ -1,0 +1,96 @@
+//! Case-insensitive, multi-valued HTTP header storage.
+
+use serde::{Deserialize, Serialize};
+
+/// An ordered list of header name/value pairs with case-insensitive
+/// lookup, like real HTTP. `Set-Cookie` in particular may appear many
+/// times and must never be joined with commas.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Appends a header (duplicates allowed).
+    pub fn append(&mut self, name: &str, value: &str) {
+        self.entries.push((name.to_string(), value.to_string()));
+    }
+
+    /// First value for `name`, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Removes every header named `name`; returns how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        before - self.entries.len()
+    }
+
+    /// Number of header entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut h = Headers::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert_eq!(h.get("missing"), None);
+    }
+
+    #[test]
+    fn set_cookie_stays_multi_valued() {
+        let mut h = Headers::new();
+        h.append("Set-Cookie", "a=1");
+        h.append("Set-Cookie", "b=2; HttpOnly");
+        assert_eq!(h.get_all("set-cookie"), vec!["a=1", "b=2; HttpOnly"]);
+        assert_eq!(h.get("set-cookie"), Some("a=1"));
+    }
+
+    #[test]
+    fn remove_all_instances() {
+        let mut h = Headers::new();
+        h.append("X-A", "1");
+        h.append("x-a", "2");
+        h.append("X-B", "3");
+        assert_eq!(h.remove("X-A"), 2);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get("x-b"), Some("3"));
+    }
+}

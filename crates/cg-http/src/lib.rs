@@ -1,0 +1,111 @@
+//! HTTP message model for the browser simulator.
+//!
+//! The paper's measurement pipeline watches two HTTP-level signals:
+//! `Set-Cookie` response headers (via `webRequest.onHeadersReceived`) and
+//! outbound requests (via the debugger protocol). This crate provides the
+//! request/response types the simulator exchanges, header storage, and a
+//! faithful `Set-Cookie` parser (RFC 6265 §5.2) including attribute
+//! handling and the `HttpOnly` visibility rule that scopes the whole study
+//! to script-visible cookies.
+
+pub mod csp;
+pub mod headers;
+pub mod message;
+pub mod set_cookie;
+
+pub use csp::{CspPolicy, SourceExpr};
+pub use headers::Headers;
+pub use message::{Request, RequestKind, Response};
+pub use set_cookie::{parse_set_cookie, SameSite, SetCookie};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The Set-Cookie parser is total: arbitrary input (including
+        /// control characters, stray separators, and binary-ish noise)
+        /// never panics; it either parses or returns None.
+        #[test]
+        fn parse_set_cookie_never_panics(raw in "\\PC{0,120}") {
+            let _ = parse_set_cookie(&raw);
+        }
+
+        /// Structured round trip: a cookie assembled from clean parts
+        /// survives serialize → parse unchanged.
+        #[test]
+        fn set_cookie_round_trips(
+            name in "[A-Za-z_][A-Za-z0-9_-]{0,20}",
+            value in "[A-Za-z0-9._-]{0,40}",
+            max_age in proptest::option::of(1i64..10_000_000),
+            secure in proptest::bool::ANY,
+            http_only in proptest::bool::ANY,
+            path in proptest::option::of("/[a-z]{0,10}"),
+        ) {
+            let mut c = SetCookie::new(&name, &value);
+            c.max_age_s = max_age;
+            c.secure = secure;
+            c.http_only = http_only;
+            c.path = path;
+            let re = parse_set_cookie(&c.to_header_value()).expect("round trip parse");
+            prop_assert_eq!(c, re);
+        }
+
+        /// Semicolons inside the attribute tail never bleed into the
+        /// name/value: the first `=`-pair wins.
+        #[test]
+        fn name_value_isolated_from_attributes(
+            name in "[A-Za-z]{1,10}",
+            value in "[A-Za-z0-9]{0,20}",
+            attrs in proptest::collection::vec("[A-Za-z=/. -]{0,15}", 0..5),
+        ) {
+            let raw = format!("{name}={value}; {}", attrs.join("; "));
+            if let Some(c) = parse_set_cookie(&raw) {
+                prop_assert_eq!(c.name, name);
+                prop_assert_eq!(c.value, value);
+            }
+        }
+
+        /// The CSP parser is total: arbitrary header bytes never panic,
+        /// and the resulting policy's decisions are stable.
+        #[test]
+        fn csp_parse_is_total(header in "\\PC{0,200}") {
+            let p = CspPolicy::parse(&header);
+            let doc = cg_url::Url::parse("https://www.site.com/").unwrap();
+            let script = cg_url::Url::parse("https://cdn.vendor.net/v.js").unwrap();
+            let a = p.allows_external(&script, &doc, None);
+            let b = p.allows_external(&script, &doc, None);
+            prop_assert_eq!(a, b);
+        }
+
+        /// Wildcard-host semantics: `*.base` admits every strict
+        /// subdomain of `base` and never `base` itself or lookalikes.
+        #[test]
+        fn csp_wildcard_host_semantics(
+            sub in "[a-z]{1,8}",
+            base in "[a-z]{2,8}\\.[a-z]{2,4}",
+        ) {
+            let p = CspPolicy::parse(&format!("script-src *.{base}"));
+            let doc = cg_url::Url::parse("https://www.site.com/").unwrap();
+            let u = |h: &str| cg_url::Url::parse(&format!("https://{h}/x.js")).unwrap();
+            let subdomain = format!("{sub}.{base}");
+            let lookalike = format!("{sub}{base}");
+            prop_assert!(p.allows_external(&u(&subdomain), &doc, None));
+            prop_assert!(!p.allows_external(&u(&base), &doc, None));
+            prop_assert!(!p.allows_external(&u(&lookalike), &doc, None));
+        }
+
+        /// A host allowlisted in `script-src` admits exactly that host,
+        /// independent of the document origin.
+        #[test]
+        fn csp_host_source_is_exact(host in "[a-z]{2,10}\\.[a-z]{2,4}") {
+            let p = CspPolicy::parse(&format!("script-src {host}"));
+            let doc = cg_url::Url::parse("https://www.site.com/").unwrap();
+            let yes = cg_url::Url::parse(&format!("https://{host}/a.js")).unwrap();
+            prop_assert!(p.allows_external(&yes, &doc, None));
+            let no = cg_url::Url::parse(&format!("https://x{host}/a.js")).unwrap();
+            prop_assert!(!p.allows_external(&no, &doc, None));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Request/response types exchanged inside the browser simulator.
+
+use crate::headers::Headers;
+use cg_url::Url;
+use serde::{Deserialize, Serialize};
+
+/// What kind of resource a request fetches — the simulator's analog of
+/// Chrome's resource types, used by the filter-list engine's `$script`,
+/// `$image`, etc. options and by the measurement pipeline to distinguish
+/// script fetches from beacon/pixel exfiltration requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Top-level document navigation.
+    Document,
+    /// An external script fetch (`<script src=…>`, dynamic insertion).
+    Script,
+    /// An image / tracking pixel.
+    Image,
+    /// `fetch()` / `XMLHttpRequest` from script.
+    Xhr,
+    /// `navigator.sendBeacon` style fire-and-forget.
+    Beacon,
+    /// A subframe (iframe) document.
+    Subframe,
+    /// Stylesheets and other subresources the study does not single out.
+    Other,
+}
+
+impl RequestKind {
+    /// The filter-list option name for this resource type.
+    pub fn option_name(&self) -> &'static str {
+        match self {
+            RequestKind::Document => "document",
+            RequestKind::Script => "script",
+            RequestKind::Image => "image",
+            RequestKind::Xhr => "xmlhttprequest",
+            RequestKind::Beacon => "ping",
+            RequestKind::Subframe => "subdocument",
+            RequestKind::Other => "other",
+        }
+    }
+}
+
+/// An outbound HTTP request observed by the instrumentation layer
+/// (the analog of a `Network.requestWillBeSent` event).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Full request URL (query string carries any exfiltrated payload).
+    pub url: Url,
+    /// Resource type.
+    pub kind: RequestKind,
+    /// URL of the script that initiated the request, when attributable
+    /// from the stack trace; `None` for parser-initiated loads.
+    pub initiator_script: Option<Url>,
+    /// The eTLD+1 of the page (first party) the request was sent from.
+    pub first_party: String,
+    /// Cookies attached by the browser (HTTP cookie semantics).
+    pub cookie_header: String,
+    /// Simulated time at which the request was issued (ms since visit start).
+    pub issued_at_ms: u64,
+}
+
+impl Request {
+    /// True when the request's destination eTLD+1 differs from the
+    /// first party — a *third-party request* in the paper's terms.
+    pub fn is_third_party(&self) -> bool {
+        match self.url.registrable_domain() {
+            Some(d) => !d.eq_ignore_ascii_case(&self.first_party),
+            None => true,
+        }
+    }
+}
+
+/// An HTTP response delivered to the simulator (the analog of
+/// `webRequest.onHeadersReceived`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The URL that was fetched.
+    pub url: Url,
+    /// Status code (the simulator serves 200s unless a failure is injected).
+    pub status: u16,
+    /// Response headers, including any `Set-Cookie` entries.
+    pub headers: Headers,
+    /// Simulated service latency in milliseconds, used by the page-load
+    /// timing model.
+    pub latency_ms: u64,
+}
+
+impl Response {
+    /// Creates a 200 response with no headers.
+    pub fn ok(url: Url) -> Response {
+        Response { url, status: 200, headers: Headers::new(), latency_ms: 0 }
+    }
+
+    /// All parsed `Set-Cookie` headers on this response.
+    pub fn set_cookies(&self) -> Vec<crate::set_cookie::SetCookie> {
+        self.headers
+            .get_all("set-cookie")
+            .into_iter()
+            .filter_map(crate::set_cookie::parse_set_cookie)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn third_party_detection() {
+        let r = Request {
+            url: url("https://px.ads.linkedin.com/attribution_trigger?pid=1"),
+            kind: RequestKind::Image,
+            initiator_script: Some(url("https://snap.licdn.com/li.lms-analytics/insight.min.js")),
+            first_party: "optimonk.com".into(),
+            cookie_header: String::new(),
+            issued_at_ms: 10,
+        };
+        assert!(r.is_third_party());
+        let same = Request { url: url("https://api.optimonk.com/x"), first_party: "optimonk.com".into(), ..r };
+        assert!(!same.is_third_party());
+    }
+
+    #[test]
+    fn response_set_cookie_extraction() {
+        let mut resp = Response::ok(url("https://site.com/"));
+        resp.headers.append("Set-Cookie", "c0=v0; Path=/");
+        resp.headers.append("Set-Cookie", "sid=x; HttpOnly");
+        resp.headers.append("Content-Type", "text/html");
+        let cookies = resp.set_cookies();
+        assert_eq!(cookies.len(), 2);
+        assert_eq!(cookies[0].name, "c0");
+        assert!(cookies[1].http_only);
+    }
+
+    #[test]
+    fn kind_option_names() {
+        assert_eq!(RequestKind::Script.option_name(), "script");
+        assert_eq!(RequestKind::Subframe.option_name(), "subdocument");
+    }
+}

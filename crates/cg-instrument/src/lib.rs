@@ -1,0 +1,20 @@
+//! The measurement layer — this reproduction's analog of the paper's
+//! instrumentation extension (§4.1).
+//!
+//! The extension wraps `document.cookie` with `Object.defineProperty`,
+//! overrides the `CookieStore` methods, watches `Set-Cookie` headers via
+//! `webRequest.onHeadersReceived`, and attributes outbound requests with
+//! the debugger protocol. Here, the browser simulator calls into a
+//! [`Recorder`] from exactly those interception points, producing a
+//! [`VisitLog`] per site visit. The analysis framework (`cg-analysis`)
+//! consumes only these logs — it never peeks at simulator internals, so
+//! the measurement has the same epistemic position as the paper's.
+
+pub mod events;
+pub mod recorder;
+
+pub use events::{
+    AttrChangeFlags, CookieApi, DomEvent, ProbeEvent, ReadEvent, RequestEvent, ScriptInclusion,
+    SetEvent, VisitLog, WriteKind,
+};
+pub use recorder::Recorder;

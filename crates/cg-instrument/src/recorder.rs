@@ -1,0 +1,180 @@
+//! The [`Recorder`]: a `VisitLog` builder the browser calls at its
+//! interception points.
+
+use crate::events::{
+    AttrChangeFlags, CookieApi, DomEvent, ProbeEvent, ReadEvent, RequestEvent, ScriptInclusion,
+    SetEvent, VisitLog, WriteKind,
+};
+use cg_url::Url;
+
+/// Accumulates one visit's instrumentation log.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    log: VisitLog,
+}
+
+impl Recorder {
+    /// Starts recording a visit to `site_domain` (rank for bookkeeping).
+    pub fn new(site_domain: &str, rank: usize) -> Recorder {
+        Recorder {
+            log: VisitLog {
+                site_domain: site_domain.to_string(),
+                rank,
+                complete: true,
+                ..VisitLog::default()
+            },
+        }
+    }
+
+    /// Marks the visit as incomplete (crawl-failure model).
+    pub fn mark_incomplete(&mut self) {
+        self.log.complete = false;
+    }
+
+    /// Records a cookie write.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_set(
+        &mut self,
+        name: &str,
+        value: &str,
+        actor: Option<&str>,
+        actor_url: Option<&str>,
+        api: CookieApi,
+        kind: WriteKind,
+        changes: Option<AttrChangeFlags>,
+        blocked: bool,
+        time_ms: u64,
+    ) {
+        self.log.sets.push(SetEvent {
+            name: name.to_string(),
+            value: value.to_string(),
+            actor: actor.map(str::to_string),
+            actor_url: actor_url.map(str::to_string),
+            api,
+            kind,
+            changes,
+            blocked,
+            time_ms,
+        });
+    }
+
+    /// Records a cookie read.
+    pub fn record_read(
+        &mut self,
+        actor: Option<&str>,
+        api: CookieApi,
+        cookies: Vec<(String, String)>,
+        filtered_count: usize,
+        time_ms: u64,
+    ) {
+        self.log.reads.push(ReadEvent {
+            actor: actor.map(str::to_string),
+            api,
+            cookies,
+            filtered_count,
+            time_ms,
+        });
+    }
+
+    /// Records an outbound request. `cookie_header` is the `Cookie:`
+    /// value the browser attached (None/empty = nothing matched).
+    pub fn record_request(
+        &mut self,
+        url: &str,
+        kind: cg_http::RequestKind,
+        initiator_url: Option<&Url>,
+        first_party: &str,
+        cookie_header: Option<&str>,
+        time_ms: u64,
+    ) {
+        let dest_domain = cg_url::url_domain(url);
+        self.log.requests.push(RequestEvent {
+            url: url.to_string(),
+            dest_domain,
+            kind,
+            initiator: initiator_url.and_then(|u| u.registrable_domain()),
+            initiator_url: initiator_url.map(|u| u.to_string()),
+            first_party: first_party.to_string(),
+            cookie_header: cookie_header.filter(|h| !h.is_empty()).map(str::to_string),
+            time_ms,
+        });
+    }
+
+    /// Records a functional-probe outcome.
+    pub fn record_probe(&mut self, feature: &str, cookie: &str, ok: bool, actor: Option<&str>) {
+        self.log.probes.push(ProbeEvent {
+            feature: feature.to_string(),
+            cookie: cookie.to_string(),
+            ok,
+            actor: actor.map(str::to_string),
+        });
+    }
+
+    /// Records a DOM mutation (`blocked` = stopped by the DOM guard).
+    pub fn record_dom(&mut self, actor: Option<&str>, owner: &str, kind: &str, blocked: bool) {
+        self.log.dom_events.push(DomEvent {
+            actor: actor.map(str::to_string),
+            owner: owner.to_string(),
+            kind: kind.to_string(),
+            blocked,
+        });
+    }
+
+    /// Records a script inclusion.
+    pub fn record_inclusion(&mut self, url: Option<&str>, direct: bool) {
+        let (url_s, domain) = match url {
+            Some(u) => (u.to_string(), cg_url::url_domain(u)),
+            None => ("<inline>".to_string(), None),
+        };
+        self.log.inclusions.push(ScriptInclusion { url: url_s, domain, direct });
+    }
+
+    /// Finishes recording and returns the log.
+    pub fn finish(self) -> VisitLog {
+        self.log
+    }
+
+    /// Peeks at the log while recording (tests).
+    pub fn log(&self) -> &VisitLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_all_event_kinds() {
+        let mut r = Recorder::new("site.com", 7);
+        r.record_set("a", "1", Some("t.com"), Some("https://t.com/t.js"), CookieApi::DocumentCookie, WriteKind::Create, None, false, 5);
+        r.record_read(Some("t.com"), CookieApi::DocumentCookie, vec![("a".into(), "1".into())], 0, 6);
+        let script = Url::parse("https://t.com/t.js").unwrap();
+        r.record_request("https://x.dest.io/p?a=1", cg_http::RequestKind::Image, Some(&script), "site.com", Some("a=1; b=2"), 7);
+        r.record_probe("sso", "sess", true, Some("idp.com"));
+        r.record_dom(Some("ads.com"), "site.com", "content", false);
+        r.record_inclusion(Some("https://t.com/t.js"), true);
+        r.record_inclusion(None, true);
+
+        let log = r.finish();
+        assert_eq!(log.site_domain, "site.com");
+        assert_eq!(log.rank, 7);
+        assert!(log.complete);
+        assert_eq!(log.sets.len(), 1);
+        assert_eq!(log.reads.len(), 1);
+        assert_eq!(log.requests.len(), 1);
+        assert_eq!(log.requests[0].dest_domain.as_deref(), Some("dest.io"));
+        assert_eq!(log.requests[0].initiator.as_deref(), Some("t.com"));
+        assert_eq!(log.probes.len(), 1);
+        assert_eq!(log.dom_events.len(), 1);
+        assert_eq!(log.inclusions.len(), 2);
+        assert_eq!(log.inclusions[1].url, "<inline>");
+    }
+
+    #[test]
+    fn incomplete_marking() {
+        let mut r = Recorder::new("site.com", 1);
+        r.mark_incomplete();
+        assert!(!r.finish().complete);
+    }
+}

@@ -1,0 +1,14 @@
+//! Performance evaluation (§7.3): paired page-load timings over the top
+//! 10k sites, the Table 4 summary, and the distributional views of
+//! Figures 6, 7, 9, and 10.
+//!
+//! Protocol, mirroring the paper: every site is visited once without and
+//! once with CookieGuard (independent noise draws — the two conditions
+//! are separate real page loads); pairs with invalid/non-positive
+//! measurements are discarded; a fraction of visits fails outright, so
+//! the final population is smaller than the crawl range (the paper pairs
+//! 8,171 of 10,000).
+
+pub mod paired;
+
+pub use paired::{run_paired_measurement, MetricSummary, PairedRun, PerfReport, RatioSummary};

@@ -1,0 +1,269 @@
+//! Paired with/without-CookieGuard timing measurement.
+
+use cg_browser::{visit_site, PageTiming, VisitConfig};
+use cg_webgen::WebGenerator;
+use cookieguard_core::GuardConfig;
+use crossbeam::queue::SegQueue;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One site's paired timings.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PairedRun {
+    /// Rank of the site.
+    pub rank: usize,
+    /// Timing without the extension.
+    pub without: PageTiming,
+    /// Timing with CookieGuard.
+    pub with: PageTiming,
+}
+
+impl PairedRun {
+    /// Per-site overhead ratio for a metric selector.
+    pub fn ratio(&self, metric: fn(&PageTiming) -> f64) -> f64 {
+        let base = metric(&self.without);
+        if base <= 0.0 {
+            return f64::NAN;
+        }
+        metric(&self.with) / base
+    }
+}
+
+/// Mean/median summary of one metric in one condition (a Table 4 cell).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Arithmetic mean (ms).
+    pub mean_ms: f64,
+    /// Median (ms).
+    pub median_ms: f64,
+}
+
+/// Ratio summary for Fig. 7/10.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RatioSummary {
+    /// Median of per-site With/No ratios.
+    pub median: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum observed ratio (the Fig. 10 outlier scale).
+    pub max: f64,
+}
+
+/// The full §7.3 result set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Paired sites that survived validity filtering.
+    pub valid_pairs: usize,
+    /// DOM Content Loaded without / with.
+    pub dcl: (MetricSummary, MetricSummary),
+    /// DOM Interactive without / with.
+    pub di: (MetricSummary, MetricSummary),
+    /// Load Event without / with.
+    pub load: (MetricSummary, MetricSummary),
+    /// Ratio summaries (dcl, di, load).
+    pub ratios: (RatioSummary, RatioSummary, RatioSummary),
+    /// All per-site pairs (figures need the raw distribution).
+    pub pairs: Vec<PairedRun>,
+}
+
+impl PerfReport {
+    /// Mean added latency across the three metrics (the paper's
+    /// "average overhead of 0.3 seconds").
+    pub fn mean_added_ms(&self) -> f64 {
+        let d = self.dcl.1.mean_ms - self.dcl.0.mean_ms;
+        let i = self.di.1.mean_ms - self.di.0.mean_ms;
+        let l = self.load.1.mean_ms - self.load.0.mean_ms;
+        (d + i + l) / 3.0
+    }
+}
+
+fn summarize(values: &[f64]) -> MetricSummary {
+    MetricSummary {
+        mean_ms: cg_analysis_stats::mean(values),
+        median_ms: cg_analysis_stats::median(values),
+    }
+}
+
+fn ratio_summary(values: &[f64]) -> RatioSummary {
+    let clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    RatioSummary {
+        median: cg_analysis_stats::median(&clean),
+        q1: cg_analysis_stats::percentile(&clean, 25.0),
+        q3: cg_analysis_stats::percentile(&clean, 75.0),
+        max: clean.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+// A minimal local stats shim so cg-perf does not depend on cg-analysis
+// (the experiments crate combines both).
+mod cg_analysis_stats {
+    pub fn mean(v: &[f64]) -> f64 {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+    pub fn median(v: &[f64]) -> f64 {
+        percentile(v, 50.0)
+    }
+    pub fn percentile(v: &[f64], p: f64) -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * (s.len() as f64 - 1.0)).round() as usize;
+        s[rank.min(s.len() - 1)]
+    }
+}
+
+/// Runs the paired measurement over ranks `[from, to]` with `threads`
+/// workers. Interaction is disabled (the paper's perf protocol measures
+/// plain page loads).
+pub fn run_paired_measurement(
+    gen: &WebGenerator,
+    guard: &GuardConfig,
+    from: usize,
+    to: usize,
+    threads: usize,
+) -> PerfReport {
+    let queue: SegQueue<PairedRun> = SegQueue::new();
+    let next = AtomicUsize::new(from);
+    let threads = threads.max(1);
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let rank = next.fetch_add(1, Ordering::Relaxed);
+                if rank > to {
+                    break;
+                }
+                let bp = gen.blueprint(rank);
+                if !bp.spec.crawl_ok {
+                    continue; // visit failed in one of the two conditions
+                }
+                let base_seed = gen.site_seed(rank);
+                let without = visit_site(
+                    &bp,
+                    &VisitConfig { interact: false, ..VisitConfig::regular() },
+                    base_seed ^ 0xaaaa,
+                );
+                let with = visit_site(
+                    &bp,
+                    &VisitConfig { interact: false, ..VisitConfig::guarded(guard.clone()) },
+                    base_seed ^ 0xbbbb,
+                );
+                queue.push(PairedRun { rank, without: without.timing, with: with.timing });
+            });
+        }
+    })
+    .expect("perf worker panicked");
+
+    let mut pairs: Vec<PairedRun> = std::iter::from_fn(|| queue.pop()).collect();
+    pairs.sort_by_key(|p| p.rank);
+    // Validity filter: keep only positive measurements in both conditions.
+    pairs.retain(|p| {
+        [p.without, p.with].iter().all(|t| {
+            t.dom_interactive_ms > 0.0 && t.dom_content_loaded_ms > 0.0 && t.load_event_ms > 0.0
+        })
+    });
+
+    let dcl_no: Vec<f64> = pairs.iter().map(|p| p.without.dom_content_loaded_ms).collect();
+    let dcl_yes: Vec<f64> = pairs.iter().map(|p| p.with.dom_content_loaded_ms).collect();
+    let di_no: Vec<f64> = pairs.iter().map(|p| p.without.dom_interactive_ms).collect();
+    let di_yes: Vec<f64> = pairs.iter().map(|p| p.with.dom_interactive_ms).collect();
+    let ld_no: Vec<f64> = pairs.iter().map(|p| p.without.load_event_ms).collect();
+    let ld_yes: Vec<f64> = pairs.iter().map(|p| p.with.load_event_ms).collect();
+
+    let r_dcl: Vec<f64> = pairs.iter().map(|p| p.ratio(|t| t.dom_content_loaded_ms)).collect();
+    let r_di: Vec<f64> = pairs.iter().map(|p| p.ratio(|t| t.dom_interactive_ms)).collect();
+    let r_ld: Vec<f64> = pairs.iter().map(|p| p.ratio(|t| t.load_event_ms)).collect();
+
+    PerfReport {
+        valid_pairs: pairs.len(),
+        dcl: (summarize(&dcl_no), summarize(&dcl_yes)),
+        di: (summarize(&di_no), summarize(&di_yes)),
+        load: (summarize(&ld_no), summarize(&ld_yes)),
+        ratios: (ratio_summary(&r_dcl), ratio_summary(&r_di), ratio_summary(&r_ld)),
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_webgen::GenConfig;
+
+    #[test]
+    fn paired_measurement_shape() {
+        // Per-visit noise is deliberately heavy-tailed (σ ≈ 1.0), so a
+        // few hundred pairs are needed before the systematic ~11% guard
+        // shift dominates sampling noise in aggregate statistics.
+        let gen = WebGenerator::new(GenConfig::small(700), 5);
+        let report = run_paired_measurement(&gen, &GuardConfig::strict(), 1, 700, 4);
+        // Roughly three-quarters of crawls survive.
+        let completion = report.valid_pairs as f64 / 700.0;
+        assert!((0.65..0.85).contains(&completion), "completion {completion}");
+        // With-guard is slower in aggregate (pooled across metrics).
+        let added = report.mean_added_ms();
+        assert!(added > 0.0, "mean added latency {added}");
+        // The pooled per-site ratio medians sit above parity and below
+        // anything pathological (paper: 1.108 / 1.111 / 1.122).
+        let pooled = (report.ratios.0.median + report.ratios.1.median + report.ratios.2.median) / 3.0;
+        assert!((1.0..1.6).contains(&pooled), "pooled ratio median {pooled}");
+        // Heavy tail: mean > median in every condition/metric.
+        assert!(report.load.0.mean_ms > report.load.0.median_ms);
+        assert!(report.load.1.mean_ms > report.load.1.median_ms);
+        assert!(report.dcl.0.mean_ms > report.dcl.0.median_ms);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let gen = WebGenerator::new(GenConfig::small(80), 5);
+        let a = run_paired_measurement(&gen, &GuardConfig::strict(), 1, 80, 1);
+        let b = run_paired_measurement(&gen, &GuardConfig::strict(), 1, 80, 4);
+        assert_eq!(a.valid_pairs, b.valid_pairs);
+        assert!((a.dcl.0.mean_ms - b.dcl.0.mean_ms).abs() < 1e-9);
+        assert!((a.ratios.2.median - b.ratios.2.median).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_handles_zero_base() {
+        let p = PairedRun {
+            rank: 1,
+            without: PageTiming::default(),
+            with: PageTiming { dom_interactive_ms: 1.0, dom_content_loaded_ms: 1.0, load_event_ms: 1.0 },
+        };
+        assert!(p.ratio(|t| t.load_event_ms).is_nan());
+    }
+
+    #[test]
+    fn stats_shim_edge_cases() {
+        use super::cg_analysis_stats::{mean, median, percentile};
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 100.0), 4.0);
+        // Percentiles are monotone in p.
+        let v = [5.0, 1.0, 9.0, 3.0, 7.0];
+        let mut last = f64::MIN;
+        for p in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            let q = percentile(&v, p);
+            assert!(q >= last, "percentile not monotone at {p}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn ratio_summary_ignores_non_finite() {
+        let r = super::ratio_summary(&[1.0, 2.0, f64::NAN, f64::INFINITY.recip(), 3.0]);
+        assert!(r.median.is_finite());
+        assert!(r.max >= 3.0);
+        assert!(r.q1 <= r.median && r.median <= r.q3);
+    }
+}

@@ -1,0 +1,259 @@
+//! Behaviour programs: the operations a simulated script can perform.
+
+use crate::value::ValueSpec;
+use cg_http::RequestKind;
+use serde::{Deserialize, Serialize};
+
+/// Cookie attributes a `SetCookie` op may request.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CookieAttrs {
+    /// `Max-Age` in seconds (None = session cookie).
+    pub max_age_s: Option<i64>,
+    /// Set `Domain=<site eTLD+1>` so the cookie is site-wide — what
+    /// ghost-writing trackers do so subdomains share the identifier.
+    pub site_wide: bool,
+    /// Explicit path.
+    pub path: Option<String>,
+    /// `Secure` flag.
+    pub secure: bool,
+}
+
+/// Which cookies an exfiltration op takes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CookieSelection {
+    /// Everything visible in `document.cookie` (bulk exfiltration).
+    All,
+    /// Only the named cookies (targeted parsing, like the LinkedIn
+    /// insight-tag case study).
+    Named(Vec<String>),
+    /// Each visible cookie independently with the given percent
+    /// probability — how RTB bid payloads carry an unpredictable subset
+    /// of the jar rather than a verbatim dump.
+    Sample(u8),
+}
+
+/// How a value is encoded before being placed in an outbound URL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Encoding {
+    /// Verbatim.
+    Plain,
+    /// Base64 (unpadded, as in URLs).
+    Base64,
+    /// MD5 hex digest.
+    Md5,
+    /// SHA-1 hex digest.
+    Sha1,
+}
+
+/// Which part of the cookie value is taken before encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentPolicy {
+    /// The whole value.
+    Full,
+    /// The longest identifier segment (≥8 chars), like the `_ga`
+    /// middle-segment extraction in §5.4. Falls back to the full value
+    /// when no segment qualifies.
+    LongestSegment,
+}
+
+/// Which cookie attributes an overwrite changes — the §5.5 taxonomy
+/// (85.3% value, 69.4% expires, 6.0% domain, 1.2% path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrChanges {
+    /// Replace the value.
+    pub value: bool,
+    /// Refresh / extend the expiry.
+    pub expires: bool,
+    /// Re-scope the `Domain` attribute.
+    pub domain: bool,
+    /// Change the `Path`.
+    pub path: bool,
+}
+
+impl AttrChanges {
+    /// The common overwrite: new value + refreshed expiry.
+    pub fn value_and_expiry() -> AttrChanges {
+        AttrChanges { value: true, expires: true, domain: false, path: false }
+    }
+}
+
+/// One operation in a behaviour program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScriptOp {
+    /// `document.cookie = "name=value; …"`.
+    SetCookie {
+        /// Cookie name.
+        name: String,
+        /// Value generator.
+        value: ValueSpec,
+        /// Attributes.
+        attrs: CookieAttrs,
+    },
+    /// `cookieStore.set({name, value, expires})`.
+    CookieStoreSet {
+        /// Cookie name.
+        name: String,
+        /// Value generator.
+        value: ValueSpec,
+        /// Relative expiry in ms, if any.
+        expires_in_ms: Option<i64>,
+    },
+    /// Read the whole jar via the `document.cookie` getter.
+    ReadAllCookies,
+    /// `cookieStore.get(name)`.
+    CookieStoreGet {
+        /// Cookie name to look up.
+        name: String,
+    },
+    /// `cookieStore.getAll()`.
+    CookieStoreGetAll,
+    /// Overwrite an existing cookie by name (requires knowing the name —
+    /// §5.5). The op first reads the jar; if `blind` is false and the
+    /// target is not visible, it aborts (the `if (getCookie(x))` idiom).
+    OverwriteCookie {
+        /// Target cookie name.
+        target: String,
+        /// Replacement value generator (used when `changes.value`).
+        value: ValueSpec,
+        /// Which attributes change.
+        changes: AttrChanges,
+        /// Write even when the target is not visible in the jar.
+        blind: bool,
+    },
+    /// Delete a cookie by name (expiry-in-the-past via `document.cookie`,
+    /// or `cookieStore.delete` when `via_store`).
+    DeleteCookie {
+        /// Target cookie name.
+        target: String,
+        /// Use the CookieStore API instead of `document.cookie`.
+        via_store: bool,
+    },
+    /// Read cookies and transmit (a subset of) them to `dest_host` in the
+    /// query string of an outbound request.
+    Exfiltrate {
+        /// Destination host (e.g. `px.ads.linkedin.com`).
+        dest_host: String,
+        /// Request path (e.g. `/attribution_trigger`).
+        path: String,
+        /// Which cookies to take.
+        selection: CookieSelection,
+        /// Segment extraction policy.
+        segment: SegmentPolicy,
+        /// Encoding applied to each taken value.
+        encoding: Encoding,
+        /// Resource type of the request (pixel, beacon, XHR…).
+        kind: RequestKind,
+        /// Read via `cookieStore.getAll()` instead of `document.cookie`.
+        via_store: bool,
+    },
+    /// A plain outbound request with no cookie-derived payload
+    /// (script fetches, benign API calls).
+    SendRequest {
+        /// Destination host.
+        dest_host: String,
+        /// Request path.
+        path: String,
+        /// Resource type.
+        kind: RequestKind,
+    },
+    /// Dynamically inject another script (transitive inclusion). The
+    /// platform resolves the URL to a behaviour and the event loop runs
+    /// it after the current task.
+    InjectScript {
+        /// Script URL to inject.
+        url: String,
+    },
+    /// Insert a new DOM element (owned by the acting script).
+    DomInsert {
+        /// Tag name.
+        tag: String,
+    },
+    /// Mutate a DOM element; when `foreign_target` the platform picks an
+    /// element owned by a different party (the §8 pilot behaviour).
+    DomMutate {
+        /// Mutation kind.
+        kind: DomMutationKind,
+        /// Target an element owned by another domain.
+        foreign_target: bool,
+    },
+    /// Schedule `ops` to run `delay_ms` later (setTimeout). When
+    /// `lose_attribution`, the callback runs with an empty stack —
+    /// reproducing the async stack-trace loss of §8.
+    Defer {
+        /// Delay in milliseconds.
+        delay_ms: u64,
+        /// The deferred program.
+        ops: Vec<ScriptOp>,
+        /// Whether the stack trace is lost.
+        lose_attribution: bool,
+    },
+    /// Schedule `ops` as a microtask (promise continuation): runs before
+    /// the next macrotask, keeps attribution.
+    Microtask {
+        /// The continuation program.
+        ops: Vec<ScriptOp>,
+    },
+    /// Functional probe: report whether `cookie` is currently readable by
+    /// this script. Breakage evaluation (§7.2) keys on probe outcomes.
+    Probe {
+        /// Feature label (`sso`, `cart`, `chat`, …).
+        feature: String,
+        /// The cookie the feature depends on.
+        cookie: String,
+    },
+    /// Register a CookieStore `change`-event listener. Whenever a
+    /// matching script-visible change occurs, `ops` run as a fresh
+    /// macrotask under the registering script's identity.
+    ///
+    /// This is the substrate for *cookie respawning* (a tracker watching
+    /// for deletion of its identifier and immediately re-setting it) and
+    /// for consent managers reacting to cookie writes. Under CookieGuard,
+    /// listeners only observe changes to cookies their domain may read.
+    OnCookieChange {
+        /// Only fire for this cookie name (None = any visible cookie).
+        watch: Option<String>,
+        /// Only fire for removals (deletion / eviction / expiry).
+        deletions_only: bool,
+        /// The handler program.
+        ops: Vec<ScriptOp>,
+    },
+}
+
+/// DOM mutation kinds exposed to behaviours (mirrors
+/// `cg_dom::ElementMutation` minus `Insert`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomMutationKind {
+    /// `innerText`/`innerHTML`.
+    Content,
+    /// Style changes.
+    Style,
+    /// Attribute/class changes.
+    Attribute,
+    /// Element removal.
+    Remove,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_changes_preset() {
+        let c = AttrChanges::value_and_expiry();
+        assert!(c.value && c.expires && !c.domain && !c.path);
+    }
+
+    #[test]
+    fn ops_are_cloneable_and_comparable() {
+        let op = ScriptOp::Exfiltrate {
+            dest_host: "px.ads.linkedin.com".into(),
+            path: "/attribution_trigger".into(),
+            selection: CookieSelection::Named(vec!["_ga".into()]),
+            segment: SegmentPolicy::LongestSegment,
+            encoding: Encoding::Base64,
+            kind: RequestKind::Image,
+            via_store: false,
+        };
+        assert_eq!(op.clone(), op);
+    }
+}

@@ -1,0 +1,30 @@
+//! The script engine: behaviour programs, execution contexts with stack
+//! traces, and a deterministic event loop.
+//!
+//! Real tracker scripts are JavaScript; the simulator represents each
+//! script as a *behaviour program* — a list of [`ScriptOp`]s covering the
+//! operations the paper instruments: `document.cookie` reads/writes,
+//! `CookieStore` calls, outbound requests (exfiltration), dynamic script
+//! injection (transitive inclusion), DOM manipulation, and deferred
+//! (async) work.
+//!
+//! The engine interprets programs against a [`Platform`] — implemented by
+//! the browser simulator — so every cookie access flows through the same
+//! interception point the paper's extension wraps. Attribution mirrors the
+//! paper (§4.1, §6.2): every platform call carries the *last external
+//! script URL on the execution stack*; deferred callbacks may lose the
+//! stack (§8's async-attribution limitation) and then attribute as inline.
+
+pub mod behavior;
+pub mod context;
+pub mod event_loop;
+pub mod platform;
+pub mod signature;
+pub mod value;
+
+pub use behavior::{AttrChanges, CookieAttrs, CookieSelection, DomMutationKind, Encoding, ScriptOp, SegmentPolicy};
+pub use context::{Attribution, StackFrame};
+pub use event_loop::{EventLoop, RunStats, ScriptExecution};
+pub use platform::{CookieChangeNotice, Platform};
+pub use signature::{behavior_signature, SignatureDb};
+pub use value::ValueSpec;

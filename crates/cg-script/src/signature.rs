@@ -1,0 +1,245 @@
+//! Behaviour signatures — the §8 signature-based attribution idea
+//! (after Chen et al.'s event-loop-turn JavaScript signatures).
+//!
+//! CookieGuard's strict mode denies inline scripts everything, because
+//! their origin is unknowable from the stack. The paper sketches an
+//! alternative: fingerprint known third-party scripts by *behaviour*, and
+//! when a first-party/inline script's behaviour matches a known tracker's
+//! signature, attribute it to that tracker. A signature here is a
+//! structural hash over the op sequence — op kinds, cookie names,
+//! destination hosts — deliberately ignoring generated values and timing
+//! jitter, so light obfuscation (renamed variables, re-minification,
+//! shifted delays) does not change it.
+
+use crate::behavior::{CookieSelection, ScriptOp};
+use std::collections::HashMap;
+
+/// FNV-1a, 64-bit — stable across platforms and runs.
+#[derive(Debug, Clone)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xff]);
+    }
+}
+
+/// Computes the structural signature of a behaviour program.
+///
+/// Included: op kinds (in order), cookie names, overwrite/delete targets,
+/// exfiltration destinations/paths/selection shape. Excluded: generated
+/// values, delays, attribute-change rolls — anything that varies between
+/// runs of the same underlying script.
+pub fn behavior_signature(ops: &[ScriptOp]) -> u64 {
+    let mut h = Fnv::new();
+    hash_ops(&mut h, ops);
+    h.0
+}
+
+fn hash_ops(h: &mut Fnv, ops: &[ScriptOp]) {
+    for op in ops {
+        match op {
+            ScriptOp::SetCookie { name, .. } => {
+                h.str("set");
+                h.str(name);
+            }
+            ScriptOp::CookieStoreSet { name, .. } => {
+                h.str("store_set");
+                h.str(name);
+            }
+            ScriptOp::ReadAllCookies => h.str("read_all"),
+            ScriptOp::CookieStoreGet { name } => {
+                h.str("store_get");
+                h.str(name);
+            }
+            ScriptOp::CookieStoreGetAll => h.str("store_get_all"),
+            ScriptOp::OverwriteCookie { target, .. } => {
+                h.str("overwrite");
+                h.str(target);
+            }
+            ScriptOp::DeleteCookie { target, via_store } => {
+                h.str(if *via_store { "store_delete" } else { "delete" });
+                h.str(target);
+            }
+            ScriptOp::Exfiltrate { dest_host, path, selection, .. } => {
+                h.str("exfil");
+                h.str(dest_host);
+                h.str(path);
+                match selection {
+                    CookieSelection::All => h.str("all"),
+                    CookieSelection::Sample(_) => h.str("sample"),
+                    CookieSelection::Named(names) => {
+                        h.str("named");
+                        for n in names {
+                            h.str(n);
+                        }
+                    }
+                }
+            }
+            ScriptOp::SendRequest { dest_host, path, .. } => {
+                h.str("req");
+                h.str(dest_host);
+                h.str(path);
+            }
+            ScriptOp::InjectScript { url } => {
+                h.str("inject");
+                h.str(url);
+            }
+            ScriptOp::DomInsert { tag } => {
+                h.str("dom_insert");
+                h.str(tag);
+            }
+            ScriptOp::DomMutate { foreign_target, .. } => {
+                h.str(if *foreign_target { "dom_mutate_foreign" } else { "dom_mutate" });
+            }
+            // Timing and attribution details are *not* part of the
+            // signature: only the nested structure is.
+            ScriptOp::Defer { ops, .. } => {
+                h.str("defer[");
+                hash_ops(h, ops);
+                h.str("]");
+            }
+            ScriptOp::Microtask { ops } => {
+                h.str("micro[");
+                hash_ops(h, ops);
+                h.str("]");
+            }
+            ScriptOp::Probe { feature, cookie } => {
+                h.str("probe");
+                h.str(feature);
+                h.str(cookie);
+            }
+            ScriptOp::OnCookieChange { watch, deletions_only, ops } => {
+                h.str(if *deletions_only { "on_change_del[" } else { "on_change[" });
+                if let Some(w) = watch {
+                    h.str(w);
+                }
+                hash_ops(h, ops);
+                h.str("]");
+            }
+        }
+    }
+}
+
+/// A signature database: known third-party behaviours → their script
+/// domain. Built by a "large-scale crawl" in the paper's sketch; here,
+/// learned from the vendor registry's behaviours.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureDb {
+    map: HashMap<u64, String>,
+}
+
+impl SignatureDb {
+    /// An empty database.
+    pub fn new() -> SignatureDb {
+        SignatureDb::default()
+    }
+
+    /// Learns `ops` as belonging to `domain`.
+    pub fn learn(&mut self, domain: &str, ops: &[ScriptOp]) {
+        self.map.insert(behavior_signature(ops), domain.to_ascii_lowercase());
+    }
+
+    /// Looks up a behaviour; returns the known owning domain, if any.
+    pub fn attribute(&self, ops: &[ScriptOp]) -> Option<&str> {
+        self.map.get(&behavior_signature(ops)).map(String::as_str)
+    }
+
+    /// Number of known signatures.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been learned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{AttrChanges, CookieAttrs, Encoding, SegmentPolicy};
+    use crate::value::ValueSpec;
+    use cg_http::RequestKind;
+
+    fn tracker_ops(delay: u64, value: ValueSpec) -> Vec<ScriptOp> {
+        vec![
+            ScriptOp::SetCookie { name: "_tid".into(), value, attrs: CookieAttrs::default() },
+            ScriptOp::Defer {
+                delay_ms: delay,
+                ops: vec![ScriptOp::Exfiltrate {
+                    dest_host: "sink.tracker.io".into(),
+                    path: "/c".into(),
+                    selection: CookieSelection::All,
+                    segment: SegmentPolicy::Full,
+                    encoding: Encoding::Plain,
+                    kind: RequestKind::Image,
+                    via_store: false,
+                }],
+                lose_attribution: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn signature_ignores_values_and_timing() {
+        // Same structure, different generated values and delays → same
+        // signature (obfuscation robustness).
+        let a = behavior_signature(&tracker_ops(400, ValueSpec::Uuid));
+        let b = behavior_signature(&tracker_ops(1300, ValueSpec::HexId(32)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signature_distinguishes_structure() {
+        let a = behavior_signature(&tracker_ops(400, ValueSpec::Uuid));
+        let mut other = tracker_ops(400, ValueSpec::Uuid);
+        other.push(ScriptOp::DeleteCookie { target: "_fbp".into(), via_store: false });
+        assert_ne!(a, behavior_signature(&other));
+        // Different cookie name → different signature.
+        let renamed = vec![ScriptOp::SetCookie {
+            name: "_other".into(),
+            value: ValueSpec::Uuid,
+            attrs: CookieAttrs::default(),
+        }];
+        assert_ne!(behavior_signature(&renamed), behavior_signature(&tracker_ops(0, ValueSpec::Uuid)[..1]));
+    }
+
+    #[test]
+    fn overwrite_rolls_do_not_change_signature() {
+        let a = vec![ScriptOp::OverwriteCookie {
+            target: "_fbp".into(),
+            value: ValueSpec::FbpStyle,
+            changes: AttrChanges::value_and_expiry(),
+            blind: false,
+        }];
+        let b = vec![ScriptOp::OverwriteCookie {
+            target: "_fbp".into(),
+            value: ValueSpec::HexId(64),
+            changes: AttrChanges { value: true, expires: false, domain: true, path: false },
+            blind: true,
+        }];
+        assert_eq!(behavior_signature(&a), behavior_signature(&b));
+    }
+
+    #[test]
+    fn db_learns_and_attributes() {
+        let mut db = SignatureDb::new();
+        db.learn("tracker.io", &tracker_ops(400, ValueSpec::Uuid));
+        assert_eq!(db.len(), 1);
+        // An "inline copy" with different jitter still attributes.
+        assert_eq!(db.attribute(&tracker_ops(900, ValueSpec::HexId(16))), Some("tracker.io"));
+        assert_eq!(db.attribute(&[ScriptOp::ReadAllCookies]), None);
+    }
+}

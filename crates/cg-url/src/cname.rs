@@ -1,0 +1,124 @@
+//! CNAME resolution — the DNS layer behind *CNAME cloaking* (§8).
+//!
+//! CNAME cloaking serves a tracker's script from a first-party subdomain
+//! (`metrics.site.com`) whose DNS CNAME record points at the tracker
+//! (`collect.tracker.io`). Every client-side defense keyed on the script
+//! URL's eTLD+1 — the paper's measurement *and* CookieGuard — then sees a
+//! first-party script. The paper points to DNS-based uncloaking (Brave,
+//! NextDNS, WebKit) as the countermeasure; this module is that resolver:
+//! a map of CNAME records with bounded chain-following, used by the
+//! browser when `resolve_cnames` is enabled.
+
+use crate::psl;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Maximum CNAME chain length followed (RFC-ish sanity bound; real
+/// resolvers give up far earlier).
+const MAX_CHAIN: usize = 8;
+
+/// A set of CNAME records: alias host → canonical host.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CnameMap {
+    records: HashMap<String, String>,
+}
+
+impl CnameMap {
+    /// An empty map (no cloaking anywhere).
+    pub fn new() -> CnameMap {
+        CnameMap::default()
+    }
+
+    /// Adds a record `alias CNAME target`.
+    pub fn insert(&mut self, alias: &str, target: &str) {
+        self.records.insert(alias.to_ascii_lowercase(), target.to_ascii_lowercase());
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Follows the CNAME chain from `host` to its canonical host.
+    /// Returns `host` itself when no record exists; cycles and chains
+    /// longer than `MAX_CHAIN` (8) stop at the last resolved name.
+    pub fn resolve(&self, host: &str) -> String {
+        let mut current = host.to_ascii_lowercase();
+        for _ in 0..MAX_CHAIN {
+            match self.records.get(&current) {
+                Some(next) if next != &current => current = next.clone(),
+                _ => break,
+            }
+        }
+        current
+    }
+
+    /// The *uncloaked* registrable domain of `host`: the eTLD+1 of the
+    /// canonical host. This is what a DNS-aware CookieGuard attributes
+    /// cookie operations to.
+    pub fn uncloaked_domain(&self, host: &str) -> Option<String> {
+        psl::registrable_domain(&self.resolve(host))
+    }
+
+    /// True when `host` is cloaked: its canonical host resolves to a
+    /// different registrable domain.
+    pub fn is_cloaked(&self, host: &str) -> bool {
+        let direct = psl::registrable_domain(host);
+        let resolved = self.uncloaked_domain(host);
+        direct != resolved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> CnameMap {
+        let mut m = CnameMap::new();
+        m.insert("metrics.shop.example", "collect.trackerhub.io");
+        m.insert("a.chain.example", "b.chain.example");
+        m.insert("b.chain.example", "c.final.io");
+        m.insert("loop1.example", "loop2.example");
+        m.insert("loop2.example", "loop1.example");
+        m
+    }
+
+    #[test]
+    fn resolves_single_record() {
+        let m = map();
+        assert_eq!(m.resolve("metrics.shop.example"), "collect.trackerhub.io");
+        assert_eq!(m.resolve("unrelated.example"), "unrelated.example");
+    }
+
+    #[test]
+    fn follows_chains() {
+        let m = map();
+        assert_eq!(m.resolve("a.chain.example"), "c.final.io");
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let m = map();
+        let r = m.resolve("loop1.example");
+        assert!(r == "loop1.example" || r == "loop2.example");
+    }
+
+    #[test]
+    fn uncloaked_domain_reveals_tracker() {
+        let m = map();
+        assert_eq!(m.uncloaked_domain("metrics.shop.example").as_deref(), Some("trackerhub.io"));
+        assert!(m.is_cloaked("metrics.shop.example"));
+        assert!(!m.is_cloaked("www.shop.example"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let m = map();
+        assert_eq!(m.resolve("METRICS.Shop.Example"), "collect.trackerhub.io");
+    }
+}

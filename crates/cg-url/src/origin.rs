@@ -1,0 +1,89 @@
+//! Origins: the Same-Origin Policy's unit of isolation.
+
+use crate::host::Host;
+use crate::psl;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A (scheme, host, port) triple, as defined by the Same-Origin Policy.
+///
+/// The paper's central observation (§2.1, §3) is that SOP isolates
+/// *origins* — so an iframe from `tracker.com` cannot touch
+/// `example.com`'s cookie jar — but every script executing in the main
+/// frame shares the main frame's origin regardless of where the script
+/// was fetched from. The simulator therefore tags each execution context
+/// with both its *origin* (always the main frame's, for main-frame
+/// scripts) and its *script source domain* (the eTLD+1 the script was
+/// fetched from), and CookieGuard keys decisions on the latter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Origin {
+    /// `http` or `https`.
+    pub scheme: String,
+    /// The origin's host.
+    pub host: Host,
+    /// The effective port.
+    pub port: u16,
+}
+
+impl Origin {
+    /// Builds an origin from parts.
+    pub fn new(scheme: &str, host: Host, port: u16) -> Origin {
+        Origin { scheme: scheme.to_ascii_lowercase(), host, port }
+    }
+
+    /// True when `other` is the same origin (scheme, host and port all
+    /// equal) — SOP's strict equivalence.
+    pub fn same_origin(&self, other: &Origin) -> bool {
+        self == other
+    }
+
+    /// True when the two origins share a registrable domain — the looser
+    /// *same-site* relation (used e.g. by cookie `SameSite` handling).
+    pub fn same_site(&self, other: &Origin) -> bool {
+        crate::same_site(&self.host.to_string(), &other.host.to_string())
+    }
+
+    /// The registrable domain of this origin's host.
+    pub fn registrable_domain(&self) -> Option<String> {
+        psl::registrable_domain(&self.host.to_string())
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}:{}", self.scheme, self.host, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Url;
+
+    fn origin(u: &str) -> Origin {
+        Url::parse(u).unwrap().origin()
+    }
+
+    #[test]
+    fn same_origin_requires_exact_triple() {
+        assert!(origin("https://example.com/a").same_origin(&origin("https://example.com/b")));
+        assert!(!origin("https://example.com").same_origin(&origin("http://example.com")));
+        assert!(!origin("https://example.com").same_origin(&origin("https://example.com:8443")));
+        assert!(!origin("https://www.example.com").same_origin(&origin("https://example.com")));
+    }
+
+    #[test]
+    fn same_site_ignores_subdomain_scheme_port() {
+        assert!(origin("https://www.example.com").same_site(&origin("http://cdn.example.com:8080")));
+        assert!(!origin("https://example.com").same_site(&origin("https://example.org")));
+    }
+
+    #[test]
+    fn paper_example_different_origins_same_domain() {
+        // §2.1: https://example.com:8080 vs https://subdomain.example.com:8080
+        let a = origin("https://example.com:8080");
+        let b = origin("https://subdomain.example.com:8080");
+        assert!(!a.same_origin(&b));
+        assert!(a.same_site(&b));
+    }
+}

@@ -1,0 +1,199 @@
+//! Query-string handling: parse, serialize, and percent-decode.
+//!
+//! The exfiltration-detection pipeline (§4.4) extracts candidate
+//! identifiers from the query strings of outbound requests; these helpers
+//! keep that logic in one audited place.
+
+use std::fmt;
+
+/// An ordered multimap of query parameters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryPairs {
+    pairs: Vec<(String, String)>,
+}
+
+impl QueryPairs {
+    /// Creates an empty set of pairs.
+    pub fn new() -> QueryPairs {
+        QueryPairs::default()
+    }
+
+    /// Parses `a=1&b=two` (the leading `?`, if present, is tolerated).
+    /// Keys and values are percent-decoded; `+` decodes to a space.
+    pub fn parse(raw: &str) -> QueryPairs {
+        let raw = raw.strip_prefix('?').unwrap_or(raw);
+        let mut pairs = Vec::new();
+        for chunk in raw.split('&') {
+            if chunk.is_empty() {
+                continue;
+            }
+            let (k, v) = match chunk.split_once('=') {
+                Some((k, v)) => (k, v),
+                None => (chunk, ""),
+            };
+            pairs.push((percent_decode(k), percent_decode(v)));
+        }
+        QueryPairs { pairs }
+    }
+
+    /// Appends a pair (no deduplication: query strings are multimaps).
+    pub fn push(&mut self, key: &str, value: &str) {
+        self.pairs.push((key.to_string(), value.to_string()));
+    }
+
+    /// First value for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// All pairs, in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pairs are present.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Serializes back to `k=v&k2=v2` with percent-encoding.
+    pub fn encode(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for QueryPairs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                f.write_str("&")?;
+            }
+            write!(f, "{}={}", percent_encode(k), percent_encode(v))?;
+        }
+        Ok(())
+    }
+}
+
+/// Percent-encodes everything outside the query-safe set
+/// (alphanumerics and `-._~*`), mirroring `encodeURIComponent` closely
+/// enough for identifier-matching purposes.
+pub fn percent_encode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for b in input.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' | b'*' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push(hex_digit(b >> 4));
+                out.push(hex_digit(b & 0xf));
+            }
+        }
+    }
+    out
+}
+
+/// Percent-decodes `%XX` escapes and `+`-as-space. Malformed escapes are
+/// passed through verbatim (lenient, like browsers).
+pub fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                // Need two hex digits after '%'; otherwise the '%' is literal.
+                if i + 2 < bytes.len() {
+                    if let (Some(h), Some(l)) = (from_hex(bytes[i + 1]), from_hex(bytes[i + 2])) {
+                        out.push((h << 4) | l);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_digit(n: u8) -> char {
+    char::from_digit(n as u32, 16).unwrap().to_ascii_uppercase()
+}
+
+fn from_hex(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let q = QueryPairs::parse("a=1&b=two&c");
+        assert_eq!(q.get("a"), Some("1"));
+        assert_eq!(q.get("b"), Some("two"));
+        assert_eq!(q.get("c"), Some(""));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn parse_tolerates_question_mark_and_empty() {
+        assert_eq!(QueryPairs::parse("?x=1").get("x"), Some("1"));
+        assert!(QueryPairs::parse("").is_empty());
+        assert_eq!(QueryPairs::parse("&&a=1&&").len(), 1);
+    }
+
+    #[test]
+    fn decode_escapes() {
+        assert_eq!(percent_decode("a%20b"), "a b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("%7B%22k%22%3A1%7D"), "{\"k\":1}");
+        // malformed escapes pass through
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let original = "fb.1.1746746266109.868308499845957651 {} &=+";
+        assert_eq!(percent_decode(&percent_encode(original)), original);
+    }
+
+    #[test]
+    fn display_encodes() {
+        let mut q = QueryPairs::new();
+        q.push("sc", "{\"fbp\":\"fb.1\"}");
+        assert_eq!(q.to_string(), "sc=%7B%22fbp%22%3A%22fb.1%22%7D");
+        let reparsed = QueryPairs::parse(&q.to_string());
+        assert_eq!(reparsed.get("sc"), Some("{\"fbp\":\"fb.1\"}"));
+    }
+
+    #[test]
+    fn multimap_preserves_duplicates() {
+        let q = QueryPairs::parse("k=1&k=2");
+        let vals: Vec<_> = q.iter().filter(|(k, _)| *k == "k").map(|(_, v)| v).collect();
+        assert_eq!(vals, vec!["1", "2"]);
+    }
+}

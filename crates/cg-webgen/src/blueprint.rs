@@ -1,0 +1,74 @@
+//! Blueprints: the generator's output, the browser simulator's input.
+
+use crate::site::SiteSpec;
+use cg_script::ScriptOp;
+use cg_url::CnameMap;
+use std::collections::HashMap;
+
+/// One script slot on a page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptBlueprint {
+    /// Script URL; `None` for inline scripts.
+    pub url: Option<String>,
+    /// The behaviour program.
+    pub ops: Vec<ScriptOp>,
+}
+
+/// One page of a site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageBlueprint {
+    /// Path of the page (`/`, `/article-3`, …).
+    pub path: String,
+    /// Raw `Set-Cookie` header values the server attaches to the
+    /// page response.
+    pub server_cookies: Vec<String>,
+    /// Markup-level scripts in document order.
+    pub scripts: Vec<ScriptBlueprint>,
+    /// Rough count of non-script subresources (images/CSS), used by the
+    /// page-load timing model.
+    pub resource_count: u32,
+    /// Internal link paths the crawler may click.
+    pub links: Vec<String>,
+}
+
+/// A complete generated site.
+#[derive(Debug, Clone)]
+pub struct SiteBlueprint {
+    /// Site-level metadata.
+    pub spec: SiteSpec,
+    /// The landing page.
+    pub landing: PageBlueprint,
+    /// Linked subpages (the crawler clicks up to three).
+    pub subpages: Vec<PageBlueprint>,
+    /// Behaviours of dynamically injectable scripts, keyed by script URL.
+    /// The browser resolves `ScriptOp::InjectScript { url }` against
+    /// this map.
+    pub injectables: HashMap<String, Vec<ScriptOp>>,
+    /// The site's DNS CNAME records (cloaked tracker subdomains). Empty
+    /// for uncloaked sites.
+    pub cnames: CnameMap,
+    /// `Content-Security-Policy` header the site serves, if any. The
+    /// generator leaves this `None` (the §5 calibration does not model
+    /// CSP adoption); the §2.1 CSP experiment synthesizes policies via
+    /// [`crate::csp_for_site`].
+    pub csp: Option<String>,
+}
+
+impl SiteBlueprint {
+    /// The landing-page URL.
+    pub fn landing_url(&self) -> String {
+        let scheme = if self.spec.https { "https" } else { "http" };
+        format!("{}://www.{}/", scheme, self.spec.domain)
+    }
+
+    /// URL of a subpage by path.
+    pub fn page_url(&self, path: &str) -> String {
+        let scheme = if self.spec.https { "https" } else { "http" };
+        format!("{}://www.{}{}", scheme, self.spec.domain, path)
+    }
+
+    /// Total number of markup scripts across all pages.
+    pub fn script_count(&self) -> usize {
+        self.landing.scripts.len() + self.subpages.iter().map(|p| p.scripts.len()).sum::<usize>()
+    }
+}

@@ -1,0 +1,39 @@
+//! The synthetic web ecosystem — this reproduction's stand-in for the
+//! Tranco top-20,000 crawl (§4.2).
+//!
+//! The generator produces, deterministically from a seed:
+//!
+//! * a **core vendor registry** (~50 named third-party services with the
+//!   behaviours the paper documents: Google Tag Manager injecting other
+//!   trackers, the Meta pixel ghost-writing `_fbp`, RTB exchanges
+//!   bulk-exfiltrating the jar, consent managers deleting tracker
+//!   cookies, the LinkedIn insight tag's targeted `_ga` parsing, the
+//!   Shopify/Admiral `cookieStore` users, SSO providers, …);
+//! * a **long-tail population** of ~1,600 generated tracker/widget
+//!   domains (the paper's Table 2 counts >1,100 distinct exfiltrator
+//!   entities for `_ga` alone — that diversity must exist for the
+//!   analysis to reproduce);
+//! * **20,000 ranked sites** with Zipf-flavoured vendor adoption,
+//!   category-dependent stacks (commerce sites carry Shopify, news sites
+//!   carry ad exchanges), first-party scripts and HTTP cookies, inline
+//!   scripts, SSO flows, functional features (cart/chat/search), internal
+//!   links for crawler interaction, and a crawl-failure model matching
+//!   the paper's 14,917/20,000 completion rate.
+//!
+//! Everything is emitted as *blueprints* (`SiteBlueprint`,
+//! `PageBlueprint`, `ScriptBlueprint`) that the browser simulator
+//! executes; the generator never touches a cookie jar itself.
+
+pub mod blueprint;
+pub mod config;
+pub mod csp;
+pub mod longtail;
+pub mod names;
+pub mod site;
+pub mod vendors;
+
+pub use blueprint::{PageBlueprint, ScriptBlueprint, SiteBlueprint};
+pub use config::GenConfig;
+pub use csp::{csp_for_site, CspStyle};
+pub use site::{ServerForward, SiteCategory, SiteSpec, SsoKind, WebGenerator};
+pub use vendors::{VendorCategory, VendorId, VendorRegistry, VendorSpec};

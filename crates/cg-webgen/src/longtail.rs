@@ -1,0 +1,328 @@
+//! Long-tail vendor generation.
+//!
+//! The measurement's entity-diversity numbers (Table 2: >1,100 distinct
+//! exfiltrator entities for `_ga`, ~700 destination entities) cannot come
+//! from a few dozen named vendors: the real web has a long tail of small
+//! tracking and widget domains. This module generates that tail.
+
+use crate::names;
+use crate::vendors::{
+    CookieSpec, DeleteSpec, DeleteTarget, ExfilSelection, ExfilSpec, OverwriteSpec, OverwriteTarget,
+    VendorCategory, VendorSpec,
+};
+use cg_http::RequestKind;
+use cg_script::{Encoding, SegmentPolicy, ValueSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const POPULAR_OVERWRITE_TARGETS: &[(&str, f64)] = &[
+    ("_fbp", 0.30),
+    ("OptanonConsent", 0.18),
+    ("_ga", 0.14),
+    ("cto_bundle", 0.08),
+    ("_gid", 0.07),
+    ("_uetvid", 0.06),
+    ("_uetsid", 0.05),
+    ("ajs_anonymous_id", 0.05),
+    ("utag_main", 0.04),
+    ("_gcl_au", 0.03),
+];
+
+/// Identifier cookies the long tail grabs by name — the weights shape
+/// Table 2's exfiltrator-entity counts per cookie.
+const POPULAR_EXFIL_TARGETS: &[(&str, f64)] = &[
+    ("_ga", 0.26),
+    ("_gid", 0.15),
+    ("_gcl_au", 0.12),
+    ("_fbp", 0.07),
+    ("i", 0.05),
+    ("pd", 0.05),
+    ("SPugT", 0.04),
+    ("PugT", 0.04),
+    ("__utma", 0.035),
+    ("__utmb", 0.03),
+    ("__utmz", 0.03),
+    ("_mkto_trk", 0.025),
+    ("_ym_d", 0.025),
+    ("lotame_domain_check", 0.02),
+    ("us_privacy", 0.02),
+    ("_yjsu_yjad", 0.02),
+    ("gaconnector_GA_Client_ID", 0.015),
+    ("gaconnector_GA_Session_ID", 0.015),
+    ("sc_is_visitor_unique", 0.015),
+    ("_awl", 0.004),
+    ("keep_alive", 0.003),
+];
+
+const POPULAR_DELETE_TARGETS: &[(&str, f64)] = &[
+    ("_uetvid", 0.25),
+    ("_uetsid", 0.22),
+    ("_ga", 0.15),
+    ("_fbp", 0.12),
+    ("_gid", 0.10),
+    ("_gcl_au", 0.08),
+    ("_cookie_test", 0.05),
+    ("_screload", 0.03),
+];
+
+fn pick_weighted<R: Rng>(rng: &mut R, table: &[(&str, f64)]) -> String {
+    let total: f64 = table.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen::<f64>() * total;
+    for (name, w) in table {
+        if roll < *w {
+            return name.to_string();
+        }
+        roll -= w;
+    }
+    table[0].0.to_string()
+}
+
+/// Generates `count` long-tail vendors, deterministically from `seed`.
+pub fn generate_longtail(seed: u64, count: usize) -> Vec<VendorSpec> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10f7_7a11);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let domain = names::vendor_domain(&mut rng, i);
+        let host = format!("cdn.{domain}");
+        let category = match rng.gen_range(0..100) {
+            0..=24 => VendorCategory::Analytics,
+            25..=46 => VendorCategory::AdExchange,
+            47..=51 => VendorCategory::SocialWidget,
+            52..=57 => VendorCategory::ConsentManager,
+            58..=71 => VendorCategory::CustomerSupport,
+            72..=83 => VendorCategory::Performance,
+            84..=89 => VendorCategory::AbTesting,
+            _ => VendorCategory::Cdn,
+        };
+        let mut v = VendorSpec {
+            domain: domain.clone(),
+            host: host.clone(),
+            path: format!("/t/{i}.js"),
+            category,
+            sets: Vec::new(),
+            store_sets: Vec::new(),
+            reads_all_prob: 0.0,
+            exfils: Vec::new(),
+            overwrites: Vec::new(),
+            deletes: Vec::new(),
+            inject_domains: Vec::new(),
+            inject_pool_count: (0, 0),
+            // Pareto-ish adoption weight: most long-tail vendors are rare.
+            weight: 0.05 + rng.gen::<f64>().powi(3) * 0.9,
+            dom_mutate_prob: if rng.gen_bool(0.032) { 0.38 } else { 0.0 },
+            feature: None,
+        };
+        // Own cookies: 0–2, generic or branded names.
+        let n_cookies = rng.gen_range(0..=2);
+        for _ in 0..n_cookies {
+            let name = if rng.gen_bool(0.18) {
+                names::generic_cookie_name(&mut rng)
+            } else {
+                format!("_{}_uid", domain.split('.').next().unwrap_or("lt"))
+            };
+            let value = match rng.gen_range(0..4) {
+                0 => ValueSpec::Uuid,
+                1 => ValueSpec::HexId(rng.gen_range(16..40)),
+                2 => ValueSpec::GaStyle,
+                _ => ValueSpec::Short,
+            };
+            v.sets.push(CookieSpec {
+                name,
+                value,
+                max_age_s: Some(86_400 * rng.gen_range(1..400)),
+                site_wide: true,
+                prob: 0.8,
+            });
+        }
+        let is_trackerish = category.is_ad_tracking();
+        v.reads_all_prob = if is_trackerish { 0.6 } else { 0.25 };
+        // Bulk exfiltration: the signature long-tail behaviour.
+        let exfil_prob: f64 = if is_trackerish { 0.50 } else { 0.08 };
+        if rng.gen_bool(exfil_prob) {
+            let selection = if rng.gen_bool(0.62) {
+                let mut names: Vec<String> = Vec::new();
+                let n = rng.gen_range(1..=3);
+                for _ in 0..n {
+                    let pick = pick_weighted(&mut rng, POPULAR_EXFIL_TARGETS);
+                    if !names.contains(&pick) {
+                        names.push(pick);
+                    }
+                }
+                // Long-tail trackers also report their own identifier.
+                if let Some(own) = v.sets.first() {
+                    names.push(own.name.clone());
+                }
+                ExfilSelection::Named(names)
+            } else {
+                ExfilSelection::Sample(rng.gen_range(2..=5))
+            };
+            v.exfils.push(ExfilSpec {
+                dests: vec![host],
+                path: "/collect".into(),
+                selection,
+                segment: SegmentPolicy::Full,
+                // A slice of the tail hashes or encodes before sending;
+                // Full+Base64 is deliberately kept in the mix as a case
+                // the paper's detector cannot match (full-value encoding
+                // destroys segment alignment) — a documented miss path.
+                encoding: match rng.gen_range(0..20) {
+                    0..=15 => Encoding::Plain,
+                    16 | 17 => Encoding::Md5,
+                    18 => Encoding::Sha1,
+                    _ => Encoding::Base64,
+                },
+                kind: if rng.gen_bool(0.5) { RequestKind::Image } else { RequestKind::Xhr },
+                prob: 0.30,
+                via_store: false,
+                extra_dest_samples: rng.gen_range(1..=2),
+            });
+        }
+        // Occasional overwriters (drives Table 5's manipulator counts).
+        if rng.gen_bool(0.030) {
+            let target = if rng.gen_bool(0.72) {
+                OverwriteTarget::Named(pick_weighted(&mut rng, POPULAR_OVERWRITE_TARGETS))
+            } else {
+                OverwriteTarget::GenericName
+            };
+            v.overwrites.push(OverwriteSpec {
+                target,
+                value: ValueSpec::HexId(rng.gen_range(16..64)),
+                prob: 0.7,
+                blind: rng.gen_bool(0.35),
+            });
+        }
+        // Rare deleters outside the consent category.
+        let delete_prob = if category == VendorCategory::ConsentManager { 0.10 } else { 0.005 };
+        if rng.gen_bool(delete_prob) {
+            v.deletes.push(DeleteSpec {
+                target: DeleteTarget::Named(pick_weighted(&mut rng, POPULAR_DELETE_TARGETS)),
+                prob: 0.5,
+                via_store: false,
+            });
+            if category == VendorCategory::ConsentManager {
+                v.deletes.push(DeleteSpec { target: DeleteTarget::RandomFirstParty, prob: 0.3, via_store: false });
+            }
+        }
+        // Tracker-ish tail vendors occasionally chain-load partners.
+        if is_trackerish && rng.gen_bool(0.6) {
+            v.inject_pool_count = (0, 3);
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// Generates the dedicated CookieStore-using vendor pool (§5.2's long
+/// tail of 361 distinct setter domains with only 13 distinct names).
+/// Each vendor sets one structured cookie via `cookieStore.set`; a small
+/// fraction also reads the store back and reports home.
+pub fn generate_store_vendors(seed: u64, count: usize) -> Vec<VendorSpec> {
+    const STORE_NAMES: &[&str] = &[
+        "_awl", "_awl", "_awl", "_awl", "keep_alive", "keep_alive", "keep_alive",
+        "st_id", "kv_sync", "cs_probe", "perf_beat", "hb_tick", "sw_state", "px_keep",
+        "tab_sync", "live_ping",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5708_e5e5);
+    (0..count)
+        .map(|i| {
+            let domain = names::vendor_domain(&mut rng, 50_000 + i);
+            let host = format!("cdn.{domain}");
+            let name = STORE_NAMES[rng.gen_range(0..STORE_NAMES.len())];
+            let mut v = VendorSpec {
+                domain,
+                host: host.clone(),
+                path: format!("/sdk/{i}.js"),
+                category: VendorCategory::Performance,
+                sets: Vec::new(),
+                store_sets: vec![CookieSpec {
+                    name: name.into(),
+                    value: ValueSpec::CounterTimestampSession,
+                    max_age_s: Some(86_400),
+                    site_wide: true,
+                    prob: 0.95,
+                }],
+                reads_all_prob: 0.0,
+                exfils: Vec::new(),
+                overwrites: Vec::new(),
+                deletes: Vec::new(),
+                inject_domains: Vec::new(),
+                inject_pool_count: (0, 0),
+                weight: 0.0, // adoption handled by the dedicated sampler
+                dom_mutate_prob: 0.0,
+                feature: None,
+            };
+            if rng.gen_bool(0.3) {
+                v.exfils.push(ExfilSpec {
+                    dests: vec![host],
+                    path: "/beat".into(),
+                    selection: ExfilSelection::All,
+                    segment: SegmentPolicy::Full,
+                    encoding: Encoding::Plain,
+                    kind: RequestKind::Beacon,
+                    prob: 0.8,
+                    via_store: true,
+                    extra_dest_samples: 0,
+                });
+            }
+            v
+        })
+        .collect()
+}
+
+/// Generates the destination-only domain pool (entities that receive
+/// exfiltrated identifiers without serving scripts).
+pub fn generate_destinations(seed: u64, count: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+    (0..count).map(|i| format!("sync.{}", names::vendor_domain(&mut rng, 100_000 + i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longtail_deterministic_and_diverse() {
+        let a = generate_longtail(1, 200);
+        let b = generate_longtail(1, 200);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.domain, y.domain);
+        }
+        let exfiltrators = a.iter().filter(|v| !v.exfils.is_empty()).count();
+        assert!(exfiltrators > 60, "expected a majority-ish of exfiltrators, got {exfiltrators}");
+        let overwriters = a.iter().filter(|v| !v.overwrites.is_empty()).count();
+        assert!(overwriters > 5, "got {overwriters}");
+    }
+
+    #[test]
+    fn tracking_share_is_majority_but_not_all() {
+        // The occurrence-weighted 70% of §5.1 comes from the core vendors
+        // dominating adoption; the long tail itself sits near 58%.
+        let tail = generate_longtail(42, 1000);
+        let tracking = tail.iter().filter(|v| v.category.is_ad_tracking()).count();
+        let share = tracking as f64 / 1000.0;
+        assert!((0.48..0.70).contains(&share), "tracking share {share}");
+    }
+
+    #[test]
+    fn store_vendors_set_via_cookie_store_only() {
+        let sv = generate_store_vendors(9, 100);
+        assert_eq!(sv.len(), 100);
+        for v in &sv {
+            assert!(v.sets.is_empty());
+            assert_eq!(v.store_sets.len(), 1);
+            assert_eq!(v.weight, 0.0);
+        }
+        // Name diversity stays small (§5.2: 13 unique names).
+        let names: std::collections::HashSet<&str> =
+            sv.iter().map(|v| v.store_sets[0].name.as_str()).collect();
+        assert!(names.len() <= 11);
+    }
+
+    #[test]
+    fn destinations_unique() {
+        let d = generate_destinations(7, 100);
+        let set: std::collections::HashSet<_> = d.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+}

@@ -1,0 +1,127 @@
+//! Deterministic name generation: site domains, long-tail vendor domains,
+//! and cookie names.
+
+use rand::Rng;
+
+const SITE_STEMS: &[&str] = &[
+    "daily", "global", "metro", "prime", "urban", "alpha", "nova", "vista", "bright", "swift",
+    "cedar", "lumen", "quartz", "ember", "willow", "harbor", "summit", "aspen", "meadow", "coral",
+    "orchid", "falcon", "beacon", "canyon", "breeze", "garnet", "indigo", "jasper", "laurel", "maple",
+];
+
+const SITE_NOUNS: &[&str] = &[
+    "news", "times", "post", "shop", "store", "market", "blog", "journal", "media", "tech",
+    "health", "clinic", "travel", "kitchen", "sports", "games", "finance", "bank", "academy", "labs",
+    "studio", "gallery", "forum", "hub", "portal", "review", "guide", "daily", "world", "express",
+];
+
+const SITE_TLDS: &[(&str, u32)] = &[
+    ("com", 58), ("org", 8), ("net", 7), ("io", 4), ("co", 3), ("de", 4), ("ru", 3), ("co.uk", 3),
+    ("fr", 2), ("jp", 2), ("com.br", 2), ("in", 1), ("it", 1), ("nl", 1), ("es", 1),
+];
+
+const VENDOR_STEMS: &[&str] = &[
+    "pixel", "track", "metric", "insight", "audience", "beacon", "signal", "vector", "datum",
+    "quant", "reach", "engage", "convert", "funnel", "spark", "pulse", "radar", "scope", "prism",
+    "lens", "grid", "sync", "bridge", "relay", "stream", "cast", "echo", "wave", "flux", "orbit",
+];
+
+const VENDOR_SUFFIXES: &[&str] = &[
+    "analytics", "ads", "media", "tag", "cdn", "js", "api", "hub", "lab", "net", "io", "ly",
+    "ware", "metrics", "data", "stats", "serve", "feed", "link", "zone",
+];
+
+const VENDOR_TLDS: &[(&str, u32)] = &[("com", 55), ("net", 15), ("io", 12), ("co", 6), ("ai", 4), ("ru", 4), ("tech", 4)];
+
+const GENERIC_COOKIE_STEMS: &[&str] = &[
+    "session", "visitor", "uid", "user_id", "cookie_test", "tracker", "visit", "client", "device",
+    "browser", "anon", "guest", "pref", "consent", "locale", "theme", "cart", "basket", "csrf",
+    "token", "campaign", "ref", "source", "utm_track", "abtest", "variant", "exp", "seg",
+];
+
+fn pick_weighted<'a, R: Rng>(rng: &mut R, table: &'a [(&'a str, u32)]) -> &'a str {
+    let total: u32 = table.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for (item, w) in table {
+        if roll < *w {
+            return item;
+        }
+        roll -= w;
+    }
+    table[0].0
+}
+
+/// Generates a site domain for `rank` (deterministic for a given rng
+/// state): `<stem><noun>-<rank>.<tld>`.
+pub fn site_domain<R: Rng>(rng: &mut R, rank: usize) -> String {
+    let stem = SITE_STEMS[rng.gen_range(0..SITE_STEMS.len())];
+    let noun = SITE_NOUNS[rng.gen_range(0..SITE_NOUNS.len())];
+    let tld = pick_weighted(rng, SITE_TLDS);
+    format!("{stem}{noun}-{rank}.{tld}")
+}
+
+/// Generates a long-tail vendor domain: `<stem><suffix><n>.<tld>`.
+pub fn vendor_domain<R: Rng>(rng: &mut R, index: usize) -> String {
+    let stem = VENDOR_STEMS[rng.gen_range(0..VENDOR_STEMS.len())];
+    let suffix = VENDOR_SUFFIXES[rng.gen_range(0..VENDOR_SUFFIXES.len())];
+    let tld = pick_weighted(rng, VENDOR_TLDS);
+    format!("{stem}{suffix}{index}.{tld}")
+}
+
+/// Generates a generic cookie name (the collision-prone names of §5.5:
+/// `cookie_test`, `user_id`, …), optionally decorated with a short
+/// random suffix.
+pub fn generic_cookie_name<R: Rng>(rng: &mut R) -> String {
+    let stem = GENERIC_COOKIE_STEMS[rng.gen_range(0..GENERIC_COOKIE_STEMS.len())];
+    if rng.gen_bool(0.5) {
+        format!("_{stem}")
+    } else {
+        stem.to_string()
+    }
+}
+
+/// Generates a site-specific first-party cookie name.
+pub fn first_party_cookie_name<R: Rng>(rng: &mut R) -> String {
+    let stem = GENERIC_COOKIE_STEMS[rng.gen_range(0..GENERIC_COOKIE_STEMS.len())];
+    format!("{}_{:x}", stem, rng.gen_range(0x1000u32..0xffff))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn site_domains_are_valid_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for rank in 1..200 {
+            let da = site_domain(&mut a, rank);
+            let db = site_domain(&mut b, rank);
+            assert_eq!(da, db);
+            assert!(cg_url::registrable_domain(&da).is_some(), "{da} lacks eTLD+1");
+            // The domain must be its own registrable domain (no subdomain).
+            assert_eq!(cg_url::registrable_domain(&da).unwrap(), da);
+        }
+    }
+
+    #[test]
+    fn vendor_domains_unique_by_index() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = vendor_domain(&mut rng, 1);
+        let b = vendor_domain(&mut rng, 2);
+        assert_ne!(a, b);
+        assert!(cg_url::registrable_domain(&a).is_some());
+    }
+
+    #[test]
+    fn cookie_names_nonempty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert!(!generic_cookie_name(&mut rng).is_empty());
+            let fp = first_party_cookie_name(&mut rng);
+            assert!(fp.contains('_'));
+        }
+    }
+}

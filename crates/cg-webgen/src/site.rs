@@ -1,0 +1,1114 @@
+//! Site generation: ranked sites with category-dependent vendor stacks.
+
+use crate::blueprint::{PageBlueprint, ScriptBlueprint, SiteBlueprint};
+use crate::config::GenConfig;
+use crate::longtail::{generate_destinations, generate_longtail, generate_store_vendors};
+use crate::names;
+use crate::vendors::{VendorCategory, VendorId, VendorRegistry, VendorSpec};
+use cg_http::RequestKind;
+use cg_script::{CookieAttrs, CookieSelection, Encoding, ScriptOp, SegmentPolicy, ValueSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Site vertical; shifts which vendors a site adopts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteCategory {
+    /// News and publishing (ad-heavy).
+    News,
+    /// E-commerce.
+    Shopping,
+    /// Personal/blog content.
+    Blog,
+    /// Corporate / B2B.
+    Corporate,
+    /// Technology / SaaS.
+    Tech,
+    /// Entertainment / streaming.
+    Entertainment,
+    /// Healthcare.
+    Health,
+    /// Education.
+    Education,
+    /// Finance.
+    Finance,
+}
+
+/// The SSO flow shape on a site — the mechanics behind Table 3.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SsoKind {
+    /// One provider domain sets and reads its own session cookie
+    /// (never breaks under CookieGuard: the creator reads its own cookie).
+    SingleDomain {
+        /// Provider script domain.
+        provider: String,
+    },
+    /// Two sibling domains of one entity split the flow (e.g. the
+    /// `msauth.net` setter and the `live.com` reader on zoom.us):
+    /// breaks under strict isolation, healed by entity grouping.
+    SameEntityPair {
+        /// Setter domain.
+        provider: String,
+        /// Sibling reader domain.
+        reader: String,
+    },
+    /// The flow spans two unrelated entities: breaks even with
+    /// grouping (the residual 3%).
+    CrossEntity {
+        /// Setter domain.
+        provider: String,
+        /// Unrelated reader domain.
+        reader: String,
+    },
+}
+
+/// One server-side relay rule on a site's own infrastructure (§5.7):
+/// requests hitting the site's host under `path_prefix` are forwarded to
+/// `forwards_to` by the site's server, out of any client-side defense's
+/// sight.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerForward {
+    /// Path prefix on the site's own host (e.g. `/g/collect`).
+    pub path_prefix: String,
+    /// The tracker eTLD+1 the server relays matching requests to.
+    pub forwards_to: String,
+}
+
+/// Site-level metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Tranco-style rank (1 = most popular).
+    pub rank: usize,
+    /// The site's registrable domain.
+    pub domain: String,
+    /// Vertical.
+    pub category: SiteCategory,
+    /// Whether the site serves HTTPS (vast majority).
+    pub https: bool,
+    /// Whether the crawl of this site yields complete data
+    /// (paper: 14,917 of 20,000 do).
+    pub crawl_ok: bool,
+    /// The SSO flow, if the site has a login.
+    pub sso: Option<SsoKind>,
+    /// Directly included vendor domains (for tests/forensics; the
+    /// blueprint is authoritative).
+    pub direct_vendor_domains: Vec<String>,
+    /// Whether the site self-hosts an analytics copy on its own domain.
+    pub self_hosted_tracker: bool,
+    /// Whether the site serves a CNAME-cloaked tracker from a first-party
+    /// subdomain (§8).
+    pub cname_cloaked: bool,
+    /// Whether the site runs a first-party server-side tagging endpoint
+    /// (§5.7's CookieGuard bypass).
+    pub server_side_tagging: bool,
+    /// Server-side relay rules active on the site's own host.
+    pub server_forwards: Vec<ServerForward>,
+    /// A tracker that respawns its identifier on deletion, as
+    /// `(script domain, cookie name)`.
+    pub respawning_tracker: Option<(String, String)>,
+}
+
+/// The tracking identifiers consent managers purge on declined consent
+/// (the most-deleted cookies of the paper's Table 5).
+const CONSENT_PURGE_TARGETS: &[&str] = &["_uetvid", "_uetsid", "_ga", "_fbp", "_gid", "_gcl_au"];
+
+/// SplitMix64: cheap, high-quality per-site seed derivation, so sites can
+/// be generated independently (and in parallel) from one master seed.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The generator: deterministic site blueprints from a master seed.
+pub struct WebGenerator {
+    cfg: GenConfig,
+    seed: u64,
+    registry: VendorRegistry,
+    dest_pool: Vec<String>,
+    /// Cumulative weights for core-vendor sampling.
+    core_weighted: Vec<(VendorId, f64)>,
+    /// Ids of long-tail vendors.
+    longtail_ids: Vec<VendorId>,
+    store_vendor_ids: Vec<VendorId>,
+    consent_ids: Vec<VendorId>,
+    sso_provider_ids: Vec<VendorId>,
+}
+
+impl WebGenerator {
+    /// Builds a generator (vendor registry included) for `cfg` and `seed`.
+    pub fn new(cfg: GenConfig, seed: u64) -> WebGenerator {
+        let mut longtail = generate_longtail(seed, cfg.longtail_vendors);
+        let longtail_count = longtail.len();
+        longtail.extend(generate_store_vendors(seed, cfg.cookie_store_vendors));
+        let registry = VendorRegistry::new(longtail);
+        let mut dest_pool = generate_destinations(seed, cfg.longtail_destinations);
+        // Vendor hosts are also legitimate destinations.
+        for v in registry.all().iter().take(registry.core_count()) {
+            dest_pool.push(v.host.clone());
+        }
+        let core_weighted: Vec<(VendorId, f64)> = registry
+            .all()
+            .iter()
+            .enumerate()
+            .take(registry.core_count())
+            .filter(|(_, v)| v.weight > 0.0 && v.category != VendorCategory::SsoProvider)
+            .map(|(i, v)| (i, v.weight))
+            .collect();
+        let longtail_ids: Vec<VendorId> = (registry.core_count()..registry.core_count() + longtail_count).collect();
+        let store_vendor_ids: Vec<VendorId> =
+            (registry.core_count() + longtail_count..registry.all().len()).collect();
+        let consent_ids: Vec<VendorId> = registry
+            .all()
+            .iter()
+            .enumerate()
+            .take(registry.core_count())
+            .filter(|(_, v)| v.category == VendorCategory::ConsentManager)
+            .map(|(i, _)| i)
+            .collect();
+        let sso_provider_ids: Vec<VendorId> = registry
+            .all()
+            .iter()
+            .enumerate()
+            .take(registry.core_count())
+            .filter(|(_, v)| v.category == VendorCategory::SsoProvider && v.weight > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        WebGenerator {
+            cfg,
+            seed,
+            registry,
+            dest_pool,
+            core_weighted,
+            longtail_ids,
+            store_vendor_ids,
+            consent_ids,
+            sso_provider_ids,
+        }
+    }
+
+    /// The vendor registry backing this generator.
+    pub fn registry(&self) -> &VendorRegistry {
+        &self.registry
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GenConfig {
+        &self.cfg
+    }
+
+    /// The per-site RNG seed for `rank` (exposed so the browser can
+    /// derive correlated-but-independent streams).
+    pub fn site_seed(&self, rank: usize) -> u64 {
+        splitmix64(self.seed ^ (rank as u64).wrapping_mul(0x9e37_79b9))
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.cfg.site_count
+    }
+
+    /// Generates the full blueprint for the site at `rank` (1-based).
+    pub fn blueprint(&self, rank: usize) -> SiteBlueprint {
+        let mut rng = StdRng::seed_from_u64(self.site_seed(rank));
+        let domain = names::site_domain(&mut rng, rank);
+        let category = sample_category(&mut rng);
+        let https = rng.gen_bool(0.97);
+        let crawl_ok = !rng.gen_bool(self.cfg.crawl_failure_prob);
+
+        // ---------------- vendor adoption ----------------
+        let mut direct: Vec<VendorId> = Vec::new();
+        let mut present: HashSet<VendorId> = HashSet::new();
+        let no_third_party = rng.gen_bool(self.cfg.no_third_party_prob);
+        if !no_third_party {
+            let rank_factor = 1.25 - 0.5 * (rank as f64 / self.cfg.site_count.max(1) as f64);
+            let n_core = poisson_like(&mut rng, self.cfg.direct_vendors_mean * rank_factor).min(14);
+            for _ in 0..n_core {
+                if let Some(id) = sample_weighted(&mut rng, &self.core_weighted, &present) {
+                    present.insert(id);
+                    direct.push(id);
+                }
+            }
+            // Category flavour.
+            match category {
+                SiteCategory::Shopping if rng.gen_bool(self.cfg.shopify_on_commerce_prob) => {
+                    self.force_include(&mut rng, "shopifycloud.com", &mut direct, &mut present);
+                }
+                SiteCategory::News | SiteCategory::Entertainment
+                    if rng.gen_bool(self.cfg.admiral_on_content_prob) =>
+                {
+                    self.force_include(&mut rng, "getadmiral.com", &mut direct, &mut present);
+                }
+                _ => {}
+            }
+            // Rare CookieStore SDK adoption (the §5.2 long tail).
+            if rng.gen_bool(self.cfg.cookie_store_site_prob) && !self.store_vendor_ids.is_empty() {
+                let id = self.store_vendor_ids[rng.gen_range(0..self.store_vendor_ids.len())];
+                if present.insert(id) {
+                    direct.push(id);
+                }
+            }
+            // Long-tail adoption.
+            let n_tail = poisson_like(&mut rng, self.cfg.longtail_per_site_mean).min(10);
+            for _ in 0..n_tail {
+                let id = self.longtail_ids[rng.gen_range(0..self.longtail_ids.len())];
+                if present.insert(id) {
+                    direct.push(id);
+                }
+            }
+            // Consent manager.
+            if rng.gen_bool(self.cfg.consent_manager_prob) {
+                let id = self.consent_ids[rng.gen_range(0..self.consent_ids.len())];
+                if present.insert(id) {
+                    direct.push(id);
+                }
+            }
+        }
+
+        // ---------------- SSO ----------------
+        // Third-party-managed SSO presupposes third-party scripts.
+        let sso = if !no_third_party && rng.gen_bool(self.cfg.sso_prob) && !self.sso_provider_ids.is_empty() {
+            let pid = self.sso_provider_ids[rng.gen_range(0..self.sso_provider_ids.len())];
+            let provider = self.registry.get(pid);
+            let roll: f64 = rng.gen();
+            let kind = if roll < self.cfg.sso_cross_entity_prob {
+                // Reader from an unrelated long-tail widget domain.
+                let reader_id = self.longtail_ids[rng.gen_range(0..self.longtail_ids.len())];
+                SsoKind::CrossEntity {
+                    provider: provider.domain.clone(),
+                    reader: self.registry.get(reader_id).domain.clone(),
+                }
+            } else if roll < self.cfg.sso_cross_entity_prob + self.cfg.sso_same_entity_pair_prob {
+                match &provider.feature {
+                    Some((_, _, Some(sibling))) => SsoKind::SameEntityPair {
+                        provider: provider.domain.clone(),
+                        reader: sibling.clone(),
+                    },
+                    _ => SsoKind::SingleDomain { provider: provider.domain.clone() },
+                }
+            } else {
+                SsoKind::SingleDomain { provider: provider.domain.clone() }
+            };
+            present.insert(pid);
+            direct.push(pid);
+            Some(kind)
+        } else {
+            None
+        };
+
+        // ---------------- first-party content ----------------
+        let n_fp_cookies = poisson_like(&mut rng, self.cfg.first_party_cookies_mean).min(10);
+        let fp_cookie_names: Vec<String> =
+            (0..n_fp_cookies).map(|_| names::first_party_cookie_name(&mut rng)).collect();
+        let self_hosted_tracker = !no_third_party && rng.gen_bool(self.cfg.self_hosted_tracker_prob);
+        let cname_cloaked = !no_third_party && rng.gen_bool(self.cfg.cname_cloaking_prob);
+
+        // Server-side tagging (§5.7): the site operates first-party
+        // collector endpoints that relay to trackers server-side.
+        let server_side_tagging = !no_third_party && rng.gen_bool(self.cfg.server_side_tagging_prob);
+        let mut server_forwards = Vec::new();
+        if server_side_tagging {
+            server_forwards.push(ServerForward {
+                path_prefix: "/g/collect".to_string(),
+                forwards_to: "google-analytics.com".to_string(),
+            });
+            if rng.gen_bool(self.cfg.capi_gateway_prob) {
+                server_forwards.push(ServerForward {
+                    path_prefix: "/capi-events".to_string(),
+                    forwards_to: "facebook.net".to_string(),
+                });
+            }
+        }
+
+        // Respawning tracker: on consent-managed sites, an ad/tracking
+        // vendor may watch for deletion of its identifier and re-set it.
+        // The identifier must be one the consent manager actually purges
+        // (the cookies the §5.5 deletion tables name), so these sites are
+        // deterministic consent-war battlegrounds.
+        let has_consent_manager =
+            direct.iter().any(|&id| self.registry.get(id).category == VendorCategory::ConsentManager);
+        let respawning_tracker = if has_consent_manager && rng.gen_bool(self.cfg.respawn_tracker_prob) {
+            direct.iter().map(|&id| self.registry.get(id)).find_map(|v| {
+                if !v.category.is_ad_tracking() {
+                    return None;
+                }
+                v.sets
+                    .iter()
+                    .find(|c| CONSENT_PURGE_TARGETS.contains(&c.name.as_str()))
+                    .map(|c| (v.domain.clone(), c.name.clone()))
+            })
+        } else {
+            None
+        };
+
+        let spec = SiteSpec {
+            rank,
+            domain: domain.clone(),
+            category,
+            https,
+            crawl_ok,
+            sso: sso.clone(),
+            direct_vendor_domains: direct.iter().map(|&i| self.registry.get(i).domain.clone()).collect(),
+            self_hosted_tracker,
+            cname_cloaked,
+            server_side_tagging,
+            server_forwards,
+            respawning_tracker,
+        };
+
+        // ---------------- landing page assembly ----------------
+        let mut injectables: HashMap<String, Vec<ScriptOp>> = HashMap::new();
+        let mut landing = self.build_page(
+            &mut rng,
+            &spec,
+            "/",
+            &direct,
+            &fp_cookie_names,
+            &sso,
+            self_hosted_tracker,
+            true,
+            &mut injectables,
+        );
+
+        // ---------------- subpages ----------------
+        let mut subpages = Vec::new();
+        for path in landing.links.clone().iter().take(3) {
+            let page = self.build_page(
+                &mut rng,
+                &spec,
+                path,
+                &direct,
+                &fp_cookie_names,
+                &sso,
+                self_hosted_tracker,
+                false,
+                &mut injectables,
+            );
+            subpages.push(page);
+        }
+
+        // CNAME cloaking: serve a tracker behaviour from a first-party
+        // subdomain whose DNS CNAME points at the tracker (§8). URL-keyed
+        // attribution sees a first-party script; only a DNS-aware guard
+        // (VisitConfig::resolve_cnames) can uncloak it.
+        let mut cnames = cg_url::CnameMap::new();
+        if cname_cloaked {
+            let alias = format!("metrics.{domain}");
+            let target_id = self.longtail_ids[rng.gen_range(0..self.longtail_ids.len())];
+            let target = self.registry.get(target_id);
+            cnames.insert(&alias, &target.host);
+            let scheme = if https { "https" } else { "http" };
+            landing.scripts.push(crate::blueprint::ScriptBlueprint {
+                url: Some(format!("{scheme}://{alias}/t.js")),
+                ops: vec![
+                    ScriptOp::SetCookie {
+                        name: "_cloaked_uid".into(),
+                        value: ValueSpec::Uuid,
+                        attrs: CookieAttrs { max_age_s: Some(31_536_000), site_wide: true, path: None, secure: false },
+                    },
+                    ScriptOp::ReadAllCookies,
+                    ScriptOp::Defer {
+                        delay_ms: rng.gen_range(400..1200),
+                        ops: vec![ScriptOp::Exfiltrate {
+                            dest_host: target.host.clone(),
+                            path: "/cloaked".into(),
+                            selection: CookieSelection::Sample(20),
+                            segment: SegmentPolicy::Full,
+                            encoding: Encoding::Plain,
+                            kind: RequestKind::Image,
+                            via_store: false,
+                        }],
+                        lose_attribution: false,
+                    },
+                ],
+            });
+        }
+
+        SiteBlueprint { spec, landing, subpages, injectables, cnames, csp: None }
+    }
+
+    fn force_include(&self, _rng: &mut StdRng, domain: &str, direct: &mut Vec<VendorId>, present: &mut HashSet<VendorId>) {
+        if let Some(id) = self.registry.id_of(domain) {
+            if present.insert(id) {
+                direct.push(id);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_page(
+        &self,
+        rng: &mut StdRng,
+        spec: &SiteSpec,
+        path: &str,
+        direct: &[VendorId],
+        fp_cookie_names: &[String],
+        sso: &Option<SsoKind>,
+        self_hosted_tracker: bool,
+        is_landing: bool,
+        injectables: &mut HashMap<String, Vec<ScriptOp>>,
+    ) -> PageBlueprint {
+        let scheme = if spec.https { "https" } else { "http" };
+        let mut scripts: Vec<ScriptBlueprint> = Vec::new();
+
+        // Server cookies (landing only: the session is established once).
+        let mut server_cookies = Vec::new();
+        if is_landing {
+            let n_http = poisson_like(rng, self.cfg.http_cookies_mean).min(5);
+            for i in 0..n_http {
+                let name = if i == 0 { "session_id".to_string() } else { names::first_party_cookie_name(rng) };
+                let http_only = rng.gen_bool(self.cfg.http_only_prob);
+                let mut raw = format!("{name}={}", ValueSpec::HexId(26).generate(0, rng));
+                raw.push_str("; Path=/");
+                if http_only {
+                    raw.push_str("; HttpOnly");
+                }
+                server_cookies.push(raw);
+            }
+        }
+
+        // First-party scripts.
+        // Sites with no third-party stack sometimes run no cookie-touching
+        // first-party code at all (the §5.2 3.7% without document.cookie).
+        let use_fp_script = if direct.is_empty() {
+            rng.gen_bool(0.35)
+        } else {
+            !fp_cookie_names.is_empty() || rng.gen_bool(self.cfg.first_party_script_prob)
+        };
+        if use_fp_script {
+            let mut ops: Vec<ScriptOp> = Vec::new();
+            for name in fp_cookie_names {
+                if is_landing || rng.gen_bool(0.3) {
+                    // Most site cookies are short tokens/preferences; only
+                    // some carry ≥8-char identifier material (§4.4's
+                    // candidate threshold keeps the rest out of scope).
+                    let value = if rng.gen_bool(0.42) { ValueSpec::HexId(20) } else { ValueSpec::Short };
+                    ops.push(ScriptOp::SetCookie {
+                        name: name.clone(),
+                        value,
+                        attrs: CookieAttrs { max_age_s: Some(86_400 * 30), site_wide: false, path: None, secure: false },
+                    });
+                }
+            }
+            if is_landing && rng.gen_bool(0.30) {
+                // Collision-prone generic names (`cookie_test`, `user_id`):
+                // the §5.5 name-collision channel.
+                ops.push(ScriptOp::SetCookie {
+                    name: names::generic_cookie_name(rng),
+                    value: if rng.gen_bool(0.4) { ValueSpec::HexId(16) } else { ValueSpec::Short },
+                    attrs: CookieAttrs::default(),
+                });
+            }
+            ops.push(ScriptOp::ReadAllCookies);
+            if spec.category == SiteCategory::Shopping {
+                ops.push(ScriptOp::SetCookie {
+                    name: "cart_id".into(),
+                    value: ValueSpec::Uuid,
+                    attrs: CookieAttrs::default(),
+                });
+                ops.push(ScriptOp::Probe { feature: "cart".into(), cookie: "cart_id".into() });
+            }
+            scripts.push(ScriptBlueprint {
+                url: Some(format!("{scheme}://www.{}/static/app.js", spec.domain)),
+                ops,
+            });
+        }
+
+        // Self-hosted analytics copy: a first-party URL running a
+        // tracker's behaviour — CookieGuard treats it as the site owner,
+        // which is exactly the bypass §8 discusses. Besides exfiltrating,
+        // self-hosted site code overwrites and occasionally clears
+        // third-party identifiers, which is why Fig. 5's guarded bars are
+        // not zero (reductions of 82–86%, not 100%).
+        if self_hosted_tracker && is_landing {
+            let mut ops = vec![
+                ScriptOp::SetCookie {
+                    name: "_ga".into(),
+                    value: ValueSpec::GaStyle,
+                    attrs: CookieAttrs { max_age_s: Some(63_072_000), site_wide: true, path: None, secure: false },
+                },
+                ScriptOp::ReadAllCookies,
+                ScriptOp::Defer {
+                    delay_ms: rng.gen_range(300..900),
+                    ops: vec![ScriptOp::Exfiltrate {
+                        dest_host: "www.google-analytics.com".into(),
+                        path: "/collect".into(),
+                        selection: CookieSelection::All,
+                        segment: SegmentPolicy::Full,
+                        encoding: Encoding::Plain,
+                        kind: RequestKind::Image,
+                        via_store: false,
+                    }],
+                    lose_attribution: false,
+                },
+            ];
+            if rng.gen_bool(0.62) {
+                let target = ["_fbp", "_gid", "_gcl_au", "OptanonConsent"][rng.gen_range(0..4)];
+                ops.push(ScriptOp::Defer {
+                    delay_ms: rng.gen_range(900..2000),
+                    ops: vec![ScriptOp::OverwriteCookie {
+                        target: target.into(),
+                        value: ValueSpec::HexId(24),
+                        changes: cg_script::AttrChanges::value_and_expiry(),
+                        blind: false,
+                    }],
+                    lose_attribution: false,
+                });
+            }
+            if rng.gen_bool(0.09) {
+                let target = ["_uetvid", "_fbp", "_gid"][rng.gen_range(0..3)];
+                ops.push(ScriptOp::Defer {
+                    delay_ms: rng.gen_range(1800..3000),
+                    ops: vec![ScriptOp::DeleteCookie { target: target.into(), via_store: false }],
+                    lose_attribution: false,
+                });
+            }
+            scripts.push(ScriptBlueprint {
+                url: Some(format!("{scheme}://www.{}/assets/analytics.js", spec.domain)),
+                ops,
+            });
+        }
+
+        // Server-side tagging (§5.7). Two flavours:
+        //
+        // 1. A first-party-hosted tag loader (sGTM style) reads the whole
+        //    jar — it is site-owned, so CookieGuard grants it everything —
+        //    and posts it to the site's own collect endpoint, which the
+        //    server relays to the analytics vendor. No client-side defense
+        //    sees a third-party request.
+        // 2. Optionally, a third-party pixel routes its events through a
+        //    first-party gateway (Conversions-API style). Under
+        //    CookieGuard its script-visible jar shrinks to its own
+        //    cookies, but the `Cookie:` header on the first-party request
+        //    still carries the entire jar.
+        if spec.server_side_tagging && is_landing {
+            scripts.push(ScriptBlueprint {
+                url: Some(format!("{scheme}://www.{}/sgtm/loader.js", spec.domain)),
+                ops: vec![
+                    ScriptOp::ReadAllCookies,
+                    ScriptOp::Defer {
+                        delay_ms: rng.gen_range(500..1500),
+                        ops: vec![ScriptOp::Exfiltrate {
+                            dest_host: format!("www.{}", spec.domain),
+                            path: "/g/collect".into(),
+                            selection: CookieSelection::All,
+                            segment: SegmentPolicy::Full,
+                            encoding: Encoding::Plain,
+                            kind: RequestKind::Beacon,
+                            via_store: false,
+                        }],
+                        lose_attribution: false,
+                    },
+                ],
+            });
+            if spec.server_forwards.iter().any(|f| f.path_prefix == "/capi-events") {
+                scripts.push(ScriptBlueprint {
+                    url: Some("https://connect.facebook.net/en_US/capig.js".to_string()),
+                    ops: vec![
+                        ScriptOp::SetCookie {
+                            name: "_fbp".into(),
+                            value: ValueSpec::FbpStyle,
+                            attrs: CookieAttrs {
+                                max_age_s: Some(7_776_000),
+                                site_wide: true,
+                                path: None,
+                                secure: false,
+                            },
+                        },
+                        ScriptOp::Defer {
+                            delay_ms: rng.gen_range(600..1600),
+                            ops: vec![ScriptOp::Exfiltrate {
+                                dest_host: format!("www.{}", spec.domain),
+                                path: "/capi-events".into(),
+                                selection: CookieSelection::Named(vec!["_fbp".into(), "_ga".into()]),
+                                segment: SegmentPolicy::Full,
+                                encoding: Encoding::Plain,
+                                kind: RequestKind::Xhr,
+                                via_store: false,
+                            }],
+                            lose_attribution: false,
+                        },
+                    ],
+                });
+            }
+        }
+
+        // Vendor scripts. Order: consent first, SSO next, tag managers,
+        // then the rest; deletes/overwrites are deferred inside behaviours.
+        let mut ordered: Vec<VendorId> = direct.to_vec();
+        ordered.sort_by_key(|&id| match self.registry.get(id).category {
+            VendorCategory::ConsentManager => 0,
+            VendorCategory::SsoProvider => 1,
+            VendorCategory::TagManager => 2,
+            VendorCategory::Analytics => 3,
+            _ => 4,
+        });
+        let mut ad_cookie_for_probe: Option<(String, String)> = None; // (cookie, setter domain)
+        for &id in &ordered {
+            let vendor = self.registry.get(id);
+            // Subpages re-run a subset of vendors.
+            if !is_landing && rng.gen_bool(0.45) {
+                continue;
+            }
+            let mut ops = vendor.behavior(rng, &self.cfg, &self.dest_pool, fp_cookie_names);
+            if !is_landing {
+                // Identifier syncs, consent-driven deletions, and
+                // overwrites happen once per visit; navigations re-run
+                // the set/read/inject surface only.
+                ops = strip_one_shot_ops(ops);
+            }
+            // Tag-manager / fan-out injection.
+            self.attach_injections(rng, vendor, &mut ops, direct, injectables, 0);
+            // Ad-display dependency probe (minor functionality breakage).
+            if vendor.category == VendorCategory::AdExchange {
+                if let Some((cookie, setter)) = &ad_cookie_for_probe {
+                    if setter != &vendor.domain
+                        && is_landing
+                        && rng.gen_bool(self.cfg.ad_display_dependency_prob)
+                    {
+                        ops.push(ScriptOp::Probe { feature: "ads".into(), cookie: cookie.clone() });
+                    }
+                } else if let Some(c) = vendor.sets.first() {
+                    ad_cookie_for_probe = Some((c.name.clone(), vendor.domain.clone()));
+                }
+            }
+            // SSO feature probes for the provider itself.
+            if let Some((feature, cookie, _)) = &vendor.feature {
+                if feature == "sso" && sso.is_some() && is_landing {
+                    ops.push(ScriptOp::Probe { feature: feature.clone(), cookie: cookie.clone() });
+                }
+                if feature == "chat" && is_landing && rng.gen_bool(0.8) {
+                    ops.push(ScriptOp::Probe { feature: feature.clone(), cookie: cookie.clone() });
+                }
+            }
+            // Cookie respawning: the designated tracker watches for the
+            // consent manager deleting its identifier and re-sets it via
+            // a CookieStore change listener. The identifier itself is
+            // (re-)written unconditionally so the battleground exists
+            // even when the probabilistic behaviour skipped it.
+            if is_landing {
+                if let Some((respawn_domain, respawn_cookie)) = &spec.respawning_tracker {
+                    if respawn_domain == &vendor.domain {
+                        let spec_cookie = vendor.sets.iter().find(|c| &c.name == respawn_cookie);
+                        let attrs = CookieAttrs {
+                            max_age_s: spec_cookie.and_then(|c| c.max_age_s).or(Some(31_536_000)),
+                            site_wide: spec_cookie.is_some_and(|c| c.site_wide),
+                            path: None,
+                            secure: false,
+                        };
+                        let value = spec_cookie.map(|c| c.value.clone()).unwrap_or(ValueSpec::HexId(16));
+                        ops.push(ScriptOp::SetCookie {
+                            name: respawn_cookie.clone(),
+                            value: value.clone(),
+                            attrs: attrs.clone(),
+                        });
+                        ops.push(ScriptOp::OnCookieChange {
+                            watch: Some(respawn_cookie.clone()),
+                            deletions_only: true,
+                            ops: vec![ScriptOp::SetCookie { name: respawn_cookie.clone(), value, attrs }],
+                        });
+                    }
+                }
+                // On battleground sites the consent manager usually
+                // purges the respawned identifier (declined consent) —
+                // near-certain, but not guaranteed, so site-level
+                // deletion prevalence stays close to Table 1's marginal.
+                if vendor.category == VendorCategory::ConsentManager {
+                    if let Some((_, respawn_cookie)) = &spec.respawning_tracker {
+                        if rng.gen_bool(0.75) {
+                            ops.push(ScriptOp::Defer {
+                                delay_ms: rng.gen_range(1500..2600),
+                                ops: vec![ScriptOp::DeleteCookie {
+                                    target: respawn_cookie.clone(),
+                                    via_store: false,
+                                }],
+                                lose_attribution: false,
+                            });
+                        }
+                    }
+                }
+            }
+            scripts.push(ScriptBlueprint { url: Some(vendor.script_url()), ops });
+        }
+
+        // SSO reader scripts (sibling or cross-entity) go last so the
+        // provider's session cookie exists by the time they probe.
+        if is_landing {
+            match sso {
+                Some(SsoKind::SameEntityPair { provider, reader }) => {
+                    if let Some((cookie, url)) = self.sso_cookie_and_reader_url(provider, reader) {
+                        scripts.push(ScriptBlueprint {
+                            url: Some(url),
+                            ops: vec![
+                                ScriptOp::ReadAllCookies,
+                                ScriptOp::Probe { feature: "sso".into(), cookie },
+                            ],
+                        });
+                    }
+                }
+                Some(SsoKind::CrossEntity { provider, reader }) => {
+                    if let Some((cookie, _)) = self.sso_cookie_and_reader_url(provider, provider) {
+                        scripts.push(ScriptBlueprint {
+                            url: Some(format!("https://cdn.{reader}/sso-widget.js")),
+                            ops: vec![
+                                ScriptOp::ReadAllCookies,
+                                ScriptOp::Probe { feature: "sso".into(), cookie },
+                            ],
+                        });
+                    }
+                }
+                // A reload-style probe in a lost-attribution callback:
+                // the source of the paper's *minor* SSO breakage
+                // (cnn.com: login works, reload logs out).
+                Some(SsoKind::SingleDomain { provider }) if rng.gen_bool(0.15) => {
+                    {
+                        if let Some((cookie, url)) = self.sso_cookie_and_reader_url(provider, provider) {
+                            scripts.push(ScriptBlueprint {
+                                url: Some(url),
+                                ops: vec![ScriptOp::Defer {
+                                    delay_ms: 1200,
+                                    ops: vec![ScriptOp::Probe { feature: "sso_reload".into(), cookie }],
+                                    lose_attribution: true,
+                                }],
+                            });
+                        }
+                    }
+                }
+                Some(SsoKind::SingleDomain { .. }) | None => {}
+            }
+            // The fbcdn.net functional sibling (Messenger-style) case.
+            if spec.direct_vendor_domains.iter().any(|d| d == "facebook.com")
+                && rng.gen_bool(self.cfg.functional_same_entity_prob / 0.025_f64.max(self.cfg.sso_prob))
+            {
+                if let Some(fbcdn) = self.registry.by_domain("fbcdn.net") {
+                    scripts.push(ScriptBlueprint {
+                        url: Some(fbcdn.script_url()),
+                        ops: vec![
+                            ScriptOp::ReadAllCookies,
+                            ScriptOp::Probe { feature: "functionality".into(), cookie: "fblo_state".into() },
+                        ],
+                    });
+                }
+            }
+        }
+
+        // Inline scripts.
+        let n_inline = poisson_like(rng, self.cfg.inline_scripts_mean).min(6);
+        for _ in 0..n_inline {
+            let mut ops = Vec::new();
+            if use_fp_script && rng.gen_bool(0.16) {
+                ops.push(ScriptOp::SetCookie {
+                    name: names::first_party_cookie_name(rng),
+                    value: ValueSpec::Short,
+                    attrs: CookieAttrs::default(),
+                });
+            }
+            if use_fp_script && rng.gen_bool(0.5) {
+                ops.push(ScriptOp::ReadAllCookies);
+            }
+            if ops.is_empty() {
+                ops.push(ScriptOp::DomInsert { tag: "div".into() });
+            }
+            scripts.push(ScriptBlueprint { url: None, ops });
+        }
+
+        // Links and resources.
+        let n_links = rng.gen_range(3..9);
+        let links: Vec<String> = (0..n_links).map(|i| format!("/page-{i}")).collect();
+        let resource_count = rng.gen_range(15..90) + scripts.len() as u32 * 6;
+
+        PageBlueprint {
+            path: path.to_string(),
+            server_cookies,
+            scripts,
+            resource_count,
+            links,
+        }
+    }
+
+    /// The session cookie a provider sets, and the script URL of the
+    /// reader on `reader_domain`.
+    fn sso_cookie_and_reader_url(&self, provider: &str, reader_domain: &str) -> Option<(String, String)> {
+        let provider_spec = self.registry.by_domain(provider)?;
+        let cookie = provider_spec
+            .feature
+            .as_ref()
+            .map(|(_, c, _)| c.clone())
+            .or_else(|| provider_spec.sets.first().map(|c| c.name.clone()))?;
+        let url = match self.registry.by_domain(reader_domain) {
+            Some(v) => v.script_url(),
+            None => format!("https://cdn.{reader_domain}/reader.js"),
+        };
+        Some((cookie, url))
+    }
+
+    /// Recursively attaches injection ops (tag-manager fan-out, RTB
+    /// partner chains) to `ops`, registering injected behaviours.
+    fn attach_injections(
+        &self,
+        rng: &mut StdRng,
+        vendor: &VendorSpec,
+        ops: &mut Vec<ScriptOp>,
+        already_direct: &[VendorId],
+        injectables: &mut HashMap<String, Vec<ScriptOp>>,
+        depth: usize,
+    ) {
+        if depth >= 3 {
+            return;
+        }
+        let mut targets: Vec<VendorId> = Vec::new();
+        for d in &vendor.inject_domains {
+            if let Some(id) = self.registry.id_of(d) {
+                targets.push(id);
+            }
+        }
+        let (lo, hi) = vendor.inject_pool_count;
+        if hi > 0 {
+            let n = rng.gen_range(lo..=hi);
+            for _ in 0..n {
+                // Tag managers pull from the full ecosystem: weighted core
+                // most of the time, long-tail otherwise.
+                let id = if rng.gen_bool(0.55) {
+                    sample_weighted(rng, &self.core_weighted, &HashSet::new())
+                } else {
+                    Some(self.longtail_ids[rng.gen_range(0..self.longtail_ids.len())])
+                };
+                if let Some(id) = id {
+                    if !already_direct.contains(&id) && self.registry.get(id).domain != vendor.domain {
+                        targets.push(id);
+                    }
+                }
+            }
+        }
+        for id in targets {
+            let injected = self.registry.get(id);
+            let url = injected.script_url();
+            ops.push(ScriptOp::InjectScript { url: url.clone() });
+            if !injectables.contains_key(&url) {
+                let mut injected_ops = injected.behavior(rng, &self.cfg, &self.dest_pool, &[]);
+                self.attach_injections(rng, injected, &mut injected_ops, already_direct, injectables, depth + 1);
+                injectables.insert(url, injected_ops);
+            }
+        }
+    }
+}
+
+/// Drops exfiltration and manipulation ops (recursively through
+/// `Defer`/`Microtask`) from a subpage behaviour.
+fn strip_one_shot_ops(ops: Vec<ScriptOp>) -> Vec<ScriptOp> {
+    ops.into_iter()
+        .filter_map(|op| match op {
+            ScriptOp::Exfiltrate { .. } | ScriptOp::OverwriteCookie { .. } | ScriptOp::DeleteCookie { .. } => None,
+            ScriptOp::Defer { delay_ms, ops, lose_attribution } => {
+                let inner = strip_one_shot_ops(ops);
+                if inner.is_empty() {
+                    None
+                } else {
+                    Some(ScriptOp::Defer { delay_ms, ops: inner, lose_attribution })
+                }
+            }
+            ScriptOp::Microtask { ops } => {
+                let inner = strip_one_shot_ops(ops);
+                if inner.is_empty() {
+                    None
+                } else {
+                    Some(ScriptOp::Microtask { ops: inner })
+                }
+            }
+            other => Some(other),
+        })
+        .collect()
+}
+
+fn sample_category<R: Rng>(rng: &mut R) -> SiteCategory {
+    match rng.gen_range(0..100) {
+        0..=19 => SiteCategory::News,
+        20..=37 => SiteCategory::Shopping,
+        38..=52 => SiteCategory::Blog,
+        53..=64 => SiteCategory::Corporate,
+        65..=74 => SiteCategory::Tech,
+        75..=84 => SiteCategory::Entertainment,
+        85..=89 => SiteCategory::Health,
+        90..=94 => SiteCategory::Education,
+        _ => SiteCategory::Finance,
+    }
+}
+
+/// Samples one vendor id from a weighted table, skipping ids already in
+/// `exclude`. Returns `None` when every candidate is excluded.
+fn sample_weighted<R: Rng>(
+    rng: &mut R,
+    weighted: &[(VendorId, f64)],
+    exclude: &HashSet<VendorId>,
+) -> Option<VendorId> {
+    let total: f64 = weighted.iter().filter(|(id, _)| !exclude.contains(id)).map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut roll = rng.gen::<f64>() * total;
+    for (id, w) in weighted {
+        if exclude.contains(id) {
+            continue;
+        }
+        if roll < *w {
+            return Some(*id);
+        }
+        roll -= w;
+    }
+    weighted.iter().find(|(id, _)| !exclude.contains(id)).map(|(id, _)| *id)
+}
+
+/// A small-integer sampler with Poisson-like shape (mixture keeps a
+/// heavier tail than the mean suggests, like real per-site script counts).
+fn poisson_like<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // Knuth's algorithm is fine at these small means.
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 50 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(n: usize) -> WebGenerator {
+        WebGenerator::new(GenConfig::small(n), 0xC00C1E)
+    }
+
+    #[test]
+    fn blueprints_deterministic() {
+        let g = generator(100);
+        let a = g.blueprint(5);
+        let b = g.blueprint(5);
+        assert_eq!(a.spec.domain, b.spec.domain);
+        assert_eq!(a.landing.scripts.len(), b.landing.scripts.len());
+        assert_eq!(a.landing.scripts, b.landing.scripts);
+    }
+
+    #[test]
+    fn different_ranks_differ() {
+        let g = generator(100);
+        assert_ne!(g.blueprint(1).spec.domain, g.blueprint(2).spec.domain);
+    }
+
+    #[test]
+    fn most_sites_have_third_party_scripts() {
+        let g = generator(300);
+        let mut with_tp = 0;
+        for rank in 1..=300 {
+            let bp = g.blueprint(rank);
+            let site = &bp.spec.domain;
+            let has_tp = bp.landing.scripts.iter().any(|s| {
+                s.url.as_deref().is_some_and(|u| {
+                    cg_url::url_domain(u).is_some_and(|d| &d != site)
+                })
+            });
+            if has_tp {
+                with_tp += 1;
+            }
+        }
+        let share = with_tp as f64 / 300.0;
+        assert!((0.85..=0.99).contains(&share), "third-party share {share}");
+    }
+
+    #[test]
+    fn sso_kinds_distribute() {
+        let g = generator(1000);
+        let (mut single, mut same, mut cross, mut none) = (0, 0, 0, 0);
+        for rank in 1..=1000 {
+            match g.blueprint(rank).spec.sso {
+                Some(SsoKind::SingleDomain { .. }) => single += 1,
+                Some(SsoKind::SameEntityPair { .. }) => same += 1,
+                Some(SsoKind::CrossEntity { .. }) => cross += 1,
+                None => none += 1,
+            }
+        }
+        assert!(none > 600, "none={none}");
+        assert!(single > 100, "single={single}");
+        assert!(same > 30, "same={same}");
+        assert!(cross > 5, "cross={cross}");
+    }
+
+    #[test]
+    fn injectables_registered_for_inject_ops() {
+        let g = generator(200);
+        for rank in 1..=50 {
+            let bp = g.blueprint(rank);
+            fn collect_injects(ops: &[ScriptOp], urls: &mut Vec<String>) {
+                for op in ops {
+                    match op {
+                        ScriptOp::InjectScript { url } => urls.push(url.clone()),
+                        ScriptOp::Defer { ops, .. } | ScriptOp::Microtask { ops } => collect_injects(ops, urls),
+                        _ => {}
+                    }
+                }
+            }
+            let mut urls = Vec::new();
+            for s in &bp.landing.scripts {
+                collect_injects(&s.ops, &mut urls);
+            }
+            for u in &bp.injectables.keys().cloned().collect::<Vec<_>>() {
+                collect_injects(&bp.injectables[u], &mut urls);
+            }
+            for url in urls {
+                assert!(bp.injectables.contains_key(&url), "missing injectable {url} on rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn crawl_failure_rate_near_quarter() {
+        let g = generator(1000);
+        let failed = (1..=1000).filter(|&r| !g.blueprint(r).spec.crawl_ok).count();
+        let rate = failed as f64 / 1000.0;
+        assert!((0.20..=0.32).contains(&rate), "failure rate {rate}");
+    }
+
+    #[test]
+    fn shopping_sites_probe_cart() {
+        let g = generator(400);
+        let mut cart_probes = 0;
+        for rank in 1..=400 {
+            let bp = g.blueprint(rank);
+            if bp.spec.category == SiteCategory::Shopping {
+                let has_cart = bp.landing.scripts.iter().any(|s| {
+                    s.ops.iter().any(|op| matches!(op, ScriptOp::Probe { feature, .. } if feature == "cart"))
+                });
+                if has_cart {
+                    cart_probes += 1;
+                }
+            }
+        }
+        assert!(cart_probes > 20, "cart probes {cart_probes}");
+    }
+
+    #[test]
+    fn landing_url_shape() {
+        let g = generator(50);
+        let bp = g.blueprint(3);
+        let url = bp.landing_url();
+        assert!(url.starts_with("http"));
+        assert!(cg_url::Url::parse(&url).is_ok());
+    }
+
+    #[test]
+    fn splitmix_spreads_bits() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xffff_ffff, b & 0xffff_ffff);
+    }
+}

@@ -1,0 +1,1475 @@
+//! The core vendor registry: named third-party services with the
+//! behaviours the paper documents (Tables 2 & 5, Figures 2 & 8, and the
+//! §5.4–§5.5 case studies).
+
+use crate::config::GenConfig;
+use cg_http::RequestKind;
+use cg_script::{
+    AttrChanges, CookieAttrs, CookieSelection, Encoding, ScriptOp, SegmentPolicy, ValueSpec,
+};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Index into the vendor registry (core vendors first, long-tail after).
+pub type VendorId = usize;
+
+/// Service category; drives filter-list membership and site adoption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VendorCategory {
+    /// Tag managers / CDPs that inject further scripts.
+    TagManager,
+    /// Analytics and measurement.
+    Analytics,
+    /// Advertising: exchanges, SSPs, retargeting, ad management.
+    AdExchange,
+    /// Social widgets and pixels.
+    SocialWidget,
+    /// Consent-management platforms.
+    ConsentManager,
+    /// Chat / support widgets.
+    CustomerSupport,
+    /// Performance / error monitoring.
+    Performance,
+    /// A/B testing and personalization.
+    AbTesting,
+    /// Commerce platform SDKs.
+    Commerce,
+    /// SSO / identity providers.
+    SsoProvider,
+    /// Generic CDN-hosted utility scripts.
+    Cdn,
+}
+
+impl VendorCategory {
+    /// Whether filter lists classify this category as advertising or
+    /// tracking (the §4.3 label; the paper finds 70% of third-party
+    /// scripts are ad/tracking).
+    pub fn is_ad_tracking(&self) -> bool {
+        matches!(
+            self,
+            VendorCategory::TagManager
+                | VendorCategory::Analytics
+                | VendorCategory::AdExchange
+                | VendorCategory::SocialWidget
+                | VendorCategory::ConsentManager
+        )
+    }
+}
+
+/// A cookie a vendor ghost-writes into the first-party jar.
+#[derive(Debug, Clone)]
+pub struct CookieSpec {
+    /// Cookie name.
+    pub name: String,
+    /// Value shape.
+    pub value: ValueSpec,
+    /// Lifetime (None = session).
+    pub max_age_s: Option<i64>,
+    /// Scope to `Domain=<site>`.
+    pub site_wide: bool,
+    /// Probability the cookie is set on a given site.
+    pub prob: f64,
+}
+
+impl CookieSpec {
+    fn new(name: &str, value: ValueSpec, max_age_s: Option<i64>, prob: f64) -> CookieSpec {
+        CookieSpec { name: name.into(), value, max_age_s, site_wide: true, prob }
+    }
+}
+
+/// Which cookies an exfiltration behaviour takes.
+#[derive(Debug, Clone)]
+pub enum ExfilSelection {
+    /// The full visible jar.
+    All,
+    /// Specific names.
+    Named(Vec<String>),
+    /// Each cookie with the given percent probability (RTB payloads).
+    Sample(u8),
+}
+
+/// One exfiltration behaviour.
+#[derive(Debug, Clone)]
+pub struct ExfilSpec {
+    /// Fixed destination hosts.
+    pub dests: Vec<String>,
+    /// Request path on each destination.
+    pub path: String,
+    /// Cookie selection.
+    pub selection: ExfilSelection,
+    /// Segment policy.
+    pub segment: SegmentPolicy,
+    /// Encoding applied before transmission.
+    pub encoding: Encoding,
+    /// Resource type of the request.
+    pub kind: RequestKind,
+    /// Probability the behaviour fires on a given site.
+    pub prob: f64,
+    /// Read through `cookieStore.getAll()` instead of `document.cookie`.
+    pub via_store: bool,
+    /// Additionally sample this many destinations from the global
+    /// destination pool (RTB fan-out).
+    pub extra_dest_samples: usize,
+}
+
+/// What an overwrite targets.
+#[derive(Debug, Clone)]
+pub enum OverwriteTarget {
+    /// A specific (usually another vendor's) cookie name.
+    Named(String),
+    /// A generic collision-prone name (`cookie_test`, `user_id`, …).
+    GenericName,
+}
+
+/// One overwrite behaviour.
+#[derive(Debug, Clone)]
+pub struct OverwriteSpec {
+    /// Target cookie.
+    pub target: OverwriteTarget,
+    /// Replacement value shape.
+    pub value: ValueSpec,
+    /// Probability of firing per site.
+    pub prob: f64,
+    /// Write even when the cookie is not visible.
+    pub blind: bool,
+}
+
+/// What a delete targets.
+#[derive(Debug, Clone)]
+pub enum DeleteTarget {
+    /// A specific cookie name.
+    Named(String),
+    /// One of the site's own first-party cookies (consent managers
+    /// clearing site cookies on declined consent).
+    RandomFirstParty,
+}
+
+/// One delete behaviour.
+#[derive(Debug, Clone)]
+pub struct DeleteSpec {
+    /// Target cookie.
+    pub target: DeleteTarget,
+    /// Probability of firing per site.
+    pub prob: f64,
+    /// Use `cookieStore.delete`.
+    pub via_store: bool,
+}
+
+/// A vendor: one script-hosting service and its behaviour profile.
+#[derive(Debug, Clone)]
+pub struct VendorSpec {
+    /// eTLD+1 of the script host.
+    pub domain: String,
+    /// Full host serving the script.
+    pub host: String,
+    /// Script path.
+    pub path: String,
+    /// Category.
+    pub category: VendorCategory,
+    /// Cookies set via `document.cookie`.
+    pub sets: Vec<CookieSpec>,
+    /// Cookies set via `cookieStore.set`.
+    pub store_sets: Vec<CookieSpec>,
+    /// Probability of a bare `document.cookie` read.
+    pub reads_all_prob: f64,
+    /// Exfiltration behaviours.
+    pub exfils: Vec<ExfilSpec>,
+    /// Overwrite behaviours.
+    pub overwrites: Vec<OverwriteSpec>,
+    /// Delete behaviours.
+    pub deletes: Vec<DeleteSpec>,
+    /// Vendor domains this vendor always injects when present.
+    pub inject_domains: Vec<String>,
+    /// Min/max extra vendors injected from the site's ambient pool
+    /// (tag-manager fan-out).
+    pub inject_pool_count: (u8, u8),
+    /// Relative adoption weight across sites.
+    pub weight: f64,
+    /// Probability of a cross-domain DOM mutation (§8 pilot).
+    pub dom_mutate_prob: f64,
+    /// Functional feature this vendor manages, with the cookie the
+    /// feature depends on: `(feature, cookie, sibling_reader_domain)`.
+    /// When a sibling domain is given, a second script from that domain
+    /// performs the dependent read (the fbcdn.net pattern).
+    pub feature: Option<(String, String, Option<String>)>,
+}
+
+impl VendorSpec {
+    /// The script URL this vendor serves.
+    pub fn script_url(&self) -> String {
+        format!("https://{}{}", self.host, self.path)
+    }
+
+    fn base(domain: &str, host: &str, path: &str, category: VendorCategory, weight: f64) -> VendorSpec {
+        VendorSpec {
+            domain: domain.into(),
+            host: host.into(),
+            path: path.into(),
+            category,
+            sets: Vec::new(),
+            store_sets: Vec::new(),
+            reads_all_prob: 0.0,
+            exfils: Vec::new(),
+            overwrites: Vec::new(),
+            deletes: Vec::new(),
+            inject_domains: Vec::new(),
+            inject_pool_count: (0, 0),
+            weight,
+            dom_mutate_prob: 0.0,
+            feature: None,
+        }
+    }
+
+    /// Assembles the behaviour program for this vendor on one site.
+    ///
+    /// `dest_pool` is the global pool of exfiltration destinations for
+    /// RTB fan-out sampling; `first_party_cookies` are the site's own
+    /// cookie names (for `RandomFirstParty` deletes).
+    pub fn behavior<R: Rng>(
+        &self,
+        rng: &mut R,
+        cfg: &GenConfig,
+        dest_pool: &[String],
+        first_party_cookies: &[String],
+    ) -> Vec<ScriptOp> {
+        let mut ops = Vec::new();
+
+        for c in &self.sets {
+            if rng.gen_bool(c.prob) {
+                ops.push(ScriptOp::SetCookie {
+                    name: c.name.clone(),
+                    value: c.value.clone(),
+                    attrs: CookieAttrs { max_age_s: c.max_age_s, site_wide: c.site_wide, path: None, secure: false },
+                });
+            }
+        }
+        for c in &self.store_sets {
+            if rng.gen_bool(c.prob) {
+                ops.push(ScriptOp::CookieStoreSet {
+                    name: c.name.clone(),
+                    value: c.value.clone(),
+                    expires_in_ms: c.max_age_s.map(|s| s * 1000),
+                });
+            }
+        }
+        if self.reads_all_prob > 0.0 && rng.gen_bool(self.reads_all_prob) {
+            ops.push(ScriptOp::ReadAllCookies);
+        }
+
+        for ex in &self.exfils {
+            if !rng.gen_bool(ex.prob) {
+                continue;
+            }
+            let mut dests = ex.dests.clone();
+            for _ in 0..ex.extra_dest_samples {
+                if !dest_pool.is_empty() {
+                    dests.push(dest_pool[rng.gen_range(0..dest_pool.len())].clone());
+                }
+            }
+            let mut exfil_ops: Vec<ScriptOp> = dests
+                .into_iter()
+                .map(|dest| ScriptOp::Exfiltrate {
+                    dest_host: dest,
+                    path: ex.path.clone(),
+                    selection: match &ex.selection {
+                        ExfilSelection::All => CookieSelection::All,
+                        ExfilSelection::Named(names) => CookieSelection::Named(names.clone()),
+                        ExfilSelection::Sample(pct) => CookieSelection::Sample(*pct),
+                    },
+                    segment: ex.segment,
+                    encoding: ex.encoding,
+                    kind: ex.kind,
+                    via_store: ex.via_store,
+                })
+                .collect();
+            // Trackers exfiltrate after the page settles; occasionally the
+            // deferred callback loses its stack (§8).
+            let lose = rng.gen_bool(cfg.async_attribution_loss_prob);
+            ops.push(ScriptOp::Defer {
+                delay_ms: rng.gen_range(400..1400),
+                ops: std::mem::take(&mut exfil_ops),
+                lose_attribution: lose,
+            });
+        }
+
+        for ow in &self.overwrites {
+            if !rng.gen_bool(ow.prob) {
+                continue;
+            }
+            let target = match &ow.target {
+                OverwriteTarget::Named(n) => n.clone(),
+                OverwriteTarget::GenericName => crate::names::generic_cookie_name(rng),
+            };
+            // Attribute-change profile tuned to §5.5: 85.3% value,
+            // 69.4% expires, 6.0% domain, 1.2% path.
+            let changes = AttrChanges {
+                value: rng.gen_bool(0.853),
+                expires: rng.gen_bool(0.694),
+                domain: rng.gen_bool(0.060),
+                path: rng.gen_bool(0.012),
+            };
+            let changes = if !(changes.value || changes.expires || changes.domain || changes.path) {
+                AttrChanges::value_and_expiry()
+            } else {
+                changes
+            };
+            ops.push(ScriptOp::Defer {
+                delay_ms: rng.gen_range(800..2400),
+                ops: vec![ScriptOp::OverwriteCookie {
+                    target,
+                    value: ow.value.clone(),
+                    changes,
+                    blind: ow.blind,
+                }],
+                lose_attribution: false,
+            });
+        }
+
+        for del in &self.deletes {
+            if !rng.gen_bool(del.prob) {
+                continue;
+            }
+            let target = match &del.target {
+                DeleteTarget::Named(n) => n.clone(),
+                DeleteTarget::RandomFirstParty => {
+                    if first_party_cookies.is_empty() {
+                        continue;
+                    }
+                    first_party_cookies[rng.gen_range(0..first_party_cookies.len())].clone()
+                }
+            };
+            ops.push(ScriptOp::Defer {
+                delay_ms: rng.gen_range(1500..3200),
+                ops: vec![ScriptOp::DeleteCookie { target, via_store: del.via_store }],
+                lose_attribution: false,
+            });
+        }
+
+        if self.dom_mutate_prob > 0.0 && rng.gen_bool(self.dom_mutate_prob) {
+            ops.push(ScriptOp::DomMutate {
+                kind: cg_script::DomMutationKind::Content,
+                foreign_target: true,
+            });
+        }
+
+        ops
+    }
+}
+
+/// The registry of all vendors: core (named) plus long-tail (generated).
+#[derive(Debug, Clone)]
+pub struct VendorRegistry {
+    vendors: Vec<VendorSpec>,
+    by_domain: HashMap<String, VendorId>,
+    core_count: usize,
+}
+
+impl VendorRegistry {
+    /// Builds a registry from the core list plus `longtail` extras.
+    pub fn new(longtail: Vec<VendorSpec>) -> VendorRegistry {
+        let mut vendors = core_vendors();
+        let core_count = vendors.len();
+        vendors.extend(longtail);
+        let by_domain = vendors.iter().enumerate().map(|(i, v)| (v.domain.clone(), i)).collect();
+        VendorRegistry { vendors, by_domain, core_count }
+    }
+
+    /// All vendors (core first).
+    pub fn all(&self) -> &[VendorSpec] {
+        &self.vendors
+    }
+
+    /// Number of core (named) vendors.
+    pub fn core_count(&self) -> usize {
+        self.core_count
+    }
+
+    /// Lookup by eTLD+1.
+    pub fn by_domain(&self, domain: &str) -> Option<&VendorSpec> {
+        self.by_domain.get(domain).map(|&i| &self.vendors[i])
+    }
+
+    /// Id lookup by eTLD+1.
+    pub fn id_of(&self, domain: &str) -> Option<VendorId> {
+        self.by_domain.get(domain).copied()
+    }
+
+    /// Vendor by id.
+    pub fn get(&self, id: VendorId) -> &VendorSpec {
+        &self.vendors[id]
+    }
+
+    /// Ad/tracking domains (for filter-list generation), split by rough
+    /// list category.
+    pub fn filter_list_inputs(&self) -> cg_filterlist_inputs::ListInputsLike {
+        let mut ads = Vec::new();
+        let mut tracking = Vec::new();
+        let mut social = Vec::new();
+        let mut annoyance = Vec::new();
+        for v in &self.vendors {
+            match v.category {
+                VendorCategory::AdExchange => ads.push(v.domain.clone()),
+                VendorCategory::Analytics | VendorCategory::TagManager => tracking.push(v.domain.clone()),
+                VendorCategory::SocialWidget => social.push(v.domain.clone()),
+                VendorCategory::ConsentManager => annoyance.push(v.domain.clone()),
+                _ => {}
+            }
+        }
+        cg_filterlist_inputs::ListInputsLike { ads, tracking, social, annoyance }
+    }
+}
+
+/// A tiny seam so `cg-webgen` does not depend on `cg-filterlist`
+/// directly: the analysis layer converts this into real `ListInputs`.
+pub mod cg_filterlist_inputs {
+    /// Domain lists destined for the synthetic filter lists.
+    #[derive(Debug, Clone, Default)]
+    pub struct ListInputsLike {
+        /// Advertising domains.
+        pub ads: Vec<String>,
+        /// Tracking/analytics domains.
+        pub tracking: Vec<String>,
+        /// Social-widget domains.
+        pub social: Vec<String>,
+        /// Consent/annoyance domains.
+        pub annoyance: Vec<String>,
+    }
+}
+
+const YEAR: i64 = 31_536_000;
+const DAY: i64 = 86_400;
+
+/// Builds the ~50 named core vendors.
+#[allow(clippy::vec_init_then_push)]
+pub fn core_vendors() -> Vec<VendorSpec> {
+    let mut v: Vec<VendorSpec> = Vec::new();
+
+    // ---- Google stack -------------------------------------------------
+    let mut gtm = VendorSpec::base(
+        "googletagmanager.com", "www.googletagmanager.com", "/gtm.js",
+        VendorCategory::TagManager, 46.0,
+    );
+    gtm.sets = vec![
+        CookieSpec::new("_ga", ValueSpec::GaStyle, Some(2 * YEAR), 0.92),
+        CookieSpec::new("_gcl_au", ValueSpec::GaStyle, Some(90 * DAY), 0.70),
+    ];
+    gtm.reads_all_prob = 0.9;
+    gtm.exfils = vec![ExfilSpec {
+        dests: vec!["www.google-analytics.com".into(), "stats.g.doubleclick.net".into()],
+        path: "/g/collect".into(),
+        selection: ExfilSelection::Named(vec!["_ga".into(), "_gcl_au".into(), "_fplc".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Beacon,
+        prob: 0.85,
+        via_store: false,
+        extra_dest_samples: 0,
+    }];
+    gtm.overwrites = vec![
+        OverwriteSpec { target: OverwriteTarget::Named("_ga".into()), value: ValueSpec::GaStyle, prob: 0.20, blind: false },
+        OverwriteSpec { target: OverwriteTarget::Named("_gid".into()), value: ValueSpec::GaStyle, prob: 0.07, blind: false },
+        OverwriteSpec { target: OverwriteTarget::GenericName, value: ValueSpec::HexId(16), prob: 0.03, blind: true },
+    ];
+    gtm.inject_domains = Vec::new(); // GA4: gtm.js is the analytics tag
+    gtm.inject_pool_count = (5, 13);
+    v.push(gtm);
+
+    let mut ga = VendorSpec::base(
+        "google-analytics.com", "www.google-analytics.com", "/analytics.js",
+        VendorCategory::Analytics, 30.0,
+    );
+    ga.sets = vec![
+        CookieSpec::new("_gid", ValueSpec::GaStyle, Some(DAY), 0.9),
+        CookieSpec::new("_ga", ValueSpec::GaStyle, Some(2 * YEAR), 0.12),
+        CookieSpec::new("__utma", ValueSpec::GaStyle, Some(2 * YEAR), 0.12),
+        CookieSpec::new("__utmb", ValueSpec::GaStyle, Some(1800), 0.10),
+        CookieSpec::new("__utmz", ValueSpec::GaStyle, Some(180 * DAY), 0.10),
+    ];
+    ga.reads_all_prob = 0.95;
+    ga.exfils = vec![ExfilSpec {
+        dests: vec!["www.google-analytics.com".into()],
+        path: "/collect".into(),
+        selection: ExfilSelection::Named(vec![
+            "_ga".into(), "_gid".into(), "_gcl_au".into(), "__utma".into(), "__utmb".into(), "__utmz".into(),
+        ]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.42,
+        via_store: false,
+        extra_dest_samples: 0,
+    }];
+    ga.overwrites = vec![OverwriteSpec {
+        target: OverwriteTarget::Named("_ga".into()),
+        value: ValueSpec::GaStyle,
+        prob: 0.06,
+        blind: false,
+    }];
+    v.push(ga);
+
+    let mut dc = VendorSpec::base(
+        "doubleclick.net", "securepubads.g.doubleclick.net", "/tag/js/gpt.js",
+        VendorCategory::AdExchange, 22.0,
+    );
+    dc.sets = vec![CookieSpec::new("test_cookie", ValueSpec::Short, Some(900), 0.8)];
+    dc.reads_all_prob = 0.95;
+    dc.exfils = vec![ExfilSpec {
+        dests: vec!["ad.doubleclick.net".into()],
+        path: "/rtb/bid".into(),
+        selection: ExfilSelection::Sample(2),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Xhr,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 1, // RTB fan-out
+    }];
+    dc.overwrites = vec![OverwriteSpec {
+        target: OverwriteTarget::GenericName,
+        value: ValueSpec::HexId(22),
+        prob: 0.03,
+        blind: true,
+    }];
+    dc.inject_pool_count = (0, 4);
+    v.push(dc);
+
+    let mut gsyn = VendorSpec::base(
+        "googlesyndication.com", "pagead2.googlesyndication.com", "/pagead/js/adsbygoogle.js",
+        VendorCategory::AdExchange, 16.0,
+    );
+    gsyn.sets = vec![CookieSpec::new("__gads", ValueSpec::HexId(24), Some(390 * DAY), 0.85)];
+    gsyn.reads_all_prob = 0.9;
+    gsyn.exfils = vec![ExfilSpec {
+        dests: vec!["pagead2.googlesyndication.com".into()],
+        path: "/pagead/ads".into(),
+        selection: ExfilSelection::Sample(2),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 2,
+    }];
+    gsyn.inject_pool_count = (0, 4);
+    v.push(gsyn);
+
+    // ---- Meta ----------------------------------------------------------
+    let mut fb = VendorSpec::base(
+        "facebook.net", "connect.facebook.net", "/en_US/fbevents.js",
+        VendorCategory::SocialWidget, 24.0,
+    );
+    fb.sets = vec![CookieSpec::new("_fbp", ValueSpec::FbpStyle, Some(90 * DAY), 0.95)];
+    fb.reads_all_prob = 0.9;
+    fb.exfils = vec![ExfilSpec {
+        dests: vec!["www.facebook.com".into()],
+        path: "/tr/".into(),
+        selection: ExfilSelection::Named(vec!["_fbp".into(), "fblo_state".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.85,
+        via_store: false,
+        extra_dest_samples: 0,
+    }];
+    fb.overwrites = vec![OverwriteSpec {
+        target: OverwriteTarget::Named("_fbp".into()),
+        value: ValueSpec::FbpStyle,
+        prob: 0.16,
+        blind: false,
+    }];
+    v.push(fb);
+
+    // ---- Microsoft -----------------------------------------------------
+    let mut bing = VendorSpec::base(
+        "bing.com", "bat.bing.com", "/bat.js",
+        VendorCategory::AdExchange, 12.0,
+    );
+    bing.sets = vec![
+        CookieSpec::new("_uetsid", ValueSpec::HexId(32), Some(DAY), 0.9),
+        CookieSpec::new("_uetvid", ValueSpec::HexId(32), Some(390 * DAY), 0.9),
+    ];
+    bing.reads_all_prob = 0.85;
+    bing.exfils = vec![ExfilSpec {
+        dests: vec!["bat.bing.com".into()],
+        path: "/action/0".into(),
+        selection: ExfilSelection::Named(vec!["_uetsid".into(), "_uetvid".into(), "_ga".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 1,
+    }];
+    v.push(bing);
+
+    let mut licdn = VendorSpec::base(
+        "licdn.com", "snap.licdn.com", "/li.lms-analytics/insight.min.js",
+        VendorCategory::Analytics, 9.0,
+    );
+    licdn.sets = vec![CookieSpec::new("li_fat_id", ValueSpec::Uuid, Some(30 * DAY), 0.6)];
+    licdn.reads_all_prob = 0.95;
+    // §5.4 case study: targeted parsing of _ga/_gcl_au, Base64 segments.
+    licdn.exfils = vec![ExfilSpec {
+        dests: vec!["px.ads.linkedin.com".into()],
+        path: "/attribution_trigger".into(),
+        selection: ExfilSelection::Named(vec!["_ga".into(), "_gcl_au".into(), "_fplc".into()]),
+        segment: SegmentPolicy::LongestSegment,
+        encoding: Encoding::Base64,
+        kind: RequestKind::Image,
+        prob: 0.4,
+        via_store: false,
+        extra_dest_samples: 0,
+    }];
+    v.push(licdn);
+
+    let mut clarity = VendorSpec::base(
+        "clarity.ms", "www.clarity.ms", "/tag/clarity.js",
+        VendorCategory::Analytics, 8.0,
+    );
+    clarity.sets = vec![CookieSpec::new("_clck", ValueSpec::HexId(16), Some(YEAR), 0.9)];
+    clarity.reads_all_prob = 0.8;
+    clarity.exfils = vec![ExfilSpec {
+        dests: vec!["x.clarity.ms".into()],
+        path: "/collect".into(),
+        selection: ExfilSelection::Sample(2),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Beacon,
+        prob: 0.6,
+        via_store: false,
+        extra_dest_samples: 0,
+    }];
+    v.push(clarity);
+
+    // ---- Criteo / RTB ----------------------------------------------------
+    let mut criteo = VendorSpec::base(
+        "criteo.net", "dynamic.criteo.net", "/js/ld/ld.js",
+        VendorCategory::AdExchange, 10.0,
+    );
+    criteo.sets = vec![CookieSpec::new("cto_bundle", ValueSpec::HexId(194), Some(390 * DAY), 0.9)];
+    criteo.reads_all_prob = 0.9;
+    criteo.exfils = vec![ExfilSpec {
+        dests: vec!["sslwidget.criteo.com".into()],
+        path: "/event".into(),
+        selection: ExfilSelection::Named(vec!["cto_bundle".into(), "_fbp".into(), "_ga".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Xhr,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 1,
+    }];
+    criteo.overwrites = vec![OverwriteSpec {
+        target: OverwriteTarget::Named("cto_bundle".into()),
+        value: ValueSpec::HexId(258),
+        prob: 0.14,
+        blind: false,
+    }];
+    v.push(criteo);
+
+    let mut pubmatic = VendorSpec::base(
+        "pubmatic.com", "ads.pubmatic.com", "/AdServer/js/pwt.js",
+        VendorCategory::AdExchange, 8.0,
+    );
+    pubmatic.sets = vec![
+        CookieSpec::new("PugT", ValueSpec::HexId(10), Some(30 * DAY), 0.85),
+        CookieSpec::new("SPugT", ValueSpec::HexId(10), Some(30 * DAY), 0.8),
+    ];
+    pubmatic.reads_all_prob = 0.9;
+    pubmatic.exfils = vec![ExfilSpec {
+        dests: vec!["image8.pubmatic.com".into()],
+        path: "/AdServer/PugMaster".into(),
+        selection: ExfilSelection::Sample(2),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 3,
+    }];
+    // §5.5 case study: Pubmatic overwrites Criteo's cto_bundle.
+    pubmatic.overwrites = vec![OverwriteSpec {
+        target: OverwriteTarget::Named("cto_bundle".into()),
+        value: ValueSpec::HexId(258),
+        prob: 0.17,
+        blind: false,
+    }];
+    pubmatic.inject_pool_count = (0, 2);
+    v.push(pubmatic);
+
+    let mut openx = VendorSpec::base(
+        "openx.net", "us-u.openx.net", "/w/1.0/jstag",
+        VendorCategory::AdExchange, 7.0,
+    );
+    openx.sets = vec![
+        CookieSpec::new("i", ValueSpec::Uuid, Some(390 * DAY), 0.85),
+        CookieSpec::new("pd", ValueSpec::HexId(40), Some(390 * DAY), 0.8),
+    ];
+    openx.reads_all_prob = 0.9;
+    openx.exfils = vec![ExfilSpec {
+        dests: vec!["us-ads.openx.net".into()],
+        path: "/w/1.0/pd".into(),
+        selection: ExfilSelection::Sample(2),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 1,
+    }];
+    openx.inject_pool_count = (0, 2);
+    v.push(openx);
+
+    let mut amazon = VendorSpec::base(
+        "amazon-adsystem.com", "c.amazon-adsystem.com", "/aax2/apstag.js",
+        VendorCategory::AdExchange, 9.0,
+    );
+    amazon.sets = vec![CookieSpec::new("ad-id", ValueSpec::HexId(22), Some(230 * DAY), 0.8)];
+    amazon.reads_all_prob = 0.9;
+    amazon.exfils = vec![ExfilSpec {
+        dests: vec!["s.amazon-adsystem.com".into()],
+        path: "/ecm3".into(),
+        selection: ExfilSelection::Sample(2),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 1,
+    }];
+    amazon.inject_pool_count = (0, 2);
+    v.push(amazon);
+
+    // ---- HubSpot family -------------------------------------------------
+    for (domain, host, path, weight) in [
+        ("hubspot.com", "js.hubspot.com", "/analytics.js", 6.0),
+        ("hsforms.net", "js.hsforms.net", "/forms/embed/v2.js", 3.5),
+        ("hscollectedforms.net", "js.hscollectedforms.net", "/collectedforms.js", 3.0),
+        ("hsleadflows.net", "js.hsleadflows.net", "/leadflows.js", 2.5),
+        ("usemessages.com", "js.usemessages.com", "/conversations-embed.js", 2.0),
+    ] {
+        let mut hs = VendorSpec::base(domain, host, path, VendorCategory::Analytics, weight);
+        if domain == "hubspot.com" {
+            hs.sets = vec![
+                CookieSpec::new("hubspotutk", ValueSpec::HexId(32), Some(180 * DAY), 0.9),
+                CookieSpec::new("__hstc", ValueSpec::GaStyle, Some(180 * DAY), 0.85),
+            ];
+        }
+        hs.reads_all_prob = 0.9;
+        hs.exfils = vec![ExfilSpec {
+            dests: vec!["track.hubspot.com".into(), "forms.hubspot.com".into()],
+            path: "/__ptq.gif".into(),
+            selection: ExfilSelection::Named(vec![
+                "_ga".into(), "_gid".into(), "_gcl_au".into(), "hubspotutk".into(), "__hstc".into(),
+            ]),
+            segment: SegmentPolicy::Full,
+            encoding: Encoding::Plain,
+            kind: RequestKind::Image,
+            prob: 0.35,
+            via_store: false,
+            extra_dest_samples: 0,
+        }];
+        v.push(hs);
+    }
+
+    // ---- Yandex ----------------------------------------------------------
+    let mut yandex = VendorSpec::base(
+        "yandex.ru", "mc.yandex.ru", "/metrika/tag.js",
+        VendorCategory::Analytics, 7.0,
+    );
+    yandex.sets = vec![
+        CookieSpec::new("_ym_uid", ValueSpec::HexId(19), Some(YEAR), 0.9),
+        CookieSpec::new("_ym_d", ValueSpec::HexId(10), Some(YEAR), 0.9),
+    ];
+    yandex.reads_all_prob = 0.95;
+    yandex.exfils = vec![ExfilSpec {
+        dests: vec!["mc.yandex.ru".into()],
+        path: "/watch/".into(),
+        selection: ExfilSelection::Sample(2),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.85,
+        via_store: false,
+        extra_dest_samples: 1,
+    }];
+    v.push(yandex);
+
+    // ---- Content/ad management ------------------------------------------
+    for (domain, host, path, weight, injects) in [
+        ("adthrive.com", "ads.adthrive.com", "/sites/min.js", 4.0, 2),
+        ("mediavine.com", "scripts.mediavine.com", "/tags/site.js", 4.0, 2),
+        ("pub.network", "a.pub.network", "/core/pubfig.min.js", 3.0, 2),
+        ("taboola.com", "cdn.taboola.com", "/libtrc/loader.js", 5.0, 1),
+        ("outbrain.com", "widgets.outbrain.com", "/outbrain.js", 4.0, 1),
+    ] {
+        let mut m = VendorSpec::base(domain, host, path, VendorCategory::AdExchange, weight);
+        m.sets = vec![CookieSpec::new(&format!("_{}_id", domain.split('.').next().unwrap()), ValueSpec::Uuid, Some(YEAR), 0.7)];
+        m.reads_all_prob = 0.9;
+        m.exfils = vec![ExfilSpec {
+            dests: vec![host.to_string()],
+            path: "/sync".into(),
+            selection: ExfilSelection::Sample(2),
+            segment: SegmentPolicy::Full,
+            encoding: Encoding::Plain,
+            kind: RequestKind::Xhr,
+            prob: 0.75,
+            via_store: false,
+            extra_dest_samples: 1,
+        }];
+        m.inject_pool_count = (1, injects + 3);
+        v.push(m);
+    }
+
+    // ---- Consent managers -------------------------------------------------
+    let mut onetrust = VendorSpec::base(
+        "cookielaw.org", "cdn.cookielaw.org", "/scripttemplates/otSDKStub.js",
+        VendorCategory::ConsentManager, 7.0,
+    );
+    onetrust.sets = vec![
+        CookieSpec::new("OptanonConsent", ValueSpec::ConsentString, Some(YEAR), 0.95),
+        CookieSpec::new("OptanonAlertBoxClosed", ValueSpec::Short, Some(YEAR), 0.9),
+    ];
+    onetrust.reads_all_prob = 0.95;
+    onetrust.overwrites = vec![OverwriteSpec {
+        target: OverwriteTarget::Named("OptanonConsent".into()),
+        value: ValueSpec::ConsentString,
+        prob: 0.15,
+        blind: false,
+    }];
+    onetrust.deletes = vec![
+        DeleteSpec { target: DeleteTarget::Named("_fbp".into()), prob: 0.010, via_store: false },
+        DeleteSpec { target: DeleteTarget::Named("_uetvid".into()), prob: 0.008, via_store: false },
+    ];
+    v.push(onetrust);
+
+    for (domain, host, path, weight, del_prob) in [
+        ("cdn-cookieyes.com", "cdn-cookieyes.com", "/client_data/cky.js", 3.0, 0.026),
+        ("cookie-script.com", "cdn.cookie-script.com", "/s/cs.js", 2.5, 0.026),
+        ("civiccomputing.com", "cc.cdn.civiccomputing.com", "/9/cookieControl-9.x.min.js", 1.5, 0.02),
+        ("cookiebot.com", "consent.cookiebot.com", "/uc.js", 2.5, 0.016),
+    ] {
+        let mut cm = VendorSpec::base(domain, host, path, VendorCategory::ConsentManager, weight);
+        cm.sets = vec![CookieSpec::new("cky-consent", ValueSpec::Short, Some(YEAR), 0.9)];
+        cm.reads_all_prob = 0.95;
+        cm.deletes = vec![
+            DeleteSpec { target: DeleteTarget::Named("_uetvid".into()), prob: del_prob, via_store: false },
+            DeleteSpec { target: DeleteTarget::Named("_uetsid".into()), prob: del_prob * 0.9, via_store: false },
+            DeleteSpec { target: DeleteTarget::Named("_ga".into()), prob: del_prob * 0.55, via_store: false },
+            DeleteSpec { target: DeleteTarget::Named("_fbp".into()), prob: del_prob * 0.45, via_store: false },
+            DeleteSpec { target: DeleteTarget::Named("_gid".into()), prob: del_prob * 0.4, via_store: false },
+            DeleteSpec { target: DeleteTarget::Named("_gcl_au".into()), prob: del_prob * 0.4, via_store: false },
+            DeleteSpec { target: DeleteTarget::RandomFirstParty, prob: (del_prob * 4.5).min(0.9), via_store: false },
+        ];
+        v.push(cm);
+    }
+
+    // Osano: the §5.4 cross-company case study (_fbp → Criteo).
+    let mut osano = VendorSpec::base(
+        "osano.com", "cmp.osano.com", "/1vX3GkPazR/osano.js",
+        VendorCategory::ConsentManager, 2.0,
+    );
+    osano.sets = vec![CookieSpec::new("osano_consentmanager", ValueSpec::Uuid, Some(YEAR), 0.9)];
+    osano.reads_all_prob = 0.95;
+    osano.exfils = vec![ExfilSpec {
+        dests: vec!["sslwidget.criteo.com".into()],
+        path: "/event".into(),
+        selection: ExfilSelection::Named(vec!["_fbp".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Xhr,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 0,
+    }];
+    osano.deletes = vec![DeleteSpec { target: DeleteTarget::Named("_fbp".into()), prob: 0.02, via_store: false }];
+    v.push(osano);
+
+    let mut ketch = VendorSpec::base(
+        "ketchjs.com", "global.ketchjs.com", "/web/v2/config/boot.js",
+        VendorCategory::ConsentManager, 1.5,
+    );
+    ketch.sets = vec![CookieSpec::new("us_privacy", ValueSpec::UsPrivacy, Some(YEAR), 0.95)];
+    ketch.reads_all_prob = 0.9;
+    v.push(ketch);
+
+    // ---- Tag managers / CDPs ----------------------------------------------
+    let mut tealium = VendorSpec::base(
+        "tiqcdn.com", "tags.tiqcdn.com", "/utag/main/prod/utag.js",
+        VendorCategory::TagManager, 4.0,
+    );
+    tealium.sets = vec![CookieSpec::new("utag_main", ValueSpec::GaStyle, Some(YEAR), 0.95)];
+    tealium.reads_all_prob = 0.95;
+    tealium.overwrites = vec![OverwriteSpec {
+        target: OverwriteTarget::Named("utag_main".into()),
+        value: ValueSpec::GaStyle,
+        prob: 0.18,
+        blind: false,
+    }];
+    tealium.deletes = vec![
+        DeleteSpec { target: DeleteTarget::Named("_uetvid".into()), prob: 0.035, via_store: false },
+        DeleteSpec { target: DeleteTarget::Named("_uetsid".into()), prob: 0.035, via_store: false },
+    ];
+    tealium.inject_pool_count = (3, 10);
+    v.push(tealium);
+
+    let mut segment = VendorSpec::base(
+        "segment.com", "cdn.segment.com", "/analytics.js/v1/analytics.min.js",
+        VendorCategory::TagManager, 4.5,
+    );
+    segment.sets = vec![
+        CookieSpec::new("ajs_anonymous_id", ValueSpec::Uuid, Some(YEAR), 0.95),
+        CookieSpec::new("ajs_user_id", ValueSpec::HexId(24), Some(YEAR), 0.4),
+    ];
+    segment.reads_all_prob = 0.95;
+    segment.exfils = vec![ExfilSpec {
+        dests: vec!["api.segment.io".into()],
+        path: "/v1/p".into(),
+        selection: ExfilSelection::Named(vec![
+            "ajs_anonymous_id".into(), "ajs_user_id".into(), "_ga".into(), "_fbp".into(),
+        ]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Xhr,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 0,
+    }];
+    segment.overwrites = vec![
+        OverwriteSpec { target: OverwriteTarget::Named("_fbp".into()), value: ValueSpec::FbpStyle, prob: 0.15, blind: false },
+        OverwriteSpec { target: OverwriteTarget::Named("_uetvid".into()), value: ValueSpec::HexId(32), prob: 0.12, blind: false },
+        OverwriteSpec { target: OverwriteTarget::Named("_uetsid".into()), value: ValueSpec::HexId(32), prob: 0.11, blind: false },
+        OverwriteSpec { target: OverwriteTarget::Named("ajs_anonymous_id".into()), value: ValueSpec::Uuid, prob: 0.08, blind: false },
+    ];
+    segment.deletes = vec![
+        DeleteSpec { target: DeleteTarget::Named("_uetvid".into()), prob: 0.016, via_store: false },
+        DeleteSpec { target: DeleteTarget::Named("ajs_user_id".into()), prob: 0.012, via_store: false },
+    ];
+    segment.inject_pool_count = (1, 6);
+    v.push(segment);
+
+    let mut adobe = VendorSpec::base(
+        "adobedtm.com", "assets.adobedtm.com", "/launch.min.js",
+        VendorCategory::TagManager, 3.5,
+    );
+    adobe.sets = vec![CookieSpec::new("AMCV_", ValueSpec::HexId(38), Some(2 * YEAR), 0.9)];
+    adobe.reads_all_prob = 0.9;
+    adobe.exfils = vec![ExfilSpec {
+        dests: vec!["dpm.demdex.net".into()],
+        path: "/id".into(),
+        selection: ExfilSelection::Sample(2),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Xhr,
+        prob: 0.7,
+        via_store: false,
+        extra_dest_samples: 1,
+    }];
+    adobe.overwrites = vec![OverwriteSpec {
+        target: OverwriteTarget::GenericName,
+        value: ValueSpec::HexId(20),
+        prob: 0.06,
+        blind: true,
+    }];
+    adobe.inject_pool_count = (1, 6);
+    v.push(adobe);
+
+    // ---- Error/perf monitoring ---------------------------------------------
+    let mut sentry = VendorSpec::base(
+        "sentry-cdn.com", "browser.sentry-cdn.com", "/bundle.min.js",
+        VendorCategory::Performance, 5.0,
+    );
+    sentry.reads_all_prob = 0.6;
+    // Table 5: "Functional Software" tops the _fbp overwriter list.
+    sentry.overwrites = vec![
+        OverwriteSpec { target: OverwriteTarget::Named("_fbp".into()), value: ValueSpec::FbpStyle, prob: 0.13, blind: false },
+        OverwriteSpec { target: OverwriteTarget::Named("ajs_anonymous_id".into()), value: ValueSpec::Uuid, prob: 0.06, blind: false },
+    ];
+    v.push(sentry);
+
+    for (domain, host, path, weight) in [
+        ("newrelic.com", "js-agent.newrelic.com", "/nr-loader.min.js", 4.0),
+        ("dynatrace.com", "js.dynatrace.com", "/jstag.js", 2.0),
+        ("go-mpulse.net", "c.go-mpulse.net", "/boomerang/BOOM.js", 2.0),
+    ] {
+        let mut p = VendorSpec::base(domain, host, path, VendorCategory::Performance, weight);
+        p.reads_all_prob = 0.5;
+        p.overwrites = vec![OverwriteSpec {
+            target: OverwriteTarget::Named("OptanonConsent".into()),
+            value: ValueSpec::ConsentString,
+            prob: if domain == "newrelic.com" { 0.07 } else { 0.035 },
+            blind: false,
+        }];
+        v.push(p);
+    }
+
+    // ---- A/B testing ---------------------------------------------------------
+    for (domain, host, path, weight, own) in [
+        ("optimizely.com", "cdn.optimizely.com", "/js/optimizely.js", 3.0, "optimizelyEndUserId"),
+        ("visualwebsiteoptimizer.com", "dev.visualwebsiteoptimizer.com", "/j.php", 2.5, "_vwo_uuid"),
+    ] {
+        let mut ab = VendorSpec::base(domain, host, path, VendorCategory::AbTesting, weight);
+        ab.sets = vec![CookieSpec::new(own, ValueSpec::Uuid, Some(180 * DAY), 0.9)];
+        ab.reads_all_prob = 0.85;
+        ab.overwrites = vec![OverwriteSpec {
+            target: OverwriteTarget::Named("utag_main".into()),
+            value: ValueSpec::GaStyle,
+            prob: 0.06,
+            blind: false,
+        }];
+        v.push(ab);
+    }
+
+    // ---- Chat / support --------------------------------------------------------
+    let mut olark = VendorSpec::base(
+        "olark.com", "static.olark.com", "/jsclient/loader.js",
+        VendorCategory::CustomerSupport, 2.0,
+    );
+    olark.sets = vec![CookieSpec::new("olfsk", ValueSpec::HexId(20), Some(2 * YEAR), 0.9)];
+    olark.reads_all_prob = 0.7;
+    olark.overwrites = vec![OverwriteSpec {
+        target: OverwriteTarget::Named("_gid".into()),
+        value: ValueSpec::GaStyle,
+        prob: 0.10,
+        blind: false,
+    }];
+    olark.feature = Some(("chat".into(), "olfsk".into(), None));
+    v.push(olark);
+
+    let mut intercom = VendorSpec::base(
+        "intercom.io", "widget.intercom.io", "/widget/app.js",
+        VendorCategory::CustomerSupport, 2.5,
+    );
+    intercom.sets = vec![CookieSpec::new("intercom-id", ValueSpec::Uuid, Some(270 * DAY), 0.9)];
+    intercom.reads_all_prob = 0.6;
+    intercom.feature = Some(("chat".into(), "intercom-id".into(), None));
+    v.push(intercom);
+
+    // ---- Misc named trackers (Tables 2/5 rows) ----------------------------------
+    let mut marketo = VendorSpec::base(
+        "marketo.net", "munchkin.marketo.net", "/munchkin.js",
+        VendorCategory::Analytics, 2.0,
+    );
+    marketo.sets = vec![CookieSpec::new("_mkto_trk", ValueSpec::HexId(40), Some(2 * YEAR), 0.9)];
+    marketo.reads_all_prob = 0.85;
+    marketo.exfils = vec![ExfilSpec {
+        dests: vec!["munchkin.marketo.net".into()],
+        path: "/munchkin".into(),
+        selection: ExfilSelection::Named(vec!["_mkto_trk".into(), "_ga".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 1,
+    }];
+    v.push(marketo);
+
+    let mut lotame = VendorSpec::base(
+        "crwdcntrl.net", "tags.crwdcntrl.net", "/lt/c/16589/lt.min.js",
+        VendorCategory::AdExchange, 1.8,
+    );
+    lotame.sets = vec![CookieSpec::new("lotame_domain_check", ValueSpec::HexId(12), Some(DAY), 0.9)];
+    lotame.reads_all_prob = 0.9;
+    lotame.exfils = vec![ExfilSpec {
+        dests: vec!["bcp.crwdcntrl.net".into()],
+        path: "/5/c".into(),
+        selection: ExfilSelection::Sample(2),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.8,
+        via_store: false,
+        extra_dest_samples: 2,
+    }];
+    v.push(lotame);
+
+    let mut statcounter = VendorSpec::base(
+        "statcounter.com", "www.statcounter.com", "/counter/counter.js",
+        VendorCategory::Analytics, 1.6,
+    );
+    statcounter.sets = vec![CookieSpec::new("sc_is_visitor_unique", ValueSpec::HexId(16), Some(2 * YEAR), 0.9)];
+    statcounter.reads_all_prob = 0.85;
+    statcounter.exfils = vec![ExfilSpec {
+        dests: vec!["c.statcounter.com".into()],
+        path: "/t.php".into(),
+        selection: ExfilSelection::Named(vec!["sc_is_visitor_unique".into(), "_ga".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 1,
+    }];
+    v.push(statcounter);
+
+    let mut gaconn = VendorSpec::base(
+        "gaconnector.com", "tracker.gaconnector.com", "/gaconnector.js",
+        VendorCategory::Analytics, 1.2,
+    );
+    gaconn.sets = vec![
+        CookieSpec::new("gaconnector_GA_Client_ID", ValueSpec::GaStyle, Some(YEAR), 0.9),
+        CookieSpec::new("gaconnector_GA_Session_ID", ValueSpec::HexId(16), Some(DAY), 0.9),
+    ];
+    gaconn.reads_all_prob = 0.95;
+    gaconn.exfils = vec![ExfilSpec {
+        dests: vec!["track.gaconnector.com".into()],
+        path: "/track".into(),
+        selection: ExfilSelection::Named(vec!["_ga".into(), "gaconnector_GA_Client_ID".into(), "gaconnector_GA_Session_ID".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Xhr,
+        prob: 0.45,
+        via_store: false,
+        extra_dest_samples: 1,
+    }];
+    v.push(gaconn);
+
+    let mut yimg = VendorSpec::base(
+        "yimg.jp", "s.yimg.jp", "/images/listing/tool/cv/ytag.js",
+        VendorCategory::AdExchange, 1.2,
+    );
+    yimg.sets = vec![CookieSpec::new("_yjsu_yjad", ValueSpec::GaStyle, Some(YEAR), 0.9)];
+    yimg.reads_all_prob = 0.85;
+    yimg.exfils = vec![ExfilSpec {
+        dests: vec!["b97.yahoo.co.jp".into()],
+        path: "/bid".into(),
+        selection: ExfilSelection::Named(vec!["_yjsu_yjad".into(), "_ga".into(), "us_privacy".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.35,
+        via_store: false,
+        extra_dest_samples: 1,
+    }];
+    v.push(yimg);
+
+    let mut cxense = VendorSpec::base(
+        "cxense.com", "cdn.cxense.com", "/cx.js",
+        VendorCategory::Analytics, 1.2,
+    );
+    cxense.sets = vec![CookieSpec::new("_cookie_test", ValueSpec::Short, Some(DAY), 0.9)];
+    cxense.reads_all_prob = 0.8;
+    cxense.overwrites = vec![OverwriteSpec {
+        target: OverwriteTarget::GenericName,
+        value: ValueSpec::Short,
+        prob: 0.15,
+        blind: true,
+    }];
+    cxense.deletes = vec![DeleteSpec { target: DeleteTarget::Named("_cookie_test".into()), prob: 0.05, via_store: false }];
+    v.push(cxense);
+
+    let mut snap = VendorSpec::base(
+        "sc-static.net", "sc-static.net", "/scevent.min.js",
+        VendorCategory::SocialWidget, 2.0,
+    );
+    snap.sets = vec![
+        CookieSpec::new("_scid", ValueSpec::Uuid, Some(390 * DAY), 0.9),
+        CookieSpec::new("_screload", ValueSpec::Short, Some(DAY), 0.5),
+    ];
+    snap.reads_all_prob = 0.8;
+    snap.exfils = vec![ExfilSpec {
+        dests: vec!["tr.snapchat.com".into()],
+        path: "/p".into(),
+        selection: ExfilSelection::Named(vec!["_scid".into(), "_ga".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Xhr,
+        prob: 0.32,
+        via_store: false,
+        extra_dest_samples: 0,
+    }];
+    snap.deletes = vec![DeleteSpec { target: DeleteTarget::Named("_screload".into()), prob: 0.028, via_store: false }];
+    v.push(snap);
+
+    let mut tiktok = VendorSpec::base(
+        "analytics-tiktok.com", "analytics.tiktok.com", "/i18n/pixel/events.js",
+        VendorCategory::SocialWidget, 3.0,
+    );
+    tiktok.sets = vec![CookieSpec::new("_ttp", ValueSpec::HexId(28), Some(390 * DAY), 0.9)];
+    tiktok.reads_all_prob = 0.85;
+    tiktok.exfils = vec![ExfilSpec {
+        dests: vec!["analytics.tiktok.com".into()],
+        path: "/api/v2/pixel".into(),
+        selection: ExfilSelection::Named(vec!["_ttp".into(), "_ga".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Xhr,
+        prob: 0.32,
+        via_store: false,
+        extra_dest_samples: 0,
+    }];
+    v.push(tiktok);
+
+    let mut hotjar = VendorSpec::base(
+        "hotjar.com", "static.hotjar.com", "/c/hotjar.js",
+        VendorCategory::Analytics, 4.5,
+    );
+    hotjar.sets = vec![CookieSpec::new("_hjSessionUser", ValueSpec::Uuid, Some(YEAR), 0.9)];
+    hotjar.reads_all_prob = 0.8;
+    hotjar.exfils = vec![ExfilSpec {
+        dests: vec!["in.hotjar.com".into()],
+        path: "/api/v2/client".into(),
+        selection: ExfilSelection::Named(vec!["_hjSessionUser".into()]),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Xhr,
+        prob: 0.6,
+        via_store: false,
+        extra_dest_samples: 0,
+    }];
+    v.push(hotjar);
+
+    // LiveIntent — Fig. 2 top-20 exfiltrator.
+    let mut liadm = VendorSpec::base(
+        "liadm.com", "b-code.liadm.com", "/lc2.min.js",
+        VendorCategory::AdExchange, 1.5,
+    );
+    liadm.sets = vec![CookieSpec::new("_li_dcdm_c", ValueSpec::HexId(20), Some(30 * DAY), 0.8)];
+    liadm.reads_all_prob = 0.9;
+    liadm.exfils = vec![ExfilSpec {
+        dests: vec!["rp.liadm.com".into()],
+        path: "/j".into(),
+        selection: ExfilSelection::Sample(2),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        prob: 0.8,
+        via_store: false,
+        extra_dest_samples: 2,
+    }];
+    v.push(liadm);
+
+    for (domain, host, weight) in [
+        ("mountain.com", "dx.mountain.com", 1.2),
+        ("script.ac", "cdn.script.ac", 1.2),
+        ("cloudfront.net", "d1af033869koo7.cloudfront.net", 3.0),
+    ] {
+        let mut m = VendorSpec::base(domain, host, "/tag.js", VendorCategory::AdExchange, weight);
+        m.reads_all_prob = 0.9;
+        m.exfils = vec![ExfilSpec {
+            dests: vec![host.to_string()],
+            path: "/e".into(),
+            selection: ExfilSelection::Sample(2),
+            segment: SegmentPolicy::Full,
+            encoding: Encoding::Plain,
+            kind: RequestKind::Image,
+            prob: 0.8,
+            via_store: false,
+            extra_dest_samples: 2,
+        }];
+        if domain == "script.ac" {
+            m.overwrites = vec![OverwriteSpec {
+                target: OverwriteTarget::Named("cto_bundle".into()),
+                value: ValueSpec::HexId(258),
+                prob: 0.09,
+                blind: false,
+            }];
+        }
+        if domain == "cloudfront.net" {
+            m.overwrites = vec![OverwriteSpec {
+                target: OverwriteTarget::GenericName,
+                value: ValueSpec::HexId(16),
+                prob: 0.05,
+                blind: true,
+            }];
+            m.deletes = vec![DeleteSpec { target: DeleteTarget::RandomFirstParty, prob: 0.01, via_store: false }];
+        }
+        v.push(m);
+    }
+
+    // ---- cookieStore users (§5.2) -----------------------------------------
+    let mut shopify = VendorSpec::base(
+        "shopifycloud.com", "cdn.shopifycloud.com", "/perf-kit/shopify-perf-kit-1.6.2.min.js",
+        VendorCategory::Commerce, 0.0, // included only on commerce sites
+    );
+    shopify.store_sets = vec![CookieSpec::new("keep_alive", ValueSpec::HexId(12), Some(1800), 0.95)];
+    shopify.reads_all_prob = 0.3;
+    v.push(shopify);
+
+    let mut admiral = VendorSpec::base(
+        "getadmiral.com", "cdn.getadmiral.com", "/scripts/admiral.js",
+        VendorCategory::AdExchange, 0.0, // included only on ad-funded content sites
+    );
+    admiral.store_sets = vec![CookieSpec::new("_awl", ValueSpec::CounterTimestampSession, Some(7 * DAY), 0.95)];
+    admiral.reads_all_prob = 0.7;
+    admiral.exfils = vec![ExfilSpec {
+        dests: vec!["collect.getadmiral.com".into()],
+        path: "/a".into(),
+        selection: ExfilSelection::All,
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Xhr,
+        prob: 0.35,
+        via_store: true,
+        extra_dest_samples: 0,
+    }];
+    v.push(admiral);
+
+    // ---- SSO providers (Table 3 breakage mechanics) -------------------------
+    // Each provider's primary script sets the session cookie; when the
+    // flow uses a sibling domain, a second script from that domain
+    // performs the dependent read.
+    let mut gsso = VendorSpec::base(
+        "gstatic.com", "accounts.gstatic.com", "/gsi/client.js",
+        VendorCategory::SsoProvider, 5.0,
+    );
+    gsso.sets = vec![CookieSpec::new("g_state", ValueSpec::HexId(24), Some(180 * DAY), 0.95)];
+    gsso.feature = Some(("sso".into(), "g_state".into(), Some("google.com".into())));
+    v.push(gsso);
+
+    let mut mssso = VendorSpec::base(
+        "msauth.net", "logincdn.msauth.net", "/shared/msal-browser.min.js",
+        VendorCategory::SsoProvider, 2.5,
+    );
+    mssso.sets = vec![CookieSpec::new("msal.session", ValueSpec::HexId(32), None, 0.95)];
+    mssso.feature = Some(("sso".into(), "msal.session".into(), Some("live.com".into())));
+    v.push(mssso);
+
+    let mut fbsso = VendorSpec::base(
+        "facebook.com", "www.facebook.com", "/connect/en_US/sdk.js",
+        VendorCategory::SsoProvider, 2.5,
+    );
+    fbsso.sets = vec![CookieSpec::new("fblo_state", ValueSpec::HexId(24), None, 0.95)];
+    fbsso.feature = Some(("sso".into(), "fblo_state".into(), Some("fbcdn.net".into())));
+    v.push(fbsso);
+
+    let mut okta = VendorSpec::base(
+        "oktacdn.com", "global.oktacdn.com", "/okta-signin-widget/7/js/okta-sign-in.min.js",
+        VendorCategory::SsoProvider, 1.5,
+    );
+    okta.sets = vec![CookieSpec::new("okta-oauth-state", ValueSpec::HexId(32), None, 0.95)];
+    okta.feature = Some(("sso".into(), "okta-oauth-state".into(), None));
+    v.push(okta);
+
+    let mut auth0 = VendorSpec::base(
+        "auth0.com", "cdn.auth0.com", "/js/auth0-spa-js/2/auth0-spa-js.production.js",
+        VendorCategory::SsoProvider, 1.5,
+    );
+    auth0.sets = vec![CookieSpec::new("auth0.is.authenticated", ValueSpec::HexId(24), None, 0.95)];
+    auth0.feature = Some(("sso".into(), "auth0.is.authenticated".into(), None));
+    v.push(auth0);
+
+    // Sibling-domain reader stubs for SSO pairs and the fbcdn messenger
+    // case: scripts that only read/probe cookies their sibling set.
+    let mut google_reader = VendorSpec::base(
+        "google.com", "apis.google.com", "/js/platform.js",
+        VendorCategory::SsoProvider, 0.0, // only included via SSO pairing
+    );
+    google_reader.reads_all_prob = 1.0;
+    google_reader.feature = Some(("sso".into(), "g_state".into(), None));
+    v.push(google_reader);
+
+    let mut live_reader = VendorSpec::base(
+        "live.com", "login.live.com", "/sso/wsfed.js",
+        VendorCategory::SsoProvider, 0.0,
+    );
+    live_reader.reads_all_prob = 1.0;
+    live_reader.feature = Some(("sso".into(), "msal.session".into(), None));
+    v.push(live_reader);
+
+    let mut fbcdn = VendorSpec::base(
+        "fbcdn.net", "static.xx.fbcdn.net", "/rsrc.php/messenger.js",
+        VendorCategory::SocialWidget, 0.0,
+    );
+    fbcdn.reads_all_prob = 1.0;
+    fbcdn.feature = Some(("functionality".into(), "fblo_state".into(), None));
+    v.push(fbcdn);
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn registry_builds_with_unique_domains() {
+        let reg = VendorRegistry::new(Vec::new());
+        let mut seen = std::collections::HashSet::new();
+        for vendor in reg.all() {
+            assert!(seen.insert(vendor.domain.clone()), "duplicate vendor {}", vendor.domain);
+            assert!(cg_url::Url::parse(&vendor.script_url()).is_ok(), "bad url {}", vendor.script_url());
+        }
+        assert!(reg.core_count() >= 45, "expected ≥45 core vendors, got {}", reg.core_count());
+    }
+
+    #[test]
+    fn paper_table_vendors_present() {
+        let reg = VendorRegistry::new(Vec::new());
+        for d in [
+            "googletagmanager.com", "google-analytics.com", "doubleclick.net", "facebook.net",
+            "bing.com", "criteo.net", "pubmatic.com", "openx.net", "hubspot.com", "yandex.ru",
+            "licdn.com", "cookielaw.org", "cdn-cookieyes.com", "cookie-script.com", "tiqcdn.com",
+            "segment.com", "sentry-cdn.com", "marketo.net", "crwdcntrl.net", "statcounter.com",
+            "ketchjs.com", "yimg.jp", "gaconnector.com", "cxense.com", "shopifycloud.com",
+            "getadmiral.com", "osano.com",
+        ] {
+            assert!(reg.by_domain(d).is_some(), "missing vendor {d}");
+        }
+    }
+
+    #[test]
+    fn behaviors_deterministic_per_seed() {
+        let reg = VendorRegistry::new(Vec::new());
+        let gtm = reg.by_domain("googletagmanager.com").unwrap();
+        let cfg = GenConfig::default();
+        let pool = vec!["dest.example.com".to_string()];
+        let a = gtm.behavior(&mut StdRng::seed_from_u64(9), &cfg, &pool, &[]);
+        let b = gtm.behavior(&mut StdRng::seed_from_u64(9), &cfg, &pool, &[]);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn consent_managers_delete_tracker_cookies() {
+        let reg = VendorRegistry::new(Vec::new());
+        let cm = reg.by_domain("cdn-cookieyes.com").unwrap();
+        let cfg = GenConfig::default();
+        // With enough trials, deletion ops must appear.
+        let mut saw_delete = false;
+        for seed in 0..50 {
+            let ops = cm.behavior(&mut StdRng::seed_from_u64(seed), &cfg, &[], &["site_sess".to_string()]);
+            fn has_delete(ops: &[ScriptOp]) -> bool {
+                ops.iter().any(|op| match op {
+                    ScriptOp::DeleteCookie { .. } => true,
+                    ScriptOp::Defer { ops, .. } | ScriptOp::Microtask { ops } => has_delete(ops),
+                    _ => false,
+                })
+            }
+            if has_delete(&ops) {
+                saw_delete = true;
+                break;
+            }
+        }
+        assert!(saw_delete);
+    }
+
+    #[test]
+    fn shopify_uses_cookie_store() {
+        let reg = VendorRegistry::new(Vec::new());
+        let sh = reg.by_domain("shopifycloud.com").unwrap();
+        assert!(!sh.store_sets.is_empty());
+        assert_eq!(sh.store_sets[0].name, "keep_alive");
+    }
+
+    #[test]
+    fn category_tracking_labels() {
+        assert!(VendorCategory::Analytics.is_ad_tracking());
+        assert!(VendorCategory::TagManager.is_ad_tracking());
+        assert!(!VendorCategory::SsoProvider.is_ad_tracking());
+        assert!(!VendorCategory::CustomerSupport.is_ad_tracking());
+    }
+
+    #[test]
+    fn filter_inputs_cover_categories() {
+        let reg = VendorRegistry::new(Vec::new());
+        let inputs = reg.filter_list_inputs();
+        assert!(inputs.ads.contains(&"doubleclick.net".to_string()));
+        assert!(inputs.tracking.contains(&"google-analytics.com".to_string()));
+        assert!(inputs.social.contains(&"facebook.net".to_string()));
+        assert!(inputs.annoyance.contains(&"cookielaw.org".to_string()));
+    }
+}

@@ -1,0 +1,83 @@
+//! CookieGuard configuration.
+
+use cg_entity::EntityMap;
+use std::collections::HashSet;
+
+/// How inline scripts (no attributable origin) are treated — §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InlinePolicy {
+    /// Safe-by-default: inline scripts are untrusted and see no cookies.
+    /// This is the mode the paper evaluates.
+    Strict,
+    /// Inline scripts are treated as first-party (site-owner) scripts.
+    /// Included to illustrate the alternative design choice; not used in
+    /// the paper's evaluation.
+    Relaxed,
+}
+
+/// CookieGuard's policy knobs.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Inline-script handling.
+    pub inline_policy: InlinePolicy,
+    /// When present, domains belonging to the same organization share
+    /// cookie access (the §7.2 whitelist refinement).
+    pub entity_map: Option<EntityMap>,
+    /// Extra domains granted full jar access (site-operator escape hatch;
+    /// empty by default).
+    pub whitelist: HashSet<String>,
+}
+
+impl GuardConfig {
+    /// The paper's evaluation configuration: strict inline handling, no
+    /// entity grouping, empty whitelist.
+    pub fn strict() -> GuardConfig {
+        GuardConfig { inline_policy: InlinePolicy::Strict, entity_map: None, whitelist: HashSet::new() }
+    }
+
+    /// Relaxed inline handling (illustrative alternative).
+    pub fn relaxed() -> GuardConfig {
+        GuardConfig { inline_policy: InlinePolicy::Relaxed, ..GuardConfig::strict() }
+    }
+
+    /// Enables entity grouping with the given map.
+    pub fn with_entity_grouping(mut self, map: EntityMap) -> GuardConfig {
+        self.entity_map = Some(map);
+        self
+    }
+
+    /// Adds a domain to the full-access whitelist.
+    pub fn with_whitelisted(mut self, domain: &str) -> GuardConfig {
+        self.whitelist.insert(domain.to_ascii_lowercase());
+        self
+    }
+}
+
+impl Default for GuardConfig {
+    fn default() -> GuardConfig {
+        GuardConfig::strict()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_is_default() {
+        let c = GuardConfig::default();
+        assert_eq!(c.inline_policy, InlinePolicy::Strict);
+        assert!(c.entity_map.is_none());
+        assert!(c.whitelist.is_empty());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = GuardConfig::relaxed()
+            .with_entity_grouping(cg_entity::builtin_entity_map())
+            .with_whitelisted("TRUSTED.example");
+        assert_eq!(c.inline_policy, InlinePolicy::Relaxed);
+        assert!(c.entity_map.is_some());
+        assert!(c.whitelist.contains("trusted.example"));
+    }
+}

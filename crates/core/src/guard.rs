@@ -1,0 +1,341 @@
+//! The CookieGuard runtime: metadata + policy at the interception points.
+
+use crate::config::GuardConfig;
+use crate::metadata::{CookieOrigin, MetadataStore};
+use crate::policy::{AccessDecision, Caller, PolicyEngine};
+use cg_cookiejar::Cookie;
+use serde::{Deserialize, Serialize};
+
+/// Counters for everything the guard blocked or allowed — the raw
+/// numbers behind the Figure 5 evaluation and the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardStats {
+    /// Cookies hidden from `document.cookie` / `cookieStore` reads.
+    pub cookies_filtered: u64,
+    /// Read operations that had at least one cookie filtered.
+    pub reads_filtered: u64,
+    /// Write operations blocked (overwrites of foreign cookies).
+    pub writes_blocked: u64,
+    /// Delete operations blocked.
+    pub deletes_blocked: u64,
+    /// Writes allowed (new cookies or authorized overwrites).
+    pub writes_allowed: u64,
+    /// Reads that passed through unfiltered.
+    pub reads_clean: u64,
+}
+
+/// The per-site CookieGuard instance: one per top-level page visit, like
+/// the extension's per-tab state.
+#[derive(Debug, Clone)]
+pub struct CookieGuard {
+    policy: PolicyEngine,
+    metadata: MetadataStore,
+    stats: GuardStats,
+}
+
+impl CookieGuard {
+    /// Creates a guard for a visit to `site_domain` under `config`.
+    pub fn new(config: GuardConfig, site_domain: &str) -> CookieGuard {
+        CookieGuard {
+            policy: PolicyEngine::new(config, site_domain),
+            metadata: MetadataStore::new(),
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// The guarded site.
+    pub fn site_domain(&self) -> &str {
+        self.policy.site_domain()
+    }
+
+    /// Read access to the accumulated statistics.
+    pub fn stats(&self) -> GuardStats {
+        self.stats
+    }
+
+    /// Read access to the metadata store (forensics / tests).
+    pub fn metadata(&self) -> &MetadataStore {
+        &self.metadata
+    }
+
+    // ------------------------------------------------------------------
+    // Creation-event bookkeeping (the "set" paths of Figure 3)
+    // ------------------------------------------------------------------
+
+    /// Records an HTTP `Set-Cookie` observed on a response from
+    /// `response_domain` (eTLD+1). Mirrors `background.js` watching
+    /// `webRequest.onHeadersReceived`.
+    pub fn record_http_set_cookie(&mut self, name: &str, response_domain: &str) {
+        self.metadata.record(name, Some(response_domain), CookieOrigin::HttpHeader);
+    }
+
+    /// Admits a cookie that existed before the guard attached under the
+    /// §8 migration policy: it stays fully visible (legacy behaviour)
+    /// until an authorized write re-attributes it to a creator. This is
+    /// the ITP-style "grandfathering" easing staged deployment.
+    pub fn grandfather(&mut self, name: &str) {
+        if !self.metadata.knows(name) {
+            self.metadata.record_grandfathered(name);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Enforcement (the "get"/"set" interception of cookieGuard.js)
+    // ------------------------------------------------------------------
+
+    /// Non-mutating visibility check: may `caller` observe cookie
+    /// `name`? Used to filter CookieStore `change` events — a script must
+    /// not learn about changes to cookies it could not read (otherwise a
+    /// respawning tracker could watch for a consent manager deleting
+    /// foreign identifiers).
+    pub fn may_observe(&self, caller: &Caller, name: &str) -> bool {
+        if self.metadata.is_grandfathered(name) {
+            return true;
+        }
+        self.policy.check(caller, self.metadata.creator(name)).is_allow()
+    }
+
+    /// Filters a `document.cookie` / `cookieStore.getAll` result for
+    /// `caller`: only cookies whose recorded creator the caller may
+    /// access are returned.
+    pub fn filter_read(&mut self, caller: &Caller, cookies: Vec<Cookie>) -> Vec<Cookie> {
+        let before = cookies.len();
+        let visible: Vec<Cookie> = cookies
+            .into_iter()
+            .filter(|c| {
+                self.metadata.is_grandfathered(&c.name)
+                    || self.policy.check(caller, self.metadata.creator(&c.name)).is_allow()
+            })
+            .collect();
+        if visible.len() < before {
+            self.stats.reads_filtered += 1;
+            self.stats.cookies_filtered += (before - visible.len()) as u64;
+        } else {
+            self.stats.reads_clean += 1;
+        }
+        visible
+    }
+
+    /// Name-only variant of [`CookieGuard::filter_read`] for callers that
+    /// work with cookie names (tests, policy probing).
+    pub fn filter_names(&mut self, caller: &Caller, names: &[String]) -> Vec<String> {
+        let before = names.len();
+        let visible: Vec<String> = names
+            .iter()
+            .filter(|n| {
+                self.metadata.is_grandfathered(n)
+                    || self.policy.check(caller, self.metadata.creator(n)).is_allow()
+            })
+            .cloned()
+            .collect();
+        if visible.len() < before {
+            self.stats.reads_filtered += 1;
+            self.stats.cookies_filtered += (before - visible.len()) as u64;
+        } else {
+            self.stats.reads_clean += 1;
+        }
+        visible
+    }
+
+    /// Authorizes a write (create or overwrite) of cookie `name` by
+    /// `caller`. On success the metadata records the caller as creator
+    /// (for new cookies) or keeps/moves ownership per policy.
+    pub fn authorize_write(&mut self, caller: &Caller, name: &str) -> AccessDecision {
+        let grandfathered = self.metadata.is_grandfathered(name);
+        let decision = if grandfathered {
+            // Legacy cookie: any writer may claim it (relearning phase).
+            self.policy.check_create(caller)
+        } else if self.metadata.knows(name) {
+            self.policy.check(caller, self.metadata.creator(name))
+        } else {
+            self.policy.check_create(caller)
+        };
+        if decision.is_allow() {
+            self.stats.writes_allowed += 1;
+            if grandfathered || !self.metadata.knows(name) {
+                // New (or relearned) cookie: ownership goes to the
+                // (attributed) caller; inline-relaxed writes are owned by
+                // the site.
+                let creator = caller.domain.clone().unwrap_or_else(|| self.site_domain().to_string());
+                self.metadata.record(name, Some(&creator), CookieOrigin::DocumentCookie);
+            }
+        } else {
+            self.stats.writes_blocked += 1;
+        }
+        decision
+    }
+
+    /// Authorizes a deletion of cookie `name` by `caller`; on success the
+    /// metadata forgets the cookie.
+    pub fn authorize_delete(&mut self, caller: &Caller, name: &str) -> AccessDecision {
+        let decision = if self.metadata.is_grandfathered(name) {
+            // Legacy cookie: deletable by anyone (pre-guard behaviour).
+            self.policy.check_create(caller)
+        } else if self.metadata.knows(name) {
+            self.policy.check(caller, self.metadata.creator(name))
+        } else {
+            // Deleting a cookie the guard never saw: treat like touching
+            // an unattributed (site-owned) cookie.
+            self.policy.check(caller, None)
+        };
+        if decision.is_allow() {
+            self.metadata.forget(name);
+        } else {
+            self.stats.deletes_blocked += 1;
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_cookiejar::CookieJar;
+    use cg_url::Url;
+
+    fn jar_cookies(names: &[&str]) -> Vec<Cookie> {
+        let url = Url::parse("https://site.com/").unwrap();
+        let mut jar = CookieJar::new();
+        for (i, n) in names.iter().enumerate() {
+            jar.set_document_cookie(&format!("{n}=v{i}"), &url, i as i64).unwrap();
+        }
+        jar.cookies_for_document(&url, 100)
+    }
+
+    fn guard() -> CookieGuard {
+        CookieGuard::new(GuardConfig::strict(), "site.com")
+    }
+
+    #[test]
+    fn figure3_scenario() {
+        // Reproduces the walkthrough of Figure 3.
+        let mut g = guard();
+        // 1. server at site.com sets c0 via Set-Cookie.
+        g.record_http_set_cookie("c0", "site.com");
+        // 2. site.com script sets c1.
+        assert!(g.authorize_write(&Caller::external("site.com"), "c1").is_allow());
+        // 3. ad.com script sets c2.
+        assert!(g.authorize_write(&Caller::external("ad.com"), "c2").is_allow());
+
+        let cookies = jar_cookies(&["c0", "c1", "c2"]);
+        // 4. ad.com reads: sees only c2.
+        let ad_view = g.filter_read(&Caller::external("ad.com"), cookies.clone());
+        assert_eq!(ad_view.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(), vec!["c2"]);
+        // 5. site.com reads: sees everything.
+        let owner_view = g.filter_read(&Caller::external("site.com"), cookies);
+        assert_eq!(owner_view.len(), 3);
+    }
+
+    #[test]
+    fn cross_domain_overwrite_blocked_and_counted() {
+        let mut g = guard();
+        g.authorize_write(&Caller::external("facebook.net"), "_fbp");
+        let d = g.authorize_write(&Caller::external("pubmatic.com"), "_fbp");
+        assert!(!d.is_allow());
+        assert_eq!(g.stats().writes_blocked, 1);
+        // Ownership unchanged.
+        assert_eq!(g.metadata().creator("_fbp"), Some("facebook.net"));
+    }
+
+    #[test]
+    fn authorized_delete_forgets_ownership() {
+        let mut g = guard();
+        g.authorize_write(&Caller::external("tracker.com"), "tmp");
+        assert!(g.authorize_delete(&Caller::external("tracker.com"), "tmp").is_allow());
+        assert!(!g.metadata().knows("tmp"));
+        // A different party can now claim the name.
+        assert!(g.authorize_write(&Caller::external("other.com"), "tmp").is_allow());
+        assert_eq!(g.metadata().creator("tmp"), Some("other.com"));
+    }
+
+    #[test]
+    fn cross_domain_delete_blocked() {
+        let mut g = guard();
+        g.authorize_write(&Caller::external("bing.com"), "_uetvid");
+        assert!(!g.authorize_delete(&Caller::external("cookie-script.com"), "_uetvid").is_allow());
+        assert_eq!(g.stats().deletes_blocked, 1);
+        assert!(g.metadata().knows("_uetvid"));
+    }
+
+    #[test]
+    fn stats_track_filtering() {
+        let mut g = guard();
+        g.authorize_write(&Caller::external("a.com"), "ca");
+        g.authorize_write(&Caller::external("b.com"), "cb");
+        let cookies = jar_cookies(&["ca", "cb"]);
+        g.filter_read(&Caller::external("a.com"), cookies.clone());
+        assert_eq!(g.stats().reads_filtered, 1);
+        assert_eq!(g.stats().cookies_filtered, 1);
+        g.filter_read(&Caller::external("site.com"), cookies);
+        assert_eq!(g.stats().reads_clean, 1);
+    }
+
+    #[test]
+    fn http_cookie_ownership_enforced() {
+        let mut g = guard();
+        // A CDN response sets a cookie; its domain owns it.
+        g.record_http_set_cookie("cdn_pref", "cdn-provider.net");
+        let cookies = jar_cookies(&["cdn_pref"]);
+        assert!(g.filter_read(&Caller::external("tracker.com"), cookies.clone()).is_empty());
+        assert_eq!(g.filter_read(&Caller::external("cdn-provider.net"), cookies).len(), 1);
+    }
+
+    #[test]
+    fn inline_strict_blocked_everywhere() {
+        let mut g = guard();
+        assert!(!g.authorize_write(&Caller::inline(), "x").is_allow());
+        g.authorize_write(&Caller::external("a.com"), "y");
+        assert!(g.filter_read(&Caller::inline(), jar_cookies(&["y"])).is_empty());
+    }
+
+    #[test]
+    fn relaxed_inline_acts_as_first_party() {
+        let mut g = CookieGuard::new(GuardConfig::relaxed(), "site.com");
+        assert!(g.authorize_write(&Caller::inline(), "pref").is_allow());
+        // Ownership recorded to the site.
+        assert_eq!(g.metadata().creator("pref"), Some("site.com"));
+        assert_eq!(g.filter_read(&Caller::inline(), jar_cookies(&["pref"])).len(), 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Grandfathering (§8 staged deployment)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn grandfathered_cookies_keep_legacy_visibility() {
+        let mut g = guard();
+        g.grandfather("_legacy");
+        // Everyone can still read it, as before the guard shipped.
+        assert_eq!(g.filter_read(&Caller::external("anyone.net"), jar_cookies(&["_legacy"])).len(), 1);
+        assert!(g.may_observe(&Caller::external("anyone.net"), "_legacy"));
+    }
+
+    #[test]
+    fn grandfathered_cookie_relearned_on_write() {
+        let mut g = guard();
+        g.grandfather("_tid");
+        // The tracker refreshes its identifier: ownership is relearned.
+        assert!(g.authorize_write(&Caller::external("tracker.com"), "_tid").is_allow());
+        assert_eq!(g.metadata().creator("_tid"), Some("tracker.com"));
+        // From now on isolation applies.
+        assert!(g.filter_read(&Caller::external("other.com"), jar_cookies(&["_tid"])).is_empty());
+        assert!(!g.authorize_write(&Caller::external("other.com"), "_tid").is_allow());
+    }
+
+    #[test]
+    fn grandfather_does_not_override_known_creators() {
+        let mut g = guard();
+        g.authorize_write(&Caller::external("a.com"), "c");
+        g.grandfather("c"); // no-op: creator already known
+        assert_eq!(g.metadata().creator("c"), Some("a.com"));
+        assert!(g.filter_read(&Caller::external("b.com"), jar_cookies(&["c"])).is_empty());
+    }
+
+    #[test]
+    fn grandfathered_cookie_deletable_by_anyone() {
+        let mut g = guard();
+        g.grandfather("stale");
+        assert!(g.authorize_delete(&Caller::external("consent.io"), "stale").is_allow());
+        assert!(!g.metadata().knows("stale"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The metadata store: cookie name → creator.
+//!
+//! This is CookieGuard's database (§6.2, Figure 4): one record per cookie
+//! name holding the eTLD+1 of the creating script or server and how the
+//! cookie was created. The store is per-site (per top-level page), like
+//! the extension's per-tab dataset.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a cookie came to exist — which API created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CookieOrigin {
+    /// An HTTP `Set-Cookie` response header.
+    HttpHeader,
+    /// A `document.cookie` write.
+    DocumentCookie,
+    /// A `cookieStore.set` call.
+    CookieStore,
+    /// The cookie pre-dates the guard's activation and was admitted
+    /// under the migration policy (§8): it keeps legacy full visibility
+    /// until an authorized write re-attributes it. Mirrors WebKit's ITP
+    /// "grandfathering" of existing site data.
+    Grandfathered,
+}
+
+/// One cookie's ownership record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OwnershipRecord {
+    /// eTLD+1 of the creating script or responding server; `None` when
+    /// the creator could not be attributed (inline script in relaxed
+    /// mode writes are recorded against the site owner instead, so
+    /// `None` never appears there — it is kept for forensics).
+    pub creator: Option<String>,
+    /// Which API created the cookie.
+    pub origin: CookieOrigin,
+}
+
+/// The per-site metadata store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetadataStore {
+    records: HashMap<String, OwnershipRecord>,
+}
+
+impl MetadataStore {
+    /// An empty store.
+    pub fn new() -> MetadataStore {
+        MetadataStore::default()
+    }
+
+    /// Records (or re-records) the creator of `name`. Re-recording models
+    /// an authorized overwrite: ownership follows the latest authorized
+    /// writer, matching the extension's dataset-update behaviour.
+    pub fn record(&mut self, name: &str, creator: Option<&str>, origin: CookieOrigin) {
+        self.records.insert(
+            name.to_string(),
+            OwnershipRecord { creator: creator.map(|c| c.to_ascii_lowercase()), origin },
+        );
+    }
+
+    /// Marks `name` as grandfathered: it existed before the guard
+    /// attached, so no creator is known and legacy visibility applies.
+    pub fn record_grandfathered(&mut self, name: &str) {
+        self.records.insert(
+            name.to_string(),
+            OwnershipRecord { creator: None, origin: CookieOrigin::Grandfathered },
+        );
+    }
+
+    /// Whether `name` is currently under the grandfathering policy.
+    pub fn is_grandfathered(&self, name: &str) -> bool {
+        matches!(
+            self.records.get(name),
+            Some(OwnershipRecord { origin: CookieOrigin::Grandfathered, .. })
+        )
+    }
+
+    /// The creator of `name`, if known.
+    pub fn creator(&self, name: &str) -> Option<&str> {
+        self.records.get(name).and_then(|r| r.creator.as_deref())
+    }
+
+    /// The full record for `name`.
+    pub fn record_of(&self, name: &str) -> Option<&OwnershipRecord> {
+        self.records.get(name)
+    }
+
+    /// Whether any record exists for `name`.
+    pub fn knows(&self, name: &str) -> bool {
+        self.records.contains_key(name)
+    }
+
+    /// Forgets a cookie (after an authorized deletion) so a future
+    /// same-name cookie is treated as new.
+    pub fn forget(&mut self, name: &str) {
+        self.records.remove(name);
+    }
+
+    /// Number of tracked cookies.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over `(name, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &OwnershipRecord)> {
+        self.records.iter().map(|(n, r)| (n.as_str(), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_lookup() {
+        let mut m = MetadataStore::new();
+        m.record("_ga", Some("Googletagmanager.COM"), CookieOrigin::DocumentCookie);
+        assert_eq!(m.creator("_ga"), Some("googletagmanager.com"));
+        assert!(m.knows("_ga"));
+        assert!(!m.knows("_gid"));
+        assert_eq!(m.record_of("_ga").unwrap().origin, CookieOrigin::DocumentCookie);
+    }
+
+    #[test]
+    fn rerecord_moves_ownership() {
+        let mut m = MetadataStore::new();
+        m.record("c", Some("a.com"), CookieOrigin::DocumentCookie);
+        m.record("c", Some("b.com"), CookieOrigin::HttpHeader);
+        assert_eq!(m.creator("c"), Some("b.com"));
+        assert_eq!(m.record_of("c").unwrap().origin, CookieOrigin::HttpHeader);
+    }
+
+    #[test]
+    fn forget_clears() {
+        let mut m = MetadataStore::new();
+        m.record("c", Some("a.com"), CookieOrigin::CookieStore);
+        m.forget("c");
+        assert!(!m.knows("c"));
+        assert!(m.is_empty());
+    }
+}

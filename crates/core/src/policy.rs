@@ -1,0 +1,233 @@
+//! The policy engine: who may touch which cookie.
+
+use crate::config::{GuardConfig, InlinePolicy};
+use serde::{Deserialize, Serialize};
+
+/// The identity of a script performing a cookie operation, as recovered
+/// from the stack trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Caller {
+    /// The script's eTLD+1; `None` for inline scripts and async callbacks
+    /// whose stack was lost (both attribute as "no reliable origin").
+    pub domain: Option<String>,
+}
+
+impl Caller {
+    /// A caller attributed to an external script domain.
+    pub fn external(domain: &str) -> Caller {
+        Caller { domain: Some(domain.to_ascii_lowercase()) }
+    }
+
+    /// An inline / unattributable caller.
+    pub fn inline() -> Caller {
+        Caller { domain: None }
+    }
+}
+
+/// Why an access was allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllowReason {
+    /// Caller is the site owner (full-access policy, §6.1).
+    SiteOwner,
+    /// Caller's domain created the cookie.
+    Creator,
+    /// Caller's entity matches the creator's entity (grouping enabled).
+    SameEntity,
+    /// Caller is on the explicit whitelist.
+    Whitelisted,
+    /// The cookie did not exist: creating a new cookie is always allowed
+    /// (ownership is then recorded to the caller).
+    NewCookie,
+    /// Inline caller under the relaxed policy (treated as first-party).
+    RelaxedInline,
+}
+
+/// Why an access was blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockReason {
+    /// Caller's domain differs from the cookie's creator.
+    CrossDomain,
+    /// Inline caller under the strict policy.
+    InlineStrict,
+}
+
+/// The outcome of a policy check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessDecision {
+    /// Access granted.
+    Allow(AllowReason),
+    /// Access denied.
+    Block(BlockReason),
+}
+
+impl AccessDecision {
+    /// True for `Allow`.
+    pub fn is_allow(&self) -> bool {
+        matches!(self, AccessDecision::Allow(_))
+    }
+}
+
+/// Stateless policy logic over a [`GuardConfig`].
+#[derive(Debug, Clone)]
+pub struct PolicyEngine {
+    config: GuardConfig,
+    site_domain: String,
+}
+
+impl PolicyEngine {
+    /// Builds an engine for one site visit.
+    pub fn new(config: GuardConfig, site_domain: &str) -> PolicyEngine {
+        PolicyEngine { config, site_domain: site_domain.to_ascii_lowercase() }
+    }
+
+    /// The site this engine guards.
+    pub fn site_domain(&self) -> &str {
+        &self.site_domain
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+
+    /// May `caller` access a cookie created by `creator`?
+    ///
+    /// `creator == None` means the cookie pre-dates the guard or its
+    /// creator was never attributed; such cookies are conservatively
+    /// treated as site-owned (only the owner reaches them).
+    pub fn check(&self, caller: &Caller, creator: Option<&str>) -> AccessDecision {
+        let caller_domain = match &caller.domain {
+            Some(d) => d.as_str(),
+            None => {
+                return match self.config.inline_policy {
+                    InlinePolicy::Strict => AccessDecision::Block(BlockReason::InlineStrict),
+                    InlinePolicy::Relaxed => AccessDecision::Allow(AllowReason::RelaxedInline),
+                }
+            }
+        };
+        if caller_domain == self.site_domain {
+            return AccessDecision::Allow(AllowReason::SiteOwner);
+        }
+        if self.config.whitelist.contains(caller_domain) {
+            return AccessDecision::Allow(AllowReason::Whitelisted);
+        }
+        let creator = match creator {
+            Some(c) => c,
+            // Unattributed cookie: treated as the site's own.
+            None => self.site_domain.as_str(),
+        };
+        if caller_domain == creator {
+            return AccessDecision::Allow(AllowReason::Creator);
+        }
+        if let Some(map) = &self.config.entity_map {
+            // Only group when both domains are actually known to the map;
+            // the identity fallback must not make unknown == unknown leak.
+            if map.contains(caller_domain) && map.contains(creator) && map.same_entity(caller_domain, creator) {
+                return AccessDecision::Allow(AllowReason::SameEntity);
+            }
+        }
+        AccessDecision::Block(BlockReason::CrossDomain)
+    }
+
+    /// May `caller` create a cookie that does not exist yet? Always yes
+    /// for attributable callers; inline callers follow the inline policy.
+    pub fn check_create(&self, caller: &Caller) -> AccessDecision {
+        match (&caller.domain, self.config.inline_policy) {
+            (Some(d), _) if d == &self.site_domain => AccessDecision::Allow(AllowReason::SiteOwner),
+            (Some(_), _) => AccessDecision::Allow(AllowReason::NewCookie),
+            (None, InlinePolicy::Relaxed) => AccessDecision::Allow(AllowReason::RelaxedInline),
+            (None, InlinePolicy::Strict) => AccessDecision::Block(BlockReason::InlineStrict),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GuardConfig;
+
+    fn engine() -> PolicyEngine {
+        PolicyEngine::new(GuardConfig::strict(), "site.com")
+    }
+
+    #[test]
+    fn creator_allowed() {
+        let d = engine().check(&Caller::external("tracker.com"), Some("tracker.com"));
+        assert_eq!(d, AccessDecision::Allow(AllowReason::Creator));
+    }
+
+    #[test]
+    fn cross_domain_blocked() {
+        let d = engine().check(&Caller::external("other.com"), Some("tracker.com"));
+        assert_eq!(d, AccessDecision::Block(BlockReason::CrossDomain));
+    }
+
+    #[test]
+    fn site_owner_full_access() {
+        let d = engine().check(&Caller::external("site.com"), Some("tracker.com"));
+        assert_eq!(d, AccessDecision::Allow(AllowReason::SiteOwner));
+    }
+
+    #[test]
+    fn inline_strict_vs_relaxed() {
+        assert_eq!(
+            engine().check(&Caller::inline(), Some("tracker.com")),
+            AccessDecision::Block(BlockReason::InlineStrict)
+        );
+        let relaxed = PolicyEngine::new(GuardConfig::relaxed(), "site.com");
+        assert!(relaxed.check(&Caller::inline(), Some("tracker.com")).is_allow());
+    }
+
+    #[test]
+    fn unattributed_cookie_is_site_owned() {
+        // Only the owner reaches a cookie with no recorded creator.
+        assert!(engine().check(&Caller::external("site.com"), None).is_allow());
+        assert!(!engine().check(&Caller::external("tracker.com"), None).is_allow());
+    }
+
+    #[test]
+    fn whitelist_grants_full_access() {
+        let e = PolicyEngine::new(GuardConfig::strict().with_whitelisted("partner.io"), "site.com");
+        assert_eq!(
+            e.check(&Caller::external("partner.io"), Some("anyone.com")),
+            AccessDecision::Allow(AllowReason::Whitelisted)
+        );
+    }
+
+    #[test]
+    fn entity_grouping_same_org() {
+        let e = PolicyEngine::new(
+            GuardConfig::strict().with_entity_grouping(cg_entity::builtin_entity_map()),
+            "facebook.com",
+        );
+        // fbcdn.net script reading a facebook.net-created cookie: same entity.
+        assert_eq!(
+            e.check(&Caller::external("fbcdn.net"), Some("facebook.net")),
+            AccessDecision::Allow(AllowReason::SameEntity)
+        );
+        // criteo stays blocked.
+        assert_eq!(
+            e.check(&Caller::external("criteo.com"), Some("facebook.net")),
+            AccessDecision::Block(BlockReason::CrossDomain)
+        );
+    }
+
+    #[test]
+    fn unknown_domains_do_not_group() {
+        let e = PolicyEngine::new(
+            GuardConfig::strict().with_entity_grouping(cg_entity::builtin_entity_map()),
+            "site.com",
+        );
+        // Two unknown domains both fall back to "self" entities — they
+        // must not be considered the same entity.
+        assert!(!e.check(&Caller::external("unknown-a.com"), Some("unknown-b.com")).is_allow());
+    }
+
+    #[test]
+    fn create_decisions() {
+        assert!(engine().check_create(&Caller::external("new.com")).is_allow());
+        assert!(!engine().check_create(&Caller::inline()).is_allow());
+        let relaxed = PolicyEngine::new(GuardConfig::relaxed(), "site.com");
+        assert!(relaxed.check_create(&Caller::inline()).is_allow());
+    }
+}

@@ -1,0 +1,96 @@
+//! The defense matrix, runnable: every mechanism the paper positions
+//! CookieGuard against — filter-list blocking (with and without the
+//! Storey et al. [65] evasion techniques), storage partitioning, and a
+//! CookieGraph-style ML cookie blocker — measured on one generated
+//! population alongside CookieGuard itself.
+//!
+//! Also demonstrates the two standalone stories behind the matrix:
+//! partitioning working as designed in embedded contexts while leaking
+//! in the main frame (§2.1), and the blocklist evasion arms race.
+//!
+//! Run with: `cargo run --release --example defense_matrix [sites]`
+
+use cookieguard_repro::baselines::{
+    main_frame_leak_demo, run_defense_matrix, simulate_embedded_tracking, sop_boundary_demo,
+    Defense, EvasionConfig, ForestConfig, MatrixOptions, PartitioningModel,
+};
+use cookieguard_repro::cookieguard::GuardConfig;
+use cookieguard_repro::entity::builtin_entity_map;
+use cookieguard_repro::webgen::{GenConfig, WebGenerator};
+
+fn main() {
+    let sites: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+
+    // ---- act 0: the SOP boundary (Figure 1) ---------------------------
+    let sop = sop_boundary_demo("site.com", "tracker.com");
+    println!("0. the Same-Origin Policy boundary (Figure 1):\n");
+    println!("   tracker script in a cross-origin iframe sees: {:?}", sop.iframe_sees);
+    println!("   the SAME script in the main frame sees:       {:?}\n", sop.main_frame_script_sees);
+
+    // ---- act 1: partitioning works where it was designed to ----------
+    println!("1. storage partitioning, in its own scope (tracker iframe on 4 sites):\n");
+    let visited = ["news.example", "shop.example", "blog.example", "mail.example"];
+    for model in [
+        PartitioningModel::Unpartitioned,
+        PartitioningModel::SafariItp,
+        PartitioningModel::FirefoxTcp,
+        PartitioningModel::ChromeChips,
+    ] {
+        let out = simulate_embedded_tracking(model, "tracker.com", &visited, false);
+        let verdict = if out.distinct_ids == 1 { "one profile — tracked across sites" } else { "per-site profiles" };
+        println!("   {:<16} {} distinct id(s): {}", model.name(), out.distinct_ids, verdict);
+    }
+
+    println!("\n   …and in the main frame (ghost-written cookie, cross-domain read):\n");
+    for model in [PartitioningModel::SafariItp, PartitioningModel::FirefoxTcp, PartitioningModel::ChromeChips] {
+        let leak = main_frame_leak_demo(model, "site.com");
+        println!(
+            "   {:<16} cross-domain script sees the tracker cookie: {}",
+            model.name(),
+            if leak.leaked { "YES — no main-frame isolation (§2.1)" } else { "no" }
+        );
+    }
+
+    // ---- act 2: the full matrix --------------------------------------
+    println!("\n2. defense matrix on {sites} generated sites (train split: {sites}..{}):\n", sites * 2);
+    let gen = WebGenerator::new(GenConfig::small(sites * 2), 0xC00C1E);
+    let opts = MatrixOptions { eval_ranks: 1..=sites, entities: builtin_entity_map() };
+    let defenses = vec![
+        Defense::Blocklist,
+        Defense::BlocklistUnderEvasion(EvasionConfig::default()),
+        Defense::Partitioning(PartitioningModel::FirefoxTcp),
+        Defense::CookieGraphLite { train_ranks: (sites + 1)..=(sites * 2), forest: ForestConfig::default() },
+        Defense::CookieGuard(GuardConfig::strict()),
+        Defense::CookieGuard(GuardConfig::strict().with_entity_grouping(builtin_entity_map())),
+    ];
+    let rows = run_defense_matrix(&gen, &defenses, &opts);
+
+    println!(
+        "   {:<28} {:>7} {:>10} {:>8} {:>10}",
+        "defense", "exfil%", "overwrite%", "delete%", "breakage%"
+    );
+    for row in &rows {
+        println!(
+            "   {:<28} {:>7.1} {:>10.1} {:>8.1} {:>10.1}   {}",
+            row.name, row.exfil_sites_pct, row.overwrite_sites_pct, row.delete_sites_pct,
+            row.probe_break_pct, row.note
+        );
+    }
+
+    // ---- act 3: the takeaway ------------------------------------------
+    let none = &rows[0];
+    let blocklist = rows.iter().find(|r| r.name == "blocklist").unwrap();
+    let evaded = rows.iter().find(|r| r.name == "blocklist vs evasion").unwrap();
+    let guard = rows.iter().find(|r| r.name == "cookieguard strict").unwrap();
+    println!("\n3. reading the matrix:");
+    println!(
+        "   blocklists cut exfiltration {:.0}% — until evasion claws back {:.0} points of it;",
+        100.0 * (none.exfil_sites_pct - blocklist.exfil_sites_pct) / none.exfil_sites_pct.max(1e-9),
+        evaded.exfil_sites_pct - blocklist.exfil_sites_pct
+    );
+    println!("   partitioning never touches the main frame (identical to no defense);");
+    println!(
+        "   CookieGuard isolates by construction: {:.1}% → {:.1}% of sites, no list to out-run.",
+        none.exfil_sites_pct, guard.exfil_sites_pct
+    );
+}

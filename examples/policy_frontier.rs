@@ -1,0 +1,95 @@
+//! The deployment frontier (§8 "Toward Practical Deployment"): sweep the
+//! user-selectable privacy presets and the staged-rollout ladder, and
+//! print the protection-vs-breakage operating points a browser vendor
+//! would weigh — including the grandfathering bridge for returning
+//! visitors.
+//!
+//! Run with: `cargo run --release --example policy_frontier [sites]`
+
+use cookieguard_repro::analysis::{detect_exfiltration, Dataset};
+use cookieguard_repro::breakage::{evaluate_breakage, BreakageCategory};
+use cookieguard_repro::browser::{crawl_range, visit_site_with_jar, VisitConfig};
+use cookieguard_repro::cookiejar::CookieJar;
+use cookieguard_repro::cookieguard::{DeploymentStage, GuardConfig, PrivacyPreset};
+use cookieguard_repro::entity::builtin_entity_map;
+use cookieguard_repro::webgen::{GenConfig, WebGenerator};
+
+fn exfil_site_pct(gen: &WebGenerator, sites: usize, cfg: &VisitConfig) -> f64 {
+    let (outcomes, _) = crawl_range(gen, cfg, 1, sites, 4);
+    let ds = Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect());
+    let exfil = detect_exfiltration(&ds, &builtin_entity_map());
+    100.0 * exfil.sites_with_cross_exfil_doc.len() as f64 / ds.site_count().max(1) as f64
+}
+
+fn main() {
+    let sites: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let gen = WebGenerator::new(GenConfig::small(sites), 0xC00C1E);
+    let entities = builtin_entity_map();
+
+    println!("computing the policy frontier on {sites} sites…\n");
+    let baseline = exfil_site_pct(&gen, sites, &VisitConfig::regular());
+    println!("baseline (no guard): cross-domain exfiltration on {baseline:.1}% of sites\n");
+
+    // ---- preset frontier -------------------------------------------------
+    println!("{:<12} {:>18} {:>12} {:>14}", "preset", "exfil reduction", "SSO major", "any breakage");
+    for preset in PrivacyPreset::all() {
+        let config = preset.config(&entities);
+        let guarded = exfil_site_pct(&gen, sites, &VisitConfig::guarded(config.clone()));
+        let reduction = if baseline > 0.0 { 100.0 * (baseline - guarded) / baseline } else { 0.0 };
+        let breakage = evaluate_breakage(&gen, &config, 1, sites.min(100), 4);
+        println!(
+            "{:<12} {:>17.1}% {:>11.1}% {:>13.1}%",
+            preset.label(),
+            reduction,
+            breakage.major_pct(BreakageCategory::Sso),
+            breakage.any_breakage_pct()
+        );
+    }
+
+    // ---- rollout ladder --------------------------------------------------
+    println!("\nstaged rollout (population-weighted exposure):");
+    let strict_guarded = exfil_site_pct(&gen, sites, &VisitConfig::guarded(GuardConfig::strict()));
+    let breakage = evaluate_breakage(&gen, &GuardConfig::strict(), 1, sites.min(100), 4);
+    let sso_major = breakage.major_pct(BreakageCategory::Sso);
+    for stage in DeploymentStage::ladder() {
+        let share = stage.guarded_share();
+        let exposure = share * strict_guarded + (1.0 - share) * baseline;
+        println!(
+            "  {:<36} exfil exposure {:>5.1}%   SSO-major risk {:>4.2}%",
+            stage.label(),
+            exposure,
+            share * sso_major
+        );
+    }
+
+    // ---- grandfathering bridge --------------------------------------------
+    println!("\ngrandfathering (returning visitors, first guarded visit):");
+    let (mut with_gf, mut without_gf, mut measured) = (0u64, 0u64, 0usize);
+    for rank in 1..=sites.min(150) {
+        let bp = gen.blueprint(rank);
+        if !bp.spec.crawl_ok {
+            continue;
+        }
+        let seed = gen.site_seed(rank);
+        let mut jar = CookieJar::new();
+        visit_site_with_jar(&bp, &VisitConfig::regular(), seed, &mut jar);
+        if jar.is_empty() {
+            continue;
+        }
+        let strict = VisitConfig::guarded(GuardConfig::strict());
+        let gf = VisitConfig { grandfather_preexisting: true, ..strict.clone() };
+        let mut jar_a = jar.clone();
+        let mut jar_b = jar;
+        without_gf += visit_site_with_jar(&bp, &strict, seed, &mut jar_a)
+            .guard_stats
+            .map_or(0, |s| s.cookies_filtered);
+        with_gf += visit_site_with_jar(&bp, &gf, seed, &mut jar_b)
+            .guard_stats
+            .map_or(0, |s| s.cookies_filtered);
+        measured += 1;
+    }
+    println!("  {measured} returning-visitor sites");
+    println!("  cookies hidden on the first guarded visit, cold cutover: {without_gf}");
+    println!("  cookies hidden with ITP-style grandfathering:            {with_gf}");
+    println!("  (legacy cookies stay visible until their creators re-write them — isolation tightens organically)");
+}

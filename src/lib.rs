@@ -1,0 +1,23 @@
+//! Umbrella crate for the CookieGuard reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so that examples, integration
+//! tests, and downstream users can depend on a single crate. See the README
+//! for an architecture overview and `DESIGN.md` for the system inventory.
+
+pub use cg_analysis as analysis;
+pub use cg_baselines as baselines;
+pub use cg_breakage as breakage;
+pub use cg_browser as browser;
+pub use cg_cookiejar as cookiejar;
+pub use cg_dom as dom;
+pub use cg_domguard as domguard;
+pub use cg_entity as entity;
+pub use cg_filterlist as filterlist;
+pub use cg_hash as hash;
+pub use cg_http as http;
+pub use cg_instrument as instrument;
+pub use cg_perf as perf;
+pub use cg_script as script;
+pub use cg_url as url;
+pub use cg_webgen as webgen;
+pub use cookieguard_core as cookieguard;
