@@ -25,7 +25,10 @@ fn generator() -> WebGenerator {
 fn bench_blocklist(c: &mut Criterion) {
     let gen = generator();
     let defense = BlocklistDefense::from_registry(gen.registry());
-    let site = (1..=200).map(|r| gen.blueprint(r)).find(|b| b.spec.crawl_ok).unwrap();
+    let site = (1..=200)
+        .map(|r| gen.blueprint(r))
+        .find(|b| b.spec.crawl_ok)
+        .unwrap();
 
     c.bench_function("baseline_blocklist/classify_url", |b| {
         b.iter(|| {
@@ -86,7 +89,10 @@ fn bench_classifier(c: &mut Criterion) {
     group.sample_size(10);
     for &trees in &[5usize, 15] {
         group.bench_with_input(BenchmarkId::from_parameter(trees), &trees, |b, &trees| {
-            let cfg = ForestConfig { n_trees: trees, ..ForestConfig::default() };
+            let cfg = ForestConfig {
+                n_trees: trees,
+                ..ForestConfig::default()
+            };
             b.iter(|| black_box(CookieGraphLite::train(black_box(&train), &cfg, 42)))
         });
     }
@@ -112,5 +118,11 @@ fn bench_partitioning(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_blocklist, bench_csp, bench_classifier, bench_partitioning);
+criterion_group!(
+    benches,
+    bench_blocklist,
+    bench_csp,
+    bench_classifier,
+    bench_partitioning
+);
 criterion_main!(benches);

@@ -27,7 +27,13 @@ fn bench_domguard_authorize(c: &mut Criterion) {
         "site.com",
     );
     group.bench_function("entity_grouped", |b| {
-        b.iter(|| black_box(grouped.authorize(&Caller::external("fbcdn.net"), "facebook.net", MutationKind::Style)));
+        b.iter(|| {
+            black_box(grouped.authorize(
+                &Caller::external("fbcdn.net"),
+                "facebook.net",
+                MutationKind::Style,
+            ))
+        });
     });
     group.finish();
 }
@@ -40,7 +46,8 @@ fn bench_change_log(c: &mut Criterion) {
             b.iter(|| {
                 let mut jar = CookieJar::new();
                 for i in 0..n {
-                    jar.set_document_cookie(&format!("c{i}=v"), &url, i as i64).unwrap();
+                    jar.set_document_cookie(&format!("c{i}=v"), &url, i as i64)
+                        .unwrap();
                 }
                 black_box(jar.change_count())
             });
@@ -48,7 +55,8 @@ fn bench_change_log(c: &mut Criterion) {
         // The per-task drain the event loop performs.
         let mut jar = CookieJar::new();
         for i in 0..n {
-            jar.set_document_cookie(&format!("c{i}=v"), &url, i as i64).unwrap();
+            jar.set_document_cookie(&format!("c{i}=v"), &url, i as i64)
+                .unwrap();
         }
         group.bench_with_input(BenchmarkId::new("drain_cursor", n), &n, |b, _| {
             b.iter(|| black_box(jar.changes_since(black_box(0)).len()));
@@ -62,7 +70,10 @@ fn bench_may_observe(c: &mut Criterion) {
     // listener sees an event.
     let mut guard = CookieGuard::new(GuardConfig::strict(), "site.com");
     for i in 0..50 {
-        guard.authorize_write(&Caller::external(&format!("vendor{i}.com")), &format!("c{i}"));
+        guard.authorize_write(
+            &Caller::external(&format!("vendor{i}.com")),
+            &format!("c{i}"),
+        );
     }
     let spy = Caller::external("spy.net");
     let owner = Caller::external("vendor25.com");

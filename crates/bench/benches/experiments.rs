@@ -7,7 +7,11 @@ use cg_experiments::{run_fig5, run_table3, run_table4_and_figs, CrawlContext, Ex
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn opts(n: usize) -> ExperimentOptions {
-    ExperimentOptions { sites: n, seed: 0xC00C1E, threads: 2 }
+    ExperimentOptions {
+        sites: n,
+        seed: 0xC00C1E,
+        threads: 2,
+    }
 }
 
 fn bench_measurement_tables(c: &mut Criterion) {

@@ -7,7 +7,9 @@ use cg_webgen::VendorRegistry;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn engine() -> FilterEngine {
-    cg_analysis::build_filter_engine(&VendorRegistry::new(cg_webgen::longtail::generate_longtail(7, 800)))
+    cg_analysis::build_filter_engine(&VendorRegistry::new(
+        cg_webgen::longtail::generate_longtail(7, 800),
+    ))
 }
 
 fn bench_classification(c: &mut Criterion) {
@@ -32,7 +34,9 @@ fn bench_classification(c: &mut Criterion) {
         });
     });
     c.bench_function("filter_classify_no_match", |b| {
-        b.iter(|| black_box(engine.classify("https://static.benign-widgets.org/carousel.min.js", &ctx)));
+        b.iter(|| {
+            black_box(engine.classify("https://static.benign-widgets.org/carousel.min.js", &ctx))
+        });
     });
 }
 

@@ -21,7 +21,8 @@ fn cookies(n: usize) -> Vec<cg_cookiejar::Cookie> {
     let url = Url::parse("https://www.site.com/").unwrap();
     let mut jar = CookieJar::new();
     for i in 0..n {
-        jar.set_document_cookie(&format!("cookie_{i}=v{i}"), &url, i as i64).unwrap();
+        jar.set_document_cookie(&format!("cookie_{i}=v{i}"), &url, i as i64)
+            .unwrap();
     }
     jar.cookies_for_document(&url, 1_000)
 }
@@ -72,9 +73,26 @@ fn bench_authorize_write(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-visit attach cost: compiling config + entity map per site (the
+/// pre-split behaviour) vs opening a session on one shared engine.
+fn bench_engine_setup(c: &mut Criterion) {
+    use cookieguard_core::GuardEngine;
+    let entities = cg_entity::builtin_entity_map();
+    let config = GuardConfig::strict().with_entity_grouping(entities);
+    let mut group = c.benchmark_group("guard_setup");
+    group.bench_function("rebuild_per_visit", |b| {
+        b.iter(|| black_box(CookieGuard::new(config.clone(), "site.com")));
+    });
+    let engine = GuardEngine::shared(config.clone());
+    group.bench_function("shared_engine_session", |b| {
+        b.iter(|| black_box(CookieGuard::with_engine(engine.clone(), "site.com")));
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_filter_read, bench_authorize_write
+    targets = bench_filter_read, bench_authorize_write, bench_engine_setup
 }
 criterion_main!(benches);

@@ -14,9 +14,15 @@ fn bench_set_cookie_parse(c: &mut Criterion) {
     let full = "_fbp=fb.1.1746746266109.868308499845957651; Domain=shop.example; \
                 Path=/; Max-Age=7776000; Secure; SameSite=None; HttpOnly";
     let expires = "sid=abc; Expires=Wed, 08 Jun 2026 12:00:00 GMT; Path=/account";
-    group.bench_function("simple_pair", |b| b.iter(|| black_box(parse_set_cookie(black_box(simple)))));
-    group.bench_function("all_attributes", |b| b.iter(|| black_box(parse_set_cookie(black_box(full)))));
-    group.bench_function("expires_date", |b| b.iter(|| black_box(parse_set_cookie(black_box(expires)))));
+    group.bench_function("simple_pair", |b| {
+        b.iter(|| black_box(parse_set_cookie(black_box(simple))))
+    });
+    group.bench_function("all_attributes", |b| {
+        b.iter(|| black_box(parse_set_cookie(black_box(full))))
+    });
+    group.bench_function("expires_date", |b| {
+        b.iter(|| black_box(parse_set_cookie(black_box(expires))))
+    });
     group.finish();
 }
 
@@ -25,15 +31,25 @@ fn bench_url_parse(c: &mut Criterion) {
     let script = "https://www.googletagmanager.com/gtm.js?id=GTM-ABCD12";
     let exfil = "https://px.ads.linkedin.com/attribution_trigger?pid=621340&time=1746838846149\
                  &url=www.optimonk.com&_ga=NDQ0MzMyMzY0LjE3NDY4Mzg4Mjc";
-    group.bench_function("script_url", |b| b.iter(|| black_box(Url::parse(black_box(script)))));
-    group.bench_function("long_query", |b| b.iter(|| black_box(Url::parse(black_box(exfil)))));
+    group.bench_function("script_url", |b| {
+        b.iter(|| black_box(Url::parse(black_box(script))))
+    });
+    group.bench_function("long_query", |b| {
+        b.iter(|| black_box(Url::parse(black_box(exfil))))
+    });
     group.finish();
 }
 
 fn bench_psl(c: &mut Criterion) {
     let mut group = c.benchmark_group("psl");
-    for host in ["www.site.com", "a.b.c.shop.example.co.uk", "cdn.shopifycloud.com"] {
-        group.bench_function(host, |b| b.iter(|| black_box(psl::registrable_domain(black_box(host)))));
+    for host in [
+        "www.site.com",
+        "a.b.c.shop.example.co.uk",
+        "cdn.shopifycloud.com",
+    ] {
+        group.bench_function(host, |b| {
+            b.iter(|| black_box(psl::registrable_domain(black_box(host))))
+        });
     }
     group.finish();
 }
@@ -43,9 +59,15 @@ fn bench_rule_parse(c: &mut Criterion) {
     let host_anchor = "||googletagmanager.com^$third-party,script";
     let exception = "@@||analytics.site.com/allowed.js";
     let wildcard = "/ads/*/banner$image,domain=~news.example";
-    group.bench_function("host_anchor", |b| b.iter(|| black_box(FilterRule::parse(black_box(host_anchor)))));
-    group.bench_function("exception", |b| b.iter(|| black_box(FilterRule::parse(black_box(exception)))));
-    group.bench_function("wildcard_options", |b| b.iter(|| black_box(FilterRule::parse(black_box(wildcard)))));
+    group.bench_function("host_anchor", |b| {
+        b.iter(|| black_box(FilterRule::parse(black_box(host_anchor))))
+    });
+    group.bench_function("exception", |b| {
+        b.iter(|| black_box(FilterRule::parse(black_box(exception))))
+    });
+    group.bench_function("wildcard_options", |b| {
+        b.iter(|| black_box(FilterRule::parse(black_box(wildcard))))
+    });
     group.finish();
 }
 

@@ -10,12 +10,21 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_site_visit(c: &mut Criterion) {
     let gen = WebGenerator::new(GenConfig::small(300), 0xC00C1E);
-    let site = (1..=300).map(|r| gen.blueprint(r)).find(|b| b.spec.crawl_ok).unwrap();
+    let site = (1..=300)
+        .map(|r| gen.blueprint(r))
+        .find(|b| b.spec.crawl_ok)
+        .unwrap();
     c.bench_function("visit_site_regular", |b| {
         b.iter(|| black_box(visit_site(&site, &VisitConfig::regular(), 42)));
     });
     c.bench_function("visit_site_guarded", |b| {
-        b.iter(|| black_box(visit_site(&site, &VisitConfig::guarded(GuardConfig::strict()), 42)));
+        b.iter(|| {
+            black_box(visit_site(
+                &site,
+                &VisitConfig::guarded(GuardConfig::strict()),
+                42,
+            ))
+        });
     });
     c.bench_function("visit_site_guarded_entity_grouped", |b| {
         let cfg = VisitConfig::guarded(

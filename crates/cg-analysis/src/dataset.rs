@@ -49,7 +49,10 @@ pub fn effective_actor(ev: &SetEvent, site: &str) -> String {
 
 /// Replays a visit log into ownership + manipulation events.
 pub fn reconstruct(log: &VisitLog) -> SiteCookies {
-    let mut out = SiteCookies { site: log.site_domain.clone(), ..SiteCookies::default() };
+    let mut out = SiteCookies {
+        site: log.site_domain.clone(),
+        ..SiteCookies::default()
+    };
     // live owner per cookie name
     let mut live: HashMap<String, PairKey> = HashMap::new();
     for ev in &log.sets {
@@ -59,7 +62,10 @@ pub fn reconstruct(log: &VisitLog) -> SiteCookies {
         let actor = effective_actor(ev, &log.site_domain);
         match ev.kind {
             WriteKind::Create => {
-                let key = PairKey { name: ev.name.clone(), owner: actor.clone() };
+                let key = PairKey {
+                    name: ev.name.clone(),
+                    owner: actor.clone(),
+                };
                 let hist = out.pairs.entry(key.clone()).or_default();
                 if hist.api.is_none() {
                     hist.api = Some(ev.api);
@@ -69,12 +75,13 @@ pub fn reconstruct(log: &VisitLog) -> SiteCookies {
                 live.insert(ev.name.clone(), key);
             }
             WriteKind::Overwrite => {
-                let key = live
-                    .get(&ev.name)
-                    .cloned()
-                    .unwrap_or_else(|| PairKey { name: ev.name.clone(), owner: actor.clone() });
+                let key = live.get(&ev.name).cloned().unwrap_or_else(|| PairKey {
+                    name: ev.name.clone(),
+                    owner: actor.clone(),
+                });
                 if key.owner != actor {
-                    out.cross_overwrites.push((key.clone(), actor.clone(), ev.changes));
+                    out.cross_overwrites
+                        .push((key.clone(), actor.clone(), ev.changes));
                 }
                 if let Some(hist) = out.pairs.get_mut(&key) {
                     hist.values.push(ev.value.clone());
@@ -84,7 +91,11 @@ pub fn reconstruct(log: &VisitLog) -> SiteCookies {
                     // an HttpOnly-invisible cookie): register the pair.
                     out.pairs.insert(
                         key.clone(),
-                        PairHistory { api: Some(ev.api), values: vec![ev.value.clone()], owner_url: ev.actor_url.clone() },
+                        PairHistory {
+                            api: Some(ev.api),
+                            values: vec![ev.value.clone()],
+                            owner_url: ev.actor_url.clone(),
+                        },
                     );
                 }
             }
@@ -124,7 +135,11 @@ impl Dataset {
         let crawled = all.len();
         let logs: Vec<VisitLog> = all.into_iter().filter(|l| l.complete).collect();
         let sites = logs.iter().map(reconstruct).collect();
-        Dataset { logs, sites, crawled }
+        Dataset {
+            logs,
+            sites,
+            crawled,
+        }
     }
 
     /// Number of analyzable sites.
@@ -152,7 +167,17 @@ mod tests {
     use cg_instrument::{Recorder, VisitLog};
 
     fn set(r: &mut Recorder, name: &str, value: &str, actor: Option<&str>, kind: WriteKind) {
-        r.record_set(name, value, actor, None, CookieApi::DocumentCookie, kind, None, false, 0);
+        r.record_set(
+            name,
+            value,
+            actor,
+            None,
+            CookieApi::DocumentCookie,
+            kind,
+            None,
+            false,
+            0,
+        );
     }
 
     fn log_with(events: impl FnOnce(&mut Recorder)) -> VisitLog {
@@ -165,10 +190,19 @@ mod tests {
     fn ownership_follows_first_creator() {
         let log = log_with(|r| {
             set(r, "_ga", "GA1.1.1.2", Some("gtm.com"), WriteKind::Create);
-            set(r, "_ga", "GA1.1.9.9", Some("other.com"), WriteKind::Overwrite);
+            set(
+                r,
+                "_ga",
+                "GA1.1.9.9",
+                Some("other.com"),
+                WriteKind::Overwrite,
+            );
         });
         let sc = reconstruct(&log);
-        let key = PairKey { name: "_ga".into(), owner: "gtm.com".into() };
+        let key = PairKey {
+            name: "_ga".into(),
+            owner: "gtm.com".into(),
+        };
         assert!(sc.pairs.contains_key(&key));
         assert_eq!(sc.cross_overwrites.len(), 1);
         assert_eq!(sc.cross_overwrites[0].1, "other.com");
@@ -192,14 +226,27 @@ mod tests {
             set(r, "c", "", Some("cm.com"), WriteKind::Delete);
         });
         let sc = reconstruct(&log);
-        assert!(sc.pairs.contains_key(&PairKey { name: "c".into(), owner: "site.com".into() }));
+        assert!(sc.pairs.contains_key(&PairKey {
+            name: "c".into(),
+            owner: "site.com".into()
+        }));
         assert_eq!(sc.cross_deletes.len(), 1);
     }
 
     #[test]
     fn blocked_events_ignored() {
         let mut r = Recorder::new("site.com", 1);
-        r.record_set("x", "1", Some("a.com"), None, CookieApi::DocumentCookie, WriteKind::Create, None, true, 0);
+        r.record_set(
+            "x",
+            "1",
+            Some("a.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            true,
+            0,
+        );
         let sc = reconstruct(&r.finish());
         assert!(sc.pairs.is_empty());
     }
@@ -212,8 +259,14 @@ mod tests {
             set(r, "n", "2", Some("b.com"), WriteKind::Create);
         });
         let sc = reconstruct(&log);
-        assert!(sc.pairs.contains_key(&PairKey { name: "n".into(), owner: "a.com".into() }));
-        assert!(sc.pairs.contains_key(&PairKey { name: "n".into(), owner: "b.com".into() }));
+        assert!(sc.pairs.contains_key(&PairKey {
+            name: "n".into(),
+            owner: "a.com".into()
+        }));
+        assert!(sc.pairs.contains_key(&PairKey {
+            name: "n".into(),
+            owner: "b.com".into()
+        }));
         assert!(sc.cross_deletes.is_empty());
     }
 

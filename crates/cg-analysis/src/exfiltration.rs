@@ -97,12 +97,16 @@ pub fn detect_exfiltration(ds: &Dataset, entities: &EntityMap) -> ExfilAnalysis 
 
         for req in &log.requests {
             // Only third-party destinations can receive an exfiltration.
-            let Some(dest) = &req.dest_domain else { continue };
+            let Some(dest) = &req.dest_domain else {
+                continue;
+            };
             if dest.eq_ignore_ascii_case(&log.site_domain) {
                 continue;
             }
             // The initiator must be attributable for per-script analysis.
-            let Some(initiator) = &req.initiator else { continue };
+            let Some(initiator) = &req.initiator else {
+                continue;
+            };
             for (key, api, form) in &forms {
                 if !form.appears_in(&req.url) {
                     continue;
@@ -118,11 +122,13 @@ pub fn detect_exfiltration(ds: &Dataset, entities: &EntityMap) -> ExfilAnalysis 
                 if cross {
                     match api {
                         CookieApi::CookieStore => {
-                            out.sites_with_cross_exfil_store.insert(log.site_domain.clone());
+                            out.sites_with_cross_exfil_store
+                                .insert(log.site_domain.clone());
                             out.cross_exfiltrated_pairs_store.insert((*key).clone());
                         }
                         _ => {
-                            out.sites_with_cross_exfil_doc.insert(log.site_domain.clone());
+                            out.sites_with_cross_exfil_doc
+                                .insert(log.site_domain.clone());
                             out.cross_exfiltrated_pairs_doc.insert((*key).clone());
                         }
                     }
@@ -138,7 +144,10 @@ pub fn detect_exfiltration(ds: &Dataset, entities: &EntityMap) -> ExfilAnalysis 
                     agg.destination_entities.insert(dest_entity.clone());
                     *agg.destination_counts.entry(dest_entity).or_insert(0) += 1;
                     agg.sites.insert(log.site_domain.clone());
-                    out.per_exfiltrator_domain.entry(initiator.clone()).or_default().insert((*key).clone());
+                    out.per_exfiltrator_domain
+                        .entry(initiator.clone())
+                        .or_default()
+                        .insert((*key).clone());
                 }
             }
         }
@@ -185,7 +194,11 @@ impl ExfilAnalysis {
         rows.truncate(n);
         rows.into_iter()
             .map(|(d, c)| {
-                let share = if total_pairs == 0 { 0.0 } else { 100.0 * c as f64 / total_pairs as f64 };
+                let share = if total_pairs == 0 {
+                    0.0
+                } else {
+                    100.0 * c as f64 / total_pairs as f64
+                };
                 (d, c, share)
             })
             .collect()
@@ -224,7 +237,10 @@ pub fn is_consent_signal(name: &str) -> bool {
 fn top_k(counts: &HashMap<String, usize>, k: usize) -> Vec<String> {
     let mut v: Vec<(&String, &usize)> = counts.iter().collect();
     v.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
-    v.into_iter().take(k).map(|(name, _)| name.clone()).collect()
+    v.into_iter()
+        .take(k)
+        .map(|(name, _)| name.clone())
+        .collect()
 }
 
 #[cfg(test)]
@@ -236,11 +252,28 @@ mod tests {
         let mut r = Recorder::new("shop.example", 1);
         // gtm.com sets _ga.
         r.record_set(
-            "_ga", "GA1.1.444332364.1746838827", Some("gtm.com"), Some("https://gtm.com/gtm.js"),
-            CookieApi::DocumentCookie, WriteKind::Create, None, false, 0,
+            "_ga",
+            "GA1.1.444332364.1746838827",
+            Some("gtm.com"),
+            Some("https://gtm.com/gtm.js"),
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
         );
         // a short cookie that can never match
-        r.record_set("tiny", "v1", Some("gtm.com"), None, CookieApi::DocumentCookie, WriteKind::Create, None, false, 1);
+        r.record_set(
+            "tiny",
+            "v1",
+            Some("gtm.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            1,
+        );
         // licdn.com exfiltrates the _ga segment, Base64-encoded.
         let b64 = cg_hash::b64encode_no_pad(b"444332364");
         let script = cg_url::Url::parse("https://snap.licdn.com/insight.min.js").unwrap();
@@ -275,7 +308,10 @@ mod tests {
         assert_eq!(cross[0].destination, "linkedin.com");
         assert_eq!(cross[0].pair.owner, "gtm.com");
         // The authorized gtm→gtm.com event is recorded but not cross.
-        assert!(analysis.events.iter().any(|e| !e.cross_domain && e.exfiltrator == "gtm.com"));
+        assert!(analysis
+            .events
+            .iter()
+            .any(|e| !e.cross_domain && e.exfiltrator == "gtm.com"));
         assert_eq!(analysis.sites_with_cross_exfil_doc.len(), 1);
     }
 
@@ -297,8 +333,15 @@ mod tests {
         // §5.4: the IAB CCPA string is *meant* to be read downstream.
         let mut r = Recorder::new("site.com", 1);
         r.record_set(
-            "us_privacy", "1YNN8437206153", Some("ketchjs.com"), None,
-            CookieApi::DocumentCookie, WriteKind::Create, None, false, 0,
+            "us_privacy",
+            "1YNN8437206153",
+            Some("ketchjs.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
         );
         let script = cg_url::Url::parse("https://cdn.yieldpartner.io/bid.js").unwrap();
         r.record_request(
@@ -339,8 +382,15 @@ mod tests {
         // still succeeds; this test pins the genuinely-evasive case.
         let mut r = Recorder::new("site.com", 1);
         r.record_set(
-            "_ga", "uid_444332364_tail", Some("gtm.com"), None,
-            CookieApi::DocumentCookie, WriteKind::Create, None, false, 0,
+            "_ga",
+            "uid_444332364_tail",
+            Some("gtm.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
         );
         let b64_full = cg_hash::b64encode_no_pad(b"uid_444332364_tail");
         let script = cg_url::Url::parse("https://sneaky.io/t.js").unwrap();
@@ -354,13 +404,26 @@ mod tests {
         );
         let ds = Dataset::from_logs(vec![r.finish()]);
         let analysis = detect_exfiltration(&ds, &cg_entity::builtin_entity_map());
-        assert!(analysis.events.is_empty(), "full-value encoding must evade segment matching");
+        assert!(
+            analysis.events.is_empty(),
+            "full-value encoding must evade segment matching"
+        );
     }
 
     #[test]
     fn own_site_requests_not_exfiltration() {
         let mut r = Recorder::new("site.com", 1);
-        r.record_set("c", "abcdefgh12345678", Some("t.com"), None, CookieApi::DocumentCookie, WriteKind::Create, None, false, 0);
+        r.record_set(
+            "c",
+            "abcdefgh12345678",
+            Some("t.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
+        );
         let script = cg_url::Url::parse("https://t.com/t.js").unwrap();
         r.record_request(
             "https://api.site.com/save?v=abcdefgh12345678",

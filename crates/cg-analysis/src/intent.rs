@@ -80,7 +80,9 @@ const CONSENT_PLATFORM_DOMAINS: &[&str] = &[
 /// matches plus `<generic>_<suffix>` variants (`user_id_6075`).
 pub fn is_generic_name(name: &str) -> bool {
     let lower = name.to_ascii_lowercase();
-    GENERIC_NAMES.iter().any(|g| lower == *g || lower.starts_with(&format!("{g}_")))
+    GENERIC_NAMES
+        .iter()
+        .any(|g| lower == *g || lower.starts_with(&format!("{g}_")))
 }
 
 /// Whether `domain` belongs to a known consent-management platform.
@@ -198,7 +200,9 @@ pub fn classify_intents(ds: &Dataset, entities: &EntityMap) -> IntentReport {
 /// with a *different-length* opaque identifier (the `cto_bundle`
 /// 194→258 signature).
 fn hash_takeover(site: &crate::dataset::SiteCookies, pair: &PairKey) -> bool {
-    let Some(hist) = site.pairs.get(pair) else { return false };
+    let Some(hist) = site.pairs.get(pair) else {
+        return false;
+    };
     hist.values
         .windows(2)
         .any(|w| looks_hash_like(&w[0]) && looks_hash_like(&w[1]) && w[0].len() != w[1].len())
@@ -216,7 +220,10 @@ fn push_finding(
     delete: bool,
     intent: ManipulationIntent,
 ) {
-    *report.counts.entry(intent_label(intent).to_string()).or_insert(0) += 1;
+    *report
+        .counts
+        .entry(intent_label(intent).to_string())
+        .or_insert(0) += 1;
     let action = if delete { "deleted" } else { "overwrote" };
     let evidence = format!(
         "{actor} {action} ({}, {}) on {} [{}]",
@@ -246,8 +253,15 @@ mod tests {
         let mut r = Recorder::new(site, 1);
         for (i, (name, value, actor, kind)) in sets.iter().enumerate() {
             r.record_set(
-                name, value, Some(actor), None, CookieApi::DocumentCookie, *kind,
-                None, false, i as u64,
+                name,
+                value,
+                Some(actor),
+                None,
+                CookieApi::DocumentCookie,
+                *kind,
+                None,
+                false,
+                i as u64,
             );
         }
         r.finish()
@@ -277,7 +291,12 @@ mod tests {
         let log = log_with(
             "shop.net",
             &[
-                ("_fbp", "fb.1.1746746266109.868308499845957651", "facebook.net", WriteKind::Create),
+                (
+                    "_fbp",
+                    "fb.1.1746746266109.868308499845957651",
+                    "facebook.net",
+                    WriteKind::Create,
+                ),
                 ("_fbp", "", "cookie-script.com", WriteKind::Delete),
             ],
         );

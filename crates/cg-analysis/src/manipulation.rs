@@ -71,7 +71,11 @@ pub fn detect_manipulation(ds: &Dataset, entities: &EntityMap) -> ManipulationAn
 
     for site in &ds.sites {
         for (pair, actor, changes) in &site.cross_overwrites {
-            let api = site.pairs.get(pair).and_then(|h| h.api).unwrap_or(CookieApi::DocumentCookie);
+            let api = site
+                .pairs
+                .get(pair)
+                .and_then(|h| h.api)
+                .unwrap_or(CookieApi::DocumentCookie);
             match api {
                 CookieApi::CookieStore => {
                     out.sites_with_overwrite_store.insert(site.site.clone());
@@ -87,7 +91,10 @@ pub fn detect_manipulation(ds: &Dataset, entities: &EntityMap) -> ManipulationAn
             agg.entities.insert(entity.clone());
             *agg.entity_counts.entry(entity).or_insert(0) += 1;
             agg.sites.insert(site.site.clone());
-            out.per_overwriter_domain.entry(actor.clone()).or_default().insert(pair.clone());
+            out.per_overwriter_domain
+                .entry(actor.clone())
+                .or_default()
+                .insert(pair.clone());
             if let Some(c) = changes {
                 attr_totals.0 += c.value as usize;
                 attr_totals.1 += c.expires as usize;
@@ -112,7 +119,10 @@ pub fn detect_manipulation(ds: &Dataset, entities: &EntityMap) -> ManipulationAn
             agg.entities.insert(entity.clone());
             *agg.entity_counts.entry(entity).or_insert(0) += 1;
             agg.sites.insert(site.site.clone());
-            out.per_deleter_domain.entry(actor.clone()).or_default().insert(pair.clone());
+            out.per_deleter_domain
+                .entry(actor.clone())
+                .or_default()
+                .insert(pair.clone());
         }
     }
 
@@ -145,7 +155,11 @@ pub struct Table5Row {
 impl ManipulationAnalysis {
     /// Table 5: top `n` overwritten (or deleted) pairs by entity count.
     pub fn table5(&self, deletes: bool, n: usize) -> Vec<Table5Row> {
-        let src = if deletes { &self.deletes_per_pair } else { &self.overwrites_per_pair };
+        let src = if deletes {
+            &self.deletes_per_pair
+        } else {
+            &self.overwrites_per_pair
+        };
         let mut rows: Vec<Table5Row> = src
             .iter()
             .map(|(key, agg)| {
@@ -159,20 +173,33 @@ impl ManipulationAnalysis {
                 }
             })
             .collect();
-        rows.sort_by(|a, b| b.manipulator_entities.cmp(&a.manipulator_entities).then(a.cookie.cmp(&b.cookie)));
+        rows.sort_by(|a, b| {
+            b.manipulator_entities
+                .cmp(&a.manipulator_entities)
+                .then(a.cookie.cmp(&b.cookie))
+        });
         rows.truncate(n);
         rows
     }
 
     /// Fig. 8: top `n` manipulating script domains by unique pairs.
     pub fn fig8(&self, deletes: bool, n: usize, total_pairs: usize) -> Vec<(String, usize, f64)> {
-        let src = if deletes { &self.per_deleter_domain } else { &self.per_overwriter_domain };
-        let mut rows: Vec<(String, usize)> = src.iter().map(|(d, p)| (d.clone(), p.len())).collect();
+        let src = if deletes {
+            &self.per_deleter_domain
+        } else {
+            &self.per_overwriter_domain
+        };
+        let mut rows: Vec<(String, usize)> =
+            src.iter().map(|(d, p)| (d.clone(), p.len())).collect();
         rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         rows.truncate(n);
         rows.into_iter()
             .map(|(d, c)| {
-                let share = if total_pairs == 0 { 0.0 } else { 100.0 * c as f64 / total_pairs as f64 };
+                let share = if total_pairs == 0 {
+                    0.0
+                } else {
+                    100.0 * c as f64 / total_pairs as f64
+                };
                 (d, c, share)
             })
             .collect()
@@ -186,15 +213,55 @@ mod tests {
 
     fn dataset() -> Dataset {
         let mut r = Recorder::new("site.com", 1);
-        r.record_set("cto_bundle", "a".repeat(194).as_str(), Some("criteo.com"), None, CookieApi::DocumentCookie, WriteKind::Create, None, false, 0);
         r.record_set(
-            "cto_bundle", "b".repeat(258).as_str(), Some("pubmatic.com"), None, CookieApi::DocumentCookie,
-            WriteKind::Overwrite,
-            Some(AttrChangeFlags { value: true, expires: true, domain: false, path: false }),
-            false, 5,
+            "cto_bundle",
+            "a".repeat(194).as_str(),
+            Some("criteo.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
         );
-        r.record_set("_uetvid", "x".repeat(32).as_str(), Some("bing.com"), None, CookieApi::DocumentCookie, WriteKind::Create, None, false, 6);
-        r.record_set("_uetvid", "", Some("cookie-script.com"), None, CookieApi::DocumentCookie, WriteKind::Delete, None, false, 9);
+        r.record_set(
+            "cto_bundle",
+            "b".repeat(258).as_str(),
+            Some("pubmatic.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Overwrite,
+            Some(AttrChangeFlags {
+                value: true,
+                expires: true,
+                domain: false,
+                path: false,
+            }),
+            false,
+            5,
+        );
+        r.record_set(
+            "_uetvid",
+            "x".repeat(32).as_str(),
+            Some("bing.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            6,
+        );
+        r.record_set(
+            "_uetvid",
+            "",
+            Some("cookie-script.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Delete,
+            None,
+            false,
+            9,
+        );
         Dataset::from_logs(vec![r.finish()])
     }
 

@@ -219,7 +219,11 @@ pub fn inclusion_stats(ds: &Dataset, engine: &FilterEngine) -> InclusionStats {
     InclusionStats {
         direct,
         indirect,
-        indirect_to_direct_ratio: if direct == 0 { 0.0 } else { indirect as f64 / direct as f64 },
+        indirect_to_direct_ratio: if direct == 0 {
+            0.0
+        } else {
+            indirect as f64 / direct as f64
+        },
         indirect_tracking_pct: if indirect == 0 {
             0.0
         } else {
@@ -244,15 +248,41 @@ mod tests {
         for (url, direct) in tp_scripts {
             r.record_inclusion(Some(url), *direct);
         }
-        r.record_set("own", "abcdefgh1234", Some(site), None, CookieApi::DocumentCookie, WriteKind::Create, None, false, 0);
-        r.record_set("_ga", "GA1.1.123456789.99", Some("googletagmanager.com"), Some("https://www.googletagmanager.com/gtm.js"), CookieApi::DocumentCookie, WriteKind::Create, None, false, 1);
+        r.record_set(
+            "own",
+            "abcdefgh1234",
+            Some(site),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
+        );
+        r.record_set(
+            "_ga",
+            "GA1.1.123456789.99",
+            Some("googletagmanager.com"),
+            Some("https://www.googletagmanager.com/gtm.js"),
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            1,
+        );
         r.finish()
     }
 
     #[test]
     fn prevalence_counts_third_party() {
         let ds = Dataset::from_logs(vec![
-            make_log("a-site.com", &[("https://www.googletagmanager.com/gtm.js", true), ("https://www.google-analytics.com/analytics.js", false)]),
+            make_log(
+                "a-site.com",
+                &[
+                    ("https://www.googletagmanager.com/gtm.js", true),
+                    ("https://www.google-analytics.com/analytics.js", false),
+                ],
+            ),
             make_log("b-site.com", &[]),
         ]);
         let stats = prevalence_stats(&ds, &engine());
@@ -284,7 +314,10 @@ mod tests {
             &[
                 ("https://www.googletagmanager.com/gtm.js", true),
                 ("https://www.google-analytics.com/analytics.js", false),
-                ("https://securepubads.g.doubleclick.net/tag/js/gpt.js", false),
+                (
+                    "https://securepubads.g.doubleclick.net/tag/js/gpt.js",
+                    false,
+                ),
             ],
         )]);
         let stats = inclusion_stats(&ds, &engine());

@@ -71,10 +71,15 @@ impl ServerSideReport {
 /// cross-domain predicate as Table 1, executed on the server instead of
 /// in the page.
 pub fn detect_server_side(ds: &Dataset, forwards: &ForwardMap) -> ServerSideReport {
-    let mut report = ServerSideReport { sites_analyzed: ds.site_count(), ..Default::default() };
+    let mut report = ServerSideReport {
+        sites_analyzed: ds.site_count(),
+        ..Default::default()
+    };
 
     for (log, site) in ds.logs.iter().zip(&ds.sites) {
-        let Some(rules) = forwards.get(&log.site_domain) else { continue };
+        let Some(rules) = forwards.get(&log.site_domain) else {
+            continue;
+        };
         if rules.is_empty() {
             continue;
         }
@@ -84,7 +89,10 @@ pub fn detect_server_side(ds: &Dataset, forwards: &ForwardMap) -> ServerSideRepo
         // pipeline uses.
         let mut owners: HashMap<&str, HashSet<&str>> = HashMap::new();
         for key in site.pairs.keys() {
-            owners.entry(key.name.as_str()).or_default().insert(key.owner.as_str());
+            owners
+                .entry(key.name.as_str())
+                .or_default()
+                .insert(key.owner.as_str());
         }
 
         let mut relayed_here: HashSet<String> = HashSet::new();
@@ -94,7 +102,9 @@ pub fn detect_server_side(ds: &Dataset, forwards: &ForwardMap) -> ServerSideRepo
                 continue;
             }
             let path = path_of(&req.url);
-            let Some((_, tracker)) = rules.iter().find(|(prefix, _)| path.starts_with(prefix.as_str()))
+            let Some((_, tracker)) = rules
+                .iter()
+                .find(|(prefix, _)| path.starts_with(prefix.as_str()))
             else {
                 continue;
             };
@@ -120,10 +130,12 @@ pub fn detect_server_side(ds: &Dataset, forwards: &ForwardMap) -> ServerSideRepo
             }
 
             for name in exposed {
-                let Some(who) = owners.get(name.as_str()) else { continue };
-                let foreign = who
-                    .iter()
-                    .any(|o| !o.eq_ignore_ascii_case(tracker) && !o.eq_ignore_ascii_case(&log.site_domain));
+                let Some(who) = owners.get(name.as_str()) else {
+                    continue;
+                };
+                let foreign = who.iter().any(|o| {
+                    !o.eq_ignore_ascii_case(tracker) && !o.eq_ignore_ascii_case(&log.site_domain)
+                });
                 if foreign {
                     relayed_here.insert(name);
                 }
@@ -164,8 +176,15 @@ mod tests {
         let mut r = Recorder::new("shop.example", 1);
         // A third-party pixel ghost-writes an identifier…
         r.record_set(
-            "_fbp", "fb.1.17.868308499", Some(cookie_owner), None,
-            CookieApi::DocumentCookie, WriteKind::Create, None, false, 0,
+            "_fbp",
+            "fb.1.17.868308499",
+            Some(cookie_owner),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
         );
         // …and the site's own collector posts the jar to the first-party
         // endpoint, Cookie header attached by the browser.
@@ -206,7 +225,10 @@ mod tests {
     #[test]
     fn non_matching_paths_ignored() {
         let mut m = ForwardMap::new();
-        m.insert("shop.example".to_string(), vec![("/other".to_string(), "ga.com".to_string())]);
+        m.insert(
+            "shop.example".to_string(),
+            vec![("/other".to_string(), "ga.com".to_string())],
+        );
         let ds = Dataset::from_logs(vec![gateway_log("facebook.net")]);
         let report = detect_server_side(&ds, &m);
         assert_eq!(report.gateway_requests, 0);

@@ -47,7 +47,15 @@ impl BoxStats {
     /// Computes the summary for `values`.
     pub fn of(values: &[f64]) -> BoxStats {
         if values.is_empty() {
-            return BoxStats { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0, n: 0 };
+            return BoxStats {
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                n: 0,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());

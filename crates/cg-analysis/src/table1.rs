@@ -55,7 +55,11 @@ pub fn cross_domain_summary(
 
     let row = |site_count: usize, pair_count: usize, total: usize| ActionRow {
         sites_pct: 100.0 * site_count as f64 / n,
-        cookies_pct: if total == 0 { 0.0 } else { 100.0 * pair_count as f64 / total as f64 },
+        cookies_pct: if total == 0 {
+            0.0
+        } else {
+            100.0 * pair_count as f64 / total as f64
+        },
         cookies_count: pair_count,
     };
 
@@ -63,9 +67,21 @@ pub fn cross_domain_summary(
         sites,
         doc_pairs_total: doc_total,
         store_pairs_total: store_total,
-        doc_exfiltration: row(exfil.sites_with_cross_exfil_doc.len(), exfil.cross_exfiltrated_pairs_doc.len(), doc_total),
-        doc_overwriting: row(manip.sites_with_overwrite_doc.len(), manip.overwritten_pairs_doc.len(), doc_total),
-        doc_deleting: row(manip.sites_with_delete_doc.len(), manip.deleted_pairs_doc.len(), doc_total),
+        doc_exfiltration: row(
+            exfil.sites_with_cross_exfil_doc.len(),
+            exfil.cross_exfiltrated_pairs_doc.len(),
+            doc_total,
+        ),
+        doc_overwriting: row(
+            manip.sites_with_overwrite_doc.len(),
+            manip.overwritten_pairs_doc.len(),
+            doc_total,
+        ),
+        doc_deleting: row(
+            manip.sites_with_delete_doc.len(),
+            manip.deleted_pairs_doc.len(),
+            doc_total,
+        ),
         store_exfiltration: row(
             exfil.sites_with_cross_exfil_store.len(),
             exfil.cross_exfiltrated_pairs_store.len(),
@@ -76,7 +92,11 @@ pub fn cross_domain_summary(
             manip.overwritten_pairs_store.len(),
             store_total,
         ),
-        store_deleting: row(manip.sites_with_delete_store.len(), manip.deleted_pairs_store.len(), store_total),
+        store_deleting: row(
+            manip.sites_with_delete_store.len(),
+            manip.deleted_pairs_store.len(),
+            store_total,
+        ),
     }
 }
 
@@ -90,10 +110,37 @@ mod tests {
     #[test]
     fn summary_assembles() {
         let mut r = Recorder::new("site.com", 1);
-        r.record_set("_ga", "GA1.1.444332364.17468", Some("gtm.com"), None, CookieApi::DocumentCookie, WriteKind::Create, None, false, 0);
-        r.record_set("_ga", "GA1.1.999999999.17468", Some("evil.com"), None, CookieApi::DocumentCookie, WriteKind::Overwrite, None, false, 1);
+        r.record_set(
+            "_ga",
+            "GA1.1.444332364.17468",
+            Some("gtm.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
+        );
+        r.record_set(
+            "_ga",
+            "GA1.1.999999999.17468",
+            Some("evil.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Overwrite,
+            None,
+            false,
+            1,
+        );
         let script = cg_url::Url::parse("https://evil.com/e.js").unwrap();
-        r.record_request("https://sink.evil.com/c?id=444332364", cg_http::RequestKind::Image, Some(&script), "site.com", None, 2);
+        r.record_request(
+            "https://sink.evil.com/c?id=444332364",
+            cg_http::RequestKind::Image,
+            Some(&script),
+            "site.com",
+            None,
+            2,
+        );
         let ds = Dataset::from_logs(vec![r.finish()]);
 
         let entities = cg_entity::builtin_entity_map();

@@ -200,13 +200,20 @@ pub fn apply_evasion(
             EvasionTechnique::PathRandomization => {
                 stats.path_randomized += 1;
                 match Url::parse(&url) {
-                    Ok(u) => format!("https://{}/x{:012x}.js", u.host_str(), tag & 0xffff_ffff_ffff),
+                    Ok(u) => format!(
+                        "https://{}/x{:012x}.js",
+                        u.host_str(),
+                        tag & 0xffff_ffff_ffff
+                    ),
                     Err(_) => continue,
                 }
             }
             EvasionTechnique::SelfHosting => {
                 stats.self_hosted += 1;
-                format!("https://www.{}/assets/v{:08x}.js", site.spec.domain, tag as u32)
+                format!(
+                    "https://www.{}/assets/v{:08x}.js",
+                    site.spec.domain, tag as u32
+                )
             }
         };
         stats.renames.push((url.clone(), new_url.clone()));
@@ -296,10 +303,11 @@ mod tests {
             .map(|r| g.blueprint(r))
             .find(|b| {
                 b.spec.crawl_ok
-                    && b.landing
-                        .scripts
-                        .iter()
-                        .any(|s| s.url.as_deref().is_some_and(|u| d.blocks(u, &b.spec.domain)))
+                    && b.landing.scripts.iter().any(|s| {
+                        s.url
+                            .as_deref()
+                            .is_some_and(|u| d.blocks(u, &b.spec.domain))
+                    })
             })
             .expect("a site with ≥1 listed tracker")
     }
@@ -314,12 +322,25 @@ mod tests {
         assert!(pruned.landing.scripts.len() < site.landing.scripts.len());
         for s in &pruned.landing.scripts {
             if let Some(u) = &s.url {
-                assert!(!defense.blocks(u, &site.spec.domain), "{u} survived pruning");
+                assert!(
+                    !defense.blocks(u, &site.spec.domain),
+                    "{u} survived pruning"
+                );
             }
         }
         // Inline scripts always survive.
-        let inline_before = site.landing.scripts.iter().filter(|s| s.url.is_none()).count();
-        let inline_after = pruned.landing.scripts.iter().filter(|s| s.url.is_none()).count();
+        let inline_before = site
+            .landing
+            .scripts
+            .iter()
+            .filter(|s| s.url.is_none())
+            .count();
+        let inline_after = pruned
+            .landing
+            .scripts
+            .iter()
+            .filter(|s| s.url.is_none())
+            .count();
         assert_eq!(inline_before, inline_after);
     }
 
@@ -330,7 +351,11 @@ mod tests {
         // Find a site with at least one blocked injectable.
         let site = (1..=300)
             .map(|r| g.blueprint(r))
-            .find(|b| b.injectables.keys().any(|u| defense.blocks(u, &b.spec.domain)))
+            .find(|b| {
+                b.injectables
+                    .keys()
+                    .any(|u| defense.blocks(u, &b.spec.domain))
+            })
             .expect("site with blocked injectable");
         let (pruned, stats) = defense.prune_site(&site);
         assert!(stats.injectable_blocked > 0);
@@ -342,11 +367,15 @@ mod tests {
         let g = generator();
         let defense = BlocklistDefense::from_registry(g.registry());
         let site = tracker_heavy_site(&g, &defense);
-        let cfg = EvasionConfig { evade_prob: 1.0, ..EvasionConfig::default() };
+        let cfg = EvasionConfig {
+            evade_prob: 1.0,
+            ..EvasionConfig::default()
+        };
         let (evaded, stats) = apply_evasion(&site, &defense, &cfg);
         assert!(stats.total() > 0);
         // No page may still reference an old (renamed) URL.
-        let old: std::collections::HashSet<&String> = stats.renames.iter().map(|(o, _)| o).collect();
+        let old: std::collections::HashSet<&String> =
+            stats.renames.iter().map(|(o, _)| o).collect();
         for page in std::iter::once(&evaded.landing).chain(evaded.subpages.iter()) {
             for s in &page.scripts {
                 if let Some(u) = &s.url {
@@ -412,12 +441,19 @@ mod tests {
         let g = generator();
         let defense = BlocklistDefense::from_registry(g.registry());
         let site = tracker_heavy_site(&g, &defense);
-        let cfg = EvasionConfig { evade_prob: 1.0, technique_weights: [0.0, 0.0, 1.0], seed: 3 };
+        let cfg = EvasionConfig {
+            evade_prob: 1.0,
+            technique_weights: [0.0, 0.0, 1.0],
+            seed: 3,
+        };
         let (_, stats) = apply_evasion(&site, &defense, &cfg);
         assert_eq!(stats.self_hosted, stats.total());
         for (_, new_url) in &stats.renames {
             let u = Url::parse(new_url).unwrap();
-            assert_eq!(u.registrable_domain().as_deref(), Some(site.spec.domain.as_str()));
+            assert_eq!(
+                u.registrable_domain().as_deref(),
+                Some(site.spec.domain.as_str())
+            );
         }
     }
 }

@@ -105,7 +105,9 @@ pub fn label_samples(samples: &mut [PairSample], registry: &VendorRegistry) {
         s.label = if s.key.owner.eq_ignore_ascii_case(&s.site) {
             Some(false)
         } else {
-            registry.by_domain(&s.key.owner).map(|v| v.category.is_ad_tracking())
+            registry
+                .by_domain(&s.key.owner)
+                .map(|v| v.category.is_ad_tracking())
         };
     }
 }
@@ -115,7 +117,11 @@ impl CookieGraphLite {
     ///
     /// Panics when no labeled samples exist (there is nothing to learn
     /// from); callers crawl a training population first.
-    pub fn train(samples: &[PairSample], cfg: &ForestConfig, seed: u64) -> (CookieGraphLite, TrainReport) {
+    pub fn train(
+        samples: &[PairSample],
+        cfg: &ForestConfig,
+        seed: u64,
+    ) -> (CookieGraphLite, TrainReport) {
         let labeled: Vec<&PairSample> = samples.iter().filter(|s| s.label.is_some()).collect();
         assert!(!labeled.is_empty(), "no labeled samples to train on");
         let xs: Vec<&[f64]> = labeled.iter().map(|s| s.features.as_slice()).collect();
@@ -126,7 +132,13 @@ impl CookieGraphLite {
             unlabeled: samples.len() - labeled.len(),
         };
         let forest = RandomForest::fit(&xs, &ys, cfg, seed);
-        (CookieGraphLite { forest, threshold: 0.5 }, report)
+        (
+            CookieGraphLite {
+                forest,
+                threshold: 0.5,
+            },
+            report,
+        )
     }
 
     /// Probability that `sample` is a tracking cookie.
@@ -295,8 +307,14 @@ mod tests {
         let g = WebGenerator::new(GenConfig::small(400), 0xC00C1E);
         let train = crawl_samples(&g, 1..=120);
         let test = crawl_samples(&g, 121..=200);
-        assert!(train.iter().filter(|s| s.label == Some(true)).count() > 20, "need tracking positives");
-        assert!(train.iter().filter(|s| s.label == Some(false)).count() > 20, "need benign negatives");
+        assert!(
+            train.iter().filter(|s| s.label == Some(true)).count() > 20,
+            "need tracking positives"
+        );
+        assert!(
+            train.iter().filter(|s| s.label == Some(false)).count() > 20,
+            "need benign negatives"
+        );
 
         let (clf, report) = CookieGraphLite::train(&train, &ForestConfig::default(), 42);
         assert!(report.samples > 0);
@@ -304,8 +322,16 @@ mod tests {
         // Synthetic data is cleanly separable; CookieGraph itself reports
         // >90% accuracy on the real web. Anything below this indicates a
         // broken feature pipeline rather than a hard learning problem.
-        assert!(eval.accuracy() > 0.85, "accuracy {:.3} too low ({eval:?})", eval.accuracy());
-        assert!(eval.recall() > 0.7, "recall {:.3} too low ({eval:?})", eval.recall());
+        assert!(
+            eval.accuracy() > 0.85,
+            "accuracy {:.3} too low ({eval:?})",
+            eval.accuracy()
+        );
+        assert!(
+            eval.recall() > 0.7,
+            "recall {:.3} too low ({eval:?})",
+            eval.recall()
+        );
     }
 
     #[test]
@@ -314,7 +340,11 @@ mod tests {
         let samples = crawl_samples(&g, 1..=40);
         for s in &samples {
             if s.key.owner.eq_ignore_ascii_case(&s.site) {
-                assert_eq!(s.label, Some(false), "site-owned pairs are benign by definition");
+                assert_eq!(
+                    s.label,
+                    Some(false),
+                    "site-owned pairs are benign by definition"
+                );
             }
             if let Some(v) = g.registry().by_domain(&s.key.owner) {
                 assert_eq!(s.label, Some(v.category.is_ad_tracking()), "{:?}", s.key);
@@ -347,13 +377,19 @@ mod tests {
                 seen_probe_site = true;
             }
         }
-        assert!(seen_probe_site, "population must contain probe-bearing sites");
+        assert!(
+            seen_probe_site,
+            "population must contain probe-bearing sites"
+        );
     }
 
     #[test]
     fn residual_log_removes_blocked_activity() {
         let g = WebGenerator::new(GenConfig::small(200), 0xC00C1E);
-        let site = (1..=200).map(|r| g.blueprint(r)).find(|b| b.spec.crawl_ok).unwrap();
+        let site = (1..=200)
+            .map(|r| g.blueprint(r))
+            .find(|b| b.spec.crawl_ok)
+            .unwrap();
         let log = visit_site(&site, &VisitConfig::regular(), 7).log;
         let names: HashSet<String> = log.sets.iter().map(|s| s.name.clone()).take(2).collect();
         let residual = residual_log(&log, &names);
@@ -367,7 +403,12 @@ mod tests {
 
     #[test]
     fn eval_report_metrics() {
-        let r = EvalReport { tp: 8, fp: 2, tn: 85, fn_: 5 };
+        let r = EvalReport {
+            tp: 8,
+            fp: 2,
+            tn: 85,
+            fn_: 5,
+        };
         assert!((r.precision() - 0.8).abs() < 1e-9);
         assert!((r.recall() - 8.0 / 13.0).abs() < 1e-9);
         assert!((r.accuracy() - 0.93).abs() < 1e-9);

@@ -114,7 +114,10 @@ fn broken_share(baseline: &ProbeSet, defended: &[VisitLog]) -> f64 {
         return 0.0;
     }
     let still_working = probe_set(defended);
-    let broken = baseline.iter().filter(|t| !still_working.contains(*t)).count();
+    let broken = baseline
+        .iter()
+        .filter(|t| !still_working.contains(*t))
+        .count();
     100.0 * broken as f64 / baseline.len() as f64
 }
 
@@ -149,7 +152,11 @@ fn crawl(
 /// Runs the full matrix. The `NoDefense` crawl is always performed
 /// (it anchors the probe-breakage metric) and is prepended to the
 /// output even when not requested.
-pub fn run_defense_matrix(gen: &WebGenerator, defenses: &[Defense], opts: &MatrixOptions) -> Vec<DefenseRow> {
+pub fn run_defense_matrix(
+    gen: &WebGenerator,
+    defenses: &[Defense],
+    opts: &MatrixOptions,
+) -> Vec<DefenseRow> {
     let plain_cfg = VisitConfig::regular();
     let plain_logs = crawl(gen, opts.eval_ranks.clone(), &plain_cfg, Clone::clone);
     let baseline_probes = probe_set(&plain_logs);
@@ -188,9 +195,12 @@ fn run_one(
 
         Defense::Blocklist => {
             let blocker = BlocklistDefense::from_registry(gen.registry());
-            let logs = crawl(gen, opts.eval_ranks.clone(), &VisitConfig::regular(), |site| {
-                blocker.prune_site(site).0
-            });
+            let logs = crawl(
+                gen,
+                opts.eval_ranks.clone(),
+                &VisitConfig::regular(),
+                |site| blocker.prune_site(site).0,
+            );
             let probe_break = broken_share(baseline_probes, &logs);
             let (e, o, d) = rates(logs, &opts.entities);
             DefenseRow {
@@ -205,10 +215,15 @@ fn run_one(
 
         Defense::BlocklistUnderEvasion(evasion) => {
             let blocker = BlocklistDefense::from_registry(gen.registry());
-            let logs = crawl(gen, opts.eval_ranks.clone(), &VisitConfig::regular(), |site| {
-                let (evaded, _) = apply_evasion(site, &blocker, evasion);
-                blocker.prune_site(&evaded).0
-            });
+            let logs = crawl(
+                gen,
+                opts.eval_ranks.clone(),
+                &VisitConfig::regular(),
+                |site| {
+                    let (evaded, _) = apply_evasion(site, &blocker, evasion);
+                    blocker.prune_site(&evaded).0
+                },
+            );
             let probe_break = broken_share(baseline_probes, &logs);
             let (e, o, d) = rates(logs, &opts.entities);
             DefenseRow {
@@ -235,10 +250,18 @@ fn run_one(
             }
         }
 
-        Defense::CookieGraphLite { train_ranks, forest } => {
+        Defense::CookieGraphLite {
+            train_ranks,
+            forest,
+        } => {
             // Train on a disjoint slice.
             let mut train = Vec::new();
-            for log in crawl(gen, train_ranks.clone(), &VisitConfig::regular(), Clone::clone) {
+            for log in crawl(
+                gen,
+                train_ranks.clone(),
+                &VisitConfig::regular(),
+                Clone::clone,
+            ) {
                 if !log.complete {
                     continue;
                 }
@@ -307,19 +330,27 @@ mod tests {
     fn matrix(sites: usize) -> Vec<DefenseRow> {
         let gen = WebGenerator::new(GenConfig::small(sites.max(260)), 0xC00C1E);
         let entities = cg_entity::builtin_entity_map();
-        let opts = MatrixOptions { eval_ranks: 1..=sites, entities };
+        let opts = MatrixOptions {
+            eval_ranks: 1..=sites,
+            entities,
+        };
         let defenses = vec![
             Defense::Blocklist,
             Defense::BlocklistUnderEvasion(EvasionConfig::default()),
             Defense::Partitioning(PartitioningModel::FirefoxTcp),
-            Defense::CookieGraphLite { train_ranks: (sites + 1)..=(sites + 60), forest: ForestConfig::default() },
+            Defense::CookieGraphLite {
+                train_ranks: (sites + 1)..=(sites + 60),
+                forest: ForestConfig::default(),
+            },
             Defense::CookieGuard(GuardConfig::strict()),
         ];
         run_defense_matrix(&gen, &defenses, &opts)
     }
 
     fn row<'a>(rows: &'a [DefenseRow], name: &str) -> &'a DefenseRow {
-        rows.iter().find(|r| r.name.starts_with(name)).unwrap_or_else(|| panic!("row {name}"))
+        rows.iter()
+            .find(|r| r.name.starts_with(name))
+            .unwrap_or_else(|| panic!("row {name}"))
     }
 
     #[test]
@@ -331,7 +362,10 @@ mod tests {
         let partitioning = row(&rows, "partitioning");
         let guard = row(&rows, "cookieguard strict");
 
-        assert!(none.exfil_sites_pct > 0.0, "population must exhibit exfiltration");
+        assert!(
+            none.exfil_sites_pct > 0.0,
+            "population must exhibit exfiltration"
+        );
 
         // Partitioning changes nothing in the main frame.
         assert_eq!(partitioning.exfil_sites_pct, none.exfil_sites_pct);

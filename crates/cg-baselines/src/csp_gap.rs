@@ -139,8 +139,14 @@ mod tests {
 
         // CSP does block loads when the policy has gaps…
         assert_eq!(none.scripts_blocked, 0);
-        assert!(direct.scripts_blocked > 0, "direct-vendors policies must refuse some fan-out");
-        assert_eq!(full.scripts_blocked, 0, "full-stack policies admit everything");
+        assert!(
+            direct.scripts_blocked > 0,
+            "direct-vendors policies must refuse some fan-out"
+        );
+        assert_eq!(
+            full.scripts_blocked, 0,
+            "full-stack policies admit everything"
+        );
 
         // …but a fully-allowlisting policy changes cookie exposure by
         // exactly nothing (§2.1's claim, measured):

@@ -78,7 +78,6 @@ pub fn id_segments(value: &str) -> Vec<&str> {
         .collect()
 }
 
-
 /// Extracts one [`PairSample`] per unique cookie pair observed in `log`.
 /// Labels are left `None`; see `classifier::label_samples`.
 pub fn extract_samples(log: &VisitLog) -> Vec<PairSample> {
@@ -89,7 +88,11 @@ pub fn extract_samples(log: &VisitLog) -> Vec<PairSample> {
     let foreign_queries: Vec<(&str, &str)> = log
         .requests
         .iter()
-        .filter(|r| r.dest_domain.as_deref().is_some_and(|d| !d.eq_ignore_ascii_case(&site)))
+        .filter(|r| {
+            r.dest_domain
+                .as_deref()
+                .is_some_and(|d| !d.eq_ignore_ascii_case(&site))
+        })
         .map(|r| (r.url.as_str(), r.dest_domain.as_deref().unwrap_or("")))
         .collect();
 
@@ -138,7 +141,12 @@ pub fn extract_samples(log: &VisitLog) -> Vec<PairSample> {
         f[10] = f64::from(hist.api == Some(cg_instrument::CookieApi::HttpHeader));
         f[11] = f64::from(hist.api == Some(cg_instrument::CookieApi::CookieStore));
 
-        samples.push(PairSample { key: key.clone(), site: site.clone(), features: f, label: None });
+        samples.push(PairSample {
+            key: key.clone(),
+            site: site.clone(),
+            features: f,
+            label: None,
+        });
     }
     samples.sort_by(|a, b| a.key.cmp(&b.key));
     samples
@@ -154,19 +162,36 @@ mod tests {
         // A tracker identifier: high-entropy value, set by a third
         // party, exfiltrated to another third party.
         r.record_set(
-            "_tid", "a9f3c2e8b1d44756", Some("tracker.com"), Some("https://t.tracker.com/t.js"),
-            CookieApi::DocumentCookie, WriteKind::Create, None, false, 0,
+            "_tid",
+            "a9f3c2e8b1d44756",
+            Some("tracker.com"),
+            Some("https://t.tracker.com/t.js"),
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
         );
         // A benign preference cookie set by the site itself.
         r.record_set(
-            "theme", "dark", Some("site.com"), None,
-            CookieApi::DocumentCookie, WriteKind::Create, None, false, 1,
+            "theme",
+            "dark",
+            Some("site.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            1,
         );
         // A cross-domain read that returned both cookies.
         r.record_read(
             Some("other.net"),
             CookieApi::DocumentCookie,
-            vec![("_tid".into(), "a9f3c2e8b1d44756".into()), ("theme".into(), "dark".into())],
+            vec![
+                ("_tid".into(), "a9f3c2e8b1d44756".into()),
+                ("theme".into(), "dark".into()),
+            ],
             0,
             2,
         );
@@ -184,7 +209,11 @@ mod tests {
     }
 
     fn feature(samples: &[PairSample], name: &str, idx: usize) -> f64 {
-        samples.iter().find(|s| s.key.name == name).unwrap().features[idx]
+        samples
+            .iter()
+            .find(|s| s.key.name == name)
+            .unwrap()
+            .features[idx]
     }
 
     #[test]
@@ -203,7 +232,11 @@ mod tests {
     fn benign_cookie_features_stay_low() {
         let samples = extract_samples(&make_log());
         assert_eq!(feature(&samples, "theme", 1), 0.0);
-        assert_eq!(feature(&samples, "theme", 4), 0.0, "no ≥8-char segment in 'dark'");
+        assert_eq!(
+            feature(&samples, "theme", 4),
+            0.0,
+            "no ≥8-char segment in 'dark'"
+        );
         assert_eq!(feature(&samples, "theme", 5), 0.0, "first-party owner");
         assert_eq!(feature(&samples, "theme", 8), 0.0, "no flows");
     }
@@ -213,8 +246,15 @@ mod tests {
         let mut r = Recorder::new("site.com", 1);
         let segment = "444332364caffe99";
         r.record_set(
-            "_ga", &format!("GA1.1.{segment}"), Some("gtm.com"), None,
-            CookieApi::DocumentCookie, WriteKind::Create, None, false, 0,
+            "_ga",
+            &format!("GA1.1.{segment}"),
+            Some("gtm.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
         );
         let b64 = cg_hash::b64encode(segment.as_bytes());
         let script = cg_url::Url::parse("https://snap.licdn.com/insight.js").unwrap();
@@ -227,15 +267,26 @@ mod tests {
             1,
         );
         let samples = extract_samples(&r.finish());
-        assert_eq!(feature(&samples, "_ga", 8), 1.0, "Base64-encoded flow detected");
+        assert_eq!(
+            feature(&samples, "_ga", 8),
+            1.0,
+            "Base64-encoded flow detected"
+        );
     }
 
     #[test]
     fn first_party_requests_do_not_count_as_flows() {
         let mut r = Recorder::new("site.com", 1);
         r.record_set(
-            "sid", "deadbeefcafe1234", Some("site.com"), None,
-            CookieApi::DocumentCookie, WriteKind::Create, None, false, 0,
+            "sid",
+            "deadbeefcafe1234",
+            Some("site.com"),
+            None,
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            0,
         );
         let script = cg_url::Url::parse("https://www.site.com/app.js").unwrap();
         r.record_request(
@@ -247,7 +298,11 @@ mod tests {
             1,
         );
         let samples = extract_samples(&r.finish());
-        assert_eq!(feature(&samples, "sid", 8), 0.0, "same-site flow is not exfiltration");
+        assert_eq!(
+            feature(&samples, "sid", 8),
+            0.0,
+            "same-site flow is not exfiltration"
+        );
     }
 
     #[test]
@@ -261,7 +316,10 @@ mod tests {
 
     #[test]
     fn id_segment_splitting() {
-        assert_eq!(id_segments("fb.0.1746746266109.868308499845957651"), vec!["1746746266109", "868308499845957651"]);
+        assert_eq!(
+            id_segments("fb.0.1746746266109.868308499845957651"),
+            vec!["1746746266109", "868308499845957651"]
+        );
         assert!(id_segments("short.ab.xy").is_empty());
         assert_eq!(id_segments("abcdefgh"), vec!["abcdefgh"]);
     }

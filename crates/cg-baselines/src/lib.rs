@@ -27,14 +27,18 @@ pub mod features;
 pub mod partitioning;
 pub mod tree;
 
-pub use blocklist::{apply_evasion, BlocklistDefense, EvasionConfig, EvasionStats, EvasionTechnique, PruneStats};
+pub use blocklist::{
+    apply_evasion, BlocklistDefense, EvasionConfig, EvasionStats, EvasionTechnique, PruneStats,
+};
 pub use classifier::{
     counterfactual_block, fidelity_study, label_samples, residual_log, BlockOutcome,
     CookieGraphLite, EvalReport, FidelityStudy, TrainReport,
 };
 pub use compare::{run_defense_matrix, Defense, DefenseRow, MatrixOptions};
 pub use csp_gap::{run_csp_gap, CspCondition, CspGapRow};
-pub use features::{extract_samples, id_segments, shannon_entropy, PairSample, FEATURE_COUNT, FEATURE_NAMES};
+pub use features::{
+    extract_samples, id_segments, shannon_entropy, PairSample, FEATURE_COUNT, FEATURE_NAMES,
+};
 pub use partitioning::{
     main_frame_leak_demo, simulate_embedded_tracking, sop_boundary_demo, EmbeddedTrackingOutcome,
     MainFrameLeak, PartitionKey, PartitionedStore, PartitioningModel, SopBoundary,

@@ -102,7 +102,9 @@ impl PartitionedStore {
     /// by the executing script's origin — which is exactly why
     /// ghost-written first-party cookies stay shared.
     pub fn main_frame_jar(&mut self, top_level_site: &str) -> &mut CookieJar {
-        self.main_frame.entry(top_level_site.to_ascii_lowercase()).or_default()
+        self.main_frame
+            .entry(top_level_site.to_ascii_lowercase())
+            .or_default()
     }
 
     /// The jar an embedded `embedded_site` iframe on `top_level_site`
@@ -183,7 +185,10 @@ pub fn simulate_embedded_tracking(
     let mut distinct = ids_seen.clone();
     distinct.sort();
     distinct.dedup();
-    EmbeddedTrackingOutcome { distinct_ids: distinct.len(), ids_seen }
+    EmbeddedTrackingOutcome {
+        distinct_ids: distinct.len(),
+        ids_seen,
+    }
 }
 
 /// Outcome of [`main_frame_leak_demo`].
@@ -212,7 +217,8 @@ pub fn main_frame_leak_demo(model: PartitioningModel, site: &str) -> MainFrameLe
     // Both scripts execute in the main frame: the jar they touch is the
     // *site's* first-party jar, regardless of their own origins.
     let jar = store.main_frame_jar(site);
-    jar.set_document_cookie("_tid=track-7f3a9c21", &page, 0).expect("ghost write");
+    jar.set_document_cookie("_tid=track-7f3a9c21", &page, 0)
+        .expect("ghost write");
 
     let reader_saw: Vec<(String, String)> = jar
         .cookies_for_document(&page, 1)
@@ -253,8 +259,10 @@ pub fn sop_boundary_demo(site: &str, tracker: &str) -> SopBoundary {
     // The main-frame jar accumulates the site's cookie and the
     // ghost-written one — the jar is keyed by the site, not the writer.
     let main = store.main_frame_jar(site);
-    main.set_document_cookie("session=s1", &page, 0).expect("first-party cookie");
-    main.set_document_cookie("_tid=track-1", &page, 1).expect("ghost-written cookie");
+    main.set_document_cookie("session=s1", &page, 0)
+        .expect("first-party cookie");
+    main.set_document_cookie("_tid=track-1", &page, 1)
+        .expect("ghost-written cookie");
     let main_frame_script_sees: Vec<String> = main
         .cookies_for_document(&page, 2)
         .into_iter()
@@ -270,19 +278,30 @@ pub fn sop_boundary_demo(site: &str, tracker: &str) -> SopBoundary {
         .map(|c| c.name)
         .collect();
 
-    SopBoundary { iframe_sees, main_frame_script_sees }
+    SopBoundary {
+        iframe_sees,
+        main_frame_script_sees,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    const SITES: [&str; 4] = ["news.example", "shop.example", "blog.example", "mail.example"];
+    const SITES: [&str; 4] = [
+        "news.example",
+        "shop.example",
+        "blog.example",
+        "mail.example",
+    ];
 
     #[test]
     fn sop_isolates_iframes_not_main_frame_scripts() {
         let b = sop_boundary_demo("site.com", "tracker.com");
-        assert!(b.iframe_sees.is_empty(), "SOP: cross-origin iframe reads nothing of the site's jar");
+        assert!(
+            b.iframe_sees.is_empty(),
+            "SOP: cross-origin iframe reads nothing of the site's jar"
+        );
         assert_eq!(
             b.main_frame_script_sees,
             vec!["session".to_string(), "_tid".to_string()],
@@ -292,24 +311,46 @@ mod tests {
 
     #[test]
     fn unpartitioned_tracker_links_all_sites() {
-        let out = simulate_embedded_tracking(PartitioningModel::Unpartitioned, "tracker.com", &SITES, false);
-        assert_eq!(out.distinct_ids, 1, "one profile across all sites: {:?}", out.ids_seen);
+        let out = simulate_embedded_tracking(
+            PartitioningModel::Unpartitioned,
+            "tracker.com",
+            &SITES,
+            false,
+        );
+        assert_eq!(
+            out.distinct_ids, 1,
+            "one profile across all sites: {:?}",
+            out.ids_seen
+        );
     }
 
     #[test]
     fn itp_and_tcp_partition_per_site() {
         for model in [PartitioningModel::SafariItp, PartitioningModel::FirefoxTcp] {
             let out = simulate_embedded_tracking(model, "tracker.com", &SITES, false);
-            assert_eq!(out.distinct_ids, SITES.len(), "{model:?} must mint one id per site");
+            assert_eq!(
+                out.distinct_ids,
+                SITES.len(),
+                "{model:?} must mint one id per site"
+            );
         }
     }
 
     #[test]
     fn chips_partitions_only_opted_in_cookies() {
-        let opted = simulate_embedded_tracking(PartitioningModel::ChromeChips, "tracker.com", &SITES, true);
+        let opted =
+            simulate_embedded_tracking(PartitioningModel::ChromeChips, "tracker.com", &SITES, true);
         assert_eq!(opted.distinct_ids, SITES.len());
-        let not_opted = simulate_embedded_tracking(PartitioningModel::ChromeChips, "tracker.com", &SITES, false);
-        assert_eq!(not_opted.distinct_ids, 1, "CHIPS is opt-in: unflagged cookies stay shared");
+        let not_opted = simulate_embedded_tracking(
+            PartitioningModel::ChromeChips,
+            "tracker.com",
+            &SITES,
+            false,
+        );
+        assert_eq!(
+            not_opted.distinct_ids, 1,
+            "CHIPS is opt-in: unflagged cookies stay shared"
+        );
     }
 
     #[test]
@@ -335,7 +376,10 @@ mod tests {
             PartitioningModel::ChromeChips,
         ] {
             let leak = main_frame_leak_demo(model, "site.com");
-            assert!(leak.leaked, "{model:?} unexpectedly isolated the main frame");
+            assert!(
+                leak.leaked,
+                "{model:?} unexpectedly isolated the main frame"
+            );
             assert!(!model.affects_main_frame());
         }
     }
@@ -355,7 +399,10 @@ mod tests {
     fn main_frame_jars_keyed_by_site_only() {
         let mut store = PartitionedStore::new();
         let page_a = Url::parse("https://www.a.com/").unwrap();
-        store.main_frame_jar("a.com").set_document_cookie("x=1", &page_a, 0).unwrap();
+        store
+            .main_frame_jar("a.com")
+            .set_document_cookie("x=1", &page_a, 0)
+            .unwrap();
         assert_eq!(store.main_frame_jar("a.com").len(), 1);
         assert_eq!(store.main_frame_jar("b.com").len(), 0);
         // Case-insensitive site keys.

@@ -24,7 +24,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> TreeConfig {
-        TreeConfig { max_depth: 8, min_samples_split: 4, min_gain: 1e-7 }
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+            min_gain: 1e-7,
+        }
     }
 }
 
@@ -61,7 +65,12 @@ impl DecisionTree {
     /// Fits a tree on `xs[i]` / `ys[i]`. All rows must share a length.
     /// `features` restricts which feature indices may be split on
     /// (`None` = all); the forest uses this for feature subsampling.
-    pub fn fit(xs: &[&[f64]], ys: &[bool], cfg: &TreeConfig, features: Option<&[usize]>) -> DecisionTree {
+    pub fn fit(
+        xs: &[&[f64]],
+        ys: &[bool],
+        cfg: &TreeConfig,
+        features: Option<&[usize]>,
+    ) -> DecisionTree {
         assert_eq!(xs.len(), ys.len(), "sample/label length mismatch");
         let all: Vec<usize> = match features {
             Some(f) => f.to_vec(),
@@ -84,12 +93,14 @@ impl DecisionTree {
     ) -> usize {
         let pos = idx.iter().filter(|&&i| ys[i]).count();
         let total = idx.len();
-        let leaf_prob = if total == 0 { 0.0 } else { pos as f64 / total as f64 };
+        let leaf_prob = if total == 0 {
+            0.0
+        } else {
+            pos as f64 / total as f64
+        };
 
-        let stop = depth >= cfg.max_depth
-            || total < cfg.min_samples_split
-            || pos == 0
-            || pos == total;
+        let stop =
+            depth >= cfg.max_depth || total < cfg.min_samples_split || pos == 0 || pos == total;
         if !stop {
             if let Some((feature, threshold, gain)) = best_split(xs, ys, idx, features) {
                 if gain > cfg.min_gain {
@@ -100,7 +111,12 @@ impl DecisionTree {
                         self.nodes.push(Node::Leaf { prob: leaf_prob }); // placeholder
                         let left = self.build(xs, ys, &li, features, cfg, depth + 1);
                         let right = self.build(xs, ys, &ri, features, cfg, depth + 1);
-                        self.nodes[me] = Node::Split { feature, threshold, left, right };
+                        self.nodes[me] = Node::Split {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        };
                         return me;
                     }
                 }
@@ -119,7 +135,12 @@ impl DecisionTree {
         loop {
             match &self.nodes[at] {
                 Node::Leaf { prob } => return *prob,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     at = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
                         *left
                     } else {
@@ -154,7 +175,12 @@ impl DecisionTree {
 /// Finds the (feature, threshold) pair with the highest Gini gain over
 /// the rows in `idx`. Thresholds are midpoints between consecutive
 /// distinct values.
-fn best_split(xs: &[&[f64]], ys: &[bool], idx: &[usize], features: &[usize]) -> Option<(usize, f64, f64)> {
+fn best_split(
+    xs: &[&[f64]],
+    ys: &[bool],
+    idx: &[usize],
+    features: &[usize],
+) -> Option<(usize, f64, f64)> {
     let total = idx.len();
     let total_pos = idx.iter().filter(|&&i| ys[i]).count();
     let parent = gini(total_pos, total);
@@ -164,7 +190,9 @@ fn best_split(xs: &[&[f64]], ys: &[bool], idx: &[usize], features: &[usize]) -> 
         // Sort rows by this feature.
         let mut order: Vec<usize> = idx.to_vec();
         order.sort_by(|&a, &b| {
-            xs[a][feature].partial_cmp(&xs[b][feature]).unwrap_or(std::cmp::Ordering::Equal)
+            xs[a][feature]
+                .partial_cmp(&xs[b][feature])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut left_pos = 0usize;
         for (k, &i) in order.iter().enumerate().take(total.saturating_sub(1)) {
@@ -213,7 +241,12 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> ForestConfig {
-        ForestConfig { n_trees: 15, sample_frac: 0.8, feature_frac: 0.7, tree: TreeConfig::default() }
+        ForestConfig {
+            n_trees: 15,
+            sample_frac: 0.8,
+            feature_frac: 0.7,
+            tree: TreeConfig::default(),
+        }
     }
 }
 
@@ -312,7 +345,10 @@ mod tests {
             data.push(vec![(i % 16) as f64, (i / 16) as f64]);
             ys.push((i % 3) == 0);
         }
-        let cfg = TreeConfig { max_depth: 2, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        };
         let tree = DecisionTree::fit(&rows(&data), &ys, &cfg, None);
         assert!(tree.depth() <= 2);
     }
@@ -354,7 +390,11 @@ mod tests {
             .zip(&ys)
             .filter(|(x, &y)| (f1.predict_prob(x) > 0.5) == y)
             .count();
-        assert!(correct as f64 / data.len() as f64 > 0.9, "forest accuracy {correct}/{}", data.len());
+        assert!(
+            correct as f64 / data.len() as f64 > 0.9,
+            "forest accuracy {correct}/{}",
+            data.len()
+        );
         for x in data.iter().take(10) {
             assert_eq!(f1.predict_prob(x), f2.predict_prob(x));
         }

@@ -116,7 +116,9 @@ fn classify(feature: &str) -> Option<(BreakageCategory, BreakageSeverity)> {
 fn probe_outcomes(probes: &[ProbeEvent]) -> HashMap<(String, String, Option<String>), bool> {
     let mut map: HashMap<(String, String, Option<String>), bool> = HashMap::new();
     for p in probes {
-        let entry = map.entry((p.feature.clone(), p.cookie.clone(), p.actor.clone())).or_insert(true);
+        let entry = map
+            .entry((p.feature.clone(), p.cookie.clone(), p.actor.clone()))
+            .or_insert(true);
         *entry &= p.ok;
     }
     map
@@ -134,14 +136,18 @@ pub fn evaluate_breakage(
     _threads: usize,
 ) -> BreakageReport {
     let mut report = BreakageReport::default();
+    // Compile the guard engine once for the whole evaluation; each visit
+    // opens a per-site session on it.
+    let regular_cfg = VisitConfig::regular();
+    let guarded_cfg = VisitConfig::guarded(guard.clone());
     for rank in from..=to {
         let bp = gen.blueprint(rank);
         if !bp.spec.crawl_ok {
             continue;
         }
         let seed = gen.site_seed(rank) ^ 0x0b1e;
-        let regular = visit_site(&bp, &VisitConfig::regular(), seed);
-        let guarded = visit_site(&bp, &VisitConfig::guarded(guard.clone()), seed);
+        let regular = visit_site(&bp, &regular_cfg, seed);
+        let guarded = visit_site(&bp, &guarded_cfg, seed);
         report.sites += 1;
 
         let before = probe_outcomes(&regular.log.probes);
@@ -167,7 +173,11 @@ pub fn evaluate_breakage(
             for (cat, sev, _) in &findings {
                 *report.counts.entry((*cat, *sev)).or_insert(0) += 1;
             }
-            report.details.push(SiteBreakage { site: bp.spec.domain.clone(), rank, findings });
+            report.details.push(SiteBreakage {
+                site: bp.spec.domain.clone(),
+                rank,
+                findings,
+            });
         }
     }
     report
@@ -179,18 +189,40 @@ mod tests {
 
     #[test]
     fn classification_covers_features() {
-        assert_eq!(classify("sso"), Some((BreakageCategory::Sso, BreakageSeverity::Major)));
-        assert_eq!(classify("sso_reload"), Some((BreakageCategory::Sso, BreakageSeverity::Minor)));
-        assert_eq!(classify("ads"), Some((BreakageCategory::Functionality, BreakageSeverity::Minor)));
-        assert_eq!(classify("chat"), Some((BreakageCategory::Functionality, BreakageSeverity::Major)));
+        assert_eq!(
+            classify("sso"),
+            Some((BreakageCategory::Sso, BreakageSeverity::Major))
+        );
+        assert_eq!(
+            classify("sso_reload"),
+            Some((BreakageCategory::Sso, BreakageSeverity::Minor))
+        );
+        assert_eq!(
+            classify("ads"),
+            Some((BreakageCategory::Functionality, BreakageSeverity::Minor))
+        );
+        assert_eq!(
+            classify("chat"),
+            Some((BreakageCategory::Functionality, BreakageSeverity::Major))
+        );
         assert_eq!(classify("unknown"), None);
     }
 
     #[test]
     fn probe_outcomes_and_of_repeats() {
         let probes = vec![
-            ProbeEvent { feature: "sso".into(), cookie: "s".into(), ok: true, actor: Some("a.com".into()) },
-            ProbeEvent { feature: "sso".into(), cookie: "s".into(), ok: false, actor: Some("a.com".into()) },
+            ProbeEvent {
+                feature: "sso".into(),
+                cookie: "s".into(),
+                ok: true,
+                actor: Some("a.com".into()),
+            },
+            ProbeEvent {
+                feature: "sso".into(),
+                cookie: "s".into(),
+                ok: false,
+                actor: Some("a.com".into()),
+            },
         ];
         let map = probe_outcomes(&probes);
         assert_eq!(map.len(), 1);
@@ -199,9 +231,14 @@ mod tests {
 
     #[test]
     fn report_percentages() {
-        let mut r = BreakageReport { sites: 100, ..BreakageReport::default() };
-        r.counts.insert((BreakageCategory::Sso, BreakageSeverity::Major), 11);
-        r.counts.insert((BreakageCategory::Sso, BreakageSeverity::Minor), 1);
+        let mut r = BreakageReport {
+            sites: 100,
+            ..BreakageReport::default()
+        };
+        r.counts
+            .insert((BreakageCategory::Sso, BreakageSeverity::Major), 11);
+        r.counts
+            .insert((BreakageCategory::Sso, BreakageSeverity::Minor), 1);
         assert!((r.major_pct(BreakageCategory::Sso) - 11.0).abs() < 1e-9);
         assert!((r.minor_pct(BreakageCategory::Sso) - 1.0).abs() < 1e-9);
         assert_eq!(r.major_pct(BreakageCategory::Navigation), 0.0);

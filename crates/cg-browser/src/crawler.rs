@@ -2,14 +2,14 @@
 //!
 //! Each site's result depends only on (master seed, rank, visit config),
 //! so the crawl parallelizes over worker threads without changing any
-//! outcome — the concurrency idiom is a crossbeam scope with an atomic
+//! outcome — the concurrency idiom is a scoped-thread pool with an atomic
 //! work counter, collecting into a mutex-guarded vector that is sorted
 //! by rank afterwards.
 
 use crate::visit::{visit_site, VisitConfig, VisitOutcome};
 use cg_webgen::WebGenerator;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Aggregate facts about a crawl (cheap to keep even when per-site
 /// outcomes are discarded).
@@ -32,24 +32,27 @@ pub fn crawl_range(
 ) -> (Vec<VisitOutcome>, CrawlSummary) {
     let threads = threads.max(1);
     let next = AtomicUsize::new(from);
-    let results: Mutex<Vec<VisitOutcome>> = Mutex::new(Vec::with_capacity(to.saturating_sub(from) + 1));
+    let results: Mutex<Vec<VisitOutcome>> =
+        Mutex::new(Vec::with_capacity(to.saturating_sub(from) + 1));
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let rank = next.fetch_add(1, Ordering::Relaxed);
                 if rank > to {
                     break;
                 }
                 let blueprint = gen.blueprint(rank);
                 let outcome = visit_site(&blueprint, cfg, gen.site_seed(rank) ^ 0x51_7e);
-                results.lock().push(outcome);
+                results
+                    .lock()
+                    .expect("crawler worker panicked")
+                    .push(outcome);
             });
         }
-    })
-    .expect("crawler worker panicked");
+    });
 
-    let mut outcomes = results.into_inner();
+    let mut outcomes = results.into_inner().expect("crawler worker panicked");
     outcomes.sort_by_key(|o| o.spec.rank);
     let summary = CrawlSummary {
         visited: outcomes.len(),

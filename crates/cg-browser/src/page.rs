@@ -58,7 +58,13 @@ impl<'v> Page<'v> {
         let mut doc = Document::new(url.clone(), FrameKind::Main);
         let mut markup_elements = Vec::new();
         for i in 0..14 {
-            let tag = if i % 3 == 0 { "div" } else if i % 3 == 1 { "p" } else { "img" };
+            let tag = if i % 3 == 0 {
+                "div"
+            } else if i % 3 == 1 {
+                "p"
+            } else {
+                "img"
+            };
             markup_elements.push(doc.insert_markup_element(tag, None));
         }
         Page {
@@ -146,8 +152,14 @@ impl<'v> Page<'v> {
     /// the site itself.
     pub fn apply_server_cookies(&mut self, raw_headers: &[String]) {
         for raw in raw_headers {
-            let Some(sc) = parse_set_cookie(raw) else { continue };
-            if self.jar.set_from_header(&sc, &self.url, self.wall_epoch_ms).is_ok() {
+            let Some(sc) = parse_set_cookie(raw) else {
+                continue;
+            };
+            if self
+                .jar
+                .set_from_header(&sc, &self.url, self.wall_epoch_ms)
+                .is_ok()
+            {
                 if let Some(g) = self.guard.as_deref_mut() {
                     g.record_http_set_cookie(&sc.name, &self.site_domain.clone());
                 }
@@ -171,7 +183,11 @@ impl<'v> Page<'v> {
 
     /// Registers a markup script with the document and the log; returns
     /// the execution the event loop should run.
-    pub fn register_markup_script(&mut self, url: Option<&str>, ops: Vec<ScriptOp>) -> ScriptExecution {
+    pub fn register_markup_script(
+        &mut self,
+        url: Option<&str>,
+        ops: Vec<ScriptOp>,
+    ) -> ScriptExecution {
         let source = match url {
             Some(u) => ScriptSource::External(Url::parse(u).expect("blueprint script URL")),
             None => ScriptSource::Inline,
@@ -192,10 +208,16 @@ impl<'v> Page<'v> {
                 self.signatures
                     .as_ref()
                     .and_then(|db| db.attribute(&ops))
-                    .and_then(|domain| Url::parse(&format!("https://cdn.{domain}/sig-attributed.js")).ok())
+                    .and_then(|domain| {
+                        Url::parse(&format!("https://cdn.{domain}/sig-attributed.js")).ok()
+                    })
             }
         };
-        ScriptExecution { script_id: id, url: parsed, ops }
+        ScriptExecution {
+            script_id: id,
+            url: parsed,
+            ops,
+        }
     }
 
     /// Total cookie API operations performed on this page (drives the
@@ -248,9 +270,15 @@ impl Platform for Page<'_> {
     fn document_cookie_get(&mut self, at: &Attribution) -> String {
         self.cookie_ops += 1;
         let (visible, filtered) = self.visible_cookies(at);
-        let pairs: Vec<(String, String)> =
-            visible.iter().map(|c| (c.name.clone(), c.value.clone())).collect();
-        let s = visible.iter().map(|c| c.pair()).collect::<Vec<_>>().join("; ");
+        let pairs: Vec<(String, String)> = visible
+            .iter()
+            .map(|c| (c.name.clone(), c.value.clone()))
+            .collect();
+        let s = visible
+            .iter()
+            .map(|c| c.pair())
+            .collect::<Vec<_>>()
+            .join("; ");
         self.recorder.record_read(
             at.script_domain().as_deref(),
             CookieApi::DocumentCookie,
@@ -263,7 +291,9 @@ impl Platform for Page<'_> {
 
     fn document_cookie_set(&mut self, at: &Attribution, raw: &str) -> bool {
         self.cookie_ops += 1;
-        let Some(sc) = parse_set_cookie(raw) else { return false };
+        let Some(sc) = parse_set_cookie(raw) else {
+            return false;
+        };
         let now = self.wall(at);
         let actor = at.script_domain();
         let actor_url = at.script_url.as_ref().map(|u| u.to_string());
@@ -300,21 +330,31 @@ impl Platform for Page<'_> {
             };
             if !decision.is_allow() {
                 self.recorder.record_set(
-                    &sc.name, &sc.value, actor.as_deref(), actor_url.as_deref(),
-                    CookieApi::DocumentCookie, kind, None, true, at.now_ms,
+                    &sc.name,
+                    &sc.value,
+                    actor.as_deref(),
+                    actor_url.as_deref(),
+                    CookieApi::DocumentCookie,
+                    kind,
+                    None,
+                    true,
+                    at.now_ms,
                 );
                 return false;
             }
         }
 
         // Apply to the jar.
-        let changes = prior.as_ref().filter(|_| kind == WriteKind::Overwrite).map(|p| AttrChangeFlags {
-            value: p.value != sc.value,
-            expires: p.expires_ms != expires_abs,
-            domain: sc.domain.as_deref().is_some_and(|d| d != p.domain) && !p.host_only
-                || (p.host_only && sc.domain.is_some()),
-            path: sc.path.as_deref().is_some_and(|pt| pt != p.path),
-        });
+        let changes = prior
+            .as_ref()
+            .filter(|_| kind == WriteKind::Overwrite)
+            .map(|p| AttrChangeFlags {
+                value: p.value != sc.value,
+                expires: p.expires_ms != expires_abs,
+                domain: sc.domain.as_deref().is_some_and(|d| d != p.domain) && !p.host_only
+                    || (p.host_only && sc.domain.is_some()),
+                path: sc.path.as_deref().is_some_and(|pt| pt != p.path),
+            });
         let applied = if is_delete {
             self.jar.delete(&sc.name, &self.url, now)
         } else {
@@ -322,8 +362,15 @@ impl Platform for Page<'_> {
         };
         if applied || is_delete {
             self.recorder.record_set(
-                &sc.name, &sc.value, actor.as_deref(), actor_url.as_deref(),
-                CookieApi::DocumentCookie, kind, changes, false, at.now_ms,
+                &sc.name,
+                &sc.value,
+                actor.as_deref(),
+                actor_url.as_deref(),
+                CookieApi::DocumentCookie,
+                kind,
+                changes,
+                false,
+                at.now_ms,
             );
         }
         applied
@@ -335,8 +382,14 @@ impl Platform for Page<'_> {
         }
         self.cookie_ops += 1;
         let (visible, filtered) = self.visible_cookies(at);
-        let found = visible.iter().find(|c| c.name == name).map(|c| c.value.clone());
-        let pairs = found.iter().map(|v| (name.to_string(), v.clone())).collect();
+        let found = visible
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value.clone());
+        let pairs = found
+            .iter()
+            .map(|v| (name.to_string(), v.clone()))
+            .collect();
         self.recorder.record_read(
             at.script_domain().as_deref(),
             CookieApi::CookieStore,
@@ -353,8 +406,10 @@ impl Platform for Page<'_> {
         }
         self.cookie_ops += 1;
         let (visible, filtered) = self.visible_cookies(at);
-        let pairs: Vec<(String, String)> =
-            visible.iter().map(|c| (c.name.clone(), c.value.clone())).collect();
+        let pairs: Vec<(String, String)> = visible
+            .iter()
+            .map(|c| (c.name.clone(), c.value.clone()))
+            .collect();
         self.recorder.record_read(
             at.script_domain().as_deref(),
             CookieApi::CookieStore,
@@ -365,7 +420,13 @@ impl Platform for Page<'_> {
         pairs
     }
 
-    fn cookie_store_set(&mut self, at: &Attribution, name: &str, value: &str, expires_abs_ms: Option<i64>) -> bool {
+    fn cookie_store_set(
+        &mut self,
+        at: &Attribution,
+        name: &str,
+        value: &str,
+        expires_abs_ms: Option<i64>,
+    ) -> bool {
         if self.url.scheme != "https" {
             return false;
         }
@@ -379,12 +440,23 @@ impl Platform for Page<'_> {
             .cookies_for_document(&self.url, now)
             .iter()
             .any(|c| c.name == name);
-        let kind = if prior_exists { WriteKind::Overwrite } else { WriteKind::Create };
+        let kind = if prior_exists {
+            WriteKind::Overwrite
+        } else {
+            WriteKind::Create
+        };
         if let Some(g) = self.guard.as_deref_mut() {
             if !g.authorize_write(&caller, name).is_allow() {
                 self.recorder.record_set(
-                    name, value, actor.as_deref(), actor_url.as_deref(),
-                    CookieApi::CookieStore, kind, None, true, at.now_ms,
+                    name,
+                    value,
+                    actor.as_deref(),
+                    actor_url.as_deref(),
+                    CookieApi::CookieStore,
+                    kind,
+                    None,
+                    true,
+                    at.now_ms,
                 );
                 return false;
             }
@@ -397,8 +469,15 @@ impl Platform for Page<'_> {
         let ok = self.jar.set_document_cookie(&raw, &self.url, now).is_ok();
         if ok {
             self.recorder.record_set(
-                name, value, actor.as_deref(), actor_url.as_deref(),
-                CookieApi::CookieStore, kind, None, false, at.now_ms,
+                name,
+                value,
+                actor.as_deref(),
+                actor_url.as_deref(),
+                CookieApi::CookieStore,
+                kind,
+                None,
+                false,
+                at.now_ms,
             );
         }
         ok
@@ -416,8 +495,15 @@ impl Platform for Page<'_> {
         if let Some(g) = self.guard.as_deref_mut() {
             if !g.authorize_delete(&caller, name).is_allow() {
                 self.recorder.record_set(
-                    name, "", actor.as_deref(), actor_url.as_deref(),
-                    CookieApi::CookieStore, WriteKind::Delete, None, true, at.now_ms,
+                    name,
+                    "",
+                    actor.as_deref(),
+                    actor_url.as_deref(),
+                    CookieApi::CookieStore,
+                    WriteKind::Delete,
+                    None,
+                    true,
+                    at.now_ms,
                 );
                 return false;
             }
@@ -425,8 +511,15 @@ impl Platform for Page<'_> {
         let ok = self.jar.delete(name, &self.url, now);
         if ok {
             self.recorder.record_set(
-                name, "", actor.as_deref(), actor_url.as_deref(),
-                CookieApi::CookieStore, WriteKind::Delete, None, false, at.now_ms,
+                name,
+                "",
+                actor.as_deref(),
+                actor_url.as_deref(),
+                CookieApi::CookieStore,
+                WriteKind::Delete,
+                None,
+                false,
+                at.now_ms,
             );
         }
         ok
@@ -439,9 +532,10 @@ impl Platform for Page<'_> {
         // cross-site destinations. This is the channel that first-party
         // server-side collection endpoints ride (§5.7): CookieGuard
         // mediates script reads, not the network layer.
-        let cookie_header = Url::parse(url)
-            .ok()
-            .map(|u| self.jar.cookie_header_for_subresource(&u, &self.site_domain, self.wall(at)));
+        let cookie_header = Url::parse(url).ok().map(|u| {
+            self.jar
+                .cookie_header_for_subresource(&u, &self.site_domain, self.wall(at))
+        });
         self.recorder.record_request(
             url,
             kind,
@@ -471,9 +565,15 @@ impl Platform for Page<'_> {
         }
         let parent = at.script_id.unwrap_or(0);
         let parsed = Url::parse(url).ok()?;
-        let id = self.doc.add_injected_script(ScriptSource::External(parsed.clone()), parent);
+        let id = self
+            .doc
+            .add_injected_script(ScriptSource::External(parsed.clone()), parent);
         self.recorder.record_inclusion(Some(url), false);
-        Some(ScriptExecution { script_id: id, url: Some(parsed), ops: ops.clone() })
+        Some(ScriptExecution {
+            script_id: id,
+            url: Some(parsed),
+            ops: ops.clone(),
+        })
     }
 
     fn dom_insert(&mut self, at: &Attribution, tag: &str) {
@@ -491,7 +591,9 @@ impl Platform for Page<'_> {
             // the page's first markup element (scripts without their own
             // nodes editing page chrome — still cross-domain, and the
             // pilot counts it as such).
-            let own = actor.as_deref().and_then(|a| self.doc.last_element_owned_by(a));
+            let own = actor
+                .as_deref()
+                .and_then(|a| self.doc.last_element_owned_by(a));
             match own.or_else(|| self.markup_elements.first().copied()) {
                 Some(e) => e,
                 None => return,
@@ -503,25 +605,35 @@ impl Platform for Page<'_> {
             DomMutationKind::Attribute => ElementMutation::Attribute,
             DomMutationKind::Remove => ElementMutation::Remove,
         };
-        let owner = self.doc.element(target).map(|e| e.owner_domain.clone()).unwrap_or_default();
+        let owner = self
+            .doc
+            .element(target)
+            .map(|e| e.owner_domain.clone())
+            .unwrap_or_default();
         // DOM-guard enforcement (§8 future work): the mutation must be
         // authorized against the element's ownership before it applies.
         if let Some(g) = self.dom_guard.as_deref_mut() {
             let caller = Self::caller(&self.cnames, at);
             if let Some(guard_kind) = cg_domguard::mutation_kind_of(mutation) {
                 if !g.authorize(&caller, &owner, guard_kind).is_allow() {
-                    self.recorder.record_dom(actor.as_deref(), &owner, &format!("{kind:?}"), true);
+                    self.recorder
+                        .record_dom(actor.as_deref(), &owner, &format!("{kind:?}"), true);
                     return;
                 }
             }
         }
-        if self.doc.mutate_element(target, mutation, actor.as_deref(), "mutated") {
-            self.recorder.record_dom(actor.as_deref(), &owner, &format!("{kind:?}"), false);
+        if self
+            .doc
+            .mutate_element(target, mutation, actor.as_deref(), "mutated")
+        {
+            self.recorder
+                .record_dom(actor.as_deref(), &owner, &format!("{kind:?}"), false);
         }
     }
 
     fn probe_result(&mut self, at: &Attribution, feature: &str, cookie: &str, ok: bool) {
-        self.recorder.record_probe(feature, cookie, ok, at.script_domain().as_deref());
+        self.recorder
+            .record_probe(feature, cookie, ok, at.script_domain().as_deref());
     }
 
     fn drain_cookie_changes(&mut self) -> Vec<CookieChangeNotice> {
@@ -535,7 +647,10 @@ impl Platform for Page<'_> {
             .changes_since(self.change_cursor)
             .iter()
             .filter(|c| !c.http_only) // never observable from scripts
-            .map(|c| CookieChangeNotice { name: c.name.clone(), deleted: c.is_removal() })
+            .map(|c| CookieChangeNotice {
+                name: c.name.clone(),
+                deleted: c.is_removal(),
+            })
             .collect();
         self.change_cursor = self.jar.change_count();
         notices
@@ -557,7 +672,10 @@ mod tests {
 
     const EPOCH: i64 = 1_750_000_000_000;
 
-    fn run_page(guard: Option<&mut CookieGuard>, scripts: Vec<(Option<&str>, Vec<ScriptOp>)>) -> (cg_instrument::VisitLog, CookieJar) {
+    fn run_page(
+        guard: Option<&mut CookieGuard>,
+        scripts: Vec<(Option<&str>, Vec<ScriptOp>)>,
+    ) -> (cg_instrument::VisitLog, CookieJar) {
         let url = Url::parse("https://www.site.com/").unwrap();
         let mut jar = CookieJar::new();
         let mut recorder = Recorder::new("site.com", 1);
@@ -582,7 +700,10 @@ mod tests {
                 vec![ScriptOp::SetCookie {
                     name: "_fbp".into(),
                     value: ValueSpec::FbpStyle,
-                    attrs: CookieAttrs { site_wide: true, ..CookieAttrs::default() },
+                    attrs: CookieAttrs {
+                        site_wide: true,
+                        ..CookieAttrs::default()
+                    },
                 }],
             )],
         );
@@ -606,15 +727,29 @@ mod tests {
                         attrs: CookieAttrs::default(),
                     }],
                 ),
-                (Some("https://cdn.other.net/o.js"), vec![ScriptOp::ReadAllCookies]),
-                (Some("https://www.site.com/app.js"), vec![ScriptOp::ReadAllCookies]),
+                (
+                    Some("https://cdn.other.net/o.js"),
+                    vec![ScriptOp::ReadAllCookies],
+                ),
+                (
+                    Some("https://www.site.com/app.js"),
+                    vec![ScriptOp::ReadAllCookies],
+                ),
             ],
         );
         // other.net saw nothing; the site owner saw the tracker cookie.
-        let other_read = log.reads.iter().find(|r| r.actor.as_deref() == Some("other.net")).unwrap();
+        let other_read = log
+            .reads
+            .iter()
+            .find(|r| r.actor.as_deref() == Some("other.net"))
+            .unwrap();
         assert!(other_read.cookies.is_empty());
         assert_eq!(other_read.filtered_count, 1);
-        let owner_read = log.reads.iter().find(|r| r.actor.as_deref() == Some("site.com")).unwrap();
+        let owner_read = log
+            .reads
+            .iter()
+            .find(|r| r.actor.as_deref() == Some("site.com"))
+            .unwrap();
         assert_eq!(owner_read.cookies.len(), 1);
     }
 
@@ -642,17 +777,29 @@ mod tests {
                 ),
                 (
                     Some("https://c.three.com/3.js"),
-                    vec![ScriptOp::DeleteCookie { target: "shared".into(), via_store: false }],
+                    vec![ScriptOp::DeleteCookie {
+                        target: "shared".into(),
+                        via_store: false,
+                    }],
                 ),
             ],
         );
         let kinds: Vec<WriteKind> = log.sets.iter().map(|s| s.kind).collect();
-        assert_eq!(kinds, vec![WriteKind::Create, WriteKind::Overwrite, WriteKind::Delete]);
+        assert_eq!(
+            kinds,
+            vec![WriteKind::Create, WriteKind::Overwrite, WriteKind::Delete]
+        );
         let ow = &log.sets[1];
         assert_eq!(ow.actor.as_deref(), Some("two.com"));
         let ch = ow.changes.unwrap();
         assert!(ch.value && ch.expires);
-        assert_eq!(jar.cookie_header_for_request(&Url::parse("https://www.site.com/").unwrap(), EPOCH + 10_000), "");
+        assert_eq!(
+            jar.cookie_header_for_request(
+                &Url::parse("https://www.site.com/").unwrap(),
+                EPOCH + 10_000
+            ),
+            ""
+        );
     }
 
     #[test]
@@ -680,7 +827,8 @@ mod tests {
                 ),
             ],
         );
-        let blocked: Vec<&cg_instrument::SetEvent> = log.sets.iter().filter(|s| s.blocked).collect();
+        let blocked: Vec<&cg_instrument::SetEvent> =
+            log.sets.iter().filter(|s| s.blocked).collect();
         assert_eq!(blocked.len(), 1);
         assert_eq!(blocked[0].actor.as_deref(), Some("two.com"));
         // Jar still holds one.com's value.
@@ -731,7 +879,15 @@ mod tests {
         let mut recorder = Recorder::new("site.com", 1);
         let injectables = HashMap::new();
         let mut guard = CookieGuard::new(GuardConfig::strict(), "site.com");
-        let mut page = Page::new(url.clone(), EPOCH, &mut jar, Some(&mut guard), &mut recorder, &injectables, 7);
+        let mut page = Page::new(
+            url.clone(),
+            EPOCH,
+            &mut jar,
+            Some(&mut guard),
+            &mut recorder,
+            &injectables,
+            7,
+        );
         page.apply_server_cookies(&[
             "session_id=abc123; Path=/; HttpOnly".to_string(),
             "prefs=dark".to_string(),
@@ -762,8 +918,12 @@ mod tests {
         let exec = page.register_markup_script(
             Some("https://gtm.com/gtm.js"),
             vec![
-                ScriptOp::InjectScript { url: "https://ga.com/a.js".into() },
-                ScriptOp::InjectScript { url: "https://ga.com/a.js".into() },
+                ScriptOp::InjectScript {
+                    url: "https://ga.com/a.js".into(),
+                },
+                ScriptOp::InjectScript {
+                    url: "https://ga.com/a.js".into(),
+                },
             ],
         );
         el.push_script(exec, 0);

@@ -75,7 +75,11 @@ pub fn simulate_timing<R: Rng>(
         }
     }
 
-    PageTiming { dom_interactive_ms: di, dom_content_loaded_ms: dcl, load_event_ms: load }
+    PageTiming {
+        dom_interactive_ms: di,
+        dom_content_loaded_ms: dcl,
+        load_event_ms: load,
+    }
 }
 
 #[cfg(test)]
@@ -142,8 +146,9 @@ mod tests {
     #[test]
     fn heavy_tail_mean_exceeds_median() {
         let mut rng = StdRng::seed_from_u64(11);
-        let samples: Vec<f64> =
-            (0..5000).map(|_| simulate_timing(160, 20, 0, false, &mut rng).dom_interactive_ms).collect();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| simulate_timing(160, 20, 0, false, &mut rng).dom_interactive_ms)
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let mut s = samples.clone();
         s.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -9,16 +9,20 @@ use cg_instrument::{Recorder, VisitLog};
 use cg_script::EventLoop;
 use cg_url::Url;
 use cg_webgen::{PageBlueprint, SiteBlueprint};
-use cookieguard_core::{CookieGuard, GuardConfig, GuardStats};
+use cookieguard_core::{CookieGuard, GuardConfig, GuardEngine, GuardStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// How a visit is performed.
 #[derive(Debug, Clone)]
 pub struct VisitConfig {
-    /// Attach CookieGuard with this configuration (None = regular
-    /// browser, the measurement condition).
-    pub guard: Option<GuardConfig>,
+    /// Attach CookieGuard backed by this shared engine (None = regular
+    /// browser, the measurement condition). The engine is compiled once
+    /// — by [`VisitConfig::guarded`] or the caller — and every visit
+    /// through this config opens a cheap per-site session on it, so an
+    /// N-site crawl never re-derives policy or entity state.
+    pub guard: Option<Arc<GuardEngine>>,
     /// Attach the DOM guard (§8's future-work defense) with this
     /// configuration.
     pub dom_guard: Option<DomGuardConfig>,
@@ -65,9 +69,19 @@ impl VisitConfig {
         VisitConfig::default()
     }
 
-    /// A guarded visit with the given policy.
+    /// A guarded visit with the given policy (compiles the engine once
+    /// for every visit made through this config).
     pub fn guarded(config: GuardConfig) -> VisitConfig {
-        VisitConfig { guard: Some(config), ..VisitConfig::default() }
+        VisitConfig::guarded_by(GuardEngine::shared(config))
+    }
+
+    /// A guarded visit on an existing shared engine — use this to share
+    /// one compiled policy across several configs or crawls.
+    pub fn guarded_by(engine: Arc<GuardEngine>) -> VisitConfig {
+        VisitConfig {
+            guard: Some(engine),
+            ..VisitConfig::default()
+        }
     }
 
     /// Adds DOM-guard enforcement to the visit.
@@ -118,8 +132,14 @@ pub fn visit_site_with_jar(
     jar: &mut CookieJar,
 ) -> VisitOutcome {
     let mut recorder = Recorder::new(&site.spec.domain, site.spec.rank);
-    let mut guard = cfg.guard.clone().map(|g| CookieGuard::new(g, &site.spec.domain));
-    let mut dom_guard = cfg.dom_guard.clone().map(|g| DomGuard::new(g, &site.spec.domain));
+    let mut guard = cfg
+        .guard
+        .as_ref()
+        .map(|e| CookieGuard::with_engine(Arc::clone(e), &site.spec.domain));
+    let mut dom_guard = cfg
+        .dom_guard
+        .clone()
+        .map(|g| DomGuard::new(g, &site.spec.domain));
     let mut rng = StdRng::seed_from_u64(visit_seed ^ 0xbeef_cafe);
 
     if let (Some(g), true) = (guard.as_mut(), cfg.grandfather_preexisting) {
@@ -231,11 +251,23 @@ fn execute_page(
     rng: &mut StdRng,
 ) -> (usize, usize) {
     let page_seed: u64 = rng.gen();
-    let cnames = if cfg.resolve_cnames { Some(site.cnames.clone()) } else { None };
-    let mut p = Page::new(url.clone(), epoch, jar, guard, recorder, &site.injectables, page_seed)
-        .with_cnames(cnames)
-        .with_dom_guard(dom_guard)
-        .with_csp(csp.cloned());
+    let cnames = if cfg.resolve_cnames {
+        Some(site.cnames.clone())
+    } else {
+        None
+    };
+    let mut p = Page::new(
+        url.clone(),
+        epoch,
+        jar,
+        guard,
+        recorder,
+        &site.injectables,
+        page_seed,
+    )
+    .with_cnames(cnames)
+    .with_dom_guard(dom_guard)
+    .with_csp(csp.cloned());
     p.apply_server_cookies(&page.server_cookies);
     let mut el = EventLoop::new(epoch).with_max_ops(cfg.max_ops);
     for (i, script) in page.scripts.iter().enumerate() {
@@ -259,7 +291,10 @@ mod tests {
     }
 
     fn ok_site(g: &WebGenerator) -> SiteBlueprint {
-        (1..=200).map(|r| g.blueprint(r)).find(|b| b.spec.crawl_ok).unwrap()
+        (1..=200)
+            .map(|r| g.blueprint(r))
+            .find(|b| b.spec.crawl_ok)
+            .unwrap()
     }
 
     #[test]
@@ -275,7 +310,10 @@ mod tests {
     #[test]
     fn failed_crawls_are_marked_incomplete() {
         let g = generator();
-        let site = (1..=200).map(|r| g.blueprint(r)).find(|b| !b.spec.crawl_ok).unwrap();
+        let site = (1..=200)
+            .map(|r| g.blueprint(r))
+            .find(|b| !b.spec.crawl_ok)
+            .unwrap();
         let out = visit_site(&site, &VisitConfig::regular(), 42);
         assert!(!out.log.complete);
         assert!(out.log.sets.is_empty());
@@ -303,12 +341,19 @@ mod tests {
             if !site.spec.crawl_ok {
                 continue;
             }
-            let out = visit_site(&site, &VisitConfig::guarded(cookieguard_core::GuardConfig::strict()), 7);
+            let out = visit_site(
+                &site,
+                &VisitConfig::guarded(cookieguard_core::GuardConfig::strict()),
+                7,
+            );
             if let Some(stats) = out.guard_stats {
                 filtered_total += stats.cookies_filtered;
             }
         }
-        assert!(filtered_total > 0, "guard never filtered anything across 30 sites");
+        assert!(
+            filtered_total > 0,
+            "guard never filtered anything across 30 sites"
+        );
     }
 
     #[test]
@@ -324,7 +369,10 @@ mod tests {
                 continue;
             }
             let mut with_csp = site.clone();
-            with_csp.csp = Some(cg_webgen::csp_for_site(&site, cg_webgen::CspStyle::DirectVendorsOnly));
+            with_csp.csp = Some(cg_webgen::csp_for_site(
+                &site,
+                cg_webgen::CspStyle::DirectVendorsOnly,
+            ));
 
             let plain = visit_site(&site, &VisitConfig::regular(), 11);
             let gated = visit_site(&with_csp, &VisitConfig::regular(), 11);
@@ -333,7 +381,10 @@ mod tests {
             // Disabling enforcement always restores plain behaviour.
             let off = visit_site(
                 &with_csp,
-                &VisitConfig { enforce_csp: false, ..VisitConfig::regular() },
+                &VisitConfig {
+                    enforce_csp: false,
+                    ..VisitConfig::regular()
+                },
                 11,
             );
             assert_eq!(off.csp_blocked, 0);
@@ -359,7 +410,10 @@ mod tests {
         let g = generator();
         let site = ok_site(&g);
         let mut with_csp = site.clone();
-        with_csp.csp = Some(cg_webgen::csp_for_site(&site, cg_webgen::CspStyle::FullStack));
+        with_csp.csp = Some(cg_webgen::csp_for_site(
+            &site,
+            cg_webgen::CspStyle::FullStack,
+        ));
         let plain = visit_site(&site, &VisitConfig::regular(), 13);
         let gated = visit_site(&with_csp, &VisitConfig::regular(), 13);
         assert_eq!(gated.csp_blocked, 0, "full-stack policy lists every host");
@@ -372,7 +426,14 @@ mod tests {
         let g = generator();
         let site = ok_site(&g);
         let with = visit_site(&site, &VisitConfig::regular(), 9);
-        let without = visit_site(&site, &VisitConfig { interact: false, ..VisitConfig::regular() }, 9);
+        let without = visit_site(
+            &site,
+            &VisitConfig {
+                interact: false,
+                ..VisitConfig::regular()
+            },
+            9,
+        );
         assert!(with.log.inclusions.len() >= without.log.inclusions.len());
     }
 }

@@ -28,7 +28,10 @@ pub enum ChangeCause {
 impl ChangeCause {
     /// True for causes that remove the cookie from the jar.
     pub fn is_removal(&self) -> bool {
-        matches!(self, ChangeCause::Deleted | ChangeCause::Evicted | ChangeCause::Expired)
+        matches!(
+            self,
+            ChangeCause::Deleted | ChangeCause::Evicted | ChangeCause::Expired
+        )
     }
 }
 

@@ -138,7 +138,12 @@ mod tests {
 
     #[test]
     fn max_age_beats_expires() {
-        let c = Cookie::from_set_cookie(&sc("a=1; Max-Age=60; Expires=@99999999"), "h.com", "/", 1000);
+        let c = Cookie::from_set_cookie(
+            &sc("a=1; Max-Age=60; Expires=@99999999"),
+            "h.com",
+            "/",
+            1000,
+        );
         assert_eq!(c.expires_ms, Some(61_000));
     }
 

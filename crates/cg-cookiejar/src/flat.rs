@@ -1,0 +1,173 @@
+//! The pre-sharding flat-`Vec` jar, kept as a reference implementation.
+//!
+//! [`FlatJar`] stores every cookie in one vector and scans the whole jar
+//! on every lookup, recomputing eTLD+1 per cookie during eviction —
+//! exactly what [`crate::CookieJar`] did before it was domain-sharded.
+//! It exists for two purposes:
+//!
+//! * **equivalence testing** — the sharded jar must produce identical
+//!   match results for any insert order (see the crate's test suite);
+//! * **benchmarking** — `crates/bench/benches/cookiejar.rs` measures
+//!   sharded vs. flat lookups on multi-domain jars.
+//!
+//! It deliberately implements only the storage/retrieval surface needed
+//! for those comparisons (no change log); validation and the per-domain
+//! cap are shared with the sharded jar so the two can never drift.
+
+use crate::cookie::{default_path, Cookie};
+use crate::jar::{sort_for_serialization, validate_set, SetCookieError, MAX_COOKIES_PER_DOMAIN};
+use cg_http::{parse_set_cookie, SetCookie};
+use cg_url::{psl, Url};
+
+/// A flat, linear-scan cookie jar (the historical layout).
+#[derive(Debug, Clone, Default)]
+pub struct FlatJar {
+    cookies: Vec<Cookie>,
+}
+
+impl FlatJar {
+    /// An empty jar.
+    pub fn new() -> FlatJar {
+        FlatJar::default()
+    }
+
+    /// Number of stored cookies.
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    /// True when the jar holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+
+    /// Iterates over stored cookies in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Cookie> {
+        self.cookies.iter()
+    }
+
+    /// `document.cookie = "…"` with the same validation the sharded jar
+    /// applies.
+    pub fn set_document_cookie(
+        &mut self,
+        raw: &str,
+        url: &Url,
+        now_ms: i64,
+    ) -> Result<(), SetCookieError> {
+        let sc = parse_set_cookie(raw).ok_or(SetCookieError::Unparseable)?;
+        self.store(&sc, url, now_ms, false)
+    }
+
+    /// HTTP `Set-Cookie` processing.
+    pub fn set_from_header(
+        &mut self,
+        sc: &SetCookie,
+        url: &Url,
+        now_ms: i64,
+    ) -> Result<(), SetCookieError> {
+        self.store(sc, url, now_ms, true)
+    }
+
+    fn store(
+        &mut self,
+        sc: &SetCookie,
+        url: &Url,
+        now_ms: i64,
+        http_api: bool,
+    ) -> Result<(), SetCookieError> {
+        let host = url.host_str();
+        validate_set(sc, url, &host, http_api)?;
+        let cookie = Cookie::from_set_cookie(sc, &host, &default_path(&url.path), now_ms);
+
+        if let Some(existing) = self
+            .cookies
+            .iter_mut()
+            .find(|c| c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path)
+        {
+            if existing.http_only && !http_api {
+                return Err(SetCookieError::OverwritesHttpOnly);
+            }
+            let created = existing.created_at_ms;
+            *existing = cookie;
+            existing.created_at_ms = created;
+        } else {
+            self.cookies.push(cookie);
+            self.evict_if_needed(&host, now_ms);
+        }
+        Ok(())
+    }
+
+    fn evict_if_needed(&mut self, host: &str, _now_ms: i64) {
+        // The historical hot spot: every eviction check recomputes the
+        // registrable domain of every cookie in the jar.
+        let domain_key = psl::registrable_domain(host).unwrap_or_else(|| host.to_string());
+        let count = self
+            .cookies
+            .iter()
+            .filter(|c| psl::registrable_domain(&c.domain).as_deref() == Some(domain_key.as_str()))
+            .count();
+        if count > MAX_COOKIES_PER_DOMAIN {
+            if let Some((idx, _)) = self
+                .cookies
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    psl::registrable_domain(&c.domain).as_deref() == Some(domain_key.as_str())
+                })
+                .min_by_key(|(_, c)| c.created_at_ms)
+            {
+                self.cookies.remove(idx);
+            }
+        }
+    }
+
+    /// Script-visible cookies for a document: the full-jar linear scan.
+    pub fn cookies_for_document(&self, url: &Url, now_ms: i64) -> Vec<Cookie> {
+        let host = url.host_str();
+        let mut matching: Vec<Cookie> = self
+            .cookies
+            .iter()
+            .filter(|c| {
+                !c.is_expired(now_ms)
+                    && !c.http_only
+                    && c.domain_matches(&host)
+                    && c.path_matches(&url.path)
+                    && (!c.secure || url.scheme == "https")
+            })
+            .cloned()
+            .collect();
+        sort_for_serialization(&mut matching);
+        matching
+    }
+
+    /// The `document.cookie` getter.
+    pub fn document_cookie(&self, url: &Url, now_ms: i64) -> String {
+        self.cookies_for_document(url, now_ms)
+            .iter()
+            .map(Cookie::pair)
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// The `Cookie:` request header (HttpOnly included).
+    pub fn cookie_header_for_request(&self, url: &Url, now_ms: i64) -> String {
+        let host = url.host_str();
+        let mut matching: Vec<Cookie> = self
+            .cookies
+            .iter()
+            .filter(|c| {
+                !c.is_expired(now_ms)
+                    && c.domain_matches(&host)
+                    && c.path_matches(&url.path)
+                    && (!c.secure || url.scheme == "https")
+            })
+            .cloned()
+            .collect();
+        sort_for_serialization(&mut matching);
+        matching
+            .iter()
+            .map(Cookie::pair)
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}

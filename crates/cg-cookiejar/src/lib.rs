@@ -17,11 +17,13 @@
 
 pub mod changes;
 pub mod cookie;
+pub mod flat;
 pub mod jar;
 pub mod store;
 
 pub use changes::{ChangeCause, CookieChange};
 pub use cookie::Cookie;
+pub use flat::FlatJar;
 pub use jar::{CookieJar, SetCookieError};
 pub use store::{CookieListItem, CookieStore};
 

@@ -40,7 +40,11 @@ impl CookieListItem {
         CookieListItem {
             name: c.name.clone(),
             value: c.value.clone(),
-            domain: if c.host_only { None } else { Some(c.domain.clone()) },
+            domain: if c.host_only {
+                None
+            } else {
+                Some(c.domain.clone())
+            },
             path: c.path.clone(),
             expires: c.expires_ms,
             secure: c.secure,
@@ -82,7 +86,10 @@ impl<'a> CookieStore<'a> {
         if document_url.scheme != "https" {
             return None;
         }
-        Some(CookieStore { jar, document_url: document_url.clone() })
+        Some(CookieStore {
+            jar,
+            document_url: document_url.clone(),
+        })
     }
 
     /// `cookieStore.get(name)` — the first matching cookie.
@@ -119,7 +126,9 @@ impl<'a> CookieStore<'a> {
         if let Some(ss) = opts.same_site {
             raw.push_str(&format!("; SameSite={ss}"));
         }
-        self.jar.set_document_cookie(&raw, &self.document_url, now_ms).map(|_| ())
+        self.jar
+            .set_document_cookie(&raw, &self.document_url, now_ms)
+            .map(|_| ())
     }
 
     /// `cookieStore.delete(name)`.
@@ -170,7 +179,8 @@ mod tests {
     fn get_all_returns_structured_list() {
         let mut jar = CookieJar::new();
         let u = url("https://site.com/");
-        jar.set_document_cookie("_awl=1.1746838827.5-abc", &u, 0).unwrap();
+        jar.set_document_cookie("_awl=1.1746838827.5-abc", &u, 0)
+            .unwrap();
         jar.set_document_cookie("other=x", &u, 1).unwrap();
         let store = CookieStore::open(&mut jar, &u).unwrap();
         let all = store.get_all(2);
@@ -195,14 +205,22 @@ mod tests {
         let mut store = CookieStore::open(&mut jar, &u).unwrap();
         store
             .set(
-                &SetOptions { name: "shared".into(), value: "1".into(), domain: Some("site.com".into()), ..SetOptions::default() },
+                &SetOptions {
+                    name: "shared".into(),
+                    value: "1".into(),
+                    domain: Some("site.com".into()),
+                    ..SetOptions::default()
+                },
                 0,
             )
             .unwrap();
         let item = store.get("shared", 1).unwrap();
         assert_eq!(item.domain.as_deref(), Some("site.com"));
         // Visible from a sibling subdomain too.
-        assert_eq!(jar.document_cookie(&url("https://api.site.com/"), 1), "shared=1");
+        assert_eq!(
+            jar.document_cookie(&url("https://api.site.com/"), 1),
+            "shared=1"
+        );
     }
 
     #[test]

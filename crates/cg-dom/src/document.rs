@@ -59,12 +59,20 @@ pub struct Document {
 impl Document {
     /// Creates an empty document for `url`.
     pub fn new(url: Url, frame: FrameKind) -> Document {
-        Document { url, frame, elements: Vec::new(), scripts: Vec::new(), mutations: Vec::new() }
+        Document {
+            url,
+            frame,
+            elements: Vec::new(),
+            scripts: Vec::new(),
+            mutations: Vec::new(),
+        }
     }
 
     /// The site's registrable domain.
     pub fn site_domain(&self) -> String {
-        self.url.registrable_domain().unwrap_or_else(|| self.url.host_str())
+        self.url
+            .registrable_domain()
+            .unwrap_or_else(|| self.url.host_str())
     }
 
     // ------------------------------------------------------------------
@@ -86,7 +94,7 @@ impl Document {
         actor_domain: Option<&str>,
     ) -> ElementId {
         let owner = actor_domain.unwrap_or("<inline>").to_string();
-        
+
         self.insert_element(tag, parent, &owner, actor_domain)
     }
 
@@ -183,7 +191,11 @@ impl Document {
 
     fn add_script(&mut self, source: ScriptSource, inclusion: InclusionKind) -> ScriptId {
         let id = self.scripts.len();
-        self.scripts.push(ScriptNode { id, source, inclusion });
+        self.scripts.push(ScriptNode {
+            id,
+            source,
+            inclusion,
+        });
         id
     }
 
@@ -218,7 +230,10 @@ mod tests {
     use super::*;
 
     fn doc() -> Document {
-        Document::new(Url::parse("https://www.news-site.com/").unwrap(), FrameKind::Main)
+        Document::new(
+            Url::parse("https://www.news-site.com/").unwrap(),
+            FrameKind::Main,
+        )
     }
 
     fn ext(u: &str) -> ScriptSource {
@@ -251,7 +266,12 @@ mod tests {
     fn cross_domain_mutation_detected() {
         let mut d = doc();
         let id = d.insert_markup_element("div", None);
-        assert!(d.mutate_element(id, ElementMutation::Content, Some("ads.com"), "<b>injected</b>"));
+        assert!(d.mutate_element(
+            id,
+            ElementMutation::Content,
+            Some("ads.com"),
+            "<b>injected</b>"
+        ));
         let m = &d.mutations()[0];
         assert!(m.is_cross_domain());
         assert_eq!(d.element(id).unwrap().content, "<b>injected</b>");
@@ -261,7 +281,12 @@ mod tests {
     fn same_domain_mutation_not_cross_domain() {
         let mut d = doc();
         let id = d.insert_markup_element("div", None);
-        d.mutate_element(id, ElementMutation::Style, Some("news-site.com"), "color:red");
+        d.mutate_element(
+            id,
+            ElementMutation::Style,
+            Some("news-site.com"),
+            "color:red",
+        );
         assert!(!d.mutations()[0].is_cross_domain());
     }
 

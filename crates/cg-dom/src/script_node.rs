@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn source_domains() {
-        assert_eq!(ext("https://cdn.tracker.com/t.js").domain().as_deref(), Some("tracker.com"));
+        assert_eq!(
+            ext("https://cdn.tracker.com/t.js").domain().as_deref(),
+            Some("tracker.com")
+        );
         assert_eq!(ScriptSource::Inline.domain(), None);
         assert_eq!(ScriptSource::Inline.url_str(), "<inline>");
     }
@@ -115,10 +118,26 @@ mod tests {
     #[test]
     fn chain_walks_to_root() {
         let scripts = vec![
-            ScriptNode { id: 0, source: ext("https://site.com/app.js"), inclusion: InclusionKind::Direct },
-            ScriptNode { id: 1, source: ext("https://gtm.com/gtm.js"), inclusion: InclusionKind::Direct },
-            ScriptNode { id: 2, source: ext("https://ga.com/a.js"), inclusion: InclusionKind::InjectedBy(1) },
-            ScriptNode { id: 3, source: ext("https://dc.net/px.js"), inclusion: InclusionKind::InjectedBy(2) },
+            ScriptNode {
+                id: 0,
+                source: ext("https://site.com/app.js"),
+                inclusion: InclusionKind::Direct,
+            },
+            ScriptNode {
+                id: 1,
+                source: ext("https://gtm.com/gtm.js"),
+                inclusion: InclusionKind::Direct,
+            },
+            ScriptNode {
+                id: 2,
+                source: ext("https://ga.com/a.js"),
+                inclusion: InclusionKind::InjectedBy(1),
+            },
+            ScriptNode {
+                id: 3,
+                source: ext("https://dc.net/px.js"),
+                inclusion: InclusionKind::InjectedBy(2),
+            },
         ];
         assert_eq!(inclusion_chain(&scripts, 3), vec![1, 2, 3]);
         assert_eq!(inclusion_depth(&scripts, 3), 2);
@@ -131,8 +150,16 @@ mod tests {
     fn cycle_guard_terminates() {
         // Corrupt input: 0 injected by 1, 1 injected by 0.
         let scripts = vec![
-            ScriptNode { id: 0, source: ScriptSource::Inline, inclusion: InclusionKind::InjectedBy(1) },
-            ScriptNode { id: 1, source: ScriptSource::Inline, inclusion: InclusionKind::InjectedBy(0) },
+            ScriptNode {
+                id: 0,
+                source: ScriptSource::Inline,
+                inclusion: InclusionKind::InjectedBy(1),
+            },
+            ScriptNode {
+                id: 1,
+                source: ScriptSource::Inline,
+                inclusion: InclusionKind::InjectedBy(0),
+            },
         ];
         // Must terminate; exact content unimportant.
         let chain = inclusion_chain(&scripts, 0);

@@ -98,14 +98,19 @@ impl DomGuardConfig {
     /// mostly touch style/attributes).
     pub fn content_and_removal() -> DomGuardConfig {
         DomGuardConfig {
-            enforced_kinds: [MutationKind::Content, MutationKind::Remove].into_iter().collect(),
+            enforced_kinds: [MutationKind::Content, MutationKind::Remove]
+                .into_iter()
+                .collect(),
             ..DomGuardConfig::strict()
         }
     }
 
     /// Relaxed inline handling.
     pub fn relaxed() -> DomGuardConfig {
-        DomGuardConfig { inline_policy: InlinePolicy::Relaxed, ..DomGuardConfig::strict() }
+        DomGuardConfig {
+            inline_policy: InlinePolicy::Relaxed,
+            ..DomGuardConfig::strict()
+        }
     }
 
     /// Enables entity grouping with the given map.
@@ -149,7 +154,11 @@ pub struct DomGuard {
 impl DomGuard {
     /// Creates a guard for a visit to `site_domain` under `config`.
     pub fn new(config: DomGuardConfig, site_domain: &str) -> DomGuard {
-        DomGuard { config, site_domain: site_domain.to_ascii_lowercase(), stats: DomGuardStats::default() }
+        DomGuard {
+            config,
+            site_domain: site_domain.to_ascii_lowercase(),
+            stats: DomGuardStats::default(),
+        }
     }
 
     /// The guarded site.
@@ -166,7 +175,12 @@ impl DomGuard {
     /// by `owner_domain` and updates the counters. The decision mirrors
     /// CookieGuard's cookie policy with element ownership in the role of
     /// cookie creatorship.
-    pub fn authorize(&mut self, caller: &Caller, owner_domain: &str, kind: MutationKind) -> AccessDecision {
+    pub fn authorize(
+        &mut self,
+        caller: &Caller,
+        owner_domain: &str,
+        kind: MutationKind,
+    ) -> AccessDecision {
         if !self.config.enforced_kinds.contains(&kind) {
             self.stats.unenforced += 1;
             return AccessDecision::Allow(AllowReason::NewCookie);
@@ -194,7 +208,7 @@ impl DomGuard {
                     }
                     InlinePolicy::Strict => AccessDecision::Block(BlockReason::InlineStrict),
                     InlinePolicy::Relaxed => AccessDecision::Allow(AllowReason::RelaxedInline),
-                }
+                };
             }
         };
         if caller_domain == self.site_domain {
@@ -207,7 +221,10 @@ impl DomGuard {
             return AccessDecision::Allow(AllowReason::Creator);
         }
         if let Some(map) = &self.config.entity_map {
-            if map.contains(&caller_domain) && map.contains(&owner) && map.same_entity(&caller_domain, &owner) {
+            if map.contains(&caller_domain)
+                && map.contains(&owner)
+                && map.same_entity(&caller_domain, &owner)
+            {
                 return AccessDecision::Allow(AllowReason::SameEntity);
             }
         }
@@ -237,7 +254,11 @@ mod tests {
     #[test]
     fn own_elements_freely_mutable() {
         let mut g = guard();
-        let d = g.authorize(&Caller::external("widget.io"), "widget.io", MutationKind::Content);
+        let d = g.authorize(
+            &Caller::external("widget.io"),
+            "widget.io",
+            MutationKind::Content,
+        );
         assert_eq!(d, AccessDecision::Allow(AllowReason::Creator));
         assert_eq!(g.stats().allowed, 1);
     }
@@ -245,7 +266,11 @@ mod tests {
     #[test]
     fn cross_domain_mutation_blocked() {
         let mut g = guard();
-        let d = g.authorize(&Caller::external("ads.net"), "site.com", MutationKind::Content);
+        let d = g.authorize(
+            &Caller::external("ads.net"),
+            "site.com",
+            MutationKind::Content,
+        );
         assert_eq!(d, AccessDecision::Block(BlockReason::CrossDomain));
         assert_eq!(g.stats().blocked, 1);
     }
@@ -253,8 +278,15 @@ mod tests {
     #[test]
     fn site_owner_mutates_everything() {
         let mut g = guard();
-        for kind in [MutationKind::Content, MutationKind::Style, MutationKind::Attribute, MutationKind::Remove] {
-            assert!(g.authorize(&Caller::external("site.com"), "tracker.com", kind).is_allow());
+        for kind in [
+            MutationKind::Content,
+            MutationKind::Style,
+            MutationKind::Attribute,
+            MutationKind::Remove,
+        ] {
+            assert!(g
+                .authorize(&Caller::external("site.com"), "tracker.com", kind)
+                .is_allow());
         }
         assert_eq!(g.stats().allowed, 4);
     }
@@ -262,15 +294,23 @@ mod tests {
     #[test]
     fn inline_strict_owns_inline_nodes_only() {
         let mut g = guard();
-        assert!(g.authorize(&Caller::inline(), "<inline>", MutationKind::Style).is_allow());
-        assert!(!g.authorize(&Caller::inline(), "site.com", MutationKind::Style).is_allow());
-        assert!(!g.authorize(&Caller::inline(), "ads.net", MutationKind::Style).is_allow());
+        assert!(g
+            .authorize(&Caller::inline(), "<inline>", MutationKind::Style)
+            .is_allow());
+        assert!(!g
+            .authorize(&Caller::inline(), "site.com", MutationKind::Style)
+            .is_allow());
+        assert!(!g
+            .authorize(&Caller::inline(), "ads.net", MutationKind::Style)
+            .is_allow());
     }
 
     #[test]
     fn inline_relaxed_acts_as_first_party() {
         let mut g = DomGuard::new(DomGuardConfig::relaxed(), "site.com");
-        assert!(g.authorize(&Caller::inline(), "ads.net", MutationKind::Content).is_allow());
+        assert!(g
+            .authorize(&Caller::inline(), "ads.net", MutationKind::Content)
+            .is_allow());
     }
 
     #[test]
@@ -279,29 +319,68 @@ mod tests {
             DomGuardConfig::strict().with_entity_grouping(cg_entity::builtin_entity_map()),
             "site.com",
         );
-        assert!(g.authorize(&Caller::external("fbcdn.net"), "facebook.net", MutationKind::Content).is_allow());
-        assert!(!g.authorize(&Caller::external("criteo.com"), "facebook.net", MutationKind::Content).is_allow());
+        assert!(g
+            .authorize(
+                &Caller::external("fbcdn.net"),
+                "facebook.net",
+                MutationKind::Content
+            )
+            .is_allow());
+        assert!(!g
+            .authorize(
+                &Caller::external("criteo.com"),
+                "facebook.net",
+                MutationKind::Content
+            )
+            .is_allow());
     }
 
     #[test]
     fn whitelist_grants_full_access() {
-        let mut g = DomGuard::new(DomGuardConfig::strict().with_whitelisted("optimize.io"), "site.com");
-        assert!(g.authorize(&Caller::external("optimize.io"), "site.com", MutationKind::Content).is_allow());
+        let mut g = DomGuard::new(
+            DomGuardConfig::strict().with_whitelisted("optimize.io"),
+            "site.com",
+        );
+        assert!(g
+            .authorize(
+                &Caller::external("optimize.io"),
+                "site.com",
+                MutationKind::Content
+            )
+            .is_allow());
     }
 
     #[test]
     fn unenforced_kinds_pass_and_are_counted() {
         let mut g = DomGuard::new(DomGuardConfig::content_and_removal(), "site.com");
-        assert!(g.authorize(&Caller::external("abtest.io"), "site.com", MutationKind::Style).is_allow());
+        assert!(g
+            .authorize(
+                &Caller::external("abtest.io"),
+                "site.com",
+                MutationKind::Style
+            )
+            .is_allow());
         assert_eq!(g.stats().unenforced, 1);
-        assert!(!g.authorize(&Caller::external("abtest.io"), "site.com", MutationKind::Content).is_allow());
+        assert!(!g
+            .authorize(
+                &Caller::external("abtest.io"),
+                "site.com",
+                MutationKind::Content
+            )
+            .is_allow());
         assert_eq!(g.stats().blocked, 1);
     }
 
     #[test]
     fn mutation_kind_mapping() {
-        assert_eq!(mutation_kind_of(cg_dom::ElementMutation::Content), Some(MutationKind::Content));
-        assert_eq!(mutation_kind_of(cg_dom::ElementMutation::Remove), Some(MutationKind::Remove));
+        assert_eq!(
+            mutation_kind_of(cg_dom::ElementMutation::Content),
+            Some(MutationKind::Content)
+        );
+        assert_eq!(
+            mutation_kind_of(cg_dom::ElementMutation::Remove),
+            Some(MutationKind::Remove)
+        );
         assert_eq!(mutation_kind_of(cg_dom::ElementMutation::Insert), None);
     }
 }

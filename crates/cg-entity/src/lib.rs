@@ -42,7 +42,10 @@ mod tests {
     #[test]
     fn unknown_domains_fall_back_to_themselves() {
         let map = builtin_entity_map();
-        assert_eq!(map.entity_of("totally-unknown.example"), "totally-unknown.example");
+        assert_eq!(
+            map.entity_of("totally-unknown.example"),
+            "totally-unknown.example"
+        );
         assert!(map.same_entity("totally-unknown.example", "totally-unknown.example"));
         assert!(!map.same_entity("totally-unknown.example", "other-unknown.example"));
     }

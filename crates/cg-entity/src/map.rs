@@ -27,12 +27,18 @@ impl EntityMap {
     /// domain moves it to the new entity.
     pub fn insert(&mut self, domain: &str, entity: &str) {
         let domain = domain.to_ascii_lowercase();
-        if let Some(old) = self.domain_to_entity.insert(domain.clone(), entity.to_string()) {
+        if let Some(old) = self
+            .domain_to_entity
+            .insert(domain.clone(), entity.to_string())
+        {
             if let Some(list) = self.entity_to_domains.get_mut(&old) {
                 list.retain(|d| d != &domain);
             }
         }
-        self.entity_to_domains.entry(entity.to_string()).or_default().push(domain);
+        self.entity_to_domains
+            .entry(entity.to_string())
+            .or_default()
+            .push(domain);
     }
 
     /// The entity owning `domain`, or the domain itself when unknown.
@@ -48,12 +54,16 @@ impl EntityMap {
 
     /// All domains registered for `entity` (empty for unknown entities).
     pub fn domains_of(&self, entity: &str) -> &[String] {
-        self.entity_to_domains.get(entity).map(Vec::as_slice).unwrap_or(&[])
+        self.entity_to_domains
+            .get(entity)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Whether `domain` is present in the map.
     pub fn contains(&self, domain: &str) -> bool {
-        self.domain_to_entity.contains_key(&domain.to_ascii_lowercase())
+        self.domain_to_entity
+            .contains_key(&domain.to_ascii_lowercase())
     }
 
     /// Number of registered domains.

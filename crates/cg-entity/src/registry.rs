@@ -11,27 +11,90 @@ use crate::map::EntityMap;
 /// case studies of §5.4–§5.5, with each organization's well-known script
 /// and CDN domains.
 pub const ENTITY_SEED: &[(&str, &[&str])] = &[
-    ("Google", &[
-        "google.com", "googletagmanager.com", "google-analytics.com", "doubleclick.net",
-        "googlesyndication.com", "googleadservices.com", "gstatic.com", "googleapis.com",
-        "youtube.com", "ggpht.com", "googleusercontent.com", "accounts-google.com",
-    ]),
-    ("Meta", &["facebook.com", "facebook.net", "fbcdn.net", "instagram.com", "meta.com"]),
-    ("Microsoft", &[
-        "microsoft.com", "live.com", "bing.com", "msn.com", "azureedge.net", "clarity.ms",
-        "linkedin.com", "licdn.com", "msauth.net",
-    ]),
-    ("Amazon", &["amazon.com", "amazon-adsystem.com", "media-amazon.com", "awsstatic.com"]),
-    ("Criteo", &["criteo.com", "criteo.net", "emailretargeting.com"]),
+    (
+        "Google",
+        &[
+            "google.com",
+            "googletagmanager.com",
+            "google-analytics.com",
+            "doubleclick.net",
+            "googlesyndication.com",
+            "googleadservices.com",
+            "gstatic.com",
+            "googleapis.com",
+            "youtube.com",
+            "ggpht.com",
+            "googleusercontent.com",
+            "accounts-google.com",
+        ],
+    ),
+    (
+        "Meta",
+        &[
+            "facebook.com",
+            "facebook.net",
+            "fbcdn.net",
+            "instagram.com",
+            "meta.com",
+        ],
+    ),
+    (
+        "Microsoft",
+        &[
+            "microsoft.com",
+            "live.com",
+            "bing.com",
+            "msn.com",
+            "azureedge.net",
+            "clarity.ms",
+            "linkedin.com",
+            "licdn.com",
+            "msauth.net",
+        ],
+    ),
+    (
+        "Amazon",
+        &[
+            "amazon.com",
+            "amazon-adsystem.com",
+            "media-amazon.com",
+            "awsstatic.com",
+        ],
+    ),
+    (
+        "Criteo",
+        &["criteo.com", "criteo.net", "emailretargeting.com"],
+    ),
     ("PubMatic", &["pubmatic.com"]),
     ("OpenX", &["openx.net"]),
-    ("HubSpot", &[
-        "hubspot.com", "hsforms.net", "hscollectedforms.net", "hsleadflows.net",
-        "usemessages.com", "hs-scripts.com", "hs-analytics.net", "hubapi.com",
-    ]),
-    ("Yandex", &["yandex.ru", "yandex.net", "mc-yandex.ru", "ymetrica.com"]),
+    (
+        "HubSpot",
+        &[
+            "hubspot.com",
+            "hsforms.net",
+            "hscollectedforms.net",
+            "hsleadflows.net",
+            "usemessages.com",
+            "hs-scripts.com",
+            "hs-analytics.net",
+            "hubapi.com",
+        ],
+    ),
+    (
+        "Yandex",
+        &["yandex.ru", "yandex.net", "mc-yandex.ru", "ymetrica.com"],
+    ),
     ("Pinterest", &["pinterest.com", "pinimg.com"]),
-    ("Adobe", &["adobe.com", "adobedtm.com", "omtrdc.net", "demdex.net", "everesttech.net"]),
+    (
+        "Adobe",
+        &[
+            "adobe.com",
+            "adobedtm.com",
+            "omtrdc.net",
+            "demdex.net",
+            "everesttech.net",
+        ],
+    ),
     ("Taboola", &["taboola.com", "taboolanews.com"]),
     ("Outbrain", &["outbrain.com", "outbrainimg.com"]),
     ("AdThrive", &["adthrive.com"]),
@@ -39,22 +102,52 @@ pub const ENTITY_SEED: &[(&str, &[&str])] = &[
     ("LiveIntent", &["liadm.com", "liveintent.com"]),
     ("Lotame", &["crwdcntrl.net", "lotame.com"]),
     ("Osano", &["osano.com"]),
-    ("OneTrust", &["cookielaw.org", "onetrust.com", "cookiepro.com"]),
+    (
+        "OneTrust",
+        &["cookielaw.org", "onetrust.com", "cookiepro.com"],
+    ),
     ("CookieYes", &["cdn-cookieyes.com", "cookieyes.com"]),
     ("Cookie-Script", &["cookie-script.com"]),
     ("Cookiebot", &["cookiebot.com", "cybotcookiebot.com"]),
     ("Civic Computing", &["civiccomputing.com"]),
     ("Tealium", &["tiqcdn.com", "tealiumiq.com", "tealium.com"]),
-    ("Segment.io", &["segment.com", "segment.io", "cdn-segment.com"]),
+    (
+        "Segment.io",
+        &["segment.com", "segment.io", "cdn-segment.com"],
+    ),
     ("Functional Software", &["sentry-cdn.com", "sentry.io"]),
     ("Marketo", &["marketo.net", "marketo.com", "mktoresp.com"]),
-    ("Salesforce.com", &["salesforce.com", "pardot.com", "force.com", "krxd.net"]),
+    (
+        "Salesforce.com",
+        &["salesforce.com", "pardot.com", "force.com", "krxd.net"],
+    ),
     ("Snap", &["snapchat.com", "sc-static.net", "snap-dev.net"]),
-    ("TikTok", &["tiktok.com", "tiktokcdn.com", "analytics-tiktok.com"]),
-    ("X", &["x.com", "twitter.com", "twimg.com", "ads-twitter.com"]),
-    ("Shopify", &["shopify.com", "shopifycloud.com", "shopifycdn.com", "myshopify.com"]),
+    (
+        "TikTok",
+        &["tiktok.com", "tiktokcdn.com", "analytics-tiktok.com"],
+    ),
+    (
+        "X",
+        &["x.com", "twitter.com", "twimg.com", "ads-twitter.com"],
+    ),
+    (
+        "Shopify",
+        &[
+            "shopify.com",
+            "shopifycloud.com",
+            "shopifycdn.com",
+            "myshopify.com",
+        ],
+    ),
     ("Admiral", &["getadmiral.com", "admiral-cdn.com"]),
-    ("Cloudflare", &["cloudflare.com", "cdnjs-cloudflare.com", "cloudflareinsights.com"]),
+    (
+        "Cloudflare",
+        &[
+            "cloudflare.com",
+            "cdnjs-cloudflare.com",
+            "cloudflareinsights.com",
+        ],
+    ),
     ("Fastly", &["fastly.net"]),
     ("Akamai", &["akamaized.net", "akamai.net", "go-mpulse.net"]),
     ("Oracle", &["bluekai.com", "addthis.com", "moatads.com"]),
@@ -103,11 +196,17 @@ pub const ENTITY_SEED: &[(&str, &[&str])] = &[
     ("Prettylittlething", &["prettylittlething.com"]),
     ("WarnerMedia", &["cnn.com", "warnermedia.com", "turner.com"]),
     ("Zoom", &["zoom.us", "zoomgov.com"]),
-    ("Gatehouse Media", &["gatehousemedia.com", "gannett-cdn.com"]),
+    (
+        "Gatehouse Media",
+        &["gatehousemedia.com", "gannett-cdn.com"],
+    ),
     ("AddShoppers", &["addshoppers.com", "shop.pe"]),
     ("Attentive", &["attentivemobile.com", "attn.tv"]),
     ("Klaviyo", &["klaviyo.com"]),
-    ("Mailchimp", &["mailchimp.com", "list-manage.com", "chimpstatic.com"]),
+    (
+        "Mailchimp",
+        &["mailchimp.com", "list-manage.com", "chimpstatic.com"],
+    ),
     ("Braze", &["braze.com", "appboycdn.com"]),
     ("OptiMonk", &["optimonk.com"]),
 ];
@@ -142,9 +241,18 @@ mod tests {
         let map = builtin_entity_map();
         // Every owner domain from Table 2 must be attributable to an entity.
         for d in [
-            "googletagmanager.com", "google-analytics.com", "openx.net", "pubmatic.com",
-            "facebook.net", "marketo.net", "yandex.ru", "crwdcntrl.net", "ketchjs.com",
-            "yimg.jp", "gaconnector.com", "statcounter.com",
+            "googletagmanager.com",
+            "google-analytics.com",
+            "openx.net",
+            "pubmatic.com",
+            "facebook.net",
+            "marketo.net",
+            "yandex.ru",
+            "crwdcntrl.net",
+            "ketchjs.com",
+            "yimg.jp",
+            "gaconnector.com",
+            "statcounter.com",
         ] {
             assert!(map.contains(d), "missing {d}");
         }

@@ -34,21 +34,31 @@ pub struct AblationRow {
 
 /// Runs all variants over the same site range.
 pub fn run_ablation(opts: &ExperimentOptions) -> Vec<AblationRow> {
-    let cfg = if opts.sites >= 20_000 { GenConfig::default() } else { GenConfig::small(opts.sites) };
+    let cfg = if opts.sites >= 20_000 {
+        GenConfig::default()
+    } else {
+        GenConfig::small(opts.sites)
+    };
     let gen = WebGenerator::new(cfg, opts.seed);
     let entities = cg_entity::builtin_entity_map();
 
     let variants: Vec<(&str, VisitConfig)> = vec![
         ("no guard", VisitConfig::regular()),
         ("strict", VisitConfig::guarded(GuardConfig::strict())),
-        ("relaxed inline", VisitConfig::guarded(GuardConfig::relaxed())),
+        (
+            "relaxed inline",
+            VisitConfig::guarded(GuardConfig::relaxed()),
+        ),
         (
             "strict + entity grouping",
             VisitConfig::guarded(GuardConfig::strict().with_entity_grouping(entities.clone())),
         ),
         (
             "strict + DNS uncloaking",
-            VisitConfig { resolve_cnames: true, ..VisitConfig::guarded(GuardConfig::strict()) },
+            VisitConfig {
+                resolve_cnames: true,
+                ..VisitConfig::guarded(GuardConfig::strict())
+            },
         ),
     ];
 
@@ -87,7 +97,11 @@ pub fn run_ablation(opts: &ExperimentOptions) -> Vec<AblationRow> {
     for r in &rows {
         println!(
             "  {:<28} {:>10.1} {:>11.1} {:>9.1} {:>14.1}",
-            r.variant, r.exfil_sites_pct, r.overwrite_sites_pct, r.delete_sites_pct, r.probe_failure_sites_pct
+            r.variant,
+            r.exfil_sites_pct,
+            r.overwrite_sites_pct,
+            r.delete_sites_pct,
+            r.probe_failure_sites_pct
         );
     }
     rows
@@ -99,8 +113,17 @@ mod tests {
 
     #[test]
     fn ablation_orders_protection_and_compat() {
-        let rows = run_ablation(&ExperimentOptions { sites: 150, seed: 0xC00C1E, threads: 2 });
-        let get = |name: &str| rows.iter().find(|r| r.variant.contains(name)).unwrap().clone();
+        let rows = run_ablation(&ExperimentOptions {
+            sites: 150,
+            seed: 0xC00C1E,
+            threads: 2,
+        });
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.variant.contains(name))
+                .unwrap()
+                .clone()
+        };
         let baseline = get("no guard");
         let strict = get("strict");
         let grouped = get("entity grouping");

@@ -6,15 +6,19 @@
 use crate::context::ExperimentOptions;
 use crate::render::{header, measured};
 use cg_baselines::{
-    fidelity_study, run_csp_gap, run_defense_matrix, CspGapRow, Defense, DefenseRow,
-    EvasionConfig, FidelityStudy, ForestConfig, MatrixOptions, PartitioningModel,
+    fidelity_study, run_csp_gap, run_defense_matrix, CspGapRow, Defense, DefenseRow, EvasionConfig,
+    FidelityStudy, ForestConfig, MatrixOptions, PartitioningModel,
 };
 use cg_webgen::{GenConfig, WebGenerator};
 use cookieguard_core::GuardConfig;
 use serde::Serialize;
 
 fn generator(opts: &ExperimentOptions) -> WebGenerator {
-    let cfg = if opts.sites >= 20_000 { GenConfig::default() } else { GenConfig::small(opts.sites) };
+    let cfg = if opts.sites >= 20_000 {
+        GenConfig::default()
+    } else {
+        GenConfig::small(opts.sites)
+    };
     WebGenerator::new(cfg, opts.seed)
 }
 
@@ -40,7 +44,10 @@ pub fn run_baselines(opts: &ExperimentOptions) -> BaselinesResult {
     let train_start = eval_end + 1;
     let train_end = opts.sites.max(train_start);
 
-    let matrix_opts = MatrixOptions { eval_ranks: 1..=eval_end, entities };
+    let matrix_opts = MatrixOptions {
+        eval_ranks: 1..=eval_end,
+        entities,
+    };
     let defenses = vec![
         Defense::Blocklist,
         Defense::BlocklistUnderEvasion(EvasionConfig::default()),
@@ -122,7 +129,10 @@ pub fn run_csp_gap_exp(opts: &ExperimentOptions) -> CspGapResult {
     for row in &rows {
         println!(
             "  {:<30} {:>14} {:>8.1} {:>10.1} {:>12}",
-            row.name, row.scripts_blocked, row.exfil_sites_pct, row.overwrite_sites_pct,
+            row.name,
+            row.scripts_blocked,
+            row.exfil_sites_pct,
+            row.overwrite_sites_pct,
             row.exfiltrated_pairs
         );
     }
@@ -131,7 +141,10 @@ pub fn run_csp_gap_exp(opts: &ExperimentOptions) -> CspGapResult {
         rows[2].exfil_sites_pct - rows[0].exfil_sites_pct,
         "",
     );
-    CspGapResult { sites: opts.sites, rows }
+    CspGapResult {
+        sites: opts.sites,
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -140,18 +153,30 @@ mod tests {
 
     #[test]
     fn baselines_experiment_runs_small() {
-        let opts = ExperimentOptions { sites: 80, seed: 0xC00C1E, threads: 2 };
+        let opts = ExperimentOptions {
+            sites: 80,
+            seed: 0xC00C1E,
+            threads: 2,
+        };
         let r = run_baselines(&opts);
         assert_eq!(r.eval_sites, 40);
         assert!(r.rows.len() >= 6);
-        let guard = r.rows.iter().find(|x| x.name == "cookieguard strict").unwrap();
+        let guard = r
+            .rows
+            .iter()
+            .find(|x| x.name == "cookieguard strict")
+            .unwrap();
         let none = &r.rows[0];
         assert!(guard.exfil_sites_pct < none.exfil_sites_pct);
     }
 
     #[test]
     fn csp_gap_experiment_runs_small() {
-        let opts = ExperimentOptions { sites: 60, seed: 0xC00C1E, threads: 2 };
+        let opts = ExperimentOptions {
+            sites: 60,
+            seed: 0xC00C1E,
+            threads: 2,
+        };
         let r = run_csp_gap_exp(&opts);
         assert_eq!(r.rows.len(), 4);
         assert_eq!(r.rows[2].exfil_sites_pct, r.rows[0].exfil_sites_pct);

@@ -19,12 +19,18 @@ pub struct ExperimentOptions {
 
 impl Default for ExperimentOptions {
     fn default() -> ExperimentOptions {
-        ExperimentOptions { sites: 20_000, seed: 0xC00C1E, threads: num_threads() }
+        ExperimentOptions {
+            sites: 20_000,
+            seed: 0xC00C1E,
+            threads: num_threads(),
+        }
     }
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// The products of the §4 data-collection pipeline, shared by all §5
@@ -45,13 +51,24 @@ pub struct CrawlContext {
 impl CrawlContext {
     /// Generates the ecosystem and performs the regular (no-guard) crawl.
     pub fn collect(opts: &ExperimentOptions) -> CrawlContext {
-        let cfg = if opts.sites >= 20_000 { GenConfig::default() } else { GenConfig::small(opts.sites) };
+        let cfg = if opts.sites >= 20_000 {
+            GenConfig::default()
+        } else {
+            GenConfig::small(opts.sites)
+        };
         let gen = WebGenerator::new(cfg, opts.seed);
         let engine = cg_analysis::build_filter_engine(gen.registry());
         let entities = cg_entity::builtin_entity_map();
-        let (outcomes, summary) = crawl_range(&gen, &VisitConfig::regular(), 1, opts.sites, opts.threads);
+        let (outcomes, summary) =
+            crawl_range(&gen, &VisitConfig::regular(), 1, opts.sites, opts.threads);
         let dataset = Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect());
-        CrawlContext { gen, dataset, entities, engine, crawled: summary.visited }
+        CrawlContext {
+            gen,
+            dataset,
+            entities,
+            engine,
+            crawled: summary.visited,
+        }
     }
 }
 
@@ -61,7 +78,11 @@ mod tests {
 
     #[test]
     fn context_collects_small_crawl() {
-        let ctx = CrawlContext::collect(&ExperimentOptions { sites: 50, seed: 1, threads: 2 });
+        let ctx = CrawlContext::collect(&ExperimentOptions {
+            sites: 50,
+            seed: 1,
+            threads: 2,
+        });
         assert_eq!(ctx.crawled, 50);
         assert!(ctx.dataset.site_count() > 20);
         assert!(ctx.dataset.site_count() < 50);

@@ -38,7 +38,11 @@ impl Fig5Result {
 
 /// Runs the paired guarded/unguarded crawl behind Fig. 5.
 pub fn run_fig5(opts: &ExperimentOptions) -> Fig5Result {
-    let cfg = if opts.sites >= 20_000 { GenConfig::default() } else { GenConfig::small(opts.sites) };
+    let cfg = if opts.sites >= 20_000 {
+        GenConfig::default()
+    } else {
+        GenConfig::small(opts.sites)
+    };
     let gen = WebGenerator::new(cfg, opts.seed);
     let entities = cg_entity::builtin_entity_map();
 
@@ -75,9 +79,24 @@ pub fn run_fig5(opts: &ExperimentOptions) -> Fig5Result {
     bar("deleting    (guarded)", del1, max, 40);
     bar("exfiltration(regular)", ex0, max, 40);
     bar("exfiltration(guarded)", ex1, max, 40);
-    compare("overwriting reduction", exp::FIG5_REDUCTIONS.0, Fig5Result::reduction(result.overwriting), "%");
-    compare("deleting reduction", exp::FIG5_REDUCTIONS.1, Fig5Result::reduction(result.deleting), "%");
-    compare("exfiltration reduction", exp::FIG5_REDUCTIONS.2, Fig5Result::reduction(result.exfiltration), "%");
+    compare(
+        "overwriting reduction",
+        exp::FIG5_REDUCTIONS.0,
+        Fig5Result::reduction(result.overwriting),
+        "%",
+    );
+    compare(
+        "deleting reduction",
+        exp::FIG5_REDUCTIONS.1,
+        Fig5Result::reduction(result.deleting),
+        "%",
+    );
+    compare(
+        "exfiltration reduction",
+        exp::FIG5_REDUCTIONS.2,
+        Fig5Result::reduction(result.exfiltration),
+        "%",
+    );
     result
 }
 
@@ -93,7 +112,11 @@ pub struct Table3Result {
 /// Runs the Table 3 breakage evaluation over a 100-site sample of the
 /// top 10k (or the whole range when fewer sites exist).
 pub fn run_table3(opts: &ExperimentOptions) -> Table3Result {
-    let cfg = if opts.sites >= 20_000 { GenConfig::default() } else { GenConfig::small(opts.sites) };
+    let cfg = if opts.sites >= 20_000 {
+        GenConfig::default()
+    } else {
+        GenConfig::small(opts.sites)
+    };
     let gen = WebGenerator::new(cfg, opts.seed);
     // The paper samples 100 random sites from the top 10k; we take a
     // deterministic stratified sample: every k-th site of the top half.
@@ -120,15 +143,56 @@ pub fn run_table3(opts: &ExperimentOptions) -> Table3Result {
     let grouped = eval(GuardConfig::strict().with_entity_grouping(cg_entity::builtin_entity_map()));
 
     header("Table 3: breakage on the 100-site sample (strict)");
-    compare("SSO minor", exp::T3_SSO.0, strict.minor_pct(BreakageCategory::Sso), "%");
-    compare("SSO major", exp::T3_SSO.1, strict.major_pct(BreakageCategory::Sso), "%");
-    compare("functionality minor", exp::T3_FUNC.0, strict.minor_pct(BreakageCategory::Functionality), "%");
-    compare("functionality major", exp::T3_FUNC.1, strict.major_pct(BreakageCategory::Functionality), "%");
-    compare("navigation (any)", 0.0, strict.major_pct(BreakageCategory::Navigation) + strict.minor_pct(BreakageCategory::Navigation), "%");
-    compare("appearance (any)", 0.0, strict.major_pct(BreakageCategory::Appearance) + strict.minor_pct(BreakageCategory::Appearance), "%");
+    compare(
+        "SSO minor",
+        exp::T3_SSO.0,
+        strict.minor_pct(BreakageCategory::Sso),
+        "%",
+    );
+    compare(
+        "SSO major",
+        exp::T3_SSO.1,
+        strict.major_pct(BreakageCategory::Sso),
+        "%",
+    );
+    compare(
+        "functionality minor",
+        exp::T3_FUNC.0,
+        strict.minor_pct(BreakageCategory::Functionality),
+        "%",
+    );
+    compare(
+        "functionality major",
+        exp::T3_FUNC.1,
+        strict.major_pct(BreakageCategory::Functionality),
+        "%",
+    );
+    compare(
+        "navigation (any)",
+        0.0,
+        strict.major_pct(BreakageCategory::Navigation)
+            + strict.minor_pct(BreakageCategory::Navigation),
+        "%",
+    );
+    compare(
+        "appearance (any)",
+        0.0,
+        strict.major_pct(BreakageCategory::Appearance)
+            + strict.minor_pct(BreakageCategory::Appearance),
+        "%",
+    );
     header("Table 3 (with entity grouping)");
-    compare("SSO major after grouping", exp::T3_GROUPED_TOTAL, grouped.major_pct(BreakageCategory::Sso), "%");
-    measured("any breakage after grouping", grouped.any_breakage_pct(), "%");
+    compare(
+        "SSO major after grouping",
+        exp::T3_GROUPED_TOTAL,
+        grouped.major_pct(BreakageCategory::Sso),
+        "%",
+    );
+    measured(
+        "any breakage after grouping",
+        grouped.any_breakage_pct(),
+        "%",
+    );
 
     Table3Result { strict, grouped }
 }
@@ -145,7 +209,11 @@ pub struct PerfResult {
 /// Runs the §7.3 performance experiments on the top `sites/2` sites
 /// (the paper uses the top 10k of 20k).
 pub fn run_table4_and_figs(opts: &ExperimentOptions, which: &[&str]) -> PerfResult {
-    let cfg = if opts.sites >= 20_000 { GenConfig::default() } else { GenConfig::small(opts.sites) };
+    let cfg = if opts.sites >= 20_000 {
+        GenConfig::default()
+    } else {
+        GenConfig::small(opts.sites)
+    };
     let gen = WebGenerator::new(cfg, opts.seed);
     let top = (opts.sites / 2).max(1);
     let report = run_paired_measurement(&gen, &GuardConfig::strict(), 1, top, opts.threads);
@@ -154,25 +222,93 @@ pub fn run_table4_and_figs(opts: &ExperimentOptions, which: &[&str]) -> PerfResu
 
     if wants("table4") {
         header("Table 4: performance (mean ms, median ms)");
-        compare_count("valid paired sites", exp::T4_VALID_PAIRS, report.valid_pairs);
-        compare("DCL mean (no ext)", exp::T4_DCL.0 .0, report.dcl.0.mean_ms, "ms");
-        compare("DCL median (no ext)", exp::T4_DCL.0 .1, report.dcl.0.median_ms, "ms");
-        compare("DCL mean (CookieGuard)", exp::T4_DCL.1 .0, report.dcl.1.mean_ms, "ms");
-        compare("DCL median (CookieGuard)", exp::T4_DCL.1 .1, report.dcl.1.median_ms, "ms");
-        compare("DI mean (no ext)", exp::T4_DI.0 .0, report.di.0.mean_ms, "ms");
-        compare("DI median (no ext)", exp::T4_DI.0 .1, report.di.0.median_ms, "ms");
-        compare("DI mean (CookieGuard)", exp::T4_DI.1 .0, report.di.1.mean_ms, "ms");
-        compare("DI median (CookieGuard)", exp::T4_DI.1 .1, report.di.1.median_ms, "ms");
-        compare("Load mean (no ext)", exp::T4_LOAD.0 .0, report.load.0.mean_ms, "ms");
-        compare("Load median (no ext)", exp::T4_LOAD.0 .1, report.load.0.median_ms, "ms");
-        compare("Load mean (CookieGuard)", exp::T4_LOAD.1 .0, report.load.1.mean_ms, "ms");
-        compare("Load median (CookieGuard)", exp::T4_LOAD.1 .1, report.load.1.median_ms, "ms");
+        compare_count(
+            "valid paired sites",
+            exp::T4_VALID_PAIRS,
+            report.valid_pairs,
+        );
+        compare(
+            "DCL mean (no ext)",
+            exp::T4_DCL.0 .0,
+            report.dcl.0.mean_ms,
+            "ms",
+        );
+        compare(
+            "DCL median (no ext)",
+            exp::T4_DCL.0 .1,
+            report.dcl.0.median_ms,
+            "ms",
+        );
+        compare(
+            "DCL mean (CookieGuard)",
+            exp::T4_DCL.1 .0,
+            report.dcl.1.mean_ms,
+            "ms",
+        );
+        compare(
+            "DCL median (CookieGuard)",
+            exp::T4_DCL.1 .1,
+            report.dcl.1.median_ms,
+            "ms",
+        );
+        compare(
+            "DI mean (no ext)",
+            exp::T4_DI.0 .0,
+            report.di.0.mean_ms,
+            "ms",
+        );
+        compare(
+            "DI median (no ext)",
+            exp::T4_DI.0 .1,
+            report.di.0.median_ms,
+            "ms",
+        );
+        compare(
+            "DI mean (CookieGuard)",
+            exp::T4_DI.1 .0,
+            report.di.1.mean_ms,
+            "ms",
+        );
+        compare(
+            "DI median (CookieGuard)",
+            exp::T4_DI.1 .1,
+            report.di.1.median_ms,
+            "ms",
+        );
+        compare(
+            "Load mean (no ext)",
+            exp::T4_LOAD.0 .0,
+            report.load.0.mean_ms,
+            "ms",
+        );
+        compare(
+            "Load median (no ext)",
+            exp::T4_LOAD.0 .1,
+            report.load.0.median_ms,
+            "ms",
+        );
+        compare(
+            "Load mean (CookieGuard)",
+            exp::T4_LOAD.1 .0,
+            report.load.1.mean_ms,
+            "ms",
+        );
+        compare(
+            "Load median (CookieGuard)",
+            exp::T4_LOAD.1 .1,
+            report.load.1.median_ms,
+            "ms",
+        );
         compare("average added latency", 300.0, report.mean_added_ms(), "ms");
     }
 
     let mut boxes = Vec::new();
     for (name, selector) in [
-        ("dom_content_loaded", (|t: &cg_browser::PageTiming| t.dom_content_loaded_ms) as fn(&cg_browser::PageTiming) -> f64),
+        (
+            "dom_content_loaded",
+            (|t: &cg_browser::PageTiming| t.dom_content_loaded_ms)
+                as fn(&cg_browser::PageTiming) -> f64,
+        ),
         ("dom_interactive", |t| t.dom_interactive_ms),
         ("load_event_time", |t| t.load_event_ms),
     ] {
@@ -194,10 +330,29 @@ pub fn run_table4_and_figs(opts: &ExperimentOptions, which: &[&str]) -> PerfResu
 
     if wants("fig7") || wants("fig10") {
         header("Figures 7 & 10: per-site overhead ratios (With / No)");
-        compare("DCL ratio median", exp::FIG7_MEDIANS.0, report.ratios.0.median, "×");
-        compare("DI ratio median", exp::FIG7_MEDIANS.1, report.ratios.1.median, "×");
-        compare("Load ratio median", exp::FIG7_MEDIANS.2, report.ratios.2.median, "×");
-        for (name, r) in [("dcl", report.ratios.0), ("di", report.ratios.1), ("load", report.ratios.2)] {
+        compare(
+            "DCL ratio median",
+            exp::FIG7_MEDIANS.0,
+            report.ratios.0.median,
+            "×",
+        );
+        compare(
+            "DI ratio median",
+            exp::FIG7_MEDIANS.1,
+            report.ratios.1.median,
+            "×",
+        );
+        compare(
+            "Load ratio median",
+            exp::FIG7_MEDIANS.2,
+            report.ratios.2.median,
+            "×",
+        );
+        for (name, r) in [
+            ("dcl", report.ratios.0),
+            ("di", report.ratios.1),
+            ("load", report.ratios.2),
+        ] {
             println!(
                 "  {:<12} q1 {:>6.3}  median {:>6.3}  q3 {:>6.3}  max {:>8.1}",
                 name, r.q1, r.median, r.q3, r.max
@@ -213,15 +368,27 @@ mod tests {
     use super::*;
 
     fn opts(n: usize) -> ExperimentOptions {
-        ExperimentOptions { sites: n, seed: 0xC00C1E, threads: 2 }
+        ExperimentOptions {
+            sites: n,
+            seed: 0xC00C1E,
+            threads: 2,
+        }
     }
 
     #[test]
     fn fig5_guard_reduces_all_three_actions() {
         let r = run_fig5(&opts(240));
-        assert!(r.overwriting.1 < r.overwriting.0, "overwrite {:?}", r.overwriting);
+        assert!(
+            r.overwriting.1 < r.overwriting.0,
+            "overwrite {:?}",
+            r.overwriting
+        );
         assert!(r.deleting.1 <= r.deleting.0, "delete {:?}", r.deleting);
-        assert!(r.exfiltration.1 < r.exfiltration.0, "exfil {:?}", r.exfiltration);
+        assert!(
+            r.exfiltration.1 < r.exfiltration.0,
+            "exfil {:?}",
+            r.exfiltration
+        );
         // Substantial but not total reduction (site-owner bypass remains).
         let red = Fig5Result::reduction(r.exfiltration);
         assert!(red > 40.0, "exfil reduction {red}");

@@ -16,7 +16,11 @@ use cookieguard_core::{DeploymentStage, GuardConfig, PrivacyPreset};
 use serde::Serialize;
 
 fn generator(opts: &ExperimentOptions) -> WebGenerator {
-    let cfg = if opts.sites >= 20_000 { GenConfig::default() } else { GenConfig::small(opts.sites) };
+    let cfg = if opts.sites >= 20_000 {
+        GenConfig::default()
+    } else {
+        GenConfig::small(opts.sites)
+    };
     WebGenerator::new(cfg, opts.seed)
 }
 
@@ -73,7 +77,8 @@ pub fn run_sec5_7(opts: &ExperimentOptions) -> Sec57Result {
         }
         let ds = dataset_of(outcomes);
         let exfil = detect_exfiltration(&ds, &entities);
-        let client_pct = 100.0 * exfil.sites_with_cross_exfil_doc.len() as f64 / ds.site_count().max(1) as f64;
+        let client_pct =
+            100.0 * exfil.sites_with_cross_exfil_doc.len() as f64 / ds.site_count().max(1) as f64;
         let server = detect_server_side(&ds, &forwards);
         (sst, client_pct, server)
     };
@@ -84,8 +89,14 @@ pub fn run_sec5_7(opts: &ExperimentOptions) -> Sec57Result {
     let result = Sec57Result {
         sites_with_sst: sst,
         client_exfil_pct: (client0, client1),
-        server_relay_pct: (server0.pct_sites_with_relay(), server1.pct_sites_with_relay()),
-        header_payload_requests: (server0.requests_with_header_payload, server1.requests_with_header_payload),
+        server_relay_pct: (
+            server0.pct_sites_with_relay(),
+            server1.pct_sites_with_relay(),
+        ),
+        header_payload_requests: (
+            server0.requests_with_header_payload,
+            server1.requests_with_header_payload,
+        ),
     };
 
     header("§5.7: server-side tracking vs CookieGuard (beyond-paper quantification)");
@@ -93,8 +104,18 @@ pub fn run_sec5_7(opts: &ExperimentOptions) -> Sec57Result {
     let max = client0.max(1.0);
     bar("client-side exfil (regular)", client0, max, 40);
     bar("client-side exfil (guarded)", client1, max, 40);
-    bar("server-side relay (regular)", result.server_relay_pct.0, max, 40);
-    bar("server-side relay (guarded)", result.server_relay_pct.1, max, 40);
+    bar(
+        "server-side relay (regular)",
+        result.server_relay_pct.0,
+        max,
+        40,
+    );
+    bar(
+        "server-side relay (guarded)",
+        result.server_relay_pct.1,
+        max,
+        40,
+    );
     let client_red = reduction(client0, client1);
     let server_red = reduction(result.server_relay_pct.0, result.server_relay_pct.1);
     measured("client-side exfil reduction", client_red, "%");
@@ -104,7 +125,9 @@ pub fn run_sec5_7(opts: &ExperimentOptions) -> Sec57Result {
         result.header_payload_requests.1 as f64,
         "requests",
     );
-    println!("  → the paper's §5.7 claim: proxying through first-party endpoints bypasses CookieGuard");
+    println!(
+        "  → the paper's §5.7 claim: proxying through first-party endpoints bypasses CookieGuard"
+    );
     result
 }
 
@@ -166,9 +189,18 @@ pub fn run_domguard(opts: &ExperimentOptions) -> DomGuardResult {
     };
 
     header("§8 DOM guard: cross-domain DOM mutation, unguarded vs DomGuard");
-    compare("pilot: sites with cross-domain DOM mutation", crate::expectations::DOM_PILOT_PCT, result.pilot_pct, "%");
+    compare(
+        "pilot: sites with cross-domain DOM mutation",
+        crate::expectations::DOM_PILOT_PCT,
+        result.pilot_pct,
+        "%",
+    );
     measured("under strict DomGuard", result.guarded_pct, "%");
-    measured("cross-domain mutations blocked", result.blocked_events as f64, "events");
+    measured(
+        "cross-domain mutations blocked",
+        result.blocked_events as f64,
+        "events",
+    );
     measured("sites fully protected", result.fully_protected_pct, "%");
     measured("under entity-grouped DomGuard", result.grouped_pct, "%");
     result
@@ -246,7 +278,8 @@ pub fn run_rollout(opts: &ExperimentOptions) -> RolloutResult {
     // Breakage per preset on a deterministic sample (same protocol as
     // Table 3, smaller default sample for the frontier).
     let sample_to = (opts.sites / 2).max(1);
-    let breakage = |guard: GuardConfig| evaluate_breakage(&gen, &guard, 1, sample_to.min(100), opts.threads);
+    let breakage =
+        |guard: GuardConfig| evaluate_breakage(&gen, &guard, 1, sample_to.min(100), opts.threads);
 
     let strict_breakage = breakage(GuardConfig::strict());
     let sso_major_strict = strict_breakage.major_pct(BreakageCategory::Sso);
@@ -293,7 +326,10 @@ pub fn run_rollout(opts: &ExperimentOptions) -> RolloutResult {
         visit_site_with_jar(&bp, &VisitConfig::regular(), seed, &mut jar);
         // Return visit, post-rollout, with and without grandfathering.
         let plain = VisitConfig::guarded(GuardConfig::strict());
-        let gf = VisitConfig { grandfather_preexisting: true, ..plain.clone() };
+        let gf = VisitConfig {
+            grandfather_preexisting: true,
+            ..plain.clone()
+        };
         let mut jar_a = jar.clone();
         let mut jar_b = jar;
         let without = visit_site_with_jar(&bp, &plain, seed, &mut jar_a);
@@ -302,7 +338,11 @@ pub fn run_rollout(opts: &ExperimentOptions) -> RolloutResult {
         filtered_with += with.guard_stats.map_or(0, |s| s.cookies_filtered);
         sites += 1;
     }
-    let grandfathering = GrandfatherRow { sites, filtered_without, filtered_with };
+    let grandfathering = GrandfatherRow {
+        sites,
+        filtered_without,
+        filtered_with,
+    };
 
     header("§8 deployment ladder (population-weighted)");
     for row in &stages {
@@ -322,10 +362,22 @@ pub fn run_rollout(opts: &ExperimentOptions) -> RolloutResult {
         );
     }
     header("§8 grandfathering (returning visitors)");
-    measured("cookies filtered without grandfathering", grandfathering.filtered_without as f64, "");
-    measured("cookies filtered with grandfathering", grandfathering.filtered_with as f64, "");
+    measured(
+        "cookies filtered without grandfathering",
+        grandfathering.filtered_without as f64,
+        "",
+    );
+    measured(
+        "cookies filtered with grandfathering",
+        grandfathering.filtered_with as f64,
+        "",
+    );
 
-    RolloutResult { stages, presets, grandfathering }
+    RolloutResult {
+        stages,
+        presets,
+        grandfathering,
+    }
 }
 
 #[cfg(test)]
@@ -333,7 +385,11 @@ mod tests {
     use super::*;
 
     fn opts(n: usize) -> ExperimentOptions {
-        ExperimentOptions { sites: n, seed: 0xC00C1E, threads: 2 }
+        ExperimentOptions {
+            sites: n,
+            seed: 0xC00C1E,
+            threads: 2,
+        }
     }
 
     #[test]
@@ -341,7 +397,11 @@ mod tests {
         let r = run_sec5_7(&opts(400));
         assert!(r.sites_with_sst > 5, "SST adopters {}", r.sites_with_sst);
         // Client-side exfiltration drops sharply under the guard…
-        assert!(r.client_exfil_pct.1 < r.client_exfil_pct.0 * 0.6, "{:?}", r.client_exfil_pct);
+        assert!(
+            r.client_exfil_pct.1 < r.client_exfil_pct.0 * 0.6,
+            "{:?}",
+            r.client_exfil_pct
+        );
         // …but the server-side relay barely moves (first-party collectors
         // are site-owned, and the Cookie header is outside the guard).
         assert!(
@@ -356,7 +416,12 @@ mod tests {
     fn domguard_blocks_pilot_signal() {
         let r = run_domguard(&opts(300));
         assert!(r.pilot_pct > 2.0, "pilot {}", r.pilot_pct);
-        assert!(r.guarded_pct < r.pilot_pct * 0.35, "guarded {} vs pilot {}", r.guarded_pct, r.pilot_pct);
+        assert!(
+            r.guarded_pct < r.pilot_pct * 0.35,
+            "guarded {} vs pilot {}",
+            r.guarded_pct,
+            r.pilot_pct
+        );
         assert!(r.blocked_events > 0);
         // Grouping admits same-entity mutations back, so it sits between.
         assert!(r.grouped_pct <= r.pilot_pct);

@@ -14,8 +14,8 @@ pub mod ablation;
 pub mod baselines;
 pub mod context;
 pub mod evaluation;
-pub mod extensions;
 pub mod expectations;
+pub mod extensions;
 pub mod measurement;
 pub mod render;
 

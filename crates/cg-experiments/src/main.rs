@@ -16,9 +16,36 @@ const MEASUREMENT_EXPERIMENTS: &[&str] = &[
     "sec8_dom",
 ];
 const EVALUATION_EXPERIMENTS: &[&str] = &[
-    "fig5", "table3", "table4", "fig6", "fig7", "fig9", "fig10", "ablation", "sec5_7", "domguard",
-    "rollout", "baselines", "csp",
+    "fig5",
+    "table3",
+    "table4",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig10",
+    "ablation",
+    "sec5_7",
+    "domguard",
+    "rollout",
+    "baselines",
+    "csp",
 ];
+
+/// Parses a numeric option value, exiting with a clear message instead
+/// of silently falling back to the default (a typo'd `--sites` must not
+/// quietly launch a full-size crawl).
+fn parse_numeric_arg<T: std::str::FromStr>(value: Option<&String>, flag: &str) -> T {
+    match value {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} requires a number, got {s:?}; see --help");
+            std::process::exit(2);
+        }),
+        None => {
+            eprintln!("{flag} requires a value; see --help");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,19 +58,22 @@ fn main() {
         match args[i].as_str() {
             "--exp" => {
                 i += 1;
-                exps = args.get(i).map(|s| s.split(',').map(str::to_string).collect()).unwrap_or_default();
+                exps = args
+                    .get(i)
+                    .map(|s| s.split(',').map(str::to_string).collect())
+                    .unwrap_or_default();
             }
             "--sites" => {
                 i += 1;
-                opts.sites = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(opts.sites);
+                opts.sites = parse_numeric_arg(args.get(i), "--sites");
             }
             "--seed" => {
                 i += 1;
-                opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(opts.seed);
+                opts.seed = parse_numeric_arg(args.get(i), "--seed");
             }
             "--threads" => {
                 i += 1;
-                opts.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(opts.threads);
+                opts.threads = parse_numeric_arg(args.get(i), "--threads");
             }
             "--json" => {
                 i += 1;
@@ -67,7 +97,10 @@ fn main() {
     let wants = |name: &str| all || wanted.contains(&name);
 
     for e in &wanted {
-        if *e != "all" && !MEASUREMENT_EXPERIMENTS.contains(e) && !EVALUATION_EXPERIMENTS.contains(e) {
+        if *e != "all"
+            && !MEASUREMENT_EXPERIMENTS.contains(e)
+            && !EVALUATION_EXPERIMENTS.contains(e)
+        {
             eprintln!("unknown experiment {e:?}; see --help");
             std::process::exit(2);
         }
@@ -81,7 +114,10 @@ fn main() {
     let mut json = serde_json::Map::new();
 
     if wants_measurement {
-        eprintln!("[crawl] generating ecosystem and crawling {} sites…", opts.sites);
+        eprintln!(
+            "[crawl] generating ecosystem and crawling {} sites…",
+            opts.sites
+        );
         let ctx = CrawlContext::collect(&opts);
         let results = run_measurement_experiments(&ctx, &wanted);
         let mut v = serde_json::to_value(&results).expect("serialize");
@@ -102,26 +138,38 @@ fn main() {
         // Not part of --exp all (it is 5 extra crawls); run explicitly.
         eprintln!("[ablation] five policy-variant crawls…");
         let rows = cg_experiments::run_ablation(&opts);
-        json.insert("ablation".into(), serde_json::to_value(&rows).expect("serialize"));
+        json.insert(
+            "ablation".into(),
+            serde_json::to_value(&rows).expect("serialize"),
+        );
     }
 
     if wants("sec5_7") {
         eprintln!("[sec5_7] server-side tracking, paired crawl…");
         let r = run_sec5_7(&opts);
-        json.insert("sec5_7".into(), serde_json::to_value(&r).expect("serialize"));
+        json.insert(
+            "sec5_7".into(),
+            serde_json::to_value(&r).expect("serialize"),
+        );
     }
 
     if wants("domguard") {
         eprintln!("[domguard] DOM-isolation evaluation, three crawls…");
         let r = run_domguard(&opts);
-        json.insert("domguard".into(), serde_json::to_value(&r).expect("serialize"));
+        json.insert(
+            "domguard".into(),
+            serde_json::to_value(&r).expect("serialize"),
+        );
     }
 
     if wants("baselines") && !wanted.contains(&"all") {
         // Explicit-only: the matrix performs seven extra crawls.
         eprintln!("[baselines] defense matrix (blocklist, partitioning, ML, guard)…");
         let r = cg_experiments::run_baselines(&opts);
-        json.insert("baselines".into(), serde_json::to_value(&r).expect("serialize"));
+        json.insert(
+            "baselines".into(),
+            serde_json::to_value(&r).expect("serialize"),
+        );
     }
 
     if wants("csp") && !wanted.contains(&"all") {
@@ -135,13 +183,19 @@ fn main() {
         // Not part of --exp all (several extra crawls); run explicitly.
         eprintln!("[rollout] deployment ladder + preset frontier…");
         let r = run_rollout(&opts);
-        json.insert("rollout".into(), serde_json::to_value(&r).expect("serialize"));
+        json.insert(
+            "rollout".into(),
+            serde_json::to_value(&r).expect("serialize"),
+        );
     }
 
     if wants("table3") {
         eprintln!("[table3] breakage evaluation…");
         let r = run_table3(&opts);
-        json.insert("table3".into(), serde_json::to_value(&r).expect("serialize"));
+        json.insert(
+            "table3".into(),
+            serde_json::to_value(&r).expect("serialize"),
+        );
     }
 
     if wants("table4") || wants("fig6") || wants("fig7") || wants("fig9") || wants("fig10") {
@@ -157,8 +211,11 @@ fn main() {
 
     if let Some(path) = json_path {
         let out = serde_json::Value::Object(json);
-        std::fs::write(&path, serde_json::to_string_pretty(&out).expect("serialize"))
-            .unwrap_or_else(|e| eprintln!("failed to write {path}: {e}"));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&out).expect("serialize"),
+        )
+        .unwrap_or_else(|e| eprintln!("failed to write {path}: {e}"));
         println!("\nresults written to {path}");
     }
 }
@@ -166,7 +223,9 @@ fn main() {
 fn print_help() {
     println!("cg-experiments — regenerate the CookieGuard paper's tables and figures");
     println!();
-    println!("USAGE: cg-experiments [--exp LIST] [--sites N] [--seed S] [--threads T] [--json PATH]");
+    println!(
+        "USAGE: cg-experiments [--exp LIST] [--sites N] [--seed S] [--threads T] [--json PATH]"
+    );
     println!();
     println!("Experiments (comma-separated, default 'all'):");
     println!("  measurement: {}", MEASUREMENT_EXPERIMENTS.join(", "));

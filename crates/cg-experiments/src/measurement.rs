@@ -70,47 +70,173 @@ pub fn run_measurement_experiments(ctx: &CrawlContext, which: &[&str]) -> Measur
     if wants("crawl") || wants("sec5_1") {
         header("§4.2 Data collection");
         compare_count("sites crawled", exp::CRAWL_TOTAL, ctx.crawled);
-        compare_count("complete (analyzable) sites", exp::CRAWL_COMPLETE, ds.site_count());
+        compare_count(
+            "complete (analyzable) sites",
+            exp::CRAWL_COMPLETE,
+            ds.site_count(),
+        );
     }
 
     if wants("sec5_1") {
         header("§5.1 Prevalence of third-party scripts");
-        compare("sites with ≥1 third-party script", exp::SITES_WITH_3P_PCT, prevalence.sites_with_third_party_pct, "%");
-        compare("avg distinct 3p scripts / site", exp::AVG_3P_SCRIPTS, prevalence.avg_third_party_scripts, "");
-        compare("ad/tracking share of 3p scripts", exp::AD_TRACKING_SHARE_PCT, prevalence.ad_tracking_share_pct, "%");
-        compare("avg cookies set by 3p scripts / site", exp::AVG_COOKIES_3P, prevalence.avg_cookies_third_party, "");
-        compare("avg cookies set by 1p scripts / site", exp::AVG_COOKIES_1P, prevalence.avg_cookies_first_party, "");
+        compare(
+            "sites with ≥1 third-party script",
+            exp::SITES_WITH_3P_PCT,
+            prevalence.sites_with_third_party_pct,
+            "%",
+        );
+        compare(
+            "avg distinct 3p scripts / site",
+            exp::AVG_3P_SCRIPTS,
+            prevalence.avg_third_party_scripts,
+            "",
+        );
+        compare(
+            "ad/tracking share of 3p scripts",
+            exp::AD_TRACKING_SHARE_PCT,
+            prevalence.ad_tracking_share_pct,
+            "%",
+        );
+        compare(
+            "avg cookies set by 3p scripts / site",
+            exp::AVG_COOKIES_3P,
+            prevalence.avg_cookies_third_party,
+            "",
+        );
+        compare(
+            "avg cookies set by 1p scripts / site",
+            exp::AVG_COOKIES_1P,
+            prevalence.avg_cookies_first_party,
+            "",
+        );
     }
 
     if wants("sec5_2") {
         header("§5.2 Cookie API usage");
-        compare("document.cookie invoked on sites", exp::DOC_COOKIE_SITES_PCT, usage.doc_cookie_sites_pct, "%");
-        compare_count("unique document.cookie pairs", exp::DOC_COOKIE_PAIRS, usage.doc_cookie_pairs);
-        measured("distinct setter scripts", usage.doc_cookie_setter_scripts as f64, "");
-        measured("distinct setter domains", usage.doc_cookie_setter_domains as f64, "");
-        compare("cookieStore used on sites", exp::COOKIE_STORE_SITES_PCT, usage.cookie_store_sites_pct, "%");
-        compare_count("unique cookieStore pairs", exp::COOKIE_STORE_PAIRS, usage.cookie_store_pairs);
-        measured("distinct cookieStore names", usage.cookie_store_names as f64, "");
-        compare("top-2 cookieStore names share", exp::COOKIE_STORE_TOP2_PCT, usage.cookie_store_top2_share_pct, "%");
+        compare(
+            "document.cookie invoked on sites",
+            exp::DOC_COOKIE_SITES_PCT,
+            usage.doc_cookie_sites_pct,
+            "%",
+        );
+        compare_count(
+            "unique document.cookie pairs",
+            exp::DOC_COOKIE_PAIRS,
+            usage.doc_cookie_pairs,
+        );
+        measured(
+            "distinct setter scripts",
+            usage.doc_cookie_setter_scripts as f64,
+            "",
+        );
+        measured(
+            "distinct setter domains",
+            usage.doc_cookie_setter_domains as f64,
+            "",
+        );
+        compare(
+            "cookieStore used on sites",
+            exp::COOKIE_STORE_SITES_PCT,
+            usage.cookie_store_sites_pct,
+            "%",
+        );
+        compare_count(
+            "unique cookieStore pairs",
+            exp::COOKIE_STORE_PAIRS,
+            usage.cookie_store_pairs,
+        );
+        measured(
+            "distinct cookieStore names",
+            usage.cookie_store_names as f64,
+            "",
+        );
+        compare(
+            "top-2 cookieStore names share",
+            exp::COOKIE_STORE_TOP2_PCT,
+            usage.cookie_store_top2_share_pct,
+            "%",
+        );
     }
 
     if wants("table1") {
         header("Table 1: cross-domain cookie actions");
         println!("  document.cookie:");
-        compare("    exfiltration — % of websites", exp::T1_DOC_EXFIL.0, t1.doc_exfiltration.sites_pct, "%");
-        compare("    exfiltration — % of cookies", exp::T1_DOC_EXFIL.1, t1.doc_exfiltration.cookies_pct, "%");
-        compare_count("    exfiltration — affected pairs", 4_825, t1.doc_exfiltration.cookies_count);
-        compare("    overwriting — % of websites", exp::T1_DOC_OVERWRITE.0, t1.doc_overwriting.sites_pct, "%");
-        compare("    overwriting — % of cookies", exp::T1_DOC_OVERWRITE.1, t1.doc_overwriting.cookies_pct, "%");
-        compare_count("    overwriting — affected pairs", 2_212, t1.doc_overwriting.cookies_count);
-        compare("    deleting — % of websites", exp::T1_DOC_DELETE.0, t1.doc_deleting.sites_pct, "%");
-        compare("    deleting — % of cookies", exp::T1_DOC_DELETE.1, t1.doc_deleting.cookies_pct, "%");
-        compare_count("    deleting — affected pairs", 1_475, t1.doc_deleting.cookies_count);
+        compare(
+            "    exfiltration — % of websites",
+            exp::T1_DOC_EXFIL.0,
+            t1.doc_exfiltration.sites_pct,
+            "%",
+        );
+        compare(
+            "    exfiltration — % of cookies",
+            exp::T1_DOC_EXFIL.1,
+            t1.doc_exfiltration.cookies_pct,
+            "%",
+        );
+        compare_count(
+            "    exfiltration — affected pairs",
+            4_825,
+            t1.doc_exfiltration.cookies_count,
+        );
+        compare(
+            "    overwriting — % of websites",
+            exp::T1_DOC_OVERWRITE.0,
+            t1.doc_overwriting.sites_pct,
+            "%",
+        );
+        compare(
+            "    overwriting — % of cookies",
+            exp::T1_DOC_OVERWRITE.1,
+            t1.doc_overwriting.cookies_pct,
+            "%",
+        );
+        compare_count(
+            "    overwriting — affected pairs",
+            2_212,
+            t1.doc_overwriting.cookies_count,
+        );
+        compare(
+            "    deleting — % of websites",
+            exp::T1_DOC_DELETE.0,
+            t1.doc_deleting.sites_pct,
+            "%",
+        );
+        compare(
+            "    deleting — % of cookies",
+            exp::T1_DOC_DELETE.1,
+            t1.doc_deleting.cookies_pct,
+            "%",
+        );
+        compare_count(
+            "    deleting — affected pairs",
+            1_475,
+            t1.doc_deleting.cookies_count,
+        );
         println!("  cookieStore:");
-        compare("    exfiltration — % of websites", exp::T1_STORE_EXFIL.0, t1.store_exfiltration.sites_pct, "%");
-        compare("    exfiltration — % of cookies", exp::T1_STORE_EXFIL.1, t1.store_exfiltration.cookies_pct, "%");
-        compare("    overwriting — % of websites", 0.0, t1.store_overwriting.sites_pct, "%");
-        compare("    deleting — % of websites", 0.0, t1.store_deleting.sites_pct, "%");
+        compare(
+            "    exfiltration — % of websites",
+            exp::T1_STORE_EXFIL.0,
+            t1.store_exfiltration.sites_pct,
+            "%",
+        );
+        compare(
+            "    exfiltration — % of cookies",
+            exp::T1_STORE_EXFIL.1,
+            t1.store_exfiltration.cookies_pct,
+            "%",
+        );
+        compare(
+            "    overwriting — % of websites",
+            0.0,
+            t1.store_overwriting.sites_pct,
+            "%",
+        );
+        compare(
+            "    deleting — % of websites",
+            0.0,
+            t1.store_deleting.sites_pct,
+            "%",
+        );
     }
 
     if wants("table2") {
@@ -128,7 +254,11 @@ pub fn run_measurement_experiments(ctx: &CrawlContext, which: &[&str]) -> Measur
                 row.destination_entities,
                 row.top_exfiltrators.join(", "),
                 row.top_destinations.join(", "),
-                if row.consent_signal { "   [consent signal]" } else { "" }
+                if row.consent_signal {
+                    "   [consent signal]"
+                } else {
+                    ""
+                }
             );
         }
     }
@@ -142,10 +272,30 @@ pub fn run_measurement_experiments(ctx: &CrawlContext, which: &[&str]) -> Measur
 
     if wants("sec5_5") {
         header("§5.5 Overwrite attribute changes");
-        compare("value changed", exp::ATTR_CHANGES.0, manip.attr_changes.value_pct, "%");
-        compare("expires changed", exp::ATTR_CHANGES.1, manip.attr_changes.expires_pct, "%");
-        compare("domain changed", exp::ATTR_CHANGES.2, manip.attr_changes.domain_pct, "%");
-        compare("path changed", exp::ATTR_CHANGES.3, manip.attr_changes.path_pct, "%");
+        compare(
+            "value changed",
+            exp::ATTR_CHANGES.0,
+            manip.attr_changes.value_pct,
+            "%",
+        );
+        compare(
+            "expires changed",
+            exp::ATTR_CHANGES.1,
+            manip.attr_changes.expires_pct,
+            "%",
+        );
+        compare(
+            "domain changed",
+            exp::ATTR_CHANGES.2,
+            manip.attr_changes.domain_pct,
+            "%",
+        );
+        compare(
+            "path changed",
+            exp::ATTR_CHANGES.3,
+            manip.attr_changes.path_pct,
+            "%",
+        );
 
         header("§5.5 Intention behind manipulations (case-study taxonomy)");
         use cg_analysis::ManipulationIntent;
@@ -155,7 +305,11 @@ pub fn run_measurement_experiments(ctx: &CrawlContext, which: &[&str]) -> Measur
             ManipulationIntent::CollusionOrCompetition,
             ManipulationIntent::Unclear,
         ] {
-            crate::render::measured(&format!("{intent:?}"), intents.count(intent) as f64, "events");
+            crate::render::measured(
+                &format!("{intent:?}"),
+                intents.count(intent) as f64,
+                "events",
+            );
         }
         for (name, actors) in intents.collision_hotspots.iter().take(5) {
             println!("    collision hotspot: {name:<20} manipulated by {actors} distinct actors");
@@ -168,7 +322,9 @@ pub fn run_measurement_experiments(ctx: &CrawlContext, which: &[&str]) -> Measur
         for row in &table5_ow {
             println!(
                 "    {:<24} {:<24} {:>4} entities   top: {}",
-                truncate(&row.cookie, 24), truncate(&row.owner, 24), row.manipulator_entities,
+                truncate(&row.cookie, 24),
+                truncate(&row.owner, 24),
+                row.manipulator_entities,
                 row.top_manipulators.join(", ")
             );
         }
@@ -176,7 +332,9 @@ pub fn run_measurement_experiments(ctx: &CrawlContext, which: &[&str]) -> Measur
         for row in &table5_del {
             println!(
                 "    {:<24} {:<24} {:>4} entities   top: {}",
-                truncate(&row.cookie, 24), truncate(&row.owner, 24), row.manipulator_entities,
+                truncate(&row.cookie, 24),
+                truncate(&row.owner, 24),
+                row.manipulator_entities,
                 row.top_manipulators.join(", ")
             );
         }
@@ -195,20 +353,43 @@ pub fn run_measurement_experiments(ctx: &CrawlContext, which: &[&str]) -> Measur
 
     if wants("sec5_6") {
         header("§5.6 Inclusion paths");
-        compare("indirect : direct ratio", exp::INDIRECT_TO_DIRECT, inclusion.indirect_to_direct_ratio, "×");
-        compare("ad/tracking share of indirect", exp::INDIRECT_TRACKING_PCT, inclusion.indirect_tracking_pct, "%");
+        compare(
+            "indirect : direct ratio",
+            exp::INDIRECT_TO_DIRECT,
+            inclusion.indirect_to_direct_ratio,
+            "×",
+        );
+        compare(
+            "ad/tracking share of indirect",
+            exp::INDIRECT_TRACKING_PCT,
+            inclusion.indirect_tracking_pct,
+            "%",
+        );
         measured("direct third-party inclusions", inclusion.direct as f64, "");
-        measured("indirect third-party inclusions", inclusion.indirect as f64, "");
+        measured(
+            "indirect third-party inclusions",
+            inclusion.indirect as f64,
+            "",
+        );
     }
 
     if wants("sec8_dom") {
         header("§8 Pilot: cross-domain DOM manipulation");
-        compare("sites with cross-domain DOM mutation", exp::DOM_PILOT_PCT, dom.sites_with_cross_dom_pct, "%");
+        compare(
+            "sites with cross-domain DOM mutation",
+            exp::DOM_PILOT_PCT,
+            dom.sites_with_cross_dom_pct,
+            "%",
+        );
         measured("cross-domain mutation events", dom.events as f64, "");
     }
 
     // Consistency guard for the harness itself.
-    debug_assert_eq!(ds.unique_pairs(CookieApi::DocumentCookie).len() + ds.unique_pairs(CookieApi::HttpHeader).len(), total_doc_pairs);
+    debug_assert_eq!(
+        ds.unique_pairs(CookieApi::DocumentCookie).len()
+            + ds.unique_pairs(CookieApi::HttpHeader).len(),
+        total_doc_pairs
+    );
 
     let _ = bar; // bar() is used by the evaluation module's figures
     MeasurementResults {
@@ -245,7 +426,11 @@ mod tests {
 
     #[test]
     fn small_crawl_end_to_end() {
-        let ctx = CrawlContext::collect(&ExperimentOptions { sites: 120, seed: 3, threads: 2 });
+        let ctx = CrawlContext::collect(&ExperimentOptions {
+            sites: 120,
+            seed: 3,
+            threads: 2,
+        });
         let results = run_measurement_experiments(&ctx, &[]);
         assert!(results.complete > 60);
         assert!(results.prevalence.sites_with_third_party_pct > 70.0);

@@ -30,7 +30,11 @@ pub fn ranked_row(rank: usize, name: &str, count: usize, share_pct: f64) {
 
 /// Renders a crude horizontal bar for console figures.
 pub fn bar(label: &str, value: f64, max: f64, width: usize) {
-    let filled = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
     let bar: String = "█".repeat(filled.min(width));
     println!("  {label:<28} {bar:<width$} {value:.1}");
 }

@@ -108,11 +108,27 @@ impl FilterEngine {
     pub fn classify(&self, url: &str, ctx: &MatchContext) -> Verdict {
         let url = url.to_ascii_lowercase();
         let tokens = url_tokens(&url);
-        if let Some(rule) = self.first_match(&self.except_by_token, &self.except_generic, &url, &tokens, ctx) {
-            return Verdict::Allowed { rule: rule.raw.clone() };
+        if let Some(rule) = self.first_match(
+            &self.except_by_token,
+            &self.except_generic,
+            &url,
+            &tokens,
+            ctx,
+        ) {
+            return Verdict::Allowed {
+                rule: rule.raw.clone(),
+            };
         }
-        if let Some(rule) = self.first_match(&self.block_by_token, &self.block_generic, &url, &tokens, ctx) {
-            return Verdict::Blocked { rule: rule.raw.clone() };
+        if let Some(rule) = self.first_match(
+            &self.block_by_token,
+            &self.block_generic,
+            &url,
+            &tokens,
+            ctx,
+        ) {
+            return Verdict::Blocked {
+                rule: rule.raw.clone(),
+            };
         }
         Verdict::NoMatch
     }
@@ -151,11 +167,18 @@ fn rule_applies(rule: &FilterRule, url: &str, ctx: &MatchContext) -> bool {
         }
     }
     if !rule.include_domains.is_empty()
-        && !rule.include_domains.iter().any(|d| domain_covers(d, &ctx.page_domain))
+        && !rule
+            .include_domains
+            .iter()
+            .any(|d| domain_covers(d, &ctx.page_domain))
     {
         return false;
     }
-    if rule.exclude_domains.iter().any(|d| domain_covers(d, &ctx.page_domain)) {
+    if rule
+        .exclude_domains
+        .iter()
+        .any(|d| domain_covers(d, &ctx.page_domain))
+    {
         return false;
     }
     rule.pattern_matches(url)
@@ -187,7 +210,11 @@ mod tests {
     }
 
     fn ctx(page: &str, res: ResourceType, tp: bool) -> MatchContext {
-        MatchContext { page_domain: page.into(), resource: res, third_party: tp }
+        MatchContext {
+            page_domain: page.into(),
+            resource: res,
+            third_party: tp,
+        }
     }
 
     #[test]
@@ -201,15 +228,27 @@ mod tests {
     #[test]
     fn resource_type_restriction() {
         let e = engine(&["||pixel.net^$image"]);
-        assert!(e.is_tracking("https://pixel.net/1.gif", &ctx("a.com", ResourceType::Image, true)));
-        assert!(!e.is_tracking("https://pixel.net/1.js", &ctx("a.com", ResourceType::Script, true)));
+        assert!(e.is_tracking(
+            "https://pixel.net/1.gif",
+            &ctx("a.com", ResourceType::Image, true)
+        ));
+        assert!(!e.is_tracking(
+            "https://pixel.net/1.js",
+            &ctx("a.com", ResourceType::Script, true)
+        ));
     }
 
     #[test]
     fn third_party_restriction() {
         let e = engine(&["||cdn.com^$third-party"]);
-        assert!(e.is_tracking("https://cdn.com/x", &ctx("a.com", ResourceType::Script, true)));
-        assert!(!e.is_tracking("https://cdn.com/x", &ctx("cdn.com", ResourceType::Script, false)));
+        assert!(e.is_tracking(
+            "https://cdn.com/x",
+            &ctx("a.com", ResourceType::Script, true)
+        ));
+        assert!(!e.is_tracking(
+            "https://cdn.com/x",
+            &ctx("cdn.com", ResourceType::Script, false)
+        ));
     }
 
     #[test]
@@ -224,16 +263,31 @@ mod tests {
     #[test]
     fn domain_option_scopes_to_page() {
         let e = engine(&["||widget.io^$domain=news.com"]);
-        assert!(e.is_tracking("https://widget.io/w.js", &ctx("news.com", ResourceType::Script, true)));
-        assert!(e.is_tracking("https://widget.io/w.js", &ctx("sub.news.com", ResourceType::Script, true)));
-        assert!(!e.is_tracking("https://widget.io/w.js", &ctx("shop.com", ResourceType::Script, true)));
+        assert!(e.is_tracking(
+            "https://widget.io/w.js",
+            &ctx("news.com", ResourceType::Script, true)
+        ));
+        assert!(e.is_tracking(
+            "https://widget.io/w.js",
+            &ctx("sub.news.com", ResourceType::Script, true)
+        ));
+        assert!(!e.is_tracking(
+            "https://widget.io/w.js",
+            &ctx("shop.com", ResourceType::Script, true)
+        ));
     }
 
     #[test]
     fn excluded_domain_suppresses() {
         let e = engine(&["||widget.io^$domain=~shop.com"]);
-        assert!(e.is_tracking("https://widget.io/w.js", &ctx("news.com", ResourceType::Script, true)));
-        assert!(!e.is_tracking("https://widget.io/w.js", &ctx("shop.com", ResourceType::Script, true)));
+        assert!(e.is_tracking(
+            "https://widget.io/w.js",
+            &ctx("news.com", ResourceType::Script, true)
+        ));
+        assert!(!e.is_tracking(
+            "https://widget.io/w.js",
+            &ctx("shop.com", ResourceType::Script, true)
+        ));
     }
 
     #[test]
@@ -247,14 +301,20 @@ mod tests {
     fn generic_substring_rules_still_match() {
         // "/ads/" has a token "ads" — craft one with only short tokens.
         let e = engine(&["/a1/"]);
-        assert!(e.is_tracking("https://x.com/a1/z", &ctx("a.com", ResourceType::Other, true)));
+        assert!(e.is_tracking(
+            "https://x.com/a1/z",
+            &ctx("a.com", ResourceType::Other, true)
+        ));
     }
 
     #[test]
     fn no_match_verdict() {
         let e = engine(&["||tracker.com^"]);
         assert_eq!(
-            e.classify("https://benign.org/app.js", &ctx("a.com", ResourceType::Script, true)),
+            e.classify(
+                "https://benign.org/app.js",
+                &ctx("a.com", ResourceType::Script, true)
+            ),
             Verdict::NoMatch
         );
     }

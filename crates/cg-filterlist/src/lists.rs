@@ -46,39 +46,66 @@ pub fn synthetic_lists(inputs: &ListInputs) -> Vec<SyntheticList> {
             easylist.push_str(&format!("||{d}^\n"));
         }
     }
-    lists.push(SyntheticList { name: "easylist".into(), text: easylist });
+    lists.push(SyntheticList {
+        name: "easylist".into(),
+        text: easylist,
+    });
 
     // 2. EasyPrivacy: tracking domains plus classic path rules.
     let mut easyprivacy = String::from("! Title: EasyPrivacy (synthetic)\n");
     for d in &inputs.tracking_domains {
         easyprivacy.push_str(&format!("||{d}^\n"));
     }
-    for path in ["/analytics.js", "/gtag/js", "/collect?", "/pixel?", "/beacon.min.js", "/fbevents.js"] {
+    for path in [
+        "/analytics.js",
+        "/gtag/js",
+        "/collect?",
+        "/pixel?",
+        "/beacon.min.js",
+        "/fbevents.js",
+    ] {
         easyprivacy.push_str(path);
         easyprivacy.push('\n');
     }
-    lists.push(SyntheticList { name: "easyprivacy".into(), text: easyprivacy });
+    lists.push(SyntheticList {
+        name: "easyprivacy".into(),
+        text: easyprivacy,
+    });
 
     // 3. Fanboy Annoyances: consent-manager scripts, often script-typed.
     let mut annoyance = String::from("! Title: Fanboy Annoyances (synthetic)\n");
     for d in &inputs.annoyance_domains {
         annoyance.push_str(&format!("||{d}^$script\n"));
     }
-    lists.push(SyntheticList { name: "fanboy-annoyance".into(), text: annoyance });
+    lists.push(SyntheticList {
+        name: "fanboy-annoyance".into(),
+        text: annoyance,
+    });
 
     // 4. Fanboy Social: social widgets, often subdocument+script typed.
     let mut social = String::from("! Title: Fanboy Social (synthetic)\n");
     for d in &inputs.social_domains {
         social.push_str(&format!("||{d}^$script,subdocument\n"));
     }
-    lists.push(SyntheticList { name: "fanboy-social".into(), text: social });
+    lists.push(SyntheticList {
+        name: "fanboy-social".into(),
+        text: social,
+    });
 
     // 5. Peter Lowe's list: hosts-file style — plain domain rules.
     let mut lowe = String::from("! Title: Peter Lowe's list (synthetic)\n");
-    for d in inputs.ad_domains.iter().chain(&inputs.tracking_domains).step_by(2) {
+    for d in inputs
+        .ad_domains
+        .iter()
+        .chain(&inputs.tracking_domains)
+        .step_by(2)
+    {
         lowe.push_str(&format!("||{d}^\n"));
     }
-    lists.push(SyntheticList { name: "peter-lowe".into(), text: lowe });
+    lists.push(SyntheticList {
+        name: "peter-lowe".into(),
+        text: lowe,
+    });
 
     // 6. Blockzilla: aggressive patterns with wildcards.
     let mut blockzilla = String::from("! Title: Blockzilla (synthetic)\n");
@@ -93,25 +120,37 @@ pub fn synthetic_lists(inputs: &ListInputs) -> Vec<SyntheticList> {
         }
     }
     blockzilla.push_str("/adframe.\n/adserver/*$script\n");
-    lists.push(SyntheticList { name: "blockzilla".into(), text: blockzilla });
+    lists.push(SyntheticList {
+        name: "blockzilla".into(),
+        text: blockzilla,
+    });
 
     // 7. Squid blacklist: document-level blocks.
     let mut squid = String::from("! Title: Squid blacklist (synthetic)\n");
     for d in inputs.ad_domains.iter().step_by(4) {
         squid.push_str(&format!("||{d}^$document,script,image\n"));
     }
-    lists.push(SyntheticList { name: "squid".into(), text: squid });
+    lists.push(SyntheticList {
+        name: "squid".into(),
+        text: squid,
+    });
 
     // 8. Anti-Adblock Killer: a handful of path-based rules.
     let aak = "! Title: Anti-Adblock Killer (synthetic)\n/advertisement.js\n/adblock-detect\n/fuckadblock\n||btloader.com^\n".to_string();
-    lists.push(SyntheticList { name: "anti-adblock-killer".into(), text: aak });
+    lists.push(SyntheticList {
+        name: "anti-adblock-killer".into(),
+        text: aak,
+    });
 
     // 9. Warning-removal list: exceptions only.
     let mut warning = String::from("! Title: Warning removal (synthetic)\n");
     for d in &inputs.allowlisted {
         warning.push_str(&format!("@@||{d}^\n"));
     }
-    lists.push(SyntheticList { name: "warning-removal".into(), text: warning });
+    lists.push(SyntheticList {
+        name: "warning-removal".into(),
+        text: warning,
+    });
 
     lists
 }
@@ -124,8 +163,16 @@ mod tests {
 
     fn inputs() -> ListInputs {
         ListInputs {
-            ad_domains: vec!["doubleclick.net".into(), "adnxs.com".into(), "adsrvr.org".into()],
-            tracking_domains: vec!["google-analytics.com".into(), "hotjar.com".into(), "segment.com".into()],
+            ad_domains: vec![
+                "doubleclick.net".into(),
+                "adnxs.com".into(),
+                "adsrvr.org".into(),
+            ],
+            tracking_domains: vec![
+                "google-analytics.com".into(),
+                "hotjar.com".into(),
+                "segment.com".into(),
+            ],
             social_domains: vec!["facebook.net".into()],
             annoyance_domains: vec!["cookielaw.org".into()],
             allowlisted: vec!["jquery.org".into()],
@@ -147,7 +194,11 @@ mod tests {
         let lists = synthetic_lists(&inputs());
         let (engine, _) = FilterEngine::from_lists(lists.iter().map(|l| l.text.as_str()));
         assert!(!engine.is_empty());
-        let c = MatchContext { page_domain: "news.com".into(), resource: ResourceType::Script, third_party: true };
+        let c = MatchContext {
+            page_domain: "news.com".into(),
+            resource: ResourceType::Script,
+            third_party: true,
+        };
         assert!(engine.is_tracking("https://www.google-analytics.com/analytics.js", &c));
         assert!(engine.is_tracking("https://static.doubleclick.net/instream/ad_status.js", &c));
         assert!(engine.is_tracking("https://connect.facebook.net/en_US/fbevents.js", &c));
@@ -162,7 +213,11 @@ mod tests {
             ..ListInputs::default()
         });
         let (engine, _) = FilterEngine::from_lists(lists.iter().map(|l| l.text.as_str()));
-        let c = MatchContext { page_domain: "a.com".into(), resource: ResourceType::Script, third_party: true };
+        let c = MatchContext {
+            page_domain: "a.com".into(),
+            resource: ResourceType::Script,
+            third_party: true,
+        };
         assert!(!engine.is_tracking("https://code.jquery.org/jquery.js", &c));
     }
 
@@ -171,7 +226,11 @@ mod tests {
         // EasyPrivacy's /analytics.js path rule catches self-hosted GA.
         let lists = synthetic_lists(&inputs());
         let (engine, _) = FilterEngine::from_lists(lists.iter().map(|l| l.text.as_str()));
-        let c = MatchContext { page_domain: "shop.com".into(), resource: ResourceType::Script, third_party: false };
+        let c = MatchContext {
+            page_domain: "shop.com".into(),
+            resource: ResourceType::Script,
+            third_party: false,
+        };
         assert!(engine.is_tracking("https://shop.com/assets/analytics.js", &c));
     }
 }

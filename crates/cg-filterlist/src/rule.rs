@@ -219,7 +219,11 @@ impl FilterRule {
                     continue;
                 }
                 let found = if i == 0 {
-                    if part_matches_at(url, cursor, part) { Some(cursor) } else { None }
+                    if part_matches_at(url, cursor, part) {
+                        Some(cursor)
+                    } else {
+                        None
+                    }
                 } else {
                     find_part_from(url, cursor, part)
                 };
@@ -388,10 +392,22 @@ mod tests {
 
     #[test]
     fn comments_and_cosmetics_rejected() {
-        assert_eq!(FilterRule::parse("! comment").unwrap_err(), RuleParseError::NotANetworkRule);
-        assert_eq!(FilterRule::parse("example.com##.ad").unwrap_err(), RuleParseError::NotANetworkRule);
-        assert_eq!(FilterRule::parse("").unwrap_err(), RuleParseError::NotANetworkRule);
-        assert_eq!(FilterRule::parse("[Adblock Plus 2.0]").unwrap_err(), RuleParseError::NotANetworkRule);
+        assert_eq!(
+            FilterRule::parse("! comment").unwrap_err(),
+            RuleParseError::NotANetworkRule
+        );
+        assert_eq!(
+            FilterRule::parse("example.com##.ad").unwrap_err(),
+            RuleParseError::NotANetworkRule
+        );
+        assert_eq!(
+            FilterRule::parse("").unwrap_err(),
+            RuleParseError::NotANetworkRule
+        );
+        assert_eq!(
+            FilterRule::parse("[Adblock Plus 2.0]").unwrap_err(),
+            RuleParseError::NotANetworkRule
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ mod tests {
                 "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
             ),
             ("", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
-            ("The quick brown fox jumps over the lazy dog", "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"),
+            (
+                "The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
         ];
         for (input, want) in cases {
             assert_eq!(sha1_hex(input.as_bytes()), want, "sha1({input:?})");

@@ -87,7 +87,11 @@ impl CspPolicy {
             (None, None) => (Vec::new(), false),
         };
         let explicit_none = governs && effective.is_empty();
-        CspPolicy { script_src: effective, explicit_none, governs_scripts: governs }
+        CspPolicy {
+            script_src: effective,
+            explicit_none,
+            governs_scripts: governs,
+        }
     }
 
     /// Whether inline scripts may execute under this policy.
@@ -103,7 +107,12 @@ impl CspPolicy {
     /// Whether an external script at `script_url`, included by a
     /// document at `document_url`, may load. `nonce` is the value of
     /// the script element's `nonce` attribute, if any.
-    pub fn allows_external(&self, script_url: &Url, document_url: &Url, nonce: Option<&str>) -> bool {
+    pub fn allows_external(
+        &self,
+        script_url: &Url,
+        document_url: &Url,
+        nonce: Option<&str>,
+    ) -> bool {
         if !self.governs_scripts {
             return true;
         }
@@ -113,14 +122,21 @@ impl CspPolicy {
         self.script_src.iter().any(|src| match src {
             SourceExpr::SelfSource => {
                 script_url.scheme == document_url.scheme
-                    && script_url.host_str().eq_ignore_ascii_case(&document_url.host_str())
+                    && script_url
+                        .host_str()
+                        .eq_ignore_ascii_case(&document_url.host_str())
                     && script_url.effective_port() == document_url.effective_port()
             }
             SourceExpr::UnsafeInline => false,
             SourceExpr::Nonce(n) => nonce == Some(n.as_str()),
             SourceExpr::Scheme(s) => script_url.scheme.eq_ignore_ascii_case(s),
             SourceExpr::Wildcard => true,
-            SourceExpr::Host { scheme, host, port, path } => {
+            SourceExpr::Host {
+                scheme,
+                host,
+                port,
+                path,
+            } => {
                 if let Some(s) = scheme {
                     if !script_url.scheme.eq_ignore_ascii_case(s) {
                         return false;
@@ -179,13 +195,20 @@ fn parse_sources(tokens: &[&str]) -> Vec<SourceExpr> {
             "'unsafe-inline'" => out.push(SourceExpr::UnsafeInline),
             "*" => out.push(SourceExpr::Wildcard),
             _ => {
-                if let Some(nonce) = lower.strip_prefix("'nonce-").and_then(|s| s.strip_suffix('\'')) {
+                if let Some(nonce) = lower
+                    .strip_prefix("'nonce-")
+                    .and_then(|s| s.strip_suffix('\''))
+                {
                     // Nonces are case-sensitive: recover from the raw token.
                     let raw_nonce = &t[7..t.len() - 1];
                     let _ = nonce;
                     out.push(SourceExpr::Nonce(raw_nonce.to_string()));
                 } else if let Some(scheme) = lower.strip_suffix(':') {
-                    if !scheme.is_empty() && scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-') {
+                    if !scheme.is_empty()
+                        && scheme
+                            .chars()
+                            .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-')
+                    {
                         out.push(SourceExpr::Scheme(scheme.to_string()));
                     }
                 } else if let Some(h) = parse_host_source(&lower) {
@@ -225,7 +248,12 @@ fn parse_host_source(token: &str) -> Option<SourceExpr> {
     if !valid {
         return None;
     }
-    Some(SourceExpr::Host { scheme, host, port, path })
+    Some(SourceExpr::Host {
+        scheme,
+        host,
+        port,
+        path,
+    })
 }
 
 #[cfg(test)]
@@ -250,8 +278,14 @@ mod tests {
     fn self_matches_same_origin_only() {
         let p = CspPolicy::parse("script-src 'self'");
         assert!(p.allows_external(&url("https://www.site.com/app.js"), &url(DOC), None));
-        assert!(!p.allows_external(&url("https://cdn.site.com/app.js"), &url(DOC), None), "different host");
-        assert!(!p.allows_external(&url("http://www.site.com/app.js"), &url(DOC), None), "different scheme");
+        assert!(
+            !p.allows_external(&url("https://cdn.site.com/app.js"), &url(DOC), None),
+            "different host"
+        );
+        assert!(
+            !p.allows_external(&url("http://www.site.com/app.js"), &url(DOC), None),
+            "different scheme"
+        );
         assert!(!p.allows_inline(), "'self' does not allow inline");
     }
 
@@ -262,7 +296,10 @@ mod tests {
         assert!(!p.allows_external(&url("https://evil.vendor.com/v.js"), &url(DOC), None));
         assert!(p.allows_external(&url("https://fonts.gstatic.com/f.js"), &url(DOC), None));
         assert!(p.allows_external(&url("https://a.b.gstatic.com/f.js"), &url(DOC), None));
-        assert!(!p.allows_external(&url("https://gstatic.com/f.js"), &url(DOC), None), "*.x does not match bare x");
+        assert!(
+            !p.allows_external(&url("https://gstatic.com/f.js"), &url(DOC), None),
+            "*.x does not match bare x"
+        );
         assert!(!p.allows_external(&url("https://notgstatic.com/f.js"), &url(DOC), None));
     }
 
@@ -271,8 +308,14 @@ mod tests {
         let p = CspPolicy::parse("script-src https://cdn.x.com:8443/js/");
         assert!(p.allows_external(&url("https://cdn.x.com:8443/js/a.js"), &url(DOC), None));
         assert!(!p.allows_external(&url("https://cdn.x.com:8443/other/a.js"), &url(DOC), None));
-        assert!(!p.allows_external(&url("https://cdn.x.com/js/a.js"), &url(DOC), None), "port mismatch");
-        assert!(!p.allows_external(&url("http://cdn.x.com:8443/js/a.js"), &url(DOC), None), "scheme mismatch");
+        assert!(
+            !p.allows_external(&url("https://cdn.x.com/js/a.js"), &url(DOC), None),
+            "port mismatch"
+        );
+        assert!(
+            !p.allows_external(&url("http://cdn.x.com:8443/js/a.js"), &url(DOC), None),
+            "scheme mismatch"
+        );
     }
 
     #[test]
@@ -297,7 +340,10 @@ mod tests {
         let p = CspPolicy::parse("script-src 'nonce-AbC123'");
         assert!(!p.allows_inline());
         assert!(p.allows_external(&url("https://x.com/a.js"), &url(DOC), Some("AbC123")));
-        assert!(!p.allows_external(&url("https://x.com/a.js"), &url(DOC), Some("abc123")), "nonces are case-sensitive");
+        assert!(
+            !p.allows_external(&url("https://x.com/a.js"), &url(DOC), Some("abc123")),
+            "nonces are case-sensitive"
+        );
         assert!(!p.allows_external(&url("https://x.com/a.js"), &url(DOC), None));
     }
 
@@ -342,7 +388,13 @@ mod tests {
 
     #[test]
     fn parser_is_total_on_junk() {
-        for junk in ["", ";;;", "script-src", "🍪; script-src 🍪", "default-src ; ; 'self'"] {
+        for junk in [
+            "",
+            ";;;",
+            "script-src",
+            "🍪; script-src 🍪",
+            "default-src ; ; 'self'",
+        ] {
             let _ = CspPolicy::parse(junk);
         }
     }

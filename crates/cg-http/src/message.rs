@@ -89,7 +89,12 @@ pub struct Response {
 impl Response {
     /// Creates a 200 response with no headers.
     pub fn ok(url: Url) -> Response {
-        Response { url, status: 200, headers: Headers::new(), latency_ms: 0 }
+        Response {
+            url,
+            status: 200,
+            headers: Headers::new(),
+            latency_ms: 0,
+        }
     }
 
     /// All parsed `Set-Cookie` headers on this response.
@@ -115,13 +120,19 @@ mod tests {
         let r = Request {
             url: url("https://px.ads.linkedin.com/attribution_trigger?pid=1"),
             kind: RequestKind::Image,
-            initiator_script: Some(url("https://snap.licdn.com/li.lms-analytics/insight.min.js")),
+            initiator_script: Some(url(
+                "https://snap.licdn.com/li.lms-analytics/insight.min.js",
+            )),
             first_party: "optimonk.com".into(),
             cookie_header: String::new(),
             issued_at_ms: 10,
         };
         assert!(r.is_third_party());
-        let same = Request { url: url("https://api.optimonk.com/x"), first_party: "optimonk.com".into(), ..r };
+        let same = Request {
+            url: url("https://api.optimonk.com/x"),
+            first_party: "optimonk.com".into(),
+            ..r
+        };
         assert!(!same.is_third_party());
     }
 

@@ -135,10 +135,9 @@ pub fn parse_set_cookie(raw: &str) -> Option<SetCookie> {
                     cookie.domain = Some(d);
                 }
             }
-            "path"
-                if val.starts_with('/') => {
-                    cookie.path = Some(val.to_string());
-                }
+            "path" if val.starts_with('/') => {
+                cookie.path = Some(val.to_string());
+            }
             "expires" => cookie.expires_ms = parse_expires(val),
             "max-age" => cookie.max_age_s = val.parse::<i64>().ok(),
             "secure" => cookie.secure = true,
@@ -189,7 +188,11 @@ fn parse_expires(val: &str) -> Option<i64> {
     if hms.len() != 3 {
         return None;
     }
-    let (h, m, s): (i64, i64, i64) = (hms[0].parse().ok()?, hms[1].parse().ok()?, hms[2].parse().ok()?);
+    let (h, m, s): (i64, i64, i64) = (
+        hms[0].parse().ok()?,
+        hms[1].parse().ok()?,
+        hms[2].parse().ok()?,
+    );
     // Days since epoch via the civil-from-days inverse (Howard Hinnant's algorithm).
     let days = days_from_civil(year, month + 1, day);
     Some((days * 86_400 + h * 3600 + m * 60 + s) * 1000)

@@ -202,9 +202,21 @@ mod tests {
         let log = VisitLog {
             site_domain: "site.com".into(),
             inclusions: vec![
-                ScriptInclusion { url: "https://www.site.com/app.js".into(), domain: Some("site.com".into()), direct: true },
-                ScriptInclusion { url: "https://t.tracker.io/t.js".into(), domain: Some("tracker.io".into()), direct: true },
-                ScriptInclusion { url: "<inline>".into(), domain: None, direct: true },
+                ScriptInclusion {
+                    url: "https://www.site.com/app.js".into(),
+                    domain: Some("site.com".into()),
+                    direct: true,
+                },
+                ScriptInclusion {
+                    url: "https://t.tracker.io/t.js".into(),
+                    domain: Some("tracker.io".into()),
+                    direct: true,
+                },
+                ScriptInclusion {
+                    url: "<inline>".into(),
+                    domain: None,
+                    direct: true,
+                },
             ],
             ..VisitLog::default()
         };

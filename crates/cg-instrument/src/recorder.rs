@@ -126,7 +126,11 @@ impl Recorder {
             Some(u) => (u.to_string(), cg_url::url_domain(u)),
             None => ("<inline>".to_string(), None),
         };
-        self.log.inclusions.push(ScriptInclusion { url: url_s, domain, direct });
+        self.log.inclusions.push(ScriptInclusion {
+            url: url_s,
+            domain,
+            direct,
+        });
     }
 
     /// Finishes recording and returns the log.
@@ -147,10 +151,33 @@ mod tests {
     #[test]
     fn records_all_event_kinds() {
         let mut r = Recorder::new("site.com", 7);
-        r.record_set("a", "1", Some("t.com"), Some("https://t.com/t.js"), CookieApi::DocumentCookie, WriteKind::Create, None, false, 5);
-        r.record_read(Some("t.com"), CookieApi::DocumentCookie, vec![("a".into(), "1".into())], 0, 6);
+        r.record_set(
+            "a",
+            "1",
+            Some("t.com"),
+            Some("https://t.com/t.js"),
+            CookieApi::DocumentCookie,
+            WriteKind::Create,
+            None,
+            false,
+            5,
+        );
+        r.record_read(
+            Some("t.com"),
+            CookieApi::DocumentCookie,
+            vec![("a".into(), "1".into())],
+            0,
+            6,
+        );
         let script = Url::parse("https://t.com/t.js").unwrap();
-        r.record_request("https://x.dest.io/p?a=1", cg_http::RequestKind::Image, Some(&script), "site.com", Some("a=1; b=2"), 7);
+        r.record_request(
+            "https://x.dest.io/p?a=1",
+            cg_http::RequestKind::Image,
+            Some(&script),
+            "site.com",
+            Some("a=1; b=2"),
+            7,
+        );
         r.record_probe("sso", "sess", true, Some("idp.com"));
         r.record_dom(Some("ads.com"), "site.com", "content", false);
         r.record_inclusion(Some("https://t.com/t.js"), true);

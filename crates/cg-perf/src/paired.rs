@@ -3,9 +3,9 @@
 use cg_browser::{visit_site, PageTiming, VisitConfig};
 use cg_webgen::WebGenerator;
 use cookieguard_core::GuardConfig;
-use crossbeam::queue::SegQueue;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One site's paired timings.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -130,13 +130,24 @@ pub fn run_paired_measurement(
     to: usize,
     threads: usize,
 ) -> PerfReport {
-    let queue: SegQueue<PairedRun> = SegQueue::new();
+    let queue: Mutex<Vec<PairedRun>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(from);
     let threads = threads.max(1);
+    // One engine for the whole measurement: the guarded condition's
+    // policy state is compiled here, not once per site. The configs are
+    // shared (read-only) across the worker threads.
+    let without_cfg = VisitConfig {
+        interact: false,
+        ..VisitConfig::regular()
+    };
+    let with_cfg = VisitConfig {
+        interact: false,
+        ..VisitConfig::guarded(guard.clone())
+    };
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let rank = next.fetch_add(1, Ordering::Relaxed);
                 if rank > to {
                     break;
@@ -146,23 +157,18 @@ pub fn run_paired_measurement(
                     continue; // visit failed in one of the two conditions
                 }
                 let base_seed = gen.site_seed(rank);
-                let without = visit_site(
-                    &bp,
-                    &VisitConfig { interact: false, ..VisitConfig::regular() },
-                    base_seed ^ 0xaaaa,
-                );
-                let with = visit_site(
-                    &bp,
-                    &VisitConfig { interact: false, ..VisitConfig::guarded(guard.clone()) },
-                    base_seed ^ 0xbbbb,
-                );
-                queue.push(PairedRun { rank, without: without.timing, with: with.timing });
+                let without = visit_site(&bp, &without_cfg, base_seed ^ 0xaaaa);
+                let with = visit_site(&bp, &with_cfg, base_seed ^ 0xbbbb);
+                queue.lock().expect("perf worker panicked").push(PairedRun {
+                    rank,
+                    without: without.timing,
+                    with: with.timing,
+                });
             });
         }
-    })
-    .expect("perf worker panicked");
+    });
 
-    let mut pairs: Vec<PairedRun> = std::iter::from_fn(|| queue.pop()).collect();
+    let mut pairs: Vec<PairedRun> = queue.into_inner().expect("perf worker panicked");
     pairs.sort_by_key(|p| p.rank);
     // Validity filter: keep only positive measurements in both conditions.
     pairs.retain(|p| {
@@ -171,15 +177,24 @@ pub fn run_paired_measurement(
         })
     });
 
-    let dcl_no: Vec<f64> = pairs.iter().map(|p| p.without.dom_content_loaded_ms).collect();
+    let dcl_no: Vec<f64> = pairs
+        .iter()
+        .map(|p| p.without.dom_content_loaded_ms)
+        .collect();
     let dcl_yes: Vec<f64> = pairs.iter().map(|p| p.with.dom_content_loaded_ms).collect();
     let di_no: Vec<f64> = pairs.iter().map(|p| p.without.dom_interactive_ms).collect();
     let di_yes: Vec<f64> = pairs.iter().map(|p| p.with.dom_interactive_ms).collect();
     let ld_no: Vec<f64> = pairs.iter().map(|p| p.without.load_event_ms).collect();
     let ld_yes: Vec<f64> = pairs.iter().map(|p| p.with.load_event_ms).collect();
 
-    let r_dcl: Vec<f64> = pairs.iter().map(|p| p.ratio(|t| t.dom_content_loaded_ms)).collect();
-    let r_di: Vec<f64> = pairs.iter().map(|p| p.ratio(|t| t.dom_interactive_ms)).collect();
+    let r_dcl: Vec<f64> = pairs
+        .iter()
+        .map(|p| p.ratio(|t| t.dom_content_loaded_ms))
+        .collect();
+    let r_di: Vec<f64> = pairs
+        .iter()
+        .map(|p| p.ratio(|t| t.dom_interactive_ms))
+        .collect();
     let r_ld: Vec<f64> = pairs.iter().map(|p| p.ratio(|t| t.load_event_ms)).collect();
 
     PerfReport {
@@ -187,7 +202,11 @@ pub fn run_paired_measurement(
         dcl: (summarize(&dcl_no), summarize(&dcl_yes)),
         di: (summarize(&di_no), summarize(&di_yes)),
         load: (summarize(&ld_no), summarize(&ld_yes)),
-        ratios: (ratio_summary(&r_dcl), ratio_summary(&r_di), ratio_summary(&r_ld)),
+        ratios: (
+            ratio_summary(&r_dcl),
+            ratio_summary(&r_di),
+            ratio_summary(&r_ld),
+        ),
         pairs,
     }
 }
@@ -206,13 +225,17 @@ mod tests {
         let report = run_paired_measurement(&gen, &GuardConfig::strict(), 1, 700, 4);
         // Roughly three-quarters of crawls survive.
         let completion = report.valid_pairs as f64 / 700.0;
-        assert!((0.65..0.85).contains(&completion), "completion {completion}");
+        assert!(
+            (0.65..0.85).contains(&completion),
+            "completion {completion}"
+        );
         // With-guard is slower in aggregate (pooled across metrics).
         let added = report.mean_added_ms();
         assert!(added > 0.0, "mean added latency {added}");
         // The pooled per-site ratio medians sit above parity and below
         // anything pathological (paper: 1.108 / 1.111 / 1.122).
-        let pooled = (report.ratios.0.median + report.ratios.1.median + report.ratios.2.median) / 3.0;
+        let pooled =
+            (report.ratios.0.median + report.ratios.1.median + report.ratios.2.median) / 3.0;
         assert!((1.0..1.6).contains(&pooled), "pooled ratio median {pooled}");
         // Heavy tail: mean > median in every condition/metric.
         assert!(report.load.0.mean_ms > report.load.0.median_ms);
@@ -235,7 +258,11 @@ mod tests {
         let p = PairedRun {
             rank: 1,
             without: PageTiming::default(),
-            with: PageTiming { dom_interactive_ms: 1.0, dom_content_loaded_ms: 1.0, load_event_ms: 1.0 },
+            with: PageTiming {
+                dom_interactive_ms: 1.0,
+                dom_content_loaded_ms: 1.0,
+                load_event_ms: 1.0,
+            },
         };
         assert!(p.ratio(|t| t.load_event_ms).is_nan());
     }

@@ -73,7 +73,12 @@ pub struct AttrChanges {
 impl AttrChanges {
     /// The common overwrite: new value + refreshed expiry.
     pub fn value_and_expiry() -> AttrChanges {
-        AttrChanges { value: true, expires: true, domain: false, path: false }
+        AttrChanges {
+            value: true,
+            expires: true,
+            domain: false,
+            path: false,
+        }
     }
 }
 

@@ -40,7 +40,9 @@ pub struct Attribution {
 impl Attribution {
     /// The attributable eTLD+1 of the acting script.
     pub fn script_domain(&self) -> Option<String> {
-        self.script_url.as_ref().and_then(|u| u.registrable_domain())
+        self.script_url
+            .as_ref()
+            .and_then(|u| u.registrable_domain())
     }
 
     /// Builds the attribution for a stack at time `now_ms`.
@@ -48,12 +50,22 @@ impl Attribution {
         let script_id = stack.last().map(|f| f.script_id);
         // Innermost-out: the last external script URL.
         let script_url = stack.iter().rev().find_map(|f| f.url.clone());
-        Attribution { script_id, script_url, now_ms, async_lost }
+        Attribution {
+            script_id,
+            script_url,
+            now_ms,
+            async_lost,
+        }
     }
 
     /// An attribution representing a lost stack.
     pub fn lost(now_ms: u64) -> Attribution {
-        Attribution { script_id: None, script_url: None, now_ms, async_lost: true }
+        Attribution {
+            script_id: None,
+            script_url: None,
+            now_ms,
+            async_lost: true,
+        }
     }
 }
 
@@ -68,8 +80,14 @@ mod tests {
     #[test]
     fn innermost_external_frame_wins() {
         let stack = vec![
-            StackFrame { script_id: 0, url: Some(url("https://gtm.com/gtm.js")) },
-            StackFrame { script_id: 1, url: Some(url("https://ga.com/analytics.js")) },
+            StackFrame {
+                script_id: 0,
+                url: Some(url("https://gtm.com/gtm.js")),
+            },
+            StackFrame {
+                script_id: 1,
+                url: Some(url("https://ga.com/analytics.js")),
+            },
         ];
         let at = Attribution::from_stack(&stack, 5, false);
         assert_eq!(at.script_id, Some(1));
@@ -81,8 +99,14 @@ mod tests {
         // An inline handler called from an external script still
         // attributes to the external script (the "last external URL").
         let stack = vec![
-            StackFrame { script_id: 0, url: Some(url("https://tracker.com/t.js")) },
-            StackFrame { script_id: 1, url: None },
+            StackFrame {
+                script_id: 0,
+                url: Some(url("https://tracker.com/t.js")),
+            },
+            StackFrame {
+                script_id: 1,
+                url: None,
+            },
         ];
         let at = Attribution::from_stack(&stack, 0, false);
         assert_eq!(at.script_domain().as_deref(), Some("tracker.com"));
@@ -91,7 +115,10 @@ mod tests {
 
     #[test]
     fn all_inline_stack_attributes_as_unknown() {
-        let stack = vec![StackFrame { script_id: 3, url: None }];
+        let stack = vec![StackFrame {
+            script_id: 3,
+            url: None,
+        }];
         let at = Attribution::from_stack(&stack, 0, false);
         assert_eq!(at.script_domain(), None);
     }

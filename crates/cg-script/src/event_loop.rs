@@ -116,15 +116,25 @@ impl EventLoop {
 
     /// Schedules a script execution as a macrotask at `at_ms`.
     pub fn push_script(&mut self, exec: ScriptExecution, at_ms: u64) {
-        let stack = vec![StackFrame { script_id: exec.script_id, url: exec.url.clone() }];
-        self.push_task(Task { at_ms, seq: 0, stack, async_lost: false, ops: exec.ops });
+        let stack = vec![StackFrame {
+            script_id: exec.script_id,
+            url: exec.url.clone(),
+        }];
+        self.push_task(Task {
+            at_ms,
+            seq: 0,
+            stack,
+            async_lost: false,
+            ops: exec.ops,
+        });
     }
 
     fn push_task(&mut self, mut task: Task) {
         task.seq = self.seq;
         self.seq += 1;
         let idx = self.tasks.len();
-        self.macrotasks.push(Reverse(TaskKey(task.at_ms, task.seq, idx)));
+        self.macrotasks
+            .push(Reverse(TaskKey(task.at_ms, task.seq, idx)));
         self.tasks.push(Some(task));
     }
 
@@ -196,7 +206,13 @@ impl EventLoop {
         }
     }
 
-    fn exec_task<P: Platform, R: Rng>(&mut self, platform: &mut P, rng: &mut R, task: Task, stats: &mut RunStats) {
+    fn exec_task<P: Platform, R: Rng>(
+        &mut self,
+        platform: &mut P,
+        rng: &mut R,
+        task: Task,
+        stats: &mut RunStats,
+    ) {
         let at = Attribution::from_stack(&task.stack, self.now_ms, task.async_lost);
         for op in task.ops {
             if stats.ops_run >= self.max_ops {
@@ -238,7 +254,11 @@ impl EventLoop {
                 }
                 platform.document_cookie_set(at, &raw);
             }
-            ScriptOp::CookieStoreSet { name, value, expires_in_ms } => {
+            ScriptOp::CookieStoreSet {
+                name,
+                value,
+                expires_in_ms,
+            } => {
                 let v = value.generate(wall, rng);
                 let abs = expires_in_ms.map(|rel| wall + rel);
                 platform.cookie_store_set(at, &name, &v, abs);
@@ -252,9 +272,17 @@ impl EventLoop {
             ScriptOp::CookieStoreGetAll => {
                 let _ = platform.cookie_store_get_all(at);
             }
-            ScriptOp::OverwriteCookie { target, value, changes, blind } => {
+            ScriptOp::OverwriteCookie {
+                target,
+                value,
+                changes,
+                blind,
+            } => {
                 let jar = parse_pairs(&platform.document_cookie_get(at));
-                let existing = jar.iter().find(|(n, _)| n == &target).map(|(_, v)| v.clone());
+                let existing = jar
+                    .iter()
+                    .find(|(n, _)| n == &target)
+                    .map(|(_, v)| v.clone());
                 if existing.is_none() && !blind {
                     return;
                 }
@@ -282,7 +310,15 @@ impl EventLoop {
                     platform.document_cookie_set(at, &format!("{target}=; Max-Age=0"));
                 }
             }
-            ScriptOp::Exfiltrate { dest_host, path, selection, segment, encoding, kind, via_store } => {
+            ScriptOp::Exfiltrate {
+                dest_host,
+                path,
+                selection,
+                segment,
+                encoding,
+                kind,
+                via_store,
+            } => {
                 let pairs = if via_store {
                     platform.cookie_store_get_all(at)
                 } else {
@@ -290,9 +326,10 @@ impl EventLoop {
                 };
                 let selected: Vec<(String, String)> = match &selection {
                     CookieSelection::All => pairs,
-                    CookieSelection::Named(names) => {
-                        pairs.into_iter().filter(|(n, _)| names.contains(n)).collect()
-                    }
+                    CookieSelection::Named(names) => pairs
+                        .into_iter()
+                        .filter(|(n, _)| names.contains(n))
+                        .collect(),
                     CookieSelection::Sample(pct) => {
                         let p = f64::from(*pct).clamp(0.0, 100.0) / 100.0;
                         pairs.into_iter().filter(|_| rng.gen_bool(p)).collect()
@@ -323,26 +360,52 @@ impl EventLoop {
                 let url = format!("https://{dest_host}{path}?r={nonce:04x}&{query}");
                 platform.send_request(at, &url, kind);
             }
-            ScriptOp::SendRequest { dest_host, path, kind } => {
+            ScriptOp::SendRequest {
+                dest_host,
+                path,
+                kind,
+            } => {
                 let url = format!("https://{dest_host}{path}");
                 platform.send_request(at, &url, kind);
             }
             ScriptOp::InjectScript { url } => {
                 if let Some(exec) = platform.resolve_injected_script(at, &url) {
                     stats.scripts_injected += 1;
-                    let stack = vec![StackFrame { script_id: exec.script_id, url: exec.url.clone() }];
-                    self.push_task(Task { at_ms: self.now_ms, seq: 0, stack, async_lost: false, ops: exec.ops });
+                    let stack = vec![StackFrame {
+                        script_id: exec.script_id,
+                        url: exec.url.clone(),
+                    }];
+                    self.push_task(Task {
+                        at_ms: self.now_ms,
+                        seq: 0,
+                        stack,
+                        async_lost: false,
+                        ops: exec.ops,
+                    });
                 }
             }
             ScriptOp::DomInsert { tag } => platform.dom_insert(at, &tag),
-            ScriptOp::DomMutate { kind, foreign_target } => platform.dom_mutate(at, kind, foreign_target),
-            ScriptOp::Defer { delay_ms, ops, lose_attribution } => {
+            ScriptOp::DomMutate {
+                kind,
+                foreign_target,
+            } => platform.dom_mutate(at, kind, foreign_target),
+            ScriptOp::Defer {
+                delay_ms,
+                ops,
+                lose_attribution,
+            } => {
                 let (stack, lost) = if lose_attribution {
                     (Vec::new(), true)
                 } else {
                     (stack.to_vec(), async_lost)
                 };
-                self.push_task(Task { at_ms: self.now_ms + delay_ms, seq: 0, stack, async_lost: lost, ops });
+                self.push_task(Task {
+                    at_ms: self.now_ms + delay_ms,
+                    seq: 0,
+                    stack,
+                    async_lost: lost,
+                    ops,
+                });
             }
             ScriptOp::Microtask { ops } => {
                 self.microtasks.push_back(Task {
@@ -358,7 +421,11 @@ impl EventLoop {
                 let ok = pairs.iter().any(|(n, _)| n == &cookie);
                 platform.probe_result(at, &feature, &cookie, ok);
             }
-            ScriptOp::OnCookieChange { watch, deletions_only, ops } => {
+            ScriptOp::OnCookieChange {
+                watch,
+                deletions_only,
+                ops,
+            } => {
                 self.listeners.push(ChangeListener {
                     stack: stack.to_vec(),
                     async_lost,
@@ -427,10 +494,15 @@ mod tests {
             self.log.push(format!("get by {:?}", at.script_domain()));
             let mut pairs: Vec<_> = self.cookies.iter().collect();
             pairs.sort();
-            pairs.iter().map(|(n, v)| format!("{n}={v}")).collect::<Vec<_>>().join("; ")
+            pairs
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join("; ")
         }
         fn document_cookie_set(&mut self, at: &Attribution, raw: &str) -> bool {
-            self.log.push(format!("set {raw} by {:?}", at.script_domain()));
+            self.log
+                .push(format!("set {raw} by {:?}", at.script_domain()));
             let pair = raw.split(';').next().unwrap();
             let (n, v) = pair.split_once('=').unwrap();
             let deleted = raw.contains("Max-Age=0");
@@ -439,32 +511,53 @@ mod tests {
             } else {
                 self.cookies.insert(n.trim().into(), v.trim().into());
             }
-            self.changes.push(CookieChangeNotice { name: n.trim().into(), deleted });
+            self.changes.push(CookieChangeNotice {
+                name: n.trim().into(),
+                deleted,
+            });
             true
         }
         fn cookie_store_get(&mut self, _at: &Attribution, name: &str) -> Option<String> {
             self.cookies.get(name).cloned()
         }
         fn cookie_store_get_all(&mut self, _at: &Attribution) -> Vec<(String, String)> {
-            let mut v: Vec<_> = self.cookies.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+            let mut v: Vec<_> = self
+                .cookies
+                .iter()
+                .map(|(a, b)| (a.clone(), b.clone()))
+                .collect();
             v.sort();
             v
         }
-        fn cookie_store_set(&mut self, _at: &Attribution, name: &str, value: &str, _e: Option<i64>) -> bool {
+        fn cookie_store_set(
+            &mut self,
+            _at: &Attribution,
+            name: &str,
+            value: &str,
+            _e: Option<i64>,
+        ) -> bool {
             self.cookies.insert(name.into(), value.into());
             true
         }
         fn cookie_store_delete(&mut self, _at: &Attribution, name: &str) -> bool {
             let removed = self.cookies.remove(name).is_some();
             if removed {
-                self.changes.push(CookieChangeNotice { name: name.into(), deleted: true });
+                self.changes.push(CookieChangeNotice {
+                    name: name.into(),
+                    deleted: true,
+                });
             }
             removed
         }
         fn send_request(&mut self, at: &Attribution, url: &str, _kind: RequestKind) {
-            self.log.push(format!("req {url} by {:?}", at.script_domain()));
+            self.log
+                .push(format!("req {url} by {:?}", at.script_domain()));
         }
-        fn resolve_injected_script(&mut self, _at: &Attribution, url: &str) -> Option<ScriptExecution> {
+        fn resolve_injected_script(
+            &mut self,
+            _at: &Attribution,
+            url: &str,
+        ) -> Option<ScriptExecution> {
             self.injectable.get(url).cloned()
         }
         fn dom_insert(&mut self, _at: &Attribution, tag: &str) {
@@ -481,7 +574,10 @@ mod tests {
         }
         fn cookie_change_visible(&mut self, at: &Attribution, name: &str) -> bool {
             let observer = at.script_domain().unwrap_or_default();
-            !self.invisible.iter().any(|(o, n)| o == &observer && n == name)
+            !self
+                .invisible
+                .iter()
+                .any(|(o, n)| o == &observer && n == name)
         }
     }
 
@@ -490,7 +586,11 @@ mod tests {
     }
 
     fn exec(id: usize, url: &str, ops: Vec<ScriptOp>) -> ScriptExecution {
-        ScriptExecution { script_id: id, url: Some(Url::parse(url).unwrap()), ops }
+        ScriptExecution {
+            script_id: id,
+            url: Some(Url::parse(url).unwrap()),
+            ops,
+        }
     }
 
     #[test]
@@ -498,10 +598,18 @@ mod tests {
         let mut p = MockPlatform::default();
         let mut el = EventLoop::new(1_750_000_000_000);
         el.push_script(
-            exec(0, "https://ga.com/a.js", vec![
-                ScriptOp::SetCookie { name: "_ga".into(), value: ValueSpec::GaStyle, attrs: CookieAttrs::default() },
-                ScriptOp::ReadAllCookies,
-            ]),
+            exec(
+                0,
+                "https://ga.com/a.js",
+                vec![
+                    ScriptOp::SetCookie {
+                        name: "_ga".into(),
+                        value: ValueSpec::GaStyle,
+                        attrs: CookieAttrs::default(),
+                    },
+                    ScriptOp::ReadAllCookies,
+                ],
+            ),
             0,
         );
         let stats = el.run(&mut p, &mut rng());
@@ -513,25 +621,33 @@ mod tests {
     #[test]
     fn exfiltrate_selected_cookie_segment_base64() {
         let mut p = MockPlatform::default();
-        p.cookies.insert("_ga".into(), "GA1.1.444332364.1746838827".into());
+        p.cookies
+            .insert("_ga".into(), "GA1.1.444332364.1746838827".into());
         p.cookies.insert("other".into(), "zzz".into());
         let mut el = EventLoop::new(1_750_000_000_000);
         el.push_script(
-            exec(0, "https://licdn.com/insight.min.js", vec![ScriptOp::Exfiltrate {
-                dest_host: "px.ads.linkedin.com".into(),
-                path: "/attribution_trigger".into(),
-                selection: CookieSelection::Named(vec!["_ga".into()]),
-                segment: SegmentPolicy::LongestSegment,
-                encoding: Encoding::Base64,
-                kind: RequestKind::Image,
-                via_store: false,
-            }]),
+            exec(
+                0,
+                "https://licdn.com/insight.min.js",
+                vec![ScriptOp::Exfiltrate {
+                    dest_host: "px.ads.linkedin.com".into(),
+                    path: "/attribution_trigger".into(),
+                    selection: CookieSelection::Named(vec!["_ga".into()]),
+                    segment: SegmentPolicy::LongestSegment,
+                    encoding: Encoding::Base64,
+                    kind: RequestKind::Image,
+                    via_store: false,
+                }],
+            ),
             0,
         );
         el.run(&mut p, &mut rng());
         let req = p.log.iter().find(|l| l.starts_with("req ")).unwrap();
         // longest segment is the 10-digit timestamp 1746838827
-        assert!(req.contains(&cg_hash::b64encode_no_pad(b"1746838827")), "{req}");
+        assert!(
+            req.contains(&cg_hash::b64encode_no_pad(b"1746838827")),
+            "{req}"
+        );
         assert!(req.contains("px.ads.linkedin.com"));
         assert!(!req.contains("zzz"));
     }
@@ -541,12 +657,16 @@ mod tests {
         let mut p = MockPlatform::default();
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://pubmatic.com/p.js", vec![ScriptOp::OverwriteCookie {
-                target: "cto_bundle".into(),
-                value: ValueSpec::HexId(64),
-                changes: AttrChanges::value_and_expiry(),
-                blind: false,
-            }]),
+            exec(
+                0,
+                "https://pubmatic.com/p.js",
+                vec![ScriptOp::OverwriteCookie {
+                    target: "cto_bundle".into(),
+                    value: ValueSpec::HexId(64),
+                    changes: AttrChanges::value_and_expiry(),
+                    blind: false,
+                }],
+            ),
             0,
         );
         el.run(&mut p, &mut rng());
@@ -554,12 +674,16 @@ mod tests {
         // blind overwrite writes anyway
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://pubmatic.com/p.js", vec![ScriptOp::OverwriteCookie {
-                target: "cto_bundle".into(),
-                value: ValueSpec::HexId(64),
-                changes: AttrChanges::value_and_expiry(),
-                blind: true,
-            }]),
+            exec(
+                0,
+                "https://pubmatic.com/p.js",
+                vec![ScriptOp::OverwriteCookie {
+                    target: "cto_bundle".into(),
+                    value: ValueSpec::HexId(64),
+                    changes: AttrChanges::value_and_expiry(),
+                    blind: true,
+                }],
+            ),
             0,
         );
         el.run(&mut p, &mut rng());
@@ -572,10 +696,14 @@ mod tests {
         p.cookies.insert("_fbp".into(), "fb.1.1.2".into());
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://cookie-script.com/consent.js", vec![ScriptOp::DeleteCookie {
-                target: "_fbp".into(),
-                via_store: false,
-            }]),
+            exec(
+                0,
+                "https://cookie-script.com/consent.js",
+                vec![ScriptOp::DeleteCookie {
+                    target: "_fbp".into(),
+                    via_store: false,
+                }],
+            ),
             0,
         );
         el.run(&mut p, &mut rng());
@@ -587,21 +715,34 @@ mod tests {
         let mut p = MockPlatform::default();
         p.injectable.insert(
             "https://ga.com/analytics.js".into(),
-            exec(1, "https://ga.com/analytics.js", vec![ScriptOp::SetCookie {
-                name: "_ga".into(),
-                value: ValueSpec::GaStyle,
-                attrs: CookieAttrs::default(),
-            }]),
+            exec(
+                1,
+                "https://ga.com/analytics.js",
+                vec![ScriptOp::SetCookie {
+                    name: "_ga".into(),
+                    value: ValueSpec::GaStyle,
+                    attrs: CookieAttrs::default(),
+                }],
+            ),
         );
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://gtm.com/gtm.js", vec![ScriptOp::InjectScript { url: "https://ga.com/analytics.js".into() }]),
+            exec(
+                0,
+                "https://gtm.com/gtm.js",
+                vec![ScriptOp::InjectScript {
+                    url: "https://ga.com/analytics.js".into(),
+                }],
+            ),
             0,
         );
         let stats = el.run(&mut p, &mut rng());
         assert_eq!(stats.scripts_injected, 1);
         // The set was attributed to ga.com, not gtm.com.
-        assert!(p.log.iter().any(|l| l.starts_with("set _ga=") && l.contains("ga.com")));
+        assert!(p
+            .log
+            .iter()
+            .any(|l| l.starts_with("set _ga=") && l.contains("ga.com")));
     }
 
     #[test]
@@ -609,20 +750,27 @@ mod tests {
         let mut p = MockPlatform::default();
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://t.com/t.js", vec![ScriptOp::Defer {
-                delay_ms: 250,
-                ops: vec![ScriptOp::SetCookie {
-                    name: "late".into(),
-                    value: ValueSpec::Short,
-                    attrs: CookieAttrs::default(),
+            exec(
+                0,
+                "https://t.com/t.js",
+                vec![ScriptOp::Defer {
+                    delay_ms: 250,
+                    ops: vec![ScriptOp::SetCookie {
+                        name: "late".into(),
+                        value: ValueSpec::Short,
+                        attrs: CookieAttrs::default(),
+                    }],
+                    lose_attribution: true,
                 }],
-                lose_attribution: true,
-            }]),
+            ),
             0,
         );
         let stats = el.run(&mut p, &mut rng());
         assert_eq!(stats.finished_at_ms, 250);
-        assert!(p.log.iter().any(|l| l.starts_with("set late=") && l.contains("None")));
+        assert!(p
+            .log
+            .iter()
+            .any(|l| l.starts_with("set late=") && l.contains("None")));
     }
 
     #[test]
@@ -630,15 +778,22 @@ mod tests {
         let mut p = MockPlatform::default();
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://t.com/t.js", vec![ScriptOp::Defer {
-                delay_ms: 10,
-                ops: vec![ScriptOp::ReadAllCookies],
-                lose_attribution: false,
-            }]),
+            exec(
+                0,
+                "https://t.com/t.js",
+                vec![ScriptOp::Defer {
+                    delay_ms: 10,
+                    ops: vec![ScriptOp::ReadAllCookies],
+                    lose_attribution: false,
+                }],
+            ),
             0,
         );
         el.run(&mut p, &mut rng());
-        assert!(p.log.iter().any(|l| l.starts_with("get by Some") && l.contains("t.com")));
+        assert!(p
+            .log
+            .iter()
+            .any(|l| l.starts_with("get by Some") && l.contains("t.com")));
     }
 
     #[test]
@@ -646,10 +801,24 @@ mod tests {
         let mut p = MockPlatform::default();
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://a.com/a.js", vec![
-                ScriptOp::Defer { delay_ms: 0, ops: vec![ScriptOp::DomInsert { tag: "macro".into() }], lose_attribution: false },
-                ScriptOp::Microtask { ops: vec![ScriptOp::DomInsert { tag: "micro".into() }] },
-            ]),
+            exec(
+                0,
+                "https://a.com/a.js",
+                vec![
+                    ScriptOp::Defer {
+                        delay_ms: 0,
+                        ops: vec![ScriptOp::DomInsert {
+                            tag: "macro".into(),
+                        }],
+                        lose_attribution: false,
+                    },
+                    ScriptOp::Microtask {
+                        ops: vec![ScriptOp::DomInsert {
+                            tag: "micro".into(),
+                        }],
+                    },
+                ],
+            ),
             0,
         );
         el.run(&mut p, &mut rng());
@@ -662,8 +831,26 @@ mod tests {
     fn tasks_ordered_by_time_then_fifo() {
         let mut p = MockPlatform::default();
         let mut el = EventLoop::new(0);
-        el.push_script(exec(0, "https://b.com/1.js", vec![ScriptOp::DomInsert { tag: "second".into() }]), 20);
-        el.push_script(exec(1, "https://a.com/2.js", vec![ScriptOp::DomInsert { tag: "first".into() }]), 10);
+        el.push_script(
+            exec(
+                0,
+                "https://b.com/1.js",
+                vec![ScriptOp::DomInsert {
+                    tag: "second".into(),
+                }],
+            ),
+            20,
+        );
+        el.push_script(
+            exec(
+                1,
+                "https://a.com/2.js",
+                vec![ScriptOp::DomInsert {
+                    tag: "first".into(),
+                }],
+            ),
+            10,
+        );
         el.run(&mut p, &mut rng());
         assert_eq!(p.log, vec!["dom_insert first", "dom_insert second"]);
     }
@@ -674,11 +861,23 @@ mod tests {
         // A self-reinjecting script would loop forever; budget stops it.
         p.injectable.insert(
             "https://loop.com/l.js".into(),
-            exec(1, "https://loop.com/l.js", vec![ScriptOp::InjectScript { url: "https://loop.com/l.js".into() }]),
+            exec(
+                1,
+                "https://loop.com/l.js",
+                vec![ScriptOp::InjectScript {
+                    url: "https://loop.com/l.js".into(),
+                }],
+            ),
         );
         let mut el = EventLoop::new(0).with_max_ops(100);
         el.push_script(
-            exec(0, "https://loop.com/l.js", vec![ScriptOp::InjectScript { url: "https://loop.com/l.js".into() }]),
+            exec(
+                0,
+                "https://loop.com/l.js",
+                vec![ScriptOp::InjectScript {
+                    url: "https://loop.com/l.js".into(),
+                }],
+            ),
             0,
         );
         let stats = el.run(&mut p, &mut rng());
@@ -692,10 +891,20 @@ mod tests {
         p.cookies.insert("sso_session".into(), "tok".into());
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://idp.com/sso.js", vec![
-                ScriptOp::Probe { feature: "sso".into(), cookie: "sso_session".into() },
-                ScriptOp::Probe { feature: "cart".into(), cookie: "cart_id".into() },
-            ]),
+            exec(
+                0,
+                "https://idp.com/sso.js",
+                vec![
+                    ScriptOp::Probe {
+                        feature: "sso".into(),
+                        cookie: "sso_session".into(),
+                    },
+                    ScriptOp::Probe {
+                        feature: "cart".into(),
+                        cookie: "cart_id".into(),
+                    },
+                ],
+            ),
             0,
         );
         el.run(&mut p, &mut rng());
@@ -706,7 +915,10 @@ mod tests {
     #[test]
     fn parse_pairs_handles_variants() {
         assert_eq!(parse_pairs(""), vec![]);
-        assert_eq!(parse_pairs("a=1; b=2"), vec![("a".into(), "1".into()), ("b".into(), "2".into())]);
+        assert_eq!(
+            parse_pairs("a=1; b=2"),
+            vec![("a".into(), "1".into()), ("b".into(), "2".into())]
+        );
         assert_eq!(parse_pairs("lone"), vec![("".into(), "lone".into())]);
     }
 
@@ -720,23 +932,38 @@ mod tests {
         let mut el = EventLoop::new(0);
         // The tracker sets its identifier and watches for its deletion.
         el.push_script(
-            exec(0, "https://tracker.com/t.js", vec![
-                ScriptOp::SetCookie { name: "_tid".into(), value: ValueSpec::HexId(16), attrs: CookieAttrs::default() },
-                ScriptOp::OnCookieChange {
-                    watch: Some("_tid".into()),
-                    deletions_only: true,
-                    ops: vec![ScriptOp::SetCookie {
+            exec(
+                0,
+                "https://tracker.com/t.js",
+                vec![
+                    ScriptOp::SetCookie {
                         name: "_tid".into(),
                         value: ValueSpec::HexId(16),
                         attrs: CookieAttrs::default(),
-                    }],
-                },
-            ]),
+                    },
+                    ScriptOp::OnCookieChange {
+                        watch: Some("_tid".into()),
+                        deletions_only: true,
+                        ops: vec![ScriptOp::SetCookie {
+                            name: "_tid".into(),
+                            value: ValueSpec::HexId(16),
+                            attrs: CookieAttrs::default(),
+                        }],
+                    },
+                ],
+            ),
             0,
         );
         // A consent manager deletes the identifier later.
         el.push_script(
-            exec(1, "https://consent.io/c.js", vec![ScriptOp::DeleteCookie { target: "_tid".into(), via_store: false }]),
+            exec(
+                1,
+                "https://consent.io/c.js",
+                vec![ScriptOp::DeleteCookie {
+                    target: "_tid".into(),
+                    via_store: false,
+                }],
+            ),
             100,
         );
         let stats = el.run(&mut p, &mut rng());
@@ -758,22 +985,37 @@ mod tests {
         let mut p = MockPlatform::default();
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://tracker.com/t.js", vec![
-                ScriptOp::SetCookie { name: "_tid".into(), value: ValueSpec::HexId(16), attrs: CookieAttrs::default() },
-                ScriptOp::OnCookieChange {
-                    watch: Some("_tid".into()),
-                    deletions_only: true,
-                    ops: vec![ScriptOp::SetCookie {
+            exec(
+                0,
+                "https://tracker.com/t.js",
+                vec![
+                    ScriptOp::SetCookie {
                         name: "_tid".into(),
                         value: ValueSpec::HexId(16),
                         attrs: CookieAttrs::default(),
-                    }],
-                },
-            ]),
+                    },
+                    ScriptOp::OnCookieChange {
+                        watch: Some("_tid".into()),
+                        deletions_only: true,
+                        ops: vec![ScriptOp::SetCookie {
+                            name: "_tid".into(),
+                            value: ValueSpec::HexId(16),
+                            attrs: CookieAttrs::default(),
+                        }],
+                    },
+                ],
+            ),
             0,
         );
         el.push_script(
-            exec(1, "https://consent.io/c.js", vec![ScriptOp::DeleteCookie { target: "_tid".into(), via_store: false }]),
+            exec(
+                1,
+                "https://consent.io/c.js",
+                vec![ScriptOp::DeleteCookie {
+                    target: "_tid".into(),
+                    via_store: false,
+                }],
+            ),
             50,
         );
         let stats = el.run(&mut p, &mut rng());
@@ -790,24 +1032,45 @@ mod tests {
         p.invisible.push(("spy.com".into(), "_secret".into()));
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://spy.com/s.js", vec![ScriptOp::OnCookieChange {
-                watch: None,
-                deletions_only: false,
-                ops: vec![ScriptOp::DomInsert { tag: "observed".into() }],
-            }]),
+            exec(
+                0,
+                "https://spy.com/s.js",
+                vec![ScriptOp::OnCookieChange {
+                    watch: None,
+                    deletions_only: false,
+                    ops: vec![ScriptOp::DomInsert {
+                        tag: "observed".into(),
+                    }],
+                }],
+            ),
             0,
         );
         el.push_script(
-            exec(1, "https://owner.com/o.js", vec![
-                ScriptOp::SetCookie { name: "_secret".into(), value: ValueSpec::Short, attrs: CookieAttrs::default() },
-                ScriptOp::SetCookie { name: "_open".into(), value: ValueSpec::Short, attrs: CookieAttrs::default() },
-            ]),
+            exec(
+                1,
+                "https://owner.com/o.js",
+                vec![
+                    ScriptOp::SetCookie {
+                        name: "_secret".into(),
+                        value: ValueSpec::Short,
+                        attrs: CookieAttrs::default(),
+                    },
+                    ScriptOp::SetCookie {
+                        name: "_open".into(),
+                        value: ValueSpec::Short,
+                        attrs: CookieAttrs::default(),
+                    },
+                ],
+            ),
             10,
         );
         let stats = el.run(&mut p, &mut rng());
         // Only the _open change was delivered.
         assert_eq!(stats.change_events_fired, 1);
-        assert_eq!(p.log.iter().filter(|l| *l == "dom_insert observed").count(), 1);
+        assert_eq!(
+            p.log.iter().filter(|l| *l == "dom_insert observed").count(),
+            1
+        );
     }
 
     #[test]
@@ -815,22 +1078,43 @@ mod tests {
         let mut p = MockPlatform::default();
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://w.com/w.js", vec![ScriptOp::OnCookieChange {
-                watch: Some("a".into()),
-                deletions_only: true,
-                ops: vec![ScriptOp::DomInsert { tag: "fired".into() }],
-            }]),
+            exec(
+                0,
+                "https://w.com/w.js",
+                vec![ScriptOp::OnCookieChange {
+                    watch: Some("a".into()),
+                    deletions_only: true,
+                    ops: vec![ScriptOp::DomInsert {
+                        tag: "fired".into(),
+                    }],
+                }],
+            ),
             0,
         );
         el.push_script(
-            exec(1, "https://x.com/x.js", vec![
-                // Non-watched name: ignored.
-                ScriptOp::SetCookie { name: "b".into(), value: ValueSpec::Short, attrs: CookieAttrs::default() },
-                // Watched name, but a creation: ignored (deletions only).
-                ScriptOp::SetCookie { name: "a".into(), value: ValueSpec::Short, attrs: CookieAttrs::default() },
-                // Watched deletion: fires.
-                ScriptOp::DeleteCookie { target: "a".into(), via_store: false },
-            ]),
+            exec(
+                1,
+                "https://x.com/x.js",
+                vec![
+                    // Non-watched name: ignored.
+                    ScriptOp::SetCookie {
+                        name: "b".into(),
+                        value: ValueSpec::Short,
+                        attrs: CookieAttrs::default(),
+                    },
+                    // Watched name, but a creation: ignored (deletions only).
+                    ScriptOp::SetCookie {
+                        name: "a".into(),
+                        value: ValueSpec::Short,
+                        attrs: CookieAttrs::default(),
+                    },
+                    // Watched deletion: fires.
+                    ScriptOp::DeleteCookie {
+                        target: "a".into(),
+                        via_store: false,
+                    },
+                ],
+            ),
             10,
         );
         let stats = el.run(&mut p, &mut rng());
@@ -843,15 +1127,26 @@ mod tests {
         p.cookies.insert("k".into(), "v".into());
         let mut el = EventLoop::new(0);
         el.push_script(
-            exec(0, "https://w.com/w.js", vec![ScriptOp::OnCookieChange {
-                watch: Some("k".into()),
-                deletions_only: true,
-                ops: vec![ScriptOp::DomInsert { tag: "gone".into() }],
-            }]),
+            exec(
+                0,
+                "https://w.com/w.js",
+                vec![ScriptOp::OnCookieChange {
+                    watch: Some("k".into()),
+                    deletions_only: true,
+                    ops: vec![ScriptOp::DomInsert { tag: "gone".into() }],
+                }],
+            ),
             0,
         );
         el.push_script(
-            exec(1, "https://x.com/x.js", vec![ScriptOp::DeleteCookie { target: "k".into(), via_store: true }]),
+            exec(
+                1,
+                "https://x.com/x.js",
+                vec![ScriptOp::DeleteCookie {
+                    target: "k".into(),
+                    via_store: true,
+                }],
+            ),
             10,
         );
         let stats = el.run(&mut p, &mut rng());

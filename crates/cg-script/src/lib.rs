@@ -22,7 +22,9 @@ pub mod platform;
 pub mod signature;
 pub mod value;
 
-pub use behavior::{AttrChanges, CookieAttrs, CookieSelection, DomMutationKind, Encoding, ScriptOp, SegmentPolicy};
+pub use behavior::{
+    AttrChanges, CookieAttrs, CookieSelection, DomMutationKind, Encoding, ScriptOp, SegmentPolicy,
+};
 pub use context::{Attribution, StackFrame};
 pub use event_loop::{EventLoop, RunStats, ScriptExecution};
 pub use platform::{CookieChangeNotice, Platform};

@@ -46,7 +46,13 @@ pub trait Platform {
     fn cookie_store_get_all(&mut self, at: &Attribution) -> Vec<(String, String)>;
 
     /// `cookieStore.set(…)`. Returns false when rejected.
-    fn cookie_store_set(&mut self, at: &Attribution, name: &str, value: &str, expires_in_ms: Option<i64>) -> bool;
+    fn cookie_store_set(
+        &mut self,
+        at: &Attribution,
+        name: &str,
+        value: &str,
+        expires_in_ms: Option<i64>,
+    ) -> bool;
 
     /// `cookieStore.delete(name)`. Returns false when rejected/absent.
     fn cookie_store_delete(&mut self, at: &Attribution, name: &str) -> bool;

@@ -71,7 +71,12 @@ fn hash_ops(h: &mut Fnv, ops: &[ScriptOp]) {
                 h.str(if *via_store { "store_delete" } else { "delete" });
                 h.str(target);
             }
-            ScriptOp::Exfiltrate { dest_host, path, selection, .. } => {
+            ScriptOp::Exfiltrate {
+                dest_host,
+                path,
+                selection,
+                ..
+            } => {
                 h.str("exfil");
                 h.str(dest_host);
                 h.str(path);
@@ -86,7 +91,9 @@ fn hash_ops(h: &mut Fnv, ops: &[ScriptOp]) {
                     }
                 }
             }
-            ScriptOp::SendRequest { dest_host, path, .. } => {
+            ScriptOp::SendRequest {
+                dest_host, path, ..
+            } => {
                 h.str("req");
                 h.str(dest_host);
                 h.str(path);
@@ -100,7 +107,11 @@ fn hash_ops(h: &mut Fnv, ops: &[ScriptOp]) {
                 h.str(tag);
             }
             ScriptOp::DomMutate { foreign_target, .. } => {
-                h.str(if *foreign_target { "dom_mutate_foreign" } else { "dom_mutate" });
+                h.str(if *foreign_target {
+                    "dom_mutate_foreign"
+                } else {
+                    "dom_mutate"
+                });
             }
             // Timing and attribution details are *not* part of the
             // signature: only the nested structure is.
@@ -119,8 +130,16 @@ fn hash_ops(h: &mut Fnv, ops: &[ScriptOp]) {
                 h.str(feature);
                 h.str(cookie);
             }
-            ScriptOp::OnCookieChange { watch, deletions_only, ops } => {
-                h.str(if *deletions_only { "on_change_del[" } else { "on_change[" });
+            ScriptOp::OnCookieChange {
+                watch,
+                deletions_only,
+                ops,
+            } => {
+                h.str(if *deletions_only {
+                    "on_change_del["
+                } else {
+                    "on_change["
+                });
                 if let Some(w) = watch {
                     h.str(w);
                 }
@@ -147,7 +166,8 @@ impl SignatureDb {
 
     /// Learns `ops` as belonging to `domain`.
     pub fn learn(&mut self, domain: &str, ops: &[ScriptOp]) {
-        self.map.insert(behavior_signature(ops), domain.to_ascii_lowercase());
+        self.map
+            .insert(behavior_signature(ops), domain.to_ascii_lowercase());
     }
 
     /// Looks up a behaviour; returns the known owning domain, if any.
@@ -175,7 +195,11 @@ mod tests {
 
     fn tracker_ops(delay: u64, value: ValueSpec) -> Vec<ScriptOp> {
         vec![
-            ScriptOp::SetCookie { name: "_tid".into(), value, attrs: CookieAttrs::default() },
+            ScriptOp::SetCookie {
+                name: "_tid".into(),
+                value,
+                attrs: CookieAttrs::default(),
+            },
             ScriptOp::Defer {
                 delay_ms: delay,
                 ops: vec![ScriptOp::Exfiltrate {
@@ -205,7 +229,10 @@ mod tests {
     fn signature_distinguishes_structure() {
         let a = behavior_signature(&tracker_ops(400, ValueSpec::Uuid));
         let mut other = tracker_ops(400, ValueSpec::Uuid);
-        other.push(ScriptOp::DeleteCookie { target: "_fbp".into(), via_store: false });
+        other.push(ScriptOp::DeleteCookie {
+            target: "_fbp".into(),
+            via_store: false,
+        });
         assert_ne!(a, behavior_signature(&other));
         // Different cookie name → different signature.
         let renamed = vec![ScriptOp::SetCookie {
@@ -213,7 +240,10 @@ mod tests {
             value: ValueSpec::Uuid,
             attrs: CookieAttrs::default(),
         }];
-        assert_ne!(behavior_signature(&renamed), behavior_signature(&tracker_ops(0, ValueSpec::Uuid)[..1]));
+        assert_ne!(
+            behavior_signature(&renamed),
+            behavior_signature(&tracker_ops(0, ValueSpec::Uuid)[..1])
+        );
     }
 
     #[test]
@@ -227,7 +257,12 @@ mod tests {
         let b = vec![ScriptOp::OverwriteCookie {
             target: "_fbp".into(),
             value: ValueSpec::HexId(64),
-            changes: AttrChanges { value: true, expires: false, domain: true, path: false },
+            changes: AttrChanges {
+                value: true,
+                expires: false,
+                domain: true,
+                path: false,
+            },
             blind: true,
         }];
         assert_eq!(behavior_signature(&a), behavior_signature(&b));
@@ -239,7 +274,10 @@ mod tests {
         db.learn("tracker.io", &tracker_ops(400, ValueSpec::Uuid));
         assert_eq!(db.len(), 1);
         // An "inline copy" with different jitter still attributes.
-        assert_eq!(db.attribute(&tracker_ops(900, ValueSpec::HexId(16))), Some("tracker.io"));
+        assert_eq!(
+            db.attribute(&tracker_ops(900, ValueSpec::HexId(16))),
+            Some("tracker.io")
+        );
         assert_eq!(db.attribute(&[ScriptOp::ReadAllCookies]), None);
     }
 }

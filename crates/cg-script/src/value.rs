@@ -42,12 +42,20 @@ impl ValueSpec {
                 // Identifier cookies carry the timestamp of the visit on
                 // which they were first minted — usually days in the past
                 // (and never colliding across cookies within a page).
-                let minted_s = (now_ms / 1000) - rng.gen_range(3_600..7_776_000);
-                format!("GA1.1.{}.{}", rng.gen_range(100_000_000u64..1_000_000_000), minted_s)
+                let minted_s = (now_ms / 1000) - rng.gen_range(3_600i64..7_776_000);
+                format!(
+                    "GA1.1.{}.{}",
+                    rng.gen_range(100_000_000u64..1_000_000_000),
+                    minted_s
+                )
             }
             ValueSpec::FbpStyle => {
-                let minted_ms = now_ms - rng.gen_range(3_600_000..7_776_000_000);
-                format!("fb.1.{}.{}", minted_ms, rng.gen_range(100_000_000_000_000_000u64..1_000_000_000_000_000_000))
+                let minted_ms = now_ms - rng.gen_range(3_600_000i64..7_776_000_000);
+                format!(
+                    "fb.1.{}.{}",
+                    minted_ms,
+                    rng.gen_range(100_000_000_000_000_000u64..1_000_000_000_000_000_000)
+                )
             }
             ValueSpec::HexId(len) => {
                 let mut s = String::with_capacity(*len as usize);
@@ -65,8 +73,14 @@ impl ValueSpec {
                 format!("{}-{}-{}-{}-{}", hex(8), hex(4), hex(4), hex(4), hex(12))
             }
             ValueSpec::CounterTimestampSession => {
-                let minted_s = (now_ms / 1000) - rng.gen_range(60..604_800);
-                format!("{}.{}.{}-{}", rng.gen_range(1..20), minted_s, rng.gen_range(10_000_000u64..100_000_000), "x")
+                let minted_s = (now_ms / 1000) - rng.gen_range(60i64..604_800);
+                format!(
+                    "{}.{}.{}-{}",
+                    rng.gen_range(1..20),
+                    minted_s,
+                    rng.gen_range(10_000_000u64..100_000_000),
+                    "x"
+                )
             }
             ValueSpec::ConsentString => {
                 format!(
@@ -141,9 +155,15 @@ mod tests {
 
     #[test]
     fn segment_split_matches_paper_spec() {
-        assert_eq!(split_segments("GA1.1.444332364.1746838827"), vec!["444332364", "1746838827"]);
+        assert_eq!(
+            split_segments("GA1.1.444332364.1746838827"),
+            vec!["444332364", "1746838827"]
+        );
         assert_eq!(split_segments("short.tiny"), Vec::<&str>::new());
-        assert_eq!(split_segments("abcdefgh|ijklmnop"), vec!["abcdefgh", "ijklmnop"]);
+        assert_eq!(
+            split_segments("abcdefgh|ijklmnop"),
+            vec!["abcdefgh", "ijklmnop"]
+        );
     }
 
     #[test]

@@ -31,7 +31,8 @@ impl CnameMap {
 
     /// Adds a record `alias CNAME target`.
     pub fn insert(&mut self, alias: &str, target: &str) {
-        self.records.insert(alias.to_ascii_lowercase(), target.to_ascii_lowercase());
+        self.records
+            .insert(alias.to_ascii_lowercase(), target.to_ascii_lowercase());
     }
 
     /// Number of records.
@@ -111,7 +112,10 @@ mod tests {
     #[test]
     fn uncloaked_domain_reveals_tracker() {
         let m = map();
-        assert_eq!(m.uncloaked_domain("metrics.shop.example").as_deref(), Some("trackerhub.io"));
+        assert_eq!(
+            m.uncloaked_domain("metrics.shop.example").as_deref(),
+            Some("trackerhub.io")
+        );
         assert!(m.is_cloaked("metrics.shop.example"));
         assert!(!m.is_cloaked("www.shop.example"));
     }

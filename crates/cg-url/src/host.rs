@@ -38,7 +38,10 @@ impl Host {
             if label.starts_with('-') || label.ends_with('-') {
                 return None;
             }
-            if !label.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+            if !label
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+            {
                 return None;
             }
             labels += 1;
@@ -110,7 +113,9 @@ pub fn domain_match(host: &str, domain: &str) -> bool {
     if parse_ipv4(&host).is_some() {
         return false;
     }
-    host.len() > domain.len() && host.ends_with(&domain) && host.as_bytes()[host.len() - domain.len() - 1] == b'.'
+    host.len() > domain.len()
+        && host.ends_with(&domain)
+        && host.as_bytes()[host.len() - domain.len() - 1] == b'.'
 }
 
 #[cfg(test)]
@@ -119,14 +124,23 @@ mod tests {
 
     #[test]
     fn parses_names_lowercased() {
-        assert_eq!(Host::parse("WWW.Example.COM"), Some(Host::Name("www.example.com".into())));
+        assert_eq!(
+            Host::parse("WWW.Example.COM"),
+            Some(Host::Name("www.example.com".into()))
+        );
     }
 
     #[test]
     fn parses_ipv4() {
-        assert_eq!(Host::parse("192.168.0.1"), Some(Host::Ipv4([192, 168, 0, 1])));
+        assert_eq!(
+            Host::parse("192.168.0.1"),
+            Some(Host::Ipv4([192, 168, 0, 1]))
+        );
         // Out-of-range octet falls back to name rules and fails (leading digit ok but 999 > 255)
-        assert_eq!(Host::parse("999.1.1.1"), Some(Host::Name("999.1.1.1".into())));
+        assert_eq!(
+            Host::parse("999.1.1.1"),
+            Some(Host::Name("999.1.1.1".into()))
+        );
     }
 
     #[test]

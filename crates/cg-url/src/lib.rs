@@ -15,6 +15,7 @@
 
 pub mod cname;
 pub mod host;
+pub mod intern;
 pub mod origin;
 pub mod parser;
 pub mod psl;
@@ -22,6 +23,7 @@ pub mod query;
 
 pub use cname::CnameMap;
 pub use host::Host;
+pub use intern::{shard_id_for_host, DomainId};
 pub use origin::Origin;
 pub use parser::{ParseError, Url};
 pub use psl::{is_public_suffix, registrable_domain};

@@ -28,7 +28,11 @@ pub struct Origin {
 impl Origin {
     /// Builds an origin from parts.
     pub fn new(scheme: &str, host: Host, port: u16) -> Origin {
-        Origin { scheme: scheme.to_ascii_lowercase(), host, port }
+        Origin {
+            scheme: scheme.to_ascii_lowercase(),
+            host,
+            port,
+        }
     }
 
     /// True when `other` is the same origin (scheme, host and port all

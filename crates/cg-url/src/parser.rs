@@ -84,12 +84,20 @@ impl Url {
             None => (authority, None),
         };
         let host = Host::parse(host_str).ok_or(ParseError::BadHost)?;
-        Ok(Url { scheme, host, port, path, query, fragment })
+        Ok(Url {
+            scheme,
+            host,
+            port,
+            path,
+            query,
+            fragment,
+        })
     }
 
     /// The effective port: explicit, or the scheme default (80/443).
     pub fn effective_port(&self) -> u16 {
-        self.port.unwrap_or(if self.scheme == "https" { 443 } else { 80 })
+        self.port
+            .unwrap_or(if self.scheme == "https" { 443 } else { 80 })
     }
 
     /// The origin (scheme, host, effective port) of this URL — SOP's unit
@@ -118,7 +126,11 @@ impl Url {
     /// mint internal links).
     pub fn with_path(&self, path: &str) -> Url {
         let mut u = self.clone();
-        u.path = if path.starts_with('/') { path.to_string() } else { format!("/{path}") };
+        u.path = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("/{path}")
+        };
         u
     }
 }
@@ -171,8 +183,14 @@ mod tests {
         assert_eq!(Url::parse("ftp://a.com"), Err(ParseError::BadScheme));
         assert_eq!(Url::parse("no-scheme.com/x"), Err(ParseError::BadScheme));
         assert_eq!(Url::parse("https://"), Err(ParseError::BadHost));
-        assert_eq!(Url::parse("https://user@host.com"), Err(ParseError::BadHost));
-        assert_eq!(Url::parse("https://a.com:notaport/"), Err(ParseError::BadPort));
+        assert_eq!(
+            Url::parse("https://user@host.com"),
+            Err(ParseError::BadHost)
+        );
+        assert_eq!(
+            Url::parse("https://a.com:notaport/"),
+            Err(ParseError::BadPort)
+        );
     }
 
     #[test]

@@ -15,41 +15,214 @@ use std::sync::OnceLock;
 /// the real list: plain rules, `*.` wildcard rules, and `!` exceptions.
 const RULES: &[&str] = &[
     // Generic TLDs.
-    "com", "org", "net", "edu", "gov", "mil", "int", "info", "biz", "name",
-    "io", "co", "ai", "app", "dev", "xyz", "site", "online", "store", "tech",
-    "blog", "cloud", "club", "shop", "media", "news", "live", "life", "world",
-    "agency", "digital", "network", "solutions", "systems", "tools", "zone",
-    "email", "exposed", "expert", "academy", "marketing", "software", "social",
-    "ventures", "partners", "capital", "finance", "fund", "money", "tv", "fm",
-    "am", "ws", "cc", "me", "ly", "gg", "sh", "ac",
+    "com",
+    "org",
+    "net",
+    "edu",
+    "gov",
+    "mil",
+    "int",
+    "info",
+    "biz",
+    "name",
+    "io",
+    "co",
+    "ai",
+    "app",
+    "dev",
+    "xyz",
+    "site",
+    "online",
+    "store",
+    "tech",
+    "blog",
+    "cloud",
+    "club",
+    "shop",
+    "media",
+    "news",
+    "live",
+    "life",
+    "world",
+    "agency",
+    "digital",
+    "network",
+    "solutions",
+    "systems",
+    "tools",
+    "zone",
+    "email",
+    "exposed",
+    "expert",
+    "academy",
+    "marketing",
+    "software",
+    "social",
+    "ventures",
+    "partners",
+    "capital",
+    "finance",
+    "fund",
+    "money",
+    "tv",
+    "fm",
+    "am",
+    "ws",
+    "cc",
+    "me",
+    "ly",
+    "gg",
+    "sh",
+    "ac",
     // Country codes used by the vendor registry and site generator.
-    "us", "uk", "de", "fr", "nl", "es", "it", "pt", "pl", "cz", "ru", "ua",
-    "jp", "cn", "kr", "in", "au", "nz", "br", "mx", "ar", "cl", "ca", "ch",
-    "at", "be", "dk", "se", "no", "fi", "ie", "il", "tr", "gr", "hu", "ro",
-    "sk", "si", "hr", "rs", "bg", "lt", "lv", "ee", "is", "za", "eg", "ng",
-    "ke", "ma", "sa", "ae", "ir", "pk", "bd", "lk", "th", "vn", "my", "sg",
-    "ph", "id", "tw", "hk", "mo",
+    "us",
+    "uk",
+    "de",
+    "fr",
+    "nl",
+    "es",
+    "it",
+    "pt",
+    "pl",
+    "cz",
+    "ru",
+    "ua",
+    "jp",
+    "cn",
+    "kr",
+    "in",
+    "au",
+    "nz",
+    "br",
+    "mx",
+    "ar",
+    "cl",
+    "ca",
+    "ch",
+    "at",
+    "be",
+    "dk",
+    "se",
+    "no",
+    "fi",
+    "ie",
+    "il",
+    "tr",
+    "gr",
+    "hu",
+    "ro",
+    "sk",
+    "si",
+    "hr",
+    "rs",
+    "bg",
+    "lt",
+    "lv",
+    "ee",
+    "is",
+    "za",
+    "eg",
+    "ng",
+    "ke",
+    "ma",
+    "sa",
+    "ae",
+    "ir",
+    "pk",
+    "bd",
+    "lk",
+    "th",
+    "vn",
+    "my",
+    "sg",
+    "ph",
+    "id",
+    "tw",
+    "hk",
+    "mo",
     // Multi-label country suffixes.
-    "co.uk", "org.uk", "me.uk", "ac.uk", "gov.uk", "net.uk", "sch.uk",
-    "com.au", "net.au", "org.au", "edu.au", "gov.au",
-    "co.nz", "net.nz", "org.nz", "govt.nz",
-    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
-    "co.kr", "or.kr", "go.kr",
-    "com.br", "net.br", "org.br", "gov.br",
-    "com.mx", "org.mx", "gob.mx",
-    "com.ar", "com.cn", "net.cn", "org.cn", "gov.cn",
-    "co.in", "net.in", "org.in", "gov.in", "ac.in",
-    "co.za", "org.za", "web.za",
-    "com.sg", "com.my", "com.ph", "com.vn", "com.tr", "com.hk", "com.tw",
-    "co.il", "org.il", "co.th", "in.th", "com.eg", "com.sa", "com.pk",
+    "co.uk",
+    "org.uk",
+    "me.uk",
+    "ac.uk",
+    "gov.uk",
+    "net.uk",
+    "sch.uk",
+    "com.au",
+    "net.au",
+    "org.au",
+    "edu.au",
+    "gov.au",
+    "co.nz",
+    "net.nz",
+    "org.nz",
+    "govt.nz",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "ac.jp",
+    "go.jp",
+    "co.kr",
+    "or.kr",
+    "go.kr",
+    "com.br",
+    "net.br",
+    "org.br",
+    "gov.br",
+    "com.mx",
+    "org.mx",
+    "gob.mx",
+    "com.ar",
+    "com.cn",
+    "net.cn",
+    "org.cn",
+    "gov.cn",
+    "co.in",
+    "net.in",
+    "org.in",
+    "gov.in",
+    "ac.in",
+    "co.za",
+    "org.za",
+    "web.za",
+    "com.sg",
+    "com.my",
+    "com.ph",
+    "com.vn",
+    "com.tr",
+    "com.hk",
+    "com.tw",
+    "co.il",
+    "org.il",
+    "co.th",
+    "in.th",
+    "com.eg",
+    "com.sa",
+    "com.pk",
     // Private-domain suffixes relevant to script hosting.
-    "github.io", "gitlab.io", "herokuapp.com", "netlify.app", "vercel.app",
-    "web.app", "firebaseapp.com", "azurewebsites.net", "cloudfront.net",
-    "amazonaws.com", "s3.amazonaws.com", "blogspot.com", "wordpress.com",
-    "tumblr.com", "fastly.net", "akamaized.net", "pages.dev", "workers.dev",
+    "github.io",
+    "gitlab.io",
+    "herokuapp.com",
+    "netlify.app",
+    "vercel.app",
+    "web.app",
+    "firebaseapp.com",
+    "azurewebsites.net",
+    "cloudfront.net",
+    "amazonaws.com",
+    "s3.amazonaws.com",
+    "blogspot.com",
+    "wordpress.com",
+    "tumblr.com",
+    "fastly.net",
+    "akamaized.net",
+    "pages.dev",
+    "workers.dev",
     // Wildcard and exception rules (the interesting algorithmic cases).
-    "*.ck", "!www.ck",
-    "*.bn", "*.kw",
+    "*.ck",
+    "!www.ck",
+    "*.bn",
+    "*.kw",
     "*.compute.amazonaws.com",
 ];
 
@@ -74,7 +247,11 @@ fn rules() -> &'static RuleSet {
                 plain.insert(*r);
             }
         }
-        RuleSet { plain, wildcard, exception }
+        RuleSet {
+            plain,
+            wildcard,
+            exception,
+        }
     })
 }
 
@@ -150,29 +327,50 @@ mod tests {
 
     #[test]
     fn simple_tld() {
-        assert_eq!(registrable_domain("www.example.com").as_deref(), Some("example.com"));
-        assert_eq!(registrable_domain("example.com").as_deref(), Some("example.com"));
+        assert_eq!(
+            registrable_domain("www.example.com").as_deref(),
+            Some("example.com")
+        );
+        assert_eq!(
+            registrable_domain("example.com").as_deref(),
+            Some("example.com")
+        );
         assert_eq!(registrable_domain("com"), None);
     }
 
     #[test]
     fn multi_label_suffix() {
-        assert_eq!(registrable_domain("www.bbc.co.uk").as_deref(), Some("bbc.co.uk"));
+        assert_eq!(
+            registrable_domain("www.bbc.co.uk").as_deref(),
+            Some("bbc.co.uk")
+        );
         assert_eq!(registrable_domain("co.uk"), None);
-        assert_eq!(registrable_domain("deep.sub.shop.com.au").as_deref(), Some("shop.com.au"));
+        assert_eq!(
+            registrable_domain("deep.sub.shop.com.au").as_deref(),
+            Some("shop.com.au")
+        );
     }
 
     #[test]
     fn private_suffixes() {
-        assert_eq!(registrable_domain("user.github.io").as_deref(), Some("user.github.io"));
-        assert_eq!(registrable_domain("d111.cloudfront.net").as_deref(), Some("d111.cloudfront.net"));
+        assert_eq!(
+            registrable_domain("user.github.io").as_deref(),
+            Some("user.github.io")
+        );
+        assert_eq!(
+            registrable_domain("d111.cloudfront.net").as_deref(),
+            Some("d111.cloudfront.net")
+        );
         assert_eq!(registrable_domain("github.io"), None);
     }
 
     #[test]
     fn wildcard_and_exception() {
         // *.ck: anything.ck is a suffix, so foo.bar.ck registers bar-level+1.
-        assert_eq!(registrable_domain("a.b.foo.ck").as_deref(), Some("b.foo.ck"));
+        assert_eq!(
+            registrable_domain("a.b.foo.ck").as_deref(),
+            Some("b.foo.ck")
+        );
         assert_eq!(registrable_domain("foo.ck"), None);
         // !www.ck: exception — www.ck itself is registrable.
         assert_eq!(registrable_domain("www.ck").as_deref(), Some("www.ck"));
@@ -181,7 +379,10 @@ mod tests {
 
     #[test]
     fn unknown_tld_uses_implicit_star() {
-        assert_eq!(registrable_domain("foo.unknowntld").as_deref(), Some("foo.unknowntld"));
+        assert_eq!(
+            registrable_domain("foo.unknowntld").as_deref(),
+            Some("foo.unknowntld")
+        );
         assert_eq!(registrable_domain("unknowntld"), None);
     }
 
@@ -202,6 +403,9 @@ mod tests {
 
     #[test]
     fn case_and_dots_normalized() {
-        assert_eq!(registrable_domain("WWW.Example.COM.").as_deref(), Some("example.com"));
+        assert_eq!(
+            registrable_domain("WWW.Example.COM.").as_deref(),
+            Some("example.com")
+        );
     }
 }

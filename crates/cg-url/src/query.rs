@@ -43,7 +43,10 @@ impl QueryPairs {
 
     /// First value for `key`, if any.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// All pairs, in order.
@@ -193,7 +196,11 @@ mod tests {
     #[test]
     fn multimap_preserves_duplicates() {
         let q = QueryPairs::parse("k=1&k=2");
-        let vals: Vec<_> = q.iter().filter(|(k, _)| *k == "k").map(|(_, v)| v).collect();
+        let vals: Vec<_> = q
+            .iter()
+            .filter(|(k, _)| *k == "k")
+            .map(|(_, v)| v)
+            .collect();
         assert_eq!(vals, vec!["1", "2"]);
     }
 }

@@ -106,9 +106,14 @@ mod tests {
         // At least one injectable from a host that is not also a markup
         // script host must be blocked.
         let blocked = site.injectables.keys().any(|u| {
-            Url::parse(u).map(|su| !policy.allows_external(&su, &doc, None)).unwrap_or(false)
+            Url::parse(u)
+                .map(|su| !policy.allows_external(&su, &doc, None))
+                .unwrap_or(false)
         });
-        assert!(blocked, "DirectVendorsOnly must leave some fan-out unlisted: {header}");
+        assert!(
+            blocked,
+            "DirectVendorsOnly must leave some fan-out unlisted: {header}"
+        );
     }
 
     #[test]
@@ -119,7 +124,10 @@ mod tests {
         let doc = Url::parse(&site.landing_url()).unwrap();
         for u in site.injectables.keys() {
             let su = Url::parse(u).unwrap();
-            assert!(policy.allows_external(&su, &doc, None), "{u} missing from FullStack policy");
+            assert!(
+                policy.allows_external(&su, &doc, None),
+                "{u} missing from FullStack policy"
+            );
         }
     }
 
@@ -127,10 +135,14 @@ mod tests {
     fn own_host_rides_on_self() {
         let site = site_with_scripts();
         let header = csp_for_site(&site, CspStyle::FullStack);
-        assert!(!header.contains(&format!("www.{}", site.spec.domain)), "own host must be covered by 'self'");
+        assert!(
+            !header.contains(&format!("www.{}", site.spec.domain)),
+            "own host must be covered by 'self'"
+        );
         let policy = CspPolicy::parse(&header);
         let doc = Url::parse(&site.landing_url()).unwrap();
-        let own = Url::parse(&format!("https://www.{}/app.js", site.spec.domain)).unwrap();
+        // Same scheme as the document: 'self' is scheme-sensitive.
+        let own = Url::parse(&format!("{}app.js", site.landing_url())).unwrap();
         assert!(policy.allows_external(&own, &doc, None));
     }
 }

@@ -6,18 +6,33 @@ use rand::Rng;
 const SITE_STEMS: &[&str] = &[
     "daily", "global", "metro", "prime", "urban", "alpha", "nova", "vista", "bright", "swift",
     "cedar", "lumen", "quartz", "ember", "willow", "harbor", "summit", "aspen", "meadow", "coral",
-    "orchid", "falcon", "beacon", "canyon", "breeze", "garnet", "indigo", "jasper", "laurel", "maple",
+    "orchid", "falcon", "beacon", "canyon", "breeze", "garnet", "indigo", "jasper", "laurel",
+    "maple",
 ];
 
 const SITE_NOUNS: &[&str] = &[
     "news", "times", "post", "shop", "store", "market", "blog", "journal", "media", "tech",
-    "health", "clinic", "travel", "kitchen", "sports", "games", "finance", "bank", "academy", "labs",
-    "studio", "gallery", "forum", "hub", "portal", "review", "guide", "daily", "world", "express",
+    "health", "clinic", "travel", "kitchen", "sports", "games", "finance", "bank", "academy",
+    "labs", "studio", "gallery", "forum", "hub", "portal", "review", "guide", "daily", "world",
+    "express",
 ];
 
 const SITE_TLDS: &[(&str, u32)] = &[
-    ("com", 58), ("org", 8), ("net", 7), ("io", 4), ("co", 3), ("de", 4), ("ru", 3), ("co.uk", 3),
-    ("fr", 2), ("jp", 2), ("com.br", 2), ("in", 1), ("it", 1), ("nl", 1), ("es", 1),
+    ("com", 58),
+    ("org", 8),
+    ("net", 7),
+    ("io", 4),
+    ("co", 3),
+    ("de", 4),
+    ("ru", 3),
+    ("co.uk", 3),
+    ("fr", 2),
+    ("jp", 2),
+    ("com.br", 2),
+    ("in", 1),
+    ("it", 1),
+    ("nl", 1),
+    ("es", 1),
 ];
 
 const VENDOR_STEMS: &[&str] = &[
@@ -27,16 +42,67 @@ const VENDOR_STEMS: &[&str] = &[
 ];
 
 const VENDOR_SUFFIXES: &[&str] = &[
-    "analytics", "ads", "media", "tag", "cdn", "js", "api", "hub", "lab", "net", "io", "ly",
-    "ware", "metrics", "data", "stats", "serve", "feed", "link", "zone",
+    "analytics",
+    "ads",
+    "media",
+    "tag",
+    "cdn",
+    "js",
+    "api",
+    "hub",
+    "lab",
+    "net",
+    "io",
+    "ly",
+    "ware",
+    "metrics",
+    "data",
+    "stats",
+    "serve",
+    "feed",
+    "link",
+    "zone",
 ];
 
-const VENDOR_TLDS: &[(&str, u32)] = &[("com", 55), ("net", 15), ("io", 12), ("co", 6), ("ai", 4), ("ru", 4), ("tech", 4)];
+const VENDOR_TLDS: &[(&str, u32)] = &[
+    ("com", 55),
+    ("net", 15),
+    ("io", 12),
+    ("co", 6),
+    ("ai", 4),
+    ("ru", 4),
+    ("tech", 4),
+];
 
 const GENERIC_COOKIE_STEMS: &[&str] = &[
-    "session", "visitor", "uid", "user_id", "cookie_test", "tracker", "visit", "client", "device",
-    "browser", "anon", "guest", "pref", "consent", "locale", "theme", "cart", "basket", "csrf",
-    "token", "campaign", "ref", "source", "utm_track", "abtest", "variant", "exp", "seg",
+    "session",
+    "visitor",
+    "uid",
+    "user_id",
+    "cookie_test",
+    "tracker",
+    "visit",
+    "client",
+    "device",
+    "browser",
+    "anon",
+    "guest",
+    "pref",
+    "consent",
+    "locale",
+    "theme",
+    "cart",
+    "basket",
+    "csrf",
+    "token",
+    "campaign",
+    "ref",
+    "source",
+    "utm_track",
+    "abtest",
+    "variant",
+    "exp",
+    "seg",
 ];
 
 fn pick_weighted<'a, R: Rng>(rng: &mut R, table: &'a [(&'a str, u32)]) -> &'a str {
@@ -100,7 +166,10 @@ mod tests {
             let da = site_domain(&mut a, rank);
             let db = site_domain(&mut b, rank);
             assert_eq!(da, db);
-            assert!(cg_url::registrable_domain(&da).is_some(), "{da} lacks eTLD+1");
+            assert!(
+                cg_url::registrable_domain(&da).is_some(),
+                "{da} lacks eTLD+1"
+            );
             // The domain must be its own registrable domain (no subdomain).
             assert_eq!(cg_url::registrable_domain(&da).unwrap(), da);
         }

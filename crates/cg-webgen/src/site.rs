@@ -158,7 +158,8 @@ impl WebGenerator {
             .filter(|(_, v)| v.weight > 0.0 && v.category != VendorCategory::SsoProvider)
             .map(|(i, v)| (i, v.weight))
             .collect();
-        let longtail_ids: Vec<VendorId> = (registry.core_count()..registry.core_count() + longtail_count).collect();
+        let longtail_ids: Vec<VendorId> =
+            (registry.core_count()..registry.core_count() + longtail_count).collect();
         let store_vendor_ids: Vec<VendorId> =
             (registry.core_count() + longtail_count..registry.all().len()).collect();
         let consent_ids: Vec<VendorId> = registry
@@ -270,7 +271,10 @@ impl WebGenerator {
 
         // ---------------- SSO ----------------
         // Third-party-managed SSO presupposes third-party scripts.
-        let sso = if !no_third_party && rng.gen_bool(self.cfg.sso_prob) && !self.sso_provider_ids.is_empty() {
+        let sso = if !no_third_party
+            && rng.gen_bool(self.cfg.sso_prob)
+            && !self.sso_provider_ids.is_empty()
+        {
             let pid = self.sso_provider_ids[rng.gen_range(0..self.sso_provider_ids.len())];
             let provider = self.registry.get(pid);
             let roll: f64 = rng.gen();
@@ -287,10 +291,14 @@ impl WebGenerator {
                         provider: provider.domain.clone(),
                         reader: sibling.clone(),
                     },
-                    _ => SsoKind::SingleDomain { provider: provider.domain.clone() },
+                    _ => SsoKind::SingleDomain {
+                        provider: provider.domain.clone(),
+                    },
                 }
             } else {
-                SsoKind::SingleDomain { provider: provider.domain.clone() }
+                SsoKind::SingleDomain {
+                    provider: provider.domain.clone(),
+                }
             };
             present.insert(pid);
             direct.push(pid);
@@ -301,14 +309,17 @@ impl WebGenerator {
 
         // ---------------- first-party content ----------------
         let n_fp_cookies = poisson_like(&mut rng, self.cfg.first_party_cookies_mean).min(10);
-        let fp_cookie_names: Vec<String> =
-            (0..n_fp_cookies).map(|_| names::first_party_cookie_name(&mut rng)).collect();
-        let self_hosted_tracker = !no_third_party && rng.gen_bool(self.cfg.self_hosted_tracker_prob);
+        let fp_cookie_names: Vec<String> = (0..n_fp_cookies)
+            .map(|_| names::first_party_cookie_name(&mut rng))
+            .collect();
+        let self_hosted_tracker =
+            !no_third_party && rng.gen_bool(self.cfg.self_hosted_tracker_prob);
         let cname_cloaked = !no_third_party && rng.gen_bool(self.cfg.cname_cloaking_prob);
 
         // Server-side tagging (§5.7): the site operates first-party
         // collector endpoints that relay to trackers server-side.
-        let server_side_tagging = !no_third_party && rng.gen_bool(self.cfg.server_side_tagging_prob);
+        let server_side_tagging =
+            !no_third_party && rng.gen_bool(self.cfg.server_side_tagging_prob);
         let mut server_forwards = Vec::new();
         if server_side_tagging {
             server_forwards.push(ServerForward {
@@ -328,21 +339,26 @@ impl WebGenerator {
         // The identifier must be one the consent manager actually purges
         // (the cookies the §5.5 deletion tables name), so these sites are
         // deterministic consent-war battlegrounds.
-        let has_consent_manager =
-            direct.iter().any(|&id| self.registry.get(id).category == VendorCategory::ConsentManager);
-        let respawning_tracker = if has_consent_manager && rng.gen_bool(self.cfg.respawn_tracker_prob) {
-            direct.iter().map(|&id| self.registry.get(id)).find_map(|v| {
-                if !v.category.is_ad_tracking() {
-                    return None;
-                }
-                v.sets
+        let has_consent_manager = direct
+            .iter()
+            .any(|&id| self.registry.get(id).category == VendorCategory::ConsentManager);
+        let respawning_tracker =
+            if has_consent_manager && rng.gen_bool(self.cfg.respawn_tracker_prob) {
+                direct
                     .iter()
-                    .find(|c| CONSENT_PURGE_TARGETS.contains(&c.name.as_str()))
-                    .map(|c| (v.domain.clone(), c.name.clone()))
-            })
-        } else {
-            None
-        };
+                    .map(|&id| self.registry.get(id))
+                    .find_map(|v| {
+                        if !v.category.is_ad_tracking() {
+                            return None;
+                        }
+                        v.sets
+                            .iter()
+                            .find(|c| CONSENT_PURGE_TARGETS.contains(&c.name.as_str()))
+                            .map(|c| (v.domain.clone(), c.name.clone()))
+                    })
+            } else {
+                None
+            };
 
         let spec = SiteSpec {
             rank,
@@ -351,7 +367,10 @@ impl WebGenerator {
             https,
             crawl_ok,
             sso: sso.clone(),
-            direct_vendor_domains: direct.iter().map(|&i| self.registry.get(i).domain.clone()).collect(),
+            direct_vendor_domains: direct
+                .iter()
+                .map(|&i| self.registry.get(i).domain.clone())
+                .collect(),
             self_hosted_tracker,
             cname_cloaked,
             server_side_tagging,
@@ -407,7 +426,12 @@ impl WebGenerator {
                     ScriptOp::SetCookie {
                         name: "_cloaked_uid".into(),
                         value: ValueSpec::Uuid,
-                        attrs: CookieAttrs { max_age_s: Some(31_536_000), site_wide: true, path: None, secure: false },
+                        attrs: CookieAttrs {
+                            max_age_s: Some(31_536_000),
+                            site_wide: true,
+                            path: None,
+                            secure: false,
+                        },
                     },
                     ScriptOp::ReadAllCookies,
                     ScriptOp::Defer {
@@ -427,10 +451,23 @@ impl WebGenerator {
             });
         }
 
-        SiteBlueprint { spec, landing, subpages, injectables, cnames, csp: None }
+        SiteBlueprint {
+            spec,
+            landing,
+            subpages,
+            injectables,
+            cnames,
+            csp: None,
+        }
     }
 
-    fn force_include(&self, _rng: &mut StdRng, domain: &str, direct: &mut Vec<VendorId>, present: &mut HashSet<VendorId>) {
+    fn force_include(
+        &self,
+        _rng: &mut StdRng,
+        domain: &str,
+        direct: &mut Vec<VendorId>,
+        present: &mut HashSet<VendorId>,
+    ) {
         if let Some(id) = self.registry.id_of(domain) {
             if present.insert(id) {
                 direct.push(id);
@@ -459,7 +496,11 @@ impl WebGenerator {
         if is_landing {
             let n_http = poisson_like(rng, self.cfg.http_cookies_mean).min(5);
             for i in 0..n_http {
-                let name = if i == 0 { "session_id".to_string() } else { names::first_party_cookie_name(rng) };
+                let name = if i == 0 {
+                    "session_id".to_string()
+                } else {
+                    names::first_party_cookie_name(rng)
+                };
                 let http_only = rng.gen_bool(self.cfg.http_only_prob);
                 let mut raw = format!("{name}={}", ValueSpec::HexId(26).generate(0, rng));
                 raw.push_str("; Path=/");
@@ -485,11 +526,20 @@ impl WebGenerator {
                     // Most site cookies are short tokens/preferences; only
                     // some carry ≥8-char identifier material (§4.4's
                     // candidate threshold keeps the rest out of scope).
-                    let value = if rng.gen_bool(0.42) { ValueSpec::HexId(20) } else { ValueSpec::Short };
+                    let value = if rng.gen_bool(0.42) {
+                        ValueSpec::HexId(20)
+                    } else {
+                        ValueSpec::Short
+                    };
                     ops.push(ScriptOp::SetCookie {
                         name: name.clone(),
                         value,
-                        attrs: CookieAttrs { max_age_s: Some(86_400 * 30), site_wide: false, path: None, secure: false },
+                        attrs: CookieAttrs {
+                            max_age_s: Some(86_400 * 30),
+                            site_wide: false,
+                            path: None,
+                            secure: false,
+                        },
                     });
                 }
             }
@@ -498,7 +548,11 @@ impl WebGenerator {
                 // the §5.5 name-collision channel.
                 ops.push(ScriptOp::SetCookie {
                     name: names::generic_cookie_name(rng),
-                    value: if rng.gen_bool(0.4) { ValueSpec::HexId(16) } else { ValueSpec::Short },
+                    value: if rng.gen_bool(0.4) {
+                        ValueSpec::HexId(16)
+                    } else {
+                        ValueSpec::Short
+                    },
                     attrs: CookieAttrs::default(),
                 });
             }
@@ -509,7 +563,10 @@ impl WebGenerator {
                     value: ValueSpec::Uuid,
                     attrs: CookieAttrs::default(),
                 });
-                ops.push(ScriptOp::Probe { feature: "cart".into(), cookie: "cart_id".into() });
+                ops.push(ScriptOp::Probe {
+                    feature: "cart".into(),
+                    cookie: "cart_id".into(),
+                });
             }
             scripts.push(ScriptBlueprint {
                 url: Some(format!("{scheme}://www.{}/static/app.js", spec.domain)),
@@ -528,7 +585,12 @@ impl WebGenerator {
                 ScriptOp::SetCookie {
                     name: "_ga".into(),
                     value: ValueSpec::GaStyle,
-                    attrs: CookieAttrs { max_age_s: Some(63_072_000), site_wide: true, path: None, secure: false },
+                    attrs: CookieAttrs {
+                        max_age_s: Some(63_072_000),
+                        site_wide: true,
+                        path: None,
+                        secure: false,
+                    },
                 },
                 ScriptOp::ReadAllCookies,
                 ScriptOp::Defer {
@@ -546,7 +608,8 @@ impl WebGenerator {
                 },
             ];
             if rng.gen_bool(0.62) {
-                let target = ["_fbp", "_gid", "_gcl_au", "OptanonConsent"][rng.gen_range(0..4)];
+                let target =
+                    ["_fbp", "_gid", "_gcl_au", "OptanonConsent"][rng.gen_range(0usize..4)];
                 ops.push(ScriptOp::Defer {
                     delay_ms: rng.gen_range(900..2000),
                     ops: vec![ScriptOp::OverwriteCookie {
@@ -559,15 +622,21 @@ impl WebGenerator {
                 });
             }
             if rng.gen_bool(0.09) {
-                let target = ["_uetvid", "_fbp", "_gid"][rng.gen_range(0..3)];
+                let target = ["_uetvid", "_fbp", "_gid"][rng.gen_range(0usize..3)];
                 ops.push(ScriptOp::Defer {
                     delay_ms: rng.gen_range(1800..3000),
-                    ops: vec![ScriptOp::DeleteCookie { target: target.into(), via_store: false }],
+                    ops: vec![ScriptOp::DeleteCookie {
+                        target: target.into(),
+                        via_store: false,
+                    }],
                     lose_attribution: false,
                 });
             }
             scripts.push(ScriptBlueprint {
-                url: Some(format!("{scheme}://www.{}/assets/analytics.js", spec.domain)),
+                url: Some(format!(
+                    "{scheme}://www.{}/assets/analytics.js",
+                    spec.domain
+                )),
                 ops,
             });
         }
@@ -604,7 +673,11 @@ impl WebGenerator {
                     },
                 ],
             });
-            if spec.server_forwards.iter().any(|f| f.path_prefix == "/capi-events") {
+            if spec
+                .server_forwards
+                .iter()
+                .any(|f| f.path_prefix == "/capi-events")
+            {
                 scripts.push(ScriptBlueprint {
                     url: Some("https://connect.facebook.net/en_US/capig.js".to_string()),
                     ops: vec![
@@ -623,7 +696,10 @@ impl WebGenerator {
                             ops: vec![ScriptOp::Exfiltrate {
                                 dest_host: format!("www.{}", spec.domain),
                                 path: "/capi-events".into(),
-                                selection: CookieSelection::Named(vec!["_fbp".into(), "_ga".into()]),
+                                selection: CookieSelection::Named(vec![
+                                    "_fbp".into(),
+                                    "_ga".into(),
+                                ]),
                                 segment: SegmentPolicy::Full,
                                 encoding: Encoding::Plain,
                                 kind: RequestKind::Xhr,
@@ -669,7 +745,10 @@ impl WebGenerator {
                         && is_landing
                         && rng.gen_bool(self.cfg.ad_display_dependency_prob)
                     {
-                        ops.push(ScriptOp::Probe { feature: "ads".into(), cookie: cookie.clone() });
+                        ops.push(ScriptOp::Probe {
+                            feature: "ads".into(),
+                            cookie: cookie.clone(),
+                        });
                     }
                 } else if let Some(c) = vendor.sets.first() {
                     ad_cookie_for_probe = Some((c.name.clone(), vendor.domain.clone()));
@@ -678,10 +757,16 @@ impl WebGenerator {
             // SSO feature probes for the provider itself.
             if let Some((feature, cookie, _)) = &vendor.feature {
                 if feature == "sso" && sso.is_some() && is_landing {
-                    ops.push(ScriptOp::Probe { feature: feature.clone(), cookie: cookie.clone() });
+                    ops.push(ScriptOp::Probe {
+                        feature: feature.clone(),
+                        cookie: cookie.clone(),
+                    });
                 }
                 if feature == "chat" && is_landing && rng.gen_bool(0.8) {
-                    ops.push(ScriptOp::Probe { feature: feature.clone(), cookie: cookie.clone() });
+                    ops.push(ScriptOp::Probe {
+                        feature: feature.clone(),
+                        cookie: cookie.clone(),
+                    });
                 }
             }
             // Cookie respawning: the designated tracker watches for the
@@ -699,7 +784,9 @@ impl WebGenerator {
                             path: None,
                             secure: false,
                         };
-                        let value = spec_cookie.map(|c| c.value.clone()).unwrap_or(ValueSpec::HexId(16));
+                        let value = spec_cookie
+                            .map(|c| c.value.clone())
+                            .unwrap_or(ValueSpec::HexId(16));
                         ops.push(ScriptOp::SetCookie {
                             name: respawn_cookie.clone(),
                             value: value.clone(),
@@ -708,7 +795,11 @@ impl WebGenerator {
                         ops.push(ScriptOp::OnCookieChange {
                             watch: Some(respawn_cookie.clone()),
                             deletions_only: true,
-                            ops: vec![ScriptOp::SetCookie { name: respawn_cookie.clone(), value, attrs }],
+                            ops: vec![ScriptOp::SetCookie {
+                                name: respawn_cookie.clone(),
+                                value,
+                                attrs,
+                            }],
                         });
                     }
                 }
@@ -731,7 +822,10 @@ impl WebGenerator {
                     }
                 }
             }
-            scripts.push(ScriptBlueprint { url: Some(vendor.script_url()), ops });
+            scripts.push(ScriptBlueprint {
+                url: Some(vendor.script_url()),
+                ops,
+            });
         }
 
         // SSO reader scripts (sibling or cross-entity) go last so the
@@ -744,7 +838,10 @@ impl WebGenerator {
                             url: Some(url),
                             ops: vec![
                                 ScriptOp::ReadAllCookies,
-                                ScriptOp::Probe { feature: "sso".into(), cookie },
+                                ScriptOp::Probe {
+                                    feature: "sso".into(),
+                                    cookie,
+                                },
                             ],
                         });
                     }
@@ -755,7 +852,10 @@ impl WebGenerator {
                             url: Some(format!("https://cdn.{reader}/sso-widget.js")),
                             ops: vec![
                                 ScriptOp::ReadAllCookies,
-                                ScriptOp::Probe { feature: "sso".into(), cookie },
+                                ScriptOp::Probe {
+                                    feature: "sso".into(),
+                                    cookie,
+                                },
                             ],
                         });
                     }
@@ -764,31 +864,41 @@ impl WebGenerator {
                 // the source of the paper's *minor* SSO breakage
                 // (cnn.com: login works, reload logs out).
                 Some(SsoKind::SingleDomain { provider }) if rng.gen_bool(0.15) => {
+                    if let Some((cookie, url)) = self.sso_cookie_and_reader_url(provider, provider)
                     {
-                        if let Some((cookie, url)) = self.sso_cookie_and_reader_url(provider, provider) {
-                            scripts.push(ScriptBlueprint {
-                                url: Some(url),
-                                ops: vec![ScriptOp::Defer {
-                                    delay_ms: 1200,
-                                    ops: vec![ScriptOp::Probe { feature: "sso_reload".into(), cookie }],
-                                    lose_attribution: true,
+                        scripts.push(ScriptBlueprint {
+                            url: Some(url),
+                            ops: vec![ScriptOp::Defer {
+                                delay_ms: 1200,
+                                ops: vec![ScriptOp::Probe {
+                                    feature: "sso_reload".into(),
+                                    cookie,
                                 }],
-                            });
-                        }
+                                lose_attribution: true,
+                            }],
+                        });
                     }
                 }
                 Some(SsoKind::SingleDomain { .. }) | None => {}
             }
             // The fbcdn.net functional sibling (Messenger-style) case.
-            if spec.direct_vendor_domains.iter().any(|d| d == "facebook.com")
-                && rng.gen_bool(self.cfg.functional_same_entity_prob / 0.025_f64.max(self.cfg.sso_prob))
+            if spec
+                .direct_vendor_domains
+                .iter()
+                .any(|d| d == "facebook.com")
+                && rng.gen_bool(
+                    self.cfg.functional_same_entity_prob / 0.025_f64.max(self.cfg.sso_prob),
+                )
             {
                 if let Some(fbcdn) = self.registry.by_domain("fbcdn.net") {
                     scripts.push(ScriptBlueprint {
                         url: Some(fbcdn.script_url()),
                         ops: vec![
                             ScriptOp::ReadAllCookies,
-                            ScriptOp::Probe { feature: "functionality".into(), cookie: "fblo_state".into() },
+                            ScriptOp::Probe {
+                                feature: "functionality".into(),
+                                cookie: "fblo_state".into(),
+                            },
                         ],
                     });
                 }
@@ -818,7 +928,7 @@ impl WebGenerator {
         // Links and resources.
         let n_links = rng.gen_range(3..9);
         let links: Vec<String> = (0..n_links).map(|i| format!("/page-{i}")).collect();
-        let resource_count = rng.gen_range(15..90) + scripts.len() as u32 * 6;
+        let resource_count = rng.gen_range(15u32..90) + scripts.len() as u32 * 6;
 
         PageBlueprint {
             path: path.to_string(),
@@ -831,7 +941,11 @@ impl WebGenerator {
 
     /// The session cookie a provider sets, and the script URL of the
     /// reader on `reader_domain`.
-    fn sso_cookie_and_reader_url(&self, provider: &str, reader_domain: &str) -> Option<(String, String)> {
+    fn sso_cookie_and_reader_url(
+        &self,
+        provider: &str,
+        reader_domain: &str,
+    ) -> Option<(String, String)> {
         let provider_spec = self.registry.by_domain(provider)?;
         let cookie = provider_spec
             .feature
@@ -877,7 +991,9 @@ impl WebGenerator {
                     Some(self.longtail_ids[rng.gen_range(0..self.longtail_ids.len())])
                 };
                 if let Some(id) = id {
-                    if !already_direct.contains(&id) && self.registry.get(id).domain != vendor.domain {
+                    if !already_direct.contains(&id)
+                        && self.registry.get(id).domain != vendor.domain
+                    {
                         targets.push(id);
                     }
                 }
@@ -889,7 +1005,14 @@ impl WebGenerator {
             ops.push(ScriptOp::InjectScript { url: url.clone() });
             if !injectables.contains_key(&url) {
                 let mut injected_ops = injected.behavior(rng, &self.cfg, &self.dest_pool, &[]);
-                self.attach_injections(rng, injected, &mut injected_ops, already_direct, injectables, depth + 1);
+                self.attach_injections(
+                    rng,
+                    injected,
+                    &mut injected_ops,
+                    already_direct,
+                    injectables,
+                    depth + 1,
+                );
                 injectables.insert(url, injected_ops);
             }
         }
@@ -901,13 +1024,23 @@ impl WebGenerator {
 fn strip_one_shot_ops(ops: Vec<ScriptOp>) -> Vec<ScriptOp> {
     ops.into_iter()
         .filter_map(|op| match op {
-            ScriptOp::Exfiltrate { .. } | ScriptOp::OverwriteCookie { .. } | ScriptOp::DeleteCookie { .. } => None,
-            ScriptOp::Defer { delay_ms, ops, lose_attribution } => {
+            ScriptOp::Exfiltrate { .. }
+            | ScriptOp::OverwriteCookie { .. }
+            | ScriptOp::DeleteCookie { .. } => None,
+            ScriptOp::Defer {
+                delay_ms,
+                ops,
+                lose_attribution,
+            } => {
                 let inner = strip_one_shot_ops(ops);
                 if inner.is_empty() {
                     None
                 } else {
-                    Some(ScriptOp::Defer { delay_ms, ops: inner, lose_attribution })
+                    Some(ScriptOp::Defer {
+                        delay_ms,
+                        ops: inner,
+                        lose_attribution,
+                    })
                 }
             }
             ScriptOp::Microtask { ops } => {
@@ -944,7 +1077,11 @@ fn sample_weighted<R: Rng>(
     weighted: &[(VendorId, f64)],
     exclude: &HashSet<VendorId>,
 ) -> Option<VendorId> {
-    let total: f64 = weighted.iter().filter(|(id, _)| !exclude.contains(id)).map(|(_, w)| w).sum();
+    let total: f64 = weighted
+        .iter()
+        .filter(|(id, _)| !exclude.contains(id))
+        .map(|(_, w)| w)
+        .sum();
     if total <= 0.0 {
         return None;
     }
@@ -958,7 +1095,10 @@ fn sample_weighted<R: Rng>(
         }
         roll -= w;
     }
-    weighted.iter().find(|(id, _)| !exclude.contains(id)).map(|(id, _)| *id)
+    weighted
+        .iter()
+        .find(|(id, _)| !exclude.contains(id))
+        .map(|(id, _)| *id)
 }
 
 /// A small-integer sampler with Poisson-like shape (mixture keeps a
@@ -1012,9 +1152,9 @@ mod tests {
             let bp = g.blueprint(rank);
             let site = &bp.spec.domain;
             let has_tp = bp.landing.scripts.iter().any(|s| {
-                s.url.as_deref().is_some_and(|u| {
-                    cg_url::url_domain(u).is_some_and(|d| &d != site)
-                })
+                s.url
+                    .as_deref()
+                    .is_some_and(|u| cg_url::url_domain(u).is_some_and(|d| &d != site))
             });
             if has_tp {
                 with_tp += 1;
@@ -1051,7 +1191,9 @@ mod tests {
                 for op in ops {
                     match op {
                         ScriptOp::InjectScript { url } => urls.push(url.clone()),
-                        ScriptOp::Defer { ops, .. } | ScriptOp::Microtask { ops } => collect_injects(ops, urls),
+                        ScriptOp::Defer { ops, .. } | ScriptOp::Microtask { ops } => {
+                            collect_injects(ops, urls)
+                        }
                         _ => {}
                     }
                 }
@@ -1064,7 +1206,10 @@ mod tests {
                 collect_injects(&bp.injectables[u], &mut urls);
             }
             for url in urls {
-                assert!(bp.injectables.contains_key(&url), "missing injectable {url} on rank {rank}");
+                assert!(
+                    bp.injectables.contains_key(&url),
+                    "missing injectable {url} on rank {rank}"
+                );
             }
         }
     }
@@ -1072,7 +1217,9 @@ mod tests {
     #[test]
     fn crawl_failure_rate_near_quarter() {
         let g = generator(1000);
-        let failed = (1..=1000).filter(|&r| !g.blueprint(r).spec.crawl_ok).count();
+        let failed = (1..=1000)
+            .filter(|&r| !g.blueprint(r).spec.crawl_ok)
+            .count();
         let rate = failed as f64 / 1000.0;
         assert!((0.20..=0.32).contains(&rate), "failure rate {rate}");
     }
@@ -1085,7 +1232,9 @@ mod tests {
             let bp = g.blueprint(rank);
             if bp.spec.category == SiteCategory::Shopping {
                 let has_cart = bp.landing.scripts.iter().any(|s| {
-                    s.ops.iter().any(|op| matches!(op, ScriptOp::Probe { feature, .. } if feature == "cart"))
+                    s.ops.iter().any(
+                        |op| matches!(op, ScriptOp::Probe { feature, .. } if feature == "cart"),
+                    )
                 });
                 if has_cart {
                     cart_probes += 1;

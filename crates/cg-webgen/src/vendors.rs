@@ -73,7 +73,13 @@ pub struct CookieSpec {
 
 impl CookieSpec {
     fn new(name: &str, value: ValueSpec, max_age_s: Option<i64>, prob: f64) -> CookieSpec {
-        CookieSpec { name: name.into(), value, max_age_s, site_wide: true, prob }
+        CookieSpec {
+            name: name.into(),
+            value,
+            max_age_s,
+            site_wide: true,
+            prob,
+        }
     }
 }
 
@@ -200,7 +206,13 @@ impl VendorSpec {
         format!("https://{}{}", self.host, self.path)
     }
 
-    fn base(domain: &str, host: &str, path: &str, category: VendorCategory, weight: f64) -> VendorSpec {
+    fn base(
+        domain: &str,
+        host: &str,
+        path: &str,
+        category: VendorCategory,
+        weight: f64,
+    ) -> VendorSpec {
         VendorSpec {
             domain: domain.into(),
             host: host.into(),
@@ -239,7 +251,12 @@ impl VendorSpec {
                 ops.push(ScriptOp::SetCookie {
                     name: c.name.clone(),
                     value: c.value.clone(),
-                    attrs: CookieAttrs { max_age_s: c.max_age_s, site_wide: c.site_wide, path: None, secure: false },
+                    attrs: CookieAttrs {
+                        max_age_s: c.max_age_s,
+                        site_wide: c.site_wide,
+                        path: None,
+                        secure: false,
+                    },
                 });
             }
         }
@@ -340,7 +357,10 @@ impl VendorSpec {
             };
             ops.push(ScriptOp::Defer {
                 delay_ms: rng.gen_range(1500..3200),
-                ops: vec![ScriptOp::DeleteCookie { target, via_store: del.via_store }],
+                ops: vec![ScriptOp::DeleteCookie {
+                    target,
+                    via_store: del.via_store,
+                }],
                 lose_attribution: false,
             });
         }
@@ -370,8 +390,16 @@ impl VendorRegistry {
         let mut vendors = core_vendors();
         let core_count = vendors.len();
         vendors.extend(longtail);
-        let by_domain = vendors.iter().enumerate().map(|(i, v)| (v.domain.clone(), i)).collect();
-        VendorRegistry { vendors, by_domain, core_count }
+        let by_domain = vendors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.domain.clone(), i))
+            .collect();
+        VendorRegistry {
+            vendors,
+            by_domain,
+            core_count,
+        }
     }
 
     /// All vendors (core first).
@@ -409,13 +437,20 @@ impl VendorRegistry {
         for v in &self.vendors {
             match v.category {
                 VendorCategory::AdExchange => ads.push(v.domain.clone()),
-                VendorCategory::Analytics | VendorCategory::TagManager => tracking.push(v.domain.clone()),
+                VendorCategory::Analytics | VendorCategory::TagManager => {
+                    tracking.push(v.domain.clone())
+                }
                 VendorCategory::SocialWidget => social.push(v.domain.clone()),
                 VendorCategory::ConsentManager => annoyance.push(v.domain.clone()),
                 _ => {}
             }
         }
-        cg_filterlist_inputs::ListInputsLike { ads, tracking, social, annoyance }
+        cg_filterlist_inputs::ListInputsLike {
+            ads,
+            tracking,
+            social,
+            annoyance,
+        }
     }
 }
 
@@ -446,8 +481,11 @@ pub fn core_vendors() -> Vec<VendorSpec> {
 
     // ---- Google stack -------------------------------------------------
     let mut gtm = VendorSpec::base(
-        "googletagmanager.com", "www.googletagmanager.com", "/gtm.js",
-        VendorCategory::TagManager, 46.0,
+        "googletagmanager.com",
+        "www.googletagmanager.com",
+        "/gtm.js",
+        VendorCategory::TagManager,
+        46.0,
     );
     gtm.sets = vec![
         CookieSpec::new("_ga", ValueSpec::GaStyle, Some(2 * YEAR), 0.92),
@@ -455,7 +493,10 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     ];
     gtm.reads_all_prob = 0.9;
     gtm.exfils = vec![ExfilSpec {
-        dests: vec!["www.google-analytics.com".into(), "stats.g.doubleclick.net".into()],
+        dests: vec![
+            "www.google-analytics.com".into(),
+            "stats.g.doubleclick.net".into(),
+        ],
         path: "/g/collect".into(),
         selection: ExfilSelection::Named(vec!["_ga".into(), "_gcl_au".into(), "_fplc".into()]),
         segment: SegmentPolicy::Full,
@@ -466,17 +507,35 @@ pub fn core_vendors() -> Vec<VendorSpec> {
         extra_dest_samples: 0,
     }];
     gtm.overwrites = vec![
-        OverwriteSpec { target: OverwriteTarget::Named("_ga".into()), value: ValueSpec::GaStyle, prob: 0.20, blind: false },
-        OverwriteSpec { target: OverwriteTarget::Named("_gid".into()), value: ValueSpec::GaStyle, prob: 0.07, blind: false },
-        OverwriteSpec { target: OverwriteTarget::GenericName, value: ValueSpec::HexId(16), prob: 0.03, blind: true },
+        OverwriteSpec {
+            target: OverwriteTarget::Named("_ga".into()),
+            value: ValueSpec::GaStyle,
+            prob: 0.20,
+            blind: false,
+        },
+        OverwriteSpec {
+            target: OverwriteTarget::Named("_gid".into()),
+            value: ValueSpec::GaStyle,
+            prob: 0.07,
+            blind: false,
+        },
+        OverwriteSpec {
+            target: OverwriteTarget::GenericName,
+            value: ValueSpec::HexId(16),
+            prob: 0.03,
+            blind: true,
+        },
     ];
     gtm.inject_domains = Vec::new(); // GA4: gtm.js is the analytics tag
     gtm.inject_pool_count = (5, 13);
     v.push(gtm);
 
     let mut ga = VendorSpec::base(
-        "google-analytics.com", "www.google-analytics.com", "/analytics.js",
-        VendorCategory::Analytics, 30.0,
+        "google-analytics.com",
+        "www.google-analytics.com",
+        "/analytics.js",
+        VendorCategory::Analytics,
+        30.0,
     );
     ga.sets = vec![
         CookieSpec::new("_gid", ValueSpec::GaStyle, Some(DAY), 0.9),
@@ -490,7 +549,12 @@ pub fn core_vendors() -> Vec<VendorSpec> {
         dests: vec!["www.google-analytics.com".into()],
         path: "/collect".into(),
         selection: ExfilSelection::Named(vec![
-            "_ga".into(), "_gid".into(), "_gcl_au".into(), "__utma".into(), "__utmb".into(), "__utmz".into(),
+            "_ga".into(),
+            "_gid".into(),
+            "_gcl_au".into(),
+            "__utma".into(),
+            "__utmb".into(),
+            "__utmz".into(),
         ]),
         segment: SegmentPolicy::Full,
         encoding: Encoding::Plain,
@@ -508,10 +572,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(ga);
 
     let mut dc = VendorSpec::base(
-        "doubleclick.net", "securepubads.g.doubleclick.net", "/tag/js/gpt.js",
-        VendorCategory::AdExchange, 22.0,
+        "doubleclick.net",
+        "securepubads.g.doubleclick.net",
+        "/tag/js/gpt.js",
+        VendorCategory::AdExchange,
+        22.0,
     );
-    dc.sets = vec![CookieSpec::new("test_cookie", ValueSpec::Short, Some(900), 0.8)];
+    dc.sets = vec![CookieSpec::new(
+        "test_cookie",
+        ValueSpec::Short,
+        Some(900),
+        0.8,
+    )];
     dc.reads_all_prob = 0.95;
     dc.exfils = vec![ExfilSpec {
         dests: vec!["ad.doubleclick.net".into()],
@@ -534,10 +606,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(dc);
 
     let mut gsyn = VendorSpec::base(
-        "googlesyndication.com", "pagead2.googlesyndication.com", "/pagead/js/adsbygoogle.js",
-        VendorCategory::AdExchange, 16.0,
+        "googlesyndication.com",
+        "pagead2.googlesyndication.com",
+        "/pagead/js/adsbygoogle.js",
+        VendorCategory::AdExchange,
+        16.0,
     );
-    gsyn.sets = vec![CookieSpec::new("__gads", ValueSpec::HexId(24), Some(390 * DAY), 0.85)];
+    gsyn.sets = vec![CookieSpec::new(
+        "__gads",
+        ValueSpec::HexId(24),
+        Some(390 * DAY),
+        0.85,
+    )];
     gsyn.reads_all_prob = 0.9;
     gsyn.exfils = vec![ExfilSpec {
         dests: vec!["pagead2.googlesyndication.com".into()],
@@ -555,10 +635,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
 
     // ---- Meta ----------------------------------------------------------
     let mut fb = VendorSpec::base(
-        "facebook.net", "connect.facebook.net", "/en_US/fbevents.js",
-        VendorCategory::SocialWidget, 24.0,
+        "facebook.net",
+        "connect.facebook.net",
+        "/en_US/fbevents.js",
+        VendorCategory::SocialWidget,
+        24.0,
     );
-    fb.sets = vec![CookieSpec::new("_fbp", ValueSpec::FbpStyle, Some(90 * DAY), 0.95)];
+    fb.sets = vec![CookieSpec::new(
+        "_fbp",
+        ValueSpec::FbpStyle,
+        Some(90 * DAY),
+        0.95,
+    )];
     fb.reads_all_prob = 0.9;
     fb.exfils = vec![ExfilSpec {
         dests: vec!["www.facebook.com".into()],
@@ -581,8 +669,11 @@ pub fn core_vendors() -> Vec<VendorSpec> {
 
     // ---- Microsoft -----------------------------------------------------
     let mut bing = VendorSpec::base(
-        "bing.com", "bat.bing.com", "/bat.js",
-        VendorCategory::AdExchange, 12.0,
+        "bing.com",
+        "bat.bing.com",
+        "/bat.js",
+        VendorCategory::AdExchange,
+        12.0,
     );
     bing.sets = vec![
         CookieSpec::new("_uetsid", ValueSpec::HexId(32), Some(DAY), 0.9),
@@ -603,10 +694,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(bing);
 
     let mut licdn = VendorSpec::base(
-        "licdn.com", "snap.licdn.com", "/li.lms-analytics/insight.min.js",
-        VendorCategory::Analytics, 9.0,
+        "licdn.com",
+        "snap.licdn.com",
+        "/li.lms-analytics/insight.min.js",
+        VendorCategory::Analytics,
+        9.0,
     );
-    licdn.sets = vec![CookieSpec::new("li_fat_id", ValueSpec::Uuid, Some(30 * DAY), 0.6)];
+    licdn.sets = vec![CookieSpec::new(
+        "li_fat_id",
+        ValueSpec::Uuid,
+        Some(30 * DAY),
+        0.6,
+    )];
     licdn.reads_all_prob = 0.95;
     // §5.4 case study: targeted parsing of _ga/_gcl_au, Base64 segments.
     licdn.exfils = vec![ExfilSpec {
@@ -623,10 +722,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(licdn);
 
     let mut clarity = VendorSpec::base(
-        "clarity.ms", "www.clarity.ms", "/tag/clarity.js",
-        VendorCategory::Analytics, 8.0,
+        "clarity.ms",
+        "www.clarity.ms",
+        "/tag/clarity.js",
+        VendorCategory::Analytics,
+        8.0,
     );
-    clarity.sets = vec![CookieSpec::new("_clck", ValueSpec::HexId(16), Some(YEAR), 0.9)];
+    clarity.sets = vec![CookieSpec::new(
+        "_clck",
+        ValueSpec::HexId(16),
+        Some(YEAR),
+        0.9,
+    )];
     clarity.reads_all_prob = 0.8;
     clarity.exfils = vec![ExfilSpec {
         dests: vec!["x.clarity.ms".into()],
@@ -643,10 +750,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
 
     // ---- Criteo / RTB ----------------------------------------------------
     let mut criteo = VendorSpec::base(
-        "criteo.net", "dynamic.criteo.net", "/js/ld/ld.js",
-        VendorCategory::AdExchange, 10.0,
+        "criteo.net",
+        "dynamic.criteo.net",
+        "/js/ld/ld.js",
+        VendorCategory::AdExchange,
+        10.0,
     );
-    criteo.sets = vec![CookieSpec::new("cto_bundle", ValueSpec::HexId(194), Some(390 * DAY), 0.9)];
+    criteo.sets = vec![CookieSpec::new(
+        "cto_bundle",
+        ValueSpec::HexId(194),
+        Some(390 * DAY),
+        0.9,
+    )];
     criteo.reads_all_prob = 0.9;
     criteo.exfils = vec![ExfilSpec {
         dests: vec!["sslwidget.criteo.com".into()],
@@ -668,8 +783,11 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(criteo);
 
     let mut pubmatic = VendorSpec::base(
-        "pubmatic.com", "ads.pubmatic.com", "/AdServer/js/pwt.js",
-        VendorCategory::AdExchange, 8.0,
+        "pubmatic.com",
+        "ads.pubmatic.com",
+        "/AdServer/js/pwt.js",
+        VendorCategory::AdExchange,
+        8.0,
     );
     pubmatic.sets = vec![
         CookieSpec::new("PugT", ValueSpec::HexId(10), Some(30 * DAY), 0.85),
@@ -698,8 +816,11 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(pubmatic);
 
     let mut openx = VendorSpec::base(
-        "openx.net", "us-u.openx.net", "/w/1.0/jstag",
-        VendorCategory::AdExchange, 7.0,
+        "openx.net",
+        "us-u.openx.net",
+        "/w/1.0/jstag",
+        VendorCategory::AdExchange,
+        7.0,
     );
     openx.sets = vec![
         CookieSpec::new("i", ValueSpec::Uuid, Some(390 * DAY), 0.85),
@@ -721,10 +842,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(openx);
 
     let mut amazon = VendorSpec::base(
-        "amazon-adsystem.com", "c.amazon-adsystem.com", "/aax2/apstag.js",
-        VendorCategory::AdExchange, 9.0,
+        "amazon-adsystem.com",
+        "c.amazon-adsystem.com",
+        "/aax2/apstag.js",
+        VendorCategory::AdExchange,
+        9.0,
     );
-    amazon.sets = vec![CookieSpec::new("ad-id", ValueSpec::HexId(22), Some(230 * DAY), 0.8)];
+    amazon.sets = vec![CookieSpec::new(
+        "ad-id",
+        ValueSpec::HexId(22),
+        Some(230 * DAY),
+        0.8,
+    )];
     amazon.reads_all_prob = 0.9;
     amazon.exfils = vec![ExfilSpec {
         dests: vec!["s.amazon-adsystem.com".into()],
@@ -744,9 +873,24 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     for (domain, host, path, weight) in [
         ("hubspot.com", "js.hubspot.com", "/analytics.js", 6.0),
         ("hsforms.net", "js.hsforms.net", "/forms/embed/v2.js", 3.5),
-        ("hscollectedforms.net", "js.hscollectedforms.net", "/collectedforms.js", 3.0),
-        ("hsleadflows.net", "js.hsleadflows.net", "/leadflows.js", 2.5),
-        ("usemessages.com", "js.usemessages.com", "/conversations-embed.js", 2.0),
+        (
+            "hscollectedforms.net",
+            "js.hscollectedforms.net",
+            "/collectedforms.js",
+            3.0,
+        ),
+        (
+            "hsleadflows.net",
+            "js.hsleadflows.net",
+            "/leadflows.js",
+            2.5,
+        ),
+        (
+            "usemessages.com",
+            "js.usemessages.com",
+            "/conversations-embed.js",
+            2.0,
+        ),
     ] {
         let mut hs = VendorSpec::base(domain, host, path, VendorCategory::Analytics, weight);
         if domain == "hubspot.com" {
@@ -760,7 +904,11 @@ pub fn core_vendors() -> Vec<VendorSpec> {
             dests: vec!["track.hubspot.com".into(), "forms.hubspot.com".into()],
             path: "/__ptq.gif".into(),
             selection: ExfilSelection::Named(vec![
-                "_ga".into(), "_gid".into(), "_gcl_au".into(), "hubspotutk".into(), "__hstc".into(),
+                "_ga".into(),
+                "_gid".into(),
+                "_gcl_au".into(),
+                "hubspotutk".into(),
+                "__hstc".into(),
             ]),
             segment: SegmentPolicy::Full,
             encoding: Encoding::Plain,
@@ -774,8 +922,11 @@ pub fn core_vendors() -> Vec<VendorSpec> {
 
     // ---- Yandex ----------------------------------------------------------
     let mut yandex = VendorSpec::base(
-        "yandex.ru", "mc.yandex.ru", "/metrika/tag.js",
-        VendorCategory::Analytics, 7.0,
+        "yandex.ru",
+        "mc.yandex.ru",
+        "/metrika/tag.js",
+        VendorCategory::Analytics,
+        7.0,
     );
     yandex.sets = vec![
         CookieSpec::new("_ym_uid", ValueSpec::HexId(19), Some(YEAR), 0.9),
@@ -798,13 +949,42 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     // ---- Content/ad management ------------------------------------------
     for (domain, host, path, weight, injects) in [
         ("adthrive.com", "ads.adthrive.com", "/sites/min.js", 4.0, 2),
-        ("mediavine.com", "scripts.mediavine.com", "/tags/site.js", 4.0, 2),
-        ("pub.network", "a.pub.network", "/core/pubfig.min.js", 3.0, 2),
-        ("taboola.com", "cdn.taboola.com", "/libtrc/loader.js", 5.0, 1),
-        ("outbrain.com", "widgets.outbrain.com", "/outbrain.js", 4.0, 1),
+        (
+            "mediavine.com",
+            "scripts.mediavine.com",
+            "/tags/site.js",
+            4.0,
+            2,
+        ),
+        (
+            "pub.network",
+            "a.pub.network",
+            "/core/pubfig.min.js",
+            3.0,
+            2,
+        ),
+        (
+            "taboola.com",
+            "cdn.taboola.com",
+            "/libtrc/loader.js",
+            5.0,
+            1,
+        ),
+        (
+            "outbrain.com",
+            "widgets.outbrain.com",
+            "/outbrain.js",
+            4.0,
+            1,
+        ),
     ] {
         let mut m = VendorSpec::base(domain, host, path, VendorCategory::AdExchange, weight);
-        m.sets = vec![CookieSpec::new(&format!("_{}_id", domain.split('.').next().unwrap()), ValueSpec::Uuid, Some(YEAR), 0.7)];
+        m.sets = vec![CookieSpec::new(
+            &format!("_{}_id", domain.split('.').next().unwrap()),
+            ValueSpec::Uuid,
+            Some(YEAR),
+            0.7,
+        )];
         m.reads_all_prob = 0.9;
         m.exfils = vec![ExfilSpec {
             dests: vec![host.to_string()],
@@ -823,8 +1003,11 @@ pub fn core_vendors() -> Vec<VendorSpec> {
 
     // ---- Consent managers -------------------------------------------------
     let mut onetrust = VendorSpec::base(
-        "cookielaw.org", "cdn.cookielaw.org", "/scripttemplates/otSDKStub.js",
-        VendorCategory::ConsentManager, 7.0,
+        "cookielaw.org",
+        "cdn.cookielaw.org",
+        "/scripttemplates/otSDKStub.js",
+        VendorCategory::ConsentManager,
+        7.0,
     );
     onetrust.sets = vec![
         CookieSpec::new("OptanonConsent", ValueSpec::ConsentString, Some(YEAR), 0.95),
@@ -838,38 +1021,111 @@ pub fn core_vendors() -> Vec<VendorSpec> {
         blind: false,
     }];
     onetrust.deletes = vec![
-        DeleteSpec { target: DeleteTarget::Named("_fbp".into()), prob: 0.010, via_store: false },
-        DeleteSpec { target: DeleteTarget::Named("_uetvid".into()), prob: 0.008, via_store: false },
+        DeleteSpec {
+            target: DeleteTarget::Named("_fbp".into()),
+            prob: 0.010,
+            via_store: false,
+        },
+        DeleteSpec {
+            target: DeleteTarget::Named("_uetvid".into()),
+            prob: 0.008,
+            via_store: false,
+        },
     ];
     v.push(onetrust);
 
     for (domain, host, path, weight, del_prob) in [
-        ("cdn-cookieyes.com", "cdn-cookieyes.com", "/client_data/cky.js", 3.0, 0.026),
-        ("cookie-script.com", "cdn.cookie-script.com", "/s/cs.js", 2.5, 0.026),
-        ("civiccomputing.com", "cc.cdn.civiccomputing.com", "/9/cookieControl-9.x.min.js", 1.5, 0.02),
-        ("cookiebot.com", "consent.cookiebot.com", "/uc.js", 2.5, 0.016),
+        (
+            "cdn-cookieyes.com",
+            "cdn-cookieyes.com",
+            "/client_data/cky.js",
+            3.0,
+            0.026,
+        ),
+        (
+            "cookie-script.com",
+            "cdn.cookie-script.com",
+            "/s/cs.js",
+            2.5,
+            0.026,
+        ),
+        (
+            "civiccomputing.com",
+            "cc.cdn.civiccomputing.com",
+            "/9/cookieControl-9.x.min.js",
+            1.5,
+            0.02,
+        ),
+        (
+            "cookiebot.com",
+            "consent.cookiebot.com",
+            "/uc.js",
+            2.5,
+            0.016,
+        ),
     ] {
         let mut cm = VendorSpec::base(domain, host, path, VendorCategory::ConsentManager, weight);
-        cm.sets = vec![CookieSpec::new("cky-consent", ValueSpec::Short, Some(YEAR), 0.9)];
+        cm.sets = vec![CookieSpec::new(
+            "cky-consent",
+            ValueSpec::Short,
+            Some(YEAR),
+            0.9,
+        )];
         cm.reads_all_prob = 0.95;
         cm.deletes = vec![
-            DeleteSpec { target: DeleteTarget::Named("_uetvid".into()), prob: del_prob, via_store: false },
-            DeleteSpec { target: DeleteTarget::Named("_uetsid".into()), prob: del_prob * 0.9, via_store: false },
-            DeleteSpec { target: DeleteTarget::Named("_ga".into()), prob: del_prob * 0.55, via_store: false },
-            DeleteSpec { target: DeleteTarget::Named("_fbp".into()), prob: del_prob * 0.45, via_store: false },
-            DeleteSpec { target: DeleteTarget::Named("_gid".into()), prob: del_prob * 0.4, via_store: false },
-            DeleteSpec { target: DeleteTarget::Named("_gcl_au".into()), prob: del_prob * 0.4, via_store: false },
-            DeleteSpec { target: DeleteTarget::RandomFirstParty, prob: (del_prob * 4.5).min(0.9), via_store: false },
+            DeleteSpec {
+                target: DeleteTarget::Named("_uetvid".into()),
+                prob: del_prob,
+                via_store: false,
+            },
+            DeleteSpec {
+                target: DeleteTarget::Named("_uetsid".into()),
+                prob: del_prob * 0.9,
+                via_store: false,
+            },
+            DeleteSpec {
+                target: DeleteTarget::Named("_ga".into()),
+                prob: del_prob * 0.55,
+                via_store: false,
+            },
+            DeleteSpec {
+                target: DeleteTarget::Named("_fbp".into()),
+                prob: del_prob * 0.45,
+                via_store: false,
+            },
+            DeleteSpec {
+                target: DeleteTarget::Named("_gid".into()),
+                prob: del_prob * 0.4,
+                via_store: false,
+            },
+            DeleteSpec {
+                target: DeleteTarget::Named("_gcl_au".into()),
+                prob: del_prob * 0.4,
+                via_store: false,
+            },
+            DeleteSpec {
+                target: DeleteTarget::RandomFirstParty,
+                prob: (del_prob * 4.5).min(0.9),
+                via_store: false,
+            },
         ];
         v.push(cm);
     }
 
     // Osano: the §5.4 cross-company case study (_fbp → Criteo).
     let mut osano = VendorSpec::base(
-        "osano.com", "cmp.osano.com", "/1vX3GkPazR/osano.js",
-        VendorCategory::ConsentManager, 2.0,
+        "osano.com",
+        "cmp.osano.com",
+        "/1vX3GkPazR/osano.js",
+        VendorCategory::ConsentManager,
+        2.0,
     );
-    osano.sets = vec![CookieSpec::new("osano_consentmanager", ValueSpec::Uuid, Some(YEAR), 0.9)];
+    osano.sets = vec![CookieSpec::new(
+        "osano_consentmanager",
+        ValueSpec::Uuid,
+        Some(YEAR),
+        0.9,
+    )];
     osano.reads_all_prob = 0.95;
     osano.exfils = vec![ExfilSpec {
         dests: vec!["sslwidget.criteo.com".into()],
@@ -882,23 +1138,43 @@ pub fn core_vendors() -> Vec<VendorSpec> {
         via_store: false,
         extra_dest_samples: 0,
     }];
-    osano.deletes = vec![DeleteSpec { target: DeleteTarget::Named("_fbp".into()), prob: 0.02, via_store: false }];
+    osano.deletes = vec![DeleteSpec {
+        target: DeleteTarget::Named("_fbp".into()),
+        prob: 0.02,
+        via_store: false,
+    }];
     v.push(osano);
 
     let mut ketch = VendorSpec::base(
-        "ketchjs.com", "global.ketchjs.com", "/web/v2/config/boot.js",
-        VendorCategory::ConsentManager, 1.5,
+        "ketchjs.com",
+        "global.ketchjs.com",
+        "/web/v2/config/boot.js",
+        VendorCategory::ConsentManager,
+        1.5,
     );
-    ketch.sets = vec![CookieSpec::new("us_privacy", ValueSpec::UsPrivacy, Some(YEAR), 0.95)];
+    ketch.sets = vec![CookieSpec::new(
+        "us_privacy",
+        ValueSpec::UsPrivacy,
+        Some(YEAR),
+        0.95,
+    )];
     ketch.reads_all_prob = 0.9;
     v.push(ketch);
 
     // ---- Tag managers / CDPs ----------------------------------------------
     let mut tealium = VendorSpec::base(
-        "tiqcdn.com", "tags.tiqcdn.com", "/utag/main/prod/utag.js",
-        VendorCategory::TagManager, 4.0,
+        "tiqcdn.com",
+        "tags.tiqcdn.com",
+        "/utag/main/prod/utag.js",
+        VendorCategory::TagManager,
+        4.0,
     );
-    tealium.sets = vec![CookieSpec::new("utag_main", ValueSpec::GaStyle, Some(YEAR), 0.95)];
+    tealium.sets = vec![CookieSpec::new(
+        "utag_main",
+        ValueSpec::GaStyle,
+        Some(YEAR),
+        0.95,
+    )];
     tealium.reads_all_prob = 0.95;
     tealium.overwrites = vec![OverwriteSpec {
         target: OverwriteTarget::Named("utag_main".into()),
@@ -907,15 +1183,26 @@ pub fn core_vendors() -> Vec<VendorSpec> {
         blind: false,
     }];
     tealium.deletes = vec![
-        DeleteSpec { target: DeleteTarget::Named("_uetvid".into()), prob: 0.035, via_store: false },
-        DeleteSpec { target: DeleteTarget::Named("_uetsid".into()), prob: 0.035, via_store: false },
+        DeleteSpec {
+            target: DeleteTarget::Named("_uetvid".into()),
+            prob: 0.035,
+            via_store: false,
+        },
+        DeleteSpec {
+            target: DeleteTarget::Named("_uetsid".into()),
+            prob: 0.035,
+            via_store: false,
+        },
     ];
     tealium.inject_pool_count = (3, 10);
     v.push(tealium);
 
     let mut segment = VendorSpec::base(
-        "segment.com", "cdn.segment.com", "/analytics.js/v1/analytics.min.js",
-        VendorCategory::TagManager, 4.5,
+        "segment.com",
+        "cdn.segment.com",
+        "/analytics.js/v1/analytics.min.js",
+        VendorCategory::TagManager,
+        4.5,
     );
     segment.sets = vec![
         CookieSpec::new("ajs_anonymous_id", ValueSpec::Uuid, Some(YEAR), 0.95),
@@ -926,7 +1213,10 @@ pub fn core_vendors() -> Vec<VendorSpec> {
         dests: vec!["api.segment.io".into()],
         path: "/v1/p".into(),
         selection: ExfilSelection::Named(vec![
-            "ajs_anonymous_id".into(), "ajs_user_id".into(), "_ga".into(), "_fbp".into(),
+            "ajs_anonymous_id".into(),
+            "ajs_user_id".into(),
+            "_ga".into(),
+            "_fbp".into(),
         ]),
         segment: SegmentPolicy::Full,
         encoding: Encoding::Plain,
@@ -936,23 +1226,59 @@ pub fn core_vendors() -> Vec<VendorSpec> {
         extra_dest_samples: 0,
     }];
     segment.overwrites = vec![
-        OverwriteSpec { target: OverwriteTarget::Named("_fbp".into()), value: ValueSpec::FbpStyle, prob: 0.15, blind: false },
-        OverwriteSpec { target: OverwriteTarget::Named("_uetvid".into()), value: ValueSpec::HexId(32), prob: 0.12, blind: false },
-        OverwriteSpec { target: OverwriteTarget::Named("_uetsid".into()), value: ValueSpec::HexId(32), prob: 0.11, blind: false },
-        OverwriteSpec { target: OverwriteTarget::Named("ajs_anonymous_id".into()), value: ValueSpec::Uuid, prob: 0.08, blind: false },
+        OverwriteSpec {
+            target: OverwriteTarget::Named("_fbp".into()),
+            value: ValueSpec::FbpStyle,
+            prob: 0.15,
+            blind: false,
+        },
+        OverwriteSpec {
+            target: OverwriteTarget::Named("_uetvid".into()),
+            value: ValueSpec::HexId(32),
+            prob: 0.12,
+            blind: false,
+        },
+        OverwriteSpec {
+            target: OverwriteTarget::Named("_uetsid".into()),
+            value: ValueSpec::HexId(32),
+            prob: 0.11,
+            blind: false,
+        },
+        OverwriteSpec {
+            target: OverwriteTarget::Named("ajs_anonymous_id".into()),
+            value: ValueSpec::Uuid,
+            prob: 0.08,
+            blind: false,
+        },
     ];
     segment.deletes = vec![
-        DeleteSpec { target: DeleteTarget::Named("_uetvid".into()), prob: 0.016, via_store: false },
-        DeleteSpec { target: DeleteTarget::Named("ajs_user_id".into()), prob: 0.012, via_store: false },
+        DeleteSpec {
+            target: DeleteTarget::Named("_uetvid".into()),
+            prob: 0.016,
+            via_store: false,
+        },
+        DeleteSpec {
+            target: DeleteTarget::Named("ajs_user_id".into()),
+            prob: 0.012,
+            via_store: false,
+        },
     ];
     segment.inject_pool_count = (1, 6);
     v.push(segment);
 
     let mut adobe = VendorSpec::base(
-        "adobedtm.com", "assets.adobedtm.com", "/launch.min.js",
-        VendorCategory::TagManager, 3.5,
+        "adobedtm.com",
+        "assets.adobedtm.com",
+        "/launch.min.js",
+        VendorCategory::TagManager,
+        3.5,
     );
-    adobe.sets = vec![CookieSpec::new("AMCV_", ValueSpec::HexId(38), Some(2 * YEAR), 0.9)];
+    adobe.sets = vec![CookieSpec::new(
+        "AMCV_",
+        ValueSpec::HexId(38),
+        Some(2 * YEAR),
+        0.9,
+    )];
     adobe.reads_all_prob = 0.9;
     adobe.exfils = vec![ExfilSpec {
         dests: vec!["dpm.demdex.net".into()],
@@ -976,28 +1302,55 @@ pub fn core_vendors() -> Vec<VendorSpec> {
 
     // ---- Error/perf monitoring ---------------------------------------------
     let mut sentry = VendorSpec::base(
-        "sentry-cdn.com", "browser.sentry-cdn.com", "/bundle.min.js",
-        VendorCategory::Performance, 5.0,
+        "sentry-cdn.com",
+        "browser.sentry-cdn.com",
+        "/bundle.min.js",
+        VendorCategory::Performance,
+        5.0,
     );
     sentry.reads_all_prob = 0.6;
     // Table 5: "Functional Software" tops the _fbp overwriter list.
     sentry.overwrites = vec![
-        OverwriteSpec { target: OverwriteTarget::Named("_fbp".into()), value: ValueSpec::FbpStyle, prob: 0.13, blind: false },
-        OverwriteSpec { target: OverwriteTarget::Named("ajs_anonymous_id".into()), value: ValueSpec::Uuid, prob: 0.06, blind: false },
+        OverwriteSpec {
+            target: OverwriteTarget::Named("_fbp".into()),
+            value: ValueSpec::FbpStyle,
+            prob: 0.13,
+            blind: false,
+        },
+        OverwriteSpec {
+            target: OverwriteTarget::Named("ajs_anonymous_id".into()),
+            value: ValueSpec::Uuid,
+            prob: 0.06,
+            blind: false,
+        },
     ];
     v.push(sentry);
 
     for (domain, host, path, weight) in [
-        ("newrelic.com", "js-agent.newrelic.com", "/nr-loader.min.js", 4.0),
+        (
+            "newrelic.com",
+            "js-agent.newrelic.com",
+            "/nr-loader.min.js",
+            4.0,
+        ),
         ("dynatrace.com", "js.dynatrace.com", "/jstag.js", 2.0),
-        ("go-mpulse.net", "c.go-mpulse.net", "/boomerang/BOOM.js", 2.0),
+        (
+            "go-mpulse.net",
+            "c.go-mpulse.net",
+            "/boomerang/BOOM.js",
+            2.0,
+        ),
     ] {
         let mut p = VendorSpec::base(domain, host, path, VendorCategory::Performance, weight);
         p.reads_all_prob = 0.5;
         p.overwrites = vec![OverwriteSpec {
             target: OverwriteTarget::Named("OptanonConsent".into()),
             value: ValueSpec::ConsentString,
-            prob: if domain == "newrelic.com" { 0.07 } else { 0.035 },
+            prob: if domain == "newrelic.com" {
+                0.07
+            } else {
+                0.035
+            },
             blind: false,
         }];
         v.push(p);
@@ -1005,8 +1358,20 @@ pub fn core_vendors() -> Vec<VendorSpec> {
 
     // ---- A/B testing ---------------------------------------------------------
     for (domain, host, path, weight, own) in [
-        ("optimizely.com", "cdn.optimizely.com", "/js/optimizely.js", 3.0, "optimizelyEndUserId"),
-        ("visualwebsiteoptimizer.com", "dev.visualwebsiteoptimizer.com", "/j.php", 2.5, "_vwo_uuid"),
+        (
+            "optimizely.com",
+            "cdn.optimizely.com",
+            "/js/optimizely.js",
+            3.0,
+            "optimizelyEndUserId",
+        ),
+        (
+            "visualwebsiteoptimizer.com",
+            "dev.visualwebsiteoptimizer.com",
+            "/j.php",
+            2.5,
+            "_vwo_uuid",
+        ),
     ] {
         let mut ab = VendorSpec::base(domain, host, path, VendorCategory::AbTesting, weight);
         ab.sets = vec![CookieSpec::new(own, ValueSpec::Uuid, Some(180 * DAY), 0.9)];
@@ -1022,10 +1387,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
 
     // ---- Chat / support --------------------------------------------------------
     let mut olark = VendorSpec::base(
-        "olark.com", "static.olark.com", "/jsclient/loader.js",
-        VendorCategory::CustomerSupport, 2.0,
+        "olark.com",
+        "static.olark.com",
+        "/jsclient/loader.js",
+        VendorCategory::CustomerSupport,
+        2.0,
     );
-    olark.sets = vec![CookieSpec::new("olfsk", ValueSpec::HexId(20), Some(2 * YEAR), 0.9)];
+    olark.sets = vec![CookieSpec::new(
+        "olfsk",
+        ValueSpec::HexId(20),
+        Some(2 * YEAR),
+        0.9,
+    )];
     olark.reads_all_prob = 0.7;
     olark.overwrites = vec![OverwriteSpec {
         target: OverwriteTarget::Named("_gid".into()),
@@ -1037,20 +1410,36 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(olark);
 
     let mut intercom = VendorSpec::base(
-        "intercom.io", "widget.intercom.io", "/widget/app.js",
-        VendorCategory::CustomerSupport, 2.5,
+        "intercom.io",
+        "widget.intercom.io",
+        "/widget/app.js",
+        VendorCategory::CustomerSupport,
+        2.5,
     );
-    intercom.sets = vec![CookieSpec::new("intercom-id", ValueSpec::Uuid, Some(270 * DAY), 0.9)];
+    intercom.sets = vec![CookieSpec::new(
+        "intercom-id",
+        ValueSpec::Uuid,
+        Some(270 * DAY),
+        0.9,
+    )];
     intercom.reads_all_prob = 0.6;
     intercom.feature = Some(("chat".into(), "intercom-id".into(), None));
     v.push(intercom);
 
     // ---- Misc named trackers (Tables 2/5 rows) ----------------------------------
     let mut marketo = VendorSpec::base(
-        "marketo.net", "munchkin.marketo.net", "/munchkin.js",
-        VendorCategory::Analytics, 2.0,
+        "marketo.net",
+        "munchkin.marketo.net",
+        "/munchkin.js",
+        VendorCategory::Analytics,
+        2.0,
     );
-    marketo.sets = vec![CookieSpec::new("_mkto_trk", ValueSpec::HexId(40), Some(2 * YEAR), 0.9)];
+    marketo.sets = vec![CookieSpec::new(
+        "_mkto_trk",
+        ValueSpec::HexId(40),
+        Some(2 * YEAR),
+        0.9,
+    )];
     marketo.reads_all_prob = 0.85;
     marketo.exfils = vec![ExfilSpec {
         dests: vec!["munchkin.marketo.net".into()],
@@ -1066,10 +1455,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(marketo);
 
     let mut lotame = VendorSpec::base(
-        "crwdcntrl.net", "tags.crwdcntrl.net", "/lt/c/16589/lt.min.js",
-        VendorCategory::AdExchange, 1.8,
+        "crwdcntrl.net",
+        "tags.crwdcntrl.net",
+        "/lt/c/16589/lt.min.js",
+        VendorCategory::AdExchange,
+        1.8,
     );
-    lotame.sets = vec![CookieSpec::new("lotame_domain_check", ValueSpec::HexId(12), Some(DAY), 0.9)];
+    lotame.sets = vec![CookieSpec::new(
+        "lotame_domain_check",
+        ValueSpec::HexId(12),
+        Some(DAY),
+        0.9,
+    )];
     lotame.reads_all_prob = 0.9;
     lotame.exfils = vec![ExfilSpec {
         dests: vec!["bcp.crwdcntrl.net".into()],
@@ -1085,10 +1482,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(lotame);
 
     let mut statcounter = VendorSpec::base(
-        "statcounter.com", "www.statcounter.com", "/counter/counter.js",
-        VendorCategory::Analytics, 1.6,
+        "statcounter.com",
+        "www.statcounter.com",
+        "/counter/counter.js",
+        VendorCategory::Analytics,
+        1.6,
     );
-    statcounter.sets = vec![CookieSpec::new("sc_is_visitor_unique", ValueSpec::HexId(16), Some(2 * YEAR), 0.9)];
+    statcounter.sets = vec![CookieSpec::new(
+        "sc_is_visitor_unique",
+        ValueSpec::HexId(16),
+        Some(2 * YEAR),
+        0.9,
+    )];
     statcounter.reads_all_prob = 0.85;
     statcounter.exfils = vec![ExfilSpec {
         dests: vec!["c.statcounter.com".into()],
@@ -1104,18 +1509,35 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(statcounter);
 
     let mut gaconn = VendorSpec::base(
-        "gaconnector.com", "tracker.gaconnector.com", "/gaconnector.js",
-        VendorCategory::Analytics, 1.2,
+        "gaconnector.com",
+        "tracker.gaconnector.com",
+        "/gaconnector.js",
+        VendorCategory::Analytics,
+        1.2,
     );
     gaconn.sets = vec![
-        CookieSpec::new("gaconnector_GA_Client_ID", ValueSpec::GaStyle, Some(YEAR), 0.9),
-        CookieSpec::new("gaconnector_GA_Session_ID", ValueSpec::HexId(16), Some(DAY), 0.9),
+        CookieSpec::new(
+            "gaconnector_GA_Client_ID",
+            ValueSpec::GaStyle,
+            Some(YEAR),
+            0.9,
+        ),
+        CookieSpec::new(
+            "gaconnector_GA_Session_ID",
+            ValueSpec::HexId(16),
+            Some(DAY),
+            0.9,
+        ),
     ];
     gaconn.reads_all_prob = 0.95;
     gaconn.exfils = vec![ExfilSpec {
         dests: vec!["track.gaconnector.com".into()],
         path: "/track".into(),
-        selection: ExfilSelection::Named(vec!["_ga".into(), "gaconnector_GA_Client_ID".into(), "gaconnector_GA_Session_ID".into()]),
+        selection: ExfilSelection::Named(vec![
+            "_ga".into(),
+            "gaconnector_GA_Client_ID".into(),
+            "gaconnector_GA_Session_ID".into(),
+        ]),
         segment: SegmentPolicy::Full,
         encoding: Encoding::Plain,
         kind: RequestKind::Xhr,
@@ -1126,15 +1548,27 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(gaconn);
 
     let mut yimg = VendorSpec::base(
-        "yimg.jp", "s.yimg.jp", "/images/listing/tool/cv/ytag.js",
-        VendorCategory::AdExchange, 1.2,
+        "yimg.jp",
+        "s.yimg.jp",
+        "/images/listing/tool/cv/ytag.js",
+        VendorCategory::AdExchange,
+        1.2,
     );
-    yimg.sets = vec![CookieSpec::new("_yjsu_yjad", ValueSpec::GaStyle, Some(YEAR), 0.9)];
+    yimg.sets = vec![CookieSpec::new(
+        "_yjsu_yjad",
+        ValueSpec::GaStyle,
+        Some(YEAR),
+        0.9,
+    )];
     yimg.reads_all_prob = 0.85;
     yimg.exfils = vec![ExfilSpec {
         dests: vec!["b97.yahoo.co.jp".into()],
         path: "/bid".into(),
-        selection: ExfilSelection::Named(vec!["_yjsu_yjad".into(), "_ga".into(), "us_privacy".into()]),
+        selection: ExfilSelection::Named(vec![
+            "_yjsu_yjad".into(),
+            "_ga".into(),
+            "us_privacy".into(),
+        ]),
         segment: SegmentPolicy::Full,
         encoding: Encoding::Plain,
         kind: RequestKind::Image,
@@ -1145,10 +1579,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(yimg);
 
     let mut cxense = VendorSpec::base(
-        "cxense.com", "cdn.cxense.com", "/cx.js",
-        VendorCategory::Analytics, 1.2,
+        "cxense.com",
+        "cdn.cxense.com",
+        "/cx.js",
+        VendorCategory::Analytics,
+        1.2,
     );
-    cxense.sets = vec![CookieSpec::new("_cookie_test", ValueSpec::Short, Some(DAY), 0.9)];
+    cxense.sets = vec![CookieSpec::new(
+        "_cookie_test",
+        ValueSpec::Short,
+        Some(DAY),
+        0.9,
+    )];
     cxense.reads_all_prob = 0.8;
     cxense.overwrites = vec![OverwriteSpec {
         target: OverwriteTarget::GenericName,
@@ -1156,12 +1598,19 @@ pub fn core_vendors() -> Vec<VendorSpec> {
         prob: 0.15,
         blind: true,
     }];
-    cxense.deletes = vec![DeleteSpec { target: DeleteTarget::Named("_cookie_test".into()), prob: 0.05, via_store: false }];
+    cxense.deletes = vec![DeleteSpec {
+        target: DeleteTarget::Named("_cookie_test".into()),
+        prob: 0.05,
+        via_store: false,
+    }];
     v.push(cxense);
 
     let mut snap = VendorSpec::base(
-        "sc-static.net", "sc-static.net", "/scevent.min.js",
-        VendorCategory::SocialWidget, 2.0,
+        "sc-static.net",
+        "sc-static.net",
+        "/scevent.min.js",
+        VendorCategory::SocialWidget,
+        2.0,
     );
     snap.sets = vec![
         CookieSpec::new("_scid", ValueSpec::Uuid, Some(390 * DAY), 0.9),
@@ -1179,14 +1628,26 @@ pub fn core_vendors() -> Vec<VendorSpec> {
         via_store: false,
         extra_dest_samples: 0,
     }];
-    snap.deletes = vec![DeleteSpec { target: DeleteTarget::Named("_screload".into()), prob: 0.028, via_store: false }];
+    snap.deletes = vec![DeleteSpec {
+        target: DeleteTarget::Named("_screload".into()),
+        prob: 0.028,
+        via_store: false,
+    }];
     v.push(snap);
 
     let mut tiktok = VendorSpec::base(
-        "analytics-tiktok.com", "analytics.tiktok.com", "/i18n/pixel/events.js",
-        VendorCategory::SocialWidget, 3.0,
+        "analytics-tiktok.com",
+        "analytics.tiktok.com",
+        "/i18n/pixel/events.js",
+        VendorCategory::SocialWidget,
+        3.0,
     );
-    tiktok.sets = vec![CookieSpec::new("_ttp", ValueSpec::HexId(28), Some(390 * DAY), 0.9)];
+    tiktok.sets = vec![CookieSpec::new(
+        "_ttp",
+        ValueSpec::HexId(28),
+        Some(390 * DAY),
+        0.9,
+    )];
     tiktok.reads_all_prob = 0.85;
     tiktok.exfils = vec![ExfilSpec {
         dests: vec!["analytics.tiktok.com".into()],
@@ -1202,10 +1663,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     v.push(tiktok);
 
     let mut hotjar = VendorSpec::base(
-        "hotjar.com", "static.hotjar.com", "/c/hotjar.js",
-        VendorCategory::Analytics, 4.5,
+        "hotjar.com",
+        "static.hotjar.com",
+        "/c/hotjar.js",
+        VendorCategory::Analytics,
+        4.5,
     );
-    hotjar.sets = vec![CookieSpec::new("_hjSessionUser", ValueSpec::Uuid, Some(YEAR), 0.9)];
+    hotjar.sets = vec![CookieSpec::new(
+        "_hjSessionUser",
+        ValueSpec::Uuid,
+        Some(YEAR),
+        0.9,
+    )];
     hotjar.reads_all_prob = 0.8;
     hotjar.exfils = vec![ExfilSpec {
         dests: vec!["in.hotjar.com".into()],
@@ -1222,10 +1691,18 @@ pub fn core_vendors() -> Vec<VendorSpec> {
 
     // LiveIntent — Fig. 2 top-20 exfiltrator.
     let mut liadm = VendorSpec::base(
-        "liadm.com", "b-code.liadm.com", "/lc2.min.js",
-        VendorCategory::AdExchange, 1.5,
+        "liadm.com",
+        "b-code.liadm.com",
+        "/lc2.min.js",
+        VendorCategory::AdExchange,
+        1.5,
     );
-    liadm.sets = vec![CookieSpec::new("_li_dcdm_c", ValueSpec::HexId(20), Some(30 * DAY), 0.8)];
+    liadm.sets = vec![CookieSpec::new(
+        "_li_dcdm_c",
+        ValueSpec::HexId(20),
+        Some(30 * DAY),
+        0.8,
+    )];
     liadm.reads_all_prob = 0.9;
     liadm.exfils = vec![ExfilSpec {
         dests: vec!["rp.liadm.com".into()],
@@ -1273,25 +1750,45 @@ pub fn core_vendors() -> Vec<VendorSpec> {
                 prob: 0.05,
                 blind: true,
             }];
-            m.deletes = vec![DeleteSpec { target: DeleteTarget::RandomFirstParty, prob: 0.01, via_store: false }];
+            m.deletes = vec![DeleteSpec {
+                target: DeleteTarget::RandomFirstParty,
+                prob: 0.01,
+                via_store: false,
+            }];
         }
         v.push(m);
     }
 
     // ---- cookieStore users (§5.2) -----------------------------------------
     let mut shopify = VendorSpec::base(
-        "shopifycloud.com", "cdn.shopifycloud.com", "/perf-kit/shopify-perf-kit-1.6.2.min.js",
-        VendorCategory::Commerce, 0.0, // included only on commerce sites
+        "shopifycloud.com",
+        "cdn.shopifycloud.com",
+        "/perf-kit/shopify-perf-kit-1.6.2.min.js",
+        VendorCategory::Commerce,
+        0.0, // included only on commerce sites
     );
-    shopify.store_sets = vec![CookieSpec::new("keep_alive", ValueSpec::HexId(12), Some(1800), 0.95)];
+    shopify.store_sets = vec![CookieSpec::new(
+        "keep_alive",
+        ValueSpec::HexId(12),
+        Some(1800),
+        0.95,
+    )];
     shopify.reads_all_prob = 0.3;
     v.push(shopify);
 
     let mut admiral = VendorSpec::base(
-        "getadmiral.com", "cdn.getadmiral.com", "/scripts/admiral.js",
-        VendorCategory::AdExchange, 0.0, // included only on ad-funded content sites
+        "getadmiral.com",
+        "cdn.getadmiral.com",
+        "/scripts/admiral.js",
+        VendorCategory::AdExchange,
+        0.0, // included only on ad-funded content sites
     );
-    admiral.store_sets = vec![CookieSpec::new("_awl", ValueSpec::CounterTimestampSession, Some(7 * DAY), 0.95)];
+    admiral.store_sets = vec![CookieSpec::new(
+        "_awl",
+        ValueSpec::CounterTimestampSession,
+        Some(7 * DAY),
+        0.95,
+    )];
     admiral.reads_all_prob = 0.7;
     admiral.exfils = vec![ExfilSpec {
         dests: vec!["collect.getadmiral.com".into()],
@@ -1311,66 +1808,115 @@ pub fn core_vendors() -> Vec<VendorSpec> {
     // flow uses a sibling domain, a second script from that domain
     // performs the dependent read.
     let mut gsso = VendorSpec::base(
-        "gstatic.com", "accounts.gstatic.com", "/gsi/client.js",
-        VendorCategory::SsoProvider, 5.0,
+        "gstatic.com",
+        "accounts.gstatic.com",
+        "/gsi/client.js",
+        VendorCategory::SsoProvider,
+        5.0,
     );
-    gsso.sets = vec![CookieSpec::new("g_state", ValueSpec::HexId(24), Some(180 * DAY), 0.95)];
+    gsso.sets = vec![CookieSpec::new(
+        "g_state",
+        ValueSpec::HexId(24),
+        Some(180 * DAY),
+        0.95,
+    )];
     gsso.feature = Some(("sso".into(), "g_state".into(), Some("google.com".into())));
     v.push(gsso);
 
     let mut mssso = VendorSpec::base(
-        "msauth.net", "logincdn.msauth.net", "/shared/msal-browser.min.js",
-        VendorCategory::SsoProvider, 2.5,
+        "msauth.net",
+        "logincdn.msauth.net",
+        "/shared/msal-browser.min.js",
+        VendorCategory::SsoProvider,
+        2.5,
     );
-    mssso.sets = vec![CookieSpec::new("msal.session", ValueSpec::HexId(32), None, 0.95)];
+    mssso.sets = vec![CookieSpec::new(
+        "msal.session",
+        ValueSpec::HexId(32),
+        None,
+        0.95,
+    )];
     mssso.feature = Some(("sso".into(), "msal.session".into(), Some("live.com".into())));
     v.push(mssso);
 
     let mut fbsso = VendorSpec::base(
-        "facebook.com", "www.facebook.com", "/connect/en_US/sdk.js",
-        VendorCategory::SsoProvider, 2.5,
+        "facebook.com",
+        "www.facebook.com",
+        "/connect/en_US/sdk.js",
+        VendorCategory::SsoProvider,
+        2.5,
     );
-    fbsso.sets = vec![CookieSpec::new("fblo_state", ValueSpec::HexId(24), None, 0.95)];
+    fbsso.sets = vec![CookieSpec::new(
+        "fblo_state",
+        ValueSpec::HexId(24),
+        None,
+        0.95,
+    )];
     fbsso.feature = Some(("sso".into(), "fblo_state".into(), Some("fbcdn.net".into())));
     v.push(fbsso);
 
     let mut okta = VendorSpec::base(
-        "oktacdn.com", "global.oktacdn.com", "/okta-signin-widget/7/js/okta-sign-in.min.js",
-        VendorCategory::SsoProvider, 1.5,
+        "oktacdn.com",
+        "global.oktacdn.com",
+        "/okta-signin-widget/7/js/okta-sign-in.min.js",
+        VendorCategory::SsoProvider,
+        1.5,
     );
-    okta.sets = vec![CookieSpec::new("okta-oauth-state", ValueSpec::HexId(32), None, 0.95)];
+    okta.sets = vec![CookieSpec::new(
+        "okta-oauth-state",
+        ValueSpec::HexId(32),
+        None,
+        0.95,
+    )];
     okta.feature = Some(("sso".into(), "okta-oauth-state".into(), None));
     v.push(okta);
 
     let mut auth0 = VendorSpec::base(
-        "auth0.com", "cdn.auth0.com", "/js/auth0-spa-js/2/auth0-spa-js.production.js",
-        VendorCategory::SsoProvider, 1.5,
+        "auth0.com",
+        "cdn.auth0.com",
+        "/js/auth0-spa-js/2/auth0-spa-js.production.js",
+        VendorCategory::SsoProvider,
+        1.5,
     );
-    auth0.sets = vec![CookieSpec::new("auth0.is.authenticated", ValueSpec::HexId(24), None, 0.95)];
+    auth0.sets = vec![CookieSpec::new(
+        "auth0.is.authenticated",
+        ValueSpec::HexId(24),
+        None,
+        0.95,
+    )];
     auth0.feature = Some(("sso".into(), "auth0.is.authenticated".into(), None));
     v.push(auth0);
 
     // Sibling-domain reader stubs for SSO pairs and the fbcdn messenger
     // case: scripts that only read/probe cookies their sibling set.
     let mut google_reader = VendorSpec::base(
-        "google.com", "apis.google.com", "/js/platform.js",
-        VendorCategory::SsoProvider, 0.0, // only included via SSO pairing
+        "google.com",
+        "apis.google.com",
+        "/js/platform.js",
+        VendorCategory::SsoProvider,
+        0.0, // only included via SSO pairing
     );
     google_reader.reads_all_prob = 1.0;
     google_reader.feature = Some(("sso".into(), "g_state".into(), None));
     v.push(google_reader);
 
     let mut live_reader = VendorSpec::base(
-        "live.com", "login.live.com", "/sso/wsfed.js",
-        VendorCategory::SsoProvider, 0.0,
+        "live.com",
+        "login.live.com",
+        "/sso/wsfed.js",
+        VendorCategory::SsoProvider,
+        0.0,
     );
     live_reader.reads_all_prob = 1.0;
     live_reader.feature = Some(("sso".into(), "msal.session".into(), None));
     v.push(live_reader);
 
     let mut fbcdn = VendorSpec::base(
-        "fbcdn.net", "static.xx.fbcdn.net", "/rsrc.php/messenger.js",
-        VendorCategory::SocialWidget, 0.0,
+        "fbcdn.net",
+        "static.xx.fbcdn.net",
+        "/rsrc.php/messenger.js",
+        VendorCategory::SocialWidget,
+        0.0,
     );
     fbcdn.reads_all_prob = 1.0;
     fbcdn.feature = Some(("functionality".into(), "fblo_state".into(), None));
@@ -1390,22 +1936,55 @@ mod tests {
         let reg = VendorRegistry::new(Vec::new());
         let mut seen = std::collections::HashSet::new();
         for vendor in reg.all() {
-            assert!(seen.insert(vendor.domain.clone()), "duplicate vendor {}", vendor.domain);
-            assert!(cg_url::Url::parse(&vendor.script_url()).is_ok(), "bad url {}", vendor.script_url());
+            assert!(
+                seen.insert(vendor.domain.clone()),
+                "duplicate vendor {}",
+                vendor.domain
+            );
+            assert!(
+                cg_url::Url::parse(&vendor.script_url()).is_ok(),
+                "bad url {}",
+                vendor.script_url()
+            );
         }
-        assert!(reg.core_count() >= 45, "expected ≥45 core vendors, got {}", reg.core_count());
+        assert!(
+            reg.core_count() >= 45,
+            "expected ≥45 core vendors, got {}",
+            reg.core_count()
+        );
     }
 
     #[test]
     fn paper_table_vendors_present() {
         let reg = VendorRegistry::new(Vec::new());
         for d in [
-            "googletagmanager.com", "google-analytics.com", "doubleclick.net", "facebook.net",
-            "bing.com", "criteo.net", "pubmatic.com", "openx.net", "hubspot.com", "yandex.ru",
-            "licdn.com", "cookielaw.org", "cdn-cookieyes.com", "cookie-script.com", "tiqcdn.com",
-            "segment.com", "sentry-cdn.com", "marketo.net", "crwdcntrl.net", "statcounter.com",
-            "ketchjs.com", "yimg.jp", "gaconnector.com", "cxense.com", "shopifycloud.com",
-            "getadmiral.com", "osano.com",
+            "googletagmanager.com",
+            "google-analytics.com",
+            "doubleclick.net",
+            "facebook.net",
+            "bing.com",
+            "criteo.net",
+            "pubmatic.com",
+            "openx.net",
+            "hubspot.com",
+            "yandex.ru",
+            "licdn.com",
+            "cookielaw.org",
+            "cdn-cookieyes.com",
+            "cookie-script.com",
+            "tiqcdn.com",
+            "segment.com",
+            "sentry-cdn.com",
+            "marketo.net",
+            "crwdcntrl.net",
+            "statcounter.com",
+            "ketchjs.com",
+            "yimg.jp",
+            "gaconnector.com",
+            "cxense.com",
+            "shopifycloud.com",
+            "getadmiral.com",
+            "osano.com",
         ] {
             assert!(reg.by_domain(d).is_some(), "missing vendor {d}");
         }
@@ -1431,7 +2010,12 @@ mod tests {
         // With enough trials, deletion ops must appear.
         let mut saw_delete = false;
         for seed in 0..50 {
-            let ops = cm.behavior(&mut StdRng::seed_from_u64(seed), &cfg, &[], &["site_sess".to_string()]);
+            let ops = cm.behavior(
+                &mut StdRng::seed_from_u64(seed),
+                &cfg,
+                &[],
+                &["site_sess".to_string()],
+            );
             fn has_delete(ops: &[ScriptOp]) -> bool {
                 ops.iter().any(|op| match op {
                     ScriptOp::DeleteCookie { .. } => true,
@@ -1468,7 +2052,9 @@ mod tests {
         let reg = VendorRegistry::new(Vec::new());
         let inputs = reg.filter_list_inputs();
         assert!(inputs.ads.contains(&"doubleclick.net".to_string()));
-        assert!(inputs.tracking.contains(&"google-analytics.com".to_string()));
+        assert!(inputs
+            .tracking
+            .contains(&"google-analytics.com".to_string()));
         assert!(inputs.social.contains(&"facebook.net".to_string()));
         assert!(inputs.annoyance.contains(&"cookielaw.org".to_string()));
     }

@@ -32,12 +32,19 @@ impl GuardConfig {
     /// The paper's evaluation configuration: strict inline handling, no
     /// entity grouping, empty whitelist.
     pub fn strict() -> GuardConfig {
-        GuardConfig { inline_policy: InlinePolicy::Strict, entity_map: None, whitelist: HashSet::new() }
+        GuardConfig {
+            inline_policy: InlinePolicy::Strict,
+            entity_map: None,
+            whitelist: HashSet::new(),
+        }
     }
 
     /// Relaxed inline handling (illustrative alternative).
     pub fn relaxed() -> GuardConfig {
-        GuardConfig { inline_policy: InlinePolicy::Relaxed, ..GuardConfig::strict() }
+        GuardConfig {
+            inline_policy: InlinePolicy::Relaxed,
+            ..GuardConfig::strict()
+        }
     }
 
     /// Enables entity grouping with the given map.

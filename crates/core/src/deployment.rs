@@ -57,7 +57,9 @@ impl DeploymentStage {
     pub fn label(&self) -> String {
         match self {
             DeploymentStage::Disabled => "disabled".to_string(),
-            DeploymentStage::OptIn { adoption } => format!("opt-in ({:.0}% adoption)", adoption * 100.0),
+            DeploymentStage::OptIn { adoption } => {
+                format!("opt-in ({:.0}% adoption)", adoption * 100.0)
+            }
             DeploymentStage::PrivateBrowsing { private_share } => {
                 format!("private browsing ({:.0}% of views)", private_share * 100.0)
             }
@@ -72,7 +74,9 @@ impl DeploymentStage {
         vec![
             DeploymentStage::Disabled,
             DeploymentStage::OptIn { adoption: 0.05 },
-            DeploymentStage::PrivateBrowsing { private_share: 0.12 },
+            DeploymentStage::PrivateBrowsing {
+                private_share: 0.12,
+            },
             DeploymentStage::OptIn { adoption: 0.40 },
             DeploymentStage::DefaultOn,
         ]
@@ -116,7 +120,11 @@ impl PrivacyPreset {
 
     /// All presets, weakest first.
     pub fn all() -> [PrivacyPreset; 3] {
-        [PrivacyPreset::Permissive, PrivacyPreset::Balanced, PrivacyPreset::Strict]
+        [
+            PrivacyPreset::Permissive,
+            PrivacyPreset::Balanced,
+            PrivacyPreset::Strict,
+        ]
     }
 
     /// A human label for reports.
@@ -139,13 +147,22 @@ mod tests {
         assert_eq!(DeploymentStage::DefaultOn.guarded_share(), 1.0);
         assert!((DeploymentStage::OptIn { adoption: 0.05 }.guarded_share() - 0.05).abs() < 1e-12);
         // Out-of-range inputs are clamped, never amplified.
-        assert_eq!(DeploymentStage::OptIn { adoption: 7.0 }.guarded_share(), 1.0);
-        assert_eq!(DeploymentStage::OptIn { adoption: -1.0 }.guarded_share(), 0.0);
+        assert_eq!(
+            DeploymentStage::OptIn { adoption: 7.0 }.guarded_share(),
+            1.0
+        );
+        assert_eq!(
+            DeploymentStage::OptIn { adoption: -1.0 }.guarded_share(),
+            0.0
+        );
     }
 
     #[test]
     fn ladder_is_monotone_in_protection() {
-        let shares: Vec<f64> = DeploymentStage::ladder().iter().map(|s| s.guarded_share()).collect();
+        let shares: Vec<f64> = DeploymentStage::ladder()
+            .iter()
+            .map(|s| s.guarded_share())
+            .collect();
         for w in shares.windows(2) {
             assert!(w[0] <= w[1], "ladder must not step backwards: {shares:?}");
         }
@@ -171,7 +188,10 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: Vec<String> = DeploymentStage::ladder().iter().map(|s| s.label()).collect();
+        let labels: Vec<String> = DeploymentStage::ladder()
+            .iter()
+            .map(|s| s.label())
+            .collect();
         let unique: std::collections::HashSet<&String> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());
     }

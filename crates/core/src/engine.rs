@@ -1,0 +1,169 @@
+//! The shared guard engine: one immutable policy core per deployment.
+//!
+//! Before this split, every [`crate::CookieGuard`] carried its own copy
+//! of the [`GuardConfig`] — entity map, whitelist, and all — so a crawl
+//! over N sites deep-cloned and re-derived the policy state N times. A
+//! [`GuardEngine`] is built **once**, is `Send + Sync`, and is shared
+//! behind an [`Arc`] by any number of per-visit
+//! [`GuardSession`](crate::GuardSession)s across any number of threads.
+//!
+//! The engine is the *stateless* half of CookieGuard: configuration and
+//! policy decisions. The *stateful* half — the per-site metadata store
+//! and counters — lives in [`GuardSession`](crate::GuardSession).
+
+use crate::config::{GuardConfig, InlinePolicy};
+use crate::guard::GuardSession;
+use crate::policy::{AccessDecision, AllowReason, BlockReason, Caller};
+use std::sync::Arc;
+
+/// Immutable, shareable policy core: config + entity registry, compiled
+/// once per deployment.
+#[derive(Debug)]
+pub struct GuardEngine {
+    config: GuardConfig,
+}
+
+impl GuardEngine {
+    /// Compiles a config into an engine. Whitelist entries are
+    /// normalized here so the per-access checks are pure lookups.
+    pub fn new(config: GuardConfig) -> GuardEngine {
+        let mut config = config;
+        config.whitelist = config
+            .whitelist
+            .iter()
+            .map(|d| d.to_ascii_lowercase())
+            .collect();
+        GuardEngine { config }
+    }
+
+    /// Convenience: a ready-to-share engine.
+    pub fn shared(config: GuardConfig) -> Arc<GuardEngine> {
+        Arc::new(GuardEngine::new(config))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+
+    /// Opens a cheap per-visit session for a top-level page on
+    /// `site_domain`, sharing this engine.
+    pub fn session(self: &Arc<Self>, site_domain: &str) -> GuardSession {
+        GuardSession::new(Arc::clone(self), site_domain)
+    }
+
+    /// May `caller` access a cookie created by `creator` on a visit to
+    /// `site_domain`?
+    ///
+    /// `creator == None` means the cookie pre-dates the guard or its
+    /// creator was never attributed; such cookies are conservatively
+    /// treated as site-owned (only the owner reaches them).
+    pub fn check(
+        &self,
+        site_domain: &str,
+        caller: &Caller,
+        creator: Option<&str>,
+    ) -> AccessDecision {
+        let caller_domain = match &caller.domain {
+            Some(d) => d.as_str(),
+            None => {
+                return match self.config.inline_policy {
+                    InlinePolicy::Strict => AccessDecision::Block(BlockReason::InlineStrict),
+                    InlinePolicy::Relaxed => AccessDecision::Allow(AllowReason::RelaxedInline),
+                }
+            }
+        };
+        if caller_domain.eq_ignore_ascii_case(site_domain) {
+            return AccessDecision::Allow(AllowReason::SiteOwner);
+        }
+        if self.config.whitelist.contains(caller_domain) {
+            return AccessDecision::Allow(AllowReason::Whitelisted);
+        }
+        let creator = match creator {
+            Some(c) => c,
+            // Unattributed cookie: treated as the site's own.
+            None => site_domain,
+        };
+        if caller_domain.eq_ignore_ascii_case(creator) {
+            return AccessDecision::Allow(AllowReason::Creator);
+        }
+        if let Some(map) = &self.config.entity_map {
+            // Only group when both domains are actually known to the map;
+            // the identity fallback must not make unknown == unknown leak.
+            if map.contains(caller_domain)
+                && map.contains(creator)
+                && map.same_entity(caller_domain, creator)
+            {
+                return AccessDecision::Allow(AllowReason::SameEntity);
+            }
+        }
+        AccessDecision::Block(BlockReason::CrossDomain)
+    }
+
+    /// May `caller` create a cookie that does not exist yet on a visit
+    /// to `site_domain`? Always yes for attributable callers; inline
+    /// callers follow the inline policy.
+    pub fn check_create(&self, site_domain: &str, caller: &Caller) -> AccessDecision {
+        match (&caller.domain, self.config.inline_policy) {
+            (Some(d), _) if d.eq_ignore_ascii_case(site_domain) => {
+                AccessDecision::Allow(AllowReason::SiteOwner)
+            }
+            (Some(_), _) => AccessDecision::Allow(AllowReason::NewCookie),
+            (None, InlinePolicy::Relaxed) => AccessDecision::Allow(AllowReason::RelaxedInline),
+            (None, InlinePolicy::Strict) => AccessDecision::Block(BlockReason::InlineStrict),
+        }
+    }
+}
+
+// The engine is shared across crawler threads; its state is immutable
+// after construction, so these bounds must hold by composition. The
+// assertions keep that contract explicit at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GuardEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitelist_normalized_at_build_time() {
+        let mut config = GuardConfig::strict();
+        config.whitelist.insert("MiXeD.Example".to_string());
+        let engine = GuardEngine::new(config);
+        assert!(engine.config().whitelist.contains("mixed.example"));
+        assert!(engine
+            .check(
+                "site.com",
+                &Caller::external("mixed.example"),
+                Some("other.com")
+            )
+            .is_allow());
+    }
+
+    #[test]
+    fn one_engine_serves_many_sites() {
+        let engine = GuardEngine::shared(GuardConfig::strict());
+        // Same engine, different site context, different verdicts.
+        let caller = Caller::external("shop.example");
+        assert!(engine
+            .check("shop.example", &caller, Some("anyone.net"))
+            .is_allow());
+        assert!(!engine
+            .check("news.example", &caller, Some("anyone.net"))
+            .is_allow());
+    }
+
+    #[test]
+    fn sessions_share_without_cloning_config() {
+        let engine = GuardEngine::shared(GuardConfig::strict());
+        let a = engine.session("a.com");
+        let b = engine.session("b.com");
+        assert!(
+            Arc::ptr_eq(a.engine(), b.engine()),
+            "sessions must share one engine"
+        );
+        assert_eq!(Arc::strong_count(&engine), 3);
+    }
+}

@@ -1,10 +1,23 @@
 //! The CookieGuard runtime: metadata + policy at the interception points.
+//!
+//! Split into two layers (see also [`crate::engine`]):
+//!
+//! * [`GuardSession`] — the cheap, per-visit state: a metadata store and
+//!   stats counters bound to one top-level site, borrowing all policy
+//!   decisions from a shared [`GuardEngine`];
+//! * [`CookieGuard`] — the historical single-type facade. It behaves
+//!   exactly as before the split (one constructor, same methods), but is
+//!   now a thin wrapper around a session whose engine can also be
+//!   injected ([`CookieGuard::with_engine`]) to share policy state
+//!   across an entire crawl or deployment.
 
 use crate::config::GuardConfig;
+use crate::engine::GuardEngine;
 use crate::metadata::{CookieOrigin, MetadataStore};
-use crate::policy::{AccessDecision, Caller, PolicyEngine};
+use crate::policy::{AccessDecision, Caller};
 use cg_cookiejar::Cookie;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Counters for everything the guard blocked or allowed — the raw
 /// numbers behind the Figure 5 evaluation and the ablation benches.
@@ -24,28 +37,51 @@ pub struct GuardStats {
     pub reads_clean: u64,
 }
 
-/// The per-site CookieGuard instance: one per top-level page visit, like
-/// the extension's per-tab state.
+impl GuardStats {
+    /// Element-wise sum — used when aggregating per-visit sessions into
+    /// crawl- or deployment-level totals.
+    pub fn merge(&self, other: &GuardStats) -> GuardStats {
+        GuardStats {
+            cookies_filtered: self.cookies_filtered + other.cookies_filtered,
+            reads_filtered: self.reads_filtered + other.reads_filtered,
+            writes_blocked: self.writes_blocked + other.writes_blocked,
+            deletes_blocked: self.deletes_blocked + other.deletes_blocked,
+            writes_allowed: self.writes_allowed + other.writes_allowed,
+            reads_clean: self.reads_clean + other.reads_clean,
+        }
+    }
+}
+
+/// Per-visit guard state: one session per top-level page visit, like the
+/// extension's per-tab state. Policy and entity data live in the shared
+/// [`GuardEngine`]; the session only owns the metadata store and stats.
 #[derive(Debug, Clone)]
-pub struct CookieGuard {
-    policy: PolicyEngine,
+pub struct GuardSession {
+    engine: Arc<GuardEngine>,
+    site_domain: String,
     metadata: MetadataStore,
     stats: GuardStats,
 }
 
-impl CookieGuard {
-    /// Creates a guard for a visit to `site_domain` under `config`.
-    pub fn new(config: GuardConfig, site_domain: &str) -> CookieGuard {
-        CookieGuard {
-            policy: PolicyEngine::new(config, site_domain),
+impl GuardSession {
+    /// Opens a session for a visit to `site_domain` on a shared engine.
+    pub fn new(engine: Arc<GuardEngine>, site_domain: &str) -> GuardSession {
+        GuardSession {
+            engine,
+            site_domain: site_domain.to_ascii_lowercase(),
             metadata: MetadataStore::new(),
             stats: GuardStats::default(),
         }
     }
 
+    /// The shared policy engine.
+    pub fn engine(&self) -> &Arc<GuardEngine> {
+        &self.engine
+    }
+
     /// The guarded site.
     pub fn site_domain(&self) -> &str {
-        self.policy.site_domain()
+        &self.site_domain
     }
 
     /// Read access to the accumulated statistics.
@@ -66,7 +102,8 @@ impl CookieGuard {
     /// `response_domain` (eTLD+1). Mirrors `background.js` watching
     /// `webRequest.onHeadersReceived`.
     pub fn record_http_set_cookie(&mut self, name: &str, response_domain: &str) {
-        self.metadata.record(name, Some(response_domain), CookieOrigin::HttpHeader);
+        self.metadata
+            .record(name, Some(response_domain), CookieOrigin::HttpHeader);
     }
 
     /// Admits a cookie that existed before the guard attached under the
@@ -92,7 +129,9 @@ impl CookieGuard {
         if self.metadata.is_grandfathered(name) {
             return true;
         }
-        self.policy.check(caller, self.metadata.creator(name)).is_allow()
+        self.engine
+            .check(&self.site_domain, caller, self.metadata.creator(name))
+            .is_allow()
     }
 
     /// Filters a `document.cookie` / `cookieStore.getAll` result for
@@ -104,7 +143,10 @@ impl CookieGuard {
             .into_iter()
             .filter(|c| {
                 self.metadata.is_grandfathered(&c.name)
-                    || self.policy.check(caller, self.metadata.creator(&c.name)).is_allow()
+                    || self
+                        .engine
+                        .check(&self.site_domain, caller, self.metadata.creator(&c.name))
+                        .is_allow()
             })
             .collect();
         if visible.len() < before {
@@ -116,15 +158,18 @@ impl CookieGuard {
         visible
     }
 
-    /// Name-only variant of [`CookieGuard::filter_read`] for callers that
-    /// work with cookie names (tests, policy probing).
+    /// Name-only variant of [`GuardSession::filter_read`] for callers
+    /// that work with cookie names (tests, policy probing).
     pub fn filter_names(&mut self, caller: &Caller, names: &[String]) -> Vec<String> {
         let before = names.len();
         let visible: Vec<String> = names
             .iter()
             .filter(|n| {
                 self.metadata.is_grandfathered(n)
-                    || self.policy.check(caller, self.metadata.creator(n)).is_allow()
+                    || self
+                        .engine
+                        .check(&self.site_domain, caller, self.metadata.creator(n))
+                        .is_allow()
             })
             .cloned()
             .collect();
@@ -144,11 +189,12 @@ impl CookieGuard {
         let grandfathered = self.metadata.is_grandfathered(name);
         let decision = if grandfathered {
             // Legacy cookie: any writer may claim it (relearning phase).
-            self.policy.check_create(caller)
+            self.engine.check_create(&self.site_domain, caller)
         } else if self.metadata.knows(name) {
-            self.policy.check(caller, self.metadata.creator(name))
+            self.engine
+                .check(&self.site_domain, caller, self.metadata.creator(name))
         } else {
-            self.policy.check_create(caller)
+            self.engine.check_create(&self.site_domain, caller)
         };
         if decision.is_allow() {
             self.stats.writes_allowed += 1;
@@ -156,8 +202,12 @@ impl CookieGuard {
                 // New (or relearned) cookie: ownership goes to the
                 // (attributed) caller; inline-relaxed writes are owned by
                 // the site.
-                let creator = caller.domain.clone().unwrap_or_else(|| self.site_domain().to_string());
-                self.metadata.record(name, Some(&creator), CookieOrigin::DocumentCookie);
+                let creator = caller
+                    .domain
+                    .clone()
+                    .unwrap_or_else(|| self.site_domain.clone());
+                self.metadata
+                    .record(name, Some(&creator), CookieOrigin::DocumentCookie);
             }
         } else {
             self.stats.writes_blocked += 1;
@@ -170,13 +220,14 @@ impl CookieGuard {
     pub fn authorize_delete(&mut self, caller: &Caller, name: &str) -> AccessDecision {
         let decision = if self.metadata.is_grandfathered(name) {
             // Legacy cookie: deletable by anyone (pre-guard behaviour).
-            self.policy.check_create(caller)
+            self.engine.check_create(&self.site_domain, caller)
         } else if self.metadata.knows(name) {
-            self.policy.check(caller, self.metadata.creator(name))
+            self.engine
+                .check(&self.site_domain, caller, self.metadata.creator(name))
         } else {
             // Deleting a cookie the guard never saw: treat like touching
             // an unattributed (site-owned) cookie.
-            self.policy.check(caller, None)
+            self.engine.check(&self.site_domain, caller, None)
         };
         if decision.is_allow() {
             self.metadata.forget(name);
@@ -184,6 +235,96 @@ impl CookieGuard {
             self.stats.deletes_blocked += 1;
         }
         decision
+    }
+}
+
+/// The per-site CookieGuard instance: one per top-level page visit.
+///
+/// Historically this type owned its policy outright; it is now a facade
+/// over [`GuardSession`] + [`GuardEngine`]. [`CookieGuard::new`] keeps
+/// the old build-everything-per-visit behaviour for standalone use;
+/// crawls and deployments should build one engine and attach per-visit
+/// via [`CookieGuard::with_engine`] (or use [`GuardSession`] directly).
+#[derive(Debug, Clone)]
+pub struct CookieGuard {
+    session: GuardSession,
+}
+
+impl CookieGuard {
+    /// Creates a self-contained guard for a visit to `site_domain` under
+    /// `config` (compiles a fresh single-use engine).
+    pub fn new(config: GuardConfig, site_domain: &str) -> CookieGuard {
+        CookieGuard {
+            session: GuardEngine::shared(config).session(site_domain),
+        }
+    }
+
+    /// Creates a guard sharing an existing engine — the cheap per-visit
+    /// path for crawls.
+    pub fn with_engine(engine: Arc<GuardEngine>, site_domain: &str) -> CookieGuard {
+        CookieGuard {
+            session: GuardSession::new(engine, site_domain),
+        }
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &GuardSession {
+        &self.session
+    }
+
+    /// The shared policy engine.
+    pub fn engine(&self) -> &Arc<GuardEngine> {
+        self.session.engine()
+    }
+
+    /// The guarded site.
+    pub fn site_domain(&self) -> &str {
+        self.session.site_domain()
+    }
+
+    /// Read access to the accumulated statistics.
+    pub fn stats(&self) -> GuardStats {
+        self.session.stats()
+    }
+
+    /// Read access to the metadata store (forensics / tests).
+    pub fn metadata(&self) -> &MetadataStore {
+        self.session.metadata()
+    }
+
+    /// See [`GuardSession::record_http_set_cookie`].
+    pub fn record_http_set_cookie(&mut self, name: &str, response_domain: &str) {
+        self.session.record_http_set_cookie(name, response_domain);
+    }
+
+    /// See [`GuardSession::grandfather`].
+    pub fn grandfather(&mut self, name: &str) {
+        self.session.grandfather(name);
+    }
+
+    /// See [`GuardSession::may_observe`].
+    pub fn may_observe(&self, caller: &Caller, name: &str) -> bool {
+        self.session.may_observe(caller, name)
+    }
+
+    /// See [`GuardSession::filter_read`].
+    pub fn filter_read(&mut self, caller: &Caller, cookies: Vec<Cookie>) -> Vec<Cookie> {
+        self.session.filter_read(caller, cookies)
+    }
+
+    /// See [`GuardSession::filter_names`].
+    pub fn filter_names(&mut self, caller: &Caller, names: &[String]) -> Vec<String> {
+        self.session.filter_names(caller, names)
+    }
+
+    /// See [`GuardSession::authorize_write`].
+    pub fn authorize_write(&mut self, caller: &Caller, name: &str) -> AccessDecision {
+        self.session.authorize_write(caller, name)
+    }
+
+    /// See [`GuardSession::authorize_delete`].
+    pub fn authorize_delete(&mut self, caller: &Caller, name: &str) -> AccessDecision {
+        self.session.authorize_delete(caller, name)
     }
 }
 
@@ -197,7 +338,8 @@ mod tests {
         let url = Url::parse("https://site.com/").unwrap();
         let mut jar = CookieJar::new();
         for (i, n) in names.iter().enumerate() {
-            jar.set_document_cookie(&format!("{n}=v{i}"), &url, i as i64).unwrap();
+            jar.set_document_cookie(&format!("{n}=v{i}"), &url, i as i64)
+                .unwrap();
         }
         jar.cookies_for_document(&url, 100)
     }
@@ -213,14 +355,21 @@ mod tests {
         // 1. server at site.com sets c0 via Set-Cookie.
         g.record_http_set_cookie("c0", "site.com");
         // 2. site.com script sets c1.
-        assert!(g.authorize_write(&Caller::external("site.com"), "c1").is_allow());
+        assert!(g
+            .authorize_write(&Caller::external("site.com"), "c1")
+            .is_allow());
         // 3. ad.com script sets c2.
-        assert!(g.authorize_write(&Caller::external("ad.com"), "c2").is_allow());
+        assert!(g
+            .authorize_write(&Caller::external("ad.com"), "c2")
+            .is_allow());
 
         let cookies = jar_cookies(&["c0", "c1", "c2"]);
         // 4. ad.com reads: sees only c2.
         let ad_view = g.filter_read(&Caller::external("ad.com"), cookies.clone());
-        assert_eq!(ad_view.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(), vec!["c2"]);
+        assert_eq!(
+            ad_view.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["c2"]
+        );
         // 5. site.com reads: sees everything.
         let owner_view = g.filter_read(&Caller::external("site.com"), cookies);
         assert_eq!(owner_view.len(), 3);
@@ -241,10 +390,14 @@ mod tests {
     fn authorized_delete_forgets_ownership() {
         let mut g = guard();
         g.authorize_write(&Caller::external("tracker.com"), "tmp");
-        assert!(g.authorize_delete(&Caller::external("tracker.com"), "tmp").is_allow());
+        assert!(g
+            .authorize_delete(&Caller::external("tracker.com"), "tmp")
+            .is_allow());
         assert!(!g.metadata().knows("tmp"));
         // A different party can now claim the name.
-        assert!(g.authorize_write(&Caller::external("other.com"), "tmp").is_allow());
+        assert!(g
+            .authorize_write(&Caller::external("other.com"), "tmp")
+            .is_allow());
         assert_eq!(g.metadata().creator("tmp"), Some("other.com"));
     }
 
@@ -252,7 +405,9 @@ mod tests {
     fn cross_domain_delete_blocked() {
         let mut g = guard();
         g.authorize_write(&Caller::external("bing.com"), "_uetvid");
-        assert!(!g.authorize_delete(&Caller::external("cookie-script.com"), "_uetvid").is_allow());
+        assert!(!g
+            .authorize_delete(&Caller::external("cookie-script.com"), "_uetvid")
+            .is_allow());
         assert_eq!(g.stats().deletes_blocked, 1);
         assert!(g.metadata().knows("_uetvid"));
     }
@@ -276,8 +431,14 @@ mod tests {
         // A CDN response sets a cookie; its domain owns it.
         g.record_http_set_cookie("cdn_pref", "cdn-provider.net");
         let cookies = jar_cookies(&["cdn_pref"]);
-        assert!(g.filter_read(&Caller::external("tracker.com"), cookies.clone()).is_empty());
-        assert_eq!(g.filter_read(&Caller::external("cdn-provider.net"), cookies).len(), 1);
+        assert!(g
+            .filter_read(&Caller::external("tracker.com"), cookies.clone())
+            .is_empty());
+        assert_eq!(
+            g.filter_read(&Caller::external("cdn-provider.net"), cookies)
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -285,7 +446,9 @@ mod tests {
         let mut g = guard();
         assert!(!g.authorize_write(&Caller::inline(), "x").is_allow());
         g.authorize_write(&Caller::external("a.com"), "y");
-        assert!(g.filter_read(&Caller::inline(), jar_cookies(&["y"])).is_empty());
+        assert!(g
+            .filter_read(&Caller::inline(), jar_cookies(&["y"]))
+            .is_empty());
     }
 
     #[test]
@@ -294,7 +457,11 @@ mod tests {
         assert!(g.authorize_write(&Caller::inline(), "pref").is_allow());
         // Ownership recorded to the site.
         assert_eq!(g.metadata().creator("pref"), Some("site.com"));
-        assert_eq!(g.filter_read(&Caller::inline(), jar_cookies(&["pref"])).len(), 1);
+        assert_eq!(
+            g.filter_read(&Caller::inline(), jar_cookies(&["pref"]))
+                .len(),
+            1
+        );
     }
 
     // ------------------------------------------------------------------
@@ -306,7 +473,11 @@ mod tests {
         let mut g = guard();
         g.grandfather("_legacy");
         // Everyone can still read it, as before the guard shipped.
-        assert_eq!(g.filter_read(&Caller::external("anyone.net"), jar_cookies(&["_legacy"])).len(), 1);
+        assert_eq!(
+            g.filter_read(&Caller::external("anyone.net"), jar_cookies(&["_legacy"]))
+                .len(),
+            1
+        );
         assert!(g.may_observe(&Caller::external("anyone.net"), "_legacy"));
     }
 
@@ -315,11 +486,17 @@ mod tests {
         let mut g = guard();
         g.grandfather("_tid");
         // The tracker refreshes its identifier: ownership is relearned.
-        assert!(g.authorize_write(&Caller::external("tracker.com"), "_tid").is_allow());
+        assert!(g
+            .authorize_write(&Caller::external("tracker.com"), "_tid")
+            .is_allow());
         assert_eq!(g.metadata().creator("_tid"), Some("tracker.com"));
         // From now on isolation applies.
-        assert!(g.filter_read(&Caller::external("other.com"), jar_cookies(&["_tid"])).is_empty());
-        assert!(!g.authorize_write(&Caller::external("other.com"), "_tid").is_allow());
+        assert!(g
+            .filter_read(&Caller::external("other.com"), jar_cookies(&["_tid"]))
+            .is_empty());
+        assert!(!g
+            .authorize_write(&Caller::external("other.com"), "_tid")
+            .is_allow());
     }
 
     #[test]
@@ -328,14 +505,60 @@ mod tests {
         g.authorize_write(&Caller::external("a.com"), "c");
         g.grandfather("c"); // no-op: creator already known
         assert_eq!(g.metadata().creator("c"), Some("a.com"));
-        assert!(g.filter_read(&Caller::external("b.com"), jar_cookies(&["c"])).is_empty());
+        assert!(g
+            .filter_read(&Caller::external("b.com"), jar_cookies(&["c"]))
+            .is_empty());
     }
 
     #[test]
     fn grandfathered_cookie_deletable_by_anyone() {
         let mut g = guard();
         g.grandfather("stale");
-        assert!(g.authorize_delete(&Caller::external("consent.io"), "stale").is_allow());
+        assert!(g
+            .authorize_delete(&Caller::external("consent.io"), "stale")
+            .is_allow());
         assert!(!g.metadata().knows("stale"));
+    }
+
+    // ------------------------------------------------------------------
+    // Engine/session split
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn with_engine_shares_policy_across_visits() {
+        let engine = GuardEngine::shared(GuardConfig::strict().with_whitelisted("partner.io"));
+        let mut site_a = CookieGuard::with_engine(Arc::clone(&engine), "a.com");
+        let mut site_b = CookieGuard::with_engine(Arc::clone(&engine), "b.com");
+        // Policy (whitelist) comes from the shared engine…
+        site_a.authorize_write(&Caller::external("x.net"), "c");
+        site_b.authorize_write(&Caller::external("y.net"), "c");
+        assert!(site_a.may_observe(&Caller::external("partner.io"), "c"));
+        assert!(site_b.may_observe(&Caller::external("partner.io"), "c"));
+        // …while metadata stays per-session.
+        assert_eq!(site_a.metadata().creator("c"), Some("x.net"));
+        assert_eq!(site_b.metadata().creator("c"), Some("y.net"));
+        assert!(Arc::ptr_eq(site_a.engine(), site_b.engine()));
+    }
+
+    #[test]
+    fn stats_merge_adds_elementwise() {
+        let a = GuardStats {
+            cookies_filtered: 3,
+            reads_filtered: 2,
+            writes_blocked: 1,
+            ..Default::default()
+        };
+        let b = GuardStats {
+            cookies_filtered: 4,
+            writes_allowed: 7,
+            reads_clean: 5,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.cookies_filtered, 7);
+        assert_eq!(m.reads_filtered, 2);
+        assert_eq!(m.writes_blocked, 1);
+        assert_eq!(m.writes_allowed, 7);
+        assert_eq!(m.reads_clean, 5);
     }
 }

@@ -11,10 +11,17 @@
 //! * a [`MetadataStore`] records, for every cookie, the eTLD+1 of the
 //!   script or server that created it (updated on `document.cookie`
 //!   writes, `cookieStore.set`, and HTTP `Set-Cookie`);
-//! * a [`PolicyEngine`] decides, for every access, whether the calling
-//!   script's domain may see or modify a given cookie;
+//! * a [`GuardEngine`] decides, for every access, whether the calling
+//!   script's domain may see or modify a given cookie. The engine is
+//!   immutable, `Send + Sync`, compiled **once per deployment**, and
+//!   shared behind an `Arc` by every visit;
+//! * a [`GuardSession`] is the cheap per-visit state (metadata + stats)
+//!   bound to one top-level site on a shared engine;
 //! * [`CookieGuard`] glues the two together at the same interception
-//!   points the measurement instruments.
+//!   points the measurement instruments — [`CookieGuard::new`] for a
+//!   self-contained guard, [`CookieGuard::with_engine`] to share one
+//!   engine across a crawl. ([`PolicyEngine`] remains as a site-bound
+//!   policy view over an engine.)
 //!
 //! # Policy (paper §6.1)
 //!
@@ -52,13 +59,15 @@
 
 pub mod config;
 pub mod deployment;
+pub mod engine;
 pub mod guard;
 pub mod metadata;
 pub mod policy;
 
 pub use config::{GuardConfig, InlinePolicy};
 pub use deployment::{DeploymentStage, PrivacyPreset};
-pub use guard::{CookieGuard, GuardStats};
+pub use engine::GuardEngine;
+pub use guard::{CookieGuard, GuardSession, GuardStats};
 pub use metadata::{CookieOrigin, MetadataStore};
 pub use policy::{AccessDecision, AllowReason, BlockReason, Caller, PolicyEngine};
 
@@ -129,13 +138,21 @@ mod proptests {
         // Invariant 4: enabling grouping may only add visibility within an
         // entity, never across entities.
         let entities = cg_entity::builtin_entity_map();
-        let domains = ["facebook.net", "fbcdn.net", "criteo.com", "site.com", "tracker.com"];
+        let domains = [
+            "facebook.net",
+            "fbcdn.net",
+            "criteo.com",
+            "site.com",
+            "tracker.com",
+        ];
         for creator in domains {
             for reader in domains {
                 let mut strict = CookieGuard::new(GuardConfig::strict(), "site.com");
                 strict.authorize_write(&Caller::external(creator), "c");
-                let mut grouped =
-                    CookieGuard::new(GuardConfig::strict().with_entity_grouping(entities.clone()), "site.com");
+                let mut grouped = CookieGuard::new(
+                    GuardConfig::strict().with_entity_grouping(entities.clone()),
+                    "site.com",
+                );
                 grouped.authorize_write(&Caller::external(creator), "c");
 
                 let caller = Caller::external(reader);
@@ -145,7 +162,10 @@ mod proptests {
                     assert!(g, "grouping removed visibility {creator}->{reader}");
                 }
                 if g && !s {
-                    assert!(entities.same_entity(creator, reader), "grouping leaked {creator}->{reader}");
+                    assert!(
+                        entities.same_entity(creator, reader),
+                        "grouping leaked {creator}->{reader}"
+                    );
                 }
             }
         }

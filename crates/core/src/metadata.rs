@@ -54,7 +54,10 @@ impl MetadataStore {
     pub fn record(&mut self, name: &str, creator: Option<&str>, origin: CookieOrigin) {
         self.records.insert(
             name.to_string(),
-            OwnershipRecord { creator: creator.map(|c| c.to_ascii_lowercase()), origin },
+            OwnershipRecord {
+                creator: creator.map(|c| c.to_ascii_lowercase()),
+                origin,
+            },
         );
     }
 
@@ -63,7 +66,10 @@ impl MetadataStore {
     pub fn record_grandfathered(&mut self, name: &str) {
         self.records.insert(
             name.to_string(),
-            OwnershipRecord { creator: None, origin: CookieOrigin::Grandfathered },
+            OwnershipRecord {
+                creator: None,
+                origin: CookieOrigin::Grandfathered,
+            },
         );
     }
 
@@ -71,7 +77,10 @@ impl MetadataStore {
     pub fn is_grandfathered(&self, name: &str) -> bool {
         matches!(
             self.records.get(name),
-            Some(OwnershipRecord { origin: CookieOrigin::Grandfathered, .. })
+            Some(OwnershipRecord {
+                origin: CookieOrigin::Grandfathered,
+                ..
+            })
         )
     }
 
@@ -119,11 +128,18 @@ mod tests {
     #[test]
     fn record_and_lookup() {
         let mut m = MetadataStore::new();
-        m.record("_ga", Some("Googletagmanager.COM"), CookieOrigin::DocumentCookie);
+        m.record(
+            "_ga",
+            Some("Googletagmanager.COM"),
+            CookieOrigin::DocumentCookie,
+        );
         assert_eq!(m.creator("_ga"), Some("googletagmanager.com"));
         assert!(m.knows("_ga"));
         assert!(!m.knows("_gid"));
-        assert_eq!(m.record_of("_ga").unwrap().origin, CookieOrigin::DocumentCookie);
+        assert_eq!(
+            m.record_of("_ga").unwrap().origin,
+            CookieOrigin::DocumentCookie
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The policy engine: who may touch which cookie.
 
-use crate::config::{GuardConfig, InlinePolicy};
+use crate::config::GuardConfig;
 use serde::{Deserialize, Serialize};
 
 /// The identity of a script performing a cookie operation, as recovered
@@ -15,7 +15,9 @@ pub struct Caller {
 impl Caller {
     /// A caller attributed to an external script domain.
     pub fn external(domain: &str) -> Caller {
-        Caller { domain: Some(domain.to_ascii_lowercase()) }
+        Caller {
+            domain: Some(domain.to_ascii_lowercase()),
+        }
     }
 
     /// An inline / unattributable caller.
@@ -67,17 +69,37 @@ impl AccessDecision {
     }
 }
 
-/// Stateless policy logic over a [`GuardConfig`].
+/// Site-bound policy view: a [`GuardEngine`](crate::GuardEngine) plus
+/// the one `site_domain` it is answering for.
+///
+/// Historically this type owned the config outright; it is now a thin
+/// adapter over a shared engine, kept because "policy checks for one
+/// site" is a convenient shape for tests and probing tools. All decision
+/// logic lives in [`crate::GuardEngine::check`] /
+/// [`crate::GuardEngine::check_create`].
 #[derive(Debug, Clone)]
 pub struct PolicyEngine {
-    config: GuardConfig,
+    engine: std::sync::Arc<crate::GuardEngine>,
     site_domain: String,
 }
 
 impl PolicyEngine {
-    /// Builds an engine for one site visit.
+    /// Builds an engine for one site visit (compiles a fresh single-use
+    /// [`crate::GuardEngine`]; share one via [`PolicyEngine::on_engine`]
+    /// instead when checking many sites).
     pub fn new(config: GuardConfig, site_domain: &str) -> PolicyEngine {
-        PolicyEngine { config, site_domain: site_domain.to_ascii_lowercase() }
+        PolicyEngine::on_engine(crate::GuardEngine::shared(config), site_domain)
+    }
+
+    /// Binds an existing shared engine to a site.
+    pub fn on_engine(
+        engine: std::sync::Arc<crate::GuardEngine>,
+        site_domain: &str,
+    ) -> PolicyEngine {
+        PolicyEngine {
+            engine,
+            site_domain: site_domain.to_ascii_lowercase(),
+        }
     }
 
     /// The site this engine guards.
@@ -87,57 +109,19 @@ impl PolicyEngine {
 
     /// The active configuration.
     pub fn config(&self) -> &GuardConfig {
-        &self.config
+        self.engine.config()
     }
 
-    /// May `caller` access a cookie created by `creator`?
-    ///
-    /// `creator == None` means the cookie pre-dates the guard or its
-    /// creator was never attributed; such cookies are conservatively
-    /// treated as site-owned (only the owner reaches them).
+    /// May `caller` access a cookie created by `creator`? See
+    /// [`crate::GuardEngine::check`].
     pub fn check(&self, caller: &Caller, creator: Option<&str>) -> AccessDecision {
-        let caller_domain = match &caller.domain {
-            Some(d) => d.as_str(),
-            None => {
-                return match self.config.inline_policy {
-                    InlinePolicy::Strict => AccessDecision::Block(BlockReason::InlineStrict),
-                    InlinePolicy::Relaxed => AccessDecision::Allow(AllowReason::RelaxedInline),
-                }
-            }
-        };
-        if caller_domain == self.site_domain {
-            return AccessDecision::Allow(AllowReason::SiteOwner);
-        }
-        if self.config.whitelist.contains(caller_domain) {
-            return AccessDecision::Allow(AllowReason::Whitelisted);
-        }
-        let creator = match creator {
-            Some(c) => c,
-            // Unattributed cookie: treated as the site's own.
-            None => self.site_domain.as_str(),
-        };
-        if caller_domain == creator {
-            return AccessDecision::Allow(AllowReason::Creator);
-        }
-        if let Some(map) = &self.config.entity_map {
-            // Only group when both domains are actually known to the map;
-            // the identity fallback must not make unknown == unknown leak.
-            if map.contains(caller_domain) && map.contains(creator) && map.same_entity(caller_domain, creator) {
-                return AccessDecision::Allow(AllowReason::SameEntity);
-            }
-        }
-        AccessDecision::Block(BlockReason::CrossDomain)
+        self.engine.check(&self.site_domain, caller, creator)
     }
 
-    /// May `caller` create a cookie that does not exist yet? Always yes
-    /// for attributable callers; inline callers follow the inline policy.
+    /// May `caller` create a cookie that does not exist yet? See
+    /// [`crate::GuardEngine::check_create`].
     pub fn check_create(&self, caller: &Caller) -> AccessDecision {
-        match (&caller.domain, self.config.inline_policy) {
-            (Some(d), _) if d == &self.site_domain => AccessDecision::Allow(AllowReason::SiteOwner),
-            (Some(_), _) => AccessDecision::Allow(AllowReason::NewCookie),
-            (None, InlinePolicy::Relaxed) => AccessDecision::Allow(AllowReason::RelaxedInline),
-            (None, InlinePolicy::Strict) => AccessDecision::Block(BlockReason::InlineStrict),
-        }
+        self.engine.check_create(&self.site_domain, caller)
     }
 }
 
@@ -175,19 +159,28 @@ mod tests {
             AccessDecision::Block(BlockReason::InlineStrict)
         );
         let relaxed = PolicyEngine::new(GuardConfig::relaxed(), "site.com");
-        assert!(relaxed.check(&Caller::inline(), Some("tracker.com")).is_allow());
+        assert!(relaxed
+            .check(&Caller::inline(), Some("tracker.com"))
+            .is_allow());
     }
 
     #[test]
     fn unattributed_cookie_is_site_owned() {
         // Only the owner reaches a cookie with no recorded creator.
-        assert!(engine().check(&Caller::external("site.com"), None).is_allow());
-        assert!(!engine().check(&Caller::external("tracker.com"), None).is_allow());
+        assert!(engine()
+            .check(&Caller::external("site.com"), None)
+            .is_allow());
+        assert!(!engine()
+            .check(&Caller::external("tracker.com"), None)
+            .is_allow());
     }
 
     #[test]
     fn whitelist_grants_full_access() {
-        let e = PolicyEngine::new(GuardConfig::strict().with_whitelisted("partner.io"), "site.com");
+        let e = PolicyEngine::new(
+            GuardConfig::strict().with_whitelisted("partner.io"),
+            "site.com",
+        );
         assert_eq!(
             e.check(&Caller::external("partner.io"), Some("anyone.com")),
             AccessDecision::Allow(AllowReason::Whitelisted)
@@ -220,12 +213,16 @@ mod tests {
         );
         // Two unknown domains both fall back to "self" entities — they
         // must not be considered the same entity.
-        assert!(!e.check(&Caller::external("unknown-a.com"), Some("unknown-b.com")).is_allow());
+        assert!(!e
+            .check(&Caller::external("unknown-a.com"), Some("unknown-b.com"))
+            .is_allow());
     }
 
     #[test]
     fn create_decisions() {
-        assert!(engine().check_create(&Caller::external("new.com")).is_allow());
+        assert!(engine()
+            .check_create(&Caller::external("new.com"))
+            .is_allow());
         assert!(!engine().check_create(&Caller::inline()).is_allow());
         let relaxed = PolicyEngine::new(GuardConfig::relaxed(), "site.com");
         assert!(relaxed.check_create(&Caller::inline()).is_allow());

@@ -19,17 +19,31 @@ use cookieguard_repro::entity::builtin_entity_map;
 use cookieguard_repro::webgen::{GenConfig, WebGenerator};
 
 fn main() {
-    let sites: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let sites: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
 
     // ---- act 0: the SOP boundary (Figure 1) ---------------------------
     let sop = sop_boundary_demo("site.com", "tracker.com");
     println!("0. the Same-Origin Policy boundary (Figure 1):\n");
-    println!("   tracker script in a cross-origin iframe sees: {:?}", sop.iframe_sees);
-    println!("   the SAME script in the main frame sees:       {:?}\n", sop.main_frame_script_sees);
+    println!(
+        "   tracker script in a cross-origin iframe sees: {:?}",
+        sop.iframe_sees
+    );
+    println!(
+        "   the SAME script in the main frame sees:       {:?}\n",
+        sop.main_frame_script_sees
+    );
 
     // ---- act 1: partitioning works where it was designed to ----------
     println!("1. storage partitioning, in its own scope (tracker iframe on 4 sites):\n");
-    let visited = ["news.example", "shop.example", "blog.example", "mail.example"];
+    let visited = [
+        "news.example",
+        "shop.example",
+        "blog.example",
+        "mail.example",
+    ];
     for model in [
         PartitioningModel::Unpartitioned,
         PartitioningModel::SafariItp,
@@ -37,29 +51,55 @@ fn main() {
         PartitioningModel::ChromeChips,
     ] {
         let out = simulate_embedded_tracking(model, "tracker.com", &visited, false);
-        let verdict = if out.distinct_ids == 1 { "one profile — tracked across sites" } else { "per-site profiles" };
-        println!("   {:<16} {} distinct id(s): {}", model.name(), out.distinct_ids, verdict);
+        let verdict = if out.distinct_ids == 1 {
+            "one profile — tracked across sites"
+        } else {
+            "per-site profiles"
+        };
+        println!(
+            "   {:<16} {} distinct id(s): {}",
+            model.name(),
+            out.distinct_ids,
+            verdict
+        );
     }
 
     println!("\n   …and in the main frame (ghost-written cookie, cross-domain read):\n");
-    for model in [PartitioningModel::SafariItp, PartitioningModel::FirefoxTcp, PartitioningModel::ChromeChips] {
+    for model in [
+        PartitioningModel::SafariItp,
+        PartitioningModel::FirefoxTcp,
+        PartitioningModel::ChromeChips,
+    ] {
         let leak = main_frame_leak_demo(model, "site.com");
         println!(
             "   {:<16} cross-domain script sees the tracker cookie: {}",
             model.name(),
-            if leak.leaked { "YES — no main-frame isolation (§2.1)" } else { "no" }
+            if leak.leaked {
+                "YES — no main-frame isolation (§2.1)"
+            } else {
+                "no"
+            }
         );
     }
 
     // ---- act 2: the full matrix --------------------------------------
-    println!("\n2. defense matrix on {sites} generated sites (train split: {sites}..{}):\n", sites * 2);
+    println!(
+        "\n2. defense matrix on {sites} generated sites (train split: {sites}..{}):\n",
+        sites * 2
+    );
     let gen = WebGenerator::new(GenConfig::small(sites * 2), 0xC00C1E);
-    let opts = MatrixOptions { eval_ranks: 1..=sites, entities: builtin_entity_map() };
+    let opts = MatrixOptions {
+        eval_ranks: 1..=sites,
+        entities: builtin_entity_map(),
+    };
     let defenses = vec![
         Defense::Blocklist,
         Defense::BlocklistUnderEvasion(EvasionConfig::default()),
         Defense::Partitioning(PartitioningModel::FirefoxTcp),
-        Defense::CookieGraphLite { train_ranks: (sites + 1)..=(sites * 2), forest: ForestConfig::default() },
+        Defense::CookieGraphLite {
+            train_ranks: (sites + 1)..=(sites * 2),
+            forest: ForestConfig::default(),
+        },
         Defense::CookieGuard(GuardConfig::strict()),
         Defense::CookieGuard(GuardConfig::strict().with_entity_grouping(builtin_entity_map())),
     ];
@@ -72,16 +112,26 @@ fn main() {
     for row in &rows {
         println!(
             "   {:<28} {:>7.1} {:>10.1} {:>8.1} {:>10.1}   {}",
-            row.name, row.exfil_sites_pct, row.overwrite_sites_pct, row.delete_sites_pct,
-            row.probe_break_pct, row.note
+            row.name,
+            row.exfil_sites_pct,
+            row.overwrite_sites_pct,
+            row.delete_sites_pct,
+            row.probe_break_pct,
+            row.note
         );
     }
 
     // ---- act 3: the takeaway ------------------------------------------
     let none = &rows[0];
     let blocklist = rows.iter().find(|r| r.name == "blocklist").unwrap();
-    let evaded = rows.iter().find(|r| r.name == "blocklist vs evasion").unwrap();
-    let guard = rows.iter().find(|r| r.name == "cookieguard strict").unwrap();
+    let evaded = rows
+        .iter()
+        .find(|r| r.name == "blocklist vs evasion")
+        .unwrap();
+    let guard = rows
+        .iter()
+        .find(|r| r.name == "cookieguard strict")
+        .unwrap();
     println!("\n3. reading the matrix:");
     println!(
         "   blocklists cut exfiltration {:.0}% — until evasion claws back {:.0} points of it;",

@@ -22,8 +22,16 @@ fn run_page(dom_guard: Option<&mut DomGuard>) -> cookieguard_repro::instrument::
     let mut jar = CookieJar::new();
     let mut recorder = Recorder::new("news.example", 1);
     let injectables = HashMap::new();
-    let mut page = Page::new(url, EPOCH_MS, &mut jar, None, &mut recorder, &injectables, 7)
-        .with_dom_guard(dom_guard);
+    let mut page = Page::new(
+        url,
+        EPOCH_MS,
+        &mut jar,
+        None,
+        &mut recorder,
+        &injectables,
+        7,
+    )
+    .with_dom_guard(dom_guard);
 
     let mut el = EventLoop::new(EPOCH_MS);
     // A widget vendor inserts its own container — always fine — and then
@@ -33,18 +41,36 @@ fn run_page(dom_guard: Option<&mut DomGuard>) -> cookieguard_repro::instrument::
         Some("https://cdn.widgets.example.net/embed.js"),
         vec![
             ScriptOp::DomInsert { tag: "div".into() },
-            ScriptOp::DomMutate { kind: DomMutationKind::Content, foreign_target: false },
-            ScriptOp::DomMutate { kind: DomMutationKind::Content, foreign_target: true },
-            ScriptOp::DomMutate { kind: DomMutationKind::Style, foreign_target: true },
-            ScriptOp::DomMutate { kind: DomMutationKind::Remove, foreign_target: true },
+            ScriptOp::DomMutate {
+                kind: DomMutationKind::Content,
+                foreign_target: false,
+            },
+            ScriptOp::DomMutate {
+                kind: DomMutationKind::Content,
+                foreign_target: true,
+            },
+            ScriptOp::DomMutate {
+                kind: DomMutationKind::Style,
+                foreign_target: true,
+            },
+            ScriptOp::DomMutate {
+                kind: DomMutationKind::Remove,
+                foreign_target: true,
+            },
         ],
     );
     // The site's own script re-themes everything — the owner may.
     let app = page.register_markup_script(
         Some("https://www.news.example/static/theme.js"),
         vec![
-            ScriptOp::DomMutate { kind: DomMutationKind::Style, foreign_target: false },
-            ScriptOp::DomMutate { kind: DomMutationKind::Attribute, foreign_target: false },
+            ScriptOp::DomMutate {
+                kind: DomMutationKind::Style,
+                foreign_target: false,
+            },
+            ScriptOp::DomMutate {
+                kind: DomMutationKind::Attribute,
+                foreign_target: false,
+            },
         ],
     );
     el.push_script(widget, 0);
@@ -64,8 +90,16 @@ fn print_events(log: &cookieguard_repro::instrument::VisitLog) {
             if e.blocked { "BLOCKED" } else { "applied" }
         );
     }
-    let cross_applied = log.dom_events.iter().filter(|e| e.is_cross_domain() && !e.blocked).count();
-    let cross_blocked = log.dom_events.iter().filter(|e| e.is_cross_domain() && e.blocked).count();
+    let cross_applied = log
+        .dom_events
+        .iter()
+        .filter(|e| e.is_cross_domain() && !e.blocked)
+        .count();
+    let cross_blocked = log
+        .dom_events
+        .iter()
+        .filter(|e| e.is_cross_domain() && e.blocked)
+        .count();
     println!("  cross-domain mutations applied: {cross_applied}, blocked: {cross_blocked}");
 }
 

@@ -12,12 +12,18 @@ use cookieguard_repro::browser::{crawl_range, VisitConfig};
 use cookieguard_repro::webgen::{GenConfig, WebGenerator};
 
 fn main() {
-    let sites: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let sites: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
     println!("crawling a {sites}-site synthetic web…");
 
     let gen = WebGenerator::new(GenConfig::small(sites), 0xC00C1E);
     let (outcomes, summary) = crawl_range(&gen, &VisitConfig::regular(), 1, sites, 4);
-    println!("  visited {} sites, {} with complete data", summary.visited, summary.complete);
+    println!(
+        "  visited {} sites, {} with complete data",
+        summary.visited, summary.complete
+    );
 
     let ds = Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect());
     let engine = cookieguard_repro::analysis::build_filter_engine(gen.registry());
@@ -25,9 +31,18 @@ fn main() {
 
     let prevalence = prevalence_stats(&ds, &engine);
     println!("\n-- §5.1 prevalence --");
-    println!("  sites with ≥1 third-party script: {:.1}%", prevalence.sites_with_third_party_pct);
-    println!("  avg distinct 3p scripts/site:     {:.1}", prevalence.avg_third_party_scripts);
-    println!("  ad/tracking share:                {:.1}%", prevalence.ad_tracking_share_pct);
+    println!(
+        "  sites with ≥1 third-party script: {:.1}%",
+        prevalence.sites_with_third_party_pct
+    );
+    println!(
+        "  avg distinct 3p scripts/site:     {:.1}",
+        prevalence.avg_third_party_scripts
+    );
+    println!(
+        "  ad/tracking share:                {:.1}%",
+        prevalence.ad_tracking_share_pct
+    );
 
     let usage = api_usage(&ds);
     println!("\n-- §5.2 API usage --");

@@ -9,8 +9,8 @@
 use cookieguard_repro::analysis::{detect_exfiltration, Dataset};
 use cookieguard_repro::breakage::{evaluate_breakage, BreakageCategory};
 use cookieguard_repro::browser::{crawl_range, visit_site_with_jar, VisitConfig};
-use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::cookieguard::{DeploymentStage, GuardConfig, PrivacyPreset};
+use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::entity::builtin_entity_map;
 use cookieguard_repro::webgen::{GenConfig, WebGenerator};
 
@@ -22,7 +22,10 @@ fn exfil_site_pct(gen: &WebGenerator, sites: usize, cfg: &VisitConfig) -> f64 {
 }
 
 fn main() {
-    let sites: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let sites: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
     let gen = WebGenerator::new(GenConfig::small(sites), 0xC00C1E);
     let entities = builtin_entity_map();
 
@@ -31,11 +34,18 @@ fn main() {
     println!("baseline (no guard): cross-domain exfiltration on {baseline:.1}% of sites\n");
 
     // ---- preset frontier -------------------------------------------------
-    println!("{:<12} {:>18} {:>12} {:>14}", "preset", "exfil reduction", "SSO major", "any breakage");
+    println!(
+        "{:<12} {:>18} {:>12} {:>14}",
+        "preset", "exfil reduction", "SSO major", "any breakage"
+    );
     for preset in PrivacyPreset::all() {
         let config = preset.config(&entities);
         let guarded = exfil_site_pct(&gen, sites, &VisitConfig::guarded(config.clone()));
-        let reduction = if baseline > 0.0 { 100.0 * (baseline - guarded) / baseline } else { 0.0 };
+        let reduction = if baseline > 0.0 {
+            100.0 * (baseline - guarded) / baseline
+        } else {
+            0.0
+        };
         let breakage = evaluate_breakage(&gen, &config, 1, sites.min(100), 4);
         println!(
             "{:<12} {:>17.1}% {:>11.1}% {:>13.1}%",
@@ -77,7 +87,10 @@ fn main() {
             continue;
         }
         let strict = VisitConfig::guarded(GuardConfig::strict());
-        let gf = VisitConfig { grandfather_preexisting: true, ..strict.clone() };
+        let gf = VisitConfig {
+            grandfather_preexisting: true,
+            ..strict.clone()
+        };
         let mut jar_a = jar.clone();
         let mut jar_b = jar;
         without_gf += visit_site_with_jar(&bp, &strict, seed, &mut jar_a)

@@ -5,8 +5,8 @@
 //! Run with: `cargo run --example quickstart`
 
 use cookieguard_repro::browser::Page;
-use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::cookieguard::{CookieGuard, GuardConfig};
+use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::instrument::Recorder;
 use cookieguard_repro::script::{
     AttrChanges, CookieAttrs, CookieSelection, Encoding, EventLoop, ScriptOp, SegmentPolicy,
@@ -20,12 +20,22 @@ use std::collections::HashMap;
 const EPOCH_MS: i64 = 1_750_000_000_000;
 
 /// The same page, with or without CookieGuard attached.
-fn run_page(guard: Option<&mut CookieGuard>) -> (cookieguard_repro::instrument::VisitLog, CookieJar) {
+fn run_page(
+    guard: Option<&mut CookieGuard>,
+) -> (cookieguard_repro::instrument::VisitLog, CookieJar) {
     let url = Url::parse("https://www.shop.example/").unwrap();
     let mut jar = CookieJar::new();
     let mut recorder = Recorder::new("shop.example", 1);
     let injectables = HashMap::new();
-    let mut page = Page::new(url, EPOCH_MS, &mut jar, guard, &mut recorder, &injectables, 7);
+    let mut page = Page::new(
+        url,
+        EPOCH_MS,
+        &mut jar,
+        guard,
+        &mut recorder,
+        &injectables,
+        7,
+    );
 
     // The server establishes a session (HttpOnly: out of scripts' reach).
     page.apply_server_cookies(&[
@@ -38,7 +48,11 @@ fn run_page(guard: Option<&mut CookieGuard>) -> (cookieguard_repro::instrument::
     let app = page.register_markup_script(
         Some("https://www.shop.example/static/app.js"),
         vec![
-            ScriptOp::SetCookie { name: "cart_id".into(), value: ValueSpec::Uuid, attrs: CookieAttrs::default() },
+            ScriptOp::SetCookie {
+                name: "cart_id".into(),
+                value: ValueSpec::Uuid,
+                attrs: CookieAttrs::default(),
+            },
             ScriptOp::ReadAllCookies,
         ],
     );
@@ -48,7 +62,11 @@ fn run_page(guard: Option<&mut CookieGuard>) -> (cookieguard_repro::instrument::
         vec![ScriptOp::SetCookie {
             name: "_ga".into(),
             value: ValueSpec::GaStyle,
-            attrs: CookieAttrs { max_age_s: Some(63_072_000), site_wide: true, ..CookieAttrs::default() },
+            attrs: CookieAttrs {
+                max_age_s: Some(63_072_000),
+                site_wide: true,
+                ..CookieAttrs::default()
+            },
         }],
     );
     // 3. A retargeting script reads the whole jar and exfiltrates the _ga
@@ -94,7 +112,11 @@ fn main() {
         );
     }
     for req in &log.requests {
-        println!("  exfil by {:<24} -> {}", req.initiator.clone().unwrap_or_default(), req.url);
+        println!(
+            "  exfil by {:<24} -> {}",
+            req.initiator.clone().unwrap_or_default(),
+            req.url
+        );
     }
     let blocked = log.sets.iter().filter(|s| s.blocked).count();
     println!("  writes blocked: {blocked}");

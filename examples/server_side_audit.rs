@@ -30,17 +30,26 @@ fn crawl(gen: &WebGenerator, sites: usize, guard: Option<GuardConfig>) -> (Datas
             );
         }
     }
-    (Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect()), forwards)
+    (
+        Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect()),
+        forwards,
+    )
 }
 
 fn main() {
-    let sites: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(800);
+    let sites: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
     let gen = WebGenerator::new(GenConfig::small(sites), 0xC00C1E);
     let entities = builtin_entity_map();
 
     println!("auditing {sites} sites for first-party server-side gateways…\n");
 
-    for (label, guard) in [("regular browser", None), ("with CookieGuard", Some(GuardConfig::strict()))] {
+    for (label, guard) in [
+        ("regular browser", None),
+        ("with CookieGuard", Some(GuardConfig::strict())),
+    ] {
         let (ds, forwards) = crawl(&gen, sites, guard);
         let exfil = detect_exfiltration(&ds, &entities);
         let client_pct =
@@ -48,7 +57,10 @@ fn main() {
         let server = detect_server_side(&ds, &forwards);
         println!("=== {label} ===");
         println!("  analyzable sites:                   {}", ds.site_count());
-        println!("  sites with gateway rules:           {}", server.sites_with_gateway);
+        println!(
+            "  sites with gateway rules:           {}",
+            server.sites_with_gateway
+        );
         println!("  client-side cross-domain exfil:     {client_pct:.1}% of sites");
         println!(
             "  server-side cross-domain relay:     {:.1}% of sites ({} cookies)",
@@ -67,7 +79,9 @@ fn main() {
     println!("=== sample gateway sites (regular crawl) ===");
     let mut shown = 0;
     for log in &ds.logs {
-        let Some(rules) = forwards.get(&log.site_domain) else { continue };
+        let Some(rules) = forwards.get(&log.site_domain) else {
+            continue;
+        };
         let gateway_hits: Vec<&str> = log
             .requests
             .iter()
@@ -87,7 +101,11 @@ fn main() {
         println!(
             "  {:<28} → {:<24} relaying: {}",
             log.site_domain,
-            rules.iter().map(|(_, t)| t.as_str()).collect::<Vec<_>>().join(", "),
+            rules
+                .iter()
+                .map(|(_, t)| t.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
             names.join(", ")
         );
         shown += 1;
@@ -95,5 +113,7 @@ fn main() {
             break;
         }
     }
-    println!("\nthe relay happens on the site's own server: no client-side defense can see it (§5.7)");
+    println!(
+        "\nthe relay happens on the site's own server: no client-side defense can see it (§5.7)"
+    );
 }

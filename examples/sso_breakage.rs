@@ -12,8 +12,8 @@
 //! Run with: `cargo run --example sso_breakage`
 
 use cookieguard_repro::browser::Page;
-use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::cookieguard::{CookieGuard, GuardConfig};
+use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::entity::builtin_entity_map;
 use cookieguard_repro::instrument::Recorder;
 use cookieguard_repro::script::{CookieAttrs, EventLoop, ScriptOp, ValueSpec};
@@ -29,7 +29,15 @@ fn run_sso_flow(guard: Option<&mut CookieGuard>) -> bool {
     let mut jar = CookieJar::new();
     let mut recorder = Recorder::new("zoom.example", 1);
     let injectables = HashMap::new();
-    let mut page = Page::new(url, EPOCH_MS, &mut jar, guard, &mut recorder, &injectables, 7);
+    let mut page = Page::new(
+        url,
+        EPOCH_MS,
+        &mut jar,
+        guard,
+        &mut recorder,
+        &injectables,
+        7,
+    );
     let mut el = EventLoop::new(EPOCH_MS);
 
     // The MSAL library (msauth.net) authenticates and stores the session.
@@ -44,7 +52,10 @@ fn run_sso_flow(guard: Option<&mut CookieGuard>) -> bool {
     // The login widget (live.com) must read it to maintain the session.
     let reader = page.register_markup_script(
         Some("https://login.live.com/sso/wsfed.js"),
-        vec![ScriptOp::Probe { feature: "sso".into(), cookie: "msal.session".into() }],
+        vec![ScriptOp::Probe {
+            feature: "sso".into(),
+            cookie: "msal.session".into(),
+        }],
     );
     el.push_script(setter, 0);
     el.push_script(reader, 25);
@@ -56,22 +67,37 @@ fn run_sso_flow(guard: Option<&mut CookieGuard>) -> bool {
 
 fn main() {
     let works_plain = run_sso_flow(None);
-    println!("regular browser:                     SSO {}", status(works_plain));
+    println!(
+        "regular browser:                     SSO {}",
+        status(works_plain)
+    );
 
     let mut strict = CookieGuard::new(GuardConfig::strict(), "zoom.example");
     let works_strict = run_sso_flow(Some(&mut strict));
-    println!("CookieGuard (strict):                SSO {}", status(works_strict));
+    println!(
+        "CookieGuard (strict):                SSO {}",
+        status(works_strict)
+    );
 
     let mut grouped = CookieGuard::new(
         GuardConfig::strict().with_entity_grouping(builtin_entity_map()),
         "zoom.example",
     );
     let works_grouped = run_sso_flow(Some(&mut grouped));
-    println!("CookieGuard (entity grouping, §7.2): SSO {}", status(works_grouped));
+    println!(
+        "CookieGuard (entity grouping, §7.2): SSO {}",
+        status(works_grouped)
+    );
 
     assert!(works_plain, "baseline flow must work");
-    assert!(!works_strict, "strict isolation must break the sibling-domain flow (Table 3)");
-    assert!(works_grouped, "entity grouping must heal the same-entity flow (11% → 3%)");
+    assert!(
+        !works_strict,
+        "strict isolation must break the sibling-domain flow (Table 3)"
+    );
+    assert!(
+        works_grouped,
+        "entity grouping must heal the same-entity flow (11% → 3%)"
+    );
     println!("\nTable 3 mechanics reproduced ✓ (break under strict, heal under grouping)");
 }
 

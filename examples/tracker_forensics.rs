@@ -33,7 +33,15 @@ fn main() {
     let mut jar = CookieJar::new();
     let mut recorder = Recorder::new("optimonk.example", 1);
     let injectables = HashMap::new();
-    let mut page = Page::new(url, EPOCH_MS, &mut jar, None, &mut recorder, &injectables, 7);
+    let mut page = Page::new(
+        url,
+        EPOCH_MS,
+        &mut jar,
+        None,
+        &mut recorder,
+        &injectables,
+        7,
+    );
     let mut el = EventLoop::new(EPOCH_MS);
 
     // googletagmanager ghost-writes _ga (value fixed to the paper's).
@@ -42,7 +50,10 @@ fn main() {
         vec![ScriptOp::SetCookie {
             name: "_ga".into(),
             value: ValueSpec::Fixed("GA1.1.444332364.1746838827".into()),
-            attrs: CookieAttrs { site_wide: true, ..CookieAttrs::default() },
+            attrs: CookieAttrs {
+                site_wide: true,
+                ..CookieAttrs::default()
+            },
         }],
     );
     // facebook.net ghost-writes _fbp (the paper's value).
@@ -51,7 +62,10 @@ fn main() {
         vec![ScriptOp::SetCookie {
             name: "_fbp".into(),
             value: ValueSpec::Fixed("fb.0.1746746266109.868308499845957651".into()),
-            attrs: CookieAttrs { site_wide: true, ..CookieAttrs::default() },
+            attrs: CookieAttrs {
+                site_wide: true,
+                ..CookieAttrs::default()
+            },
         }],
     );
     // Case 1: LinkedIn insight tag — targeted segment parsing + Base64.
@@ -89,7 +103,11 @@ fn main() {
 
     println!("outbound requests observed:");
     for req in &log.requests {
-        println!("  {} -> {}", req.initiator.clone().unwrap_or_default(), req.url);
+        println!(
+            "  {} -> {}",
+            req.initiator.clone().unwrap_or_default(),
+            req.url
+        );
     }
 
     // The paper's §5.4 observation: the Base64 of the _ga middle segment.
@@ -114,7 +132,10 @@ fn main() {
         );
     }
     assert!(
-        analysis.events.iter().any(|e| e.exfiltrator == "licdn.com" && e.pair.name == "_ga"),
+        analysis
+            .events
+            .iter()
+            .any(|e| e.exfiltrator == "licdn.com" && e.pair.name == "_ga"),
         "the LinkedIn case must be detected"
     );
     assert!(

@@ -28,12 +28,20 @@ fn generator(sites: usize) -> WebGenerator {
 }
 
 fn row<'a>(rows: &'a [DefenseRow], name: &str) -> &'a DefenseRow {
-    rows.iter().find(|r| r.name == name).unwrap_or_else(|| panic!("missing row {name}"))
+    rows.iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("missing row {name}"))
 }
 
 #[test]
 fn partitioning_scope_boundary() {
-    let sites = ["a.example", "b.example", "c.example", "d.example", "e.example"];
+    let sites = [
+        "a.example",
+        "b.example",
+        "c.example",
+        "d.example",
+        "e.example",
+    ];
     for model in [
         PartitioningModel::SafariItp,
         PartitioningModel::FirefoxTcp,
@@ -42,12 +50,20 @@ fn partitioning_scope_boundary() {
         // In scope: embedded-context tracking is cut (CHIPS needs the
         // opt-in attribute).
         let partitioned = simulate_embedded_tracking(model, "t.com", &sites, true);
-        assert_eq!(partitioned.distinct_ids, sites.len(), "{model:?} embedded contexts");
+        assert_eq!(
+            partitioned.distinct_ids,
+            sites.len(),
+            "{model:?} embedded contexts"
+        );
         // Out of scope: the main frame leaks under every model.
-        assert!(main_frame_leak_demo(model, "site.com").leaked, "{model:?} main frame");
+        assert!(
+            main_frame_leak_demo(model, "site.com").leaked,
+            "{model:?} main frame"
+        );
     }
     // The pre-partitioning web: one profile everywhere.
-    let legacy = simulate_embedded_tracking(PartitioningModel::Unpartitioned, "t.com", &sites, true);
+    let legacy =
+        simulate_embedded_tracking(PartitioningModel::Unpartitioned, "t.com", &sites, true);
     assert_eq!(legacy.distinct_ids, 1);
 }
 
@@ -55,7 +71,10 @@ fn partitioning_scope_boundary() {
 fn blocklist_evasion_arms_race() {
     let gen = generator(240);
     let entities = builtin_entity_map();
-    let opts = MatrixOptions { eval_ranks: 1..=140, entities };
+    let opts = MatrixOptions {
+        eval_ranks: 1..=140,
+        entities,
+    };
     let rows = run_defense_matrix(
         &gen,
         &[
@@ -122,23 +141,25 @@ fn rotated_domains_do_not_evade_the_guard() {
         if stats.total() == 0 {
             continue;
         }
-        let guarded = visit_site(&evaded, &VisitConfig::guarded(GuardConfig::strict()), gen.site_seed(rank));
+        let guarded = visit_site(
+            &evaded,
+            &VisitConfig::guarded(GuardConfig::strict()),
+            gen.site_seed(rank),
+        );
         let g = guarded.guard_stats.expect("guard attached");
         // Rotation changed every tracker's identity, but each rotated
         // domain is still a distinct non-owner: reads of foreign
         // cookies keep getting filtered.
         let unguarded = visit_site(&evaded, &VisitConfig::regular(), gen.site_seed(rank));
-        let leaked_pairs: usize = unguarded
-            .log
-            .reads
-            .iter()
-            .map(|r| r.cookies.len())
-            .sum();
+        let leaked_pairs: usize = unguarded.log.reads.iter().map(|r| r.cookies.len()).sum();
         if leaked_pairs > 0 && g.cookies_filtered > 0 {
             checked += 1;
         }
     }
-    assert!(checked >= 10, "guard must keep filtering on rotated-tracker sites ({checked})");
+    assert!(
+        checked >= 10,
+        "guard must keep filtering on rotated-tracker sites ({checked})"
+    );
 }
 
 #[test]
@@ -164,7 +185,11 @@ fn classifier_generalizes_and_pays_in_breakage() {
     assert!(report.positives > 50, "training needs tracking positives");
 
     let eval = clf.evaluate(&test);
-    assert!(eval.accuracy() > 0.85, "cross-site accuracy {:.3} ({eval:?})", eval.accuracy());
+    assert!(
+        eval.accuracy() > 0.85,
+        "cross-site accuracy {:.3} ({eval:?})",
+        eval.accuracy()
+    );
     assert!(eval.recall() > 0.7, "recall {:.3}", eval.recall());
     // The structural gap CookieGuard does not have: some tracking pairs
     // slip through on unseen sites (false negatives) or benign pairs
@@ -224,14 +249,24 @@ fn blocklist_and_guard_compose() {
     let guard_only: Vec<_> = ranks
         .clone()
         .map(|r| {
-            visit_site(&gen.blueprint(r), &VisitConfig::guarded(GuardConfig::strict()), gen.site_seed(r)).log
+            visit_site(
+                &gen.blueprint(r),
+                &VisitConfig::guarded(GuardConfig::strict()),
+                gen.site_seed(r),
+            )
+            .log
         })
         .collect();
     let both: Vec<_> = ranks
         .clone()
         .map(|r| {
             let pruned = blocker.prune_site(&gen.blueprint(r)).0;
-            visit_site(&pruned, &VisitConfig::guarded(GuardConfig::strict()), gen.site_seed(r)).log
+            visit_site(
+                &pruned,
+                &VisitConfig::guarded(GuardConfig::strict()),
+                gen.site_seed(r),
+            )
+            .log
         })
         .collect();
 
@@ -239,5 +274,8 @@ fn blocklist_and_guard_compose() {
     let p_guard = exfil_pct(guard_only);
     let p_both = exfil_pct(both);
     assert!(p_guard < p_plain);
-    assert!(p_both <= p_guard + 1e-9, "stacking must not weaken the guard ({p_both:.1} vs {p_guard:.1})");
+    assert!(
+        p_both <= p_guard + 1e-9,
+        "stacking must not weaken the guard ({p_both:.1} vs {p_guard:.1})"
+    );
 }

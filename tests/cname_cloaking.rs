@@ -6,8 +6,13 @@ use cookieguard_repro::cookieguard::GuardConfig;
 use cookieguard_repro::url::CnameMap;
 use cookieguard_repro::webgen::{GenConfig, WebGenerator};
 
-fn cloaked_site(gen: &WebGenerator, limit: usize) -> Option<cookieguard_repro::webgen::SiteBlueprint> {
-    (1..=limit).map(|r| gen.blueprint(r)).find(|b| b.spec.cname_cloaked && b.spec.crawl_ok)
+fn cloaked_site(
+    gen: &WebGenerator,
+    limit: usize,
+) -> Option<cookieguard_repro::webgen::SiteBlueprint> {
+    (1..=limit)
+        .map(|r| gen.blueprint(r))
+        .find(|b| b.spec.cname_cloaked && b.spec.crawl_ok)
 }
 
 #[test]
@@ -39,7 +44,10 @@ fn cloaked_tracker_bypasses_url_keyed_guard() {
         .iter()
         .filter(|r| r.actor.as_deref() == Some(bp.spec.domain.as_str()))
         .collect();
-    assert!(!cloaked_reads.is_empty(), "cloaked script must have read the jar");
+    assert!(
+        !cloaked_reads.is_empty(),
+        "cloaked script must have read the jar"
+    );
     // The cloaked exfiltration request fires with cookie payload access.
     assert!(
         out.log.requests.iter().any(|r| r.url.contains("/cloaked")),
@@ -70,10 +78,16 @@ fn dns_aware_guard_uncloaks_and_blocks() {
         .iter()
         .filter(|r| r.actor.as_deref() == Some(bp.spec.domain.as_str()) && r.filtered_count > 0)
         .collect();
-    assert!(!filtered_site_reads.is_empty(), "DNS-aware guard must filter the cloaked script");
+    assert!(
+        !filtered_site_reads.is_empty(),
+        "DNS-aware guard must filter the cloaked script"
+    );
     for read in &filtered_site_reads {
         for (name, _) in &read.cookies {
-            assert_eq!(name, "_cloaked_uid", "uncloaked tracker must only see its own cookie");
+            assert_eq!(
+                name, "_cloaked_uid",
+                "uncloaked tracker must only see its own cookie"
+            );
         }
     }
 

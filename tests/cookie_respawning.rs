@@ -20,13 +20,13 @@ fn respawning_site(gen: &WebGenerator, n: usize) -> Option<(SiteBlueprint, Strin
         if !bp.spec.crawl_ok {
             continue;
         }
-        let Some((domain, cookie)) = bp.spec.respawning_tracker.clone() else { continue };
+        let Some((domain, cookie)) = bp.spec.respawning_tracker.clone() else {
+            continue;
+        };
         let out = visit_site(&bp, &VisitConfig::regular(), gen.site_seed(rank));
-        let deleted = out
-            .log
-            .sets
-            .iter()
-            .any(|s| s.kind == WriteKind::Delete && s.name == cookie && s.actor.as_deref() != Some(&domain));
+        let deleted = out.log.sets.iter().any(|s| {
+            s.kind == WriteKind::Delete && s.name == cookie && s.actor.as_deref() != Some(&domain)
+        });
         if deleted {
             return Some((bp, domain, cookie));
         }
@@ -56,7 +56,10 @@ fn respawner_survives_consent_deletion_in_regular_browser() {
             && s.actor.as_deref() == Some(tracker.as_str())
             && s.time_ms >= delete_at
     });
-    assert!(respawn.is_some(), "expected {tracker} to respawn {cookie} after {delete_at}ms");
+    assert!(
+        respawn.is_some(),
+        "expected {tracker} to respawn {cookie} after {delete_at}ms"
+    );
 }
 
 #[test]
@@ -84,8 +87,14 @@ fn guard_prevents_both_deletion_and_respawn_trigger() {
         .iter()
         .filter(|s| s.kind == WriteKind::Create && s.name == cookie && !s.blocked)
         .count();
-    assert!(blocked_delete, "cross-domain deletion should be blocked under the guard");
-    assert!(creates <= 1, "respawn should not fire under the guard (creates={creates})");
+    assert!(
+        blocked_delete,
+        "cross-domain deletion should be blocked under the guard"
+    );
+    assert!(
+        creates <= 1,
+        "respawn should not fire under the guard (creates={creates})"
+    );
 }
 
 #[test]
@@ -98,5 +107,8 @@ fn respawning_sites_exist_at_ecosystem_scale() {
         .iter()
         .filter(|o| o.spec.respawning_tracker.is_some() && o.log.complete)
         .count();
-    assert!(with_respawner >= 3, "only {with_respawner} respawning sites in 500");
+    assert!(
+        with_respawner >= 3,
+        "only {with_respawner} respawning sites in 500"
+    );
 }

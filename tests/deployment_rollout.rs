@@ -2,8 +2,8 @@
 //! returning visitors, preset ordering, and ladder monotonicity.
 
 use cookieguard_repro::browser::{visit_site, visit_site_with_jar, VisitConfig};
-use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::cookieguard::{DeploymentStage, GuardConfig, PrivacyPreset};
+use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::webgen::{GenConfig, WebGenerator};
 
 fn generator(n: usize) -> WebGenerator {
@@ -28,7 +28,10 @@ fn returning_visitor_keeps_legacy_visibility_under_grandfathering() {
             continue;
         }
         let plain = VisitConfig::guarded(GuardConfig::strict());
-        let grandfathered = VisitConfig { grandfather_preexisting: true, ..plain.clone() };
+        let grandfathered = VisitConfig {
+            grandfather_preexisting: true,
+            ..plain.clone()
+        };
         let mut jar_a = jar.clone();
         let mut jar_b = jar;
         let a = visit_site_with_jar(&bp, &plain, seed, &mut jar_a);
@@ -38,7 +41,10 @@ fn returning_visitor_keeps_legacy_visibility_under_grandfathering() {
         sites += 1;
     }
     assert!(sites > 50, "too few returning-visitor sites ({sites})");
-    assert!(without_total > 0, "strict guard must filter something on return visits");
+    assert!(
+        without_total > 0,
+        "strict guard must filter something on return visits"
+    );
     assert!(
         with_total < without_total,
         "grandfathering must reduce filtering: {with_total} vs {without_total}"
@@ -108,7 +114,10 @@ fn presets_order_protection_and_compatibility() {
 
 #[test]
 fn ladder_protection_shares_are_monotone() {
-    let shares: Vec<f64> = DeploymentStage::ladder().iter().map(|s| s.guarded_share()).collect();
+    let shares: Vec<f64> = DeploymentStage::ladder()
+        .iter()
+        .map(|s| s.guarded_share())
+        .collect();
     assert_eq!(shares.first(), Some(&0.0));
     assert_eq!(shares.last(), Some(&1.0));
     for w in shares.windows(2) {

@@ -47,7 +47,12 @@ fn exfil_op(names: &[&str], seg: SegmentPolicy, enc: Encoding) -> ScriptOp {
 
 #[test]
 fn all_four_encodings_are_detected() {
-    for enc in [Encoding::Plain, Encoding::Base64, Encoding::Md5, Encoding::Sha1] {
+    for enc in [
+        Encoding::Plain,
+        Encoding::Base64,
+        Encoding::Md5,
+        Encoding::Sha1,
+    ] {
         let ds = run(vec![
             (
                 "https://owner.tracker.example/set.js",
@@ -64,7 +69,10 @@ fn all_four_encodings_are_detected() {
         ]);
         let analysis = detect_exfiltration(&ds, &builtin_entity_map());
         assert!(
-            analysis.events.iter().any(|e| e.cross_domain && e.pair.name == "uid"),
+            analysis
+                .events
+                .iter()
+                .any(|e| e.cross_domain && e.pair.name == "uid"),
             "encoding {enc:?} must be detected"
         );
     }
@@ -120,7 +128,10 @@ fn async_attribution_loss_hides_the_exfiltrator() {
         "unattributable requests fall outside per-script analysis (the paper's limitation)"
     );
     // …but the request itself was observed.
-    assert!(ds.logs[0].requests.iter().any(|r| r.initiator.is_none() && r.url.contains("user98765432")));
+    assert!(ds.logs[0]
+        .requests
+        .iter()
+        .any(|r| r.initiator.is_none() && r.url.contains("user98765432")));
 }
 
 #[test]
@@ -140,12 +151,19 @@ fn us_privacy_consent_signal_flows_but_is_short() {
         ),
         (
             "https://ads.exchange.example/bid.js",
-            vec![exfil_op(&["us_privacy"], SegmentPolicy::Full, Encoding::Plain)],
+            vec![exfil_op(
+                &["us_privacy"],
+                SegmentPolicy::Full,
+                Encoding::Plain,
+            )],
         ),
     ]);
     let analysis = detect_exfiltration(&ds, &builtin_entity_map());
     assert!(analysis.events.is_empty());
-    assert!(ds.logs[0].requests.iter().any(|r| r.url.contains("us_privacy=1YNN")));
+    assert!(ds.logs[0]
+        .requests
+        .iter()
+        .any(|r| r.url.contains("us_privacy=1YNN")));
 }
 
 #[test]
@@ -168,11 +186,18 @@ fn same_entity_cross_domain_still_counts() {
         ),
     ]);
     let analysis = detect_exfiltration(&ds, &builtin_entity_map());
-    let ev = analysis.events.iter().find(|e| e.cross_domain).expect("must be detected");
+    let ev = analysis
+        .events
+        .iter()
+        .find(|e| e.cross_domain)
+        .expect("must be detected");
     assert_eq!(ev.exfiltrator, "google-analytics.com");
     assert_eq!(ev.pair.owner, "googletagmanager.com");
     // But Table 2 excludes the owner's own entity from exfiltrator counts.
     let rows = analysis.table2(5);
-    assert_eq!(rows[0].exfiltrator_entities, 0, "Google excluded from its own cookie's count");
+    assert_eq!(
+        rows[0].exfiltrator_entities, 0,
+        "Google excluded from its own cookie's count"
+    );
     assert_eq!(rows[0].destination_entities, 1);
 }

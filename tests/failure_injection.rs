@@ -2,12 +2,10 @@
 //! sound when fed malformed inputs or actively hostile script behaviour.
 
 use cookieguard_repro::browser::{visit_site, Page, VisitConfig};
-use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::cookieguard::{Caller, CookieGuard, GuardConfig};
+use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::instrument::Recorder;
-use cookieguard_repro::script::{
-    CookieAttrs, EventLoop, ScriptOp, ValueSpec,
-};
+use cookieguard_repro::script::{CookieAttrs, EventLoop, ScriptOp, ValueSpec};
 use cookieguard_repro::url::Url;
 use cookieguard_repro::webgen::{GenConfig, WebGenerator};
 use rand::rngs::StdRng;
@@ -52,9 +50,20 @@ fn malformed_server_headers_are_survivable() {
         format!("{}=v", "n".repeat(4096)),
         "trunc=v; Expires=Wed, 99 Xyz".to_string(),
     ];
-    let (log, jar) = run_scripts(None, &headers, vec![(Some("https://www.site.com/a.js"), vec![ScriptOp::ReadAllCookies])]);
+    let (log, jar) = run_scripts(
+        None,
+        &headers,
+        vec![(
+            Some("https://www.site.com/a.js"),
+            vec![ScriptOp::ReadAllCookies],
+        )],
+    );
     // The valid cookies made it; the page survived to run its script.
-    assert!(jar.len() >= 2, "valid cookies should be stored, jar={}", jar.len());
+    assert!(
+        jar.len() >= 2,
+        "valid cookies should be stored, jar={}",
+        jar.len()
+    );
     assert_eq!(log.reads.len(), 1);
 }
 
@@ -91,7 +100,10 @@ fn runaway_change_listener_is_budgeted() {
     el.push_script(exec, 0);
     let mut rng = StdRng::seed_from_u64(3);
     let stats = el.run(&mut page, &mut rng);
-    assert!(stats.truncated, "the self-feeding listener must hit the budget");
+    assert!(
+        stats.truncated,
+        "the self-feeding listener must hit the budget"
+    );
     assert!(stats.ops_run <= 500);
 }
 
@@ -103,17 +115,25 @@ fn name_squatting_is_first_writer_wins() {
     // nothing (it owns a cookie the victim simply re-creates under
     // another name in practice), but the test pins the behaviour.
     let mut guard = CookieGuard::new(GuardConfig::strict(), "site.com");
-    assert!(guard.authorize_write(&Caller::external("squatter.evil"), "_ga").is_allow());
-    assert!(!guard.authorize_write(&Caller::external("googletagmanager.com"), "_ga").is_allow());
+    assert!(guard
+        .authorize_write(&Caller::external("squatter.evil"), "_ga")
+        .is_allow());
+    assert!(!guard
+        .authorize_write(&Caller::external("googletagmanager.com"), "_ga")
+        .is_allow());
     assert_eq!(guard.metadata().creator("_ga"), Some("squatter.evil"));
     // The squatter cannot, however, see anyone else's cookies…
     assert!(guard
         .filter_names(&Caller::external("squatter.evil"), &["other".to_string()])
         .is_empty());
     // …and the site owner can always delete the squatted name.
-    assert!(guard.authorize_delete(&Caller::external("site.com"), "_ga").is_allow());
+    assert!(guard
+        .authorize_delete(&Caller::external("site.com"), "_ga")
+        .is_allow());
     // After which the legitimate vendor re-claims it.
-    assert!(guard.authorize_write(&Caller::external("googletagmanager.com"), "_ga").is_allow());
+    assert!(guard
+        .authorize_write(&Caller::external("googletagmanager.com"), "_ga")
+        .is_allow());
 }
 
 #[test]
@@ -169,7 +189,10 @@ fn crawl_failures_do_not_poison_aggregates() {
         assert!(out.log.requests.is_empty());
         assert_eq!(out.final_jar_size, 0);
     }
-    assert!(failed > 10, "expected crawl failures in 120 sites, got {failed}");
+    assert!(
+        failed > 10,
+        "expected crawl failures in 120 sites, got {failed}"
+    );
 }
 
 #[test]
@@ -194,8 +217,16 @@ fn http_scheme_disables_cookie_store_and_change_events() {
                     attrs: CookieAttrs::default(),
                 }],
             },
-            ScriptOp::CookieStoreSet { name: "via_store".into(), value: ValueSpec::Short, expires_in_ms: None },
-            ScriptOp::SetCookie { name: "via_doc".into(), value: ValueSpec::Short, attrs: CookieAttrs::default() },
+            ScriptOp::CookieStoreSet {
+                name: "via_store".into(),
+                value: ValueSpec::Short,
+                expires_in_ms: None,
+            },
+            ScriptOp::SetCookie {
+                name: "via_doc".into(),
+                value: ValueSpec::Short,
+                attrs: CookieAttrs::default(),
+            },
         ],
     );
     el.push_script(exec, 0);
@@ -204,7 +235,13 @@ fn http_scheme_disables_cookie_store_and_change_events() {
     assert_eq!(stats.change_events_fired, 0, "no change events on http");
     let u = Url::parse("http://www.plain.com/").unwrap();
     let s = jar.document_cookie(&u, EPOCH + 1_000);
-    assert!(s.contains("via_doc"), "document.cookie must work on http: {s}");
-    assert!(!s.contains("via_store"), "cookieStore.set must be inert on http: {s}");
+    assert!(
+        s.contains("via_doc"),
+        "document.cookie must work on http: {s}"
+    );
+    assert!(
+        !s.contains("via_store"),
+        "cookieStore.set must be inert on http: {s}"
+    );
     assert!(!s.contains("fired"));
 }

@@ -1,0 +1,88 @@
+//! Concurrency smoke test for the engine/session split: one shared
+//! `GuardEngine`, many `GuardSession`s on different threads, stats
+//! aggregating correctly — the deployment shape of a production crawl.
+
+use cookieguard_repro::cookieguard::{Caller, GuardConfig, GuardEngine, GuardStats};
+use std::sync::Arc;
+
+#[test]
+fn one_engine_many_threads_stats_aggregate() {
+    let engine = GuardEngine::shared(GuardConfig::strict().with_whitelisted("partner.example"));
+
+    const THREADS: usize = 8;
+    const SITES_PER_THREAD: usize = 25;
+
+    let per_thread: Vec<GuardStats> = std::thread::scope(|s| {
+        (0..THREADS)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    let mut total = GuardStats::default();
+                    for i in 0..SITES_PER_THREAD {
+                        let site = format!("site-{t}-{i}.example");
+                        let mut session = engine.session(&site);
+                        // A tracker writes its identifier (allowed: new
+                        // cookie), then a rival tries to overwrite it
+                        // (blocked: cross-domain).
+                        assert!(session
+                            .authorize_write(&Caller::external("tracker.example"), "_tid")
+                            .is_allow());
+                        assert!(!session
+                            .authorize_write(&Caller::external("rival.example"), "_tid")
+                            .is_allow());
+                        // The whitelisted partner (engine-level state) and
+                        // the site owner always pass; inline never does
+                        // under the strict engine.
+                        assert!(session.may_observe(&Caller::external("partner.example"), "_tid"));
+                        assert!(session.may_observe(&Caller::external(&site), "_tid"));
+                        let filtered = session.filter_names(
+                            &Caller::inline(),
+                            &["_tid".to_string(), "other".to_string()],
+                        );
+                        assert!(filtered.is_empty());
+                        total = total.merge(&session.stats());
+                    }
+                    total
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    let grand = per_thread
+        .iter()
+        .fold(GuardStats::default(), |acc, s| acc.merge(s));
+    let visits = (THREADS * SITES_PER_THREAD) as u64;
+    assert_eq!(grand.writes_allowed, visits, "one allowed write per visit");
+    assert_eq!(grand.writes_blocked, visits, "one blocked write per visit");
+    assert_eq!(grand.reads_filtered, visits, "one filtered read per visit");
+    assert_eq!(
+        grand.cookies_filtered,
+        2 * visits,
+        "both names hidden from inline"
+    );
+    // The engine itself was never duplicated: every session borrowed the
+    // same Arc.
+    assert_eq!(Arc::strong_count(&engine), 1, "all sessions dropped");
+}
+
+#[test]
+fn engine_is_send_sync_and_decisions_are_site_relative() {
+    let engine = GuardEngine::shared(GuardConfig::strict());
+    let handle = std::thread::spawn({
+        let engine = Arc::clone(&engine);
+        move || {
+            // Same caller, same creator, different site context.
+            let caller = Caller::external("shop.example");
+            assert!(engine
+                .check("shop.example", &caller, Some("anyone.net"))
+                .is_allow());
+            assert!(!engine
+                .check("news.example", &caller, Some("anyone.net"))
+                .is_allow());
+        }
+    });
+    handle.join().expect("engine must cross threads");
+}

@@ -21,7 +21,11 @@ fn rates(sites: usize, guard: Option<GuardConfig>) -> (f64, f64, f64) {
     let exfil = detect_exfiltration(&ds, &entities);
     let manip = detect_manipulation(&ds, &entities);
     let t1 = cross_domain_summary(&ds, &exfil, &manip);
-    (t1.doc_exfiltration.sites_pct, t1.doc_overwriting.sites_pct, t1.doc_deleting.sites_pct)
+    (
+        t1.doc_exfiltration.sites_pct,
+        t1.doc_overwriting.sites_pct,
+        t1.doc_deleting.sites_pct,
+    )
 }
 
 #[test]
@@ -34,7 +38,10 @@ fn guard_substantially_reduces_all_cross_domain_actions() {
     assert!(ow1 < ow0 * 0.45, "overwriting: {ow0:.1}% -> {ow1:.1}%");
     assert!(del1 <= del0, "deleting: {del0:.1}% -> {del1:.1}%");
     // Residual cross-domain activity exists (self-hosted trackers).
-    assert!(ex1 > 0.0, "residual exfiltration expected (site-owner bypass)");
+    assert!(
+        ex1 > 0.0,
+        "residual exfiltration expected (site-owner bypass)"
+    );
 }
 
 #[test]
@@ -48,10 +55,14 @@ fn relaxed_inline_mode_is_weaker_than_strict() {
             continue;
         }
         let seed = gen.site_seed(rank);
-        if let Some(s) = visit_site(&bp, &VisitConfig::guarded(GuardConfig::strict()), seed).guard_stats {
+        if let Some(s) =
+            visit_site(&bp, &VisitConfig::guarded(GuardConfig::strict()), seed).guard_stats
+        {
             strict_filtered += s.cookies_filtered;
         }
-        if let Some(s) = visit_site(&bp, &VisitConfig::guarded(GuardConfig::relaxed()), seed).guard_stats {
+        if let Some(s) =
+            visit_site(&bp, &VisitConfig::guarded(GuardConfig::relaxed()), seed).guard_stats
+        {
             relaxed_filtered += s.cookies_filtered;
         }
     }
@@ -83,7 +94,10 @@ fn entity_grouping_reduces_filtering_but_keeps_isolation() {
             .map(|s| s.cookies_filtered)
             .unwrap_or(0);
     }
-    assert!(f_grouped <= f_strict, "grouping can only relax within entities");
+    assert!(
+        f_grouped <= f_strict,
+        "grouping can only relax within entities"
+    );
     assert!(f_grouped > 0, "grouping must still isolate across entities");
 }
 
@@ -100,7 +114,11 @@ fn guarded_visits_never_leak_foreign_cookies_to_third_party_readers() {
         if !bp.spec.crawl_ok {
             continue;
         }
-        let out = visit_site(&bp, &VisitConfig::guarded(GuardConfig::strict()), gen.site_seed(rank));
+        let out = visit_site(
+            &bp,
+            &VisitConfig::guarded(GuardConfig::strict()),
+            gen.site_seed(rank),
+        );
         let site = out.spec.domain.clone();
         // Reconstruct the guard's ownership view: only *creations* assign
         // an owner (authorized overwrites keep the original creator, like

@@ -30,13 +30,28 @@ fn headline_shape_holds_at_small_scale() {
 
     // §4.2: roughly three-quarters of crawls complete.
     let completion = ctx.ds.site_count() as f64 / ctx.ds.crawled as f64;
-    assert!((0.65..0.85).contains(&completion), "completion {completion}");
+    assert!(
+        (0.65..0.85).contains(&completion),
+        "completion {completion}"
+    );
 
     // §5.1: third-party scripts are near-ubiquitous and mostly tracking.
     let p = prevalence_stats(&ctx.ds, &engine);
-    assert!(p.sites_with_third_party_pct > 85.0, "{}", p.sites_with_third_party_pct);
-    assert!((10.0..35.0).contains(&p.avg_third_party_scripts), "{}", p.avg_third_party_scripts);
-    assert!((55.0..85.0).contains(&p.ad_tracking_share_pct), "{}", p.ad_tracking_share_pct);
+    assert!(
+        p.sites_with_third_party_pct > 85.0,
+        "{}",
+        p.sites_with_third_party_pct
+    );
+    assert!(
+        (10.0..35.0).contains(&p.avg_third_party_scripts),
+        "{}",
+        p.avg_third_party_scripts
+    );
+    assert!(
+        (55.0..85.0).contains(&p.ad_tracking_share_pct),
+        "{}",
+        p.ad_tracking_share_pct
+    );
     // Third parties set several times more cookies than the site itself.
     assert!(p.avg_cookies_third_party > 2.0 * p.avg_cookies_first_party);
 
@@ -70,11 +85,19 @@ fn headline_shape_holds_at_small_scale() {
 
     // §5.6: indirect inclusions outnumber direct ones.
     let inc = inclusion_stats(&ctx.ds, &engine);
-    assert!(inc.indirect_to_direct_ratio > 1.2, "{}", inc.indirect_to_direct_ratio);
+    assert!(
+        inc.indirect_to_direct_ratio > 1.2,
+        "{}",
+        inc.indirect_to_direct_ratio
+    );
 
     // §8 pilot: cross-domain DOM mutation is a minority phenomenon.
     let dom = dom_pilot_stats(&ctx.ds);
-    assert!((2.0..20.0).contains(&dom.sites_with_cross_dom_pct), "{}", dom.sites_with_cross_dom_pct);
+    assert!(
+        (2.0..20.0).contains(&dom.sites_with_cross_dom_pct),
+        "{}",
+        dom.sites_with_cross_dom_pct
+    );
 }
 
 #[test]
@@ -106,22 +129,28 @@ fn table5_shows_fbp_and_consent_dynamics() {
     // target.
     let delete_names: Vec<&str> = deletes.iter().map(|r| r.cookie.as_str()).collect();
     assert!(
-        delete_names.iter().any(|n| n.starts_with("_uet") || n.starts_with("_g") || *n == "_fbp"),
+        delete_names
+            .iter()
+            .any(|n| n.starts_with("_uet") || n.starts_with("_g") || *n == "_fbp"),
         "{delete_names:?}"
     );
 }
 
 #[test]
 fn perf_shape_heavy_tail_and_modest_overhead() {
-    let gen = WebGenerator::new(GenConfig::small(400), 0xC00C1E);
+    // The A/B visits are unpaired (independent noise draws), so the
+    // mean-difference statistic needs several hundred valid pairs before
+    // the systematic ~11% guard shift dominates the σ≈1.0 log-normal
+    // visit noise of the vendored RNG stream.
+    let gen = WebGenerator::new(GenConfig::small(600), 0xC00C1E);
     let report = cookieguard_repro::perf::run_paired_measurement(
         &gen,
         &cookieguard_repro::cookieguard::GuardConfig::strict(),
         1,
-        200,
+        600,
         4,
     );
-    assert!(report.valid_pairs > 100);
+    assert!(report.valid_pairs > 300);
     // Heavy tail: mean well above median in every condition.
     assert!(report.dcl.0.mean_ms > 1.3 * report.dcl.0.median_ms);
     assert!(report.load.1.mean_ms > 1.3 * report.load.1.median_ms);

@@ -28,13 +28,20 @@ fn crawl(n: usize, guard: Option<GuardConfig>) -> (Dataset, ForwardMap, usize) {
             );
         }
     }
-    (Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect()), forwards, sst_sites)
+    (
+        Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect()),
+        forwards,
+        sst_sites,
+    )
 }
 
 #[test]
 fn gateways_relay_foreign_cookies_server_side() {
     let (ds, forwards, sst_sites) = crawl(500, None);
-    assert!(sst_sites >= 15, "expected server-side tagging adopters, got {sst_sites}");
+    assert!(
+        sst_sites >= 15,
+        "expected server-side tagging adopters, got {sst_sites}"
+    );
     let report = detect_server_side(&ds, &forwards);
     assert!(report.sites_with_gateway > 0);
     assert!(report.gateway_requests > 0);
@@ -42,7 +49,10 @@ fn gateways_relay_foreign_cookies_server_side() {
         report.sites_with_server_relay > 0,
         "server-side relays must carry cross-domain cookies: {report:?}"
     );
-    assert!(report.requests_with_header_payload > 0, "Cookie header must ride gateway requests");
+    assert!(
+        report.requests_with_header_payload > 0,
+        "Cookie header must ride gateway requests"
+    );
 }
 
 #[test]
@@ -102,12 +112,19 @@ fn capi_gateway_payload_shrinks_under_guard_but_header_does_not() {
     let regular = find_capi(None);
     let guarded = find_capi(Some(GuardConfig::strict()));
     assert!(!regular.is_empty(), "expected CAPI gateway traffic");
-    assert!(!guarded.is_empty(), "CAPI gateway traffic must survive the guard");
+    assert!(
+        !guarded.is_empty(),
+        "CAPI gateway traffic must survive the guard"
+    );
     // Headers ride in both conditions.
     assert!(guarded.iter().any(|r| r.cookie_header.is_some()));
     // The guarded query payloads never contain more parameters than the
     // regular ones' maximum (the pixel lost its view of foreign cookies).
-    let params = |url: &str| url.split_once('?').map(|(_, q)| q.split('&').count()).unwrap_or(0);
+    let params = |url: &str| {
+        url.split_once('?')
+            .map(|(_, q)| q.split('&').count())
+            .unwrap_or(0)
+    };
     let max_regular = regular.iter().map(|r| params(&r.url)).max().unwrap();
     let max_guarded = guarded.iter().map(|r| params(&r.url)).max().unwrap();
     assert!(

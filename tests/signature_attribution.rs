@@ -9,8 +9,8 @@
 //!   (reading its own cookies) instead of being denied everything.
 
 use cookieguard_repro::browser::Page;
-use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::cookieguard::{CookieGuard, GuardConfig};
+use cookieguard_repro::cookiejar::CookieJar;
 use cookieguard_repro::instrument::Recorder;
 use cookieguard_repro::script::{
     CookieAttrs, CookieSelection, Encoding, EventLoop, ScriptOp, SegmentPolicy, SignatureDb,
@@ -26,7 +26,11 @@ const EPOCH: i64 = 1_750_000_000_000;
 /// A tracker behaviour: set own id, read the jar, exfiltrate.
 fn tracker_ops() -> Vec<ScriptOp> {
     vec![
-        ScriptOp::SetCookie { name: "_tid".into(), value: ValueSpec::Uuid, attrs: CookieAttrs::default() },
+        ScriptOp::SetCookie {
+            name: "_tid".into(),
+            value: ValueSpec::Uuid,
+            attrs: CookieAttrs::default(),
+        },
         ScriptOp::ReadAllCookies,
         ScriptOp::Exfiltrate {
             dest_host: "sink.tracker.io".into(),
@@ -40,13 +44,24 @@ fn tracker_ops() -> Vec<ScriptOp> {
     ]
 }
 
-fn run(guard: &mut CookieGuard, db: Option<SignatureDb>) -> cookieguard_repro::instrument::VisitLog {
+fn run(
+    guard: &mut CookieGuard,
+    db: Option<SignatureDb>,
+) -> cookieguard_repro::instrument::VisitLog {
     let url = Url::parse("https://www.site.example/").unwrap();
     let mut jar = CookieJar::new();
     let mut recorder = Recorder::new("site.example", 1);
     let injectables = HashMap::new();
-    let mut page = Page::new(url, EPOCH, &mut jar, Some(guard), &mut recorder, &injectables, 3)
-        .with_signatures(db);
+    let mut page = Page::new(
+        url,
+        EPOCH,
+        &mut jar,
+        Some(guard),
+        &mut recorder,
+        &injectables,
+        3,
+    )
+    .with_signatures(db);
     let mut el = EventLoop::new(EPOCH);
     // The site's own script sets a session cookie.
     let own = page.register_markup_script(
@@ -79,7 +94,10 @@ fn relaxed_mode_without_signatures_leaks_to_inline_tracker() {
     // The inline tracker read the full jar (site_sess included) and
     // exfiltrated it.
     let leak = log.requests.iter().any(|r| r.url.contains("site_sess="));
-    assert!(leak, "relaxed mode must leak to the unattributed inline tracker");
+    assert!(
+        leak,
+        "relaxed mode must leak to the unattributed inline tracker"
+    );
 }
 
 #[test]

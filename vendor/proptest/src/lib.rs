@@ -1,0 +1,659 @@
+//! Minimal, dependency-free stand-in for `proptest` covering the
+//! workspace's usage: the `proptest!` macro over `arg in strategy`
+//! bindings, `prop_assert!` / `prop_assert_eq!` / `prop_assume!`,
+//! `prop::sample::select`, `prop::collection::vec`, `prop::option::of`,
+//! `prop::bool::ANY`, and `any::<T>()`. Strategies are plain samplers
+//! (no shrinking); each property runs a fixed number of deterministic
+//! cases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// Number of cases each `proptest!` property runs.
+pub const DEFAULT_CASES: usize = 96;
+
+/// Why a test case did not produce a verdict.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assert*` failure: the property is false.
+    Fail(String),
+    /// `prop_assume!` rejection: the input is out of scope.
+    Reject(String),
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking — a
+/// failing case reports the sampled inputs directly.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy yielding a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical arbitrary strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Samples a full `bool`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty => $name:ident),*) => {$(
+        #[derive(Debug, Clone, Copy)]
+        pub struct $name;
+        impl Strategy for $name {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Standard::sample(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = $name;
+            fn arbitrary() -> $name { $name }
+        }
+    )*};
+}
+arbitrary_int!(u64 => AnyU64, u32 => AnyU32, f64 => AnyF64);
+
+/// Regex-shaped string strategies: in real proptest any `&str` is a
+/// regex pattern. This sampler covers the pattern subset the workspace
+/// uses: literals, escaped chars, `\PC` (any printable), char classes
+/// with ranges, groups with alternation, and `{n}` / `{n,m}` / `?` /
+/// `*` / `+` quantifiers.
+mod pattern {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        AnyPrintable,
+        Seq(Vec<Node>),
+        Alt(Vec<Node>),
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    struct Parser<'a> {
+        chars: Vec<char>,
+        pos: usize,
+        src: &'a str,
+    }
+
+    impl<'a> Parser<'a> {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<char> {
+            let c = self.peek();
+            if c.is_some() {
+                self.pos += 1;
+            }
+            c
+        }
+
+        fn parse_alt(&mut self) -> Node {
+            let mut branches = vec![self.parse_seq()];
+            while self.peek() == Some('|') {
+                self.bump();
+                branches.push(self.parse_seq());
+            }
+            if branches.len() == 1 {
+                branches.pop().unwrap()
+            } else {
+                Node::Alt(branches)
+            }
+        }
+
+        fn parse_seq(&mut self) -> Node {
+            let mut items = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                let atom = self.parse_atom();
+                items.push(self.parse_quantifier(atom));
+            }
+            if items.len() == 1 {
+                items.pop().unwrap()
+            } else {
+                Node::Seq(items)
+            }
+        }
+
+        fn parse_atom(&mut self) -> Node {
+            match self.bump() {
+                Some('\\') => match self.bump() {
+                    // proptest's `\PC`: any non-control character.
+                    Some('P') | Some('p') => {
+                        self.bump(); // the category letter
+                        Node::AnyPrintable
+                    }
+                    Some('d') => Node::Class(vec![('0', '9')]),
+                    Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    Some(c) => Node::Lit(c),
+                    None => panic!("pattern `{}`: dangling escape", self.src),
+                },
+                Some('[') => self.parse_class(),
+                Some('(') => {
+                    let inner = self.parse_alt();
+                    assert_eq!(
+                        self.bump(),
+                        Some(')'),
+                        "pattern `{}`: unclosed group",
+                        self.src
+                    );
+                    inner
+                }
+                Some('.') => Node::AnyPrintable,
+                Some(c) => Node::Lit(c),
+                None => panic!("pattern `{}`: unexpected end", self.src),
+            }
+        }
+
+        fn parse_class(&mut self) -> Node {
+            let mut ranges = Vec::new();
+            loop {
+                let c = match self.bump() {
+                    Some(']') => break,
+                    Some('\\') => self.bump().expect("escape in class"),
+                    Some(c) => c,
+                    None => panic!("pattern `{}`: unclosed class", self.src),
+                };
+                if self.peek() == Some('-')
+                    && self
+                        .chars
+                        .get(self.pos + 1)
+                        .copied()
+                        .is_some_and(|n| n != ']')
+                {
+                    self.bump(); // '-'
+                    let end = self.bump().expect("range end");
+                    ranges.push((c, end));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            Node::Class(ranges)
+        }
+
+        fn parse_quantifier(&mut self, atom: Node) -> Node {
+            match self.peek() {
+                Some('{') => {
+                    self.bump();
+                    let mut min = String::new();
+                    let mut max = String::new();
+                    let mut in_max = false;
+                    loop {
+                        match self.bump() {
+                            Some('}') => break,
+                            Some(',') => in_max = true,
+                            Some(c) if c.is_ascii_digit() => {
+                                if in_max {
+                                    max.push(c);
+                                } else {
+                                    min.push(c);
+                                }
+                            }
+                            other => panic!("pattern `{}`: bad quantifier {other:?}", self.src),
+                        }
+                    }
+                    let lo: usize = min.parse().unwrap_or(0);
+                    let hi: usize = if in_max {
+                        max.parse().unwrap_or(lo + 8)
+                    } else {
+                        lo
+                    };
+                    Node::Repeat(Box::new(atom), lo, hi)
+                }
+                Some('?') => {
+                    self.bump();
+                    Node::Repeat(Box::new(atom), 0, 1)
+                }
+                Some('*') => {
+                    self.bump();
+                    Node::Repeat(Box::new(atom), 0, 8)
+                }
+                Some('+') => {
+                    self.bump();
+                    Node::Repeat(Box::new(atom), 1, 8)
+                }
+                _ => atom,
+            }
+        }
+    }
+
+    pub fn parse(pattern: &str) -> Node {
+        let mut p = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            src: pattern,
+        };
+        let node = p.parse_alt();
+        assert_eq!(p.pos, p.chars.len(), "pattern `{pattern}`: trailing input");
+        node
+    }
+
+    /// A few multi-byte characters so `\PC` exercises non-ASCII paths.
+    const EXOTIC: &[char] = &['é', 'ß', '中', '→', '✓', '\u{00a0}'];
+
+    pub fn sample(node: &Node, rng: &mut StdRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::AnyPrintable => {
+                if rng.gen_bool(0.08) {
+                    out.push(EXOTIC[rng.gen_range(0..EXOTIC.len())]);
+                } else {
+                    out.push(char::from(rng.gen_range(0x20u8..0x7f)));
+                }
+            }
+            Node::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(a, b)| (*b as u32) - (*a as u32) + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (a, b) in ranges {
+                    let span = (*b as u32) - (*a as u32) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*a as u32 + pick).unwrap_or(*a));
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::Seq(items) => {
+                for item in items {
+                    sample(item, rng, out);
+                }
+            }
+            Node::Alt(branches) => {
+                let b = &branches[rng.gen_range(0..branches.len())];
+                sample(b, rng, out);
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = rng.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    sample(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty)*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize f32 f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let node = pattern::parse(self);
+        let mut out = String::new();
+        pattern::sample(&node, rng, &mut out);
+        out
+    }
+}
+
+pub mod sample {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Uniform choice from a fixed pool (`prop::sample::select`).
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty option pool");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Accepted size specifications: an exact length or a half-open
+    /// range (mirrors proptest's `Into<SizeRange>`).
+    pub trait IntoSizeRange {
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            *self.start()..*self.end() + 1
+        }
+    }
+
+    /// `prop::collection::vec(element, size_range)`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let size = size.into_size_range();
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// `prop::option::of(inner)`: `None` about a quarter of the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    /// `prop::bool::ANY`.
+    pub const ANY: super::AnyBool = super::AnyBool;
+}
+
+pub mod num {
+    pub mod f64 {
+        /// Positive finite floats.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Positive;
+        pub const POSITIVE: Positive = Positive;
+
+        impl super::super::Strategy for Positive {
+            type Value = f64;
+            fn sample(&self, rng: &mut super::super::StdRng) -> f64 {
+                use rand::Rng;
+                rng.gen_range(1e-6..1e9)
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    pub use super::{Just, Strategy};
+}
+
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        Strategy, TestCaseError,
+    };
+    pub use rand::rngs::StdRng;
+}
+
+/// The `prop` facade module (`prop::sample::…`, `prop::collection::…`).
+pub mod prop {
+    pub use super::bool;
+    pub use super::collection;
+    pub use super::num;
+    pub use super::option;
+    pub use super::sample;
+    pub use super::strategy;
+}
+
+/// Runs one property over `DEFAULT_CASES` sampled cases. Used by the
+/// `proptest!` macro; not public API in real proptest, but harmless.
+pub fn run_property<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    // Seed derived from the property name so failures reproduce.
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rejected = 0usize;
+    let mut ran = 0usize;
+    while ran < DEFAULT_CASES {
+        match case(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < DEFAULT_CASES * 16,
+                    "property `{name}`: too many prop_assume! rejections"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed after {ran} passing case(s): {msg}");
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)+
+                    (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}` at {}:{}",
+                __l, __r, file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}` at {}:{}",
+                __l,
+                __r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn select_yields_members(x in prop::sample::select(vec![1, 2, 3])) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(prop::bool::ANY, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn assume_filters(x in prop::sample::select(vec![0usize, 1, 2, 3])) {
+            prop_assume!(x != 0);
+            prop_assert!(x > 0);
+        }
+
+        #[test]
+        fn option_of_works(o in prop::option::of(prop::sample::select(vec!["a", "b"]))) {
+            if let Some(v) = o {
+                prop_assert!(v == "a" || v == "b");
+            }
+        }
+
+        #[test]
+        fn any_bool_compiles(b in any::<bool>()) {
+            prop_assert!(b || !b);
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! Minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! The container image has no network access to crates.io, so the
+//! workspace vendors a small serde-compatible facade: the same trait
+//! names and call-site syntax (`#[derive(Serialize, Deserialize)]`,
+//! `value.serialize(serializer)`, `T::deserialize(deserializer)`,
+//! `#[serde(default)]`, `#[serde(with = "module")]`), backed by a
+//! value-based data model ([`Content`]) instead of real serde's
+//! visitor machinery. `serde_json` (also vendored) is the only
+//! serializer in the tree, so the simplified model is sufficient and
+//! round-trips everything the workspace derives.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized form of any value: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Map lookup by string key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short description of the content's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error type shared by the whole facade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub mod de {
+    //! Deserializer-side error plumbing (`serde::de::Error::custom`).
+    use std::fmt;
+
+    pub trait Error: Sized {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::DeError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            super::DeError(msg.to_string())
+        }
+    }
+}
+
+pub mod ser {
+    //! Serializer-side error plumbing (`serde::ser::Error::custom`).
+    use std::fmt;
+
+    pub trait Error: Sized {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A sink consuming the [`Content`] tree of one value.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source producing the [`Content`] tree of one value.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// Serializable values. Implementors provide [`Serialize::to_content`];
+/// `serialize` keeps real serde's call-site shape.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.to_content())
+    }
+}
+
+/// Deserializable values. Implementors provide
+/// [`Deserialize::from_content`]; `deserialize` keeps real serde's
+/// call-site shape.
+pub trait Deserialize<'de>: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.take_content()?;
+        Self::from_content(&content).map_err(|e| <D::Error as de::Error>::custom(e))
+    }
+}
+
+/// Owned-deserializable marker, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+ser_int!(i8 i16 i32 i64 isize);
+
+macro_rules! ser_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*};
+}
+ser_uint!(u8 u16 u32 u64 usize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    };
+}
+ser_tuple!(A: 0);
+ser_tuple!(A: 0, B: 1);
+ser_tuple!(A: 0, B: 1, C: 2);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Canonical sort key so hash-map serialization is deterministic.
+fn content_sort_key(c: &Content) -> String {
+    match c {
+        Content::Str(s) => s.clone(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn serialize_map_entries<'a, K, V, I>(entries: I, sort: bool) -> Content
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut out: Vec<(Content, Content)> = entries
+        .map(|(k, v)| (k.to_content(), v.to_content()))
+        .collect();
+    if sort {
+        out.sort_by_key(|(k, _)| content_sort_key(k));
+    }
+    Content::Map(out)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        serialize_map_entries(self.iter(), true)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        serialize_map_entries(self.iter(), false)
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        items.sort_by_key(content_sort_key);
+        Content::Seq(items)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------
+
+fn type_err(expected: &str, got: &Content) -> DeError {
+    DeError(format!(
+        "invalid type: expected {expected}, found {}",
+        got.kind()
+    ))
+}
+
+macro_rules! de_int {
+    ($($t:ty)*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(*v as $t),
+                    other => Err(type_err("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+macro_rules! de_float {
+    ($($t:ty)*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    other => Err(type_err("float", other)),
+                }
+            }
+        }
+    )*};
+}
+de_float!(f32 f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(type_err("bool", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(type_err("char", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(type_err("string", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(type_err("null", other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(type_err("sequence", other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == N => {
+                let parsed: Result<Vec<T>, DeError> = items.iter().map(T::from_content).collect();
+                parsed?
+                    .try_into()
+                    .map_err(|_| DeError("array length mismatch".into()))
+            }
+            Content::Seq(items) => Err(DeError(format!(
+                "invalid length: expected array of {N}, found {}",
+                items.len()
+            ))),
+            other => Err(type_err("sequence", other)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($len:expr; $($name:ident : $idx:tt),+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    Content::Seq(items) => Err(DeError(format!(
+                        "invalid length: expected tuple of {}, found {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(type_err("sequence", other)),
+                }
+            }
+        }
+    };
+}
+de_tuple!(1; A: 0);
+de_tuple!(2; A: 0, B: 1);
+de_tuple!(3; A: 0, B: 1, C: 2);
+de_tuple!(4; A: 0, B: 1, C: 2, D: 3);
+de_tuple!(5; A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(type_err("map", other)),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(type_err("map", other)),
+        }
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for HashSet<T, S>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(type_err("sequence", other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(type_err("sequence", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Support machinery for derive-generated code
+// ---------------------------------------------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    use super::{de, Content, DeError, Deserialize, Deserializer, Serializer};
+    use std::convert::Infallible;
+
+    /// Serializer whose output *is* the content tree (never fails); lets
+    /// `#[serde(with = "m")]` modules feed derived serialization.
+    pub struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = Infallible;
+        fn serialize_content(self, content: Content) -> Result<Content, Infallible> {
+            Ok(content)
+        }
+    }
+
+    /// Deserializer over an owned content tree, for `#[serde(with = "m")]`.
+    pub struct ContentDeserializer(Content);
+
+    impl ContentDeserializer {
+        pub fn new(content: Content) -> ContentDeserializer {
+            ContentDeserializer(content)
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ContentDeserializer {
+        type Error = DeError;
+        fn take_content(self) -> Result<Content, DeError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Unwraps the `Result` of a `with`-module serialize call routed
+    /// through [`ContentSerializer`] (the error type is uninhabited).
+    pub fn into_content(result: Result<Content, Infallible>) -> Content {
+        match result {
+            Ok(c) => c,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Field lookup in a serialized struct map.
+    pub fn find<'a>(entries: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+        entries
+            .iter()
+            .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+            .map(|(_, v)| v)
+    }
+
+    /// Missing-field recovery: types that accept `null` (e.g. `Option`)
+    /// default; everything else reports the missing field.
+    pub fn missing_field<'de, T: Deserialize<'de>>(name: &str) -> Result<T, DeError> {
+        T::from_content(&Content::Null)
+            .map_err(|_| <DeError as de::Error>::custom(format!("missing field `{name}`")))
+    }
+
+    /// Error helper for derive-generated enum/struct mismatches.
+    pub fn unexpected(expected: &str, got: &Content) -> DeError {
+        super::type_err(expected, got)
+    }
+}

@@ -1,0 +1,475 @@
+//! Dependency-free `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde facade. Parses the type definition directly from the
+//! `proc_macro` token stream (no syn/quote — the container image has no
+//! crates.io access) and emits impls of the value-based traits in the
+//! vendored `serde` crate.
+//!
+//! Supported shapes: structs with named fields; enums with unit,
+//! newtype, tuple, and struct variants. Supported attributes:
+//! `#[serde(default)]` and `#[serde(with = "module")]` on named fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Extracts `default` / `with = "path"` from one `#[serde(...)]`
+/// attribute body, merging into `(default, with)`.
+fn parse_serde_attr(group: &proc_macro::Group, default: &mut bool, with: &mut Option<String>) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Expect: Ident("serde") Group(paren)
+    if inner.len() != 2 {
+        return;
+    }
+    let is_serde = matches!(&inner[0], TokenTree::Ident(i) if i.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let body = match &inner[1] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                *default = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                // with = "path"
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(i + 1), toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        *with = Some(raw.trim_matches('"').to_string());
+                    }
+                }
+                i += 3;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Consumes any number of leading `#[...]` attributes starting at
+/// `*i`, returning the serde field options found.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> (bool, Option<String>) {
+    let mut default = false;
+    let mut with = None;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    parse_serde_attr(g, &mut default, &mut with);
+                    *i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (default, with)
+}
+
+/// Consumes a `pub` / `pub(...)` visibility prefix if present.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skips a type expression: everything up to a comma at angle-bracket
+/// depth zero (or the end of the token list).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parses the named fields inside a struct (or struct-variant) brace
+/// group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (default, with) = skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&toks, &mut i);
+        i += 1; // ','
+        fields.push(Field {
+            name,
+            default,
+            with,
+        });
+    }
+    fields
+}
+
+/// Number of comma-separated types at top level of a tuple-variant
+/// paren group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 == toks.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let _ = skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional discriminant (`= expr`) is not supported; skip to comma.
+        while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1; // ','
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let _ = skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: unexpected token {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (type `{name}`)");
+    }
+    let body = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(_) => i += 1,
+            None => panic!("serde_derive: type `{name}` has no braced body"),
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let mut body = String::new();
+            for f in &fields {
+                let push = match &f.with {
+                    Some(path) => format!(
+                        "__fields.push((::serde::Content::Str(\"{n}\".to_string()), \
+                         ::serde::__private::into_content({path}::serialize(&self.{n}, \
+                         ::serde::__private::ContentSerializer))));",
+                        n = f.name,
+                    ),
+                    None => format!(
+                        "__fields.push((::serde::Content::Str(\"{n}\".to_string()), \
+                         ::serde::Serialize::to_content(&self.{n})));",
+                        n = f.name,
+                    ),
+                };
+                body.push_str(&push);
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         let mut __fields: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                         {body}\n\
+                         ::serde::Content::Map(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(\"{vn}\".to_string()), \
+                             ::serde::Serialize::to_content(__f0))]),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bind}) => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(\"{vn}\".to_string()), \
+                             ::serde::Content::Seq(vec![{items}]))]),\n",
+                            bind = binders.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Content::Str(\"{n}\".to_string()), \
+                                     ::serde::Serialize::to_content({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {bind} }} => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(\"{vn}\".to_string()), \
+                             ::serde::Content::Map(vec![{items}]))]),\n",
+                            bind = binders.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Emits the deserialization expression for one named field out of
+/// `__entries`.
+fn field_expr(f: &Field) -> String {
+    match (&f.with, f.default) {
+        (Some(path), _) => format!(
+            "{path}::deserialize(::serde::__private::ContentDeserializer::new(\
+             match ::serde::__private::find(__entries, \"{n}\") {{\
+                 Some(__v) => __v.clone(),\
+                 None => ::serde::Content::Null,\
+             }}))?",
+            n = f.name,
+        ),
+        (None, true) => format!(
+            "match ::serde::__private::find(__entries, \"{n}\") {{\
+                 Some(__v) => ::serde::Deserialize::from_content(__v)?,\
+                 None => ::core::default::Default::default(),\
+             }}",
+            n = f.name,
+        ),
+        (None, false) => format!(
+            "match ::serde::__private::find(__entries, \"{n}\") {{\
+                 Some(__v) => ::serde::Deserialize::from_content(__v)?,\
+                 None => ::serde::__private::missing_field(\"{n}\")?,\
+             }}",
+            n = f.name,
+        ),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, field_expr(f)))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(__content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __content {{\n\
+                             ::serde::Content::Map(__entries) => Ok({name} {{ {inits} }}),\n\
+                             __other => Err(::serde::__private::unexpected(\"map\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                inits = inits.join(", "),
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(__v)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_content(&__items[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __v {{\
+                                 ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                                     Ok({name}::{vn}({items})),\
+                                 __other => Err(::serde::__private::unexpected(\"sequence\", __other)),\
+                             }},\n",
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: {}", f.name, field_expr(f)))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __v {{\
+                                 ::serde::Content::Map(__entries) => Ok({name}::{vn} {{ {inits} }}),\
+                                 __other => Err(::serde::__private::unexpected(\"map\", __other)),\
+                             }},\n",
+                            inits = inits.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(__content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __content {{\n\
+                             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(::serde::de::Error::custom(format!(\
+                                     \"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__k, __v) = &__entries[0];\n\
+                                 let __k = match __k {{\n\
+                                     ::serde::Content::Str(__s) => __s.as_str(),\n\
+                                     __other => return Err(::serde::__private::unexpected(\"string key\", __other)),\n\
+                                 }};\n\
+                                 match __k {{\n\
+                                     {data_arms}\n\
+                                     __other => Err(::serde::de::Error::custom(format!(\
+                                         \"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::__private::unexpected(\"enum\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,646 @@
+//! Minimal, dependency-free stand-in for `serde_json`, matching the API
+//! surface the workspace uses: [`Value`], insertion-ordered [`Map`],
+//! [`to_value`], [`to_string`], [`to_string_pretty`], [`from_str`], and
+//! [`from_value`]. Backed by the vendored serde facade's [`Content`]
+//! data model.
+
+use serde::{de, Content, DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization / parse error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// A JSON number (integer or float), mirroring `serde_json::Number`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Number::I64(v) => Some(*v as f64),
+            Number::U64(v) => Some(*v as f64),
+            Number::F64(v) => Some(*v),
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::I64(v) => Some(*v),
+            Number::U64(v) => i64::try_from(*v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::I64(v) => u64::try_from(*v).ok(),
+            Number::U64(v) => Some(*v),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            Number::F64(v) if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 => {
+                write!(f, "{v:.1}")
+            }
+            Number::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map, mirroring `serde_json::Map`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(std::mem::replace(&mut slot.1, value))
+        } else {
+            self.entries.push((key, value));
+            None
+        }
+    }
+
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(m) => m.get_mut(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn from_content(content: &Content) -> Value {
+        match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::I64(v) => Value::Number(Number::I64(*v)),
+            Content::U64(v) => Value::Number(Number::U64(*v)),
+            Content::F64(v) => Value::Number(Number::F64(*v)),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content).collect()),
+            Content::Map(entries) => {
+                let mut map = Map::new();
+                for (k, v) in entries {
+                    let key = match k {
+                        Content::Str(s) => s.clone(),
+                        other => content_key_string(other),
+                    };
+                    map.insert(key, Value::from_content(v));
+                }
+                Value::Object(map)
+            }
+        }
+    }
+
+    fn to_content_tree(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::I64(v)) => Content::I64(*v),
+            Value::Number(Number::U64(v)) => Content::U64(*v),
+            Value::Number(Number::F64(v)) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Value::to_content_tree).collect()),
+            Value::Object(map) => Content::Map(
+                map.iter()
+                    .map(|(k, v)| (Content::Str(k.clone()), v.to_content_tree()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Non-string map keys are rendered to their JSON text (JSON object keys
+/// must be strings).
+fn content_key_string(c: &Content) -> String {
+    let mut out = String::new();
+    write_content(&Value::from_content(c), &mut out, None, 0);
+    out
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        self.to_content_tree()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(Value::from_content(content))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_content(self, &mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes `v` as JSON into `out`; `indent = Some(step)` pretty-prints.
+fn write_content(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(step) => (
+            "\n",
+            " ".repeat(step * level),
+            " ".repeat(step * (level + 1)),
+        ),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_content(item, out, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(item, out, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T, Error> {
+        Err(Error(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => self.err("unexpected character"),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected `{kw}`"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid utf-8".into()))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(v)));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::F64(v)))
+            .map_err(|_| Error(format!("bad number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+/// Converts any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(Value::from_content(&value.to_content()))
+}
+
+/// Reconstructs a deserializable type from a [`Value`] tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::from_content(&value.to_content_tree()).map_err(Error::from)
+}
+
+/// Compact JSON text.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    write_content(&v, &mut out, None, 0);
+    Ok(out)
+}
+
+/// Pretty-printed JSON text (two-space indent, like real serde_json).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    write_content(&v, &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser::new(s);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing characters");
+    }
+    from_value(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        for text in ["null", "true", "false", "42", "-7", "3.5", "\"hi\\n\""] {
+            let v: Value = from_str(text).unwrap();
+            let back = to_string(&v).unwrap();
+            let v2: Value = from_str(&back).unwrap();
+            assert_eq!(v, v2);
+        }
+    }
+
+    #[test]
+    fn object_round_trip_preserves_order() {
+        let v: Value = from_str(r#"{"b": 1, "a": [true, null, {"x": "y"}]}"#).unwrap();
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"b":1,"a":[true,null,{"x":"y"}]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v: Value = from_str(r#"{"a":1}"#).unwrap();
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+}
