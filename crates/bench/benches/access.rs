@@ -1,0 +1,129 @@
+//! Access-layer benchmarks: per-op vs batch `GuardedJar` traffic on a
+//! jar at the 180-cookie per-domain cap, driving a mixed read/write
+//! burst (the hot crawl path). The batch API derives the caller context
+//! once and serves consecutive reads from one post-filter view, so its
+//! win over per-op access is what this group tracks in the perf
+//! trajectory.
+
+use cg_cookiejar::CookieJar;
+use cg_instrument::{CookieApi, NullSink, Recorder};
+use cg_url::Url;
+use cookieguard_core::{
+    AccessContext, BatchOp, Caller, GuardConfig, GuardEngine, GuardSession, GuardedJar, SetRequest,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const JAR_SIZE: usize = 180;
+
+fn url() -> Url {
+    Url::parse("https://www.bench-site.example/").unwrap()
+}
+
+fn ctx(domain: &str) -> AccessContext {
+    AccessContext {
+        caller: Caller::external(domain),
+        actor: Some(domain.to_string()),
+        actor_url: Some(format!("https://{domain}/s.js")),
+        now_ms: 1_000_000,
+        time_ms: 500,
+    }
+}
+
+/// A jar at the per-domain cap with ownership spread over 12 vendors.
+fn seeded() -> (CookieJar, GuardSession) {
+    let mut jar = CookieJar::new();
+    let mut guard = GuardEngine::shared(GuardConfig::strict()).session("bench-site.example");
+    let mut sink = NullSink;
+    let u = url();
+    let mut access = GuardedJar::new(u, &mut jar, Some(&mut guard), &mut sink);
+    for i in 0..JAR_SIZE {
+        let vendor = format!("vendor{}.example", i % 12);
+        let c = ctx(&vendor);
+        let raw = format!("cookie_{i}=v{i}");
+        access.set(&c, SetRequest::DocumentCookie { raw: &raw });
+    }
+    (jar, guard)
+}
+
+/// The mixed burst one busy script issues: jar-wide reads, targeted
+/// gets, a write, and a delete.
+fn burst_ops() -> Vec<BatchOp<'static>> {
+    let mut ops = Vec::new();
+    for _ in 0..4 {
+        ops.push(BatchOp::Read {
+            api: CookieApi::DocumentCookie,
+        });
+        ops.push(BatchOp::Get { name: "cookie_3" });
+        ops.push(BatchOp::Get { name: "cookie_9" });
+    }
+    ops.push(BatchOp::Set(SetRequest::CookieStore {
+        name: "cookie_3",
+        value: "refreshed",
+        expires_abs_ms: None,
+    }));
+    ops.push(BatchOp::Read {
+        api: CookieApi::DocumentCookie,
+    });
+    ops.push(BatchOp::Delete { name: "cookie_3" });
+    ops
+}
+
+fn bench_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guarded_jar_180c");
+    let ops = burst_ops();
+
+    group.bench_function("per_op", |b| {
+        let (mut jar, mut guard) = seeded();
+        let mut sink = NullSink;
+        let mut access = GuardedJar::new(url(), &mut jar, Some(&mut guard), &mut sink);
+        let vendor = "vendor3.example";
+        b.iter(|| {
+            for op in &ops {
+                // The per-op path re-derives the context per call, like a
+                // Platform implementation fielding one script op at a time.
+                let c = ctx(vendor);
+                match op {
+                    BatchOp::Read { api } => {
+                        black_box(access.read(&c, *api));
+                    }
+                    BatchOp::Get { name } => {
+                        black_box(access.get(&c, name));
+                    }
+                    BatchOp::Set(req) => {
+                        black_box(access.set(&c, *req));
+                    }
+                    BatchOp::Delete { name } => {
+                        black_box(access.delete(&c, name));
+                    }
+                }
+            }
+        });
+    });
+
+    group.bench_function("batch", |b| {
+        let (mut jar, mut guard) = seeded();
+        let mut sink = NullSink;
+        let mut access = GuardedJar::new(url(), &mut jar, Some(&mut guard), &mut sink);
+        let c = ctx("vendor3.example");
+        b.iter(|| black_box(access.run_batch(&c, &ops)));
+    });
+
+    // The same burst with the full recorder attached, so the cost of
+    // event emission stays visible alongside the enforcement cost.
+    group.bench_function("batch_recorded", |b| {
+        let (mut jar, mut guard) = seeded();
+        let mut rec = Recorder::new("bench-site.example", 1);
+        let mut access = GuardedJar::new(url(), &mut jar, Some(&mut guard), &mut rec);
+        let c = ctx("vendor3.example");
+        b.iter(|| black_box(access.run_batch(&c, &ops)));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_access
+}
+criterion_main!(benches);

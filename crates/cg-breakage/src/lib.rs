@@ -18,6 +18,12 @@
 //! Navigation and appearance have no cookie dependency in the model —
 //! and the paper measures 0% breakage for both — so they are probed but
 //! never regress.
+//!
+//! Both visit conditions run their cookie traffic through the access
+//! layer (`cookieguard_core::GuardedJar`, via [`cg_browser::visit_site`]):
+//! a probe regression can only come from the guard's policy decision at
+//! that one chokepoint, never from a divergent guard/jar/log dance in
+//! some workload-specific code path.
 
 pub mod evaluate;
 

@@ -1,30 +1,35 @@
 //! One page execution context: the [`cg_script::Platform`] implementation
 //! where CookieGuard enforcement and instrumentation interpose.
+//!
+//! All cookie traffic — `document.cookie`, the CookieStore methods, and
+//! the response's `Set-Cookie` headers — is delegated to
+//! [`cookieguard_core::GuardedJar`], the single enforcement point that
+//! fuses policy, storage, and event emission. This type only translates
+//! script-level [`Attribution`]s into [`AccessContext`]s and handles the
+//! non-cookie platform surface (DOM, requests, script loading).
 
 use cg_cookiejar::CookieJar;
 use cg_dom::{Document, ElementId, ElementMutation, FrameKind, ScriptSource};
 use cg_domguard::DomGuard;
-use cg_http::parse_set_cookie;
-use cg_instrument::{AttrChangeFlags, CookieApi, Recorder, WriteKind};
+use cg_instrument::{CookieApi, DomEvent, ProbeEvent, Recorder, RequestEvent, ScriptInclusion};
 use cg_script::{
     Attribution, CookieChangeNotice, DomMutationKind, Platform, ScriptExecution, ScriptOp,
     SignatureDb,
 };
 use cg_url::{CnameMap, Url};
-use cookieguard_core::{Caller, CookieGuard};
+use cookieguard_core::{AccessContext, Caller, CookieGuard, GuardedJar, SetRequest};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
-/// The per-page platform: owns the document, borrows the visit-scoped
-/// jar, guard, and recorder.
+/// The per-page platform: owns the document and accesses the
+/// visit-scoped jar, guard, and recorder exclusively through the
+/// [`GuardedJar`] access layer.
 pub struct Page<'v> {
     url: Url,
     site_domain: String,
     wall_epoch_ms: i64,
-    jar: &'v mut CookieJar,
-    guard: Option<&'v mut CookieGuard>,
-    recorder: &'v mut Recorder,
+    access: GuardedJar<'v>,
     doc: Document,
     injectables: &'v HashMap<String, Vec<ScriptOp>>,
     executed_urls: HashSet<String>,
@@ -55,6 +60,12 @@ impl<'v> Page<'v> {
         let site_domain = url.registrable_domain().unwrap_or_else(|| url.host_str());
         // Change events only cover mutations from this page onward.
         let change_cursor = jar.change_count();
+        let access = GuardedJar::new(
+            url.clone(),
+            jar,
+            guard.map(CookieGuard::session_mut),
+            recorder,
+        );
         let mut doc = Document::new(url.clone(), FrameKind::Main);
         let mut markup_elements = Vec::new();
         for i in 0..14 {
@@ -71,9 +82,7 @@ impl<'v> Page<'v> {
             url,
             site_domain,
             wall_epoch_ms,
-            jar,
-            guard,
-            recorder,
+            access,
             doc,
             injectables,
             executed_urls: HashSet::new(),
@@ -92,16 +101,16 @@ impl<'v> Page<'v> {
     /// Attaches a DOM guard: cross-domain element mutations are
     /// authorized against element ownership before they apply (§8's
     /// future-work defense, crate `cg-domguard`).
-    pub fn with_dom_guard(mut self, guard: Option<&'v mut DomGuard>) -> Self {
-        self.dom_guard = guard;
+    pub fn with_dom_guard(mut self, guard: &'v mut DomGuard) -> Self {
+        self.dom_guard = Some(guard);
         self
     }
 
     /// Enables DNS-aware attribution: script hosts are resolved through
     /// the CNAME map before their eTLD+1 is derived, uncloaking
     /// first-party-subdomain trackers (§8's defense direction).
-    pub fn with_cnames(mut self, cnames: Option<CnameMap>) -> Self {
-        self.cnames = cnames;
+    pub fn with_cnames(mut self, cnames: CnameMap) -> Self {
+        self.cnames = Some(cnames);
         self
     }
 
@@ -109,8 +118,8 @@ impl<'v> Page<'v> {
     /// Chen et al.): an inline script whose behaviour matches a known
     /// third-party signature is attributed to that third party instead of
     /// being treated as origin-less.
-    pub fn with_signatures(mut self, db: Option<SignatureDb>) -> Self {
-        self.signatures = db;
+    pub fn with_signatures(mut self, db: SignatureDb) -> Self {
+        self.signatures = Some(db);
         self
     }
 
@@ -120,8 +129,8 @@ impl<'v> Page<'v> {
     /// scripts inside [`Platform::resolve_injected_script`]. Blocked
     /// scripts never execute; CSP says nothing about the cookie access
     /// of the scripts it admits.
-    pub fn with_csp(mut self, csp: Option<cg_http::CspPolicy>) -> Self {
-        self.csp = csp;
+    pub fn with_csp(mut self, csp: cg_http::CspPolicy) -> Self {
+        self.csp = Some(csp);
         self
     }
 
@@ -151,34 +160,8 @@ impl<'v> Page<'v> {
     /// (the `webRequest.onHeadersReceived` path). The response domain is
     /// the site itself.
     pub fn apply_server_cookies(&mut self, raw_headers: &[String]) {
-        for raw in raw_headers {
-            let Some(sc) = parse_set_cookie(raw) else {
-                continue;
-            };
-            if self
-                .jar
-                .set_from_header(&sc, &self.url, self.wall_epoch_ms)
-                .is_ok()
-            {
-                if let Some(g) = self.guard.as_deref_mut() {
-                    g.record_http_set_cookie(&sc.name, &self.site_domain.clone());
-                }
-                // The extension only sees non-HttpOnly values (§4.1).
-                if !sc.http_only {
-                    self.recorder.record_set(
-                        &sc.name,
-                        &sc.value,
-                        Some(&self.site_domain.clone()),
-                        None,
-                        CookieApi::HttpHeader,
-                        WriteKind::Create,
-                        None,
-                        false,
-                        0,
-                    );
-                }
-            }
-        }
+        self.access
+            .apply_set_cookie_headers(&self.site_domain, raw_headers, self.wall_epoch_ms);
     }
 
     /// Registers a markup script with the document and the log; returns
@@ -193,7 +176,9 @@ impl<'v> Page<'v> {
             None => ScriptSource::Inline,
         };
         let id = self.doc.add_direct_script(source.clone());
-        self.recorder.record_inclusion(url, true);
+        self.access
+            .sink()
+            .inclusion(ScriptInclusion::observed(url, true));
         if let Some(u) = url {
             self.executed_urls.insert(u.to_string());
         }
@@ -246,18 +231,35 @@ impl<'v> Page<'v> {
         self.wall_epoch_ms + at.now_ms as i64
     }
 
-    /// The script-visible jar for this page, post-guard.
-    fn visible_cookies(&mut self, at: &Attribution) -> (Vec<cg_cookiejar::Cookie>, usize) {
-        let now = self.wall(at);
-        let cookies = self.jar.cookies_for_document(&self.url, now);
-        match self.guard.as_deref_mut() {
-            Some(g) => {
-                let before = cookies.len();
-                let visible = g.filter_read(&Self::caller(&self.cnames, at), cookies);
-                let filtered = before - visible.len();
-                (visible, filtered)
-            }
-            None => (cookies, 0),
+    /// Translates a script-level attribution into the access layer's
+    /// operation context for the write paths: policy caller
+    /// (CNAME-uncloaked), measured actor + script URL, and the two
+    /// timebases.
+    fn ctx(&self, at: &Attribution) -> AccessContext {
+        AccessContext {
+            caller: Self::caller(&self.cnames, at),
+            actor: at.script_domain(),
+            actor_url: at.script_url.as_ref().map(|u| u.to_string()),
+            now_ms: self.wall(at),
+            time_ms: at.now_ms,
+        }
+    }
+
+    /// Read-path variant of [`Page::ctx`]: read events carry no script
+    /// URL, and a guard-less read never consults the policy caller, so
+    /// neither is derived unless needed (`document.cookie` gets are the
+    /// hottest op of a measurement crawl).
+    fn read_ctx(&self, at: &Attribution) -> AccessContext {
+        AccessContext {
+            caller: if self.access.is_guarded() {
+                Self::caller(&self.cnames, at)
+            } else {
+                Caller::inline()
+            },
+            actor: at.script_domain(),
+            actor_url: None,
+            now_ms: self.wall(at),
+            time_ms: at.now_ms,
         }
     }
 }
@@ -269,111 +271,18 @@ impl Platform for Page<'_> {
 
     fn document_cookie_get(&mut self, at: &Attribution) -> String {
         self.cookie_ops += 1;
-        let (visible, filtered) = self.visible_cookies(at);
-        let pairs: Vec<(String, String)> = visible
-            .iter()
-            .map(|c| (c.name.clone(), c.value.clone()))
-            .collect();
-        let s = visible
-            .iter()
-            .map(|c| c.pair())
-            .collect::<Vec<_>>()
-            .join("; ");
-        self.recorder.record_read(
-            at.script_domain().as_deref(),
-            CookieApi::DocumentCookie,
-            pairs,
-            filtered,
-            at.now_ms,
-        );
-        s
+        let ctx = self.read_ctx(at);
+        self.access
+            .read(&ctx, CookieApi::DocumentCookie)
+            .serialize()
     }
 
     fn document_cookie_set(&mut self, at: &Attribution, raw: &str) -> bool {
         self.cookie_ops += 1;
-        let Some(sc) = parse_set_cookie(raw) else {
-            return false;
-        };
-        let now = self.wall(at);
-        let actor = at.script_domain();
-        let actor_url = at.script_url.as_ref().map(|u| u.to_string());
-        let caller = Self::caller(&self.cnames, at);
-
-        // Classify the write like the measurement does: a write whose
-        // expiry is already in the past is a deletion; a write to an
-        // existing name is an overwrite.
-        let prior = self
-            .jar
-            .cookies_for_document(&self.url, now)
-            .into_iter()
-            .find(|c| c.name == sc.name);
-        let expires_abs = match (sc.max_age_s, sc.expires_ms) {
-            (Some(ma), _) => Some(now + ma * 1000),
-            (None, Some(e)) => Some(e),
-            (None, None) => None,
-        };
-        let is_delete = matches!(expires_abs, Some(e) if e <= now);
-        let kind = if is_delete {
-            WriteKind::Delete
-        } else if prior.is_some() {
-            WriteKind::Overwrite
-        } else {
-            WriteKind::Create
-        };
-
-        // CookieGuard enforcement.
-        if let Some(g) = self.guard.as_deref_mut() {
-            let decision = if is_delete {
-                g.authorize_delete(&caller, &sc.name)
-            } else {
-                g.authorize_write(&caller, &sc.name)
-            };
-            if !decision.is_allow() {
-                self.recorder.record_set(
-                    &sc.name,
-                    &sc.value,
-                    actor.as_deref(),
-                    actor_url.as_deref(),
-                    CookieApi::DocumentCookie,
-                    kind,
-                    None,
-                    true,
-                    at.now_ms,
-                );
-                return false;
-            }
-        }
-
-        // Apply to the jar.
-        let changes = prior
-            .as_ref()
-            .filter(|_| kind == WriteKind::Overwrite)
-            .map(|p| AttrChangeFlags {
-                value: p.value != sc.value,
-                expires: p.expires_ms != expires_abs,
-                domain: sc.domain.as_deref().is_some_and(|d| d != p.domain) && !p.host_only
-                    || (p.host_only && sc.domain.is_some()),
-                path: sc.path.as_deref().is_some_and(|pt| pt != p.path),
-            });
-        let applied = if is_delete {
-            self.jar.delete(&sc.name, &self.url, now)
-        } else {
-            self.jar.set_document_cookie(raw, &self.url, now).is_ok()
-        };
-        if applied || is_delete {
-            self.recorder.record_set(
-                &sc.name,
-                &sc.value,
-                actor.as_deref(),
-                actor_url.as_deref(),
-                CookieApi::DocumentCookie,
-                kind,
-                changes,
-                false,
-                at.now_ms,
-            );
-        }
-        applied
+        let ctx = self.ctx(at);
+        self.access
+            .set(&ctx, SetRequest::DocumentCookie { raw })
+            .applied
     }
 
     fn cookie_store_get(&mut self, at: &Attribution, name: &str) -> Option<String> {
@@ -381,23 +290,8 @@ impl Platform for Page<'_> {
             return None; // CookieStore requires a secure context.
         }
         self.cookie_ops += 1;
-        let (visible, filtered) = self.visible_cookies(at);
-        let found = visible
-            .iter()
-            .find(|c| c.name == name)
-            .map(|c| c.value.clone());
-        let pairs = found
-            .iter()
-            .map(|v| (name.to_string(), v.clone()))
-            .collect();
-        self.recorder.record_read(
-            at.script_domain().as_deref(),
-            CookieApi::CookieStore,
-            pairs,
-            filtered.min(1),
-            at.now_ms,
-        );
-        found
+        let ctx = self.read_ctx(at);
+        self.access.get(&ctx, name)
     }
 
     fn cookie_store_get_all(&mut self, at: &Attribution) -> Vec<(String, String)> {
@@ -405,19 +299,8 @@ impl Platform for Page<'_> {
             return Vec::new();
         }
         self.cookie_ops += 1;
-        let (visible, filtered) = self.visible_cookies(at);
-        let pairs: Vec<(String, String)> = visible
-            .iter()
-            .map(|c| (c.name.clone(), c.value.clone()))
-            .collect();
-        self.recorder.record_read(
-            at.script_domain().as_deref(),
-            CookieApi::CookieStore,
-            pairs.clone(),
-            filtered,
-            at.now_ms,
-        );
-        pairs
+        let ctx = self.read_ctx(at);
+        self.access.read(&ctx, CookieApi::CookieStore).pairs()
     }
 
     fn cookie_store_set(
@@ -431,56 +314,17 @@ impl Platform for Page<'_> {
             return false;
         }
         self.cookie_ops += 1;
-        let now = self.wall(at);
-        let actor = at.script_domain();
-        let actor_url = at.script_url.as_ref().map(|u| u.to_string());
-        let caller = Self::caller(&self.cnames, at);
-        let prior_exists = self
-            .jar
-            .cookies_for_document(&self.url, now)
-            .iter()
-            .any(|c| c.name == name);
-        let kind = if prior_exists {
-            WriteKind::Overwrite
-        } else {
-            WriteKind::Create
-        };
-        if let Some(g) = self.guard.as_deref_mut() {
-            if !g.authorize_write(&caller, name).is_allow() {
-                self.recorder.record_set(
+        let ctx = self.ctx(at);
+        self.access
+            .set(
+                &ctx,
+                SetRequest::CookieStore {
                     name,
                     value,
-                    actor.as_deref(),
-                    actor_url.as_deref(),
-                    CookieApi::CookieStore,
-                    kind,
-                    None,
-                    true,
-                    at.now_ms,
-                );
-                return false;
-            }
-        }
-        // CookieStore defaults Path=/ (spec), domain host-only.
-        let mut raw = format!("{name}={value}; Path=/");
-        if let Some(e) = expires_abs_ms {
-            raw.push_str(&format!("; Expires=@{e}"));
-        }
-        let ok = self.jar.set_document_cookie(&raw, &self.url, now).is_ok();
-        if ok {
-            self.recorder.record_set(
-                name,
-                value,
-                actor.as_deref(),
-                actor_url.as_deref(),
-                CookieApi::CookieStore,
-                kind,
-                None,
-                false,
-                at.now_ms,
-            );
-        }
-        ok
+                    expires_abs_ms,
+                },
+            )
+            .applied
     }
 
     fn cookie_store_delete(&mut self, at: &Attribution, name: &str) -> bool {
@@ -488,41 +332,8 @@ impl Platform for Page<'_> {
             return false;
         }
         self.cookie_ops += 1;
-        let now = self.wall(at);
-        let actor = at.script_domain();
-        let actor_url = at.script_url.as_ref().map(|u| u.to_string());
-        let caller = Self::caller(&self.cnames, at);
-        if let Some(g) = self.guard.as_deref_mut() {
-            if !g.authorize_delete(&caller, name).is_allow() {
-                self.recorder.record_set(
-                    name,
-                    "",
-                    actor.as_deref(),
-                    actor_url.as_deref(),
-                    CookieApi::CookieStore,
-                    WriteKind::Delete,
-                    None,
-                    true,
-                    at.now_ms,
-                );
-                return false;
-            }
-        }
-        let ok = self.jar.delete(name, &self.url, now);
-        if ok {
-            self.recorder.record_set(
-                name,
-                "",
-                actor.as_deref(),
-                actor_url.as_deref(),
-                CookieApi::CookieStore,
-                WriteKind::Delete,
-                None,
-                false,
-                at.now_ms,
-            );
-        }
-        ok
+        let ctx = self.ctx(at);
+        self.access.delete(&ctx, name).applied
     }
 
     fn send_request(&mut self, at: &Attribution, url: &str, kind: cg_http::RequestKind) {
@@ -531,19 +342,21 @@ impl Platform for Page<'_> {
         // script-level isolation, subject only to SameSite rules for
         // cross-site destinations. This is the channel that first-party
         // server-side collection endpoints ride (§5.7): CookieGuard
-        // mediates script reads, not the network layer.
+        // mediates script reads, not the network layer, which is why the
+        // header passthrough below is not a policy-checked access.
         let cookie_header = Url::parse(url).ok().map(|u| {
-            self.jar
+            self.access
                 .cookie_header_for_subresource(&u, &self.site_domain, self.wall(at))
         });
-        self.recorder.record_request(
+        let event = RequestEvent::observed(
             url,
             kind,
             at.script_url.as_ref(),
-            &self.site_domain.clone(),
+            &self.site_domain,
             cookie_header.as_deref(),
             at.now_ms,
         );
+        self.access.sink().request(event);
     }
 
     fn resolve_injected_script(&mut self, at: &Attribution, url: &str) -> Option<ScriptExecution> {
@@ -568,7 +381,9 @@ impl Platform for Page<'_> {
         let id = self
             .doc
             .add_injected_script(ScriptSource::External(parsed.clone()), parent);
-        self.recorder.record_inclusion(Some(url), false);
+        self.access
+            .sink()
+            .inclusion(ScriptInclusion::observed(Some(url), false));
         Some(ScriptExecution {
             script_id: id,
             url: Some(parsed),
@@ -616,8 +431,12 @@ impl Platform for Page<'_> {
             let caller = Self::caller(&self.cnames, at);
             if let Some(guard_kind) = cg_domguard::mutation_kind_of(mutation) {
                 if !g.authorize(&caller, &owner, guard_kind).is_allow() {
-                    self.recorder
-                        .record_dom(actor.as_deref(), &owner, &format!("{kind:?}"), true);
+                    self.access.sink().dom_mutation(DomEvent {
+                        actor,
+                        owner,
+                        kind: format!("{kind:?}"),
+                        blocked: true,
+                    });
                     return;
                 }
             }
@@ -626,24 +445,32 @@ impl Platform for Page<'_> {
             .doc
             .mutate_element(target, mutation, actor.as_deref(), "mutated")
         {
-            self.recorder
-                .record_dom(actor.as_deref(), &owner, &format!("{kind:?}"), false);
+            self.access.sink().dom_mutation(DomEvent {
+                actor,
+                owner,
+                kind: format!("{kind:?}"),
+                blocked: false,
+            });
         }
     }
 
     fn probe_result(&mut self, at: &Attribution, feature: &str, cookie: &str, ok: bool) {
-        self.recorder
-            .record_probe(feature, cookie, ok, at.script_domain().as_deref());
+        self.access.sink().probe(ProbeEvent {
+            feature: feature.to_string(),
+            cookie: cookie.to_string(),
+            ok,
+            actor: at.script_domain(),
+        });
     }
 
     fn drain_cookie_changes(&mut self) -> Vec<CookieChangeNotice> {
         // CookieStore (and its change events) require a secure context.
         if self.url.scheme != "https" {
-            self.change_cursor = self.jar.change_count();
+            self.change_cursor = self.access.change_count();
             return Vec::new();
         }
         let notices = self
-            .jar
+            .access
             .changes_since(self.change_cursor)
             .iter()
             .filter(|c| !c.http_only) // never observable from scripts
@@ -652,21 +479,23 @@ impl Platform for Page<'_> {
                 deleted: c.is_removal(),
             })
             .collect();
-        self.change_cursor = self.jar.change_count();
+        self.change_cursor = self.access.change_count();
         notices
     }
 
     fn cookie_change_visible(&mut self, at: &Attribution, name: &str) -> bool {
-        match self.guard.as_deref() {
-            Some(g) => g.may_observe(&Self::caller(&self.cnames, at), name),
-            None => true,
+        if !self.access.is_guarded() {
+            return true; // don't derive the caller just to discard it
         }
+        self.access
+            .may_observe(&Self::caller(&self.cnames, at), name)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cg_instrument::WriteKind;
     use cg_script::{CookieAttrs, EventLoop, ValueSpec};
     use cookieguard_core::GuardConfig;
 

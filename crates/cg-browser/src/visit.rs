@@ -251,11 +251,6 @@ fn execute_page(
     rng: &mut StdRng,
 ) -> (usize, usize) {
     let page_seed: u64 = rng.gen();
-    let cnames = if cfg.resolve_cnames {
-        Some(site.cnames.clone())
-    } else {
-        None
-    };
     let mut p = Page::new(
         url.clone(),
         epoch,
@@ -264,10 +259,16 @@ fn execute_page(
         recorder,
         &site.injectables,
         page_seed,
-    )
-    .with_cnames(cnames)
-    .with_dom_guard(dom_guard)
-    .with_csp(csp.cloned());
+    );
+    if cfg.resolve_cnames {
+        p = p.with_cnames(site.cnames.clone());
+    }
+    if let Some(dg) = dom_guard {
+        p = p.with_dom_guard(dg);
+    }
+    if let Some(policy) = csp {
+        p = p.with_csp(policy.clone());
+    }
     p.apply_server_cookies(&page.server_cookies);
     let mut el = EventLoop::new(epoch).with_max_ops(cfg.max_ops);
     for (i, script) in page.scripts.iter().enumerate() {

@@ -80,6 +80,49 @@ struct StoredCookie {
     cookie: Cookie,
 }
 
+/// A host's eTLD+1 shard binding, resolved once and reused across a
+/// burst of operations for the same document.
+///
+/// Every per-operation entry point re-resolves `host → DomainId`
+/// through the process-wide memo table (a normalize + lock + hash per
+/// call). A burst of cookie operations from one page always targets the
+/// same host, so the access layer ([`cookieguard_core`]'s `GuardedJar`)
+/// resolves the pin once per page and calls the `*_pinned` variants.
+#[derive(Debug, Clone)]
+pub struct ShardPin {
+    host: String,
+    id: DomainId,
+}
+
+impl ShardPin {
+    /// Resolves the shard pin for `host` (the document's host).
+    pub fn for_host(host: &str) -> ShardPin {
+        ShardPin {
+            host: host.to_ascii_lowercase(),
+            id: intern::shard_id_for_host(host),
+        }
+    }
+
+    /// The pinned host (normalized to lowercase).
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The shard id this cookie's stored domain lives under: the pinned
+    /// id when the domain is the pinned host itself (host-only cookies,
+    /// the common case), otherwise resolved fresh. A `Domain` attribute
+    /// always shares the host's registrable domain (validation enforces
+    /// it), but hosts *without* a registrable domain shard by exact
+    /// host, so a differing domain string must be re-resolved.
+    fn shard_for_domain(&self, domain: &str) -> DomainId {
+        if domain.eq_ignore_ascii_case(&self.host) {
+            self.id
+        } else {
+            intern::shard_id_for_host(domain)
+        }
+    }
+}
+
 /// The browser's cookie store for one profile, sharded by eTLD+1.
 #[derive(Debug, Clone, Default)]
 pub struct CookieJar {
@@ -151,13 +194,32 @@ impl CookieJar {
 
     /// Stores a cookie arriving on an HTTP response for `url` (the analog
     /// of processing a `Set-Cookie` header).
+    ///
+    /// Prefer mediating HTTP cookies through the access layer
+    /// (`cookieguard_core::GuardedJar::apply_set_cookie_headers`), which
+    /// also handles guard bookkeeping and instrumentation; this raw
+    /// entry point remains for fixtures and storage-level tests.
+    #[doc(hidden)]
     pub fn set_from_header(
         &mut self,
         sc: &SetCookie,
         url: &Url,
         now_ms: i64,
     ) -> Result<(), SetCookieError> {
-        self.store(sc, url, now_ms, true)
+        self.store(sc, url, now_ms, true, None).map(|_| ())
+    }
+
+    /// [`CookieJar::set_from_header`] with a pre-resolved [`ShardPin`]
+    /// for `url`'s host (the access layer's per-page HTTP path).
+    #[doc(hidden)]
+    pub fn set_from_header_pinned(
+        &mut self,
+        pin: &ShardPin,
+        sc: &SetCookie,
+        url: &Url,
+        now_ms: i64,
+    ) -> Result<(), SetCookieError> {
+        self.store(sc, url, now_ms, true, Some(pin)).map(|_| ())
     }
 
     /// Stores a cookie written through `document.cookie = "…"` or
@@ -165,28 +227,68 @@ impl CookieJar {
     ///
     /// Returns the stored cookie on success so instrumentation can log the
     /// exact stored form.
+    ///
+    /// This is the *storage* step only: script-facing writes in the
+    /// browser must run through `cookieguard_core::GuardedJar`, the one
+    /// enforcement point that also consults the guard and emits the
+    /// instrument event. Direct use is for jar fixtures and
+    /// non-instrumented analytical workloads (e.g. partitioning
+    /// baselines).
     pub fn set_document_cookie(
         &mut self,
         raw: &str,
         url: &Url,
         now_ms: i64,
     ) -> Result<Cookie, SetCookieError> {
+        self.set_document_cookie_impl(raw, url, now_ms, None)
+    }
+
+    /// [`CookieJar::set_document_cookie`] with a pre-resolved
+    /// [`ShardPin`] for `url`'s host (burst path; see [`ShardPin`]).
+    #[doc(hidden)]
+    pub fn set_document_cookie_pinned(
+        &mut self,
+        pin: &ShardPin,
+        raw: &str,
+        url: &Url,
+        now_ms: i64,
+    ) -> Result<Cookie, SetCookieError> {
+        self.set_document_cookie_impl(raw, url, now_ms, Some(pin))
+    }
+
+    /// [`CookieJar::set_document_cookie_pinned`] for a `Set-Cookie`
+    /// string the caller already parsed — the access layer parses once
+    /// for write classification and hands the result straight down.
+    #[doc(hidden)]
+    pub fn set_parsed_document_cookie_pinned(
+        &mut self,
+        pin: &ShardPin,
+        sc: &SetCookie,
+        url: &Url,
+        now_ms: i64,
+    ) -> Result<Cookie, SetCookieError> {
+        self.store_document_cookie(sc, url, now_ms, Some(pin))
+    }
+
+    fn set_document_cookie_impl(
+        &mut self,
+        raw: &str,
+        url: &Url,
+        now_ms: i64,
+        pin: Option<&ShardPin>,
+    ) -> Result<Cookie, SetCookieError> {
         let sc = parse_set_cookie(raw).ok_or(SetCookieError::Unparseable)?;
-        self.store(&sc, url, now_ms, false)?;
-        // store() succeeded, so the cookie it stored is the most recently
-        // sequenced match in the host's shard.
-        let host = url.host_str();
-        let c = self
-            .shard_for_host(&host)
-            .and_then(|shard| {
-                shard
-                    .iter()
-                    .filter(|s| s.cookie.name == sc.name && s.cookie.domain_matches(&host))
-                    .max_by_key(|s| s.seq)
-            })
-            .map(|s| s.cookie.clone())
-            .expect("cookie just stored");
-        Ok(c)
+        self.store_document_cookie(&sc, url, now_ms, pin)
+    }
+
+    fn store_document_cookie(
+        &mut self,
+        sc: &SetCookie,
+        url: &Url,
+        now_ms: i64,
+        pin: Option<&ShardPin>,
+    ) -> Result<Cookie, SetCookieError> {
+        self.store(sc, url, now_ms, false, pin)
     }
 
     fn store(
@@ -195,7 +297,8 @@ impl CookieJar {
         url: &Url,
         now_ms: i64,
         http_api: bool,
-    ) -> Result<(), SetCookieError> {
+        pin: Option<&ShardPin>,
+    ) -> Result<Cookie, SetCookieError> {
         let host = url.host_str();
         validate_set(sc, url, &host, http_api)?;
         let cookie = Cookie::from_set_cookie(sc, &host, &default_path(&url.path), now_ms);
@@ -203,7 +306,10 @@ impl CookieJar {
         // The cookie's domain and the setting host share an eTLD+1 (the
         // Domain checks above guarantee it), so the shard id is computed
         // from the stored domain.
-        let shard_id = intern::shard_id_for_host(&cookie.domain);
+        let shard_id = match pin {
+            Some(p) => p.shard_for_domain(&cookie.domain),
+            None => intern::shard_id_for_host(&cookie.domain),
+        };
         let shard = self.shards.entry(shard_id).or_default();
 
         // Replace any cookie with the same (name, domain, path) identity.
@@ -219,18 +325,15 @@ impl CookieJar {
             let created = existing.cookie.created_at_ms;
             existing.cookie = cookie;
             existing.cookie.created_at_ms = created;
-            let (name, value, http_only) = (
-                existing.cookie.name.clone(),
-                existing.cookie.value.clone(),
-                existing.cookie.http_only,
-            );
+            let stored = existing.cookie.clone();
             self.changes.push(CookieChange {
-                name,
-                value,
+                name: stored.name.clone(),
+                value: stored.value.clone(),
                 cause: ChangeCause::Replaced,
-                http_only,
+                http_only: stored.http_only,
                 at_ms: now_ms,
             });
+            Ok(stored)
         } else {
             self.changes.push(CookieChange {
                 name: cookie.name.clone(),
@@ -239,21 +342,39 @@ impl CookieJar {
                 http_only: cookie.http_only,
                 at_ms: now_ms,
             });
+            let stored = cookie.clone();
             let seq = self.next_seq;
             self.next_seq += 1;
             shard.push(StoredCookie { seq, cookie });
             self.total += 1;
             self.evict_if_needed(shard_id, now_ms);
+            Ok(stored)
         }
-        Ok(())
     }
 
     /// Expires a cookie immediately (what `cookieStore.delete` and the
     /// `expires-in-the-past` JS idiom do). Returns true when a visible
     /// cookie was removed.
+    ///
+    /// Script-facing deletions in the browser run through
+    /// `cookieguard_core::GuardedJar::delete`, which consults the guard
+    /// and emits the instrument event; this raw entry point remains for
+    /// fixtures and storage-level tests.
+    #[doc(hidden)]
     pub fn delete(&mut self, name: &str, url: &Url, now_ms: i64) -> bool {
+        let shard_id = intern::shard_id_for_host(&url.host_str());
+        self.delete_in_shard(shard_id, name, url, now_ms)
+    }
+
+    /// [`CookieJar::delete`] with a pre-resolved [`ShardPin`] for
+    /// `url`'s host (burst path; see [`ShardPin`]).
+    #[doc(hidden)]
+    pub fn delete_pinned(&mut self, pin: &ShardPin, name: &str, url: &Url, now_ms: i64) -> bool {
+        self.delete_in_shard(pin.id, name, url, now_ms)
+    }
+
+    fn delete_in_shard(&mut self, shard_id: DomainId, name: &str, url: &Url, now_ms: i64) -> bool {
         let host = url.host_str();
-        let shard_id = intern::shard_id_for_host(&host);
         let Some(shard) = self.shards.get_mut(&shard_id) else {
             return false;
         };
@@ -351,9 +472,28 @@ impl CookieJar {
     /// Only the host's eTLD+1 shard is scanned; the rest of the jar is
     /// never touched.
     pub fn cookies_for_document(&self, url: &Url, now_ms: i64) -> Vec<Cookie> {
+        self.document_view(self.shard_for_host(&url.host_str()), url, now_ms)
+    }
+
+    /// [`CookieJar::cookies_for_document`] with a pre-resolved
+    /// [`ShardPin`] for `url`'s host (burst path; see [`ShardPin`]).
+    pub fn cookies_for_document_pinned(
+        &self,
+        pin: &ShardPin,
+        url: &Url,
+        now_ms: i64,
+    ) -> Vec<Cookie> {
+        self.document_view(self.shards.get(&pin.id), url, now_ms)
+    }
+
+    fn document_view(
+        &self,
+        shard: Option<&Vec<StoredCookie>>,
+        url: &Url,
+        now_ms: i64,
+    ) -> Vec<Cookie> {
         let host = url.host_str();
-        let mut matching: Vec<Cookie> = self
-            .shard_for_host(&host)
+        let mut matching: Vec<Cookie> = shard
             .map(|shard| {
                 shard
                     .iter()
@@ -445,7 +585,7 @@ impl CookieJar {
                         !c.is_expired(now_ms)
                             && c.domain_matches(&host)
                             && c.path_matches(&url.path)
-                            && (!c.secure || url.scheme == "https")
+                            && url.scheme == "https"
                             && c.same_site == Some(cg_http::SameSite::None)
                             && c.secure
                     })
@@ -992,6 +1132,65 @@ mod tests {
             evicted,
             vec!["c0", "c1", "c2"],
             "eviction order is oldest-first"
+        );
+    }
+
+    #[test]
+    fn pinned_ops_match_unpinned() {
+        // The shard-pinned burst variants are pure fast paths: identical
+        // results and identical jar state, including the Domain-attribute
+        // case where the stored domain differs from the document host.
+        let u = url("https://www.pin-site.com/a/b");
+        let pin = ShardPin::for_host(&u.host_str());
+        let mut pinned = CookieJar::new();
+        let mut plain = CookieJar::new();
+        let raws = [
+            "a=1",
+            "b=2; Domain=pin-site.com",
+            "deep=3; Path=/a",
+            "a=9", // replacement
+        ];
+        for (i, raw) in raws.iter().enumerate() {
+            let p = pinned.set_document_cookie_pinned(&pin, raw, &u, i as i64);
+            let q = plain.set_document_cookie(raw, &u, i as i64);
+            assert_eq!(p, q, "store diverged for {raw}");
+        }
+        assert_eq!(
+            pinned.cookies_for_document_pinned(&pin, &u, 10),
+            plain.cookies_for_document(&u, 10)
+        );
+        assert_eq!(
+            pinned.delete_pinned(&pin, "a", &u, 11),
+            plain.delete("a", &u, 11)
+        );
+        assert_eq!(
+            pinned.delete_pinned(&pin, "missing", &u, 11),
+            plain.delete("missing", &u, 11)
+        );
+        assert_eq!(pinned.len(), plain.len());
+        assert_eq!(pinned.changes(), plain.changes());
+        assert_eq!(
+            serde_json::to_string(&pinned).unwrap(),
+            serde_json::to_string(&plain).unwrap()
+        );
+    }
+
+    #[test]
+    fn pin_resolves_subdomains_to_one_shard() {
+        let www = ShardPin::for_host("www.pin-two.com");
+        let mut jar = CookieJar::new();
+        let u = url("https://www.pin-two.com/");
+        jar.set_document_cookie_pinned(&www, "x=1; Domain=pin-two.com", &u, 0)
+            .unwrap();
+        // The sibling host reads the same shard through its own pin.
+        let api = ShardPin::for_host("api.pin-two.com");
+        let au = url("https://api.pin-two.com/");
+        assert_eq!(
+            jar.cookies_for_document_pinned(&api, &au, 1)
+                .iter()
+                .map(|c| c.pair())
+                .collect::<Vec<_>>(),
+            vec!["x=1".to_string()]
         );
     }
 

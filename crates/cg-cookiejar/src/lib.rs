@@ -24,7 +24,7 @@ pub mod store;
 pub use changes::{ChangeCause, CookieChange};
 pub use cookie::Cookie;
 pub use flat::FlatJar;
-pub use jar::{CookieJar, SetCookieError};
+pub use jar::{CookieJar, SetCookieError, ShardPin};
 pub use store::{CookieListItem, CookieStore};
 
 #[cfg(test)]

@@ -104,6 +104,32 @@ pub struct RequestEvent {
     pub time_ms: u64,
 }
 
+impl RequestEvent {
+    /// Builds the event for an observed outbound request, deriving the
+    /// destination/initiator eTLD+1 fields the analysis consumes.
+    /// `cookie_header` is the `Cookie:` value the browser attached
+    /// (None or empty = nothing matched).
+    pub fn observed(
+        url: &str,
+        kind: RequestKind,
+        initiator_url: Option<&cg_url::Url>,
+        first_party: &str,
+        cookie_header: Option<&str>,
+        time_ms: u64,
+    ) -> RequestEvent {
+        RequestEvent {
+            url: url.to_string(),
+            dest_domain: cg_url::url_domain(url),
+            kind,
+            initiator: initiator_url.and_then(|u| u.registrable_domain()),
+            initiator_url: initiator_url.map(|u| u.to_string()),
+            first_party: first_party.to_string(),
+            cookie_header: cookie_header.filter(|h| !h.is_empty()).map(str::to_string),
+            time_ms,
+        }
+    }
+}
+
 /// A functional-probe outcome (breakage evaluation).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProbeEvent {
@@ -152,6 +178,22 @@ pub struct ScriptInclusion {
     pub domain: Option<String>,
     /// Present in served markup (`true`) vs dynamically injected.
     pub direct: bool,
+}
+
+impl ScriptInclusion {
+    /// Builds the inclusion record for a script URL (`None` = inline),
+    /// deriving its eTLD+1.
+    pub fn observed(url: Option<&str>, direct: bool) -> ScriptInclusion {
+        let (url_s, domain) = match url {
+            Some(u) => (u.to_string(), cg_url::url_domain(u)),
+            None => ("<inline>".to_string(), None),
+        };
+        ScriptInclusion {
+            url: url_s,
+            domain,
+            direct,
+        }
+    }
 }
 
 /// Everything recorded during one site visit.

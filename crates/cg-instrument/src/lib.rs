@@ -12,9 +12,11 @@
 
 pub mod events;
 pub mod recorder;
+pub mod sink;
 
 pub use events::{
     AttrChangeFlags, CookieApi, DomEvent, ProbeEvent, ReadEvent, RequestEvent, ScriptInclusion,
     SetEvent, VisitLog, WriteKind,
 };
 pub use recorder::Recorder;
+pub use sink::{EventSink, NullSink};

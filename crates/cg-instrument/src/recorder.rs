@@ -5,12 +5,43 @@ use crate::events::{
     AttrChangeFlags, CookieApi, DomEvent, ProbeEvent, ReadEvent, RequestEvent, ScriptInclusion,
     SetEvent, VisitLog, WriteKind,
 };
+use crate::sink::EventSink;
 use cg_url::Url;
 
 /// Accumulates one visit's instrumentation log.
+///
+/// The runtime feeds it through the [`EventSink`] trait; the positional
+/// `record_*` helpers below remain as convenience constructors for
+/// tests and analysis fixtures.
 #[derive(Debug, Default)]
 pub struct Recorder {
     log: VisitLog,
+}
+
+impl EventSink for Recorder {
+    fn cookie_set(&mut self, event: SetEvent) {
+        self.log.sets.push(event);
+    }
+
+    fn cookie_read(&mut self, event: ReadEvent) {
+        self.log.reads.push(event);
+    }
+
+    fn request(&mut self, event: RequestEvent) {
+        self.log.requests.push(event);
+    }
+
+    fn probe(&mut self, event: ProbeEvent) {
+        self.log.probes.push(event);
+    }
+
+    fn dom_mutation(&mut self, event: DomEvent) {
+        self.log.dom_events.push(event);
+    }
+
+    fn inclusion(&mut self, event: ScriptInclusion) {
+        self.log.inclusions.push(event);
+    }
 }
 
 impl Recorder {
@@ -87,17 +118,14 @@ impl Recorder {
         cookie_header: Option<&str>,
         time_ms: u64,
     ) {
-        let dest_domain = cg_url::url_domain(url);
-        self.log.requests.push(RequestEvent {
-            url: url.to_string(),
-            dest_domain,
+        self.log.requests.push(RequestEvent::observed(
+            url,
             kind,
-            initiator: initiator_url.and_then(|u| u.registrable_domain()),
-            initiator_url: initiator_url.map(|u| u.to_string()),
-            first_party: first_party.to_string(),
-            cookie_header: cookie_header.filter(|h| !h.is_empty()).map(str::to_string),
+            initiator_url,
+            first_party,
+            cookie_header,
             time_ms,
-        });
+        ));
     }
 
     /// Records a functional-probe outcome.
@@ -122,15 +150,9 @@ impl Recorder {
 
     /// Records a script inclusion.
     pub fn record_inclusion(&mut self, url: Option<&str>, direct: bool) {
-        let (url_s, domain) = match url {
-            Some(u) => (u.to_string(), cg_url::url_domain(u)),
-            None => ("<inline>".to_string(), None),
-        };
-        self.log.inclusions.push(ScriptInclusion {
-            url: url_s,
-            domain,
-            direct,
-        });
+        self.log
+            .inclusions
+            .push(ScriptInclusion::observed(url, direct));
     }
 
     /// Finishes recording and returns the log.

@@ -8,6 +8,13 @@
 //! measurements are discarded; a fraction of visits fails outright, so
 //! the final population is smaller than the crawl range (the paper pairs
 //! 8,171 of 10,000).
+//!
+//! Both conditions run through [`cg_browser::visit_site`], whose cookie
+//! traffic is mediated end to end by the access layer
+//! (`cookieguard_core::GuardedJar`): the guarded condition attaches a
+//! session to it, the baseline runs it guard-less. The overhead this
+//! module measures is therefore exactly the enforcement cost at the
+//! single chokepoint, not a per-call-site re-implementation of it.
 
 pub mod paired;
 

@@ -158,6 +158,19 @@ impl GuardSession {
         visible
     }
 
+    /// Accounts for a read served from a still-valid cached post-filter
+    /// view (the access layer's batch path): bumps the same counters
+    /// [`GuardSession::filter_read`] would have, so per-op and batch
+    /// access produce identical [`GuardStats`].
+    pub fn note_cached_read(&mut self, filtered_count: usize) {
+        if filtered_count > 0 {
+            self.stats.reads_filtered += 1;
+            self.stats.cookies_filtered += filtered_count as u64;
+        } else {
+            self.stats.reads_clean += 1;
+        }
+    }
+
     /// Name-only variant of [`GuardSession::filter_read`] for callers
     /// that work with cookie names (tests, policy probing).
     pub fn filter_names(&mut self, caller: &Caller, names: &[String]) -> Vec<String> {
@@ -270,6 +283,12 @@ impl CookieGuard {
     /// The underlying session.
     pub fn session(&self) -> &GuardSession {
         &self.session
+    }
+
+    /// Mutable access to the underlying session — what the access layer
+    /// ([`crate::GuardedJar`]) borrows for the duration of a page.
+    pub fn session_mut(&mut self) -> &mut GuardSession {
+        &mut self.session
     }
 
     /// The shared policy engine.

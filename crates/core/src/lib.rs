@@ -22,6 +22,10 @@
 //!   self-contained guard, [`CookieGuard::with_engine`] to share one
 //!   engine across a crawl. ([`PolicyEngine`] remains as a site-bound
 //!   policy view over an engine.)
+//! * [`GuardedJar`] is the **access layer**: the one sanctioned API
+//!   through which runtime code reads and mutates the jar. It fuses
+//!   policy check, storage mutation, and instrument-event emission so
+//!   no caller re-implements that sequence (see [`access`]).
 //!
 //! # Policy (paper §6.1)
 //!
@@ -57,6 +61,7 @@
 //! assert_eq!(guard.filter_names(&owner, &["_tid".to_string()]).len(), 1);
 //! ```
 
+pub mod access;
 pub mod config;
 pub mod deployment;
 pub mod engine;
@@ -64,6 +69,9 @@ pub mod guard;
 pub mod metadata;
 pub mod policy;
 
+pub use access::{
+    AccessContext, BatchOp, BatchResult, CookieView, GuardedJar, Outcome, SetRequest,
+};
 pub use config::{GuardConfig, InlinePolicy};
 pub use deployment::{DeploymentStage, PrivacyPreset};
 pub use engine::GuardEngine;

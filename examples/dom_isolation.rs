@@ -30,8 +30,10 @@ fn run_page(dom_guard: Option<&mut DomGuard>) -> cookieguard_repro::instrument::
         &mut recorder,
         &injectables,
         7,
-    )
-    .with_dom_guard(dom_guard);
+    );
+    if let Some(g) = dom_guard {
+        page = page.with_dom_guard(g);
+    }
 
     let mut el = EventLoop::new(EPOCH_MS);
     // A widget vendor inserts its own container — always fine — and then

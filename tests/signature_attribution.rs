@@ -60,8 +60,10 @@ fn run(
         &mut recorder,
         &injectables,
         3,
-    )
-    .with_signatures(db);
+    );
+    if let Some(db) = db {
+        page = page.with_signatures(db);
+    }
     let mut el = EventLoop::new(EPOCH);
     // The site's own script sets a session cookie.
     let own = page.register_markup_script(

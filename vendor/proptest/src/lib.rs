@@ -652,6 +652,7 @@ mod tests {
         }
 
         #[test]
+        #[allow(clippy::overly_complex_bool_expr)]
         fn any_bool_compiles(b in any::<bool>()) {
             prop_assert!(b || !b);
         }

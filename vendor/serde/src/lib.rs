@@ -122,7 +122,7 @@ pub trait Deserialize<'de>: Sized {
 
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let content = deserializer.take_content()?;
-        Self::from_content(&content).map_err(|e| <D::Error as de::Error>::custom(e))
+        Self::from_content(&content).map_err(<D::Error as de::Error>::custom)
     }
 }
 
