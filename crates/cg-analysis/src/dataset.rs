@@ -130,16 +130,60 @@ pub struct Dataset {
 }
 
 impl Dataset {
+    /// An empty dataset, ready to be grown one log at a time with
+    /// [`Dataset::fold_log`].
+    pub fn empty() -> Dataset {
+        Dataset {
+            logs: Vec::new(),
+            sites: Vec::new(),
+            crawled: 0,
+        }
+    }
+
+    /// Folds one visit into the dataset: counts it, and — when complete
+    /// — reconstructs ownership and retains it for analysis. This is
+    /// the streaming unit every constructor builds on. Folding from a
+    /// stream avoids ever buffering the *raw* crawl (incomplete visits
+    /// are dropped on the fly and no second `Vec<VisitLog>` copy
+    /// exists), but the dataset still retains every complete log —
+    /// several analyses replay them — so memory grows with the retained
+    /// population, not with crawl order.
+    pub fn fold_log(&mut self, log: VisitLog) {
+        self.crawled += 1;
+        if log.complete {
+            self.sites.push(reconstruct(&log));
+            self.logs.push(log);
+        }
+    }
+
     /// Builds a dataset from raw visit logs, dropping incomplete visits.
     pub fn from_logs(all: Vec<VisitLog>) -> Dataset {
-        let crawled = all.len();
-        let logs: Vec<VisitLog> = all.into_iter().filter(|l| l.complete).collect();
-        let sites = logs.iter().map(reconstruct).collect();
-        Dataset {
-            logs,
-            sites,
-            crawled,
+        let mut ds = Dataset::empty();
+        for log in all {
+            ds.fold_log(log);
         }
+        ds
+    }
+
+    /// Builds a dataset by folding a fallible stream of visit logs —
+    /// e.g. a `cg_crawlstore::CrawlReader` replaying a store in rank
+    /// order. Equivalent to [`Dataset::from_logs`] over the collected
+    /// stream, without ever materializing the crawl.
+    ///
+    /// ```no_run
+    /// # use cg_analysis::Dataset;
+    /// # fn open_reader() -> Vec<Result<cg_instrument::VisitLog, std::io::Error>> { vec![] }
+    /// let ds = Dataset::from_reader(open_reader()).unwrap();
+    /// println!("{} analyzable sites of {}", ds.site_count(), ds.crawled);
+    /// ```
+    pub fn from_reader<E>(
+        logs: impl IntoIterator<Item = Result<VisitLog, E>>,
+    ) -> Result<Dataset, E> {
+        let mut ds = Dataset::empty();
+        for log in logs {
+            ds.fold_log(log?);
+        }
+        Ok(ds)
     }
 
     /// Number of analyzable sites.
@@ -277,5 +321,34 @@ mod tests {
         let ds = Dataset::from_logs(vec![log_with(|_| {}), incomplete.finish()]);
         assert_eq!(ds.crawled, 2);
         assert_eq!(ds.site_count(), 1);
+    }
+
+    #[test]
+    fn from_reader_matches_from_logs() {
+        let mut incomplete = Recorder::new("bad.com", 2);
+        incomplete.mark_incomplete();
+        let logs = vec![
+            log_with(|r| set(r, "a", "1", Some("x.com"), WriteKind::Create)),
+            incomplete.finish(),
+        ];
+        let folded =
+            Dataset::from_reader(logs.clone().into_iter().map(Ok::<_, std::io::Error>)).unwrap();
+        let batch = Dataset::from_logs(logs);
+        assert_eq!(folded.crawled, batch.crawled);
+        assert_eq!(folded.site_count(), batch.site_count());
+        assert_eq!(
+            serde_json::to_string(&folded.logs).unwrap(),
+            serde_json::to_string(&batch.logs).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_reader_propagates_stream_errors() {
+        let items: Vec<Result<VisitLog, String>> =
+            vec![Ok(log_with(|_| {})), Err("torn".to_string())];
+        let Err(e) = Dataset::from_reader(items) else {
+            panic!("stream error must propagate");
+        };
+        assert_eq!(e, "torn");
     }
 }

@@ -177,6 +177,10 @@ impl ExfilAnalysis {
                 .cmp(&a.destination_entities)
                 .then(b.exfiltrator_entities.cmp(&a.exfiltrator_entities))
                 .then(a.cookie.cmp(&b.cookie))
+                // Owner completes the pair key: without it, equal-count
+                // same-name pairs order by HashMap iteration and the
+                // report is not byte-reproducible across runs.
+                .then(a.owner.cmp(&b.owner))
         });
         rows.truncate(n);
         rows

@@ -177,6 +177,11 @@ impl ManipulationAnalysis {
             b.manipulator_entities
                 .cmp(&a.manipulator_entities)
                 .then(a.cookie.cmp(&b.cookie))
+                // Same name + same count happens across owners (many
+                // sites' `_ga`): tie-break on owner too, or the order
+                // is HashMap-iteration noise and runs stop being
+                // byte-reproducible.
+                .then(a.owner.cmp(&b.owner))
         });
         rows.truncate(n);
         rows

@@ -25,7 +25,7 @@ pub mod page;
 pub mod timing;
 pub mod visit;
 
-pub use crawler::{crawl_range, CrawlSummary};
+pub use crawler::{crawl_into, crawl_range, CrawlSummary, SinkWorker, VecCollector, VisitSink};
 pub use page::Page;
 pub use timing::{simulate_timing, PageTiming};
 pub use visit::{visit_site, visit_site_with_jar, VisitConfig, VisitOutcome};

@@ -89,6 +89,68 @@ impl VisitConfig {
         self.dom_guard = Some(config);
         self
     }
+
+    /// A stable digest of everything in this config that can change a
+    /// visit's outcome. Two configs with equal fingerprints produce
+    /// identical [`VisitOutcome`]s for every (master seed, rank) — the
+    /// property the crawl store's checkpoint manifest relies on to
+    /// decide whether a directory may be resumed into.
+    ///
+    /// The digest is computed over a canonical encoding (sets sorted
+    /// before hashing), so it is reproducible across processes.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut canon = String::new();
+        match &self.guard {
+            None => canon.push_str("guard:none;"),
+            Some(engine) => {
+                let cfg = engine.config();
+                let _ = write!(canon, "guard:{:?};", cfg.inline_policy);
+                let mut wl: Vec<&str> = cfg.whitelist.iter().map(String::as_str).collect();
+                wl.sort_unstable();
+                let _ = write!(canon, "wl:{wl:?};");
+                match &cfg.entity_map {
+                    None => canon.push_str("entities:none;"),
+                    Some(map) => {
+                        let mut pairs: Vec<(&str, &str)> = map.iter().collect();
+                        pairs.sort_unstable();
+                        let _ = write!(canon, "entities:{pairs:?};");
+                    }
+                }
+            }
+        }
+        match &self.dom_guard {
+            None => canon.push_str("dom:none;"),
+            Some(dg) => {
+                let _ = write!(canon, "dom:{:?};", dg.inline_policy);
+                let mut wl: Vec<&str> = dg.whitelist.iter().map(String::as_str).collect();
+                wl.sort_unstable();
+                let mut kinds: Vec<String> =
+                    dg.enforced_kinds.iter().map(|k| format!("{k:?}")).collect();
+                kinds.sort_unstable();
+                let _ = write!(canon, "dwl:{wl:?};kinds:{kinds:?};");
+                match &dg.entity_map {
+                    None => canon.push_str("dentities:none;"),
+                    Some(map) => {
+                        let mut pairs: Vec<(&str, &str)> = map.iter().collect();
+                        pairs.sort_unstable();
+                        let _ = write!(canon, "dentities:{pairs:?};");
+                    }
+                }
+            }
+        }
+        let _ = write!(
+            canon,
+            "grandfather:{};interact:{};epoch:{};max_ops:{};cnames:{};csp:{}",
+            self.grandfather_preexisting,
+            self.interact,
+            self.wall_epoch_ms,
+            self.max_ops,
+            self.resolve_cnames,
+            self.enforce_csp
+        );
+        cg_hash::sha1_hex(canon.as_bytes())
+    }
 }
 
 /// Everything a visit produces.
@@ -420,6 +482,47 @@ mod tests {
         assert_eq!(gated.csp_blocked, 0, "full-stack policy lists every host");
         assert_eq!(gated.log.sets, plain.log.sets);
         assert_eq!(gated.log.requests, plain.log.requests);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        use cookieguard_core::GuardConfig;
+        // Stable: independent constructions of the same config agree,
+        // including set-valued knobs (HashSet/HashMap iteration order
+        // must not leak into the digest).
+        let entity_cfg = || {
+            let mut map = cg_entity::EntityMap::new();
+            map.insert("b.com", "B");
+            map.insert("a.com", "A");
+            VisitConfig::guarded(
+                GuardConfig::strict()
+                    .with_entity_grouping(map)
+                    .with_whitelisted("x.com")
+                    .with_whitelisted("y.com"),
+            )
+        };
+        assert_eq!(entity_cfg().fingerprint(), entity_cfg().fingerprint());
+        assert_eq!(
+            VisitConfig::regular().fingerprint(),
+            VisitConfig::regular().fingerprint()
+        );
+        // Discriminating: outcome-relevant knobs change the digest.
+        let base = VisitConfig::regular();
+        assert_ne!(base.fingerprint(), entity_cfg().fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            VisitConfig {
+                interact: false,
+                ..VisitConfig::regular()
+            }
+            .fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            VisitConfig::regular()
+                .with_dom_guard(cg_domguard::DomGuardConfig::strict())
+                .fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The crawl store: an append-only, segmented, on-disk log of
+//! [`VisitLog`](cg_instrument::VisitLog)s that makes a crawl durable,
+//! resumable, and analyzable without ever materializing it in memory.
+//!
+//! At production scale a crawl runs for days and produces datasets
+//! larger than RAM; a process death must not lose work. The store
+//! provides exactly the three properties that requires:
+//!
+//! * **Contention-free appends** — [`CrawlWriter`] hands every crawl
+//!   worker its own **fresh** segment file (`seg-<n>.jsonl`, one
+//!   compact `serde_json` line per visit, fsync'd in batches), so the
+//!   hot path takes no cross-worker lock. Fresh files also make every
+//!   segment an internally rank-sorted run — a resume back-fills
+//!   missing ranks into new segments instead of appending low ranks
+//!   behind high ones, which is what keeps the reader's merge correct.
+//! * **Checkpointing** — `manifest.json` records the crawl's config
+//!   fingerprint (master seed, rank range, visit-config digest) plus a
+//!   per-segment durability watermark. Reopening an existing directory
+//!   validates the fingerprint, truncates any torn trailing line left
+//!   by a crash, and returns the set of already-completed ranks, so a
+//!   resumed crawl skips finished work and — because every visit is a
+//!   pure function of (master seed, rank, visit config) — converges to
+//!   byte-identical output versus an uninterrupted run.
+//! * **Streaming reads** — [`CrawlReader`] replays the store
+//!   rank-ordered via a k-way merge over the segment files, holding one
+//!   record per segment in memory. `Dataset::from_reader` in
+//!   `cg-analysis` folds that stream incrementally.
+//!
+//! ```no_run
+//! use cg_browser::{crawl_into, VisitConfig};
+//! use cg_crawlstore::{open_store, CrawlReader};
+//! use cg_webgen::{GenConfig, WebGenerator};
+//!
+//! let gen = WebGenerator::new(GenConfig::small(1_000), 0xC00C1E);
+//! let cfg = VisitConfig::regular();
+//! // Open (or resume) the store; already-done ranks are skipped.
+//! let store = open_store("/tmp/crawl", &gen, &cfg, 1, 1_000).unwrap();
+//! crawl_into(&gen, &cfg, 1, 1_000, 8, &store).unwrap();
+//! // Stream it back, rank-ordered, without loading the crawl.
+//! for log in CrawlReader::open("/tmp/crawl").unwrap() {
+//!     let log = log.unwrap();
+//!     println!("{} rank {}", log.site_domain, log.rank);
+//! }
+//! ```
+
+pub mod manifest;
+pub mod reader;
+pub mod writer;
+
+pub use manifest::{Fingerprint, Manifest, SegmentMeta, MANIFEST_FILE};
+pub use reader::CrawlReader;
+pub use writer::{crawl_to_store, open_store, CrawlWriter, SegmentWriter, StoreCrawl, StoreStats};
+
+use std::fmt;
+
+/// Everything that can go wrong talking to a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A manifest or record failed to parse where truncation recovery
+    /// does not apply (mid-file damage, bad manifest).
+    Corrupt {
+        /// File the damage was found in.
+        file: String,
+        /// What failed.
+        detail: String,
+    },
+    /// The directory holds a crawl with a different config fingerprint —
+    /// resuming would interleave incompatible visits.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the manifest.
+        found: Box<Fingerprint>,
+        /// Fingerprint of the crawl being opened.
+        expected: Box<Fingerprint>,
+    },
+    /// Another live writer holds the store's directory lock; a second
+    /// appender would interleave half-records into its segments.
+    Locked {
+        /// The contested store directory.
+        dir: std::path::PathBuf,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "crawl store I/O error: {e}"),
+            StoreError::Corrupt { file, detail } => {
+                write!(f, "crawl store corrupt ({file}): {detail}")
+            }
+            StoreError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "crawl store fingerprint mismatch: directory holds {found:?}, crawl is {expected:?}"
+            ),
+            StoreError::Locked { dir } => write!(
+                f,
+                "crawl store {} is locked by another writer",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for std::io::Error {
+    fn from(e: StoreError) -> std::io::Error {
+        match e {
+            StoreError::Io(e) => e,
+            other => std::io::Error::other(other.to_string()),
+        }
+    }
+}

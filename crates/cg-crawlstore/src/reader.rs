@@ -1,0 +1,424 @@
+//! The streaming read path: a rank-ordered k-way merge over segment
+//! files, holding one record per segment in memory.
+
+use crate::manifest::{Fingerprint, Manifest};
+use crate::StoreError;
+use cg_instrument::VisitLog;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+/// One buffered record: the head of one segment's stream.
+struct Head {
+    rank: u64,
+    seg: usize,
+    raw: String,
+    value: serde_json::Value,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Head) -> bool {
+        (self.rank, self.seg) == (other.rank, other.seg)
+    }
+}
+impl Eq for Head {}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Head) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Head) -> std::cmp::Ordering {
+        (self.rank, self.seg).cmp(&(other.rank, other.seg))
+    }
+}
+
+/// Streams a store's [`VisitLog`]s back in rank order without
+/// materializing the crawl: a k-way merge whose memory footprint is one
+/// record per segment, independent of crawl size.
+///
+/// ```no_run
+/// use cg_crawlstore::CrawlReader;
+///
+/// let reader = CrawlReader::open("crawl-dir").unwrap();
+/// for log in reader {
+///     let log = log.unwrap(); // rank-ordered
+///     if log.complete {
+///         // feed an incremental analysis…
+///     }
+/// }
+/// ```
+/// Per-segment read state.
+struct Segment {
+    name: String,
+    file: BufReader<File>,
+    /// Durable records per the manifest watermark — the read bound.
+    /// Bytes past it (a mid-flush batch of a live writer, a torn tail
+    /// after a crash) are not yet part of the store's durable content.
+    remaining: u64,
+    /// Last rank pulled: the k-way merge is only correct over
+    /// internally sorted runs, so a descending rank inside one segment
+    /// is store corruption, not something to silently misorder.
+    last_rank: Option<u64>,
+}
+
+pub struct CrawlReader {
+    fingerprint: Fingerprint,
+    segments: Vec<Segment>,
+    heap: BinaryHeap<Reverse<Head>>,
+    /// Set once a segment errors; the iterator then fuses.
+    failed: bool,
+}
+
+impl CrawlReader {
+    /// Opens the store at `dir` for streaming. Requires a manifest (the
+    /// store must have been created by [`CrawlWriter`](crate::CrawlWriter)),
+    /// and reads exactly the manifest's durable watermark of every
+    /// listed segment: anything short of it is corruption (an error,
+    /// never a silently smaller dataset), anything past it — e.g. a
+    /// live writer's in-flight batch — is not yet durable and is left
+    /// alone. Re-open after the next checkpoint to see more.
+    pub fn open(dir: impl AsRef<Path>) -> Result<CrawlReader, StoreError> {
+        let dir: PathBuf = dir.as_ref().to_path_buf();
+        let manifest = Manifest::load(&dir)?.ok_or_else(|| StoreError::Corrupt {
+            file: crate::MANIFEST_FILE.to_string(),
+            detail: format!("no manifest in {}", dir.display()),
+        })?;
+        let mut segments = Vec::new();
+        for meta in &manifest.segments {
+            let file = File::open(dir.join(&meta.file)).map_err(|e| StoreError::Corrupt {
+                file: meta.file.clone(),
+                detail: format!("manifest lists segment but it cannot be opened: {e}"),
+            })?;
+            segments.push(Segment {
+                name: meta.file.clone(),
+                file: BufReader::new(file),
+                remaining: meta.synced_records,
+                last_rank: None,
+            });
+        }
+        let mut reader = CrawlReader {
+            fingerprint: manifest.fingerprint,
+            segments,
+            heap: BinaryHeap::new(),
+            failed: false,
+        };
+        for i in 0..reader.segments.len() {
+            if let Some(head) = reader.pull(i)? {
+                reader.heap.push(Reverse(head));
+            }
+        }
+        Ok(reader)
+    }
+
+    /// The crawl this store belongs to.
+    pub fn fingerprint(&self) -> &Fingerprint {
+        &self.fingerprint
+    }
+
+    /// Reads the next durable record of segment `seg`; `Ok(None)` once
+    /// the manifest watermark is exhausted. Anything less than the
+    /// watermark's worth of complete records is corruption.
+    fn pull(&mut self, seg: usize) -> Result<Option<Head>, StoreError> {
+        let segment = &mut self.segments[seg];
+        if segment.remaining == 0 {
+            return Ok(None);
+        }
+        let mut raw = String::new();
+        let n = segment.file.read_line(&mut raw)?;
+        if n == 0 || !raw.ends_with('\n') {
+            // EOF or a torn line *below* the durable watermark: records
+            // the manifest promises are missing.
+            return Err(StoreError::Corrupt {
+                file: segment.name.clone(),
+                detail: format!(
+                    "segment ends {} records short of its manifest watermark",
+                    segment.remaining
+                ),
+            });
+        }
+        segment.remaining -= 1;
+        raw.pop();
+        let value: serde_json::Value =
+            serde_json::from_str(&raw).map_err(|e| StoreError::Corrupt {
+                file: segment.name.clone(),
+                detail: e.to_string(),
+            })?;
+        let rank =
+            value
+                .get("rank")
+                .and_then(|r| r.as_u64())
+                .ok_or_else(|| StoreError::Corrupt {
+                    file: segment.name.clone(),
+                    detail: "record without a rank".to_string(),
+                })?;
+        if let Some(prev) = segment.last_rank {
+            if rank <= prev {
+                // The k-way merge is only correct over internally
+                // sorted runs; the writer guarantees this by giving
+                // every handle a fresh file. A descending rank means
+                // the store was written some other way — refuse rather
+                // than silently emit out of order.
+                return Err(StoreError::Corrupt {
+                    file: segment.name.clone(),
+                    detail: format!("segment not rank-sorted (rank {rank} after {prev})"),
+                });
+            }
+        }
+        segment.last_rank = Some(rank);
+        Ok(Some(Head {
+            rank,
+            seg,
+            raw,
+            value,
+        }))
+    }
+
+    /// Pops the lowest-rank head and refills from its segment.
+    fn pop_head(&mut self) -> Option<Result<Head, StoreError>> {
+        if self.failed {
+            return None;
+        }
+        let Reverse(head) = self.heap.pop()?;
+        match self.pull(head.seg) {
+            Ok(Some(next)) => self.heap.push(Reverse(next)),
+            Ok(None) => {}
+            Err(e) => {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        }
+        Some(Ok(head))
+    }
+
+    /// The rank-ordered raw JSONL lines (newlines stripped). Two stores
+    /// of the same crawl are equivalent iff these streams are
+    /// byte-identical — the durability tests' oracle.
+    pub fn raw_lines(self) -> RawLines {
+        RawLines(self)
+    }
+}
+
+impl Iterator for CrawlReader {
+    type Item = Result<VisitLog, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let head = match self.pop_head()? {
+            Ok(h) => h,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(
+            serde_json::from_value(head.value).map_err(|e| StoreError::Corrupt {
+                file: self.segments[head.seg].name.clone(),
+                detail: e.to_string(),
+            }),
+        )
+    }
+}
+
+/// Iterator over a store's merged raw JSONL lines (see
+/// [`CrawlReader::raw_lines`]).
+pub struct RawLines(CrawlReader);
+
+impl Iterator for RawLines {
+    type Item = Result<String, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.0.pop_head()?.map(|h| h.raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::CrawlWriter;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cg-reader-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fp() -> Fingerprint {
+        Fingerprint {
+            master_seed: 1,
+            from: 1,
+            to: 100,
+            visit_config: "cfg".into(),
+            generator: "gen".into(),
+        }
+    }
+
+    fn log(rank: usize) -> VisitLog {
+        VisitLog {
+            site_domain: format!("site{rank}.com"),
+            rank,
+            complete: !rank.is_multiple_of(3),
+            ..VisitLog::default()
+        }
+    }
+
+    #[test]
+    fn merge_is_rank_ordered_across_segments() {
+        let dir = tmp_dir("merge");
+        let store = CrawlWriter::open(&dir, fp()).unwrap();
+        // Interleave ranks across three segments, none sorted globally.
+        let mut segs = [
+            store.segment().unwrap(),
+            store.segment().unwrap(),
+            store.segment().unwrap(),
+        ];
+        for rank in 1..=30usize {
+            segs[rank % 3].record(&log(rank)).unwrap();
+        }
+        for seg in segs {
+            seg.finish().unwrap();
+        }
+        let ranks: Vec<usize> = CrawlReader::open(&dir)
+            .unwrap()
+            .map(|l| l.unwrap().rank)
+            .collect();
+        assert_eq!(ranks, (1..=30).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn raw_lines_match_reserialized_logs() {
+        let dir = tmp_dir("raw");
+        let store = CrawlWriter::open(&dir, fp()).unwrap();
+        let mut seg = store.segment().unwrap();
+        for rank in [5usize, 7, 9] {
+            seg.record(&log(rank)).unwrap();
+        }
+        seg.finish().unwrap();
+        let raw: Vec<String> = CrawlReader::open(&dir)
+            .unwrap()
+            .raw_lines()
+            .map(|l| l.unwrap())
+            .collect();
+        let reser: Vec<String> = CrawlReader::open(&dir)
+            .unwrap()
+            .map(|l| serde_json::to_string(&l.unwrap()).unwrap())
+            .collect();
+        assert_eq!(raw, reser);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_backfilled_lower_ranks_merge_in_order() {
+        let dir = tmp_dir("backfill");
+        let store = CrawlWriter::open(&dir, fp()).unwrap();
+        let mut a = store.segment().unwrap();
+        for r in [1usize, 3, 5] {
+            a.record(&log(r)).unwrap();
+        }
+        a.finish().unwrap();
+        let mut b = store.segment().unwrap();
+        for r in [4usize, 6] {
+            b.record(&log(r)).unwrap();
+        }
+        b.finish().unwrap();
+        drop(store);
+        // Resume back-fills the hole (rank 2, below every segment's max
+        // rank) — it lands in a fresh segment, so the merge stays
+        // correct instead of burying 2 behind 5.
+        let store = CrawlWriter::open(&dir, fp()).unwrap();
+        assert!(!store.done_ranks().contains(&2));
+        let mut c = store.segment().unwrap();
+        c.record(&log(2)).unwrap();
+        c.finish().unwrap();
+        drop(store);
+        let ranks: Vec<usize> = CrawlReader::open(&dir)
+            .unwrap()
+            .map(|l| l.unwrap().rank)
+            .collect();
+        assert_eq!(ranks, vec![1, 2, 3, 4, 5, 6]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsorted_segment_is_refused_not_misordered() {
+        let dir = tmp_dir("unsorted");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A hand-written store (as an older or foreign writer might
+        // leave) whose segment violates the sorted-run invariant but
+        // whose manifest claims it durable.
+        std::fs::write(
+            dir.join("seg-7.jsonl"),
+            "{\"rank\":5,\"site_domain\":\"a\",\"complete\":true}\n\
+             {\"rank\":2,\"site_domain\":\"b\",\"complete\":true}\n",
+        )
+        .unwrap();
+        let mut m = Manifest::new(fp());
+        m.segment_mut("seg-7.jsonl").synced_records = 2;
+        m.store(&dir).unwrap();
+        // The reader surfaces the violation instead of emitting records
+        // out of rank order…
+        let results: Vec<_> = match CrawlReader::open(&dir) {
+            Ok(r) => r.collect(),
+            Err(e) => vec![Err(e)],
+        };
+        assert!(
+            results.iter().any(|r| matches!(
+                r,
+                Err(StoreError::Corrupt { detail, .. }) if detail.contains("not rank-sorted")
+            )),
+            "descending rank must surface as corruption, got {results:?}"
+        );
+        // …and writer recovery refuses to adopt the store at all.
+        assert!(matches!(
+            CrawlWriter::open(&dir, fp()),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_refuses_descending_ranks() {
+        let dir = tmp_dir("descend");
+        let store = CrawlWriter::open(&dir, fp()).unwrap();
+        let mut seg = store.segment().unwrap();
+        seg.record(&log(5)).unwrap();
+        assert!(matches!(
+            seg.record(&log(2)),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_refused() {
+        let dir = tmp_dir("nomani");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            CrawlReader::open(&dir),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_when_reading() {
+        let dir = tmp_dir("torntail");
+        let store = CrawlWriter::open(&dir, fp()).unwrap();
+        let mut seg = store.segment().unwrap();
+        seg.record(&log(1)).unwrap();
+        seg.finish().unwrap();
+        drop(store);
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("seg-0.jsonl"))
+            .unwrap();
+        f.write_all(b"{\"half").unwrap();
+        drop(f);
+        let ranks: Vec<usize> = CrawlReader::open(&dir)
+            .unwrap()
+            .map(|l| l.unwrap().rank)
+            .collect();
+        assert_eq!(ranks, vec![1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -76,6 +76,14 @@ impl EntityMap {
         self.domain_to_entity.is_empty()
     }
 
+    /// Every `(domain, entity)` pair, in unspecified order — callers
+    /// needing determinism (config digests) must sort.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.domain_to_entity
+            .iter()
+            .map(|(d, e)| (d.as_str(), e.as_str()))
+    }
+
     /// Merges another map into this one (later insertions win).
     pub fn merge(&mut self, other: &EntityMap) {
         for (d, e) in &other.domain_to_entity {

@@ -2,6 +2,7 @@
 
 use cg_analysis::Dataset;
 use cg_browser::{crawl_range, VisitConfig};
+use cg_crawlstore::{crawl_to_store, CrawlReader};
 use cg_entity::EntityMap;
 use cg_filterlist::FilterEngine;
 use cg_webgen::{GenConfig, WebGenerator};
@@ -15,6 +16,10 @@ pub struct ExperimentOptions {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// When set, the measurement crawl writes through a durable
+    /// `cg_crawlstore` store at this directory and resumes from it when
+    /// it already holds completed ranks (`--store DIR`).
+    pub store: Option<std::path::PathBuf>,
 }
 
 impl Default for ExperimentOptions {
@@ -23,6 +28,7 @@ impl Default for ExperimentOptions {
             sites: 20_000,
             seed: 0xC00C1E,
             threads: num_threads(),
+            store: None,
         }
     }
 }
@@ -49,7 +55,9 @@ pub struct CrawlContext {
 }
 
 impl CrawlContext {
-    /// Generates the ecosystem and performs the regular (no-guard) crawl.
+    /// Generates the ecosystem and performs the regular (no-guard)
+    /// crawl — in memory by default, or through a durable, resumable
+    /// crawl store when `opts.store` is set.
     pub fn collect(opts: &ExperimentOptions) -> CrawlContext {
         let cfg = if opts.sites >= 20_000 {
             GenConfig::default()
@@ -59,15 +67,49 @@ impl CrawlContext {
         let gen = WebGenerator::new(cfg, opts.seed);
         let engine = cg_analysis::build_filter_engine(gen.registry());
         let entities = cg_entity::builtin_entity_map();
-        let (outcomes, summary) =
-            crawl_range(&gen, &VisitConfig::regular(), 1, opts.sites, opts.threads);
-        let dataset = Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect());
+        let visit_cfg = VisitConfig::regular();
+        let (dataset, crawled) = match &opts.store {
+            None => {
+                let (outcomes, summary) =
+                    crawl_range(&gen, &visit_cfg, 1, opts.sites, opts.threads);
+                let dataset = Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect());
+                (dataset, summary.visited)
+            }
+            Some(dir) => {
+                // Durable path: write-through store, resumed when the
+                // directory already holds this crawl's fingerprint, then
+                // a streaming rank-ordered replay into the dataset.
+                crawl_to_store(
+                    dir,
+                    &gen,
+                    &visit_cfg,
+                    1,
+                    opts.sites,
+                    opts.threads,
+                    |store| {
+                        let resumed = store.done_ranks().len();
+                        if resumed > 0 {
+                            eprintln!(
+                                "[crawl] resuming: {resumed} ranks already durable in the store"
+                            );
+                        }
+                    },
+                )
+                .unwrap_or_else(|e| panic!("crawl store {}: {e}", dir.display()));
+                let reader = CrawlReader::open(dir)
+                    .unwrap_or_else(|e| panic!("reading crawl store {}: {e}", dir.display()));
+                let dataset = Dataset::from_reader(reader)
+                    .unwrap_or_else(|e| panic!("replaying crawl store {}: {e}", dir.display()));
+                let crawled = dataset.crawled;
+                (dataset, crawled)
+            }
+        };
         CrawlContext {
             gen,
             dataset,
             entities,
             engine,
-            crawled: summary.visited,
+            crawled,
         }
     }
 }
@@ -82,9 +124,40 @@ mod tests {
             sites: 50,
             seed: 1,
             threads: 2,
+            store: None,
         });
         assert_eq!(ctx.crawled, 50);
         assert!(ctx.dataset.site_count() > 20);
         assert!(ctx.dataset.site_count() < 50);
+    }
+
+    #[test]
+    fn store_backed_context_matches_in_memory() {
+        let dir = std::env::temp_dir().join(format!("cg-ctx-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ExperimentOptions {
+            sites: 40,
+            seed: 2,
+            threads: 2,
+            store: None,
+        };
+        let mem = CrawlContext::collect(&opts);
+        let durable = CrawlContext::collect(&ExperimentOptions {
+            store: Some(dir.clone()),
+            ..opts.clone()
+        });
+        assert_eq!(mem.crawled, durable.crawled);
+        assert_eq!(mem.dataset.site_count(), durable.dataset.site_count());
+        assert_eq!(
+            serde_json::to_string(&mem.dataset.logs).unwrap(),
+            serde_json::to_string(&durable.dataset.logs).unwrap()
+        );
+        // Collecting again resumes (no re-visit) and yields the same data.
+        let resumed = CrawlContext::collect(&ExperimentOptions {
+            store: Some(dir.clone()),
+            ..opts
+        });
+        assert_eq!(resumed.dataset.site_count(), mem.dataset.site_count());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -79,6 +79,16 @@ fn main() {
                 i += 1;
                 json_path = args.get(i).cloned();
             }
+            "--store" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => opts.store = Some(std::path::PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--store requires a directory; see --help");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print_help();
                 return;
@@ -224,10 +234,14 @@ fn print_help() {
     println!("cg-experiments — regenerate the CookieGuard paper's tables and figures");
     println!();
     println!(
-        "USAGE: cg-experiments [--exp LIST] [--sites N] [--seed S] [--threads T] [--json PATH]"
+        "USAGE: cg-experiments [--exp LIST] [--sites N] [--seed S] [--threads T] [--json PATH] [--store DIR]"
     );
     println!();
     println!("Experiments (comma-separated, default 'all'):");
     println!("  measurement: {}", MEASUREMENT_EXPERIMENTS.join(", "));
     println!("  evaluation:  {}", EVALUATION_EXPERIMENTS.join(", "));
+    println!();
+    println!("--store DIR writes the measurement crawl through a durable,");
+    println!("segmented on-disk store (checkpoint/resume: a killed crawl");
+    println!("rerun with the same seed/sites finishes only the missing ranks).");
 }

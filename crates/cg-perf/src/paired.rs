@@ -5,7 +5,6 @@ use cg_webgen::WebGenerator;
 use cookieguard_core::GuardConfig;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One site's paired timings.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -130,7 +129,6 @@ pub fn run_paired_measurement(
     to: usize,
     threads: usize,
 ) -> PerfReport {
-    let queue: Mutex<Vec<PairedRun>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(from);
     let threads = threads.max(1);
     // One engine for the whole measurement: the guarded condition's
@@ -145,30 +143,44 @@ pub fn run_paired_measurement(
         ..VisitConfig::guarded(guard.clone())
     };
 
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let rank = next.fetch_add(1, Ordering::Relaxed);
-                if rank > to {
-                    break;
-                }
-                let bp = gen.blueprint(rank);
-                if !bp.spec.crawl_ok {
-                    continue; // visit failed in one of the two conditions
-                }
-                let base_seed = gen.site_seed(rank);
-                let without = visit_site(&bp, &without_cfg, base_seed ^ 0xaaaa);
-                let with = visit_site(&bp, &with_cfg, base_seed ^ 0xbbbb);
-                queue.lock().expect("perf worker panicked").push(PairedRun {
-                    rank,
-                    without: without.timing,
-                    with: with.timing,
-                });
-            });
-        }
+    // Per-worker local buffers, merged after the scope: the hot loop
+    // takes no lock, and the final sort by rank restores the canonical
+    // order regardless of which worker measured which site.
+    let mut pairs: Vec<PairedRun> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let without_cfg = &without_cfg;
+                let with_cfg = &with_cfg;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let rank = next.fetch_add(1, Ordering::Relaxed);
+                        if rank > to {
+                            break;
+                        }
+                        let bp = gen.blueprint(rank);
+                        if !bp.spec.crawl_ok {
+                            continue; // visit failed in one of the two conditions
+                        }
+                        let base_seed = gen.site_seed(rank);
+                        let without = visit_site(&bp, without_cfg, base_seed ^ 0xaaaa);
+                        let with = visit_site(&bp, with_cfg, base_seed ^ 0xbbbb);
+                        local.push(PairedRun {
+                            rank,
+                            without: without.timing,
+                            with: with.timing,
+                        });
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("perf worker panicked"))
+            .collect()
     });
-
-    let mut pairs: Vec<PairedRun> = queue.into_inner().expect("perf worker panicked");
     pairs.sort_by_key(|p| p.rank);
     // Validity filter: keep only positive measurements in both conditions.
     pairs.retain(|p| {

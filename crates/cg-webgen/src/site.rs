@@ -201,6 +201,13 @@ impl WebGenerator {
         &self.cfg
     }
 
+    /// The master seed this generator was built with. Together with
+    /// [`WebGenerator::config`] it fully determines every blueprint —
+    /// the identity a crawl checkpoint must record.
+    pub fn master_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The per-site RNG seed for `rank` (exposed so the browser can
     /// derive correlated-but-independent streams).
     pub fn site_seed(&self, rank: usize) -> u64 {

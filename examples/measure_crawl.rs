@@ -2,30 +2,92 @@
 //! synthetic web, crawl it with the instrumented browser, and print the
 //! Table 1-style cross-domain statistics.
 //!
-//! Run with: `cargo run --release --example measure_crawl [SITES]`
+//! Run with: `cargo run --release --example measure_crawl [SITES] [--store DIR]`
+//!
+//! With `--store DIR` the crawl writes through the durable segmented
+//! crawl store: kill it mid-run and rerun the same command — it resumes
+//! from the checkpoint, finishes only the missing ranks, and the
+//! analysis streams the store back rank-ordered instead of holding the
+//! crawl in memory.
 
 use cookieguard_repro::analysis::{
     api_usage, cross_domain_summary, detect_exfiltration, detect_manipulation, prevalence_stats,
     Dataset,
 };
 use cookieguard_repro::browser::{crawl_range, VisitConfig};
+use cookieguard_repro::crawlstore::{crawl_to_store, CrawlReader};
 use cookieguard_repro::webgen::{GenConfig, WebGenerator};
 
+const MASTER_SEED: u64 = 0xC00C1E;
+
 fn main() {
-    let sites: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(600);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sites: usize = 600;
+    let mut store_dir: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => store_dir = Some(d.into()),
+                    None => {
+                        eprintln!("--store requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => match other.parse() {
+                Ok(n) => sites = n,
+                Err(_) => {
+                    eprintln!("usage: measure_crawl [SITES] [--store DIR]");
+                    std::process::exit(2);
+                }
+            },
+        }
+        i += 1;
+    }
     println!("crawling a {sites}-site synthetic web…");
 
-    let gen = WebGenerator::new(GenConfig::small(sites), 0xC00C1E);
-    let (outcomes, summary) = crawl_range(&gen, &VisitConfig::regular(), 1, sites, 4);
-    println!(
-        "  visited {} sites, {} with complete data",
-        summary.visited, summary.complete
-    );
+    let gen = WebGenerator::new(GenConfig::small(sites), MASTER_SEED);
+    let cfg = VisitConfig::regular();
 
-    let ds = Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect());
+    let ds = match &store_dir {
+        None => {
+            let (outcomes, summary) = crawl_range(&gen, &cfg, 1, sites, 4);
+            println!(
+                "  visited {} sites, {} with complete data, {} failed",
+                summary.visited, summary.complete, summary.failed
+            );
+            Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect())
+        }
+        Some(dir) => {
+            let run = crawl_to_store(dir, &gen, &cfg, 1, sites, 4, |store| {
+                let resumed = store.done_ranks().len();
+                if resumed > 0 {
+                    println!("  resuming: {resumed} ranks already durable in the store");
+                }
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("crawl store {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+            println!(
+                "  visited {} sites this run, {} with complete data, {} failed",
+                run.summary.visited, run.summary.complete, run.summary.failed
+            );
+            println!(
+                "  store: {} records across {} segments, {} bytes on disk",
+                run.stats.records, run.stats.segments, run.stats.bytes
+            );
+            let reader = CrawlReader::open(dir).expect("reopen store for analysis");
+            Dataset::from_reader(reader).unwrap_or_else(|e| {
+                eprintln!("replaying crawl store failed: {e}");
+                std::process::exit(1);
+            })
+        }
+    };
+
     let engine = cookieguard_repro::analysis::build_filter_engine(gen.registry());
     let entities = cookieguard_repro::entity::builtin_entity_map();
 

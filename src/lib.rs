@@ -9,6 +9,7 @@ pub use cg_baselines as baselines;
 pub use cg_breakage as breakage;
 pub use cg_browser as browser;
 pub use cg_cookiejar as cookiejar;
+pub use cg_crawlstore as crawlstore;
 pub use cg_dom as dom;
 pub use cg_domguard as domguard;
 pub use cg_entity as entity;
