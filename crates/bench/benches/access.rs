@@ -22,8 +22,10 @@ fn url() -> Url {
 fn ctx(domain: &str) -> AccessContext {
     AccessContext {
         caller: Caller::external(domain),
-        actor: Some(domain.to_string()),
-        actor_url: Some(format!("https://{domain}/s.js")),
+        actor: Some(cg_url::intern(domain)),
+        actor_url: Some(std::sync::Arc::from(
+            format!("https://{domain}/s.js").as_str(),
+        )),
         now_ms: 1_000_000,
         time_ms: 500,
     }

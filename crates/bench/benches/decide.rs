@@ -1,0 +1,127 @@
+//! The compiled decision path vs the string oracle — the per-operation
+//! policy check is the hottest code in a guarded crawl, and this bench
+//! holds the ISSUE's bar: the id-compiled path must beat the retained
+//! string-path oracle by ≥ 5× on a mixed workload.
+//!
+//! Also measures the per-visit costs that bound crawl throughput when
+//! the entity map is large: engine compilation (once per deployment)
+//! and session open (once per visit).
+
+use cg_entity::EntityMap;
+use cg_url::DomainId;
+use cookieguard_core::{Caller, GuardConfig, GuardEngine};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+/// A mixed decision workload: site-owner, creator hit, whitelist hit,
+/// same-entity hit, cross-domain block, and inline — roughly the blend
+/// a guarded page produces.
+const WORKLOAD: &[(Option<&str>, Option<&str>)] = &[
+    (Some("site.com"), Some("tracker.com")),    // site owner
+    (Some("tracker.com"), Some("tracker.com")), // creator
+    (Some("partner.io"), Some("anyone.net")),   // whitelisted
+    (Some("fbcdn.net"), Some("facebook.net")),  // same entity
+    (Some("criteo.com"), Some("facebook.net")), // blocked
+    (Some("stranger.net"), None),               // unattributed → blocked
+    (None, Some("tracker.com")),                // inline → strict block
+    (Some("ads.example.net"), Some("cdn.io")),  // blocked
+];
+
+fn engine() -> Arc<GuardEngine> {
+    GuardEngine::shared(
+        GuardConfig::strict()
+            .with_whitelisted("partner.io")
+            .with_entity_grouping(cg_entity::builtin_entity_map()),
+    )
+}
+
+fn big_entity_map(domains: usize) -> EntityMap {
+    let mut map = EntityMap::new();
+    for i in 0..domains {
+        map.insert(&format!("domain-{i}.example"), &format!("Org-{}", i % 97));
+    }
+    map
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let engine = engine();
+    let site = cg_url::intern("site.com");
+    // Ids resolved once, as attribution does in the real pipeline.
+    let compiled_workload: Vec<(Caller, Option<DomainId>)> = WORKLOAD
+        .iter()
+        .map(|(caller, creator)| {
+            (
+                match caller {
+                    Some(d) => Caller::external(d),
+                    None => Caller::inline(),
+                },
+                creator.map(cg_url::intern),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("decide_mixed");
+    group.bench_function("compiled_ids", |b| {
+        let compiled = engine.compiled();
+        b.iter(|| {
+            let mut allowed = 0usize;
+            for (caller, creator) in &compiled_workload {
+                if compiled.check(site, caller, *creator).is_allow() {
+                    allowed += 1;
+                }
+            }
+            black_box(allowed)
+        });
+    });
+    group.bench_function("string_oracle", |b| {
+        b.iter(|| {
+            let mut allowed = 0usize;
+            for (caller, creator) in WORKLOAD {
+                if engine
+                    .check_str_oracle("site.com", *caller, *creator)
+                    .is_allow()
+                {
+                    allowed += 1;
+                }
+            }
+            black_box(allowed)
+        });
+    });
+    group.finish();
+}
+
+fn bench_session_open(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide_session_open");
+    // Session open must stay O(1) in entity-map size: the map compiles
+    // into the shared engine, not into the per-visit session.
+    for &n in &[0usize, 1_000, 20_000] {
+        let config = if n == 0 {
+            GuardConfig::strict()
+        } else {
+            GuardConfig::strict().with_entity_grouping(big_entity_map(n))
+        };
+        let engine = GuardEngine::shared(config);
+        group.bench_function(format!("entity_map_{n}"), |b| {
+            b.iter(|| black_box(engine.session("bench-visit-site.com")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide_engine_compile");
+    group.sample_size(10);
+    let config = GuardConfig::strict().with_entity_grouping(big_entity_map(20_000));
+    group.bench_function("entity_map_20000", |b| {
+        b.iter(|| black_box(GuardEngine::new(config.clone())));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decide,
+    bench_session_open,
+    bench_engine_compile
+);
+criterion_main!(benches);

@@ -16,11 +16,25 @@ use cg_script::{
     Attribution, CookieChangeNotice, DomMutationKind, Platform, ScriptExecution, ScriptOp,
     SignatureDb,
 };
-use cg_url::{CnameMap, Url};
+use cg_url::{CnameMap, DomainId, Url};
 use cookieguard_core::{AccessContext, Caller, CookieGuard, GuardedJar, SetRequest};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The attribution identities of one script, resolved **once** at its
+/// first cookie/DOM operation and cached for the rest of the page: the
+/// policy caller (CNAME-uncloaked when enabled), the measured actor
+/// (interned raw eTLD+1), and the shared script-URL string for write
+/// events. Subsequent operations by the same script copy ids out of the
+/// cache — no PSL walk, no CNAME chase, no allocation per operation.
+#[derive(Debug, Clone)]
+struct ScriptIdentity {
+    caller: Caller,
+    actor: Option<DomainId>,
+    actor_url: Arc<str>,
+}
 
 /// The per-page platform: owns the document and accesses the
 /// visit-scoped jar, guard, and recorder exclusively through the
@@ -37,6 +51,7 @@ pub struct Page<'v> {
     rng: StdRng,
     cookie_ops: usize,
     cnames: Option<CnameMap>,
+    script_identities: HashMap<Url, ScriptIdentity>,
     signatures: Option<SignatureDb>,
     dom_guard: Option<&'v mut DomGuard>,
     change_cursor: usize,
@@ -57,7 +72,9 @@ impl<'v> Page<'v> {
         injectables: &'v HashMap<String, Vec<ScriptOp>>,
         seed: u64,
     ) -> Page<'v> {
-        let site_domain = url.registrable_domain().unwrap_or_else(|| url.host_str());
+        let site_domain = url
+            .registrable_domain()
+            .unwrap_or_else(|| url.host_str().into_owned());
         // Change events only cover mutations from this page onward.
         let change_cursor = jar.change_count();
         let access = GuardedJar::new(
@@ -90,6 +107,7 @@ impl<'v> Page<'v> {
             rng: StdRng::seed_from_u64(seed ^ 0x00d0_c0de),
             cookie_ops: 0,
             cnames: None,
+            script_identities: HashMap::new(),
             signatures: None,
             dom_guard: None,
             change_cursor,
@@ -216,15 +234,43 @@ impl<'v> Page<'v> {
         &self.doc
     }
 
-    fn caller(cnames: &Option<CnameMap>, at: &Attribution) -> Caller {
-        let domain = match (cnames, &at.script_url) {
-            (Some(map), Some(url)) => map.uncloaked_domain(&url.host_str()),
-            _ => at.script_domain(),
+    /// The cached attribution identities for `at`'s script — resolved
+    /// (PSL walk, CNAME uncloaking, interning, URL stringification) on
+    /// the script's first operation, copied out of the cache afterwards.
+    /// Inline/lost-stack attributions have no script URL and no cache
+    /// entry: they are the origin-less identity.
+    fn identity(&mut self, at: &Attribution) -> (Caller, Option<DomainId>, Option<Arc<str>>) {
+        let Some(url) = &at.script_url else {
+            return (Caller::inline(), None, None);
         };
-        match domain {
+        if let Some(id) = self.script_identities.get(url) {
+            return (id.caller, id.actor, Some(Arc::clone(&id.actor_url)));
+        }
+        let policy_domain = match &self.cnames {
+            Some(map) => map.uncloaked_domain(&url.host_str()),
+            None => url.registrable_domain(),
+        };
+        let caller = match policy_domain {
             Some(d) => Caller::external(&d),
             None => Caller::inline(),
-        }
+        };
+        let identity = ScriptIdentity {
+            caller,
+            actor: url.registrable_domain().map(|d| cg_url::intern(&d)),
+            actor_url: Arc::from(url.to_string().as_str()),
+        };
+        let out = (
+            identity.caller,
+            identity.actor,
+            Some(Arc::clone(&identity.actor_url)),
+        );
+        self.script_identities.insert(url.clone(), identity);
+        out
+    }
+
+    /// The cached policy caller for `at`'s script.
+    fn caller(&mut self, at: &Attribution) -> Caller {
+        self.identity(at).0
     }
 
     fn wall(&self, at: &Attribution) -> i64 {
@@ -233,30 +279,27 @@ impl<'v> Page<'v> {
 
     /// Translates a script-level attribution into the access layer's
     /// operation context for the write paths: policy caller
-    /// (CNAME-uncloaked), measured actor + script URL, and the two
-    /// timebases.
-    fn ctx(&self, at: &Attribution) -> AccessContext {
+    /// (CNAME-uncloaked), measured actor + script URL — all served from
+    /// the per-script cache — and the two timebases.
+    fn ctx(&mut self, at: &Attribution) -> AccessContext {
+        let (caller, actor, actor_url) = self.identity(at);
         AccessContext {
-            caller: Self::caller(&self.cnames, at),
-            actor: at.script_domain(),
-            actor_url: at.script_url.as_ref().map(|u| u.to_string()),
+            caller,
+            actor,
+            actor_url,
             now_ms: self.wall(at),
             time_ms: at.now_ms,
         }
     }
 
     /// Read-path variant of [`Page::ctx`]: read events carry no script
-    /// URL, and a guard-less read never consults the policy caller, so
-    /// neither is derived unless needed (`document.cookie` gets are the
-    /// hottest op of a measurement crawl).
-    fn read_ctx(&self, at: &Attribution) -> AccessContext {
+    /// URL, so the shared `Arc` is not even cloned (`document.cookie`
+    /// gets are the hottest op of a measurement crawl).
+    fn read_ctx(&mut self, at: &Attribution) -> AccessContext {
+        let (caller, actor, _) = self.identity(at);
         AccessContext {
-            caller: if self.access.is_guarded() {
-                Self::caller(&self.cnames, at)
-            } else {
-                Caller::inline()
-            },
-            actor: at.script_domain(),
+            caller,
+            actor,
             actor_url: None,
             now_ms: self.wall(at),
             time_ms: at.now_ms,
@@ -392,12 +435,15 @@ impl Platform for Page<'_> {
     }
 
     fn dom_insert(&mut self, at: &Attribution, tag: &str) {
-        let actor = at.script_domain();
-        self.doc.insert_script_element(tag, None, actor.as_deref());
+        let actor = self.identity(at).1.map(cg_url::name);
+        self.doc.insert_script_element(tag, None, actor);
     }
 
     fn dom_mutate(&mut self, at: &Attribution, kind: DomMutationKind, foreign_target: bool) {
-        let actor = at.script_domain();
+        // Cached identity: no PSL walk or allocation per DOM op.
+        let (caller, actor_id, _) = self.identity(at);
+        let actor_name = actor_id.map(cg_url::name);
+        let actor = actor_name.map(str::to_string);
         let target = if foreign_target {
             // A site-owned markup element.
             self.markup_elements[self.rng.gen_range(0..self.markup_elements.len())]
@@ -406,9 +452,7 @@ impl Platform for Page<'_> {
             // the page's first markup element (scripts without their own
             // nodes editing page chrome — still cross-domain, and the
             // pilot counts it as such).
-            let own = actor
-                .as_deref()
-                .and_then(|a| self.doc.last_element_owned_by(a));
+            let own = actor_name.and_then(|a| self.doc.last_element_owned_by(a));
             match own.or_else(|| self.markup_elements.first().copied()) {
                 Some(e) => e,
                 None => return,
@@ -428,7 +472,6 @@ impl Platform for Page<'_> {
         // DOM-guard enforcement (§8 future work): the mutation must be
         // authorized against the element's ownership before it applies.
         if let Some(g) = self.dom_guard.as_deref_mut() {
-            let caller = Self::caller(&self.cnames, at);
             if let Some(guard_kind) = cg_domguard::mutation_kind_of(mutation) {
                 if !g.authorize(&caller, &owner, guard_kind).is_allow() {
                     self.access.sink().dom_mutation(DomEvent {
@@ -443,7 +486,7 @@ impl Platform for Page<'_> {
         }
         if self
             .doc
-            .mutate_element(target, mutation, actor.as_deref(), "mutated")
+            .mutate_element(target, mutation, actor_name, "mutated")
         {
             self.access.sink().dom_mutation(DomEvent {
                 actor,
@@ -487,8 +530,8 @@ impl Platform for Page<'_> {
         if !self.access.is_guarded() {
             return true; // don't derive the caller just to discard it
         }
-        self.access
-            .may_observe(&Self::caller(&self.cnames, at), name)
+        let caller = self.caller(at);
+        self.access.may_observe(&caller, name)
     }
 }
 

@@ -55,7 +55,9 @@ impl<'v> LegacyPage<'v> {
         injectables: &'v HashMap<String, Vec<ScriptOp>>,
         seed: u64,
     ) -> LegacyPage<'v> {
-        let site_domain = url.registrable_domain().unwrap_or_else(|| url.host_str());
+        let site_domain = url
+            .registrable_domain()
+            .unwrap_or_else(|| url.host_str().into_owned());
         let change_cursor = jar.change_count();
         let mut doc = Document::new(url.clone(), FrameKind::Main);
         let mut markup_elements = Vec::new();

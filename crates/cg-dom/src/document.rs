@@ -72,7 +72,7 @@ impl Document {
     pub fn site_domain(&self) -> String {
         self.url
             .registrable_domain()
-            .unwrap_or_else(|| self.url.host_str())
+            .unwrap_or_else(|| self.url.host_str().into_owned())
     }
 
     // ------------------------------------------------------------------

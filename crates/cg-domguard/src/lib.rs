@@ -197,8 +197,10 @@ impl DomGuard {
     /// The pure policy decision (no counter updates).
     pub fn check(&self, caller: &Caller, owner_domain: &str) -> AccessDecision {
         let owner = owner_domain.to_ascii_lowercase();
-        let caller_domain = match &caller.domain {
-            Some(d) => d.clone(),
+        // Callers carry interned ids; this guard's config is still
+        // string-keyed, so resolve the (normalized, 'static) name once.
+        let caller_domain = match caller.domain_name() {
+            Some(d) => d,
             None => {
                 return match self.config.inline_policy {
                     // Inline scripts own the "<inline>" pseudo-domain: they
@@ -214,16 +216,16 @@ impl DomGuard {
         if caller_domain == self.site_domain {
             return AccessDecision::Allow(AllowReason::SiteOwner);
         }
-        if self.config.whitelist.contains(&caller_domain) {
+        if self.config.whitelist.contains(caller_domain) {
             return AccessDecision::Allow(AllowReason::Whitelisted);
         }
         if caller_domain == owner {
             return AccessDecision::Allow(AllowReason::Creator);
         }
         if let Some(map) = &self.config.entity_map {
-            if map.contains(&caller_domain)
+            if map.contains(caller_domain)
                 && map.contains(&owner)
-                && map.same_entity(&caller_domain, &owner)
+                && map.same_entity(caller_domain, &owner)
             {
                 return AccessDecision::Allow(AllowReason::SameEntity);
             }

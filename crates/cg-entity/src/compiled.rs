@@ -1,0 +1,176 @@
+//! The compiled entity map: `DomainId → EntityId` as a dense table.
+//!
+//! [`crate::EntityMap`] answers `same_entity` by lowercasing both
+//! domains, hashing each into a `HashMap<String, String>`, and comparing
+//! the owner *strings* — three allocations and two string hashes per
+//! policy check. At crawl scale that is the hottest comparison in the
+//! guard, so [`CompiledEntityMap`] flattens the map once (at
+//! `GuardEngine` build time) into a dense vector indexed by
+//! [`DomainId`]: `same_entity` becomes two array reads and an integer
+//! compare.
+//!
+//! # Id lifecycle invariant
+//!
+//! [`EntityId`]s (like [`DomainId`]s) are **process-local, in-memory
+//! handles only**. They are assigned at compile time, are stable for the
+//! lifetime of the compiled map, and must never be serialized: wire
+//! formats carry domain/entity *names*, resolved back through
+//! [`cg_url::name`] at the boundary. Neither id type implements the
+//! serde traits, so the compiler enforces the invariant.
+
+use crate::EntityMap;
+use cg_url::DomainId;
+use std::collections::HashMap;
+
+/// A dense, copyable handle for one organization in a compiled entity
+/// map. Ids are assigned in sorted-domain order at compile time and are
+/// only meaningful relative to the [`CompiledEntityMap`] that produced
+/// them — compare for equality, never persist (wire formats never
+/// contain ids; see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntityId(u32);
+
+impl EntityId {
+    /// The raw index (dense from 0 in compile order).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Sentinel for "domain not in the entity map" inside the dense table.
+const NO_ENTITY: u32 = u32::MAX;
+
+/// An [`EntityMap`] flattened to a `DomainId → EntityId` lookup table.
+///
+/// Built once per [`GuardEngine`](../cookieguard_core) compilation; the
+/// table covers every domain interned up to that point, so lookups for
+/// ids interned later (necessarily absent from the map) fall off the end
+/// and correctly report "unknown".
+#[derive(Debug, Clone)]
+pub struct CompiledEntityMap {
+    /// Indexed by `DomainId::index()`; `NO_ENTITY` = not in the map.
+    table: Vec<u32>,
+    entities: u32,
+}
+
+impl CompiledEntityMap {
+    /// Flattens `map`, interning every registered domain. Entity ids are
+    /// assigned in sorted `(domain, entity)` order, so compiling the
+    /// same map twice yields identical ids.
+    pub fn compile(map: &EntityMap) -> CompiledEntityMap {
+        let mut pairs: Vec<(&str, &str)> = map.iter().collect();
+        pairs.sort_unstable();
+        let mut entity_ids: HashMap<&str, u32> = HashMap::new();
+        let mut entries: Vec<(DomainId, u32)> = Vec::with_capacity(pairs.len());
+        for (domain, entity) in pairs {
+            let next = entity_ids.len() as u32;
+            let eid = *entity_ids.entry(entity).or_insert(next);
+            entries.push((cg_url::intern(domain), eid));
+        }
+        let size = entries
+            .iter()
+            .map(|(d, _)| d.index() as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut table = vec![NO_ENTITY; size];
+        for (d, e) in entries {
+            table[d.index() as usize] = e;
+        }
+        CompiledEntityMap {
+            table,
+            entities: entity_ids.len() as u32,
+        }
+    }
+
+    /// The entity owning `domain`, or `None` when the domain is not in
+    /// the map (one array read).
+    pub fn entity_of(&self, domain: DomainId) -> Option<EntityId> {
+        match self.table.get(domain.index() as usize) {
+            Some(&e) if e != NO_ENTITY => Some(EntityId(e)),
+            _ => None,
+        }
+    }
+
+    /// Whether `domain` is registered in the map.
+    pub fn contains(&self, domain: DomainId) -> bool {
+        self.entity_of(domain).is_some()
+    }
+
+    /// True when both domains are *known to the map* and belong to the
+    /// same organization — the guard's grouping predicate. Unknown
+    /// domains never group (not even with themselves): identity of
+    /// unknowns is the caller's own `DomainId` equality check, decided
+    /// before grouping is consulted.
+    pub fn same_entity(&self, a: DomainId, b: DomainId) -> bool {
+        match (self.entity_of(a), self.entity_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of distinct organizations in the compiled map.
+    pub fn entity_count(&self) -> usize {
+        self.entities as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> EntityMap {
+        let mut m = EntityMap::new();
+        m.insert("facebook.net", "Meta");
+        m.insert("fbcdn.net", "Meta");
+        m.insert("instagram.com", "Meta");
+        m.insert("criteo.com", "Criteo");
+        m
+    }
+
+    #[test]
+    fn groups_match_the_string_map() {
+        let m = map();
+        let c = CompiledEntityMap::compile(&m);
+        let fb = cg_url::intern("facebook.net");
+        let cdn = cg_url::intern("fbcdn.net");
+        let ig = cg_url::intern("instagram.com");
+        let criteo = cg_url::intern("criteo.com");
+        assert!(c.same_entity(fb, cdn));
+        assert!(c.same_entity(cdn, ig));
+        assert!(!c.same_entity(fb, criteo));
+        assert_eq!(c.entity_count(), 2);
+    }
+
+    #[test]
+    fn unknown_domains_never_group() {
+        let c = CompiledEntityMap::compile(&map());
+        let unknown_a = cg_url::intern("compiled-unknown-a.example");
+        let unknown_b = cg_url::intern("compiled-unknown-b.example");
+        let fb = cg_url::intern("facebook.net");
+        assert!(!c.contains(unknown_a));
+        assert!(!c.same_entity(unknown_a, unknown_b));
+        assert!(!c.same_entity(unknown_a, fb));
+        // Not even with themselves: identity is decided by DomainId
+        // equality upstream, never by the grouping table.
+        assert!(!c.same_entity(unknown_a, unknown_a));
+    }
+
+    #[test]
+    fn domains_interned_after_compile_are_unknown() {
+        let c = CompiledEntityMap::compile(&map());
+        let late = cg_url::intern("interned-after-compile.example");
+        assert!(!c.contains(late));
+        assert_eq!(c.entity_of(late), None);
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let m = map();
+        let a = CompiledEntityMap::compile(&m);
+        let b = CompiledEntityMap::compile(&m);
+        for d in ["facebook.net", "fbcdn.net", "instagram.com", "criteo.com"] {
+            let id = cg_url::intern(d);
+            assert_eq!(a.entity_of(id), b.entity_of(id));
+        }
+    }
+}

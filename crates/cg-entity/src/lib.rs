@@ -13,9 +13,11 @@
 //!    access cookies created by `facebook.net` scripts on `facebook.com`,
 //!    reducing SSO/functionality breakage from 11% to 3%.
 
+pub mod compiled;
 pub mod map;
 pub mod registry;
 
+pub use compiled::{CompiledEntityMap, EntityId};
 pub use map::EntityMap;
 pub use registry::builtin_entity_map;
 

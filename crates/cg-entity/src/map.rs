@@ -17,6 +17,13 @@ pub struct EntityMap {
     entity_to_domains: HashMap<String, Vec<String>>,
 }
 
+/// Key normalization: lowercase with stray edge dots trimmed — the same
+/// rule `cg_url::intern` applies, so the string map and its compiled
+/// [`crate::CompiledEntityMap`] form agree on every input.
+fn normalize(domain: &str) -> String {
+    domain.trim_matches('.').to_ascii_lowercase()
+}
+
 impl EntityMap {
     /// Creates an empty map.
     pub fn new() -> EntityMap {
@@ -26,7 +33,7 @@ impl EntityMap {
     /// Registers `domain` as belonging to `entity`. Re-registering a
     /// domain moves it to the new entity.
     pub fn insert(&mut self, domain: &str, entity: &str) {
-        let domain = domain.to_ascii_lowercase();
+        let domain = normalize(domain);
         if let Some(old) = self
             .domain_to_entity
             .insert(domain.clone(), entity.to_string())
@@ -43,7 +50,7 @@ impl EntityMap {
 
     /// The entity owning `domain`, or the domain itself when unknown.
     pub fn entity_of(&self, domain: &str) -> String {
-        let key = domain.to_ascii_lowercase();
+        let key = normalize(domain);
         self.domain_to_entity.get(&key).cloned().unwrap_or(key)
     }
 
@@ -62,8 +69,7 @@ impl EntityMap {
 
     /// Whether `domain` is present in the map.
     pub fn contains(&self, domain: &str) -> bool {
-        self.domain_to_entity
-            .contains_key(&domain.to_ascii_lowercase())
+        self.domain_to_entity.contains_key(&normalize(domain))
     }
 
     /// Number of registered domains.

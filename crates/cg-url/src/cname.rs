@@ -11,6 +11,7 @@
 
 use crate::psl;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Maximum CNAME chain length followed (RFC-ish sanity bound; real
@@ -48,11 +49,21 @@ impl CnameMap {
     /// Follows the CNAME chain from `host` to its canonical host.
     /// Returns `host` itself when no record exists; cycles and chains
     /// longer than `MAX_CHAIN` (8) stop at the last resolved name.
-    pub fn resolve(&self, host: &str) -> String {
-        let mut current = host.to_ascii_lowercase();
+    /// The overwhelmingly common uncloaked case (no record for an
+    /// already-lowercase host) is allocation-free: resolved targets are
+    /// borrowed from the map, and the input is borrowed unless it needs
+    /// lowercasing.
+    pub fn resolve<'m>(&'m self, host: &'m str) -> Cow<'m, str> {
+        let mut current: Cow<'m, str> = if host.bytes().any(|b| b.is_ascii_uppercase()) {
+            Cow::Owned(host.to_ascii_lowercase())
+        } else {
+            Cow::Borrowed(host)
+        };
         for _ in 0..MAX_CHAIN {
-            match self.records.get(&current) {
-                Some(next) if next != &current => current = next.clone(),
+            match self.records.get(current.as_ref()) {
+                Some(next) if next.as_str() != current.as_ref() => {
+                    current = Cow::Borrowed(next.as_str());
+                }
                 _ => break,
             }
         }
@@ -124,5 +135,21 @@ mod tests {
     fn case_insensitive() {
         let m = map();
         assert_eq!(m.resolve("METRICS.Shop.Example"), "collect.trackerhub.io");
+    }
+
+    #[test]
+    fn uncloaked_lowercase_host_is_borrowed() {
+        let m = map();
+        // The common case — no record, already lowercase — must not
+        // allocate: the input comes straight back, borrowed.
+        assert!(matches!(
+            m.resolve("www.shop.example"),
+            Cow::Borrowed("www.shop.example")
+        ));
+        // A resolved host is borrowed from the record table.
+        assert!(matches!(
+            m.resolve("metrics.shop.example"),
+            Cow::Borrowed("collect.trackerhub.io")
+        ));
     }
 }

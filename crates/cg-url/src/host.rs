@@ -1,6 +1,7 @@
 //! Host representation: registered names and IP addresses.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 
 /// A parsed host component of a URL.
@@ -53,8 +54,13 @@ impl Host {
     }
 
     /// The textual form used in cookie domain matching and logs.
-    pub fn as_str(&self) -> String {
-        self.to_string()
+    /// Borrowed for registered names (the common case); IPv4 literals,
+    /// which store octets, format on demand.
+    pub fn as_str(&self) -> Cow<'_, str> {
+        match self {
+            Host::Name(n) => Cow::Borrowed(n),
+            Host::Ipv4(_) => Cow::Owned(self.to_string()),
+        }
     }
 
     /// True when this host is a registered name (has DNS labels).

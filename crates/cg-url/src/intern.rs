@@ -55,36 +55,52 @@ fn normalize(domain: &str) -> String {
     domain.trim_matches('.').to_ascii_lowercase()
 }
 
+/// True when [`normalize`] would return `domain` unchanged — the
+/// overwhelmingly common case on the hot paths (hosts out of a parsed
+/// [`crate::Url`] are already lowercase), where interning must not
+/// allocate.
+fn is_normalized(domain: &str) -> bool {
+    !domain.starts_with('.')
+        && !domain.ends_with('.')
+        && !domain.bytes().any(|b| b.is_ascii_uppercase())
+}
+
 /// Interns `domain` (normalized to lowercase, dots trimmed) and returns
-/// its process-wide id. Idempotent and thread-safe.
+/// its process-wide id. Idempotent and thread-safe. Re-interning an
+/// already-known, already-normalized domain is allocation-free: one
+/// read-lock and one hash lookup.
 pub fn intern(domain: &str) -> DomainId {
-    let norm = normalize(domain);
+    let norm: std::borrow::Cow<'_, str> = if is_normalized(domain) {
+        std::borrow::Cow::Borrowed(domain)
+    } else {
+        std::borrow::Cow::Owned(normalize(domain))
+    };
     {
         let guard = interner().read().expect("domain interner poisoned");
-        if let Some(&id) = guard.by_name.get(norm.as_str()) {
+        if let Some(&id) = guard.by_name.get(norm.as_ref()) {
             return id;
         }
     }
     let mut guard = interner().write().expect("domain interner poisoned");
-    if let Some(&id) = guard.by_name.get(norm.as_str()) {
+    if let Some(&id) = guard.by_name.get(norm.as_ref()) {
         return id;
     }
     let id = DomainId(u32::try_from(guard.names.len()).expect("interner overflow"));
-    let leaked: &'static str = Box::leak(norm.into_boxed_str());
+    let leaked: &'static str = Box::leak(norm.into_owned().into_boxed_str());
     guard.names.push(leaked);
     guard.by_name.insert(leaked, id);
     id
 }
 
 /// The id for `domain` if it was interned before, without interning.
+/// Allocation-free for already-normalized inputs.
 pub fn lookup(domain: &str) -> Option<DomainId> {
+    let guard = interner().read().expect("domain interner poisoned");
+    if is_normalized(domain) {
+        return guard.by_name.get(domain).copied();
+    }
     let norm = normalize(domain);
-    interner()
-        .read()
-        .expect("domain interner poisoned")
-        .by_name
-        .get(norm.as_str())
-        .copied()
+    guard.by_name.get(norm.as_str()).copied()
 }
 
 /// The string an id was interned from (normalized form).
@@ -97,17 +113,24 @@ pub fn name(id: DomainId) -> &'static str {
 /// host → id mapping is memoized, so the public-suffix walk runs once
 /// per distinct host per process.
 pub fn shard_id_for_host(host: &str) -> DomainId {
-    let norm = normalize(host);
+    let norm: std::borrow::Cow<'_, str> = if is_normalized(host) {
+        std::borrow::Cow::Borrowed(host)
+    } else {
+        std::borrow::Cow::Owned(normalize(host))
+    };
     {
         let guard = interner().read().expect("domain interner poisoned");
-        if let Some(&id) = guard.host_shards.get(norm.as_str()) {
+        if let Some(&id) = guard.host_shards.get(norm.as_ref()) {
             return id;
         }
     }
-    let shard_name = psl::registrable_domain(&norm).unwrap_or_else(|| norm.clone());
+    let shard_name = psl::registrable_domain(&norm).unwrap_or_else(|| norm.clone().into_owned());
     let id = intern(&shard_name);
     let mut guard = interner().write().expect("domain interner poisoned");
-    guard.host_shards.entry(norm.into_boxed_str()).or_insert(id);
+    guard
+        .host_shards
+        .entry(norm.into_owned().into_boxed_str())
+        .or_insert(id);
     id
 }
 
@@ -145,6 +168,17 @@ mod tests {
         let local = shard_id_for_host("intern-localhost");
         assert_eq!(name(local), "intern-localhost");
         assert_ne!(ip, local);
+    }
+
+    #[test]
+    fn fast_path_and_slow_path_agree() {
+        // A normalized string takes the allocation-free fast path; the
+        // same domain in denormalized spelling must land on the same id.
+        let fast = intern("fast-path-domain.example");
+        let slow = intern(".Fast-Path-Domain.EXAMPLE.");
+        assert_eq!(fast, slow);
+        assert_eq!(lookup("fast-path-domain.example"), Some(fast));
+        assert_eq!(lookup("FAST-path-domain.example"), Some(fast));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod query;
 
 pub use cname::CnameMap;
 pub use host::Host;
-pub use intern::{shard_id_for_host, DomainId};
+pub use intern::{intern, lookup, name, shard_id_for_host, DomainId};
 pub use origin::Origin;
 pub use parser::{ParseError, Url};
 pub use psl::{is_public_suffix, registrable_domain};

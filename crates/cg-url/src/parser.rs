@@ -106,15 +106,17 @@ impl Url {
         Origin::new(&self.scheme, self.host.clone(), self.effective_port())
     }
 
-    /// The host as a string.
-    pub fn host_str(&self) -> String {
-        self.host.to_string()
+    /// The host as a string — borrowed for registered names, so the
+    /// per-operation paths (shard pinning, CSP host checks, caller
+    /// attribution) don't allocate.
+    pub fn host_str(&self) -> std::borrow::Cow<'_, str> {
+        self.host.as_str()
     }
 
     /// The registrable domain (eTLD+1) of the host — the paper's unit of
     /// cross-domain analysis and CookieGuard's unit of enforcement.
     pub fn registrable_domain(&self) -> Option<String> {
-        psl::registrable_domain(&self.host.to_string())
+        psl::registrable_domain(&self.host_str())
     }
 
     /// Parsed query pairs.

@@ -34,7 +34,7 @@ pub fn csp_for_site(site: &SiteBlueprint, style: CspStyle) -> String {
     let mut hosts: BTreeSet<String> = BTreeSet::new();
     let push = |url: &str, hosts: &mut BTreeSet<String>| {
         if let Ok(u) = Url::parse(url) {
-            hosts.insert(u.host_str());
+            hosts.insert(u.host_str().into_owned());
         }
     };
     for page in std::iter::once(&site.landing).chain(site.subpages.iter()) {

@@ -34,7 +34,8 @@ use crate::policy::{AccessDecision, Caller};
 use cg_cookiejar::{Cookie, CookieChange, CookieJar, SetCookieError, ShardPin};
 use cg_http::parse_set_cookie;
 use cg_instrument::{AttrChangeFlags, CookieApi, EventSink, ReadEvent, SetEvent, WriteKind};
-use cg_url::Url;
+use cg_url::{DomainId, Url};
+use std::sync::Arc;
 
 /// The identity and timing of one mediated cookie operation.
 ///
@@ -43,18 +44,33 @@ use cg_url::Url;
 /// CNAME-uncloaked or signature-attributed), while `actor` is the
 /// identity the instrumentation may observe (the raw stack-trace
 /// eTLD+1). A batch of operations from one script shares one context.
+///
+/// Both identities are interned ids, resolved once per script at
+/// attribution time, so building and cloning a context per operation is
+/// allocation-free (`Caller` and `DomainId` are `Copy`; the script URL
+/// is a shared `Arc<str>`). Event emission resolves ids back to names —
+/// the instrument wire format never changes.
 #[derive(Debug, Clone)]
 pub struct AccessContext {
     /// Policy identity: who the guard judges.
     pub caller: Caller,
-    /// Measured identity: the eTLD+1 recorded on events (None = inline).
-    pub actor: Option<String>,
-    /// Full script URL recorded on write events, when attributable.
-    pub actor_url: Option<String>,
+    /// Measured identity: the interned eTLD+1 recorded on events
+    /// (None = inline). Resolved to its name at event-emission time.
+    pub actor: Option<DomainId>,
+    /// Full script URL recorded on write events, when attributable;
+    /// shared, not cloned, across the ops of one script.
+    pub actor_url: Option<Arc<str>>,
     /// Absolute wall-clock time (unix ms) for jar expiry/storage.
     pub now_ms: i64,
     /// Visit-relative time recorded on events.
     pub time_ms: u64,
+}
+
+impl AccessContext {
+    /// The actor's domain name (normalized form), when attributed.
+    fn actor_name(&self) -> Option<String> {
+        self.actor.map(|id| cg_url::name(id).to_string())
+    }
 }
 
 /// The post-guard view of the jar one read produced.
@@ -265,7 +281,7 @@ impl<'v> GuardedJar<'v> {
         filtered: usize,
     ) -> CookieView {
         self.sink.cookie_read(ReadEvent {
-            actor: ctx.actor.clone(),
+            actor: ctx.actor_name(),
             api,
             cookies: cookies
                 .iter()
@@ -291,7 +307,7 @@ impl<'v> GuardedJar<'v> {
             .find(|c| c.name == name)
             .map(|c| c.value.clone());
         self.sink.cookie_read(ReadEvent {
-            actor: ctx.actor.clone(),
+            actor: ctx.actor_name(),
             api: CookieApi::CookieStore,
             cookies: found
                 .iter()
@@ -731,8 +747,8 @@ impl<'v> GuardedJar<'v> {
         let event = SetEvent {
             name: name.to_string(),
             value: value.to_string(),
-            actor: ctx.actor.clone(),
-            actor_url: ctx.actor_url.clone(),
+            actor: ctx.actor_name(),
+            actor_url: ctx.actor_url.as_deref().map(str::to_string),
             api,
             kind,
             changes,
@@ -757,8 +773,8 @@ mod tests {
                 Some(d) => Caller::external(d),
                 None => Caller::inline(),
             },
-            actor: domain.map(str::to_string),
-            actor_url: domain.map(|d| format!("https://{d}/s.js")),
+            actor: domain.map(cg_url::intern),
+            actor_url: domain.map(|d| Arc::from(format!("https://{d}/s.js").as_str())),
             now_ms,
             time_ms,
         }

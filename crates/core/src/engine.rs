@@ -10,90 +10,96 @@
 //! The engine is the *stateless* half of CookieGuard: configuration and
 //! policy decisions. The *stateful* half — the per-site metadata store
 //! and counters — lives in [`GuardSession`](crate::GuardSession).
+//!
+//! # Compiled policy
+//!
+//! [`GuardEngine::new`] compiles the string-level [`GuardConfig`] into a
+//! [`CompiledPolicy`] over interned [`DomainId`]s: the whitelist becomes
+//! a `HashSet<DomainId>`, the entity map flattens into a dense
+//! `DomainId → EntityId` table ([`cg_entity::CompiledEntityMap`]), and
+//! every decision on the hot path ([`CompiledPolicy::check`]) is a chain
+//! of integer comparisons — no lowercasing, no string hashing, no
+//! allocation. Domain *names* exist only at the boundaries: attribution
+//! interns them on the way in; serialization resolves ids back through
+//! [`cg_url::name`] on the way out. Ids never appear in wire formats.
+//!
+//! The pre-compilation string-path decision procedure is retained
+//! verbatim (doc-hidden) as a differential-testing oracle; the
+//! `policy_oracle` integration test and the `decide` bench hold the two
+//! paths equal and the compiled one fast.
 
 use crate::config::{GuardConfig, InlinePolicy};
 use crate::guard::GuardSession;
 use crate::policy::{AccessDecision, AllowReason, BlockReason, Caller};
+use cg_entity::CompiledEntityMap;
+use cg_url::DomainId;
+use std::collections::HashSet;
 use std::sync::Arc;
 
-/// Immutable, shareable policy core: config + entity registry, compiled
-/// once per deployment.
+/// The guard's decision procedure compiled to interned ids — the form
+/// every per-operation check runs against.
+///
+/// Built once per [`GuardEngine`]; immutable afterwards. All lookups are
+/// integer-keyed: the whitelist is a `HashSet<DomainId>` (one `u32`
+/// hash), entity grouping is two reads of a dense table. **Invariant:**
+/// `DomainId`/`EntityId` values are process-local handles and never
+/// cross a serialization boundary — wire formats (VisitLog JSON, jar
+/// JSON, instrument events) always carry resolved names.
 #[derive(Debug)]
-pub struct GuardEngine {
-    config: GuardConfig,
+pub struct CompiledPolicy {
+    inline_policy: InlinePolicy,
+    whitelist: HashSet<DomainId>,
+    entities: Option<CompiledEntityMap>,
 }
 
-impl GuardEngine {
-    /// Compiles a config into an engine. Whitelist entries are
-    /// normalized here so the per-access checks are pure lookups.
-    pub fn new(config: GuardConfig) -> GuardEngine {
-        let mut config = config;
-        config.whitelist = config
-            .whitelist
-            .iter()
-            .map(|d| d.to_ascii_lowercase())
-            .collect();
-        GuardEngine { config }
-    }
-
-    /// Convenience: a ready-to-share engine.
-    pub fn shared(config: GuardConfig) -> Arc<GuardEngine> {
-        Arc::new(GuardEngine::new(config))
-    }
-
-    /// The active configuration.
-    pub fn config(&self) -> &GuardConfig {
-        &self.config
-    }
-
-    /// Opens a cheap per-visit session for a top-level page on
-    /// `site_domain`, sharing this engine.
-    pub fn session(self: &Arc<Self>, site_domain: &str) -> GuardSession {
-        GuardSession::new(Arc::clone(self), site_domain)
+impl CompiledPolicy {
+    /// Compiles `config`: interns every whitelist entry and flattens the
+    /// entity map. The one place strings are touched.
+    pub fn compile(config: &GuardConfig) -> CompiledPolicy {
+        CompiledPolicy {
+            inline_policy: config.inline_policy,
+            whitelist: config.whitelist.iter().map(|d| cg_url::intern(d)).collect(),
+            entities: config.entity_map.as_ref().map(CompiledEntityMap::compile),
+        }
     }
 
     /// May `caller` access a cookie created by `creator` on a visit to
-    /// `site_domain`?
+    /// `site`? Allocation-free: every step is an id comparison.
     ///
     /// `creator == None` means the cookie pre-dates the guard or its
     /// creator was never attributed; such cookies are conservatively
     /// treated as site-owned (only the owner reaches them).
     pub fn check(
         &self,
-        site_domain: &str,
+        site: DomainId,
         caller: &Caller,
-        creator: Option<&str>,
+        creator: Option<DomainId>,
     ) -> AccessDecision {
-        let caller_domain = match &caller.domain {
-            Some(d) => d.as_str(),
+        let caller_id = match caller.domain {
+            Some(d) => d,
             None => {
-                return match self.config.inline_policy {
+                return match self.inline_policy {
                     InlinePolicy::Strict => AccessDecision::Block(BlockReason::InlineStrict),
                     InlinePolicy::Relaxed => AccessDecision::Allow(AllowReason::RelaxedInline),
                 }
             }
         };
-        if caller_domain.eq_ignore_ascii_case(site_domain) {
+        if caller_id == site {
             return AccessDecision::Allow(AllowReason::SiteOwner);
         }
-        if self.config.whitelist.contains(caller_domain) {
+        if self.whitelist.contains(&caller_id) {
             return AccessDecision::Allow(AllowReason::Whitelisted);
         }
-        let creator = match creator {
-            Some(c) => c,
-            // Unattributed cookie: treated as the site's own.
-            None => site_domain,
-        };
-        if caller_domain.eq_ignore_ascii_case(creator) {
+        // Unattributed cookie: treated as the site's own.
+        let creator = creator.unwrap_or(site);
+        if caller_id == creator {
             return AccessDecision::Allow(AllowReason::Creator);
         }
-        if let Some(map) = &self.config.entity_map {
+        if let Some(ents) = &self.entities {
             // Only group when both domains are actually known to the map;
-            // the identity fallback must not make unknown == unknown leak.
-            if map.contains(caller_domain)
-                && map.contains(creator)
-                && map.same_entity(caller_domain, creator)
-            {
+            // unknown == unknown must not leak (same_entity on the
+            // compiled table is already strict about that).
+            if ents.same_entity(caller_id, creator) {
                 return AccessDecision::Allow(AllowReason::SameEntity);
             }
         }
@@ -101,10 +107,152 @@ impl GuardEngine {
     }
 
     /// May `caller` create a cookie that does not exist yet on a visit
-    /// to `site_domain`? Always yes for attributable callers; inline
-    /// callers follow the inline policy.
+    /// to `site`? Always yes for attributable callers; inline callers
+    /// follow the inline policy.
+    pub fn check_create(&self, site: DomainId, caller: &Caller) -> AccessDecision {
+        match (caller.domain, self.inline_policy) {
+            (Some(d), _) if d == site => AccessDecision::Allow(AllowReason::SiteOwner),
+            (Some(_), _) => AccessDecision::Allow(AllowReason::NewCookie),
+            (None, InlinePolicy::Relaxed) => AccessDecision::Allow(AllowReason::RelaxedInline),
+            (None, InlinePolicy::Strict) => AccessDecision::Block(BlockReason::InlineStrict),
+        }
+    }
+}
+
+/// Immutable, shareable policy core: config + compiled policy, built
+/// once per deployment.
+#[derive(Debug)]
+pub struct GuardEngine {
+    config: GuardConfig,
+    compiled: CompiledPolicy,
+}
+
+impl GuardEngine {
+    /// Compiles a config into an engine. Whitelist entries are
+    /// normalized here (lowercased, stray edge dots trimmed — the
+    /// interner's normalization, so an operator entry like
+    /// `".doubleclick.net"` matches), and the whole config is lowered to
+    /// a [`CompiledPolicy`] over interned ids, so the per-access checks
+    /// are pure integer lookups.
+    pub fn new(config: GuardConfig) -> GuardEngine {
+        let mut config = config;
+        config.whitelist = config
+            .whitelist
+            .iter()
+            .map(|d| d.trim_matches('.').to_ascii_lowercase())
+            .collect();
+        let compiled = CompiledPolicy::compile(&config);
+        GuardEngine { config, compiled }
+    }
+
+    /// Convenience: a ready-to-share engine.
+    pub fn shared(config: GuardConfig) -> Arc<GuardEngine> {
+        Arc::new(GuardEngine::new(config))
+    }
+
+    /// The active configuration (string form; the compiled form is
+    /// [`GuardEngine::compiled`]).
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+
+    /// The id-compiled decision procedure — what sessions and the access
+    /// layer consult per operation.
+    pub fn compiled(&self) -> &CompiledPolicy {
+        &self.compiled
+    }
+
+    /// Opens a cheap per-visit session for a top-level page on
+    /// `site_domain`, sharing this engine. The site domain is interned
+    /// here, once per visit.
+    pub fn session(self: &Arc<Self>, site_domain: &str) -> GuardSession {
+        GuardSession::new(Arc::clone(self), site_domain)
+    }
+
+    /// String-boundary form of [`CompiledPolicy::check`]: interns `site`
+    /// and `creator` and delegates. Convenient for tests and probing
+    /// tools; hot paths resolve ids once and call the compiled form.
+    pub fn check(
+        &self,
+        site_domain: &str,
+        caller: &Caller,
+        creator: Option<&str>,
+    ) -> AccessDecision {
+        self.compiled.check(
+            cg_url::intern(site_domain),
+            caller,
+            creator.map(cg_url::intern),
+        )
+    }
+
+    /// String-boundary form of [`CompiledPolicy::check_create`].
     pub fn check_create(&self, site_domain: &str, caller: &Caller) -> AccessDecision {
-        match (&caller.domain, self.config.inline_policy) {
+        self.compiled
+            .check_create(cg_url::intern(site_domain), caller)
+    }
+
+    /// The pre-compilation string-path decision procedure, kept as the
+    /// differential-testing oracle for [`CompiledPolicy::check`]: the
+    /// decision logic is verbatim; the entry normalization applies the
+    /// interner's rule (lowercase + stray edge dots trimmed) to every
+    /// input so both paths see the same domain space — a raw-string
+    /// `".Site.COM."` and the id for `site.com` must decide alike. Not
+    /// part of the public API.
+    #[doc(hidden)]
+    pub fn check_str_oracle(
+        &self,
+        site_domain: &str,
+        caller_domain: Option<&str>,
+        creator: Option<&str>,
+    ) -> AccessDecision {
+        let caller_domain = match caller_domain {
+            Some(d) => d.trim_matches('.').to_ascii_lowercase(),
+            None => {
+                return match self.config.inline_policy {
+                    InlinePolicy::Strict => AccessDecision::Block(BlockReason::InlineStrict),
+                    InlinePolicy::Relaxed => AccessDecision::Allow(AllowReason::RelaxedInline),
+                }
+            }
+        };
+        let site_domain = site_domain.trim_matches('.').to_ascii_lowercase();
+        if caller_domain.eq_ignore_ascii_case(&site_domain) {
+            return AccessDecision::Allow(AllowReason::SiteOwner);
+        }
+        if self.config.whitelist.contains(&caller_domain) {
+            return AccessDecision::Allow(AllowReason::Whitelisted);
+        }
+        let creator = creator.map(|c| c.trim_matches('.').to_ascii_lowercase());
+        let creator = match &creator {
+            Some(c) => c.as_str(),
+            None => site_domain.as_str(),
+        };
+        if caller_domain.eq_ignore_ascii_case(creator) {
+            return AccessDecision::Allow(AllowReason::Creator);
+        }
+        if let Some(map) = &self.config.entity_map {
+            if map.contains(&caller_domain)
+                && map.contains(creator)
+                && map.same_entity(&caller_domain, creator)
+            {
+                return AccessDecision::Allow(AllowReason::SameEntity);
+            }
+        }
+        AccessDecision::Block(BlockReason::CrossDomain)
+    }
+
+    /// String-path oracle for [`CompiledPolicy::check_create`]; see
+    /// [`GuardEngine::check_str_oracle`].
+    #[doc(hidden)]
+    pub fn check_create_str_oracle(
+        &self,
+        site_domain: &str,
+        caller_domain: Option<&str>,
+    ) -> AccessDecision {
+        let site_domain = site_domain.trim_matches('.');
+        match (
+            caller_domain.map(|d| d.trim_matches('.')),
+            self.config.inline_policy,
+        ) {
             (Some(d), _) if d.eq_ignore_ascii_case(site_domain) => {
                 AccessDecision::Allow(AllowReason::SiteOwner)
             }
@@ -165,5 +313,44 @@ mod tests {
             "sessions must share one engine"
         );
         assert_eq!(Arc::strong_count(&engine), 3);
+    }
+
+    #[test]
+    fn compiled_check_runs_on_ids() {
+        let engine = GuardEngine::new(
+            GuardConfig::strict()
+                .with_whitelisted("partner.io")
+                .with_entity_grouping(cg_entity::builtin_entity_map()),
+        );
+        let site = cg_url::intern("site.com");
+        let compiled = engine.compiled();
+        assert_eq!(
+            compiled.check(site, &Caller::external("site.com"), None),
+            AccessDecision::Allow(AllowReason::SiteOwner)
+        );
+        assert_eq!(
+            compiled.check(
+                site,
+                &Caller::external("partner.io"),
+                Some(cg_url::intern("anyone.net"))
+            ),
+            AccessDecision::Allow(AllowReason::Whitelisted)
+        );
+        assert_eq!(
+            compiled.check(
+                site,
+                &Caller::external("fbcdn.net"),
+                Some(cg_url::intern("facebook.net"))
+            ),
+            AccessDecision::Allow(AllowReason::SameEntity)
+        );
+        assert_eq!(
+            compiled.check(
+                site,
+                &Caller::external("stranger.net"),
+                Some(cg_url::intern("tracker.com"))
+            ),
+            AccessDecision::Block(BlockReason::CrossDomain)
+        );
     }
 }

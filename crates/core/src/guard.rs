@@ -13,9 +13,10 @@
 
 use crate::config::GuardConfig;
 use crate::engine::GuardEngine;
-use crate::metadata::{CookieOrigin, MetadataStore};
+use crate::metadata::{CookieOrigin, MetadataStore, OwnershipRecord};
 use crate::policy::{AccessDecision, Caller};
 use cg_cookiejar::Cookie;
+use cg_url::DomainId;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -55,20 +56,26 @@ impl GuardStats {
 /// Per-visit guard state: one session per top-level page visit, like the
 /// extension's per-tab state. Policy and entity data live in the shared
 /// [`GuardEngine`]; the session only owns the metadata store and stats.
+///
+/// The site domain is interned to a [`DomainId`] when the session opens;
+/// every enforcement decision below runs on the engine's
+/// [`CompiledPolicy`](crate::CompiledPolicy) with ids on both sides —
+/// no per-operation string normalization, hashing, or allocation.
 #[derive(Debug, Clone)]
 pub struct GuardSession {
     engine: Arc<GuardEngine>,
-    site_domain: String,
+    site_id: DomainId,
     metadata: MetadataStore,
     stats: GuardStats,
 }
 
 impl GuardSession {
     /// Opens a session for a visit to `site_domain` on a shared engine.
+    /// The site domain is interned here, once per visit.
     pub fn new(engine: Arc<GuardEngine>, site_domain: &str) -> GuardSession {
         GuardSession {
             engine,
-            site_domain: site_domain.to_ascii_lowercase(),
+            site_id: cg_url::intern(site_domain),
             metadata: MetadataStore::new(),
             stats: GuardStats::default(),
         }
@@ -79,9 +86,14 @@ impl GuardSession {
         &self.engine
     }
 
-    /// The guarded site.
+    /// The guarded site (normalized form).
     pub fn site_domain(&self) -> &str {
-        &self.site_domain
+        cg_url::name(self.site_id)
+    }
+
+    /// The guarded site's interned id.
+    pub fn site_id(&self) -> DomainId {
+        self.site_id
     }
 
     /// Read access to the accumulated statistics.
@@ -120,18 +132,34 @@ impl GuardSession {
     // Enforcement (the "get"/"set" interception of cookieGuard.js)
     // ------------------------------------------------------------------
 
+    /// The per-cookie visibility decision: one metadata hash, then pure
+    /// id comparisons on the compiled policy. Grandfathered cookies keep
+    /// legacy full visibility.
+    #[inline]
+    fn may_access(&self, caller: &Caller, name: &str) -> bool {
+        let (grandfathered, creator) = match self.metadata.lookup(name) {
+            Some(OwnershipRecord {
+                origin: CookieOrigin::Grandfathered,
+                ..
+            }) => (true, None),
+            Some(r) => (false, r.creator),
+            None => (false, None),
+        };
+        grandfathered
+            || self
+                .engine
+                .compiled()
+                .check(self.site_id, caller, creator)
+                .is_allow()
+    }
+
     /// Non-mutating visibility check: may `caller` observe cookie
     /// `name`? Used to filter CookieStore `change` events — a script must
     /// not learn about changes to cookies it could not read (otherwise a
     /// respawning tracker could watch for a consent manager deleting
     /// foreign identifiers).
     pub fn may_observe(&self, caller: &Caller, name: &str) -> bool {
-        if self.metadata.is_grandfathered(name) {
-            return true;
-        }
-        self.engine
-            .check(&self.site_domain, caller, self.metadata.creator(name))
-            .is_allow()
+        self.may_access(caller, name)
     }
 
     /// Filters a `document.cookie` / `cookieStore.getAll` result for
@@ -141,13 +169,7 @@ impl GuardSession {
         let before = cookies.len();
         let visible: Vec<Cookie> = cookies
             .into_iter()
-            .filter(|c| {
-                self.metadata.is_grandfathered(&c.name)
-                    || self
-                        .engine
-                        .check(&self.site_domain, caller, self.metadata.creator(&c.name))
-                        .is_allow()
-            })
+            .filter(|c| self.may_access(caller, &c.name))
             .collect();
         if visible.len() < before {
             self.stats.reads_filtered += 1;
@@ -172,19 +194,15 @@ impl GuardSession {
     }
 
     /// Name-only variant of [`GuardSession::filter_read`] for callers
-    /// that work with cookie names (tests, policy probing).
-    pub fn filter_names(&mut self, caller: &Caller, names: &[String]) -> Vec<String> {
+    /// that work with cookie names (tests, policy probing). Borrows the
+    /// input names and returns the visible subset as borrowed slices —
+    /// no cloning.
+    pub fn filter_names<'n>(&mut self, caller: &Caller, names: &[&'n str]) -> Vec<&'n str> {
         let before = names.len();
-        let visible: Vec<String> = names
+        let visible: Vec<&'n str> = names
             .iter()
-            .filter(|n| {
-                self.metadata.is_grandfathered(n)
-                    || self
-                        .engine
-                        .check(&self.site_domain, caller, self.metadata.creator(n))
-                        .is_allow()
-            })
-            .cloned()
+            .filter(|n| self.may_access(caller, n))
+            .copied()
             .collect();
         if visible.len() < before {
             self.stats.reads_filtered += 1;
@@ -199,28 +217,30 @@ impl GuardSession {
     /// `caller`. On success the metadata records the caller as creator
     /// (for new cookies) or keeps/moves ownership per policy.
     pub fn authorize_write(&mut self, caller: &Caller, name: &str) -> AccessDecision {
-        let grandfathered = self.metadata.is_grandfathered(name);
-        let decision = if grandfathered {
+        let record = self.metadata.lookup(name);
+        let grandfathered = matches!(
+            record,
+            Some(OwnershipRecord {
+                origin: CookieOrigin::Grandfathered,
+                ..
+            })
+        );
+        let compiled = self.engine.compiled();
+        let decision = match record {
             // Legacy cookie: any writer may claim it (relearning phase).
-            self.engine.check_create(&self.site_domain, caller)
-        } else if self.metadata.knows(name) {
-            self.engine
-                .check(&self.site_domain, caller, self.metadata.creator(name))
-        } else {
-            self.engine.check_create(&self.site_domain, caller)
+            _ if grandfathered => compiled.check_create(self.site_id, caller),
+            Some(r) => compiled.check(self.site_id, caller, r.creator),
+            None => compiled.check_create(self.site_id, caller),
         };
         if decision.is_allow() {
             self.stats.writes_allowed += 1;
-            if grandfathered || !self.metadata.knows(name) {
+            if grandfathered || record.is_none() {
                 // New (or relearned) cookie: ownership goes to the
                 // (attributed) caller; inline-relaxed writes are owned by
                 // the site.
-                let creator = caller
-                    .domain
-                    .clone()
-                    .unwrap_or_else(|| self.site_domain.clone());
+                let creator = caller.domain.unwrap_or(self.site_id);
                 self.metadata
-                    .record(name, Some(&creator), CookieOrigin::DocumentCookie);
+                    .record_id(name, Some(creator), CookieOrigin::DocumentCookie);
             }
         } else {
             self.stats.writes_blocked += 1;
@@ -231,16 +251,17 @@ impl GuardSession {
     /// Authorizes a deletion of cookie `name` by `caller`; on success the
     /// metadata forgets the cookie.
     pub fn authorize_delete(&mut self, caller: &Caller, name: &str) -> AccessDecision {
-        let decision = if self.metadata.is_grandfathered(name) {
+        let compiled = self.engine.compiled();
+        let decision = match self.metadata.lookup(name) {
             // Legacy cookie: deletable by anyone (pre-guard behaviour).
-            self.engine.check_create(&self.site_domain, caller)
-        } else if self.metadata.knows(name) {
-            self.engine
-                .check(&self.site_domain, caller, self.metadata.creator(name))
-        } else {
+            Some(OwnershipRecord {
+                origin: CookieOrigin::Grandfathered,
+                ..
+            }) => compiled.check_create(self.site_id, caller),
+            Some(r) => compiled.check(self.site_id, caller, r.creator),
             // Deleting a cookie the guard never saw: treat like touching
             // an unattributed (site-owned) cookie.
-            self.engine.check(&self.site_domain, caller, None)
+            None => compiled.check(self.site_id, caller, None),
         };
         if decision.is_allow() {
             self.metadata.forget(name);
@@ -332,7 +353,7 @@ impl CookieGuard {
     }
 
     /// See [`GuardSession::filter_names`].
-    pub fn filter_names(&mut self, caller: &Caller, names: &[String]) -> Vec<String> {
+    pub fn filter_names<'n>(&mut self, caller: &Caller, names: &[&'n str]) -> Vec<&'n str> {
         self.session.filter_names(caller, names)
     }
 

@@ -52,14 +52,24 @@
 //!
 //! // A different third party cannot see or touch it…
 //! let other = Caller::external("ads.example.net");
-//! let visible = guard.filter_names(&other, &["_tid".to_string()]);
+//! let visible = guard.filter_names(&other, &["_tid"]);
 //! assert!(visible.is_empty());
 //! assert!(!guard.authorize_write(&other, "_tid").is_allow());
 //!
 //! // …but the site owner can.
 //! let owner = Caller::external("shop.example");
-//! assert_eq!(guard.filter_names(&owner, &["_tid".to_string()]).len(), 1);
+//! assert_eq!(guard.filter_names(&owner, &["_tid"]).len(), 1);
 //! ```
+//!
+//! # Compiled policy
+//!
+//! All of the above runs on interned ids internally: [`GuardEngine::new`]
+//! lowers the config to a [`CompiledPolicy`] (whitelist as
+//! `HashSet<DomainId>`, entity map as a dense `DomainId → EntityId`
+//! table), sessions intern their site domain once, and callers carry a
+//! pre-resolved [`cg_url::DomainId`] — so the per-operation decision is
+//! a handful of integer comparisons with zero allocation. Ids live only
+//! in memory: every serde boundary resolves them back to names.
 
 pub mod access;
 pub mod config;
@@ -74,9 +84,9 @@ pub use access::{
 };
 pub use config::{GuardConfig, InlinePolicy};
 pub use deployment::{DeploymentStage, PrivacyPreset};
-pub use engine::GuardEngine;
+pub use engine::{CompiledPolicy, GuardEngine};
 pub use guard::{CookieGuard, GuardSession, GuardStats};
-pub use metadata::{CookieOrigin, MetadataStore};
+pub use metadata::{CookieOrigin, MetadataStore, NameId, OwnershipRecord};
 pub use policy::{AccessDecision, AllowReason, BlockReason, Caller, PolicyEngine};
 
 #[cfg(test)]
@@ -102,7 +112,7 @@ mod proptests {
         fn no_cross_domain_visibility(creator in domain_strategy(), reader in domain_strategy()) {
             let mut guard = CookieGuard::new(GuardConfig::strict(), "site.com");
             guard.authorize_write(&Caller::external(&creator), "c");
-            let visible = guard.filter_names(&Caller::external(&reader), &["c".to_string()]);
+            let visible = guard.filter_names(&Caller::external(&reader), &["c"]);
             let allowed = reader == creator || reader == "site.com";
             prop_assert_eq!(!visible.is_empty(), allowed);
         }
@@ -116,8 +126,9 @@ mod proptests {
                 guard.authorize_write(&Caller::external(c), &name);
                 name
             }).collect();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
             let owner = Caller::external("site.com");
-            prop_assert_eq!(guard.filter_names(&owner, &names).len(), names.len());
+            prop_assert_eq!(guard.filter_names(&owner, &name_refs).len(), names.len());
         }
 
         /// Invariant 3: strict mode ⇒ inline scripts see nothing.
@@ -125,7 +136,7 @@ mod proptests {
         fn strict_inline_sees_nothing(creator in domain_strategy()) {
             let mut guard = CookieGuard::new(GuardConfig::strict(), "site.com");
             guard.authorize_write(&Caller::external(&creator), "c");
-            let visible = guard.filter_names(&Caller::inline(), &["c".to_string()]);
+            let visible = guard.filter_names(&Caller::inline(), &["c"]);
             prop_assert!(visible.is_empty());
         }
 
@@ -135,7 +146,7 @@ mod proptests {
             let mut guard = CookieGuard::new(GuardConfig::strict(), "site.com");
             guard.authorize_write(&Caller::external(&creator), "c");
             let caller = Caller::external(&reader);
-            let once = guard.filter_names(&caller, &["c".to_string()]);
+            let once = guard.filter_names(&caller, &["c"]);
             let twice = guard.filter_names(&caller, &once);
             prop_assert_eq!(once, twice);
         }
@@ -164,8 +175,8 @@ mod proptests {
                 grouped.authorize_write(&Caller::external(creator), "c");
 
                 let caller = Caller::external(reader);
-                let s = !strict.filter_names(&caller, &["c".to_string()]).is_empty();
-                let g = !grouped.filter_names(&caller, &["c".to_string()]).is_empty();
+                let s = !strict.filter_names(&caller, &["c"]).is_empty();
+                let g = !grouped.filter_names(&caller, &["c"]).is_empty();
                 if s {
                     assert!(g, "grouping removed visibility {creator}->{reader}");
                 }

@@ -1,28 +1,81 @@
 //! The policy engine: who may touch which cookie.
 
 use crate::config::GuardConfig;
+use cg_url::DomainId;
 use serde::{Deserialize, Serialize};
 
 /// The identity of a script performing a cookie operation, as recovered
 /// from the stack trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The domain is carried as an interned [`DomainId`] — resolved once,
+/// at attribution time, so every policy check downstream is an integer
+/// comparison. `Caller` is `Copy`: contexts clone it for free. The serde
+/// impls resolve the id back to the domain *name* (via [`cg_url::name`]),
+/// so serialized callers never contain ids — the wire-format invariant
+/// shared with the rest of the compiled policy stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Caller {
-    /// The script's eTLD+1; `None` for inline scripts and async callbacks
-    /// whose stack was lost (both attribute as "no reliable origin").
-    pub domain: Option<String>,
+    /// The script's interned eTLD+1; `None` for inline scripts and async
+    /// callbacks whose stack was lost (both attribute as "no reliable
+    /// origin").
+    pub domain: Option<DomainId>,
 }
 
 impl Caller {
-    /// A caller attributed to an external script domain.
+    /// A caller attributed to an external script domain (interned,
+    /// normalized to lowercase).
     pub fn external(domain: &str) -> Caller {
         Caller {
-            domain: Some(domain.to_ascii_lowercase()),
+            domain: Some(cg_url::intern(domain)),
+        }
+    }
+
+    /// A caller attributed to an already-interned domain — the zero-cost
+    /// constructor for hot paths that resolved the id earlier.
+    pub fn from_id(domain: DomainId) -> Caller {
+        Caller {
+            domain: Some(domain),
         }
     }
 
     /// An inline / unattributable caller.
     pub fn inline() -> Caller {
         Caller { domain: None }
+    }
+
+    /// The caller's domain name (normalized form), when attributed.
+    pub fn domain_name(&self) -> Option<&'static str> {
+        self.domain.map(cg_url::name)
+    }
+}
+
+// Ids never cross a serialization boundary: the wire form is the domain
+// name, exactly as it was before `Caller` was compiled to ids.
+impl Serialize for Caller {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![(
+            serde::Content::Str("domain".to_string()),
+            match self.domain {
+                Some(id) => serde::Content::Str(cg_url::name(id).to_string()),
+                None => serde::Content::Null,
+            },
+        )])
+    }
+}
+
+impl<'de> Deserialize<'de> for Caller {
+    fn from_content(content: &serde::Content) -> Result<Caller, serde::DeError> {
+        let domain = match content.get("domain") {
+            Some(serde::Content::Str(s)) => Some(cg_url::intern(s)),
+            Some(serde::Content::Null) | None => None,
+            Some(other) => {
+                return Err(serde::DeError(format!(
+                    "Caller.domain: expected string or null, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        Ok(Caller { domain })
     }
 }
 
@@ -80,7 +133,7 @@ impl AccessDecision {
 #[derive(Debug, Clone)]
 pub struct PolicyEngine {
     engine: std::sync::Arc<crate::GuardEngine>,
-    site_domain: String,
+    site_id: DomainId,
 }
 
 impl PolicyEngine {
@@ -91,20 +144,21 @@ impl PolicyEngine {
         PolicyEngine::on_engine(crate::GuardEngine::shared(config), site_domain)
     }
 
-    /// Binds an existing shared engine to a site.
+    /// Binds an existing shared engine to a site (the site domain is
+    /// interned once, here).
     pub fn on_engine(
         engine: std::sync::Arc<crate::GuardEngine>,
         site_domain: &str,
     ) -> PolicyEngine {
         PolicyEngine {
             engine,
-            site_domain: site_domain.to_ascii_lowercase(),
+            site_id: cg_url::intern(site_domain),
         }
     }
 
     /// The site this engine guards.
     pub fn site_domain(&self) -> &str {
-        &self.site_domain
+        cg_url::name(self.site_id)
     }
 
     /// The active configuration.
@@ -115,13 +169,15 @@ impl PolicyEngine {
     /// May `caller` access a cookie created by `creator`? See
     /// [`crate::GuardEngine::check`].
     pub fn check(&self, caller: &Caller, creator: Option<&str>) -> AccessDecision {
-        self.engine.check(&self.site_domain, caller, creator)
+        self.engine
+            .compiled()
+            .check(self.site_id, caller, creator.map(cg_url::intern))
     }
 
     /// May `caller` create a cookie that does not exist yet? See
     /// [`crate::GuardEngine::check_create`].
     pub fn check_create(&self, caller: &Caller) -> AccessDecision {
-        self.engine.check_create(&self.site_domain, caller)
+        self.engine.compiled().check_create(self.site_id, caller)
     }
 }
 

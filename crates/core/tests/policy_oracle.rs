@@ -1,0 +1,169 @@
+//! Differential testing: the id-compiled decision path
+//! ([`cookieguard_core::CompiledPolicy`]) against the retained verbatim
+//! string-path oracle (`GuardEngine::check_str_oracle`).
+//!
+//! For random configs (inline policy × whitelist × entity map), sites,
+//! callers, and creators — in mixed case, with stray edge dots, and
+//! including domains unknown to the entity map — the two paths must
+//! return *identical* `AccessDecision`s, reasons included. CI runs the
+//! property below by name so a test-filter regression cannot silently
+//! skip it.
+
+use cg_entity::EntityMap;
+use cookieguard_core::{AccessDecision, Caller, GuardConfig, GuardEngine, InlinePolicy};
+use proptest::prelude::*;
+
+/// Domain pool: mixed case and stray edge dots (both paths apply the
+/// interner's normalization — lowercase, dots trimmed — and must
+/// agree), entity-mapped and unmapped domains, and spellings that
+/// collapse to the same normalized domain.
+fn domain() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "site.com",
+        "SITE.com",
+        "site.com.",
+        "Shop.Example",
+        "tracker.com",
+        "ads.net",
+        "facebook.net",
+        "FBCDN.net",
+        "fbcdn.net",
+        ".fbcdn.net",
+        "instagram.com",
+        "criteo.com",
+        "partner.io",
+        ".Partner.IO.",
+        "unknown-a.example",
+        "Unknown-B.example",
+        "cdn.io",
+    ])
+}
+
+fn entity() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["Meta", "Criteo", "Org-C"])
+}
+
+fn build_config(relaxed: bool, whitelist: &[&str], entities: &[(&str, &str)]) -> GuardConfig {
+    let mut config = if relaxed {
+        GuardConfig::relaxed()
+    } else {
+        GuardConfig::strict()
+    };
+    for d in whitelist {
+        config = config.with_whitelisted(d);
+    }
+    if !entities.is_empty() {
+        let mut map = EntityMap::new();
+        for (d, e) in entities {
+            map.insert(d, e);
+        }
+        config = config.with_entity_grouping(map);
+    }
+    config
+}
+
+proptest! {
+    /// THE differential property: for every generated (config, site,
+    /// caller, creator) the compiled path and the string oracle agree
+    /// exactly — on `check` and on `check_create`.
+    #[test]
+    fn compiled_policy_matches_string_oracle(
+        site in domain(),
+        caller in prop::option::of(domain()),
+        creator in prop::option::of(domain()),
+        relaxed in any::<bool>(),
+        whitelist in prop::collection::vec(domain(), 0..3),
+        entities in prop::collection::vec((domain(), entity()), 0..6),
+    ) {
+        let config = build_config(relaxed, &whitelist, &entities);
+        let engine = GuardEngine::new(config);
+
+        let caller_struct = match caller {
+            Some(d) => Caller::external(d),
+            None => Caller::inline(),
+        };
+        let compiled = engine.check(site, &caller_struct, creator);
+        let oracle = engine.check_str_oracle(site, caller, creator);
+        prop_assert_eq!(
+            compiled, oracle,
+            "check diverged: site={:?} caller={:?} creator={:?}",
+            site, caller, creator
+        );
+
+        let compiled_create = engine.check_create(site, &caller_struct);
+        let oracle_create = engine.check_create_str_oracle(site, caller);
+        prop_assert_eq!(
+            compiled_create, oracle_create,
+            "check_create diverged: site={:?} caller={:?}",
+            site, caller
+        );
+    }
+}
+
+/// Exhaustive sweep over the full pool for the two fixed configs the
+/// paper evaluates (strict, strict+grouping) — no sampling gaps for the
+/// edge cases named in the issue: case-normalization and domains unknown
+/// to the entity map.
+#[test]
+fn compiled_policy_matches_string_oracle_exhaustively() {
+    let pool = [
+        "site.com",
+        "SITE.com",
+        "site.com.",
+        "tracker.com",
+        "facebook.net",
+        "fbcdn.net",
+        "FBCDN.net",
+        ".fbcdn.net",
+        "criteo.com",
+        "partner.io",
+        "unknown-a.example",
+        "Unknown-B.example",
+    ];
+    let configs = [
+        GuardConfig::strict(),
+        GuardConfig::strict()
+            .with_whitelisted("partner.io")
+            .with_entity_grouping(cg_entity::builtin_entity_map()),
+        GuardConfig::relaxed().with_entity_grouping(cg_entity::builtin_entity_map()),
+    ];
+    let mut checked = 0usize;
+    for config in configs {
+        let engine = GuardEngine::new(config);
+        for site in pool {
+            for caller in pool.iter().map(Some).chain([None]) {
+                for creator in pool.iter().map(Some).chain([None]) {
+                    let caller_struct = match caller {
+                        Some(d) => Caller::external(d),
+                        None => Caller::inline(),
+                    };
+                    let compiled = engine.check(site, &caller_struct, creator.copied());
+                    let oracle = engine.check_str_oracle(site, caller.copied(), creator.copied());
+                    assert_eq!(
+                        compiled, oracle,
+                        "diverged: site={site:?} caller={caller:?} creator={creator:?}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 3_000, "sweep actually ran ({checked} cases)");
+}
+
+/// The inline-policy edge: origin-less callers must take the configured
+/// inline branch identically on both paths.
+#[test]
+fn inline_callers_follow_inline_policy_on_both_paths() {
+    for (relaxed, expect_allow) in [(false, false), (true, true)] {
+        let engine = GuardEngine::new(build_config(relaxed, &[], &[]));
+        let compiled = engine.check("site.com", &Caller::inline(), Some("tracker.com"));
+        let oracle = engine.check_str_oracle("site.com", None, Some("tracker.com"));
+        assert_eq!(compiled, oracle);
+        assert_eq!(compiled.is_allow(), expect_allow);
+        match engine.config().inline_policy {
+            InlinePolicy::Strict => assert!(matches!(compiled, AccessDecision::Block(_))),
+            InlinePolicy::Relaxed => assert!(matches!(compiled, AccessDecision::Allow(_))),
+        }
+    }
+}

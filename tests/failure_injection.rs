@@ -124,7 +124,7 @@ fn name_squatting_is_first_writer_wins() {
     assert_eq!(guard.metadata().creator("_ga"), Some("squatter.evil"));
     // The squatter cannot, however, see anyone else's cookies…
     assert!(guard
-        .filter_names(&Caller::external("squatter.evil"), &["other".to_string()])
+        .filter_names(&Caller::external("squatter.evil"), &["other"])
         .is_empty());
     // …and the site owner can always delete the squatted name.
     assert!(guard

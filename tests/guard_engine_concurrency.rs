@@ -35,10 +35,7 @@ fn one_engine_many_threads_stats_aggregate() {
                         // under the strict engine.
                         assert!(session.may_observe(&Caller::external("partner.example"), "_tid"));
                         assert!(session.may_observe(&Caller::external(&site), "_tid"));
-                        let filtered = session.filter_names(
-                            &Caller::inline(),
-                            &["_tid".to_string(), "other".to_string()],
-                        );
+                        let filtered = session.filter_names(&Caller::inline(), &["_tid", "other"]);
                         assert!(filtered.is_empty());
                         total = total.merge(&session.stats());
                     }
