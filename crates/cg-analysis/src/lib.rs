@@ -7,6 +7,12 @@
 //! cross-domain access, manipulation, and exfiltration is an *inference*
 //! over observable events, with the same blind spots (e.g. full-value
 //! Base64 encodings defeat segment-level identifier matching).
+//!
+//! **Layer:** analysis (consumes `cg-instrument` logs; never touches the
+//! simulator). **Invariant:** every statistic is a pure fold over
+//! `VisitLog`s, so in-memory and streamed (crawl-store) analyses agree.
+//! **Entry points:** `Dataset`, `detect_exfiltration`,
+//! `detect_manipulation`, `cross_domain_summary`, `build_filter_engine`.
 
 pub mod dataset;
 pub mod dom_pilot;

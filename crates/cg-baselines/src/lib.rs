@@ -18,6 +18,12 @@
 //!
 //! [`compare`] runs all of them — and CookieGuard — over one generated
 //! population and emits the protection-vs-breakage matrix.
+//!
+//! **Layer:** analysis/defense (same simulator, same logs as the guard
+//! evaluation). **Invariant:** every defense is measured by the identical
+//! crawl + detector pipeline, so matrix rows are comparable cell for
+//! cell. **Entry points:** `Defense`, `run_defense_matrix`,
+//! `BlocklistDefense`, `run_csp_gap`, `fidelity_study`.
 
 pub mod blocklist;
 pub mod classifier;

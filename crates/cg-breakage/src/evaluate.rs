@@ -1,7 +1,7 @@
 //! Breakage evaluation: paired visits, probe-regression classification.
 
 use cg_browser::{visit_site, VisitConfig};
-use cg_instrument::ProbeEvent;
+use cg_instrument::{ProbeEvent, VisitLog};
 use cg_webgen::WebGenerator;
 use cookieguard_core::GuardConfig;
 use serde::{Deserialize, Serialize};
@@ -112,6 +112,43 @@ fn classify(feature: &str) -> Option<(BreakageCategory, BreakageSeverity)> {
     }
 }
 
+/// One functional probe that passed in a baseline visit but failed in a
+/// defended visit of the same site — the unit of breakage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeRegression {
+    /// Feature label (`sso`, `cart`, `chat`, …).
+    pub feature: String,
+    /// The cookie the feature depends on.
+    pub cookie: String,
+    /// The probing script's domain, when attributable.
+    pub actor: Option<String>,
+}
+
+/// Compares the probe outcomes of two visits of the same site and
+/// returns every probe that passed in `baseline` but failed in
+/// `defended`, sorted (feature, cookie, actor) for deterministic
+/// downstream output. Probes already failing in the baseline are not
+/// regressions (the site was broken without the defense), matching the
+/// paper's manual protocol. Both Table 3
+/// ([`crate::evaluate_breakage`]) and the scenario matrix
+/// (`cg-scenarios`) classify breakage through this one comparison.
+pub fn probe_regressions(baseline: &VisitLog, defended: &VisitLog) -> Vec<ProbeRegression> {
+    let before = probe_outcomes(&baseline.probes);
+    let after = probe_outcomes(&defended.probes);
+    let mut out: Vec<ProbeRegression> = before
+        .into_iter()
+        .filter(|(_, ok_before)| *ok_before)
+        .filter(|(key, _)| matches!(after.get(key), Some(false)))
+        .map(|((feature, cookie, actor), _)| ProbeRegression {
+            feature,
+            cookie,
+            actor,
+        })
+        .collect();
+    out.sort_by(|a, b| (&a.feature, &a.cookie, &a.actor).cmp(&(&b.feature, &b.cookie, &b.actor)));
+    out
+}
+
 /// Keyed probe outcomes: (feature, cookie, actor) → all-succeeded?
 fn probe_outcomes(probes: &[ProbeEvent]) -> HashMap<(String, String, Option<String>), bool> {
     let mut map: HashMap<(String, String, Option<String>), bool> = HashMap::new();
@@ -150,22 +187,13 @@ pub fn evaluate_breakage(
         let guarded = visit_site(&bp, &guarded_cfg, seed);
         report.sites += 1;
 
-        let before = probe_outcomes(&regular.log.probes);
-        let after = probe_outcomes(&guarded.log.probes);
-
         let mut findings: Vec<(BreakageCategory, BreakageSeverity, String)> = Vec::new();
         let mut seen: std::collections::HashSet<(BreakageCategory, BreakageSeverity)> =
             std::collections::HashSet::new();
-        for (key, ok_before) in &before {
-            if !ok_before {
-                continue; // broken even without the guard: not our breakage
-            }
-            let regressed = matches!(after.get(key), Some(false));
-            if regressed {
-                if let Some((cat, sev)) = classify(&key.0) {
-                    if seen.insert((cat, sev)) {
-                        findings.push((cat, sev, format!("{} depends on {}", key.0, key.1)));
-                    }
+        for r in probe_regressions(&regular.log, &guarded.log) {
+            if let Some((cat, sev)) = classify(&r.feature) {
+                if seen.insert((cat, sev)) {
+                    findings.push((cat, sev, format!("{} depends on {}", r.feature, r.cookie)));
                 }
             }
         }

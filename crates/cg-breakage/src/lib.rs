@@ -24,11 +24,18 @@
 //! a probe regression can only come from the guard's policy decision at
 //! that one chokepoint, never from a divergent guard/jar/log dance in
 //! some workload-specific code path.
+//!
+//! **Layer:** evaluation (paired `cg-browser` visits, probe
+//! comparison). **Invariant:** breakage is always a *regression* —
+//! probes failing without the guard never count. **Entry points:**
+//! `evaluate_breakage`, `probe_regressions` (shared with the scenario
+//! matrix).
 
 pub mod evaluate;
 
 pub use evaluate::{
-    evaluate_breakage, BreakageCategory, BreakageReport, BreakageSeverity, SiteBreakage,
+    evaluate_breakage, probe_regressions, BreakageCategory, BreakageReport, BreakageSeverity,
+    ProbeRegression, SiteBreakage,
 };
 
 #[cfg(test)]

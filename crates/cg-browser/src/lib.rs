@@ -19,13 +19,21 @@
 //! The same [`Page`] type therefore reproduces both halves of the paper:
 //! crawling without a guard yields the §5 measurement dataset; attaching
 //! a [`cookieguard_core::CookieGuard`] yields the §7 evaluation.
+//!
+//! **Layer:** simulation core (everything between blueprints and logs).
+//! **Invariant:** every cookie operation flows through the
+//! `GuardedJar` access layer — no workload-specific guard/jar/log
+//! interleaving exists anywhere else. **Entry points:** `visit_site`,
+//! `crawl_range`/`crawl_into`, `visit_under_conditions`, `Page`.
 
 pub mod crawler;
 pub mod page;
+pub mod scenario;
 pub mod timing;
 pub mod visit;
 
 pub use crawler::{crawl_into, crawl_range, CrawlSummary, SinkWorker, VecCollector, VisitSink};
 pub use page::Page;
+pub use scenario::{visit_under_conditions, ConditionOutcome};
 pub use timing::{simulate_timing, PageTiming};
 pub use visit::{visit_site, visit_site_with_jar, VisitConfig, VisitOutcome};

@@ -4,7 +4,7 @@
 //! # Storage layout
 //!
 //! The jar is *domain-sharded*: cookies live in per-eTLD+1 buckets keyed
-//! by interned [`DomainId`]s (see [`cg_url::intern`]). Every lookup —
+//! by interned [`DomainId`]s (see [`cg_url::intern()`]). Every lookup —
 //! `document.cookie`, `Cookie:` header assembly, deletion, eviction —
 //! resolves the request host to its shard id once (memoized process-wide)
 //! and then touches only that bucket, never the whole jar. This is sound
@@ -86,7 +86,7 @@ struct StoredCookie {
 /// Every per-operation entry point re-resolves `host → DomainId`
 /// through the process-wide memo table (a normalize + lock + hash per
 /// call). A burst of cookie operations from one page always targets the
-/// same host, so the access layer ([`cookieguard_core`]'s `GuardedJar`)
+/// same host, so the access layer (`cookieguard_core`'s `GuardedJar`)
 /// resolves the pin once per page and calls the `*_pinned` variants.
 #[derive(Debug, Clone)]
 pub struct ShardPin {

@@ -14,6 +14,14 @@
 //!   (`cookieguard-core`), mirroring the paper's architecture.
 //! * Time is injected (`now_ms`) rather than read from a clock, so every
 //!   simulation is deterministic and property tests can travel in time.
+//!
+//! **Layer:** storage. **Invariants:** RFC 6265 semantics; shard by
+//! eTLD+1 (every read/delete/evict touches one bucket); iteration
+//! order and serde wire format identical to the historical flat jar
+//! (`FlatJar` remains as the equivalence oracle). **Entry points:**
+//! `CookieJar`, `ShardPin`.
+
+#![warn(missing_docs)]
 
 pub mod changes;
 pub mod cookie;

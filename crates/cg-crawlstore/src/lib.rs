@@ -42,6 +42,13 @@
 //!     println!("{} rank {}", log.site_domain, log.rank);
 //! }
 //! ```
+//!
+//! **Layer:** persistence (between `cg-browser` crawls and
+//! `cg-analysis`). **Invariants:** segments are internally rank-sorted
+//! append-only runs; the manifest's fingerprint gates resume; a
+//! killed-and-resumed crawl's merged stream is byte-identical to an
+//! uninterrupted one. **Entry points:** `open_store`,
+//! `crawl_to_store`, `CrawlWriter`, `CrawlReader`.
 
 pub mod manifest;
 pub mod reader;

@@ -15,6 +15,11 @@
 //! * [`Element`]s with an *owner* (the domain of the script that created
 //!   or last modified them), backing the §8 pilot measurement of
 //!   cross-domain DOM manipulation.
+//!
+//! **Layer:** ecosystem substrate (consumed by `cg-browser` and
+//! `cg-domguard`). **Invariant:** every element and script records the
+//! eTLD+1 that created it — ownership is never inferred after the fact.
+//! **Entry points:** `Document`, `Element`, `ScriptNode`.
 
 pub mod document;
 pub mod element;

@@ -39,6 +39,11 @@
 //! let owner = Caller::external("shop.example");
 //! assert!(guard.authorize(&owner, "ads.example.net", MutationKind::Remove).is_allow());
 //! ```
+//!
+//! **Layer:** defense (beside `cookieguard_core`, enforced by
+//! `cg-browser::Page` at DOM-mutation time). **Invariant:** decisions
+//! depend only on (caller, element owner, mutation kind) — never on
+//! mutation payloads. **Entry points:** `DomGuard`, `DomGuardConfig`.
 
 use cg_entity::EntityMap;
 use cookieguard_core::{AccessDecision, AllowReason, BlockReason, Caller, InlinePolicy};

@@ -9,6 +9,12 @@
 //! matrix: blocklist ± evasion, partitioning, CookieGraph-lite,
 //! CookieGuard), and `csp` (the §2.1 CSP gap). Scale with `--sites N`
 //! (default 20,000) and `--threads T`.
+//!
+//! **Layer:** orchestration (the CLI over every other crate).
+//! **Invariant:** experiment output is deterministic for a given
+//! (seed, sites) at any thread count. **Entry points:** the
+//! `cg-experiments` binary, `CrawlContext`, `run_scenarios`, and the
+//! per-table `run_*` functions.
 
 pub mod ablation;
 pub mod baselines;
@@ -18,6 +24,7 @@ pub mod expectations;
 pub mod extensions;
 pub mod measurement;
 pub mod render;
+pub mod scenarios;
 
 pub use ablation::run_ablation;
 pub use baselines::{run_baselines, run_csp_gap_exp};
@@ -25,3 +32,4 @@ pub use context::{CrawlContext, ExperimentOptions};
 pub use evaluation::{run_fig5, run_table3, run_table4_and_figs};
 pub use extensions::{run_domguard, run_rollout, run_sec5_7};
 pub use measurement::run_measurement_experiments;
+pub use scenarios::{run_scenarios, ScenarioOptions};

@@ -47,8 +47,62 @@ fn parse_numeric_arg<T: std::str::FromStr>(value: Option<&String>, flag: &str) -
     }
 }
 
+/// Parses and runs `cg-experiments scenarios [--seed S] [--threads T]
+/// [--json PATH] [--golden PATH]` — the adversarial scenario catalog.
+fn run_scenarios_cli(args: &[String]) -> ! {
+    let mut opts = cg_experiments::ScenarioOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                opts.seed = parse_numeric_arg(args.get(i), "--seed");
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = parse_numeric_arg(args.get(i), "--threads");
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => opts.json = Some(std::path::PathBuf::from(p)),
+                    None => {
+                        eprintln!("--json requires a path; see --help");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--golden" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => opts.golden = Some(std::path::PathBuf::from(p)),
+                    None => {
+                        eprintln!("--golden requires a path; see --help");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown scenarios argument {other:?}; see --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    match cg_experiments::run_scenarios(&opts) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("scenarios") {
+        run_scenarios_cli(&args[2..]);
+    }
     let mut opts = ExperimentOptions::default();
     let mut exps: Vec<String> = vec!["all".to_string()];
     let mut json_path: Option<String> = None;
@@ -236,6 +290,14 @@ fn print_help() {
     println!(
         "USAGE: cg-experiments [--exp LIST] [--sites N] [--seed S] [--threads T] [--json PATH] [--store DIR]"
     );
+    println!(
+        "       cg-experiments scenarios [--seed S] [--threads T] [--json PATH] [--golden PATH]"
+    );
+    println!();
+    println!("The `scenarios` subcommand runs the adversarial scenario catalog");
+    println!("(crate cg-scenarios) under vanilla + CookieGuard variants + baseline");
+    println!("defenses and emits a deterministic matrix; --golden diffs the JSON");
+    println!("against a checked-in file and exits 1 on mismatch.");
     println!();
     println!("Experiments (comma-separated, default 'all'):");
     println!("  measurement: {}", MEASUREMENT_EXPERIMENTS.join(", "));

@@ -20,6 +20,11 @@
 //! engines use) and a generator that derives nine synthetic lists from the
 //! vendor registry so the classification decision is driven by the same
 //! kind of data the paper consumed.
+//!
+//! **Layer:** ecosystem/analysis (blocklist baseline + §4.3 labeling).
+//! **Invariant:** rule evaluation is deterministic and
+//! context-sensitive (site vs. script domain), like the real engines.
+//! **Entry points:** `FilterEngine`, `synthetic_lists`, `FilterRule`.
 
 pub mod engine;
 pub mod lists;

@@ -6,6 +6,12 @@
 //! them. Matching real tracker behaviour requires byte-identical digests, so
 //! these are complete implementations of the real algorithms (RFC 1321,
 //! RFC 3174, RFC 4648), validated against the official test vectors.
+//!
+//! **Layer:** foundation (no workspace dependencies). **Invariant:**
+//! digests are byte-identical to the reference algorithms (RFC 1321 /
+//! 3174 / 4648, checked against official vectors) — the exfiltration
+//! detector's encoded-identifier matching depends on it. **Entry
+//! points:** `md5_hex`, `sha1_hex`, `b64encode_no_pad`.
 
 pub mod base64;
 pub mod md5;

@@ -2,7 +2,7 @@
 //! script inclusion (§2.1).
 //!
 //! The paper's background observes that "CSP allows some control over
-//! script inclusion, [but] it does not regulate cookie access or define
+//! script inclusion, \[but\] it does not regulate cookie access or define
 //! which scripts may read or modify cookies." To make that claim
 //! measurable, the simulator enforces a faithful `script-src` model at
 //! script-load time: a site can allowlist the vendors it intends to

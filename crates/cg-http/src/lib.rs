@@ -7,6 +7,12 @@
 //! faithful `Set-Cookie` parser (RFC 6265 §5.2) including attribute
 //! handling and the `HttpOnly` visibility rule that scopes the whole study
 //! to script-visible cookies.
+//!
+//! **Layer:** foundation. **Invariant:** `Set-Cookie` parsing follows
+//! RFC 6265 §5.2 including `HttpOnly` (which scopes the whole study to
+//! script-visible cookies) and CSP matching governs *loading* only —
+//! never cookie access. **Entry points:** `parse_set_cookie`,
+//! `Request`/`Response`, `CspPolicy`.
 
 pub mod csp;
 pub mod headers;

@@ -9,6 +9,12 @@
 //! [`VisitLog`] per site visit. The analysis framework (`cg-analysis`)
 //! consumes only these logs — it never peeks at simulator internals, so
 //! the measurement has the same epistemic position as the paper's.
+//!
+//! **Layer:** measurement (written by `cg-browser`, read by
+//! `cg-analysis`). **Invariant:** events carry resolved *names*, never
+//! interned ids, and the wire format is stable across refactors (the
+//! access-layer equivalence test pins it). **Entry points:**
+//! `Recorder`, `VisitLog`, `EventSink`.
 
 pub mod events;
 pub mod recorder;

@@ -15,6 +15,11 @@
 //! session to it, the baseline runs it guard-less. The overhead this
 //! module measures is therefore exactly the enforcement cost at the
 //! single chokepoint, not a per-call-site re-implementation of it.
+//!
+//! **Layer:** evaluation (drives paired `cg-browser` visits).
+//! **Invariant:** guarded/unguarded pairs share one behaviour seed, so
+//! timing deltas isolate the guard's overhead. **Entry points:**
+//! `run_paired_measurement`, `PerfReport`.
 
 pub mod paired;
 

@@ -1,0 +1,944 @@
+//! The scenario catalog: nine posed adversarial cookie interactions.
+//!
+//! Each entry composes a [`cg_webgen::SiteBuilder`] blueprint,
+//! registry-backed vendor behaviours ([`crate::fixtures`]), and an
+//! expectation list binding claims to defense conditions. The catalog
+//! is fully deterministic: no randomness is consumed at construction,
+//! so the same build always poses byte-identical sites.
+
+use crate::fixtures::Fixtures;
+use crate::scenario::{ConditionKind, Expect, Party, Scenario};
+use cg_http::RequestKind;
+use cg_script::{
+    AttrChanges, CookieAttrs, CookieSelection, Encoding, ScriptOp, SegmentPolicy, ValueSpec,
+};
+use cg_webgen::{SiteBuilder, SsoKind};
+
+use ConditionKind::{GuardDns, GuardEntity, GuardStrict, GuardWhitelist, Vanilla};
+
+const YEAR: i64 = 31_536_000;
+const DAY: i64 = 86_400;
+
+fn set(name: &str, value: ValueSpec, max_age_s: Option<i64>, site_wide: bool) -> ScriptOp {
+    ScriptOp::SetCookie {
+        name: name.to_string(),
+        value,
+        attrs: CookieAttrs {
+            max_age_s,
+            site_wide,
+            path: None,
+            secure: false,
+        },
+    }
+}
+
+fn exfil(dest: &str, path: &str, names: &[&str]) -> ScriptOp {
+    ScriptOp::Exfiltrate {
+        dest_host: dest.to_string(),
+        path: path.to_string(),
+        selection: CookieSelection::Named(names.iter().map(|n| n.to_string()).collect()),
+        segment: SegmentPolicy::Full,
+        encoding: Encoding::Plain,
+        kind: RequestKind::Image,
+        via_store: false,
+    }
+}
+
+fn defer(delay_ms: u64, ops: Vec<ScriptOp>) -> ScriptOp {
+    ScriptOp::Defer {
+        delay_ms,
+        ops,
+        lose_attribution: false,
+    }
+}
+
+fn dom(d: &str) -> Party {
+    Party::Domain(d.to_string())
+}
+
+/// Builds the full catalog (≥ 8 scenarios, deterministic order).
+pub fn catalog() -> Vec<Scenario> {
+    let f = Fixtures::new();
+    vec![
+        cname_cloaked_set_cookie(&f),
+        cross_entity_contention(&f),
+        cookie_sync_chain(&f),
+        subdomain_ghost_write(&f),
+        consent_gated_late_setter(&f),
+        first_party_impersonation(&f),
+        sso_whitelist_boundary(&f),
+        cookie_respawn_on_delete(&f),
+        mixed_burst_stress(&f),
+    ]
+}
+
+/// CNAME-cloaked collection: a tracker script and its `Set-Cookie`
+/// arrive from a first-party subdomain that is a DNS alias for an ad
+/// exchange. Stack-trace attribution sees a first-party script, so the
+/// default guard admits everything — only DNS-aware attribution
+/// ([`ConditionKind::GuardDns`]) uncloaks and contains it (§8).
+fn cname_cloaked_set_cookie(f: &Fixtures) -> Scenario {
+    let dc = f.vendor("doubleclick.net");
+    let site = SiteBuilder::new("cname-cloak-shop.com")
+        // The server response carries the tracker id as a first-party
+        // HTTP cookie (what CNAME cloaking is for).
+        .server_cookie("_dcid=9f3ab2c477de11aa; Max-Age=33696000; Path=/")
+        .cname("metrics.cname-cloak-shop.com", &dc.host)
+        .first_party_hosted(
+            "metrics",
+            "/t.js",
+            vec![
+                ScriptOp::ReadAllCookies,
+                defer(
+                    600,
+                    vec![exfil(&format!("ad.{}", dc.domain), "/rtb/bid", &["_dcid"])],
+                ),
+            ],
+        )
+        .build();
+    Scenario {
+        name: "cname-cloaked-set-cookie",
+        title: "CNAME-cloaked HTTP Set-Cookie and collection",
+        paper_ref: "§8 (CNAME cloaking limitation), §5.7",
+        description: "A DNS alias turns an ad exchange's script and its \
+                      Set-Cookie into first-party traffic. Stack-based \
+                      attribution admits it; only CNAME-resolving \
+                      attribution contains the exfiltration.",
+        site,
+        expectation: vec![
+            (
+                Vanilla,
+                Expect::Writes {
+                    cookie: "_dcid".into(),
+                    by: Party::Site,
+                },
+            ),
+            (
+                Vanilla,
+                Expect::Exfiltrates {
+                    cookie: "_dcid".into(),
+                    by: Party::Site,
+                },
+            ),
+            // The default guard is blind to the cloak: the script is
+            // first-party to it, so the leak persists.
+            (
+                GuardStrict,
+                Expect::Exfiltrates {
+                    cookie: "_dcid".into(),
+                    by: Party::Site,
+                },
+            ),
+            (GuardStrict, Expect::ReadClean { by: Party::Site }),
+            // DNS-aware attribution uncloaks the caller and cuts it off.
+            (
+                GuardDns,
+                Expect::NoExfil {
+                    cookie: "_dcid".into(),
+                    by: Party::Site,
+                },
+            ),
+            (GuardDns, Expect::ReadFiltered { by: Party::Site }),
+        ],
+    }
+}
+
+/// Two unrelated ad-tech vendors fight over one identifier: Criteo
+/// mints `cto_bundle`, Pubmatic blind-overwrites it, and a consent
+/// manager deletes it (the §5.5 contention case study, posed
+/// deterministically).
+fn cross_entity_contention(f: &Fixtures) -> Scenario {
+    let criteo = f.vendor("criteo.net");
+    let pubmatic = f.vendor("pubmatic.com");
+    let cky = f.vendor("cdn-cookieyes.com");
+    let cto = f.cookie_of("criteo.net").to_string();
+    let site = SiteBuilder::new("contention-news.com")
+        .category(cg_webgen::SiteCategory::News)
+        .vendor_script(
+            criteo,
+            vec![set(&cto, ValueSpec::HexId(194), Some(390 * DAY), true)],
+        )
+        .vendor_script(
+            pubmatic,
+            vec![defer(
+                800,
+                vec![ScriptOp::OverwriteCookie {
+                    target: cto.clone(),
+                    value: ValueSpec::HexId(258),
+                    changes: AttrChanges::value_and_expiry(),
+                    blind: true,
+                }],
+            )],
+        )
+        .vendor_script(
+            cky,
+            vec![defer(
+                1_500,
+                vec![ScriptOp::DeleteCookie {
+                    target: cto.clone(),
+                    via_store: false,
+                }],
+            )],
+        )
+        .build();
+    Scenario {
+        name: "cross-entity-overwrite-contention",
+        title: "Cross-entity overwrite/delete contention",
+        paper_ref: "§5.5, Table 5",
+        description: "Pubmatic blind-overwrites Criteo's cto_bundle and a \
+                      consent manager deletes it. The guard must pin the \
+                      cookie to its creator: overwrite and delete blocked, \
+                      Criteo's own write untouched.",
+        site,
+        expectation: vec![
+            (
+                Vanilla,
+                Expect::Writes {
+                    cookie: cto.clone(),
+                    by: dom("pubmatic.com"),
+                },
+            ),
+            (
+                Vanilla,
+                Expect::Deletes {
+                    cookie: cto.clone(),
+                    by: dom("cdn-cookieyes.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::Writes {
+                    cookie: cto.clone(),
+                    by: dom("criteo.net"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::WriteBlocked {
+                    cookie: cto.clone(),
+                    by: dom("pubmatic.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::DeleteBlocked {
+                    cookie: cto.clone(),
+                    by: dom("cdn-cookieyes.com"),
+                },
+            ),
+            // Entity grouping must NOT heal this: the two belong to
+            // different organizations.
+            (
+                GuardEntity,
+                Expect::WriteBlocked {
+                    cookie: cto,
+                    by: dom("pubmatic.com"),
+                },
+            ),
+        ],
+    }
+}
+
+/// A cookie-sync chain: GTM mints `_ga`; a data broker copies the id
+/// into its own namespace and ships both to its sync endpoint. The
+/// guard cuts the chain at the broker's first (read) hop.
+fn cookie_sync_chain(f: &Fixtures) -> Scenario {
+    let gtm = f.vendor("googletagmanager.com");
+    let lotame = f.vendor("crwdcntrl.net");
+    let ga = f.cookie_of("googletagmanager.com").to_string();
+    let site = SiteBuilder::new("sync-chain-blog.com")
+        .category(cg_webgen::SiteCategory::Blog)
+        .vendor_script(
+            gtm,
+            vec![
+                set(&ga, ValueSpec::GaStyle, Some(2 * YEAR), true),
+                defer(
+                    400,
+                    vec![exfil("www.google-analytics.com", "/g/collect", &[&ga])],
+                ),
+            ],
+        )
+        .vendor_script(
+            lotame,
+            vec![defer(
+                900,
+                vec![
+                    ScriptOp::CopyCookie {
+                        from: ga.clone(),
+                        to: "_cc_ga".to_string(),
+                        max_age_s: Some(390 * DAY),
+                        site_wide: true,
+                    },
+                    exfil("bcp.crwdcntrl.net", "/5/c", &["_cc_ga", &ga]),
+                ],
+            )],
+        )
+        .build();
+    Scenario {
+        name: "cookie-sync-chain",
+        title: "Cookie-sync chain (mint, adopt, exfiltrate)",
+        paper_ref: "§5.3–§5.4, Table 2 (cookie synchronization)",
+        description: "crwdcntrl.net copies GTM's _ga into _cc_ga and \
+                      exfiltrates both. CookieGuard must let the creator's \
+                      own telemetry through while making the broker's read \
+                      — and therefore the whole chain — impossible.",
+        site,
+        expectation: vec![
+            (
+                Vanilla,
+                Expect::Writes {
+                    cookie: "_cc_ga".into(),
+                    by: dom("crwdcntrl.net"),
+                },
+            ),
+            (
+                Vanilla,
+                Expect::Exfiltrates {
+                    cookie: ga.clone(),
+                    by: dom("crwdcntrl.net"),
+                },
+            ),
+            (
+                Vanilla,
+                Expect::Exfiltrates {
+                    cookie: "_cc_ga".into(),
+                    by: dom("crwdcntrl.net"),
+                },
+            ),
+            // Creator telemetry survives under the guard…
+            (
+                GuardStrict,
+                Expect::Exfiltrates {
+                    cookie: ga.clone(),
+                    by: dom("googletagmanager.com"),
+                },
+            ),
+            // …the broker's chain does not.
+            (
+                GuardStrict,
+                Expect::NoWrite {
+                    cookie: "_cc_ga".into(),
+                    by: dom("crwdcntrl.net"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::NoExfil {
+                    cookie: ga,
+                    by: dom("crwdcntrl.net"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::NoExfil {
+                    cookie: "_cc_ga".into(),
+                    by: dom("crwdcntrl.net"),
+                },
+            ),
+        ],
+    }
+}
+
+/// Ghost-writing with downstream parasitism: the Meta pixel writes
+/// `_fbp` site-wide into the first-party jar; LinkedIn's insight tag
+/// free-rides on it. Isolation must *scope*, not block: Meta keeps its
+/// own cookie, LinkedIn loses the foreign read, the site sees its jar
+/// untouched.
+fn subdomain_ghost_write(f: &Fixtures) -> Scenario {
+    let fb = f.vendor("facebook.net");
+    let licdn = f.vendor("licdn.com");
+    let fbp = f.cookie_of("facebook.net").to_string();
+    let site = SiteBuilder::new("ghostwrite-store.com")
+        .category(cg_webgen::SiteCategory::Shopping)
+        .vendor_script(
+            fb,
+            vec![
+                // site_wide: Domain=ghostwrite-store.com, so every
+                // subdomain shares the identifier — the ghost-write shape.
+                set(&fbp, ValueSpec::FbpStyle, Some(90 * DAY), true),
+                defer(500, vec![exfil("www.facebook.com", "/tr/", &[&fbp])]),
+            ],
+        )
+        .vendor_script(
+            licdn,
+            vec![defer(
+                1_000,
+                vec![exfil(
+                    "px.ads.linkedin.com",
+                    "/attribution_trigger",
+                    &[&fbp],
+                )],
+            )],
+        )
+        .external_script(
+            "https://www.ghostwrite-store.com/app.js",
+            vec![ScriptOp::ReadAllCookies],
+        )
+        .build();
+    Scenario {
+        name: "subdomain-ghost-write",
+        title: "Subdomain-wide ghost-write with a free-riding reader",
+        paper_ref: "§5.2 (ghost-writing), §5.4 case study",
+        description: "Meta ghost-writes _fbp with Domain=<site>; LinkedIn \
+                      exfiltrates it. The guard must scope, not block: \
+                      Meta's write and own-cookie telemetry stay, the \
+                      free-rider is cut off, the site reads clean.",
+        site,
+        expectation: vec![
+            (
+                Vanilla,
+                Expect::Writes {
+                    cookie: fbp.clone(),
+                    by: dom("facebook.net"),
+                },
+            ),
+            (
+                Vanilla,
+                Expect::Exfiltrates {
+                    cookie: fbp.clone(),
+                    by: dom("licdn.com"),
+                },
+            ),
+            // Ghost-writing itself is admitted (NewCookie) — isolation
+            // scopes visibility instead of refusing writes.
+            (
+                GuardStrict,
+                Expect::Writes {
+                    cookie: fbp.clone(),
+                    by: dom("facebook.net"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::Exfiltrates {
+                    cookie: fbp.clone(),
+                    by: dom("facebook.net"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::NoExfil {
+                    cookie: fbp,
+                    by: dom("licdn.com"),
+                },
+            ),
+            (GuardStrict, Expect::ReadClean { by: Party::Site }),
+        ],
+    }
+}
+
+/// A consent-gated late setter: Bing's tag polls for the CMP's consent
+/// cookie and only then mints its identifier. Under the guard the gate
+/// cookie is foreign, so the tracker never sees consent and never sets —
+/// the guard's deliberate fail-closed trade-off.
+fn consent_gated_late_setter(f: &Fixtures) -> Scenario {
+    let onetrust = f.vendor("cookielaw.org");
+    let bing = f.vendor("bing.com");
+    let consent = f.cookie_of("cookielaw.org").to_string();
+    let uet = f.cookie_of("bing.com").to_string();
+    let site = SiteBuilder::new("consent-gate-mag.com")
+        .category(cg_webgen::SiteCategory::News)
+        .vendor_script(
+            onetrust,
+            vec![set(&consent, ValueSpec::ConsentString, Some(YEAR), true)],
+        )
+        .vendor_script(
+            bing,
+            vec![defer(
+                700,
+                vec![ScriptOp::IfCookieVisible {
+                    cookie: consent.clone(),
+                    then_ops: vec![
+                        set(&uet, ValueSpec::HexId(32), Some(390 * DAY), true),
+                        exfil("bat.bing.com", "/action/0", &[&uet]),
+                    ],
+                    else_ops: vec![],
+                }],
+            )],
+        )
+        .build();
+    Scenario {
+        name: "consent-gated-late-setter",
+        title: "Consent-gated late setter",
+        paper_ref: "§5.5 (consent managers), §7.2 (functional trade-offs)",
+        description: "bat.bing.com sets _uetsid only after OptanonConsent \
+                      becomes visible. Unguarded, the gate opens; guarded, \
+                      the CMP's cookie is foreign to the tracker, the gate \
+                      stays shut, and no identifier is ever minted.",
+        site,
+        expectation: vec![
+            (
+                Vanilla,
+                Expect::Writes {
+                    cookie: uet.clone(),
+                    by: dom("bing.com"),
+                },
+            ),
+            (
+                Vanilla,
+                Expect::Exfiltrates {
+                    cookie: uet.clone(),
+                    by: dom("bing.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::ReadFiltered {
+                    by: dom("bing.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::NoWrite {
+                    cookie: uet.clone(),
+                    by: dom("bing.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::NoExfil {
+                    cookie: uet,
+                    by: dom("bing.com"),
+                },
+            ),
+            // The CMP keeps access to its own consent record.
+            (
+                GuardStrict,
+                Expect::Writes {
+                    cookie: consent,
+                    by: dom("cookielaw.org"),
+                },
+            ),
+        ],
+    }
+}
+
+/// First-party impersonation: the site inlines a copy of the GTM tag
+/// (a common "performance" practice), so the vendor behaviour runs with
+/// no attributable origin. Strict inline policy must treat it as
+/// untrusted; the genuine external tag on the same page keeps working.
+fn first_party_impersonation(f: &Fixtures) -> Scenario {
+    let gtm = f.vendor("googletagmanager.com");
+    let ga = f.cookie_of("googletagmanager.com").to_string();
+    let site = SiteBuilder::new("impersonation-cafe.com")
+        .inline_script(vec![
+            // Verbatim vendor behaviour, inlined into the page.
+            set(&ga, ValueSpec::GaStyle, Some(2 * YEAR), true),
+            ScriptOp::ReadAllCookies,
+            defer(
+                300,
+                vec![exfil("www.google-analytics.com", "/g/collect", &[&ga])],
+            ),
+        ])
+        .vendor_script(
+            gtm,
+            vec![set("_gcl_au", ValueSpec::GaStyle, Some(90 * DAY), true)],
+        )
+        .build();
+    Scenario {
+        name: "first-party-impersonation",
+        title: "Vendor code inlined as a first-party script",
+        paper_ref: "§6.1 (inline policy), §8 (signature attribution)",
+        description: "An inline copy of the GTM behaviour has no stack \
+                      origin. Strict CookieGuard denies it everything \
+                      (fail closed); the attributable external tag on the \
+                      same page is unaffected.",
+        site,
+        expectation: vec![
+            (
+                Vanilla,
+                Expect::Writes {
+                    cookie: ga.clone(),
+                    by: Party::Inline,
+                },
+            ),
+            (
+                Vanilla,
+                Expect::Exfiltrates {
+                    cookie: ga.clone(),
+                    by: Party::Inline,
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::WriteBlocked {
+                    cookie: ga.clone(),
+                    by: Party::Inline,
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::NoExfil {
+                    cookie: ga,
+                    by: Party::Inline,
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::Writes {
+                    cookie: "_gcl_au".into(),
+                    by: dom("googletagmanager.com"),
+                },
+            ),
+        ],
+    }
+}
+
+/// A cross-entity SSO flow: the identity provider's script sets the
+/// session cookie, an unrelated portal widget reads it. Strict
+/// isolation breaks login; entity grouping cannot heal it (different
+/// organizations); the site-operator whitelist is the designed escape
+/// hatch.
+fn sso_whitelist_boundary(_f: &Fixtures) -> Scenario {
+    let site = SiteBuilder::new("sso-boundary-bank.com")
+        .category(cg_webgen::SiteCategory::Finance)
+        .sso(SsoKind::CrossEntity {
+            provider: "idp-login.net".to_string(),
+            reader: "account-portal.com".to_string(),
+        })
+        .external_script(
+            "https://login.idp-login.net/sso.js",
+            vec![set("idp_session", ValueSpec::Uuid, Some(DAY), true)],
+        )
+        .external_script(
+            "https://cdn.account-portal.com/widget.js",
+            vec![defer(
+                400,
+                vec![ScriptOp::Probe {
+                    feature: "sso".to_string(),
+                    cookie: "idp_session".to_string(),
+                }],
+            )],
+        )
+        .build();
+    Scenario {
+        name: "sso-whitelist-boundary",
+        title: "Whitelist-boundary SSO flow",
+        paper_ref: "§7.2, Table 3 (SSO breakage)",
+        description: "idp-login.net sets the session cookie; the unrelated \
+                      account-portal.com widget must read it to keep the \
+                      user signed in. Strict and entity-grouped guards \
+                      break the flow; whitelisting the reader restores it.",
+        site,
+        expectation: vec![
+            (
+                Vanilla,
+                Expect::ProbeOk {
+                    feature: "sso".into(),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::ProbeFails {
+                    feature: "sso".into(),
+                },
+            ),
+            // Unrelated entities: grouping is not an escape hatch.
+            (
+                GuardEntity,
+                Expect::ProbeFails {
+                    feature: "sso".into(),
+                },
+            ),
+            (
+                GuardWhitelist,
+                Expect::ProbeOk {
+                    feature: "sso".into(),
+                },
+            ),
+            (GuardWhitelist, Expect::NoProbeRegression),
+        ],
+    }
+}
+
+/// A respawning tracker: the Meta pixel watches its identifier through
+/// CookieStore change events and re-mints it the moment a consent
+/// manager deletes it. The guard prevents the respawn war upstream: the
+/// foreign delete is blocked, so the watcher never fires.
+fn cookie_respawn_on_delete(f: &Fixtures) -> Scenario {
+    let fb = f.vendor("facebook.net");
+    let cky = f.vendor("cdn-cookieyes.com");
+    let fbp = f.cookie_of("facebook.net").to_string();
+    let site = SiteBuilder::new("respawn-tracker-tv.com")
+        .category(cg_webgen::SiteCategory::Entertainment)
+        .vendor_script(
+            fb,
+            vec![
+                set(&fbp, ValueSpec::FbpStyle, Some(90 * DAY), true),
+                ScriptOp::OnCookieChange {
+                    watch: Some(fbp.clone()),
+                    deletions_only: true,
+                    ops: vec![set(&fbp, ValueSpec::FbpStyle, Some(90 * DAY), true)],
+                },
+            ],
+        )
+        .vendor_script(
+            cky,
+            vec![defer(
+                1_200,
+                vec![ScriptOp::DeleteCookie {
+                    target: fbp.clone(),
+                    via_store: false,
+                }],
+            )],
+        )
+        .build();
+    Scenario {
+        name: "cookie-respawn-on-delete",
+        title: "Respawn-on-delete contention",
+        paper_ref: "§5.5 (deletion), CookieStore change events",
+        description: "facebook.net re-mints _fbp whenever it is deleted; a \
+                      consent manager tries to purge it. Unguarded this is \
+                      a delete/respawn war; guarded, the foreign delete is \
+                      blocked and the respawn handler never fires.",
+        site,
+        expectation: vec![
+            (
+                Vanilla,
+                Expect::Deletes {
+                    cookie: fbp.clone(),
+                    by: dom("cdn-cookieyes.com"),
+                },
+            ),
+            // Initial mint + at least one respawn.
+            (
+                Vanilla,
+                Expect::WritesAtLeast {
+                    cookie: fbp.clone(),
+                    by: dom("facebook.net"),
+                    n: 2,
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::DeleteBlocked {
+                    cookie: fbp.clone(),
+                    by: dom("cdn-cookieyes.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::Writes {
+                    cookie: fbp,
+                    by: dom("facebook.net"),
+                },
+            ),
+        ],
+    }
+}
+
+/// Mixed-burst stress: seven registry vendors interleave creates,
+/// bursts of reads, a tag-manager injection chain, a blind overwrite,
+/// deletes, and fan-out exfiltration on one page — the densest
+/// single-page workload the catalog poses, for profiling and for
+/// checking that scoping still holds under load.
+fn mixed_burst_stress(f: &Fixtures) -> Scenario {
+    let gtm = f.vendor("googletagmanager.com");
+    let ga_v = f.vendor("google-analytics.com");
+    let fb = f.vendor("facebook.net");
+    let criteo = f.vendor("criteo.net");
+    let pubmatic = f.vendor("pubmatic.com");
+    let segment = f.vendor("segment.com");
+    let cky = f.vendor("cdn-cookieyes.com");
+    let ga = f.cookie_of("googletagmanager.com").to_string();
+    let fbp = f.cookie_of("facebook.net").to_string();
+    let cto = f.cookie_of("criteo.net").to_string();
+    let ajs = f.cookie_of("segment.com").to_string();
+    let site = SiteBuilder::new("mixed-burst-portal.com")
+        .category(cg_webgen::SiteCategory::News)
+        .server_cookie("session_id=8c1f0a2e5b7d4e66; Path=/; HttpOnly")
+        .server_cookie("prefs=compact; Max-Age=31536000")
+        .vendor_script(
+            gtm,
+            vec![
+                set(&ga, ValueSpec::GaStyle, Some(2 * YEAR), true),
+                ScriptOp::ReadAllCookies,
+                ScriptOp::InjectScript {
+                    url: ga_v.script_url(),
+                },
+                defer(
+                    500,
+                    vec![exfil("www.google-analytics.com", "/g/collect", &[&ga])],
+                ),
+            ],
+        )
+        .injectable(
+            &ga_v.script_url(),
+            vec![
+                set("_gid", ValueSpec::GaStyle, Some(DAY), true),
+                ScriptOp::ReadAllCookies,
+                defer(
+                    650,
+                    vec![exfil(
+                        "www.google-analytics.com",
+                        "/collect",
+                        &["_gid", &ga],
+                    )],
+                ),
+            ],
+        )
+        .vendor_script(
+            fb,
+            vec![
+                set(&fbp, ValueSpec::FbpStyle, Some(90 * DAY), true),
+                defer(550, vec![exfil("www.facebook.com", "/tr/", &[&fbp])]),
+            ],
+        )
+        .vendor_script(
+            criteo,
+            vec![
+                set(&cto, ValueSpec::HexId(194), Some(390 * DAY), true),
+                ScriptOp::ReadAllCookies,
+            ],
+        )
+        .vendor_script(
+            pubmatic,
+            vec![
+                ScriptOp::ReadAllCookies,
+                defer(
+                    900,
+                    vec![
+                        ScriptOp::OverwriteCookie {
+                            target: cto.clone(),
+                            value: ValueSpec::HexId(258),
+                            changes: AttrChanges::value_and_expiry(),
+                            blind: true,
+                        },
+                        exfil("image8.pubmatic.com", "/AdServer/PugMaster", &[&cto, &fbp]),
+                    ],
+                ),
+            ],
+        )
+        .vendor_script(
+            segment,
+            vec![
+                set(&ajs, ValueSpec::Uuid, Some(YEAR), true),
+                ScriptOp::Microtask {
+                    ops: vec![ScriptOp::ReadAllCookies],
+                },
+            ],
+        )
+        .vendor_script(
+            cky,
+            vec![defer(
+                1_400,
+                vec![
+                    ScriptOp::DeleteCookie {
+                        target: fbp.clone(),
+                        via_store: false,
+                    },
+                    ScriptOp::DeleteCookie {
+                        target: ga.clone(),
+                        via_store: false,
+                    },
+                ],
+            )],
+        )
+        .subpage(
+            "/article-1",
+            vec![cg_webgen::ScriptBlueprint {
+                url: Some(gtm.script_url()),
+                ops: vec![ScriptOp::ReadAllCookies],
+            }],
+        )
+        .build();
+    Scenario {
+        name: "mixed-burst-stress",
+        title: "Mixed-burst stress page",
+        paper_ref: "§5 end-to-end (all interaction classes on one page)",
+        description: "Seven registry vendors interleave creates, read \
+                      bursts, an injection chain, a blind overwrite, \
+                      deletes, and fan-out exfiltration. Scoping must hold \
+                      op-for-op under load: own cookies flow, every \
+                      foreign op is refused.",
+        site,
+        expectation: vec![
+            (
+                Vanilla,
+                Expect::Exfiltrates {
+                    cookie: ga.clone(),
+                    by: dom("google-analytics.com"),
+                },
+            ),
+            (
+                Vanilla,
+                Expect::Exfiltrates {
+                    cookie: fbp.clone(),
+                    by: dom("pubmatic.com"),
+                },
+            ),
+            (
+                Vanilla,
+                Expect::Deletes {
+                    cookie: fbp.clone(),
+                    by: dom("cdn-cookieyes.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::Writes {
+                    cookie: ga.clone(),
+                    by: dom("googletagmanager.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::Exfiltrates {
+                    cookie: ga.clone(),
+                    by: dom("googletagmanager.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::NoExfil {
+                    cookie: ga.clone(),
+                    by: dom("google-analytics.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::NoExfil {
+                    cookie: fbp.clone(),
+                    by: dom("pubmatic.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::WriteBlocked {
+                    cookie: cto,
+                    by: dom("pubmatic.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::DeleteBlocked {
+                    cookie: fbp,
+                    by: dom("cdn-cookieyes.com"),
+                },
+            ),
+            (
+                GuardStrict,
+                Expect::ReadFiltered {
+                    by: dom("pubmatic.com"),
+                },
+            ),
+            // google-analytics.com is grouped with googletagmanager.com
+            // in the builtin entity map: grouping restores the Google
+            // stack's shared read without admitting Pubmatic.
+            (
+                GuardEntity,
+                Expect::Exfiltrates {
+                    cookie: ga.clone(),
+                    by: dom("google-analytics.com"),
+                },
+            ),
+            (
+                GuardEntity,
+                Expect::NoExfil {
+                    cookie: ga,
+                    by: dom("pubmatic.com"),
+                },
+            ),
+        ],
+    }
+}

@@ -1,0 +1,119 @@
+//! Scenario fixtures resolved from the generator's vendor registry.
+//!
+//! Every third-party vendor a scenario poses — its script host, path,
+//! and signature cookie — is looked up in
+//! [`cg_webgen::VendorRegistry`] (core vendors only), **never**
+//! re-hardcoded here. That is the anti-drift contract: if the generator
+//! renames a vendor domain or its ghost-written cookie, the scenario
+//! catalog fails loudly at construction instead of silently posing a
+//! stack the entity map no longer recognizes.
+//!
+//! Parties that are deliberately *not* vendors — the posed sites
+//! themselves and the SSO identity providers — live in
+//! [`SCENARIO_SITES`] and [`SCENARIO_PARTIES`], and a test asserts they
+//! never collide with registry domains.
+
+use cg_webgen::{VendorRegistry, VendorSpec};
+
+/// Posed scenario-site domains (one per catalog entry, all fixed so
+/// expectations can name them statically).
+pub const SCENARIO_SITES: &[&str] = &[
+    "cname-cloak-shop.com",
+    "contention-news.com",
+    "sync-chain-blog.com",
+    "ghostwrite-store.com",
+    "consent-gate-mag.com",
+    "impersonation-cafe.com",
+    "sso-boundary-bank.com",
+    "respawn-tracker-tv.com",
+    "mixed-burst-portal.com",
+];
+
+/// Non-vendor third parties scenarios pose (SSO providers and readers).
+/// These are scenario-local by design: an SSO flow's endpoints are not
+/// tracker vendors and must not enter the filter lists.
+pub const SCENARIO_PARTIES: &[&str] = &["idp-login.net", "account-portal.com"];
+
+/// The registry-backed fixture set for the catalog.
+pub struct Fixtures {
+    registry: VendorRegistry,
+}
+
+impl Fixtures {
+    /// Builds the core-vendor registry (no long tail: scenarios pose
+    /// named vendors only).
+    pub fn new() -> Fixtures {
+        Fixtures {
+            registry: VendorRegistry::new(Vec::new()),
+        }
+    }
+
+    /// The underlying registry (drives the blocklist condition, so the
+    /// matrix's filter lists are the generator's own).
+    pub fn registry(&self) -> &VendorRegistry {
+        &self.registry
+    }
+
+    /// The vendor registered for `domain`; panics with a catalog-drift
+    /// message when absent (a test exercises every catalog lookup).
+    pub fn vendor(&self, domain: &str) -> &VendorSpec {
+        self.registry.by_domain(domain).unwrap_or_else(|| {
+            panic!("scenario fixture drift: {domain:?} is not in cg-webgen's vendor registry")
+        })
+    }
+
+    /// The signature cookie the registry says `domain` ghost-writes;
+    /// panics when the vendor sets no `document.cookie` cookie.
+    pub fn cookie_of(&self, domain: &str) -> &str {
+        let v = self.vendor(domain);
+        v.signature_cookie().unwrap_or_else(|| {
+            panic!("scenario fixture drift: {domain:?} ghost-writes no document.cookie cookie")
+        })
+    }
+}
+
+impl Default for Fixtures {
+    fn default() -> Fixtures {
+        Fixtures::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_local_domains_do_not_shadow_registry_vendors() {
+        let f = Fixtures::new();
+        for d in SCENARIO_SITES.iter().chain(SCENARIO_PARTIES) {
+            assert!(
+                f.registry().by_domain(d).is_none(),
+                "{d} collides with a registry vendor"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_lookups_used_by_the_catalog_resolve() {
+        let f = Fixtures::new();
+        for d in [
+            "googletagmanager.com",
+            "google-analytics.com",
+            "doubleclick.net",
+            "facebook.net",
+            "licdn.com",
+            "criteo.net",
+            "pubmatic.com",
+            "cookielaw.org",
+            "bing.com",
+            "crwdcntrl.net",
+            "segment.com",
+            "cdn-cookieyes.com",
+        ] {
+            assert!(f.registry().by_domain(d).is_some(), "{d} missing");
+        }
+        assert_eq!(f.cookie_of("facebook.net"), "_fbp");
+        assert_eq!(f.cookie_of("googletagmanager.com"), "_ga");
+        assert_eq!(f.cookie_of("criteo.net"), "cto_bundle");
+    }
+}

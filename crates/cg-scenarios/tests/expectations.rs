@@ -1,0 +1,89 @@
+//! One test per catalog scenario, asserting its expectation list
+//! against the guarded (and vanilla) runs — so a policy regression
+//! names the exact scenario and claim it broke.
+
+use cg_scenarios::{run_matrix, ScenarioMatrix};
+
+fn matrix() -> ScenarioMatrix {
+    run_matrix(0xC00C1E, 1)
+}
+
+fn assert_scenario(m: &ScenarioMatrix, name: &str) {
+    let row = m
+        .rows
+        .iter()
+        .find(|r| r.scenario == name)
+        .unwrap_or_else(|| panic!("scenario {name:?} missing from the catalog"));
+    for c in &row.checks {
+        assert!(c.pass, "{name}: [{}] {}", c.condition, c.check);
+    }
+    assert!(row.verdict);
+}
+
+#[test]
+fn cname_cloaked_set_cookie_expectations() {
+    assert_scenario(&matrix(), "cname-cloaked-set-cookie");
+}
+
+#[test]
+fn cross_entity_overwrite_contention_expectations() {
+    assert_scenario(&matrix(), "cross-entity-overwrite-contention");
+}
+
+#[test]
+fn cookie_sync_chain_expectations() {
+    assert_scenario(&matrix(), "cookie-sync-chain");
+}
+
+#[test]
+fn subdomain_ghost_write_expectations() {
+    assert_scenario(&matrix(), "subdomain-ghost-write");
+}
+
+#[test]
+fn consent_gated_late_setter_expectations() {
+    assert_scenario(&matrix(), "consent-gated-late-setter");
+}
+
+#[test]
+fn first_party_impersonation_expectations() {
+    assert_scenario(&matrix(), "first-party-impersonation");
+}
+
+#[test]
+fn sso_whitelist_boundary_expectations() {
+    assert_scenario(&matrix(), "sso-whitelist-boundary");
+}
+
+#[test]
+fn cookie_respawn_on_delete_expectations() {
+    assert_scenario(&matrix(), "cookie-respawn-on-delete");
+}
+
+#[test]
+fn mixed_burst_stress_expectations() {
+    assert_scenario(&matrix(), "mixed-burst-stress");
+}
+
+/// Every expectation list checks the vanilla *and* at least one guard
+/// condition: a scenario that only describes the attack (or only the
+/// defense) is half a scenario.
+#[test]
+fn every_scenario_checks_both_sides() {
+    use cg_scenarios::ConditionKind;
+    for s in cg_scenarios::catalog() {
+        let has_vanilla = s
+            .expectation
+            .iter()
+            .any(|(k, _)| *k == ConditionKind::Vanilla);
+        let has_guard = s
+            .expectation
+            .iter()
+            .any(|(k, _)| *k != ConditionKind::Vanilla);
+        assert!(
+            has_vanilla && has_guard,
+            "{} must pose claims for vanilla and a guard condition",
+            s.name
+        );
+    }
+}

@@ -206,6 +206,42 @@ pub enum ScriptOp {
         /// The cookie the feature depends on.
         cookie: String,
     },
+    /// Branch on cookie visibility: read the jar through the
+    /// `document.cookie` getter and run `then_ops` when `cookie` is
+    /// visible to the calling script, `else_ops` otherwise. The chosen
+    /// branch runs as a microtask (promise continuation), keeping the
+    /// caller's attribution.
+    ///
+    /// This is the `if (getCookie(x)) …` idiom as a first-class op — the
+    /// substrate for *consent-gated* behaviour (a tracker that only sets
+    /// its identifier once a CMP's consent cookie is present) and for
+    /// presence-probing trackers. Under CookieGuard the branch decision
+    /// itself is policy-mediated: a script that cannot read the gate
+    /// cookie takes the `else_ops` branch even when the cookie exists.
+    IfCookieVisible {
+        /// The gate cookie's name.
+        cookie: String,
+        /// Program run when the cookie is visible to the caller.
+        then_ops: Vec<ScriptOp>,
+        /// Program run when it is absent or filtered.
+        else_ops: Vec<ScriptOp>,
+    },
+    /// Cookie syncing: read cookie `from` via `document.cookie` and
+    /// re-write its *value* under the caller's own name `to` (the
+    /// first hop of a cookie-sync chain — partner B adopting partner A's
+    /// identifier into its own namespace before exfiltrating it). A
+    /// no-op when `from` is not visible to the caller, so CookieGuard
+    /// breaks the chain at the read.
+    CopyCookie {
+        /// Source cookie name (typically another vendor's identifier).
+        from: String,
+        /// Destination cookie name (the caller's own namespace).
+        to: String,
+        /// `Max-Age` for the copy (None = session).
+        max_age_s: Option<i64>,
+        /// Scope the copy to `Domain=<site>`.
+        site_wide: bool,
+    },
     /// Register a CookieStore `change`-event listener. Whenever a
     /// matching script-visible change occurs, `ops` run as a fresh
     /// macrotask under the registering script's identity.

@@ -416,6 +416,43 @@ impl EventLoop {
                     ops,
                 });
             }
+            ScriptOp::IfCookieVisible {
+                cookie,
+                then_ops,
+                else_ops,
+            } => {
+                let pairs = parse_pairs(&platform.document_cookie_get(at));
+                let visible = pairs.iter().any(|(n, _)| n == &cookie);
+                let branch = if visible { then_ops } else { else_ops };
+                if !branch.is_empty() {
+                    self.microtasks.push_back(Task {
+                        at_ms: self.now_ms,
+                        seq: 0,
+                        stack: stack.to_vec(),
+                        async_lost,
+                        ops: branch,
+                    });
+                }
+            }
+            ScriptOp::CopyCookie {
+                from,
+                to,
+                max_age_s,
+                site_wide,
+            } => {
+                let pairs = parse_pairs(&platform.document_cookie_get(at));
+                let Some((_, value)) = pairs.into_iter().find(|(n, _)| n == &from) else {
+                    return; // source invisible: the sync chain is cut here
+                };
+                let mut raw = format!("{to}={value}");
+                if let Some(ma) = max_age_s {
+                    raw.push_str(&format!("; Max-Age={ma}"));
+                }
+                if site_wide {
+                    raw.push_str(&format!("; Domain={}", platform.site_domain()));
+                }
+                platform.document_cookie_set(at, &raw);
+            }
             ScriptOp::Probe { feature, cookie } => {
                 let pairs = parse_pairs(&platform.document_cookie_get(at));
                 let ok = pairs.iter().any(|(n, _)| n == &cookie);
@@ -910,6 +947,112 @@ mod tests {
         el.run(&mut p, &mut rng());
         assert!(p.log.contains(&"probe sso/sso_session=true".to_string()));
         assert!(p.log.contains(&"probe cart/cart_id=false".to_string()));
+    }
+
+    #[test]
+    fn if_cookie_visible_branches_and_keeps_attribution() {
+        let mut p = MockPlatform::default();
+        p.cookies
+            .insert("OptanonConsent".into(), "groups=C2".into());
+        let mut el = EventLoop::new(0);
+        el.push_script(
+            exec(
+                0,
+                "https://tracker.com/t.js",
+                vec![ScriptOp::IfCookieVisible {
+                    cookie: "OptanonConsent".into(),
+                    then_ops: vec![ScriptOp::SetCookie {
+                        name: "_tid".into(),
+                        value: ValueSpec::HexId(16),
+                        attrs: CookieAttrs::default(),
+                    }],
+                    else_ops: vec![ScriptOp::DomInsert {
+                        tag: "no-consent".into(),
+                    }],
+                }],
+            ),
+            0,
+        );
+        el.run(&mut p, &mut rng());
+        assert!(p.cookies.contains_key("_tid"));
+        assert!(!p.log.contains(&"dom_insert no-consent".to_string()));
+        // The branch ran under the tracker's identity, not inline.
+        assert!(p
+            .log
+            .iter()
+            .any(|l| l.starts_with("set _tid=") && l.contains("tracker.com")));
+
+        // Gate absent: the else branch runs instead.
+        let mut p = MockPlatform::default();
+        let mut el = EventLoop::new(0);
+        el.push_script(
+            exec(
+                0,
+                "https://tracker.com/t.js",
+                vec![ScriptOp::IfCookieVisible {
+                    cookie: "OptanonConsent".into(),
+                    then_ops: vec![ScriptOp::SetCookie {
+                        name: "_tid".into(),
+                        value: ValueSpec::HexId(16),
+                        attrs: CookieAttrs::default(),
+                    }],
+                    else_ops: vec![ScriptOp::DomInsert {
+                        tag: "no-consent".into(),
+                    }],
+                }],
+            ),
+            0,
+        );
+        el.run(&mut p, &mut rng());
+        assert!(!p.cookies.contains_key("_tid"));
+        assert!(p.log.contains(&"dom_insert no-consent".to_string()));
+    }
+
+    #[test]
+    fn copy_cookie_syncs_value_under_new_name() {
+        let mut p = MockPlatform::default();
+        p.cookies
+            .insert("_ga".into(), "GA1.1.444332364.1746838827".into());
+        let mut el = EventLoop::new(0);
+        el.push_script(
+            exec(
+                0,
+                "https://partner.com/sync.js",
+                vec![ScriptOp::CopyCookie {
+                    from: "_ga".into(),
+                    to: "_partner_uid".into(),
+                    max_age_s: Some(86_400),
+                    site_wide: false,
+                }],
+            ),
+            0,
+        );
+        el.run(&mut p, &mut rng());
+        assert_eq!(
+            p.cookies.get("_partner_uid").map(String::as_str),
+            Some("GA1.1.444332364.1746838827")
+        );
+    }
+
+    #[test]
+    fn copy_cookie_is_noop_when_source_invisible() {
+        let mut p = MockPlatform::default();
+        let mut el = EventLoop::new(0);
+        el.push_script(
+            exec(
+                0,
+                "https://partner.com/sync.js",
+                vec![ScriptOp::CopyCookie {
+                    from: "_ga".into(),
+                    to: "_partner_uid".into(),
+                    max_age_s: None,
+                    site_wide: false,
+                }],
+            ),
+            0,
+        );
+        el.run(&mut p, &mut rng());
+        assert!(!p.cookies.contains_key("_partner_uid"));
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! paper (§4.1, §6.2): every platform call carries the *last external
 //! script URL on the execution stack*; deferred callbacks may lose the
 //! stack (§8's async-attribution limitation) and then attribute as inline.
+//!
+//! **Layer:** ecosystem (programs authored by `cg-webgen`/`cg-scenarios`,
+//! interpreted against `cg-browser`'s `Platform`). **Invariant:** the
+//! event loop is deterministic — (time, FIFO) macrotask order, full
+//! microtask drain between macrotasks — so a visit is a pure function
+//! of (blueprint, seed). **Entry points:** `ScriptOp`, `EventLoop`,
+//! `Platform`.
 
 pub mod behavior;
 pub mod context;

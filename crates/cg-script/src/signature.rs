@@ -125,6 +125,24 @@ fn hash_ops(h: &mut Fnv, ops: &[ScriptOp]) {
                 hash_ops(h, ops);
                 h.str("]");
             }
+            ScriptOp::IfCookieVisible {
+                cookie,
+                then_ops,
+                else_ops,
+            } => {
+                h.str("if_visible");
+                h.str(cookie);
+                h.str("then[");
+                hash_ops(h, then_ops);
+                h.str("]else[");
+                hash_ops(h, else_ops);
+                h.str("]");
+            }
+            ScriptOp::CopyCookie { from, to, .. } => {
+                h.str("copy");
+                h.str(from);
+                h.str(to);
+            }
             ScriptOp::Probe { feature, cookie } => {
                 h.str("probe");
                 h.str(feature);

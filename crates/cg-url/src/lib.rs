@@ -12,6 +12,14 @@
 //! by the simulated ecosystem (ICANN TLDs plus the multi-label suffixes and
 //! wildcard/exception rules that appear in the wild), not the full Mozilla
 //! list; see [`psl`] for the rule semantics, which follow the real algorithm.
+//!
+//! **Layer:** foundation (every other crate sits on it).
+//! **Invariants:** interning is process-wide and append-only —
+//! `DomainId`s are dense, stable, and never serialized; normalized
+//! inputs take an allocation-free fast path. **Entry points:** `Url`,
+//! `registrable_domain`, `intern`/`name`, `CnameMap`.
+
+#![warn(missing_docs)]
 
 pub mod cname;
 pub mod host;

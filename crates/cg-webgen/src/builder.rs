@@ -1,0 +1,239 @@
+//! Programmatic blueprint construction — the scenario hook.
+//!
+//! [`crate::WebGenerator`] emits *populations*: thousands of sites whose
+//! vendor stacks are sampled from calibrated distributions. Adversarial
+//! scenario work (crate `cg-scenarios`) needs the opposite: one
+//! hand-posed site whose every script, header, and DNS record is chosen
+//! to exercise a specific guard decision. [`SiteBuilder`] constructs
+//! such a [`SiteBlueprint`] directly, without sampling, while keeping
+//! every invariant the browser simulator relies on:
+//!
+//! * the landing URL is `https://www.<domain>/` (or `http` when
+//!   [`SiteBuilder::insecure`] is called);
+//! * `spec.crawl_ok` is always true — a posed site is never discarded;
+//! * vendor scripts registered through [`SiteBuilder::vendor_script`]
+//!   are recorded in `spec.direct_vendor_domains`, so forensics and
+//!   filter-list tooling see the same stack the page executes;
+//! * CNAME records registered through [`SiteBuilder::cname`] mark
+//!   `spec.cname_cloaked`, mirroring the generator.
+
+use crate::blueprint::{PageBlueprint, ScriptBlueprint, SiteBlueprint};
+use crate::site::{SiteCategory, SiteSpec, SsoKind};
+use crate::vendors::VendorSpec;
+use cg_script::ScriptOp;
+use cg_url::CnameMap;
+use std::collections::HashMap;
+
+/// Builds one hand-posed [`SiteBlueprint`].
+#[derive(Debug, Clone)]
+pub struct SiteBuilder {
+    spec: SiteSpec,
+    landing_scripts: Vec<ScriptBlueprint>,
+    server_cookies: Vec<String>,
+    subpages: Vec<PageBlueprint>,
+    injectables: HashMap<String, Vec<ScriptOp>>,
+    cnames: CnameMap,
+    csp: Option<String>,
+}
+
+impl SiteBuilder {
+    /// Starts a builder for an HTTPS site on `domain` (an eTLD+1, e.g.
+    /// `"shop-example.com"`), rank 1, category [`SiteCategory::Tech`].
+    pub fn new(domain: &str) -> SiteBuilder {
+        SiteBuilder {
+            spec: SiteSpec {
+                rank: 1,
+                domain: domain.to_string(),
+                category: SiteCategory::Tech,
+                https: true,
+                crawl_ok: true,
+                sso: None,
+                direct_vendor_domains: Vec::new(),
+                self_hosted_tracker: false,
+                cname_cloaked: false,
+                server_side_tagging: false,
+                server_forwards: Vec::new(),
+                respawning_tracker: None,
+            },
+            landing_scripts: Vec::new(),
+            server_cookies: Vec::new(),
+            subpages: Vec::new(),
+            injectables: HashMap::new(),
+            cnames: CnameMap::new(),
+            csp: None,
+        }
+    }
+
+    /// Sets the Tranco-style rank (default 1).
+    pub fn rank(mut self, rank: usize) -> SiteBuilder {
+        self.spec.rank = rank;
+        self
+    }
+
+    /// Sets the site vertical (default [`SiteCategory::Tech`]).
+    pub fn category(mut self, category: SiteCategory) -> SiteBuilder {
+        self.spec.category = category;
+        self
+    }
+
+    /// Serves the site over plain HTTP (disables the CookieStore API,
+    /// which requires a secure context).
+    pub fn insecure(mut self) -> SiteBuilder {
+        self.spec.https = false;
+        self
+    }
+
+    /// Declares the site's SSO flow (drives breakage probes).
+    pub fn sso(mut self, kind: SsoKind) -> SiteBuilder {
+        self.spec.sso = Some(kind);
+        self
+    }
+
+    /// Attaches a raw `Set-Cookie` header to the landing-page response.
+    pub fn server_cookie(mut self, raw: &str) -> SiteBuilder {
+        self.server_cookies.push(raw.to_string());
+        self
+    }
+
+    /// Adds an inline (origin-less) landing script.
+    pub fn inline_script(mut self, ops: Vec<ScriptOp>) -> SiteBuilder {
+        self.landing_scripts
+            .push(ScriptBlueprint { url: None, ops });
+        self
+    }
+
+    /// Adds an external landing script served from `url`.
+    pub fn external_script(mut self, url: &str, ops: Vec<ScriptOp>) -> SiteBuilder {
+        self.landing_scripts.push(ScriptBlueprint {
+            url: Some(url.to_string()),
+            ops,
+        });
+        self
+    }
+
+    /// Adds a landing script served from a registry vendor's canonical
+    /// URL and records the vendor in `spec.direct_vendor_domains` — use
+    /// this (not [`SiteBuilder::external_script`]) for third-party
+    /// vendors, so the posed site cannot drift from the generator's
+    /// vendor registry.
+    pub fn vendor_script(mut self, vendor: &VendorSpec, ops: Vec<ScriptOp>) -> SiteBuilder {
+        self.spec.direct_vendor_domains.push(vendor.domain.clone());
+        self.landing_scripts.push(ScriptBlueprint {
+            url: Some(vendor.script_url()),
+            ops,
+        });
+        self
+    }
+
+    /// Like [`SiteBuilder::vendor_script`], but serves the vendor's
+    /// behaviour from a host under the *site's own* domain (self-hosted
+    /// vendor copies and CNAME-cloaked inclusions).
+    pub fn first_party_hosted(
+        mut self,
+        subdomain: &str,
+        path: &str,
+        ops: Vec<ScriptOp>,
+    ) -> SiteBuilder {
+        self.spec.self_hosted_tracker = true;
+        let url = format!("https://{subdomain}.{}{path}", self.spec.domain);
+        self.landing_scripts.push(ScriptBlueprint {
+            url: Some(url),
+            ops,
+        });
+        self
+    }
+
+    /// Registers a dynamically injectable script (resolved by
+    /// `ScriptOp::InjectScript`).
+    pub fn injectable(mut self, url: &str, ops: Vec<ScriptOp>) -> SiteBuilder {
+        self.injectables.insert(url.to_string(), ops);
+        self
+    }
+
+    /// Adds a DNS CNAME record: `alias` (a host under the site's
+    /// domain) resolves to `target` (a tracker host). Marks the site
+    /// cloaked.
+    pub fn cname(mut self, alias: &str, target: &str) -> SiteBuilder {
+        self.spec.cname_cloaked = true;
+        self.cnames.insert(alias, target);
+        self
+    }
+
+    /// Serves a `Content-Security-Policy` header.
+    pub fn csp(mut self, policy: &str) -> SiteBuilder {
+        self.csp = Some(policy.to_string());
+        self
+    }
+
+    /// Adds a subpage at `path` with the given scripts; the landing page
+    /// links to it so the interaction protocol will click through.
+    pub fn subpage(mut self, path: &str, scripts: Vec<ScriptBlueprint>) -> SiteBuilder {
+        self.subpages.push(PageBlueprint {
+            path: path.to_string(),
+            server_cookies: Vec::new(),
+            scripts,
+            resource_count: 8,
+            links: Vec::new(),
+        });
+        self
+    }
+
+    /// Finalizes the blueprint.
+    pub fn build(self) -> SiteBlueprint {
+        let links = self.subpages.iter().map(|p| p.path.clone()).collect();
+        SiteBlueprint {
+            spec: self.spec,
+            landing: PageBlueprint {
+                path: "/".to_string(),
+                server_cookies: self.server_cookies,
+                scripts: self.landing_scripts,
+                resource_count: 12,
+                links,
+            },
+            subpages: self.subpages,
+            injectables: self.injectables,
+            cnames: self.cnames,
+            csp: self.csp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vendors::core_vendors;
+
+    #[test]
+    fn builder_produces_visitable_blueprint() {
+        let vendors = core_vendors();
+        let gtm = vendors
+            .iter()
+            .find(|v| v.domain == "googletagmanager.com")
+            .unwrap();
+        let site = SiteBuilder::new("posed-site.com")
+            .server_cookie("session=abc; Path=/")
+            .vendor_script(gtm, vec![ScriptOp::ReadAllCookies])
+            .subpage("/checkout", vec![])
+            .build();
+        assert!(site.spec.crawl_ok);
+        assert_eq!(site.landing_url(), "https://www.posed-site.com/");
+        assert_eq!(
+            site.spec.direct_vendor_domains,
+            vec!["googletagmanager.com".to_string()]
+        );
+        assert_eq!(site.landing.links, vec!["/checkout".to_string()]);
+        assert_eq!(
+            site.landing.scripts[0].url.as_deref(),
+            Some("https://www.googletagmanager.com/gtm.js")
+        );
+    }
+
+    #[test]
+    fn cname_marks_cloaking() {
+        let site = SiteBuilder::new("posed-site.com")
+            .cname("metrics.posed-site.com", "collect.tracker.net")
+            .build();
+        assert!(site.spec.cname_cloaked);
+        assert!(site.cnames.is_cloaked("metrics.posed-site.com"));
+    }
+}

@@ -23,8 +23,15 @@
 //! Everything is emitted as *blueprints* (`SiteBlueprint`,
 //! `PageBlueprint`, `ScriptBlueprint`) that the browser simulator
 //! executes; the generator never touches a cookie jar itself.
+//!
+//! **Layer:** ecosystem root (no simulator dependencies; emits
+//! blueprints only). **Invariant:** generation is deterministic per
+//! (config, master seed, rank) — sites can be re-derived independently
+//! and in parallel. **Entry points:** `WebGenerator`, `SiteBlueprint`,
+//! `SiteBuilder` (hand-posed scenario sites), `VendorRegistry`.
 
 pub mod blueprint;
+pub mod builder;
 pub mod config;
 pub mod csp;
 pub mod longtail;
@@ -33,6 +40,7 @@ pub mod site;
 pub mod vendors;
 
 pub use blueprint::{PageBlueprint, ScriptBlueprint, SiteBlueprint};
+pub use builder::SiteBuilder;
 pub use config::GenConfig;
 pub use csp::{csp_for_site, CspStyle};
 pub use site::{ServerForward, SiteCategory, SiteSpec, SsoKind, WebGenerator};

@@ -206,6 +206,15 @@ impl VendorSpec {
         format!("https://{}{}", self.host, self.path)
     }
 
+    /// The vendor's signature ghost-written cookie — the first (highest
+    /// set-probability, by construction) of its `document.cookie` sets,
+    /// e.g. `_ga` for the GTM tag or `_fbp` for the Meta pixel. Scenario
+    /// fixtures use this instead of re-hardcoding cookie names, so a
+    /// registry rename cannot silently strand a scenario.
+    pub fn signature_cookie(&self) -> Option<&str> {
+        self.sets.first().map(|c| c.name.as_str())
+    }
+
     fn base(
         domain: &str,
         host: &str,

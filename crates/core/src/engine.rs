@@ -5,11 +5,11 @@
 //! over N sites deep-cloned and re-derived the policy state N times. A
 //! [`GuardEngine`] is built **once**, is `Send + Sync`, and is shared
 //! behind an [`Arc`] by any number of per-visit
-//! [`GuardSession`](crate::GuardSession)s across any number of threads.
+//! [`GuardSession`]s across any number of threads.
 //!
 //! The engine is the *stateless* half of CookieGuard: configuration and
 //! policy decisions. The *stateful* half — the per-site metadata store
-//! and counters — lives in [`GuardSession`](crate::GuardSession).
+//! and counters — lives in [`GuardSession`].
 //!
 //! # Compiled policy
 //!

@@ -70,6 +70,15 @@
 //! pre-resolved [`cg_url::DomainId`] — so the per-operation decision is
 //! a handful of integer comparisons with zero allocation. Ids live only
 //! in memory: every serde boundary resolves them back to names.
+//!
+//! **Layer:** policy (pure decisions + per-visit state; no I/O).
+//! **Invariants:** `GuardEngine` is immutable and `Send + Sync`;
+//! decisions run entirely on interned ids with zero allocation; ids
+//! never serialize. **Entry points:** `GuardEngine`/`GuardSession`,
+//! the `CookieGuard` facade, and `GuardedJar` — the single sanctioned
+//! access layer for every cookie operation.
+
+#![warn(missing_docs)]
 
 pub mod access;
 pub mod config;

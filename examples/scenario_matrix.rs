@@ -1,0 +1,57 @@
+//! Run the adversarial scenario catalog under every defense condition
+//! and print the matrix.
+//!
+//! ```sh
+//! cargo run --release --example scenario_matrix
+//! cargo run --release --example scenario_matrix -- --seed 99 --threads 8
+//! cargo run --release --example scenario_matrix -- --json /tmp/matrix.json
+//! ```
+//!
+//! With `--json PATH` the canonical (golden-file) JSON rendering is
+//! written to `PATH`; the checked-in golden lives at
+//! `crates/cg-scenarios/golden/scenario_matrix.json` and regenerating
+//! it after an intended behaviour change is exactly this command.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed: u64 = 0xC00C1E;
+    let mut threads: usize = 4;
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).expect("--seed N");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads N");
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json PATH").clone());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let matrix = cg_scenarios::run_matrix(seed, threads);
+    print!("{}", cg_scenarios::render_table(&matrix));
+    println!(
+        "\n{}/{} scenarios passed their expectation lists",
+        matrix.passing(),
+        matrix.rows.len()
+    );
+    if let Some(path) = json_path {
+        std::fs::write(&path, matrix.to_json()).expect("write matrix JSON");
+        println!("matrix JSON written to {path}");
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! Re-exports every sub-crate under one roof so that examples, integration
 //! tests, and downstream users can depend on a single crate. See the README
-//! for an architecture overview and `DESIGN.md` for the system inventory.
+//! for an architecture overview and `PAPER_MAP.md` for the map from every
+//! reproduced paper section/table/figure to the crate, types, tests, and
+//! CLI command that reproduce it.
 
 pub use cg_analysis as analysis;
 pub use cg_baselines as baselines;
