@@ -11,7 +11,7 @@ fn opts(n: usize) -> ExperimentOptions {
         sites: n,
         seed: 0xC00C1E,
         threads: 2,
-        store: None,
+        ..ExperimentOptions::default()
     }
 }
 

@@ -120,6 +120,21 @@ pub fn reconstruct(log: &VisitLog) -> SiteCookies {
 }
 
 /// The crawl dataset: complete visit logs plus reconstructed ownership.
+///
+/// # Retained vs streaming analysis
+///
+/// `Dataset` is the **retained** mode: it keeps every complete
+/// [`VisitLog`] (plus its [`SiteCookies`] reconstruction) because the
+/// deeper analyses — exfiltration matching, manipulation
+/// classification, server-side inference — replay raw events. Memory
+/// therefore grows linearly with the number of complete visits, no
+/// matter which constructor built it. For crawls too large to retain,
+/// use the **streaming** mode instead:
+/// [`StreamStats`](crate::stream::StreamStats) folds each visit into
+/// pure aggregates and drops it, so peak memory is independent of
+/// crawl size — at the cost of only answering aggregate questions.
+/// Both modes are pure folds over the same `VisitLog` stream, so on
+/// the statistics they share they agree exactly.
 pub struct Dataset {
     /// Logs retained by the §4.2 completeness filter.
     pub logs: Vec<VisitLog>,
@@ -142,12 +157,14 @@ impl Dataset {
 
     /// Folds one visit into the dataset: counts it, and — when complete
     /// — reconstructs ownership and retains it for analysis. This is
-    /// the streaming unit every constructor builds on. Folding from a
-    /// stream avoids ever buffering the *raw* crawl (incomplete visits
-    /// are dropped on the fly and no second `Vec<VisitLog>` copy
-    /// exists), but the dataset still retains every complete log —
-    /// several analyses replay them — so memory grows with the retained
-    /// population, not with crawl order.
+    /// the fold unit every constructor builds on. Folding from a stream
+    /// avoids buffering the *raw* crawl (incomplete visits are dropped
+    /// on the fly and no second `Vec<VisitLog>` copy exists), but make
+    /// no mistake: the dataset **retains every complete log** — several
+    /// analyses replay them — so memory grows linearly with the number
+    /// of complete visits. When only aggregate statistics are needed,
+    /// fold into [`StreamStats`](crate::stream::StreamStats) instead,
+    /// which clones nothing and retains nothing per-visit.
     pub fn fold_log(&mut self, log: VisitLog) {
         self.crawled += 1;
         if log.complete {
@@ -184,6 +201,53 @@ impl Dataset {
             ds.fold_log(log?);
         }
         Ok(ds)
+    }
+
+    /// Merges two datasets built from **disjoint rank ranges** (e.g.
+    /// per-segment partials from `cg_crawlstore::par_fold`) into one,
+    /// interleaving their logs back into global rank order. Associative,
+    /// with [`Dataset::empty`] as identity, so partials may combine in
+    /// any grouping; equal ranks (which disjoint partials never produce)
+    /// keep `self`'s copy first for stability.
+    pub fn merge(self, other: Dataset) -> Dataset {
+        let crawled = self.crawled + other.crawled;
+        let mut logs = Vec::with_capacity(self.logs.len() + other.logs.len());
+        let mut sites = Vec::with_capacity(self.sites.len() + other.sites.len());
+        let mut a = self.logs.into_iter().zip(self.sites).peekable();
+        let mut b = other.logs.into_iter().zip(other.sites).peekable();
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some((la, _)), Some((lb, _))) => la.rank <= lb.rank,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (log, site) = if take_a {
+                a.next().expect("peeked")
+            } else {
+                b.next().expect("peeked")
+            };
+            logs.push(log);
+            sites.push(site);
+        }
+        Dataset {
+            logs,
+            sites,
+            crawled,
+        }
+    }
+
+    /// Builds a (retained) dataset from the crawl store at `dir`, using
+    /// up to `threads` parallel per-segment folds merged back into rank
+    /// order. Byte-identical to [`Dataset::from_reader`] over a
+    /// `CrawlReader` of the same store, at any thread count — segments
+    /// hold disjoint rank sets and partials merge in fixed order.
+    pub fn from_store(
+        dir: impl AsRef<std::path::Path>,
+        threads: usize,
+    ) -> Result<Dataset, cg_crawlstore::StoreError> {
+        let partials = cg_crawlstore::par_fold(dir, threads, Dataset::from_reader)?;
+        Ok(partials.into_iter().fold(Dataset::empty(), Dataset::merge))
     }
 
     /// Number of analyzable sites.
@@ -340,6 +404,26 @@ mod tests {
             serde_json::to_string(&folded.logs).unwrap(),
             serde_json::to_string(&batch.logs).unwrap()
         );
+    }
+
+    #[test]
+    fn merge_interleaves_disjoint_rank_partials() {
+        let at = |rank: usize| {
+            let mut r = Recorder::new(&format!("site{rank}.com"), rank);
+            set(&mut r, "c", "1", Some("x.com"), WriteKind::Create);
+            r.finish()
+        };
+        let a = Dataset::from_logs(vec![at(1), at(4), at(5)]);
+        let b = Dataset::from_logs(vec![at(2), at(3), at(6)]);
+        let merged = a.merge(b);
+        let ranks: Vec<usize> = merged.logs.iter().map(|l| l.rank).collect();
+        assert_eq!(ranks, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(merged.crawled, 6);
+        // sites stay parallel to logs
+        assert_eq!(merged.sites[3].site, "site4.com");
+        // identity element
+        let again = merged.merge(Dataset::empty());
+        assert_eq!(again.site_count(), 6);
     }
 
     #[test]

@@ -8,10 +8,18 @@
 //! over observable events, with the same blind spots (e.g. full-value
 //! Base64 encodings defeat segment-level identifier matching).
 //!
-//! **Layer:** analysis (consumes `cg-instrument` logs; never touches the
-//! simulator). **Invariant:** every statistic is a pure fold over
-//! `VisitLog`s, so in-memory and streamed (crawl-store) analyses agree.
-//! **Entry points:** `Dataset`, `detect_exfiltration`,
+//! Two consumption modes exist: the retained [`Dataset`] (keeps every
+//! complete log for event-replay analyses) and the bounded-memory
+//! [`StreamStats`] (aggregates only; peak memory independent of crawl
+//! size). Both can fold a crawl store's segments in parallel —
+//! `Dataset::from_store` / `StreamStats::from_store` — with
+//! byte-identical results at any thread count.
+//!
+//! **Layer:** analysis (consumes `cg-instrument` logs and replays
+//! `cg-crawlstore` streams; never touches the simulator).
+//! **Invariant:** every statistic is a pure fold over `VisitLog`s, so
+//! in-memory, streamed, and parallel per-segment analyses agree.
+//! **Entry points:** `Dataset`, `StreamStats`, `detect_exfiltration`,
 //! `detect_manipulation`, `cross_domain_summary`, `build_filter_engine`.
 
 pub mod dataset;
@@ -22,6 +30,8 @@ pub mod manipulation;
 pub mod prevalence;
 pub mod server_side;
 pub mod stats;
+pub mod sketch;
+pub mod stream;
 pub mod table1;
 
 pub use dataset::{Dataset, PairKey, SiteCookies};
@@ -31,4 +41,6 @@ pub use intent::{classify_intents, IntentReport, ManipulationIntent};
 pub use manipulation::{detect_manipulation, ManipulationAnalysis};
 pub use prevalence::{api_usage, build_filter_engine, inclusion_stats, prevalence_stats};
 pub use server_side::{detect_server_side, ForwardMap, ServerSideReport};
+pub use sketch::DistinctSketch;
+pub use stream::{StreamStats, StreamSummary};
 pub use table1::{cross_domain_summary, CrossDomainSummary};

@@ -32,6 +32,22 @@ pub struct CrawlSummary {
     /// Sites whose visit produced incomplete data (`visited − complete`);
     /// the §4.2 filter drops them from analysis.
     pub failed: usize,
+    /// Wall-clock milliseconds the crawl loop ran (workers spawned →
+    /// sink merged). Throughput reporting only — *not* part of the
+    /// deterministic output, so never fold it into fingerprints or
+    /// byte-compared artifacts.
+    pub elapsed_ms: u64,
+}
+
+impl CrawlSummary {
+    /// Visits per wall-clock second (0.0 when nothing was visited or
+    /// the crawl was too fast to time).
+    pub fn visits_per_sec(&self) -> f64 {
+        if self.visited == 0 || self.elapsed_ms == 0 {
+            return 0.0;
+        }
+        self.visited as f64 * 1000.0 / self.elapsed_ms as f64
+    }
 }
 
 /// A per-worker result handle: receives every outcome one crawl worker
@@ -128,6 +144,7 @@ pub fn crawl_into<S: VisitSink>(
     sink: &S,
 ) -> std::io::Result<CrawlSummary> {
     let threads = threads.max(1);
+    let started = std::time::Instant::now();
     let next = AtomicUsize::new(from);
     let visited = AtomicUsize::new(0);
     let complete = AtomicUsize::new(0);
@@ -192,6 +209,7 @@ pub fn crawl_into<S: VisitSink>(
         visited,
         complete,
         failed: visited - complete,
+        elapsed_ms: started.elapsed().as_millis() as u64,
     })
 }
 

@@ -1,0 +1,179 @@
+//! Parallel per-segment folds: N workers each fold one whole segment's
+//! stream, and the per-segment partials are combined **in manifest
+//! order** — so the result is a deterministic function of the store's
+//! contents, independent of worker count or scheduling.
+//!
+//! Why this is sound: segments hold *disjoint* rank sets (the writer
+//! hands every worker a fresh file and ranks come from one atomic
+//! counter), each segment is internally rank-sorted, and the manifest
+//! lists segments in a fixed (file-name-sorted) order. Any fold whose
+//! merge is associative over disjoint rank ranges therefore produces
+//! byte-identical output at 1 thread and at N — the property the
+//! analysis layer's differential tests pin.
+//!
+//! The store layer stays below analysis: this module knows nothing
+//! about statistics. It runs caller-supplied closures over
+//! [`SegmentStream`]s and hands back the partials in segment order;
+//! `cg-analysis` supplies the mergeable partial types (`Dataset`
+//! partials, `StreamStats`).
+
+use crate::reader::{segment_streams, SegmentStream};
+use crate::StoreError;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Folds every segment of the store at `dir` with `fold_segment`,
+/// using up to `threads` workers, and returns the partials **in
+/// manifest (file-name-sorted) segment order** — the fixed reduce
+/// order that makes parallel results deterministic.
+///
+/// Workers pull segment indices from a shared counter, so long and
+/// short segments load-balance. Memory is bounded by
+/// `threads × (one in-flight record + one partial)` — independent of
+/// crawl size as long as the partial type is.
+///
+/// The first segment error is returned (after all workers stop); the
+/// partials of unaffected segments are discarded rather than exposed.
+pub fn par_fold<T, F>(
+    dir: impl AsRef<Path>,
+    threads: usize,
+    fold_segment: F,
+) -> Result<Vec<T>, StoreError>
+where
+    T: Send,
+    F: Fn(SegmentStream) -> Result<T, StoreError> + Sync,
+{
+    let streams = segment_streams(dir)?;
+    let count = streams.len();
+    let threads = threads.max(1).min(count.max(1));
+    if threads <= 1 {
+        return streams.into_iter().map(fold_segment).collect();
+    }
+
+    // Hand each worker exclusive ownership of whole segments: a slot
+    // vector claimed through an atomic cursor (indices are claimed
+    // exactly once, so the mutexes are uncontended formality).
+    let slots: Vec<Mutex<Option<SegmentStream>>> =
+        streams.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let results: Vec<Mutex<Option<Result<T, StoreError>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                let stream = slots[i]
+                    .lock()
+                    .expect("segment slot lock poisoned")
+                    .take()
+                    .expect("segment index claimed twice");
+                let partial = fold_segment(stream);
+                *results[i].lock().expect("result slot lock poisoned") = Some(partial);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock poisoned")
+                .expect("every segment index was claimed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::SegmentFormat;
+    use crate::manifest::Fingerprint;
+    use crate::writer::CrawlWriter;
+    use cg_instrument::VisitLog;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cg-fold-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fp() -> Fingerprint {
+        Fingerprint {
+            master_seed: 1,
+            from: 1,
+            to: 100,
+            visit_config: "cfg".into(),
+            generator: "gen".into(),
+            format: SegmentFormat::Binary,
+        }
+    }
+
+    fn log(rank: usize) -> VisitLog {
+        VisitLog {
+            site_domain: format!("site{rank}.com"),
+            rank,
+            complete: true,
+            ..VisitLog::default()
+        }
+    }
+
+    fn fill(dir: &std::path::Path, segments: usize, ranks: usize) {
+        let store = CrawlWriter::open(dir, fp()).unwrap();
+        let mut segs: Vec<_> = (0..segments).map(|_| store.segment().unwrap()).collect();
+        for rank in 1..=ranks {
+            segs[rank % segments].record(&log(rank)).unwrap();
+        }
+        for seg in segs {
+            seg.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn partials_come_back_in_segment_order_at_any_thread_count() {
+        let dir = tmp_dir("order");
+        fill(&dir, 4, 100);
+        let fold = |stream: SegmentStream| {
+            stream
+                .map(|r| r.map(|l| l.rank))
+                .collect::<Result<Vec<_>, _>>()
+        };
+        let sequential = par_fold(&dir, 1, fold).unwrap();
+        for threads in [2, 4, 8] {
+            assert_eq!(par_fold(&dir, threads, fold).unwrap(), sequential);
+        }
+        // Partials cover the store exactly.
+        let total: usize = sequential.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_folds_to_no_partials() {
+        let dir = tmp_dir("empty");
+        drop(CrawlWriter::open(&dir, fp()).unwrap());
+        let partials = par_fold(&dir, 8, |s| Ok(s.count())).unwrap();
+        assert!(partials.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_errors_surface_from_parallel_workers() {
+        let dir = tmp_dir("err");
+        fill(&dir, 3, 30);
+        // Damage one segment mid-file after the store is closed.
+        let mut bytes = std::fs::read(dir.join("seg-1.bin")).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(dir.join("seg-1.bin"), &bytes).unwrap();
+        let result = par_fold(&dir, 4, |s| {
+            s.map(|r| r.map(|_| 1usize)).sum::<Result<usize, _>>()
+        });
+        assert!(matches!(result, Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -7,12 +7,18 @@
 //! provides exactly the three properties that requires:
 //!
 //! * **Contention-free appends** — [`CrawlWriter`] hands every crawl
-//!   worker its own **fresh** segment file (`seg-<n>.jsonl`, one
-//!   compact `serde_json` line per visit, fsync'd in batches), so the
+//!   worker its own **fresh** segment file (fsync'd in batches), so the
 //!   hot path takes no cross-worker lock. Fresh files also make every
 //!   segment an internally rank-sorted run — a resume back-fills
 //!   missing ranks into new segments instead of appending low ranks
 //!   behind high ones, which is what keeps the reader's merge correct.
+//!   Two on-disk [`SegmentFormat`]s exist with identical semantics:
+//!   `seg-<n>.jsonl` (one compact `serde_json` line per visit — the
+//!   default: greppable, diffable) and `seg-<n>.bin` (length-prefixed
+//!   checksummed binary frames, see [`codec`] — the replay fast path
+//!   for million-visit crawls). The format is part of the
+//!   [`Fingerprint`], so a store never mixes formats and a resume in
+//!   the wrong format is refused like any other fingerprint mismatch.
 //! * **Checkpointing** — `manifest.json` records the crawl's config
 //!   fingerprint (master seed, rank range, visit-config digest) plus a
 //!   per-segment durability watermark. Reopening an existing directory
@@ -24,7 +30,11 @@
 //! * **Streaming reads** — [`CrawlReader`] replays the store
 //!   rank-ordered via a k-way merge over the segment files, holding one
 //!   record per segment in memory. `Dataset::from_reader` in
-//!   `cg-analysis` folds that stream incrementally.
+//!   `cg-analysis` folds that stream incrementally. For parallel
+//!   analysis, [`par_fold`] instead folds each segment's stream on its
+//!   own worker and combines the partials in a fixed segment order —
+//!   deterministic (byte-identical statistics) at any thread count,
+//!   because segments hold disjoint rank sets.
 //!
 //! ```no_run
 //! use cg_browser::{crawl_into, VisitConfig};
@@ -47,16 +57,24 @@
 //! `cg-analysis`). **Invariants:** segments are internally rank-sorted
 //! append-only runs; the manifest's fingerprint gates resume; a
 //! killed-and-resumed crawl's merged stream is byte-identical to an
-//! uninterrupted one. **Entry points:** `open_store`,
-//! `crawl_to_store`, `CrawlWriter`, `CrawlReader`.
+//! uninterrupted one, in either segment format. **Entry points:**
+//! `open_store`, `open_store_with`, `crawl_to_store`, `CrawlWriter`,
+//! `CrawlReader`, `par_fold`.
 
+pub mod codec;
+pub mod fold;
 pub mod manifest;
 pub mod reader;
 pub mod writer;
 
+pub use codec::SegmentFormat;
+pub use fold::par_fold;
 pub use manifest::{Fingerprint, Manifest, SegmentMeta, MANIFEST_FILE};
-pub use reader::CrawlReader;
-pub use writer::{crawl_to_store, open_store, CrawlWriter, SegmentWriter, StoreCrawl, StoreStats};
+pub use reader::{segment_streams, CrawlReader, SegmentStream};
+pub use writer::{
+    crawl_to_store, crawl_to_store_with, open_store, open_store_with, CrawlWriter, SegmentWriter,
+    StoreCrawl, StoreStats,
+};
 
 use std::fmt;
 

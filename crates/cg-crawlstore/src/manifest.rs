@@ -2,6 +2,7 @@
 //! watermarks, written atomically (temp file + rename) so a crash never
 //! leaves a half-written manifest behind.
 
+use crate::codec::SegmentFormat;
 use crate::StoreError;
 use cg_browser::VisitConfig;
 use cg_webgen::GenConfig;
@@ -35,6 +36,12 @@ pub struct Fingerprint {
     /// (e.g. `GenConfig::small(n)` vs `GenConfig::default()`) must not
     /// resume each other's stores.
     pub generator: String,
+    /// On-disk segment format. Part of the fingerprint because a store
+    /// never mixes formats: resuming a JSONL store as binary (or vice
+    /// versa) must be refused, not silently interleaved. Version-1
+    /// manifests predate the field and default to JSONL.
+    #[serde(default)]
+    pub format: SegmentFormat,
 }
 
 impl Fingerprint {
@@ -57,14 +64,23 @@ impl Fingerprint {
             to,
             visit_config: cfg.fingerprint(),
             generator,
+            format: SegmentFormat::default(),
         }
+    }
+
+    /// The same crawl, stored in `format` segments. The default is
+    /// JSONL; large crawls opt into binary for replay speed.
+    pub fn with_format(mut self, format: SegmentFormat) -> Fingerprint {
+        self.format = format;
+        self
     }
 }
 
 /// One segment file's durability watermark.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SegmentMeta {
-    /// File name relative to the store directory (`seg-<worker>.jsonl`).
+    /// File name relative to the store directory (`seg-<n>.jsonl` or
+    /// `seg-<n>.bin`, matching the fingerprint's format).
     pub file: String,
     /// Records known durable (fsync'd) in this segment. The file may
     /// hold *more* complete lines than this (written but not yet
@@ -173,6 +189,7 @@ mod tests {
             to: 100,
             visit_config: "abc".into(),
             generator: "gen".into(),
+            format: SegmentFormat::Jsonl,
         }
     }
 
@@ -195,6 +212,29 @@ mod tests {
         // Stored sorted by file name.
         assert_eq!(back.segments[0].file, "seg-0.jsonl");
         assert_eq!(back.segments[1].synced_records, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn format_field_defaults_to_jsonl_for_old_manifests() {
+        // A manifest written before the binary format existed has no
+        // `format` key; it must load as a JSONL store, not be refused.
+        let dir = tmp_dir("v1-format");
+        let legacy = r#"{
+            "version": 1,
+            "fingerprint": {
+                "master_seed": 7, "from": 1, "to": 100,
+                "visit_config": "abc", "generator": "gen"
+            },
+            "segments": []
+        }"#;
+        std::fs::write(dir.join(MANIFEST_FILE), legacy).unwrap();
+        let m = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(m.fingerprint.format, SegmentFormat::Jsonl);
+        assert_eq!(m.fingerprint, fp());
+        // And a binary fingerprint differs from a JSONL one: the
+        // formats must not resume each other.
+        assert_ne!(m.fingerprint, fp().with_format(SegmentFormat::Binary));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

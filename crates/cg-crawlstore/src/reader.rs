@@ -1,21 +1,75 @@
 //! The streaming read path: a rank-ordered k-way merge over segment
-//! files, holding one record per segment in memory.
+//! files, holding one record per segment in memory — plus per-segment
+//! streams ([`SegmentStream`]) that parallel analysis folds consume
+//! one whole segment at a time.
 
-use crate::manifest::{Fingerprint, Manifest};
+use crate::codec::{self, SegmentFormat, FRAME_HEADER};
+use crate::manifest::{Fingerprint, Manifest, SegmentMeta};
 use crate::StoreError;
 use cg_instrument::VisitLog;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
+
+/// One record's undecoded body, as pulled from a segment.
+enum Body {
+    /// A JSONL line (newline stripped) and its parsed value tree.
+    Json {
+        raw: String,
+        value: serde_json::Value,
+    },
+    /// A binary frame's payload, checksum already verified. Decoding
+    /// to a [`VisitLog`] happens only when the record is consumed — no
+    /// text is ever parsed on this path.
+    Bin { payload: Vec<u8> },
+}
+
+impl Body {
+    /// Decodes the record into a [`VisitLog`].
+    fn into_log(self, file: &str) -> Result<VisitLog, StoreError> {
+        match self {
+            Body::Json { value, .. } => {
+                serde_json::from_value(value).map_err(|e| StoreError::Corrupt {
+                    file: file.to_string(),
+                    detail: e.to_string(),
+                })
+            }
+            Body::Bin { payload } => {
+                // The specialized decoder: bytes straight to the log,
+                // no intermediate `Content` tree. Its agreement with
+                // the generic path is pinned by codec unit tests and
+                // the cross-format differential tests.
+                codec::decode_visit_log(&payload).map_err(|e| StoreError::Corrupt {
+                    file: file.to_string(),
+                    detail: e,
+                })
+            }
+        }
+    }
+
+    /// The record as the compact JSON line a JSONL segment stores —
+    /// the format-independent equivalence oracle.
+    fn into_json_line(self, file: &str) -> Result<String, StoreError> {
+        match self {
+            Body::Json { raw, .. } => Ok(raw),
+            Body::Bin { payload } => {
+                let content = codec::decode_content(&payload).map_err(|e| StoreError::Corrupt {
+                    file: file.to_string(),
+                    detail: e,
+                })?;
+                Ok(codec::content_to_json_line(&content))
+            }
+        }
+    }
+}
 
 /// One buffered record: the head of one segment's stream.
 struct Head {
     rank: u64,
     seg: usize,
-    raw: String,
-    value: serde_json::Value,
+    body: Body,
 }
 
 impl PartialEq for Head {
@@ -35,6 +89,130 @@ impl Ord for Head {
     }
 }
 
+/// Per-segment read state: a buffered file cursor bounded by the
+/// manifest's durability watermark, enforcing the sorted-run invariant.
+struct Segment {
+    name: String,
+    format: SegmentFormat,
+    file: BufReader<File>,
+    /// Durable records per the manifest watermark — the read bound.
+    /// Bytes past it (a mid-flush batch of a live writer, a torn tail
+    /// after a crash) are not yet part of the store's durable content.
+    remaining: u64,
+    /// Last rank pulled: the k-way merge is only correct over
+    /// internally sorted runs, so a descending rank inside one segment
+    /// is store corruption, not something to silently misorder.
+    last_rank: Option<u64>,
+}
+
+impl Segment {
+    /// Opens one manifest-listed segment for streaming.
+    fn open(dir: &Path, meta: &SegmentMeta) -> Result<Segment, StoreError> {
+        let format = SegmentFormat::of_file(&meta.file).ok_or_else(|| StoreError::Corrupt {
+            file: meta.file.clone(),
+            detail: "segment file has no recognized format extension".to_string(),
+        })?;
+        let file = File::open(dir.join(&meta.file)).map_err(|e| StoreError::Corrupt {
+            file: meta.file.clone(),
+            detail: format!("manifest lists segment but it cannot be opened: {e}"),
+        })?;
+        Ok(Segment {
+            name: meta.file.clone(),
+            format,
+            file: BufReader::new(file),
+            remaining: meta.synced_records,
+            last_rank: None,
+        })
+    }
+
+    /// An EOF (or torn record) *below* the durable watermark: records
+    /// the manifest promises are missing.
+    fn short_of_watermark(&self) -> StoreError {
+        StoreError::Corrupt {
+            file: self.name.clone(),
+            detail: format!(
+                "segment ends {} records short of its manifest watermark",
+                self.remaining
+            ),
+        }
+    }
+
+    /// Reads the next durable record; `Ok(None)` once the manifest
+    /// watermark is exhausted. Anything less than the watermark's worth
+    /// of complete records is corruption.
+    fn next_record(&mut self) -> Result<Option<(u64, Body)>, StoreError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let (rank, body) = match self.format {
+            SegmentFormat::Jsonl => {
+                let mut raw = String::new();
+                let n = self.file.read_line(&mut raw)?;
+                if n == 0 || !raw.ends_with('\n') {
+                    return Err(self.short_of_watermark());
+                }
+                raw.pop();
+                let value: serde_json::Value =
+                    serde_json::from_str(&raw).map_err(|e| StoreError::Corrupt {
+                        file: self.name.clone(),
+                        detail: e.to_string(),
+                    })?;
+                let rank = value.get("rank").and_then(|r| r.as_u64()).ok_or_else(|| {
+                    StoreError::Corrupt {
+                        file: self.name.clone(),
+                        detail: "record without a rank".to_string(),
+                    }
+                })?;
+                (rank, Body::Json { raw, value })
+            }
+            SegmentFormat::Binary => {
+                let mut header = [0u8; FRAME_HEADER];
+                read_frame_bytes(&mut self.file, &mut header)?
+                    .then_some(())
+                    .ok_or_else(|| self.short_of_watermark())?;
+                let header = codec::parse_header(&header);
+                let mut payload = vec![0u8; header.len];
+                read_frame_bytes(&mut self.file, &mut payload)?
+                    .then_some(())
+                    .ok_or_else(|| self.short_of_watermark())?;
+                if codec::frame_check(header.rank, &payload) != header.check {
+                    return Err(StoreError::Corrupt {
+                        file: self.name.clone(),
+                        detail: "frame checksum mismatch below the manifest watermark".to_string(),
+                    });
+                }
+                (header.rank, Body::Bin { payload })
+            }
+        };
+        self.remaining -= 1;
+        if let Some(prev) = self.last_rank {
+            if rank <= prev {
+                // The k-way merge is only correct over internally
+                // sorted runs; the writer guarantees this by giving
+                // every handle a fresh file. A descending rank means
+                // the store was written some other way — refuse rather
+                // than silently emit out of order.
+                return Err(StoreError::Corrupt {
+                    file: self.name.clone(),
+                    detail: format!("segment not rank-sorted (rank {rank} after {prev})"),
+                });
+            }
+        }
+        self.last_rank = Some(rank);
+        Ok(Some((rank, body)))
+    }
+}
+
+/// `read_exact` that reports a clean-or-torn EOF as `Ok(false)` instead
+/// of conflating it with real I/O failure.
+fn read_frame_bytes(file: &mut BufReader<File>, buf: &mut [u8]) -> Result<bool, StoreError> {
+    match file.read_exact(buf) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}
+
 /// Streams a store's [`VisitLog`]s back in rank order without
 /// materializing the crawl: a k-way merge whose memory footprint is one
 /// record per segment, independent of crawl size.
@@ -50,20 +228,6 @@ impl Ord for Head {
 ///     }
 /// }
 /// ```
-/// Per-segment read state.
-struct Segment {
-    name: String,
-    file: BufReader<File>,
-    /// Durable records per the manifest watermark — the read bound.
-    /// Bytes past it (a mid-flush batch of a live writer, a torn tail
-    /// after a crash) are not yet part of the store's durable content.
-    remaining: u64,
-    /// Last rank pulled: the k-way merge is only correct over
-    /// internally sorted runs, so a descending rank inside one segment
-    /// is store corruption, not something to silently misorder.
-    last_rank: Option<u64>,
-}
-
 pub struct CrawlReader {
     fingerprint: Fingerprint,
     segments: Vec<Segment>,
@@ -82,22 +246,10 @@ impl CrawlReader {
     /// alone. Re-open after the next checkpoint to see more.
     pub fn open(dir: impl AsRef<Path>) -> Result<CrawlReader, StoreError> {
         let dir: PathBuf = dir.as_ref().to_path_buf();
-        let manifest = Manifest::load(&dir)?.ok_or_else(|| StoreError::Corrupt {
-            file: crate::MANIFEST_FILE.to_string(),
-            detail: format!("no manifest in {}", dir.display()),
-        })?;
+        let manifest = load_manifest(&dir)?;
         let mut segments = Vec::new();
         for meta in &manifest.segments {
-            let file = File::open(dir.join(&meta.file)).map_err(|e| StoreError::Corrupt {
-                file: meta.file.clone(),
-                detail: format!("manifest lists segment but it cannot be opened: {e}"),
-            })?;
-            segments.push(Segment {
-                name: meta.file.clone(),
-                file: BufReader::new(file),
-                remaining: meta.synced_records,
-                last_rank: None,
-            });
+            segments.push(Segment::open(&dir, meta)?);
         }
         let mut reader = CrawlReader {
             fingerprint: manifest.fingerprint,
@@ -118,62 +270,11 @@ impl CrawlReader {
         &self.fingerprint
     }
 
-    /// Reads the next durable record of segment `seg`; `Ok(None)` once
-    /// the manifest watermark is exhausted. Anything less than the
-    /// watermark's worth of complete records is corruption.
+    /// Reads the next durable record of segment `seg` into a merge head.
     fn pull(&mut self, seg: usize) -> Result<Option<Head>, StoreError> {
-        let segment = &mut self.segments[seg];
-        if segment.remaining == 0 {
-            return Ok(None);
-        }
-        let mut raw = String::new();
-        let n = segment.file.read_line(&mut raw)?;
-        if n == 0 || !raw.ends_with('\n') {
-            // EOF or a torn line *below* the durable watermark: records
-            // the manifest promises are missing.
-            return Err(StoreError::Corrupt {
-                file: segment.name.clone(),
-                detail: format!(
-                    "segment ends {} records short of its manifest watermark",
-                    segment.remaining
-                ),
-            });
-        }
-        segment.remaining -= 1;
-        raw.pop();
-        let value: serde_json::Value =
-            serde_json::from_str(&raw).map_err(|e| StoreError::Corrupt {
-                file: segment.name.clone(),
-                detail: e.to_string(),
-            })?;
-        let rank =
-            value
-                .get("rank")
-                .and_then(|r| r.as_u64())
-                .ok_or_else(|| StoreError::Corrupt {
-                    file: segment.name.clone(),
-                    detail: "record without a rank".to_string(),
-                })?;
-        if let Some(prev) = segment.last_rank {
-            if rank <= prev {
-                // The k-way merge is only correct over internally
-                // sorted runs; the writer guarantees this by giving
-                // every handle a fresh file. A descending rank means
-                // the store was written some other way — refuse rather
-                // than silently emit out of order.
-                return Err(StoreError::Corrupt {
-                    file: segment.name.clone(),
-                    detail: format!("segment not rank-sorted (rank {rank} after {prev})"),
-                });
-            }
-        }
-        segment.last_rank = Some(rank);
-        Ok(Some(Head {
-            rank,
-            seg,
-            raw,
-            value,
-        }))
+        Ok(self.segments[seg]
+            .next_record()?
+            .map(|(rank, body)| Head { rank, seg, body }))
     }
 
     /// Pops the lowest-rank head and refills from its segment.
@@ -193,9 +294,12 @@ impl CrawlReader {
         Some(Ok(head))
     }
 
-    /// The rank-ordered raw JSONL lines (newlines stripped). Two stores
-    /// of the same crawl are equivalent iff these streams are
-    /// byte-identical — the durability tests' oracle.
+    /// The rank-ordered stream as compact JSON lines. For JSONL stores
+    /// these are the raw on-disk lines (newlines stripped); for binary
+    /// stores each frame is decoded and reprinted — byte-identical to
+    /// what a JSONL store of the same crawl holds. Two stores of the
+    /// same crawl are equivalent iff these streams are byte-identical —
+    /// the durability and cross-format tests' oracle.
     pub fn raw_lines(self) -> RawLines {
         RawLines(self)
     }
@@ -209,16 +313,11 @@ impl Iterator for CrawlReader {
             Ok(h) => h,
             Err(e) => return Some(Err(e)),
         };
-        Some(
-            serde_json::from_value(head.value).map_err(|e| StoreError::Corrupt {
-                file: self.segments[head.seg].name.clone(),
-                detail: e.to_string(),
-            }),
-        )
+        Some(head.body.into_log(&self.segments[head.seg].name))
     }
 }
 
-/// Iterator over a store's merged raw JSONL lines (see
+/// Iterator over a store's merged records as compact JSON lines (see
 /// [`CrawlReader::raw_lines`]).
 pub struct RawLines(CrawlReader);
 
@@ -226,8 +325,74 @@ impl Iterator for RawLines {
     type Item = Result<String, StoreError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        Some(self.0.pop_head()?.map(|h| h.raw))
+        let head = match self.0.pop_head()? {
+            Ok(h) => h,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(head.body.into_json_line(&self.0.segments[head.seg].name))
     }
+}
+
+/// One segment's records in file order — each segment is an internally
+/// rank-sorted run, so this is also rank order *within* the segment.
+/// The unit of work for [`par_fold`](crate::par_fold): N segments fold
+/// on N workers with no cross-worker coordination, because segments
+/// hold disjoint rank sets.
+pub struct SegmentStream {
+    segment: Segment,
+    failed: bool,
+}
+
+impl SegmentStream {
+    /// The segment's file name (relative to the store directory).
+    pub fn name(&self) -> &str {
+        &self.segment.name
+    }
+}
+
+impl Iterator for SegmentStream {
+    type Item = Result<VisitLog, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let result = match self.segment.next_record() {
+            Ok(Some((_, body))) => body.into_log(&self.segment.name),
+            Ok(None) => return None,
+            Err(e) => Err(e),
+        };
+        if result.is_err() {
+            self.failed = true;
+        }
+        Some(result)
+    }
+}
+
+/// Opens every manifest-listed segment of the store at `dir` as an
+/// independent stream, in manifest order (sorted by file name — the
+/// same fixed order [`par_fold`](crate::par_fold) merges partials in).
+pub fn segment_streams(dir: impl AsRef<Path>) -> Result<Vec<SegmentStream>, StoreError> {
+    let dir = dir.as_ref();
+    let manifest = load_manifest(dir)?;
+    manifest
+        .segments
+        .iter()
+        .map(|meta| {
+            Segment::open(dir, meta).map(|segment| SegmentStream {
+                segment,
+                failed: false,
+            })
+        })
+        .collect()
+}
+
+/// Loads the manifest, refusing a directory that has none.
+fn load_manifest(dir: &Path) -> Result<Manifest, StoreError> {
+    Manifest::load(dir)?.ok_or_else(|| StoreError::Corrupt {
+        file: crate::MANIFEST_FILE.to_string(),
+        detail: format!("no manifest in {}", dir.display()),
+    })
 }
 
 #[cfg(test)]
@@ -248,7 +413,12 @@ mod tests {
             to: 100,
             visit_config: "cfg".into(),
             generator: "gen".into(),
+            format: SegmentFormat::Jsonl,
         }
+    }
+
+    fn fp_bin() -> Fingerprint {
+        fp().with_format(SegmentFormat::Binary)
     }
 
     fn log(rank: usize) -> VisitLog {
@@ -262,48 +432,52 @@ mod tests {
 
     #[test]
     fn merge_is_rank_ordered_across_segments() {
-        let dir = tmp_dir("merge");
-        let store = CrawlWriter::open(&dir, fp()).unwrap();
-        // Interleave ranks across three segments, none sorted globally.
-        let mut segs = [
-            store.segment().unwrap(),
-            store.segment().unwrap(),
-            store.segment().unwrap(),
-        ];
-        for rank in 1..=30usize {
-            segs[rank % 3].record(&log(rank)).unwrap();
+        for fingerprint in [fp(), fp_bin()] {
+            let dir = tmp_dir(&format!("merge-{}", fingerprint.format));
+            let store = CrawlWriter::open(&dir, fingerprint).unwrap();
+            // Interleave ranks across three segments, none sorted globally.
+            let mut segs = [
+                store.segment().unwrap(),
+                store.segment().unwrap(),
+                store.segment().unwrap(),
+            ];
+            for rank in 1..=30usize {
+                segs[rank % 3].record(&log(rank)).unwrap();
+            }
+            for seg in segs {
+                seg.finish().unwrap();
+            }
+            let ranks: Vec<usize> = CrawlReader::open(&dir)
+                .unwrap()
+                .map(|l| l.unwrap().rank)
+                .collect();
+            assert_eq!(ranks, (1..=30).collect::<Vec<_>>());
+            std::fs::remove_dir_all(&dir).unwrap();
         }
-        for seg in segs {
-            seg.finish().unwrap();
-        }
-        let ranks: Vec<usize> = CrawlReader::open(&dir)
-            .unwrap()
-            .map(|l| l.unwrap().rank)
-            .collect();
-        assert_eq!(ranks, (1..=30).collect::<Vec<_>>());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn raw_lines_match_reserialized_logs() {
-        let dir = tmp_dir("raw");
-        let store = CrawlWriter::open(&dir, fp()).unwrap();
-        let mut seg = store.segment().unwrap();
-        for rank in [5usize, 7, 9] {
-            seg.record(&log(rank)).unwrap();
+        for fingerprint in [fp(), fp_bin()] {
+            let dir = tmp_dir(&format!("raw-{}", fingerprint.format));
+            let store = CrawlWriter::open(&dir, fingerprint).unwrap();
+            let mut seg = store.segment().unwrap();
+            for rank in [5usize, 7, 9] {
+                seg.record(&log(rank)).unwrap();
+            }
+            seg.finish().unwrap();
+            let raw: Vec<String> = CrawlReader::open(&dir)
+                .unwrap()
+                .raw_lines()
+                .map(|l| l.unwrap())
+                .collect();
+            let reser: Vec<String> = CrawlReader::open(&dir)
+                .unwrap()
+                .map(|l| serde_json::to_string(&l.unwrap()).unwrap())
+                .collect();
+            assert_eq!(raw, reser);
+            std::fs::remove_dir_all(&dir).unwrap();
         }
-        seg.finish().unwrap();
-        let raw: Vec<String> = CrawlReader::open(&dir)
-            .unwrap()
-            .raw_lines()
-            .map(|l| l.unwrap())
-            .collect();
-        let reser: Vec<String> = CrawlReader::open(&dir)
-            .unwrap()
-            .map(|l| serde_json::to_string(&l.unwrap()).unwrap())
-            .collect();
-        assert_eq!(raw, reser);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -419,6 +593,83 @@ mod tests {
             .map(|l| l.unwrap().rank)
             .collect();
         assert_eq!(ranks, vec![1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_torn_tail_is_ignored_when_reading() {
+        let dir = tmp_dir("bin-torntail");
+        let store = CrawlWriter::open(&dir, fp_bin()).unwrap();
+        let mut seg = store.segment().unwrap();
+        seg.record(&log(1)).unwrap();
+        seg.finish().unwrap();
+        drop(store);
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("seg-0.bin"))
+            .unwrap();
+        f.write_all(b"\x99\x00\x00").unwrap(); // half a frame header
+        drop(f);
+        let ranks: Vec<usize> = CrawlReader::open(&dir)
+            .unwrap()
+            .map(|l| l.unwrap().rank)
+            .collect();
+        assert_eq!(ranks, vec![1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_watermark_shortfall_is_corrupt() {
+        let dir = tmp_dir("bin-short");
+        let store = CrawlWriter::open(&dir, fp_bin()).unwrap();
+        let mut seg = store.segment().unwrap();
+        seg.record(&log(1)).unwrap();
+        seg.record(&log(2)).unwrap();
+        seg.finish().unwrap();
+        drop(store);
+        // Chop the final frame off WITHOUT updating the manifest: the
+        // reader must refuse the silently smaller dataset.
+        let path = dir.join("seg-0.bin");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let results: Vec<_> = CrawlReader::open(&dir).unwrap().collect();
+        assert!(
+            results.iter().any(|r| matches!(
+                r,
+                Err(StoreError::Corrupt { detail, .. })
+                    if detail.contains("short of its manifest watermark")
+                        || detail.contains("checksum mismatch")
+            )),
+            "watermark shortfall must surface as corruption, got {results:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_streams_cover_the_store_disjointly() {
+        let dir = tmp_dir("streams");
+        let store = CrawlWriter::open(&dir, fp_bin()).unwrap();
+        let mut a = store.segment().unwrap();
+        let mut b = store.segment().unwrap();
+        for rank in 1..=10usize {
+            if rank % 2 == 0 { &mut a } else { &mut b }
+                .record(&log(rank))
+                .unwrap();
+        }
+        a.finish().unwrap();
+        b.finish().unwrap();
+        drop(store);
+        let mut all: Vec<usize> = Vec::new();
+        for stream in segment_streams(&dir).unwrap() {
+            let ranks: Vec<usize> = stream.map(|l| l.unwrap().rank).collect();
+            // Each stream is internally rank-sorted…
+            assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+            all.extend(ranks);
+        }
+        // …and together they cover the store exactly once.
+        all.sort_unstable();
+        assert_eq!(all, (1..=10).collect::<Vec<_>>());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

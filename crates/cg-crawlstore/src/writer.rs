@@ -1,22 +1,25 @@
 //! The durable write path: per-worker segment files, fsync'd batches,
 //! crash recovery, and resume.
 //!
-//! Every [`SegmentWriter`] gets a **fresh** segment file (`seg-<n>.jsonl`,
-//! `n` strictly increasing across the store's lifetime, crash-resumes
+//! Every [`SegmentWriter`] gets a **fresh** segment file (`seg-<n>.jsonl`
+//! or `seg-<n>.bin` per the fingerprint's [`SegmentFormat`], `n`
+//! strictly increasing across the store's lifetime, crash-resumes
 //! included). Within one crawl a worker's ranks are monotonically
 //! increasing (workers pull from a shared atomic counter), so every
 //! segment file is an internally rank-sorted run — the invariant the
 //! reader's k-way merge depends on. Appending resumed ranks into an old
 //! segment would bury low ranks behind high ones and break the merge.
 
+use crate::codec::{self, SegmentFormat, FRAME_HEADER};
 use crate::manifest::{Fingerprint, Manifest};
 use crate::StoreError;
 use cg_browser::{SinkWorker, VisitConfig, VisitOutcome, VisitSink};
 use cg_instrument::VisitLog;
 use cg_webgen::WebGenerator;
+use serde::Serialize as _;
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -32,6 +35,9 @@ const LOCK_FILE: &str = ".lock";
 struct StoreShared {
     dir: PathBuf,
     manifest: Mutex<Manifest>,
+    /// On-disk segment format (cached from the fingerprint so the hot
+    /// path never takes the manifest lock to learn it).
+    format: SegmentFormat,
     batch: usize,
     /// Next unused segment number (seeded past every file on disk), so
     /// each [`SegmentWriter`] opens a fresh, exclusively-owned file.
@@ -150,10 +156,22 @@ impl CrawlWriter {
         // past everything seen here.
         let mut done = HashSet::new();
         let mut next_seg = 0usize;
+        let format = manifest.fingerprint.format;
         manifest.segments.clear();
         for file in segment_files(&dir)? {
+            // A segment in the other format means the directory holds
+            // leftovers of a different store — refuse like any other
+            // unrepairable damage (the fingerprint gate catches the
+            // common case; this catches hand-mixed directories whose
+            // manifest lagged a crash).
+            if codec::SegmentFormat::of_file(&file) != Some(format) {
+                return Err(StoreError::Corrupt {
+                    file: file.clone(),
+                    detail: format!("segment format does not match the store's ({format})"),
+                });
+            }
             let path = dir.join(&file);
-            let scan = recover_segment(&path, &file)?;
+            let scan = recover_segment(&path, &file, format)?;
             if let Some(n) = segment_number(&file) {
                 next_seg = next_seg.max(n + 1);
             }
@@ -176,6 +194,7 @@ impl CrawlWriter {
             shared: Arc::new(StoreShared {
                 dir,
                 manifest: Mutex::new(manifest),
+                format,
                 batch: DEFAULT_BATCH,
                 next_seg: AtomicUsize::new(next_seg),
                 _lock: lock,
@@ -210,15 +229,16 @@ impl CrawlWriter {
     }
 
     /// Opens an append handle on a **fresh** segment file
-    /// (`seg-<n>.jsonl`, `n` never reused — not even across crash
-    /// resumes). Each handle owns its file exclusively and appends take
-    /// no cross-worker lock (the shared manifest is touched only at
-    /// batch checkpoints). Fresh files are what keep every segment an
-    /// internally rank-sorted run when a resume back-fills ranks lower
-    /// than anything already stored.
+    /// (`seg-<n>.jsonl` or `seg-<n>.bin` per the store's format, `n`
+    /// never reused — not even across crash resumes). Each handle owns
+    /// its file exclusively and appends take no cross-worker lock (the
+    /// shared manifest is touched only at batch checkpoints). Fresh
+    /// files are what keep every segment an internally rank-sorted run
+    /// when a resume back-fills ranks lower than anything already
+    /// stored.
     pub fn segment(&self) -> Result<SegmentWriter, StoreError> {
         let n = self.shared.next_seg.fetch_add(1, Ordering::Relaxed);
-        let file_name = format!("seg-{n}.jsonl");
+        let file_name = format!("seg-{n}.{}", self.shared.format.extension());
         let path = self.shared.dir.join(&file_name);
         let file = OpenOptions::new()
             .create_new(true)
@@ -229,6 +249,7 @@ impl CrawlWriter {
             file_name,
             file,
             buf: Vec::new(),
+            scratch: Vec::new(),
             pending: 0,
             records: 0,
             max_rank: 0,
@@ -260,6 +281,8 @@ pub struct SegmentWriter {
     file: File,
     /// Serialized records not yet written+fsync'd.
     buf: Vec<u8>,
+    /// Reusable payload-encoding buffer (binary format only).
+    scratch: Vec<u8>,
     /// Records currently in `buf`.
     pending: u64,
     /// Records durable in this segment (recovered + committed).
@@ -272,8 +295,9 @@ pub struct SegmentWriter {
 }
 
 impl SegmentWriter {
-    /// Appends one visit log (one compact JSON line). The line becomes
-    /// durable at the next batch boundary or [`SegmentWriter::finish`].
+    /// Appends one visit log — a compact JSON line or a binary frame,
+    /// per the store's format. The record becomes durable at the next
+    /// batch boundary or [`SegmentWriter::finish`].
     pub fn record(&mut self, log: &VisitLog) -> Result<(), StoreError> {
         // Each segment must stay an internally rank-sorted run or the
         // reader's k-way merge emits records out of order. Crawl
@@ -289,12 +313,23 @@ impl SegmentWriter {
                 ),
             });
         }
-        let line = serde_json::to_string(log).map_err(|e| StoreError::Corrupt {
-            file: self.file_name.clone(),
-            detail: format!("serialize: {e}"),
-        })?;
-        self.buf.extend_from_slice(line.as_bytes());
-        self.buf.push(b'\n');
+        match self.shared.format {
+            SegmentFormat::Jsonl => {
+                let line = serde_json::to_string(log).map_err(|e| StoreError::Corrupt {
+                    file: self.file_name.clone(),
+                    detail: format!("serialize: {e}"),
+                })?;
+                self.buf.extend_from_slice(line.as_bytes());
+                self.buf.push(b'\n');
+            }
+            SegmentFormat::Binary => {
+                // Straight from the content tree to tagged bytes — no
+                // JSON text is built on the binary write path.
+                self.scratch.clear();
+                codec::encode_content(&log.to_content(), &mut self.scratch);
+                codec::write_frame(&mut self.buf, log.rank as u64, &self.scratch);
+            }
+        }
         self.pending += 1;
         self.max_rank = self.max_rank.max(log.rank as u64);
         self.session_ranks.push(log.rank);
@@ -384,7 +419,21 @@ pub fn open_store(
     from: usize,
     to: usize,
 ) -> Result<CrawlWriter, StoreError> {
-    let fp = Fingerprint::new(gen.master_seed(), from, to, cfg, gen.config());
+    open_store_with(dir, gen, cfg, from, to, SegmentFormat::default())
+}
+
+/// [`open_store`], with the segment format chosen by the caller (the
+/// format is part of the fingerprint, so a store opened binary can only
+/// ever be resumed binary).
+pub fn open_store_with(
+    dir: impl AsRef<Path>,
+    gen: &WebGenerator,
+    cfg: &VisitConfig,
+    from: usize,
+    to: usize,
+    format: SegmentFormat,
+) -> Result<CrawlWriter, StoreError> {
+    let fp = Fingerprint::new(gen.master_seed(), from, to, cfg, gen.config()).with_format(format);
     CrawlWriter::open(dir, fp)
 }
 
@@ -415,7 +464,31 @@ pub fn crawl_to_store(
     threads: usize,
     on_open: impl FnOnce(&CrawlWriter),
 ) -> Result<StoreCrawl, StoreError> {
-    let store = open_store(dir, gen, cfg, from, to)?;
+    crawl_to_store_with(
+        dir,
+        gen,
+        cfg,
+        from,
+        to,
+        threads,
+        SegmentFormat::default(),
+        on_open,
+    )
+}
+
+/// [`crawl_to_store`], with the segment format chosen by the caller.
+#[allow(clippy::too_many_arguments)]
+pub fn crawl_to_store_with(
+    dir: impl AsRef<Path>,
+    gen: &WebGenerator,
+    cfg: &VisitConfig,
+    from: usize,
+    to: usize,
+    threads: usize,
+    format: SegmentFormat,
+    on_open: impl FnOnce(&CrawlWriter),
+) -> Result<StoreCrawl, StoreError> {
+    let store = open_store_with(dir, gen, cfg, from, to, format)?;
     on_open(&store);
     let resumed = store.done_ranks().len();
     let summary = cg_browser::crawl_into(gen, cfg, from, to, threads, &store)?;
@@ -427,13 +500,13 @@ pub fn crawl_to_store(
     })
 }
 
-/// Segment file names (`seg-*.jsonl`) in `dir`, sorted.
+/// Segment file names (`seg-*.jsonl` / `seg-*.bin`) in `dir`, sorted.
 pub(crate) fn segment_files(dir: &Path) -> Result<Vec<String>, StoreError> {
     let mut out = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let name = entry?.file_name();
         let name = name.to_string_lossy().into_owned();
-        if name.starts_with("seg-") && name.ends_with(".jsonl") {
+        if name.starts_with("seg-") && SegmentFormat::of_file(&name).is_some() {
             out.push(name);
         }
     }
@@ -441,13 +514,13 @@ pub(crate) fn segment_files(dir: &Path) -> Result<Vec<String>, StoreError> {
     Ok(out)
 }
 
-/// The `<n>` of a `seg-<n>.jsonl` file name.
+/// The `<n>` of a `seg-<n>.jsonl` / `seg-<n>.bin` file name.
 fn segment_number(file_name: &str) -> Option<usize> {
-    file_name
-        .strip_prefix("seg-")?
-        .strip_suffix(".jsonl")?
-        .parse()
-        .ok()
+    let stem = file_name.strip_prefix("seg-")?;
+    let stem = stem
+        .strip_suffix(".jsonl")
+        .or_else(|| stem.strip_suffix(".bin"))?;
+    stem.parse().ok()
 }
 
 struct SegmentScan {
@@ -455,12 +528,26 @@ struct SegmentScan {
     ranks: Vec<usize>,
 }
 
-/// Scans one segment, truncating a torn trailing line in place.
+/// Scans one segment in its on-disk format, truncating a torn tail in
+/// place (see [`recover_segment_jsonl`] / [`recover_segment_bin`] for
+/// the per-format rules — they are deliberately the same rules).
+fn recover_segment(
+    path: &Path,
+    file_name: &str,
+    format: SegmentFormat,
+) -> Result<SegmentScan, StoreError> {
+    match format {
+        SegmentFormat::Jsonl => recover_segment_jsonl(path, file_name),
+        SegmentFormat::Binary => recover_segment_bin(path, file_name),
+    }
+}
+
+/// Scans one JSONL segment, truncating a torn trailing line in place.
 ///
 /// * bytes after the last newline → torn (a crash mid-append): truncate;
 /// * an unparseable *final* line → torn at the record level: truncate;
 /// * an unparseable line with records after it → real corruption: error.
-fn recover_segment(path: &Path, file_name: &str) -> Result<SegmentScan, StoreError> {
+fn recover_segment_jsonl(path: &Path, file_name: &str) -> Result<SegmentScan, StoreError> {
     // Stream line by line: recovery memory is one record, not one
     // segment (segments reach gigabytes at crawl scale).
     let mut reader = BufReader::new(File::open(path)?);
@@ -518,6 +605,72 @@ fn recover_segment(path: &Path, file_name: &str) -> Result<SegmentScan, StoreErr
     Ok(SegmentScan { ranks })
 }
 
+/// Scans one binary segment, truncating a torn trailing frame in place.
+///
+/// The rules mirror [`recover_segment_jsonl`] exactly, with the frame
+/// checksum standing in for "does the line parse":
+///
+/// * fewer than a header's worth of bytes left, or a declared payload
+///   running past EOF → torn (a crash mid-append): truncate;
+/// * a checksum-mismatched *final* frame → torn at the record level:
+///   truncate;
+/// * a checksum mismatch with complete frames after it → real
+///   corruption: error.
+///
+/// The rank lives in the frame header and the checksum vouches for the
+/// payload bytes, so recovery never decodes a payload — scanning is a
+/// header read plus a checksum per record.
+fn recover_segment_bin(path: &Path, file_name: &str) -> Result<SegmentScan, StoreError> {
+    let file_len = std::fs::metadata(path)?.len();
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut ranks = Vec::new();
+    let mut payload = Vec::new();
+    let mut pos = 0u64;
+    let mut keep_until = 0u64;
+    loop {
+        if file_len - pos < FRAME_HEADER as u64 {
+            break; // clean EOF (0 left) or a torn header: truncate covers both
+        }
+        let mut header = [0u8; FRAME_HEADER];
+        reader.read_exact(&mut header)?;
+        let header = codec::parse_header(&header);
+        let end = pos + FRAME_HEADER as u64 + header.len as u64;
+        if end > file_len {
+            break; // payload torn off by the crash
+        }
+        payload.clear();
+        payload.resize(header.len, 0);
+        reader.read_exact(&mut payload)?;
+        if codec::frame_check(header.rank, &payload) != header.check {
+            if end == file_len {
+                break; // a torn final frame: truncate
+            }
+            // Complete frames follow the damage: truncation repair
+            // would silently drop durable records — refuse instead.
+            return Err(StoreError::Corrupt {
+                file: file_name.to_string(),
+                detail: format!("frame checksum mismatch at byte {pos}"),
+            });
+        }
+        let rank = header.rank as usize;
+        if ranks.last().is_some_and(|&prev| rank <= prev) {
+            return Err(StoreError::Corrupt {
+                file: file_name.to_string(),
+                detail: format!("segment not rank-sorted at byte {pos}"),
+            });
+        }
+        ranks.push(rank);
+        pos = end;
+        keep_until = end;
+    }
+    if keep_until < file_len {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(keep_until)?;
+        f.sync_data()?;
+    }
+    Ok(SegmentScan { ranks })
+}
+
 /// Parses one JSONL record far enough to extract its rank; `None` means
 /// the line is not a valid visit record.
 fn line_rank(line: &[u8]) -> Option<usize> {
@@ -545,7 +698,12 @@ mod tests {
             to: 10,
             visit_config: "cfg".into(),
             generator: "gen".into(),
+            format: SegmentFormat::Jsonl,
         }
+    }
+
+    fn fp_bin() -> Fingerprint {
+        fp().with_format(SegmentFormat::Binary)
     }
 
     fn log(rank: usize) -> VisitLog {
@@ -676,6 +834,126 @@ mod tests {
             "not json\n{\"rank\":2,\"site_domain\":\"a\"}\n",
         )
         .unwrap();
+        assert!(matches!(
+            CrawlWriter::open(&dir, fp()),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_store_appends_and_recovers() {
+        let dir = tmp_dir("bin-fresh");
+        let store = CrawlWriter::open(&dir, fp_bin()).unwrap().with_batch(2);
+        let mut seg = store.segment().unwrap();
+        for r in 1..=5 {
+            seg.record(&log(r)).unwrap();
+        }
+        seg.finish().unwrap();
+        assert_eq!(segment_files(&dir).unwrap(), vec!["seg-0.bin"]);
+        drop(store);
+        let store = CrawlWriter::open(&dir, fp_bin()).unwrap();
+        let mut done: Vec<_> = store.done_ranks().iter().copied().collect();
+        done.sort_unstable();
+        assert_eq!(done, vec![1, 2, 3, 4, 5]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_torn_tail_is_truncated_on_open() {
+        let dir = tmp_dir("bin-torn");
+        let store = CrawlWriter::open(&dir, fp_bin()).unwrap().with_batch(1);
+        let mut seg = store.segment().unwrap();
+        seg.record(&log(1)).unwrap();
+        seg.record(&log(2)).unwrap();
+        seg.finish().unwrap();
+        drop(store);
+        let path = dir.join("seg-0.bin");
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // A crash mid-append: half a frame header, then (second case) a
+        // full header whose payload never hit the disk.
+        for torn in [
+            &b"\x40\x00"[..],
+            &b"\x40\x00\x00\x00AAAAAAAA\x00\x00\x00\x00half"[..],
+        ] {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(torn).unwrap();
+            drop(f);
+            let store = CrawlWriter::open(&dir, fp_bin()).unwrap();
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+            assert_eq!(store.done_ranks().len(), 2);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_mid_file_damage_is_an_error() {
+        let dir = tmp_dir("bin-damage");
+        let store = CrawlWriter::open(&dir, fp_bin()).unwrap().with_batch(1);
+        let mut seg = store.segment().unwrap();
+        for r in 1..=3 {
+            seg.record(&log(r)).unwrap();
+        }
+        seg.finish().unwrap();
+        drop(store);
+        // Flip one payload byte of the FIRST frame: complete frames
+        // follow it, so truncation repair would lose durable records.
+        let path = dir.join("seg-0.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[FRAME_HEADER + 1] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            CrawlWriter::open(&dir, fp_bin()),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_checksum_bad_final_frame_is_truncated() {
+        let dir = tmp_dir("bin-badtail");
+        let store = CrawlWriter::open(&dir, fp_bin()).unwrap().with_batch(1);
+        let mut seg = store.segment().unwrap();
+        seg.record(&log(1)).unwrap();
+        seg.record(&log(2)).unwrap();
+        seg.finish().unwrap();
+        drop(store);
+        // Flip a byte in the LAST frame's payload: torn at the record
+        // level, truncate back to rank 1.
+        let path = dir.join("seg-0.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = CrawlWriter::open(&dir, fp_bin()).unwrap();
+        assert_eq!(store.done_ranks().len(), 1);
+        assert!(store.done_ranks().contains(&1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn format_mismatch_between_store_and_crawl_is_refused() {
+        let dir = tmp_dir("bin-vs-jsonl");
+        drop(CrawlWriter::open(&dir, fp()).unwrap());
+        // Same crawl, other format: the fingerprint gate refuses it.
+        assert!(matches!(
+            CrawlWriter::open(&dir, fp_bin()),
+            Err(StoreError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_format_segment_file_is_refused() {
+        let dir = tmp_dir("mixed");
+        let store = CrawlWriter::open(&dir, fp()).unwrap();
+        let mut seg = store.segment().unwrap();
+        seg.record(&log(1)).unwrap();
+        seg.finish().unwrap();
+        drop(store);
+        // A stray binary segment in a JSONL store (hand-mixed dirs,
+        // manifest lagging a crash of some foreign tool).
+        std::fs::write(dir.join("seg-9.bin"), b"\x00").unwrap();
         assert!(matches!(
             CrawlWriter::open(&dir, fp()),
             Err(StoreError::Corrupt { .. })

@@ -117,7 +117,7 @@ mod tests {
             sites: 150,
             seed: 0xC00C1E,
             threads: 2,
-            store: None,
+            ..ExperimentOptions::default()
         });
         let get = |name: &str| {
             rows.iter()

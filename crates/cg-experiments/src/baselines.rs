@@ -157,7 +157,7 @@ mod tests {
             sites: 80,
             seed: 0xC00C1E,
             threads: 2,
-            store: None,
+            ..ExperimentOptions::default()
         };
         let r = run_baselines(&opts);
         assert_eq!(r.eval_sites, 40);
@@ -177,7 +177,7 @@ mod tests {
             sites: 60,
             seed: 0xC00C1E,
             threads: 2,
-            store: None,
+            ..ExperimentOptions::default()
         };
         let r = run_csp_gap_exp(&opts);
         assert_eq!(r.rows.len(), 4);

@@ -2,7 +2,7 @@
 
 use cg_analysis::Dataset;
 use cg_browser::{crawl_range, VisitConfig};
-use cg_crawlstore::{crawl_to_store, CrawlReader};
+use cg_crawlstore::{crawl_to_store_with, CrawlReader, SegmentFormat};
 use cg_entity::EntityMap;
 use cg_filterlist::FilterEngine;
 use cg_webgen::{GenConfig, WebGenerator};
@@ -20,6 +20,10 @@ pub struct ExperimentOptions {
     /// `cg_crawlstore` store at this directory and resumes from it when
     /// it already holds completed ranks (`--store DIR`).
     pub store: Option<std::path::PathBuf>,
+    /// Segment format for `--store` crawls (`--store-format
+    /// jsonl|binary`). Binary is the replay fast path for large crawls;
+    /// the two formats produce byte-identical analyses.
+    pub store_format: SegmentFormat,
 }
 
 impl Default for ExperimentOptions {
@@ -29,6 +33,7 @@ impl Default for ExperimentOptions {
             seed: 0xC00C1E,
             threads: num_threads(),
             store: None,
+            store_format: SegmentFormat::Jsonl,
         }
     }
 }
@@ -79,13 +84,14 @@ impl CrawlContext {
                 // Durable path: write-through store, resumed when the
                 // directory already holds this crawl's fingerprint, then
                 // a streaming rank-ordered replay into the dataset.
-                crawl_to_store(
+                let run = crawl_to_store_with(
                     dir,
                     &gen,
                     &visit_cfg,
                     1,
                     opts.sites,
                     opts.threads,
+                    opts.store_format,
                     |store| {
                         let resumed = store.done_ranks().len();
                         if resumed > 0 {
@@ -96,10 +102,30 @@ impl CrawlContext {
                     },
                 )
                 .unwrap_or_else(|e| panic!("crawl store {}: {e}", dir.display()));
+                eprintln!(
+                    "[store] {} records across {} segments, {} bytes ({}); \
+                     wrote {} visits at {:.0} visits/s",
+                    run.stats.records,
+                    run.stats.segments,
+                    run.stats.bytes,
+                    opts.store_format,
+                    run.summary.visited,
+                    run.summary.visits_per_sec(),
+                );
+                let replay_start = std::time::Instant::now();
                 let reader = CrawlReader::open(dir)
                     .unwrap_or_else(|e| panic!("reading crawl store {}: {e}", dir.display()));
                 let dataset = Dataset::from_reader(reader)
                     .unwrap_or_else(|e| panic!("replaying crawl store {}: {e}", dir.display()));
+                let replay_ms = replay_start.elapsed().as_millis().max(1) as u64;
+                eprintln!(
+                    "[store] replayed {} visits in {replay_ms} ms \
+                     ({:.0} visits/s, {:.1} MB/s); peak RSS {:.1} MB",
+                    dataset.crawled,
+                    dataset.crawled as f64 * 1000.0 / replay_ms as f64,
+                    run.stats.bytes as f64 / 1e6 * 1000.0 / replay_ms as f64,
+                    crate::storebench::peak_rss_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0),
+                );
                 let crawled = dataset.crawled;
                 (dataset, crawled)
             }
@@ -124,7 +150,7 @@ mod tests {
             sites: 50,
             seed: 1,
             threads: 2,
-            store: None,
+            ..ExperimentOptions::default()
         });
         assert_eq!(ctx.crawled, 50);
         assert!(ctx.dataset.site_count() > 20);
@@ -139,7 +165,7 @@ mod tests {
             sites: 40,
             seed: 2,
             threads: 2,
-            store: None,
+            ..ExperimentOptions::default()
         };
         let mem = CrawlContext::collect(&opts);
         let durable = CrawlContext::collect(&ExperimentOptions {

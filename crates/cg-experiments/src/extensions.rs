@@ -389,7 +389,7 @@ mod tests {
             sites: n,
             seed: 0xC00C1E,
             threads: 2,
-            store: None,
+            ..ExperimentOptions::default()
         }
     }
 

@@ -25,6 +25,7 @@ pub mod extensions;
 pub mod measurement;
 pub mod render;
 pub mod scenarios;
+pub mod storebench;
 
 pub use ablation::run_ablation;
 pub use baselines::{run_baselines, run_csp_gap_exp};
@@ -33,3 +34,4 @@ pub use evaluation::{run_fig5, run_table3, run_table4_and_figs};
 pub use extensions::{run_domguard, run_rollout, run_sec5_7};
 pub use measurement::run_measurement_experiments;
 pub use scenarios::{run_scenarios, ScenarioOptions};
+pub use storebench::{peak_rss_bytes, print_storebench, run_storebench, StoreBenchReport};

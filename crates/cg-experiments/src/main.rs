@@ -7,8 +7,8 @@
 //! ```
 
 use cg_experiments::{
-    run_domguard, run_fig5, run_measurement_experiments, run_rollout, run_sec5_7, run_table3,
-    run_table4_and_figs, CrawlContext, ExperimentOptions,
+    print_storebench, run_domguard, run_fig5, run_measurement_experiments, run_rollout, run_sec5_7,
+    run_storebench, run_table3, run_table4_and_figs, CrawlContext, ExperimentOptions,
 };
 
 const MEASUREMENT_EXPERIMENTS: &[&str] = &[
@@ -29,6 +29,7 @@ const EVALUATION_EXPERIMENTS: &[&str] = &[
     "rollout",
     "baselines",
     "csp",
+    "storebench",
 ];
 
 /// Parses a numeric option value, exiting with a clear message instead
@@ -106,6 +107,7 @@ fn main() {
     let mut opts = ExperimentOptions::default();
     let mut exps: Vec<String> = vec!["all".to_string()];
     let mut json_path: Option<String> = None;
+    let mut bench_json_path: Option<String> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -139,6 +141,27 @@ fn main() {
                     Some(dir) => opts.store = Some(std::path::PathBuf::from(dir)),
                     None => {
                         eprintln!("--store requires a directory; see --help");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--store-format" => {
+                i += 1;
+                opts.store_format = match args.get(i).map(String::as_str) {
+                    Some("jsonl") => cg_crawlstore::SegmentFormat::Jsonl,
+                    Some("binary") => cg_crawlstore::SegmentFormat::Binary,
+                    other => {
+                        eprintln!("--store-format must be jsonl or binary, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--bench-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => bench_json_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--bench-json requires a path; see --help");
                         std::process::exit(2);
                     }
                 }
@@ -273,6 +296,26 @@ fn main() {
         json.insert("performance".into(), v);
     }
 
+    if wants("storebench") && !wanted.contains(&"all") {
+        // Explicit-only: two extra crawls plus timed replays/folds.
+        eprintln!("[storebench] crawl-store throughput (jsonl vs binary)…");
+        let r = run_storebench(&opts);
+        print_storebench(&r);
+        if let Some(path) = &bench_json_path {
+            std::fs::write(
+                path,
+                serde_json::to_string_pretty(&serde_json::to_value(&r).expect("serialize"))
+                    .expect("serialize"),
+            )
+            .unwrap_or_else(|e| eprintln!("failed to write {path}: {e}"));
+            println!("\nbench report written to {path}");
+        }
+        json.insert(
+            "storebench".into(),
+            serde_json::to_value(&r).expect("serialize"),
+        );
+    }
+
     if let Some(path) = json_path {
         let out = serde_json::Value::Object(json);
         std::fs::write(
@@ -288,7 +331,8 @@ fn print_help() {
     println!("cg-experiments — regenerate the CookieGuard paper's tables and figures");
     println!();
     println!(
-        "USAGE: cg-experiments [--exp LIST] [--sites N] [--seed S] [--threads T] [--json PATH] [--store DIR]"
+        "USAGE: cg-experiments [--exp LIST] [--sites N] [--seed S] [--threads T] [--json PATH] \
+         [--store DIR] [--store-format jsonl|binary] [--bench-json PATH]"
     );
     println!(
         "       cg-experiments scenarios [--seed S] [--threads T] [--json PATH] [--golden PATH]"
@@ -305,5 +349,12 @@ fn print_help() {
     println!();
     println!("--store DIR writes the measurement crawl through a durable,");
     println!("segmented on-disk store (checkpoint/resume: a killed crawl");
-    println!("rerun with the same seed/sites finishes only the missing ranks).");
+    println!("rerun with the same seed/sites finishes only the missing ranks);");
+    println!("--store-format binary selects the compact framed format — the");
+    println!("replay fast path for large crawls, byte-identical analyses.");
+    println!();
+    println!("--exp storebench benchmarks the store (write/replay throughput");
+    println!("per format, 1-vs-8-thread fold wall time, peak RSS) and with");
+    println!("--bench-json PATH writes the machine-readable report");
+    println!("(BENCH_crawlstore.json).");
 }

@@ -430,7 +430,7 @@ mod tests {
             sites: 120,
             seed: 3,
             threads: 2,
-            store: None,
+            ..ExperimentOptions::default()
         });
         let results = run_measurement_experiments(&ctx, &[]);
         assert!(results.complete > 60);

@@ -1,0 +1,308 @@
+//! `--exp storebench`: the crawl-store throughput report behind
+//! `BENCH_crawlstore.json`.
+//!
+//! One crawl, written through both segment formats, then replayed and
+//! folded under timing: visits/s written, MB/s + visits/s replayed
+//! (JSONL vs binary), parallel-fold wall time at 1 and 8 threads, and
+//! the process peak RSS. The numbers vary run to run; the *keys* are a
+//! schema CI diffs against `ci/bench_crawlstore_keys.txt`, so the
+//! report cannot silently drop a metric.
+
+use crate::context::ExperimentOptions;
+use cg_analysis::{StreamStats, StreamSummary};
+use cg_browser::VisitConfig;
+use cg_crawlstore::{crawl_to_store_with, CrawlReader, SegmentFormat};
+use cg_webgen::{GenConfig, WebGenerator};
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+/// Peak resident set size of this process, from `/proc/self/status`
+/// `VmHWM` (Linux only; `None` elsewhere). This is a *high-water mark*:
+/// it proves bounded-memory claims only when the bounded phase is the
+/// biggest thing the process ever did.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+/// One format's write-side measurements.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WriteSide {
+    /// Visits written this run.
+    pub visits: u64,
+    /// Wall-clock milliseconds of the crawl loop.
+    pub elapsed_ms: u64,
+    /// Visits per second written through the store.
+    pub visits_per_sec: f64,
+    /// Segment bytes on disk afterwards.
+    pub bytes: u64,
+    /// Average stored bytes per visit.
+    pub bytes_per_visit: f64,
+}
+
+/// One format's replay-side measurements (full rank-ordered drain).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ReplaySide {
+    /// Visits decoded.
+    pub visits: u64,
+    /// Segment bytes read.
+    pub bytes: u64,
+    /// Wall-clock milliseconds for the full drain.
+    pub elapsed_ms: u64,
+    /// Visits per second replayed.
+    pub visits_per_sec: f64,
+    /// Megabytes per second replayed.
+    pub mb_per_sec: f64,
+}
+
+/// Parallel-fold wall times over the binary store.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FoldSide {
+    /// Sequential (1-thread) streaming fold, milliseconds.
+    pub threads_1_ms: u64,
+    /// 8-thread streaming fold, milliseconds.
+    pub threads_8_ms: u64,
+    /// `threads_1_ms / threads_8_ms`.
+    pub speedup: f64,
+}
+
+/// The full machine-readable report (`BENCH_crawlstore.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct StoreBenchReport {
+    /// Sites crawled.
+    pub sites: u64,
+    /// Crawl worker threads.
+    pub threads: u64,
+    /// JSONL write side.
+    pub write_jsonl: WriteSide,
+    /// Binary write side.
+    pub write_binary: WriteSide,
+    /// JSONL replay side.
+    pub replay_jsonl: ReplaySide,
+    /// Binary replay side.
+    pub replay_binary: ReplaySide,
+    /// Binary replay visits/s over JSONL replay visits/s.
+    pub binary_replay_speedup: f64,
+    /// Streaming parallel-fold wall times (binary store).
+    pub fold: FoldSide,
+    /// Process peak RSS after everything above (bytes; 0 if unknown).
+    pub peak_rss_bytes: u64,
+    /// The streaming aggregates of the crawl — pins that the two
+    /// formats analyzed identically and gives the numbers context.
+    pub stream_summary: StreamSummary,
+}
+
+fn ms(start: Instant) -> u64 {
+    start.elapsed().as_millis() as u64
+}
+
+fn per_sec(count: u64, elapsed_ms: u64) -> f64 {
+    if elapsed_ms == 0 {
+        return count as f64 * 1000.0; // sub-ms run: lower bound at 1ms
+    }
+    count as f64 * 1000.0 / elapsed_ms as f64
+}
+
+fn crawl_one(
+    dir: &Path,
+    gen: &WebGenerator,
+    cfg: &VisitConfig,
+    sites: usize,
+    threads: usize,
+    format: SegmentFormat,
+) -> WriteSide {
+    let run = crawl_to_store_with(dir, gen, cfg, 1, sites, threads, format, |_| {})
+        .unwrap_or_else(|e| panic!("storebench crawl ({format}): {e}"));
+    let visits = run.summary.visited as u64;
+    WriteSide {
+        visits,
+        elapsed_ms: run.summary.elapsed_ms,
+        visits_per_sec: run.summary.visits_per_sec(),
+        bytes: run.stats.bytes,
+        bytes_per_visit: if visits == 0 {
+            0.0
+        } else {
+            run.stats.bytes as f64 / visits as f64
+        },
+    }
+}
+
+fn replay_one(dir: &Path, bytes: u64) -> ReplaySide {
+    let start = Instant::now();
+    let mut visits = 0u64;
+    for log in CrawlReader::open(dir).unwrap_or_else(|e| panic!("storebench replay open: {e}")) {
+        log.unwrap_or_else(|e| panic!("storebench replay: {e}"));
+        visits += 1;
+    }
+    let elapsed_ms = ms(start);
+    ReplaySide {
+        visits,
+        bytes,
+        elapsed_ms,
+        visits_per_sec: per_sec(visits, elapsed_ms),
+        mb_per_sec: per_sec(bytes, elapsed_ms) / 1e6,
+    }
+}
+
+/// Runs the crawl-store benchmark. The store directories live under
+/// `opts.store` when set (kept afterwards — reruns resume) or a
+/// temporary directory (removed afterwards).
+pub fn run_storebench(opts: &ExperimentOptions) -> StoreBenchReport {
+    let (base, ephemeral) = match &opts.store {
+        Some(dir) => (dir.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("cg-storebench-{}", std::process::id())),
+            true,
+        ),
+    };
+    let gen = WebGenerator::new(GenConfig::small(opts.sites), opts.seed);
+    let cfg = VisitConfig::regular();
+    let dir_j = base.join("jsonl");
+    let dir_b = base.join("binary");
+
+    eprintln!("[storebench] crawling {} sites → JSONL store…", opts.sites);
+    let write_jsonl = crawl_one(
+        &dir_j,
+        &gen,
+        &cfg,
+        opts.sites,
+        opts.threads,
+        SegmentFormat::Jsonl,
+    );
+    eprintln!("[storebench] crawling {} sites → binary store…", opts.sites);
+    let write_binary = crawl_one(
+        &dir_b,
+        &gen,
+        &cfg,
+        opts.sites,
+        opts.threads,
+        SegmentFormat::Binary,
+    );
+
+    eprintln!("[storebench] replaying both stores…");
+    let replay_jsonl = replay_one(&dir_j, write_jsonl.bytes);
+    let replay_binary = replay_one(&dir_b, write_binary.bytes);
+
+    eprintln!("[storebench] streaming folds at 1 and 8 threads…");
+    let t1 = Instant::now();
+    let seq = StreamStats::from_store(&dir_b, 1).unwrap_or_else(|e| panic!("storebench fold: {e}"));
+    let threads_1_ms = ms(t1);
+    let t8 = Instant::now();
+    let par = StreamStats::from_store(&dir_b, 8).unwrap_or_else(|e| panic!("storebench fold: {e}"));
+    let threads_8_ms = ms(t8);
+    assert_eq!(
+        serde_json::to_string(&seq).expect("serialize stats"),
+        serde_json::to_string(&par).expect("serialize stats"),
+        "parallel fold diverged from sequential — determinism bug"
+    );
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    StoreBenchReport {
+        sites: opts.sites as u64,
+        threads: opts.threads as u64,
+        write_jsonl,
+        write_binary,
+        replay_jsonl,
+        replay_binary,
+        binary_replay_speedup: if replay_jsonl.visits_per_sec > 0.0 {
+            replay_binary.visits_per_sec / replay_jsonl.visits_per_sec
+        } else {
+            0.0
+        },
+        fold: FoldSide {
+            threads_1_ms,
+            threads_8_ms,
+            speedup: if threads_8_ms == 0 {
+                0.0
+            } else {
+                threads_1_ms as f64 / threads_8_ms as f64
+            },
+        },
+        peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+        stream_summary: seq.summary(),
+    }
+}
+
+/// Prints the human-readable side of the report.
+pub fn print_storebench(r: &StoreBenchReport) {
+    println!("\n== crawl store throughput ({} sites) ==", r.sites);
+    println!(
+        "  write  jsonl : {:>9.0} visits/s  {:>7.0} B/visit  ({} ms)",
+        r.write_jsonl.visits_per_sec, r.write_jsonl.bytes_per_visit, r.write_jsonl.elapsed_ms
+    );
+    println!(
+        "  write  binary: {:>9.0} visits/s  {:>7.0} B/visit  ({} ms)",
+        r.write_binary.visits_per_sec, r.write_binary.bytes_per_visit, r.write_binary.elapsed_ms
+    );
+    println!(
+        "  replay jsonl : {:>9.0} visits/s  {:>7.1} MB/s     ({} ms)",
+        r.replay_jsonl.visits_per_sec, r.replay_jsonl.mb_per_sec, r.replay_jsonl.elapsed_ms
+    );
+    println!(
+        "  replay binary: {:>9.0} visits/s  {:>7.1} MB/s     ({} ms)  — {:.1}× jsonl",
+        r.replay_binary.visits_per_sec,
+        r.replay_binary.mb_per_sec,
+        r.replay_binary.elapsed_ms,
+        r.binary_replay_speedup
+    );
+    println!(
+        "  fold   1 thr : {} ms    8 thr: {} ms   ({:.1}× speedup)",
+        r.fold.threads_1_ms, r.fold.threads_8_ms, r.fold.speedup
+    );
+    println!(
+        "  peak RSS     : {:.1} MB",
+        r.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_reads_proc_on_linux() {
+        // On Linux this must parse; elsewhere None is the contract.
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn storebench_report_has_stable_keys() {
+        let opts = ExperimentOptions {
+            sites: 30,
+            seed: 7,
+            threads: 2,
+            ..ExperimentOptions::default()
+        };
+        let report = run_storebench(&opts);
+        assert_eq!(report.sites, 30);
+        assert_eq!(report.replay_jsonl.visits, report.replay_binary.visits);
+        assert!(report.write_binary.bytes < report.write_jsonl.bytes);
+        let json = serde_json::to_value(&report).unwrap();
+        for key in [
+            "write_jsonl",
+            "write_binary",
+            "replay_jsonl",
+            "replay_binary",
+            "binary_replay_speedup",
+            "fold",
+            "peak_rss_bytes",
+            "stream_summary",
+        ] {
+            assert!(json.get(key).is_some(), "missing report key {key}");
+        }
+    }
+}

@@ -7,17 +7,25 @@
 //! these are complete implementations of the real algorithms (RFC 1321,
 //! RFC 3174, RFC 4648), validated against the official test vectors.
 //!
+//! The crate also hosts FNV-1a (`fnv1a64`/`fnv1a32`) plus the
+//! word-at-a-time `fnv1a32w` variant — the non-cryptographic checksum
+//! the binary crawl-store frames use for torn-tail detection (word-wise
+//! because frames are tens of KB and checksum verification sits on the
+//! replay hot path).
+//!
 //! **Layer:** foundation (no workspace dependencies). **Invariant:**
 //! digests are byte-identical to the reference algorithms (RFC 1321 /
 //! 3174 / 4648, checked against official vectors) — the exfiltration
 //! detector's encoded-identifier matching depends on it. **Entry
-//! points:** `md5_hex`, `sha1_hex`, `b64encode_no_pad`.
+//! points:** `md5_hex`, `sha1_hex`, `b64encode_no_pad`, `fnv1a32`.
 
 pub mod base64;
+pub mod fnv;
 pub mod md5;
 pub mod sha1;
 
 pub use base64::{b64decode, b64encode, b64encode_no_pad};
+pub use fnv::{fnv1a32, fnv1a32w, fnv1a64};
 pub use md5::md5_hex;
 pub use sha1::sha1_hex;
 

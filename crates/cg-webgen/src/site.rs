@@ -1146,6 +1146,27 @@ mod tests {
     }
 
     #[test]
+    fn million_rank_generation_is_lazy_and_deterministic() {
+        // Constructor cost is a function of the vendor/destination
+        // config, never of site_count: a 2M-rank web must build as
+        // fast as a 100-rank one, and any rank must be addressable
+        // without materializing the ones before it.
+        let g = generator(2_000_000);
+        assert_eq!(g.site_count(), 2_000_000);
+        for rank in [1, 999_983, 1_000_000, 2_000_000] {
+            let bp = g.blueprint(rank);
+            assert_eq!(bp.spec.rank, rank);
+            assert!(!bp.spec.domain.is_empty());
+            // Re-deriving the same rank from a fresh generator agrees —
+            // the property crawl resume and parallel folds stand on.
+            assert_eq!(
+                bp.spec.domain,
+                generator(2_000_000).blueprint(rank).spec.domain
+            );
+        }
+    }
+
+    #[test]
     fn different_ranks_differ() {
         let g = generator(100);
         assert_ne!(g.blueprint(1).spec.domain, g.blueprint(2).spec.domain);

@@ -2,31 +2,71 @@
 //! synthetic web, crawl it with the instrumented browser, and print the
 //! Table 1-style cross-domain statistics.
 //!
-//! Run with: `cargo run --release --example measure_crawl [SITES] [--store DIR]`
+//! Run with:
+//! `cargo run --release --example measure_crawl [SITES] [--store DIR]
+//! [--format jsonl|binary] [--threads N] [--stream]`
 //!
 //! With `--store DIR` the crawl writes through the durable segmented
 //! crawl store: kill it mid-run and rerun the same command — it resumes
 //! from the checkpoint, finishes only the missing ranks, and the
 //! analysis streams the store back rank-ordered instead of holding the
-//! crawl in memory.
+//! crawl in memory. `--format binary` selects the compact framed
+//! segment format (the replay fast path; identical analysis output).
+//! Store runs print write/replay throughput and peak RSS next to the
+//! segment/byte stats.
+//!
+//! `--stream` (requires `--store`) replaces the retained [`Dataset`]
+//! analysis with the bounded-memory streaming fold
+//! ([`StreamStats`](cookieguard_repro::analysis::StreamStats)): one
+//! parallel pass over the segments, peak RSS independent of crawl
+//! size. This is the mode that takes a million-visit store — the
+//! retained path would hold every `VisitLog` in memory.
 
 use cookieguard_repro::analysis::{
     api_usage, cross_domain_summary, detect_exfiltration, detect_manipulation, prevalence_stats,
     Dataset,
 };
 use cookieguard_repro::browser::{crawl_range, VisitConfig};
-use cookieguard_repro::crawlstore::{crawl_to_store, CrawlReader};
+use cookieguard_repro::crawlstore::{crawl_to_store_with, CrawlReader, SegmentFormat};
 use cookieguard_repro::webgen::{GenConfig, WebGenerator};
 
 const MASTER_SEED: u64 = 0xC00C1E;
+
+/// Peak RSS from `/proc/self/status` `VmHWM`, in bytes (Linux only).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sites: usize = 600;
     let mut store_dir: Option<std::path::PathBuf> = None;
+    let mut format = SegmentFormat::Jsonl;
+    let mut threads: usize = 4;
+    let mut stream = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--stream" => stream = true,
+            "--threads" => {
+                i += 1;
+                threads = match args.get(i).and_then(|t| t.parse().ok()) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("--threads requires a number");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--store" => {
                 i += 1;
                 match args.get(i) {
@@ -37,10 +77,24 @@ fn main() {
                     }
                 }
             }
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("jsonl") => SegmentFormat::Jsonl,
+                    Some("binary") => SegmentFormat::Binary,
+                    other => {
+                        eprintln!("--format must be jsonl or binary, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => match other.parse() {
                 Ok(n) => sites = n,
                 Err(_) => {
-                    eprintln!("usage: measure_crawl [SITES] [--store DIR]");
+                    eprintln!(
+                        "usage: measure_crawl [SITES] [--store DIR] \
+                         [--format jsonl|binary] [--threads N] [--stream]"
+                    );
                     std::process::exit(2);
                 }
             },
@@ -52,9 +106,14 @@ fn main() {
     let gen = WebGenerator::new(GenConfig::small(sites), MASTER_SEED);
     let cfg = VisitConfig::regular();
 
+    if stream && store_dir.is_none() {
+        eprintln!("--stream requires --store DIR");
+        std::process::exit(2);
+    }
+
     let ds = match &store_dir {
         None => {
-            let (outcomes, summary) = crawl_range(&gen, &cfg, 1, sites, 4);
+            let (outcomes, summary) = crawl_range(&gen, &cfg, 1, sites, threads);
             println!(
                 "  visited {} sites, {} with complete data, {} failed",
                 summary.visited, summary.complete, summary.failed
@@ -62,7 +121,7 @@ fn main() {
             Dataset::from_logs(outcomes.into_iter().map(|o| o.log).collect())
         }
         Some(dir) => {
-            let run = crawl_to_store(dir, &gen, &cfg, 1, sites, 4, |store| {
+            let run = crawl_to_store_with(dir, &gen, &cfg, 1, sites, threads, format, |store| {
                 let resumed = store.done_ranks().len();
                 if resumed > 0 {
                     println!("  resuming: {resumed} ranks already durable in the store");
@@ -77,14 +136,79 @@ fn main() {
                 run.summary.visited, run.summary.complete, run.summary.failed
             );
             println!(
-                "  store: {} records across {} segments, {} bytes on disk",
+                "  store: {} records across {} segments, {} bytes on disk ({format})",
                 run.stats.records, run.stats.segments, run.stats.bytes
             );
+            if run.summary.visited > 0 {
+                println!(
+                    "  write throughput: {:.0} visits/s ({} ms)",
+                    run.summary.visits_per_sec(),
+                    run.summary.elapsed_ms
+                );
+            }
+            if stream {
+                // Bounded-memory path: parallel per-segment streaming
+                // folds, nothing retained. The only mode that scales to
+                // a million-visit store.
+                let fold_start = std::time::Instant::now();
+                let stats = cookieguard_repro::analysis::StreamStats::from_store(dir, threads)
+                    .unwrap_or_else(|e| {
+                        eprintln!("streaming fold over the store failed: {e}");
+                        std::process::exit(1);
+                    });
+                let fold_ms = fold_start.elapsed().as_millis().max(1) as u64;
+                let s = stats.summary();
+                println!(
+                    "  streaming fold ({threads} threads): {:.0} visits/s, {:.1} MB/s ({} ms); \
+                     peak RSS {:.1} MB",
+                    s.crawled as f64 * 1000.0 / fold_ms as f64,
+                    run.stats.bytes as f64 / 1e6 * 1000.0 / fold_ms as f64,
+                    fold_ms,
+                    peak_rss_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0)
+                );
+                println!("\n-- streaming summary ({} visits) --", s.crawled);
+                println!("  complete visits:         {}", s.complete);
+                println!(
+                    "  cookie writes:           {} ({} blocked)",
+                    s.creates + s.overwrites + s.deletes,
+                    s.blocked_sets
+                );
+                println!("  cookie reads:            {}", s.reads);
+                println!("  requests:                {}", s.requests);
+                println!("  3p-script sites:         {}", s.third_party_script_sites);
+                println!(
+                    "  document.cookie sites:   {} (~{} distinct pairs)",
+                    s.doc_cookie_sites, s.doc_cookie_pairs
+                );
+                println!(
+                    "  cookieStore sites:       {} (~{} distinct pairs)",
+                    s.cookie_store_sites, s.cookie_store_pairs
+                );
+                println!(
+                    "  cross-domain overwrites: {} events on {} sites",
+                    s.cross_overwrite_events, s.cross_overwrite_sites
+                );
+                println!(
+                    "  cross-domain deletes:    {} events on {} sites",
+                    s.cross_delete_events, s.cross_delete_sites
+                );
+                return;
+            }
+            let replay_start = std::time::Instant::now();
             let reader = CrawlReader::open(dir).expect("reopen store for analysis");
-            Dataset::from_reader(reader).unwrap_or_else(|e| {
+            let ds = Dataset::from_reader(reader).unwrap_or_else(|e| {
                 eprintln!("replaying crawl store failed: {e}");
                 std::process::exit(1);
-            })
+            });
+            let replay_ms = replay_start.elapsed().as_millis().max(1) as u64;
+            println!(
+                "  replay throughput: {:.0} visits/s, {:.1} MB/s ({} ms); peak RSS {:.1} MB",
+                ds.crawled as f64 * 1000.0 / replay_ms as f64,
+                run.stats.bytes as f64 / 1e6 * 1000.0 / replay_ms as f64,
+                replay_ms,
+                peak_rss_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0)
+            );
+            ds
         }
     };
 
