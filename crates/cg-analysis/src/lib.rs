@@ -29,8 +29,8 @@ pub mod intent;
 pub mod manipulation;
 pub mod prevalence;
 pub mod server_side;
-pub mod stats;
 pub mod sketch;
+pub mod stats;
 pub mod stream;
 pub mod table1;
 

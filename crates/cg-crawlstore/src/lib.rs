@@ -64,12 +64,14 @@
 pub mod codec;
 pub mod fold;
 pub mod manifest;
+pub mod pread;
 pub mod reader;
 pub mod writer;
 
 pub use codec::SegmentFormat;
 pub use fold::par_fold;
 pub use manifest::{Fingerprint, Manifest, SegmentMeta, MANIFEST_FILE};
+pub use pread::{frame_cursors, FrameCursor};
 pub use reader::{segment_streams, CrawlReader, SegmentStream};
 pub use writer::{
     crawl_to_store, crawl_to_store_with, open_store, open_store_with, CrawlWriter, SegmentWriter,

@@ -8,30 +8,40 @@
 //! explicit-only `ablation`, `rollout`, `baselines` (the defense
 //! matrix: blocklist ± evasion, partitioning, CookieGraph-lite,
 //! CookieGuard), and `csp` (the §2.1 CSP gap). Scale with `--sites N`
-//! (default 20,000) and `--threads T`.
+//! (default 20,000) and `--threads T`. Two subcommands ride alongside:
+//! `scenarios` (the adversarial catalog) and `serve` (the multi-tenant
+//! guard-service benchmark behind `BENCH_service.json`).
 //!
 //! **Layer:** orchestration (the CLI over every other crate).
 //! **Invariant:** experiment output is deterministic for a given
-//! (seed, sites) at any thread count. **Entry points:** the
-//! `cg-experiments` binary, `CrawlContext`, `run_scenarios`, and the
-//! per-table `run_*` functions.
+//! (seed, sites) at any thread count — and [`determinism`] is the one
+//! module that knows which report fields (timing, throughput, RSS) are
+//! exempt. **Entry points:** the `cg-experiments` binary,
+//! `CrawlContext`, `run_scenarios`, `run_serve`, and the per-table
+//! `run_*` functions.
 
 pub mod ablation;
 pub mod baselines;
 pub mod context;
+pub mod determinism;
 pub mod evaluation;
 pub mod expectations;
 pub mod extensions;
 pub mod measurement;
 pub mod render;
 pub mod scenarios;
+pub mod service;
 pub mod storebench;
 
 pub use ablation::run_ablation;
 pub use baselines::{run_baselines, run_csp_gap_exp};
 pub use context::{CrawlContext, ExperimentOptions};
+pub use determinism::{
+    deterministic_surface, is_nondeterministic_key, mask_keys, mask_nondeterministic,
+};
 pub use evaluation::{run_fig5, run_table3, run_table4_and_figs};
 pub use extensions::{run_domguard, run_rollout, run_sec5_7};
 pub use measurement::run_measurement_experiments;
 pub use scenarios::{run_scenarios, ScenarioOptions};
+pub use service::{print_serve, run_serve, BenchServiceReport, ServeOptions};
 pub use storebench::{peak_rss_bytes, print_storebench, run_storebench, StoreBenchReport};

@@ -99,10 +99,94 @@ fn run_scenarios_cli(args: &[String]) -> ! {
     }
 }
 
+/// Parses and runs `cg-experiments serve [--sites N] [--seed S]
+/// [--passes P] [--workers LIST] [--store DIR] [--bench-json PATH]` —
+/// the multi-tenant guard-service benchmark/smoke.
+fn run_serve_cli(args: &[String]) -> ! {
+    let mut opts = cg_experiments::ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sites" => {
+                i += 1;
+                opts.sites = parse_numeric_arg(args.get(i), "--sites");
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = parse_numeric_arg(args.get(i), "--seed");
+            }
+            "--passes" => {
+                i += 1;
+                opts.passes = parse_numeric_arg(args.get(i), "--passes");
+            }
+            "--workers" => {
+                i += 1;
+                opts.worker_counts = match args.get(i) {
+                    Some(list) => list
+                        .split(',')
+                        .map(|w| {
+                            w.parse().unwrap_or_else(|_| {
+                                eprintln!("--workers takes a comma-separated list, got {list:?}");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect(),
+                    None => {
+                        eprintln!("--workers requires a list (e.g. 2,8); see --help");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--store" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => opts.store = Some(std::path::PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--store requires a directory; see --help");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--bench-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => opts.bench_json = Some(std::path::PathBuf::from(path)),
+                    None => {
+                        eprintln!("--bench-json requires a path; see --help");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown serve argument {other:?}; see --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let report = cg_experiments::run_serve(&opts);
+    cg_experiments::print_serve(&report);
+    if let Some(path) = &opts.bench_json {
+        let json = serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serialize"))
+            .expect("serialize");
+        match std::fs::write(path, json) {
+            Ok(()) => println!("\nbench report written to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("scenarios") {
         run_scenarios_cli(&args[2..]);
+    }
+    if args.get(1).map(String::as_str) == Some("serve") {
+        run_serve_cli(&args[2..]);
     }
     let mut opts = ExperimentOptions::default();
     let mut exps: Vec<String> = vec!["all".to_string()];
@@ -337,11 +421,22 @@ fn print_help() {
     println!(
         "       cg-experiments scenarios [--seed S] [--threads T] [--json PATH] [--golden PATH]"
     );
+    println!(
+        "       cg-experiments serve [--sites N] [--seed S] [--passes P] [--workers LIST] \
+         [--store DIR] [--bench-json PATH]"
+    );
     println!();
     println!("The `scenarios` subcommand runs the adversarial scenario catalog");
     println!("(crate cg-scenarios) under vanilla + CookieGuard variants + baseline");
     println!("defenses and emits a deterministic matrix; --golden diffs the JSON");
     println!("against a checked-in file and exits 1 on mismatch.");
+    println!();
+    println!("The `serve` subcommand benchmarks the multi-tenant guard service");
+    println!("(crate cg-service): it replays a binary crawl store through two");
+    println!("policy tenants at each worker count in LIST (default 2,8), hot-swaps");
+    println!("both tenants' policies mid-run, asserts zero dropped decisions and");
+    println!("byte-identical counters across worker counts, and with --bench-json");
+    println!("writes the machine-readable report (BENCH_service.json).");
     println!();
     println!("Experiments (comma-separated, default 'all'):");
     println!("  measurement: {}", MEASUREMENT_EXPERIMENTS.join(", "));

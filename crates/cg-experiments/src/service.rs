@@ -1,0 +1,328 @@
+//! `cg-experiments serve`: the guard-as-a-service benchmark and smoke
+//! behind `BENCH_service.json`.
+//!
+//! Builds (or resumes) a binary crawl store, registers two tenants with
+//! different policy presets, then replays the store through the
+//! `cg-service` worker pool at each requested worker count with two
+//! mid-run policy hot-swaps racing the traffic. Asserts the serving
+//! invariants on every run — zero dropped decisions, every retired
+//! engine freed — and that the deterministic report surface is
+//! byte-identical across worker counts (see [`crate::determinism`]).
+//! A final streaming-source run replays the same store through the
+//! pread cursors to pin that both traffic sources execute the same
+//! operation stream.
+
+use crate::determinism::deterministic_surface;
+use crate::storebench::peak_rss_bytes;
+use cg_browser::VisitConfig;
+use cg_crawlstore::{crawl_to_store_with, SegmentFormat};
+use cg_service::{
+    replay, GuardService, ReplayOptions, ReplayReport, ReplaySource, SwapPoint, TenantId,
+};
+use cg_webgen::{GenConfig, WebGenerator};
+use cookieguard_core::GuardConfig;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Options for the `serve` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Visits in the backing binary store.
+    pub sites: usize,
+    /// Master seed for the generated ecosystem.
+    pub seed: u64,
+    /// Full passes over the store per run.
+    pub passes: u32,
+    /// Worker counts to replay at (≥2 for the determinism check).
+    pub worker_counts: Vec<usize>,
+    /// Store directory (kept across runs — resumes); temp dir if unset.
+    pub store: Option<PathBuf>,
+    /// Where to write the machine-readable report, if anywhere.
+    pub bench_json: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            sites: 10_000,
+            seed: 0xC00C1E,
+            passes: 1,
+            worker_counts: vec![2, 8],
+            store: None,
+            bench_json: None,
+        }
+    }
+}
+
+/// One registered tenant, as serialized into the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantDesc {
+    /// Registration name.
+    pub name: String,
+    /// Human description of the epoch-0 policy.
+    pub policy: String,
+    /// Human description of the policy hot-swapped in mid-run.
+    pub swapped_to: String,
+}
+
+/// The machine-readable report (`BENCH_service.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchServiceReport {
+    /// Visits in the backing store.
+    pub sites: u64,
+    /// Passes per run.
+    pub passes: u64,
+    /// The tenant roster (≥2).
+    pub tenants: Vec<TenantDesc>,
+    /// One resident-source run per worker count, each with two mid-run
+    /// hot-swaps.
+    pub runs: Vec<ReplayReport>,
+    /// A streaming-source (pread cursor) run at the highest worker
+    /// count — same operation stream, bounded memory.
+    pub stream_run: ReplayReport,
+    /// Pinned true by the cross-worker-count byte-equality assertion.
+    pub counters_identical_across_worker_counts: bool,
+    /// Process peak RSS after everything above (bytes; 0 if unknown).
+    pub peak_rss_bytes: u64,
+}
+
+/// The two-tenant roster every `serve` run uses: the paper's strict
+/// evaluation policy, and the §7.2 entity-grouped refinement.
+fn build_service() -> (GuardService, TenantId, TenantId) {
+    let mut svc = GuardService::new();
+    let strict = svc.register("strict", GuardConfig::strict());
+    let grouped = svc.register(
+        "entity-grouped",
+        GuardConfig::strict().with_entity_grouping(cg_entity::builtin_entity_map()),
+    );
+    (svc, strict, grouped)
+}
+
+/// The two mid-run swaps: the strict tenant gains a whitelist entry
+/// (an operator shipping a site fix), the grouped tenant gets a freshly
+/// "retrained" relaxed policy — both recompiled and installed under
+/// load.
+fn swap_points(total_visits: u64, strict: TenantId, grouped: TenantId) -> Vec<SwapPoint> {
+    vec![
+        SwapPoint {
+            after_visits: total_visits / 4,
+            tenant: strict,
+            config: GuardConfig::strict().with_whitelisted("cdn.swap-probe"),
+        },
+        SwapPoint {
+            after_visits: total_visits / 2,
+            tenant: grouped,
+            config: GuardConfig::relaxed(),
+        },
+    ]
+}
+
+fn run_one(
+    dir: &std::path::Path,
+    opts: &ServeOptions,
+    workers: usize,
+    source: ReplaySource,
+) -> ReplayReport {
+    let (svc, strict, grouped) = build_service();
+    let total = (opts.sites as u64) * opts.passes as u64;
+    let report = replay(
+        &svc,
+        dir,
+        &ReplayOptions {
+            workers,
+            passes: opts.passes,
+            source,
+            swaps: swap_points(total, strict, grouped),
+            ..ReplayOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("serve replay ({workers} workers): {e}"));
+
+    // The serving invariants, asserted on every run.
+    assert_eq!(
+        report.counters.visits, total,
+        "visits lost at {workers} workers"
+    );
+    assert!(
+        report.counters.drained(),
+        "dropped decisions at {workers} workers: {:?}",
+        report.counters
+    );
+    assert_eq!(
+        report.undrained_epochs, 0,
+        "retired engines not freed at {workers} workers"
+    );
+    assert_eq!(report.swaps.len(), 2, "a scheduled hot-swap never fired");
+    for swap in &report.swaps {
+        assert_eq!(swap.to_epoch, swap.from_epoch + 1, "epoch sequence gap");
+    }
+    report
+}
+
+/// Runs the service benchmark/smoke. Panics (non-zero exit) on any
+/// violated invariant, including counter divergence across worker
+/// counts.
+pub fn run_serve(opts: &ServeOptions) -> BenchServiceReport {
+    assert!(
+        opts.worker_counts.len() >= 2,
+        "need ≥2 worker counts for the determinism check"
+    );
+    let (base, ephemeral) = match &opts.store {
+        Some(dir) => (dir.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("cg-serve-{}", std::process::id())),
+            true,
+        ),
+    };
+
+    eprintln!(
+        "[serve] building/resuming {}-visit binary store…",
+        opts.sites
+    );
+    let gen = WebGenerator::new(GenConfig::small(opts.sites), opts.seed);
+    crawl_to_store_with(
+        &base,
+        &gen,
+        &VisitConfig::regular(),
+        1,
+        opts.sites,
+        8,
+        SegmentFormat::Binary,
+        |_| {},
+    )
+    .unwrap_or_else(|e| panic!("serve store build: {e}"));
+
+    let mut runs = Vec::new();
+    for &workers in &opts.worker_counts {
+        eprintln!(
+            "[serve] replaying through 2 tenants at {workers} workers (2 hot-swaps mid-run)…"
+        );
+        runs.push(run_one(&base, opts, workers, ReplaySource::Resident));
+    }
+
+    // Deterministic surface: everything except timing and the
+    // epoch-sensitive blocks must be byte-identical across worker
+    // counts. `workers` itself is the one intentional difference.
+    let masked: Vec<String> = runs
+        .iter()
+        .map(|r| deterministic_surface(r, &["outcomes", "workers"]))
+        .collect();
+    for (i, m) in masked.iter().enumerate().skip(1) {
+        assert_eq!(
+            m, &masked[0],
+            "deterministic surface diverged between {} and {} workers",
+            opts.worker_counts[0], opts.worker_counts[i]
+        );
+    }
+    // Belt and braces: the raw counter structs must match exactly too.
+    for run in &runs[1..] {
+        assert_eq!(run.counters, runs[0].counters, "counter totals diverged");
+    }
+
+    let max_workers = opts.worker_counts.iter().copied().max().unwrap_or(1);
+    eprintln!("[serve] streaming-source run at {max_workers} workers (pread cursors)…");
+    let stream_run = run_one(&base, opts, max_workers, ReplaySource::Stream);
+    assert_eq!(
+        stream_run.counters, runs[0].counters,
+        "streaming source executed a different op stream than resident"
+    );
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    BenchServiceReport {
+        sites: opts.sites as u64,
+        passes: opts.passes as u64,
+        tenants: vec![
+            TenantDesc {
+                name: "strict".into(),
+                policy: "strict inline, no grouping (paper §6.1 evaluation mode)".into(),
+                swapped_to: "strict + whitelisted cdn.swap-probe".into(),
+            },
+            TenantDesc {
+                name: "entity-grouped".into(),
+                policy: "strict + builtin entity map (§7.2 refinement)".into(),
+                swapped_to: "relaxed inline policy".into(),
+            },
+        ],
+        runs,
+        stream_run,
+        counters_identical_across_worker_counts: true,
+        peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+    }
+}
+
+/// Prints the human-readable side of the report, including the lines
+/// the CI smoke greps for.
+pub fn print_serve(r: &BenchServiceReport) {
+    println!(
+        "\n== guard service ({} visits × {} passes, {} tenants) ==",
+        r.sites,
+        r.passes,
+        r.tenants.len()
+    );
+    for run in &r.runs {
+        let l = &run.timing.latency;
+        println!(
+            "  {:>2} workers: {:>9.0} decisions/s  {:>8.0} sessions/s  \
+             p50 {:>5} ns  p99 {:>6} ns  p999 {:>7} ns  ({} swaps)",
+            run.workers,
+            run.timing.decisions_per_sec,
+            run.timing.session_opens_per_sec,
+            l.p50_ns,
+            l.p99_ns,
+            l.p999_ns,
+            run.swaps.len()
+        );
+    }
+    let s = &r.stream_run;
+    println!(
+        "  stream({}w): {:>9.0} decisions/s via pread cursors",
+        s.workers, s.timing.decisions_per_sec
+    );
+    for run in r.runs.iter().take(1) {
+        for swap in &run.swaps {
+            println!(
+                "  swap {}→{}: compile {:.1} µs, install {:.1} µs",
+                swap.from_epoch,
+                swap.to_epoch,
+                swap.compile_ns as f64 / 1e3,
+                swap.install_ns as f64 / 1e3
+            );
+        }
+    }
+    println!(
+        "  peak RSS: {:.1} MB",
+        r.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+    // CI grep anchors — keep the wording stable.
+    println!("  counters byte-identical across worker counts: ok");
+    println!("  zero dropped decisions: ok (all sessions drained, all epochs freed)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_smoke_small_store() {
+        let opts = ServeOptions {
+            sites: 150,
+            passes: 2,
+            worker_counts: vec![1, 3],
+            ..ServeOptions::default()
+        };
+        let report = run_serve(&opts);
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.tenants.len(), 2);
+        assert!(report.counters_identical_across_worker_counts);
+        assert_eq!(report.runs[0].counters.visits, 300);
+        assert_eq!(report.stream_run.source, "stream");
+        // Required metric set for the bench contract.
+        let json = serde_json::to_value(&report).unwrap();
+        for key in ["sites", "tenants", "runs", "stream_run", "peak_rss_bytes"] {
+            assert!(json.get(key).is_some(), "missing report key {key}");
+        }
+    }
+}

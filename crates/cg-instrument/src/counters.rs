@@ -1,0 +1,112 @@
+//! Service-level event counters.
+//!
+//! `cg-service` replays crawl traffic through tenant-routed guard
+//! sessions and must prove, across arbitrary worker counts, that *every
+//! issued operation executed* — the "zero dropped decisions" claim.
+//! [`ServiceCounters`] is the deterministic half of that proof: every
+//! field is a pure function of the workload (store contents × replay
+//! passes), independent of thread interleaving, policy-swap timing, and
+//! wall-clock. Two replays of the same store at different worker counts
+//! must produce byte-identical `ServiceCounters`; the service smoke test
+//! in CI compares them verbatim.
+//!
+//! Epoch-*sensitive* tallies (allow/block splits that depend on which
+//! policy epoch a visit happened to pin) deliberately do **not** live
+//! here — mixing them in would quietly break the byte-equality check the
+//! first time a swap landed on a different visit boundary.
+
+use serde::Serialize;
+
+/// Deterministic operation totals for one replay (or one worker's
+/// shard of it — shards [`merge`](ServiceCounters::merge) associatively).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ServiceCounters {
+    /// Visits replayed (sessions are opened one per visit).
+    pub visits: u64,
+    /// Guard sessions opened.
+    pub sessions_opened: u64,
+    /// Guard sessions closed. Must equal `sessions_opened` when the
+    /// replay drains cleanly — an inequality means in-flight sessions
+    /// were dropped.
+    pub sessions_closed: u64,
+    /// `authorize_write` calls issued (script/API cookie writes).
+    pub write_ops: u64,
+    /// `authorize_delete` calls issued.
+    pub delete_ops: u64,
+    /// `filter_names` calls issued (cookie reads).
+    pub read_ops: u64,
+    /// HTTP `Set-Cookie` headers recorded (ownership bookkeeping; not a
+    /// policy decision).
+    pub header_sets: u64,
+    /// Total cookie names presented across all read ops (each one is a
+    /// per-cookie visibility decision inside `filter_names`).
+    pub cookies_presented: u64,
+    /// Policy decisions executed: `write_ops + delete_ops + read_ops`.
+    /// Kept explicit so a dropped decision shows up as an arithmetic
+    /// mismatch rather than a silent undercount.
+    pub decisions: u64,
+}
+
+impl ServiceCounters {
+    /// Element-wise sum. Associative and commutative, so per-worker
+    /// shards merge to the same total in any order.
+    pub fn merge(&self, other: &ServiceCounters) -> ServiceCounters {
+        ServiceCounters {
+            visits: self.visits + other.visits,
+            sessions_opened: self.sessions_opened + other.sessions_opened,
+            sessions_closed: self.sessions_closed + other.sessions_closed,
+            write_ops: self.write_ops + other.write_ops,
+            delete_ops: self.delete_ops + other.delete_ops,
+            read_ops: self.read_ops + other.read_ops,
+            header_sets: self.header_sets + other.header_sets,
+            cookies_presented: self.cookies_presented + other.cookies_presented,
+            decisions: self.decisions + other.decisions,
+        }
+    }
+
+    /// True when every opened session closed and the decision total is
+    /// consistent with the per-op counts — the replay dropped nothing.
+    pub fn drained(&self) -> bool {
+        self.sessions_opened == self.sessions_closed
+            && self.decisions == self.write_ops + self.delete_ops + self.read_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> ServiceCounters {
+        ServiceCounters {
+            visits: n,
+            sessions_opened: n,
+            sessions_closed: n,
+            write_ops: 2 * n,
+            delete_ops: n / 2,
+            read_ops: 3 * n,
+            header_sets: n,
+            cookies_presented: 9 * n,
+            decisions: 2 * n + n / 2 + 3 * n,
+        }
+    }
+
+    #[test]
+    fn merge_is_elementwise_and_order_independent() {
+        let (a, b) = (sample(4), sample(10));
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).visits, 14);
+        assert_eq!(a.merge(&ServiceCounters::default()), a);
+    }
+
+    #[test]
+    fn drained_detects_dropped_sessions_and_decisions() {
+        let ok = sample(8);
+        assert!(ok.drained());
+        let mut dropped = ok;
+        dropped.sessions_closed -= 1;
+        assert!(!dropped.drained());
+        let mut lost = ok;
+        lost.decisions -= 1;
+        assert!(!lost.drained());
+    }
+}

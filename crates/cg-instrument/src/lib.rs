@@ -16,10 +16,12 @@
 //! access-layer equivalence test pins it). **Entry points:**
 //! `Recorder`, `VisitLog`, `EventSink`.
 
+pub mod counters;
 pub mod events;
 pub mod recorder;
 pub mod sink;
 
+pub use counters::ServiceCounters;
 pub use events::{
     AttrChangeFlags, CookieApi, DomEvent, ProbeEvent, ReadEvent, RequestEvent, ScriptInclusion,
     SetEvent, VisitLog, WriteKind,

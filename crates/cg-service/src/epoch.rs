@@ -1,0 +1,226 @@
+//! The hot-swap protocol: replacing a tenant's compiled policy under
+//! live traffic without blocking a single decision.
+//!
+//! # How a swap works
+//!
+//! An [`EpochSlot`] owns one tenant's current engine behind
+//! `RwLock<Arc<GuardEngine>>` plus a monotonically increasing epoch
+//! mirrored in an `AtomicU64`. A [`swap`](EpochSlot::swap):
+//!
+//! 1. compiles the new [`GuardEngine`] **outside** any lock (compilation
+//!    is the expensive part — interning the whitelist and entity map);
+//! 2. takes the write lock only to exchange two `Arc` pointers and
+//!    publish the new epoch — a few dozen nanoseconds;
+//! 3. downgrades the displaced engine to a `Weak` on the retired list,
+//!    so [`undrained`](EpochSlot::undrained) can later *prove* the old
+//!    `CompiledPolicy` was freed (the `Weak` dies exactly when the last
+//!    pinned session closes).
+//!
+//! # Why the decision path takes no locks
+//!
+//! A `GuardSession` clones the engine `Arc` **once at open** and holds
+//! it until close. Every decision the session makes goes through that
+//! pinned `Arc` — no epoch check, no lock, no atomic beyond the ones
+//! `Arc` itself already paid at open. The epoch is stored *inside* the
+//! engine ([`GuardEngine::policy_epoch`]), so a session can never
+//! observe engine A with epoch B: the pair is one allocation.
+//!
+//! Session *open* is also lock-free in the common case: a per-worker
+//! [`EngineCache`] compares the slot's atomic epoch against its cached
+//! engine's and touches the `RwLock` only in the rare window after a
+//! swap. The lock is therefore contended only (swap-rate × workers)
+//! times per second — effectively never.
+
+use cookieguard_core::{GuardConfig, GuardEngine};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
+use std::time::Instant;
+
+/// One tenant's engine slot: the current compiled policy, its epoch,
+/// and the trail of retired epochs awaiting drain.
+#[derive(Debug)]
+pub struct EpochSlot {
+    /// Mirrors `current.policy_epoch()`; published with `Release` inside
+    /// the write lock so a reader that observes the new epoch and then
+    /// takes the read lock is guaranteed the new engine.
+    epoch: AtomicU64,
+    /// The engine new sessions pin. Written only by [`EpochSlot::swap`].
+    current: RwLock<Arc<GuardEngine>>,
+    /// `(epoch, weak)` for every displaced engine still possibly alive.
+    /// Doubles as the swap serialization lock: holding it across the
+    /// whole swap keeps `from_epoch → to_epoch` transitions gapless.
+    retired: Mutex<Vec<(u64, Weak<GuardEngine>)>>,
+}
+
+/// What one [`EpochSlot::swap`] cost, for `BENCH_service.json`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SwapReport {
+    /// Epoch being displaced.
+    pub from_epoch: u64,
+    /// Epoch now current (`from_epoch + 1`).
+    pub to_epoch: u64,
+    /// Nanoseconds compiling the new engine — paid outside every lock.
+    pub compile_ns: u64,
+    /// Nanoseconds holding the write lock to install it — the only
+    /// window in which a cache-miss session open can block.
+    pub install_ns: u64,
+}
+
+impl EpochSlot {
+    /// Compiles `config` as epoch 0 and makes it current.
+    pub fn new(config: GuardConfig) -> EpochSlot {
+        EpochSlot {
+            epoch: AtomicU64::new(0),
+            current: RwLock::new(Arc::new(GuardEngine::with_epoch(config, 0))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current epoch. Lock-free; pairs with the `Release` store in
+    /// [`swap`](EpochSlot::swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Clones the current engine `Arc` (read lock, briefly). Sessions
+    /// opened on the result stay pinned to it regardless of later swaps.
+    pub fn current(&self) -> Arc<GuardEngine> {
+        self.current.read().expect("engine slot poisoned").clone()
+    }
+
+    /// Compiles `config` and installs it as the next epoch. In-flight
+    /// sessions keep their pinned engine; new sessions (and refreshed
+    /// [`EngineCache`]s) pick up the new one. Never blocks the decision
+    /// path: compilation happens before the write lock, and the lock is
+    /// held only for the pointer exchange.
+    pub fn swap(&self, config: GuardConfig) -> SwapReport {
+        // Serialize swappers for the whole compile+install so two
+        // concurrent swaps cannot compile against the same from_epoch.
+        let mut retired = self.retired.lock().expect("retired list poisoned");
+        let from_epoch = self.epoch.load(Ordering::Acquire);
+        let to_epoch = from_epoch + 1;
+
+        let compile_start = Instant::now();
+        let next = Arc::new(GuardEngine::with_epoch(config, to_epoch));
+        let compile_ns = compile_start.elapsed().as_nanos() as u64;
+
+        let install_start = Instant::now();
+        let displaced = {
+            let mut cur = self.current.write().expect("engine slot poisoned");
+            let displaced = std::mem::replace(&mut *cur, next);
+            self.epoch.store(to_epoch, Ordering::Release);
+            displaced
+        };
+        let install_ns = install_start.elapsed().as_nanos() as u64;
+
+        retired.push((from_epoch, Arc::downgrade(&displaced)));
+        drop(displaced); // if no session pinned it, the Weak dies here
+        SwapReport {
+            from_epoch,
+            to_epoch,
+            compile_ns,
+            install_ns,
+        }
+    }
+
+    /// Epochs whose displaced engine is still alive — i.e. some session
+    /// opened under them has not closed yet. Prunes freed entries as a
+    /// side effect. An empty result after all sessions close is the
+    /// drain proof: every retired `CompiledPolicy` was deallocated.
+    pub fn undrained(&self) -> Vec<u64> {
+        let mut retired = self.retired.lock().expect("retired list poisoned");
+        retired.retain(|(_, weak)| weak.strong_count() > 0);
+        retired.iter().map(|(epoch, _)| *epoch).collect()
+    }
+}
+
+/// Per-worker engine cache: the lock-free fast path for session opens.
+///
+/// Holds an `Arc` clone of the engine it last saw. [`engine`][Self::engine]
+/// compares the slot's atomic epoch with the cached engine's own and
+/// re-reads the slot only when they differ — so in steady state a
+/// session open costs one atomic load plus one `Arc` clone, touching no
+/// lock. The epoch check and the refresh are deliberately *not* atomic
+/// together: if a swap lands between them the cache simply picks up
+/// whichever engine is current at the read, and the session still pins
+/// a consistent (engine, epoch) pair because the epoch lives inside the
+/// engine.
+#[derive(Debug, Clone)]
+pub struct EngineCache {
+    cached: Arc<GuardEngine>,
+}
+
+impl EngineCache {
+    /// Caches the slot's current engine.
+    pub fn new(slot: &EpochSlot) -> EngineCache {
+        EngineCache {
+            cached: slot.current(),
+        }
+    }
+
+    /// The freshest engine this cache knows about, refreshing from the
+    /// slot only when the published epoch moved.
+    pub fn engine(&mut self, slot: &EpochSlot) -> &Arc<GuardEngine> {
+        if self.cached.policy_epoch() != slot.epoch() {
+            self.cached = slot.current();
+        }
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cookieguard_core::GuardSession;
+
+    #[test]
+    fn swap_bumps_epoch_and_new_sessions_pick_it_up() {
+        let slot = EpochSlot::new(GuardConfig::strict());
+        assert_eq!(slot.epoch(), 0);
+        let before = GuardSession::new(slot.current(), "site.com");
+        assert_eq!(before.policy_epoch(), 0);
+
+        let report = slot.swap(GuardConfig::relaxed());
+        assert_eq!((report.from_epoch, report.to_epoch), (0, 1));
+        assert_eq!(slot.epoch(), 1);
+        let after = GuardSession::new(slot.current(), "site.com");
+        assert_eq!(after.policy_epoch(), 1);
+        // The in-flight session never moved.
+        assert_eq!(before.policy_epoch(), 0);
+    }
+
+    #[test]
+    fn retired_engine_is_freed_exactly_when_last_session_closes() {
+        let slot = EpochSlot::new(GuardConfig::strict());
+        let pinned = GuardSession::new(slot.current(), "site.com");
+        slot.swap(GuardConfig::relaxed());
+        // Epoch 0 is retired but still pinned by `pinned`.
+        assert_eq!(slot.undrained(), vec![0]);
+        drop(pinned);
+        assert!(slot.undrained().is_empty(), "drain proof failed");
+    }
+
+    #[test]
+    fn unpinned_retired_epochs_free_immediately() {
+        let slot = EpochSlot::new(GuardConfig::strict());
+        for _ in 0..5 {
+            slot.swap(GuardConfig::strict());
+        }
+        assert!(slot.undrained().is_empty());
+        assert_eq!(slot.epoch(), 5);
+    }
+
+    #[test]
+    fn engine_cache_refreshes_only_on_epoch_change() {
+        let slot = EpochSlot::new(GuardConfig::strict());
+        let mut cache = EngineCache::new(&slot);
+        let first = Arc::as_ptr(cache.engine(&slot));
+        // No swap → same allocation handed back.
+        assert_eq!(Arc::as_ptr(cache.engine(&slot)), first);
+        slot.swap(GuardConfig::relaxed());
+        let refreshed = cache.engine(&slot);
+        assert_eq!(refreshed.policy_epoch(), 1);
+        assert_ne!(Arc::as_ptr(refreshed), first);
+    }
+}

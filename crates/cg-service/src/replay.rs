@@ -1,0 +1,759 @@
+//! The traffic replayer: drives crawl-store visits through
+//! tenant-routed guard sessions under a fixed worker pool, optionally
+//! hot-swapping policies mid-run.
+//!
+//! A [`VisitLog`] from the store is lowered once into a [`VisitScript`]
+//! — the time-ordered cookie operations the instrumented browser saw,
+//! with actors resolved to [`Caller`]s — and each replayed visit opens
+//! one [`GuardSession`] on whichever engine its tenant currently
+//! publishes, runs the script, and closes. Two traffic sources share
+//! that per-visit path byte for byte:
+//!
+//! * [`ReplaySource::Resident`] pre-extracts every script into memory
+//!   (via [`CrawlReader`], either segment format) — the hot-decision
+//!   configuration for measuring sustained decisions/s;
+//! * [`ReplaySource::Stream`] decodes binary segments one frame at a
+//!   time through pread-based [`FrameCursor`](cg_crawlstore::FrameCursor)s, rewinding between
+//!   passes — bounded memory for million-visit stores, never
+//!   re-buffering a segment.
+//!
+//! # Determinism contract
+//!
+//! The replay's [`ServiceCounters`] are a pure function of (store
+//! contents × passes): visit claiming is dynamic, but every visit is
+//! processed exactly once per pass and each counter is a sum over
+//! visits, so totals are byte-identical at any worker count and under
+//! any swap timing. Outcome splits ([`ReplayOutcomes`]) and everything
+//! in [`ReplayTiming`] are *not* deterministic — swaps land on
+//! whatever visit boundary the race picks — which is exactly why they
+//! live in separate report blocks that determinism checks mask off.
+
+use crate::epoch::{EngineCache, SwapReport};
+use crate::stats::{LatencyHistogram, LatencySummary};
+use crate::tenant::{GuardService, TenantId};
+use cg_crawlstore::{frame_cursors, CrawlReader, StoreError};
+use cg_instrument::{CookieApi, ReadEvent, ServiceCounters, SetEvent, VisitLog, WriteKind};
+use cookieguard_core::{Caller, GuardConfig, GuardStats};
+
+#[cfg(doc)]
+use cookieguard_core::GuardSession;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// One cookie operation to replay against a session, in visit order.
+#[derive(Debug, Clone)]
+pub enum ReplayOp {
+    /// A script/API cookie write → [`GuardSession::authorize_write`].
+    Write {
+        /// The acting script.
+        caller: Caller,
+        /// Cookie name.
+        name: String,
+    },
+    /// A script/API cookie delete → [`GuardSession::authorize_delete`].
+    Delete {
+        /// The acting script.
+        caller: Caller,
+        /// Cookie name.
+        name: String,
+    },
+    /// An HTTP `Set-Cookie` → [`GuardSession::record_http_set_cookie`]
+    /// (ownership bookkeeping, not a policy decision).
+    HeaderSet {
+        /// Cookie name.
+        name: String,
+        /// Responding server's eTLD+1.
+        domain: String,
+    },
+    /// A cookie read → [`GuardSession::filter_names`].
+    Read {
+        /// The acting script.
+        caller: Caller,
+        /// Names the jar presented to the caller.
+        names: Vec<String>,
+    },
+}
+
+/// A visit lowered to the operations the replayer executes.
+#[derive(Debug, Clone)]
+pub struct VisitScript {
+    /// The visited site's eTLD+1 (the session's site domain).
+    pub site: String,
+    /// Tranco-style rank — the tenant routing key.
+    pub rank: u64,
+    /// Time-ordered cookie operations.
+    pub ops: Vec<ReplayOp>,
+}
+
+fn caller_for(actor: &Option<String>) -> Caller {
+    match actor {
+        Some(domain) => Caller::external(domain),
+        None => Caller::inline(),
+    }
+}
+
+fn op_for_set(site: &str, set: &SetEvent) -> ReplayOp {
+    if set.api == CookieApi::HttpHeader {
+        ReplayOp::HeaderSet {
+            name: set.name.clone(),
+            domain: set.actor.clone().unwrap_or_else(|| site.to_string()),
+        }
+    } else if set.kind == WriteKind::Delete {
+        ReplayOp::Delete {
+            caller: caller_for(&set.actor),
+            name: set.name.clone(),
+        }
+    } else {
+        ReplayOp::Write {
+            caller: caller_for(&set.actor),
+            name: set.name.clone(),
+        }
+    }
+}
+
+fn op_for_read(read: &ReadEvent) -> ReplayOp {
+    ReplayOp::Read {
+        caller: caller_for(&read.actor),
+        names: read.cookies.iter().map(|(n, _)| n.clone()).collect(),
+    }
+}
+
+/// Lowers a recorded visit to its replayable operation stream: the
+/// log's set and read events merged back into `time_ms` order (sets
+/// first on ties, matching how the simulator emits them). Both traffic
+/// sources call this, so resident and streaming replays execute
+/// identical operation streams.
+pub fn extract_script(log: &VisitLog) -> VisitScript {
+    let mut ops = Vec::with_capacity(log.sets.len() + log.reads.len());
+    let (mut i, mut j) = (0, 0);
+    while i < log.sets.len() || j < log.reads.len() {
+        let take_set = match (log.sets.get(i), log.reads.get(j)) {
+            (Some(s), Some(r)) => s.time_ms <= r.time_ms,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_set {
+            ops.push(op_for_set(&log.site_domain, &log.sets[i]));
+            i += 1;
+        } else {
+            ops.push(op_for_read(&log.reads[j]));
+            j += 1;
+        }
+    }
+    VisitScript {
+        site: log.site_domain.clone(),
+        rank: log.rank as u64,
+        ops,
+    }
+}
+
+/// Where the replayer draws visits from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplaySource {
+    /// Pre-extract every script into memory, then replay from RAM.
+    Resident,
+    /// Decode binary segments frame-by-frame via pread cursors,
+    /// rewinding between passes (binary stores only).
+    Stream,
+}
+
+/// How the load generator paces itself.
+#[derive(Debug, Clone, Copy)]
+pub enum Pacing {
+    /// Closed loop: every worker replays as fast as decisions complete.
+    Closed,
+    /// Open loop: aim for a fixed aggregate visit arrival rate,
+    /// splitting the target evenly across workers.
+    Open {
+        /// Aggregate target, visits per second.
+        visits_per_sec: f64,
+    },
+}
+
+/// A scheduled mid-run policy swap.
+#[derive(Debug, Clone)]
+pub struct SwapPoint {
+    /// Fire once this many visits (across all workers and passes) have
+    /// completed.
+    pub after_visits: u64,
+    /// Tenant to swap.
+    pub tenant: TenantId,
+    /// Replacement policy.
+    pub config: GuardConfig,
+}
+
+/// Replay configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Worker threads replaying visits.
+    pub workers: usize,
+    /// Times the whole store is replayed.
+    pub passes: u32,
+    /// Traffic source.
+    pub source: ReplaySource,
+    /// Load pacing.
+    pub pacing: Pacing,
+    /// Mid-run policy swaps, fired by a coordinator thread as the
+    /// global visit counter crosses each threshold.
+    pub swaps: Vec<SwapPoint>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> ReplayOptions {
+        ReplayOptions {
+            workers: 1,
+            passes: 1,
+            source: ReplaySource::Resident,
+            pacing: Pacing::Closed,
+            swaps: Vec::new(),
+        }
+    }
+}
+
+/// Sessions opened under one policy epoch (per tenant).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EpochSessions {
+    /// Tenant the sessions belonged to.
+    pub tenant: u64,
+    /// The epoch they pinned.
+    pub epoch: u64,
+    /// How many sessions pinned it.
+    pub sessions: u64,
+}
+
+/// Epoch- and timing-sensitive tallies: which epochs sessions pinned
+/// and what the policies decided. **Not** deterministic across worker
+/// counts when swaps are scheduled — masked out of byte-equality
+/// checks.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ReplayOutcomes {
+    /// Writes allowed.
+    pub writes_allowed: u64,
+    /// Writes blocked.
+    pub writes_blocked: u64,
+    /// Deletes blocked.
+    pub deletes_blocked: u64,
+    /// Cookies hidden from reads.
+    pub cookies_filtered: u64,
+    /// Reads that passed through unfiltered.
+    pub reads_clean: u64,
+    /// Reads with at least one cookie withheld.
+    pub reads_filtered: u64,
+    /// Session counts per (tenant, epoch), sorted.
+    pub sessions_by_epoch: Vec<EpochSessions>,
+}
+
+/// Wall-clock measurements of the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplayTiming {
+    /// End-to-end wall time, milliseconds.
+    pub wall_ms: u64,
+    /// Sustained policy decisions per second.
+    pub decisions_per_sec: f64,
+    /// Visits (= sessions) per second.
+    pub visits_per_sec: f64,
+    /// Session opens per second (equals closes per second on a clean
+    /// drain).
+    pub session_opens_per_sec: f64,
+    /// Per-decision latency quantiles.
+    pub latency: LatencySummary,
+}
+
+/// Everything one replay produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplayReport {
+    /// Worker threads used.
+    pub workers: u64,
+    /// Passes over the store.
+    pub passes: u64,
+    /// `"resident"` or `"stream"`.
+    pub source: String,
+    /// Deterministic operation totals (worker-count-independent).
+    pub counters: ServiceCounters,
+    /// Epoch-sensitive tallies.
+    pub outcomes: ReplayOutcomes,
+    /// Timing and latency.
+    pub timing: ReplayTiming,
+    /// The swaps that fired, in firing order.
+    pub swaps: Vec<SwapReport>,
+    /// Retired engines still alive after the run drained — must be 0;
+    /// anything else means a session leaked past close.
+    pub undrained_epochs: u64,
+}
+
+/// Per-worker accumulator, merged after join.
+#[derive(Default)]
+struct WorkerState {
+    counters: ServiceCounters,
+    stats: GuardStats,
+    latency: LatencyHistogram,
+    epoch_sessions: BTreeMap<(u64, u64), u64>,
+}
+
+/// Replays one visit through its tenant's current engine. This is the
+/// entire per-visit service path: route, open (lock-free fast path),
+/// decide, close. Note what is *absent*: no lock appears between
+/// session open and close — every decision runs on the engine `Arc`
+/// the session pinned.
+fn replay_visit(
+    service: &GuardService,
+    caches: &mut [EngineCache],
+    script: &VisitScript,
+    state: &mut WorkerState,
+) {
+    let tenant = service.route(script.rank);
+    let mut session =
+        service.open_session_cached(tenant, &mut caches[tenant.index()], &script.site);
+    state.counters.sessions_opened += 1;
+    *state
+        .epoch_sessions
+        .entry((tenant.index() as u64, session.policy_epoch()))
+        .or_insert(0) += 1;
+
+    for op in &script.ops {
+        match op {
+            ReplayOp::Write { caller, name } => {
+                let t = Instant::now();
+                session.authorize_write(caller, name);
+                state.latency.record(t.elapsed().as_nanos() as u64);
+                state.counters.write_ops += 1;
+                state.counters.decisions += 1;
+            }
+            ReplayOp::Delete { caller, name } => {
+                let t = Instant::now();
+                session.authorize_delete(caller, name);
+                state.latency.record(t.elapsed().as_nanos() as u64);
+                state.counters.delete_ops += 1;
+                state.counters.decisions += 1;
+            }
+            ReplayOp::HeaderSet { name, domain } => {
+                session.record_http_set_cookie(name, domain);
+                state.counters.header_sets += 1;
+            }
+            ReplayOp::Read { caller, names } => {
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                let t = Instant::now();
+                session.filter_names(caller, &refs);
+                state.latency.record(t.elapsed().as_nanos() as u64);
+                state.counters.read_ops += 1;
+                state.counters.decisions += 1;
+                state.counters.cookies_presented += refs.len() as u64;
+            }
+        }
+    }
+
+    state.stats = state.stats.merge(&session.stats());
+    drop(session);
+    state.counters.sessions_closed += 1;
+    state.counters.visits += 1;
+}
+
+/// Shared run coordination: global progress, pacing clock, abort flag.
+struct RunShared {
+    visits_done: AtomicU64,
+    workers_done: AtomicBool,
+    error: Mutex<Option<StoreError>>,
+    start: Instant,
+}
+
+impl RunShared {
+    fn fail(&self, e: StoreError) {
+        let mut slot = self.error.lock().expect("error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    fn failed(&self) -> bool {
+        self.error.lock().expect("error slot poisoned").is_some()
+    }
+}
+
+fn pace(pacing: Pacing, workers: usize, local_visits: u64, start: Instant) {
+    if let Pacing::Open { visits_per_sec } = pacing {
+        let per_worker = (visits_per_sec / workers as f64).max(1e-9);
+        let target = start + Duration::from_secs_f64(local_visits as f64 / per_worker);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+    }
+}
+
+/// The swap coordinator: fires each [`SwapPoint`] once the global visit
+/// counter crosses its threshold. Runs on its own thread so swaps land
+/// *during* replay, racing the workers the way a real control plane
+/// would.
+fn run_swaps(service: &GuardService, shared: &RunShared, points: &[SwapPoint]) -> Vec<SwapReport> {
+    let mut ordered: Vec<&SwapPoint> = points.iter().collect();
+    ordered.sort_by_key(|p| p.after_visits);
+    let mut fired = Vec::with_capacity(ordered.len());
+    for point in ordered {
+        loop {
+            if shared.visits_done.load(Ordering::Acquire) >= point.after_visits {
+                fired.push(service.swap_policy(point.tenant, point.config.clone()));
+                break;
+            }
+            if shared.workers_done.load(Ordering::Acquire) {
+                return fired; // workload ended before this threshold
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    fired
+}
+
+fn merge_states(states: Vec<WorkerState>) -> WorkerState {
+    let mut merged = WorkerState::default();
+    for state in states {
+        merged.counters = merged.counters.merge(&state.counters);
+        merged.stats = merged.stats.merge(&state.stats);
+        merged.latency.merge(&state.latency);
+        for (key, n) in state.epoch_sessions {
+            *merged.epoch_sessions.entry(key).or_insert(0) += n;
+        }
+    }
+    merged
+}
+
+fn new_caches(service: &GuardService) -> Vec<EngineCache> {
+    service
+        .tenants()
+        .map(|(_, t)| EngineCache::new(t.slot()))
+        .collect()
+}
+
+/// Replays `dir` through `service` per `opts`. See the module docs for
+/// the determinism contract; on a clean run the returned report has
+/// `counters.drained()` true and `undrained_epochs == 0`.
+pub fn replay(
+    service: &GuardService,
+    dir: &Path,
+    opts: &ReplayOptions,
+) -> Result<ReplayReport, StoreError> {
+    let workers = opts.workers.max(1);
+    let shared = RunShared {
+        visits_done: AtomicU64::new(0),
+        workers_done: AtomicBool::new(false),
+        error: Mutex::new(None),
+        start: Instant::now(),
+    };
+
+    let (states, swaps) = match opts.source {
+        ReplaySource::Resident => {
+            let mut scripts = Vec::new();
+            for log in CrawlReader::open(dir)? {
+                scripts.push(extract_script(&log?));
+            }
+            run_resident(service, &scripts, opts, workers, &shared)
+        }
+        ReplaySource::Stream => run_stream(service, dir, opts, workers, &shared)?,
+    };
+    if let Some(e) = shared.error.lock().expect("error slot poisoned").take() {
+        return Err(e);
+    }
+
+    let wall = shared.start.elapsed();
+    let merged = merge_states(states);
+    let undrained = service.undrained();
+
+    let wall_ms = wall.as_millis() as u64;
+    let secs = wall.as_secs_f64().max(1e-9);
+    Ok(ReplayReport {
+        workers: workers as u64,
+        passes: opts.passes as u64,
+        source: match opts.source {
+            ReplaySource::Resident => "resident".to_string(),
+            ReplaySource::Stream => "stream".to_string(),
+        },
+        counters: merged.counters,
+        outcomes: ReplayOutcomes {
+            writes_allowed: merged.stats.writes_allowed,
+            writes_blocked: merged.stats.writes_blocked,
+            deletes_blocked: merged.stats.deletes_blocked,
+            cookies_filtered: merged.stats.cookies_filtered,
+            reads_clean: merged.stats.reads_clean,
+            reads_filtered: merged.stats.reads_filtered,
+            sessions_by_epoch: merged
+                .epoch_sessions
+                .into_iter()
+                .map(|((tenant, epoch), sessions)| EpochSessions {
+                    tenant,
+                    epoch,
+                    sessions,
+                })
+                .collect(),
+        },
+        timing: ReplayTiming {
+            wall_ms,
+            decisions_per_sec: merged.counters.decisions as f64 / secs,
+            visits_per_sec: merged.counters.visits as f64 / secs,
+            session_opens_per_sec: merged.counters.sessions_opened as f64 / secs,
+            latency: merged.latency.summary(),
+        },
+        swaps,
+        undrained_epochs: undrained.len() as u64,
+    })
+}
+
+fn run_resident(
+    service: &GuardService,
+    scripts: &[VisitScript],
+    opts: &ReplayOptions,
+    workers: usize,
+    shared: &RunShared,
+) -> (Vec<WorkerState>, Vec<SwapReport>) {
+    // One claim cursor per pass — no reset step, hence no barrier: a
+    // fast worker rolls into the next pass while stragglers finish the
+    // current one. Totals are unaffected; every index is claimed once.
+    let cursors: Vec<AtomicUsize> = (0..opts.passes).map(|_| AtomicUsize::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        let swapper = scope.spawn(|| run_swaps(service, shared, &opts.swaps));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = WorkerState::default();
+                    let mut caches = new_caches(service);
+                    let mut local = 0u64;
+                    for cursor in &cursors {
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= scripts.len() || shared.failed() {
+                                break;
+                            }
+                            pace(opts.pacing, workers, local, shared.start);
+                            replay_visit(service, &mut caches, &scripts[i], &mut state);
+                            local += 1;
+                            shared.visits_done.fetch_add(1, Ordering::Release);
+                        }
+                    }
+                    state
+                })
+            })
+            .collect();
+        let states = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        shared.workers_done.store(true, Ordering::Release);
+        (states, swapper.join().unwrap())
+    })
+}
+
+fn run_stream(
+    service: &GuardService,
+    dir: &Path,
+    opts: &ReplayOptions,
+    workers: usize,
+    shared: &RunShared,
+) -> Result<(Vec<WorkerState>, Vec<SwapReport>), StoreError> {
+    let cursors: Vec<Mutex<_>> = frame_cursors(dir)?.into_iter().map(Mutex::new).collect();
+    let claim = AtomicUsize::new(0);
+    let barrier = Barrier::new(workers);
+
+    let result = std::thread::scope(|scope| {
+        let swapper = scope.spawn(|| run_swaps(service, shared, &opts.swaps));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = WorkerState::default();
+                    let mut caches = new_caches(service);
+                    let mut local = 0u64;
+                    for pass in 0..opts.passes {
+                        // Claim whole segments; each worker streams its
+                        // claim frame-by-frame through the pread cursor.
+                        loop {
+                            let i = claim.fetch_add(1, Ordering::Relaxed);
+                            if i >= cursors.len() || shared.failed() {
+                                break;
+                            }
+                            let mut cursor = cursors[i].lock().expect("cursor poisoned");
+                            loop {
+                                match cursor.next_log() {
+                                    Ok(Some(log)) => {
+                                        pace(opts.pacing, workers, local, shared.start);
+                                        let script = extract_script(&log);
+                                        replay_visit(service, &mut caches, &script, &mut state);
+                                        local += 1;
+                                        shared.visits_done.fetch_add(1, Ordering::Release);
+                                    }
+                                    Ok(None) => break,
+                                    Err(e) => {
+                                        shared.fail(e);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        // Rewind for the next pass: wait for every
+                        // worker to finish this one, let the leader
+                        // reset the cursors and the claim counter, then
+                        // release everyone together.
+                        if pass + 1 < opts.passes {
+                            if barrier.wait().is_leader() {
+                                for cursor in &cursors {
+                                    cursor.lock().expect("cursor poisoned").rewind();
+                                }
+                                claim.store(0, Ordering::Relaxed);
+                            }
+                            barrier.wait();
+                        }
+                    }
+                    state
+                })
+            })
+            .collect();
+        let states = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        shared.workers_done.store(true, Ordering::Release);
+        (states, swapper.join().unwrap())
+    });
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_instrument::ReadEvent;
+
+    fn set(name: &str, actor: Option<&str>, api: CookieApi, kind: WriteKind, t: u64) -> SetEvent {
+        SetEvent {
+            name: name.to_string(),
+            value: "v".to_string(),
+            actor: actor.map(str::to_string),
+            actor_url: None,
+            api,
+            kind,
+            changes: None,
+            blocked: false,
+            time_ms: t,
+        }
+    }
+
+    fn read(actor: Option<&str>, names: &[&str], t: u64) -> ReadEvent {
+        ReadEvent {
+            actor: actor.map(str::to_string),
+            api: CookieApi::DocumentCookie,
+            cookies: names
+                .iter()
+                .map(|n| (n.to_string(), "v".to_string()))
+                .collect(),
+            filtered_count: 0,
+            time_ms: t,
+        }
+    }
+
+    #[test]
+    fn extraction_merges_by_time_and_classifies_ops() {
+        let log = VisitLog {
+            site_domain: "site.com".to_string(),
+            rank: 7,
+            complete: true,
+            sets: vec![
+                set(
+                    "a",
+                    Some("tracker.com"),
+                    CookieApi::DocumentCookie,
+                    WriteKind::Create,
+                    10,
+                ),
+                set("h", None, CookieApi::HttpHeader, WriteKind::Create, 20),
+                set(
+                    "a",
+                    Some("tracker.com"),
+                    CookieApi::CookieStore,
+                    WriteKind::Delete,
+                    40,
+                ),
+            ],
+            reads: vec![read(Some("cdn.io"), &["a", "h"], 30)],
+            requests: vec![],
+            probes: vec![],
+            dom_events: vec![],
+            inclusions: vec![],
+        };
+        let script = extract_script(&log);
+        assert_eq!(script.site, "site.com");
+        assert_eq!(script.rank, 7);
+        assert_eq!(script.ops.len(), 4);
+        assert!(matches!(&script.ops[0], ReplayOp::Write { name, .. } if name == "a"));
+        // Header set with no actor attributes to the site itself.
+        assert!(
+            matches!(&script.ops[1], ReplayOp::HeaderSet { name, domain } if name == "h" && domain == "site.com")
+        );
+        assert!(matches!(&script.ops[2], ReplayOp::Read { names, .. } if names.len() == 2));
+        assert!(matches!(&script.ops[3], ReplayOp::Delete { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn sets_win_time_ties_and_inline_actors_map_to_inline_callers() {
+        let log = VisitLog {
+            site_domain: "site.com".to_string(),
+            rank: 0,
+            complete: true,
+            sets: vec![set(
+                "x",
+                None,
+                CookieApi::DocumentCookie,
+                WriteKind::Create,
+                5,
+            )],
+            reads: vec![read(None, &["x"], 5)],
+            requests: vec![],
+            probes: vec![],
+            dom_events: vec![],
+            inclusions: vec![],
+        };
+        let script = extract_script(&log);
+        assert!(matches!(
+            &script.ops[0],
+            ReplayOp::Write { caller, .. } if caller.domain_name().is_none()
+        ));
+        assert!(matches!(&script.ops[1], ReplayOp::Read { .. }));
+    }
+
+    #[test]
+    fn replay_visit_counts_every_op_and_closes_the_session() {
+        let mut svc = GuardService::new();
+        svc.register("only", GuardConfig::strict());
+        let script = VisitScript {
+            site: "site.com".to_string(),
+            rank: 3,
+            ops: vec![
+                ReplayOp::Write {
+                    caller: Caller::external("tracker.com"),
+                    name: "t".to_string(),
+                },
+                ReplayOp::HeaderSet {
+                    name: "sid".to_string(),
+                    domain: "site.com".to_string(),
+                },
+                ReplayOp::Read {
+                    caller: Caller::external("site.com"),
+                    names: vec!["t".to_string(), "sid".to_string()],
+                },
+                ReplayOp::Delete {
+                    caller: Caller::external("other.net"),
+                    name: "t".to_string(),
+                },
+            ],
+        };
+        let mut state = WorkerState::default();
+        let mut caches = new_caches(&svc);
+        replay_visit(&svc, &mut caches, &script, &mut state);
+        let c = state.counters;
+        assert_eq!((c.visits, c.sessions_opened, c.sessions_closed), (1, 1, 1));
+        assert_eq!(
+            (c.write_ops, c.delete_ops, c.read_ops, c.header_sets),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(c.cookies_presented, 2);
+        assert_eq!(c.decisions, 3);
+        assert!(c.drained());
+        assert_eq!(state.latency.count(), 3);
+        // Site owner saw both cookies; the foreign delete was blocked.
+        assert_eq!(state.stats.deletes_blocked, 1);
+        assert_eq!(state.epoch_sessions.get(&(0, 0)), Some(&1));
+    }
+}

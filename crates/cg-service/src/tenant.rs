@@ -1,0 +1,198 @@
+//! The tenant registry: N named deployments, each with its own
+//! [`EpochSlot`], behind one [`GuardService`].
+//!
+//! Multi-perspective deployments (Cookieverse-style per-region or
+//! per-profile policy variation) need one *process* serving several
+//! *policies*. A tenant is a name plus an independently hot-swappable
+//! engine slot; traffic is routed to tenants by visit rank (a stand-in
+//! for whatever routing key a real deployment uses — region, customer,
+//! rollout cohort). Registration happens at startup; afterwards the
+//! service is shared immutably (`&GuardService`) across workers, and
+//! all mutation goes through the slots' interior mutability.
+
+use crate::epoch::{EngineCache, EpochSlot, SwapReport};
+use cookieguard_core::{GuardConfig, GuardSession};
+
+/// Index of a registered tenant. Cheap to copy, valid for the life of
+/// the service that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// Position of this tenant in the registry (also its routing slot).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One named deployment: a policy preset evolving through epochs.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    slot: EpochSlot,
+}
+
+impl Tenant {
+    /// The tenant's registration name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's engine slot.
+    pub fn slot(&self) -> &EpochSlot {
+        &self.slot
+    }
+}
+
+/// The long-lived service: a fixed set of tenants, each swap-able
+/// independently, serving sessions from a shared reference.
+#[derive(Debug, Default)]
+pub struct GuardService {
+    tenants: Vec<Tenant>,
+}
+
+impl GuardService {
+    /// An empty service; call [`register`](Self::register) before serving.
+    pub fn new() -> GuardService {
+        GuardService::default()
+    }
+
+    /// Adds a tenant with `config` compiled as its epoch 0.
+    pub fn register(&mut self, name: &str, config: GuardConfig) -> TenantId {
+        let id = TenantId(u32::try_from(self.tenants.len()).expect("tenant count overflow"));
+        self.tenants.push(Tenant {
+            name: name.to_string(),
+            slot: EpochSlot::new(config),
+        });
+        id
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// All tenants, in registration order.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, &Tenant)> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TenantId(i as u32), t))
+    }
+
+    /// The tenant behind `id`.
+    pub fn tenant(&self, id: TenantId) -> &Tenant {
+        &self.tenants[id.index()]
+    }
+
+    /// The engine slot behind `id`.
+    pub fn slot(&self, id: TenantId) -> &EpochSlot {
+        &self.tenants[id.index()].slot
+    }
+
+    /// Hot-swaps `id`'s policy; see [`EpochSlot::swap`] for the protocol.
+    pub fn swap_policy(&self, id: TenantId, config: GuardConfig) -> SwapReport {
+        self.slot(id).swap(config)
+    }
+
+    /// Routes a visit to a tenant by rank (round-robin over the
+    /// registry). Deterministic: the same rank always lands on the same
+    /// tenant, at any worker count.
+    pub fn route(&self, rank: u64) -> TenantId {
+        assert!(!self.tenants.is_empty(), "route() on a tenantless service");
+        TenantId((rank % self.tenants.len() as u64) as u32)
+    }
+
+    /// Opens a session on `id`'s *current* engine. The session pins that
+    /// engine (and its epoch) until dropped.
+    pub fn open_session(&self, id: TenantId, site_domain: &str) -> GuardSession {
+        GuardSession::new(self.slot(id).current(), site_domain)
+    }
+
+    /// Lock-free-fast-path session open through a per-worker cache; see
+    /// [`EngineCache`].
+    pub fn open_session_cached(
+        &self,
+        id: TenantId,
+        cache: &mut EngineCache,
+        site_domain: &str,
+    ) -> GuardSession {
+        GuardSession::new(cache.engine(self.slot(id)).clone(), site_domain)
+    }
+
+    /// `(tenant, epoch)` pairs whose retired engine has not drained yet,
+    /// across all tenants. Empty once every pinned session has closed.
+    pub fn undrained(&self) -> Vec<(TenantId, u64)> {
+        self.tenants()
+            .flat_map(|(id, t)| t.slot().undrained().into_iter().map(move |e| (id, e)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cookieguard_core::Caller;
+
+    fn two_tenant_service() -> (GuardService, TenantId, TenantId) {
+        let mut svc = GuardService::new();
+        let strict = svc.register("strict", GuardConfig::strict());
+        let relaxed = svc.register("relaxed", GuardConfig::relaxed());
+        (svc, strict, relaxed)
+    }
+
+    #[test]
+    fn routing_is_round_robin_and_deterministic() {
+        let (svc, strict, relaxed) = two_tenant_service();
+        assert_eq!(svc.route(0), strict);
+        assert_eq!(svc.route(1), relaxed);
+        assert_eq!(svc.route(2), strict);
+        assert_eq!(svc.route(1_000_001), relaxed);
+    }
+
+    #[test]
+    fn tenants_enforce_their_own_policies() {
+        let (svc, strict, relaxed) = two_tenant_service();
+        // Inline scripts: blind under strict, first-party under relaxed.
+        let mut s = svc.open_session(strict, "site.com");
+        s.authorize_write(&Caller::external("tracker.com"), "tid");
+        assert!(s.filter_names(&Caller::inline(), &["tid"]).is_empty());
+
+        let mut r = svc.open_session(relaxed, "site.com");
+        r.authorize_write(&Caller::external("tracker.com"), "tid");
+        assert_eq!(r.filter_names(&Caller::inline(), &["tid"]), vec!["tid"]);
+    }
+
+    #[test]
+    fn swapping_one_tenant_leaves_the_other_alone() {
+        let (svc, strict, relaxed) = two_tenant_service();
+        let report = svc.swap_policy(strict, GuardConfig::strict().with_whitelisted("cdn.io"));
+        assert_eq!(report.to_epoch, 1);
+        assert_eq!(svc.slot(strict).epoch(), 1);
+        assert_eq!(svc.slot(relaxed).epoch(), 0);
+        assert_eq!(svc.tenant(strict).name(), "strict");
+    }
+
+    #[test]
+    fn undrained_spans_tenants() {
+        let (svc, strict, relaxed) = two_tenant_service();
+        let pinned = svc.open_session(relaxed, "site.com");
+        svc.swap_policy(strict, GuardConfig::strict());
+        svc.swap_policy(relaxed, GuardConfig::relaxed());
+        // Only relaxed's epoch 0 is pinned.
+        assert_eq!(svc.undrained(), vec![(relaxed, 0)]);
+        drop(pinned);
+        assert!(svc.undrained().is_empty());
+    }
+
+    #[test]
+    fn cached_open_matches_uncached() {
+        let (svc, strict, _) = two_tenant_service();
+        let mut cache = EngineCache::new(svc.slot(strict));
+        let a = svc.open_session_cached(strict, &mut cache, "site.com");
+        assert_eq!(a.policy_epoch(), 0);
+        svc.swap_policy(strict, GuardConfig::relaxed());
+        let b = svc.open_session_cached(strict, &mut cache, "site.com");
+        assert_eq!(b.policy_epoch(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Concurrent hot-swap stress tests: worker threads decide continuously
+//! while another thread swaps policies in a loop.
+//!
+//! Policies are made *distinguishable per epoch*: epoch `e`'s config
+//! whitelists a probe domain unique to `e` (`probe-<e>.example`), so a
+//! session's visible behavior reveals exactly which epoch it pinned.
+//! The assertions are the ISSUE's three: (a) no decision ever mixes two
+//! epochs, (b) every decision matches the oracle for the pinned epoch,
+//! (c) retired `CompiledPolicy` allocations are actually freed after
+//! drain (weak-reference strong-count probe).
+
+use cg_service::{EngineCache, GuardService};
+use cookieguard_core::{Caller, GuardConfig};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Epoch `e`'s distinguishable policy: strict, plus a whitelist entry
+/// that only epoch `e` has.
+fn probe_config(epoch: u64) -> GuardConfig {
+    GuardConfig::strict().with_whitelisted(&format!("probe-{epoch}.example"))
+}
+
+const SWAPS: u64 = 40;
+const WORKERS: usize = 4;
+
+#[test]
+fn concurrent_swaps_never_mix_epochs_and_drain_frees_engines() {
+    let mut svc = GuardService::new();
+    let tenant = svc.register("hot", probe_config(0));
+    let svc = &svc;
+    let done = &AtomicBool::new(false);
+
+    let (sessions_checked, epochs_seen) = std::thread::scope(|scope| {
+        let swapper = scope.spawn(move || {
+            let mut reports = Vec::new();
+            for k in 1..=SWAPS {
+                reports.push(svc.swap_policy(tenant, probe_config(k)));
+                // Give workers a window to open sessions on epoch k.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            done.store(true, Ordering::Release);
+            reports
+        });
+
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut cache = EngineCache::new(svc.slot(tenant));
+                    let mut checked = 0u64;
+                    let mut epochs = BTreeSet::new();
+                    while !done.load(Ordering::Acquire) {
+                        let mut session = svc.open_session_cached(tenant, &mut cache, "site.com");
+                        let e = session.policy_epoch();
+                        epochs.insert(e);
+                        session.authorize_write(&Caller::external("tracker.com"), "c");
+
+                        // Oracle for the pinned epoch: its own probe
+                        // domain is whitelisted (full jar), every other
+                        // epoch's probe — including the possibly
+                        // already-current next one — is a plain third
+                        // party and sees nothing.
+                        let own = format!("probe-{e}.example");
+                        let next = format!("probe-{}.example", e + 1);
+                        assert_eq!(
+                            session.filter_names(&Caller::external(&own), &["c"]),
+                            vec!["c"],
+                            "epoch {e}: own whitelist entry must see the jar"
+                        );
+                        assert!(
+                            session
+                                .filter_names(&Caller::external(&next), &["c"])
+                                .is_empty(),
+                            "epoch {e}: a later epoch's policy leaked into a pinned session"
+                        );
+
+                        // Decisions later in the same session — after
+                        // any number of concurrent swaps — must agree
+                        // with the same epoch: sessions never migrate.
+                        assert_eq!(session.policy_epoch(), e);
+                        assert_eq!(
+                            session.filter_names(&Caller::external(&own), &["c"]),
+                            vec!["c"],
+                            "epoch {e}: decision changed mid-session"
+                        );
+                        checked += 1;
+                    }
+                    (checked, epochs)
+                })
+            })
+            .collect();
+
+        let reports = swapper.join().unwrap();
+        assert_eq!(reports.len(), SWAPS as usize);
+        assert!(
+            reports.windows(2).all(|w| w[0].to_epoch == w[1].from_epoch),
+            "swap epoch sequence must be gapless"
+        );
+
+        let mut total = 0u64;
+        let mut epochs = BTreeSet::new();
+        for worker in workers {
+            let (checked, seen) = worker.join().unwrap();
+            total += checked;
+            epochs.extend(seen);
+        }
+        (total, epochs)
+    });
+
+    assert!(sessions_checked > 0, "workers never ran");
+    assert!(
+        epochs_seen.len() > 1,
+        "workers only ever saw one epoch — the stress never overlapped a swap"
+    );
+    assert_eq!(svc.slot(tenant).epoch(), SWAPS);
+    // (c) Every session and cache is dropped; every retired engine's
+    // weak reference must now have strong_count 0.
+    assert!(
+        svc.undrained().is_empty(),
+        "retired CompiledPolicy allocations survived the drain"
+    );
+}
+
+#[test]
+fn sessions_pinned_across_many_swaps_each_keep_their_own_policy() {
+    let mut svc = GuardService::new();
+    let tenant = svc.register("pin", probe_config(0));
+
+    // Open one session under each epoch 0..5, swapping in between, and
+    // keep them all alive.
+    let mut pinned = Vec::new();
+    for k in 0..5u64 {
+        let mut session = svc.open_session(tenant, "site.com");
+        assert_eq!(session.policy_epoch(), k);
+        session.authorize_write(&Caller::external("tracker.com"), "c");
+        pinned.push(session);
+        svc.swap_policy(tenant, probe_config(k + 1));
+    }
+
+    // All five displaced epochs are still pinned, each by one session.
+    let mut held: Vec<u64> = svc.undrained().into_iter().map(|(_, e)| e).collect();
+    held.sort_unstable();
+    assert_eq!(held, vec![0, 1, 2, 3, 4]);
+
+    // Each session still answers for exactly its own epoch.
+    for (k, session) in pinned.iter_mut().enumerate() {
+        let own = format!("probe-{k}.example");
+        assert_eq!(
+            session.filter_names(&Caller::external(&own), &["c"]),
+            vec!["c"]
+        );
+        for other in 0..6u64 {
+            if other != k as u64 {
+                let probe = format!("probe-{other}.example");
+                assert!(
+                    session
+                        .filter_names(&Caller::external(&probe), &["c"])
+                        .is_empty(),
+                    "session pinned at {k} honored epoch {other}'s whitelist"
+                );
+            }
+        }
+    }
+
+    // Dropping sessions drains their epochs one at a time.
+    for k in 0..5u64 {
+        drop(pinned.remove(0));
+        let still: BTreeSet<u64> = svc.undrained().into_iter().map(|(_, e)| e).collect();
+        assert!(
+            !still.contains(&k),
+            "epoch {k} not freed after its session closed"
+        );
+        assert_eq!(still.len(), 4 - k as usize);
+    }
+    assert!(svc.undrained().is_empty());
+}

@@ -121,10 +121,19 @@ impl CompiledPolicy {
 
 /// Immutable, shareable policy core: config + compiled policy, built
 /// once per deployment.
+///
+/// Every engine carries a **policy epoch** — a caller-assigned
+/// generation number ([`GuardEngine::policy_epoch`]). A standalone
+/// engine is generation 0; a serving layer that hot-swaps recompiled
+/// policies (see `cg-service`) builds each replacement with
+/// [`GuardEngine::with_epoch`] and a strictly increasing epoch, so any
+/// session — and any debugging output — can state exactly which policy
+/// generation it decided under.
 #[derive(Debug)]
 pub struct GuardEngine {
     config: GuardConfig,
     compiled: CompiledPolicy,
+    policy_epoch: u64,
 }
 
 impl GuardEngine {
@@ -133,8 +142,17 @@ impl GuardEngine {
     /// interner's normalization, so an operator entry like
     /// `".doubleclick.net"` matches), and the whole config is lowered to
     /// a [`CompiledPolicy`] over interned ids, so the per-access checks
-    /// are pure integer lookups.
+    /// are pure integer lookups. The engine is policy generation 0; use
+    /// [`GuardEngine::with_epoch`] when compiling a replacement policy.
     pub fn new(config: GuardConfig) -> GuardEngine {
+        GuardEngine::with_epoch(config, 0)
+    }
+
+    /// Compiles a config into an engine stamped with policy generation
+    /// `epoch`. Epochs are assigned by whoever owns the swap protocol
+    /// (monotonically increasing per deployment slot); the engine itself
+    /// only records the number.
+    pub fn with_epoch(config: GuardConfig, epoch: u64) -> GuardEngine {
         let mut config = config;
         config.whitelist = config
             .whitelist
@@ -142,7 +160,18 @@ impl GuardEngine {
             .map(|d| d.trim_matches('.').to_ascii_lowercase())
             .collect();
         let compiled = CompiledPolicy::compile(&config);
-        GuardEngine { config, compiled }
+        GuardEngine {
+            config,
+            compiled,
+            policy_epoch: epoch,
+        }
+    }
+
+    /// The policy generation this engine was compiled as. Monotonically
+    /// increasing across hot-swaps of one deployment slot; 0 for
+    /// standalone engines.
+    pub fn policy_epoch(&self) -> u64 {
+        self.policy_epoch
     }
 
     /// Convenience: a ready-to-share engine.
@@ -288,6 +317,20 @@ mod tests {
                 Some("other.com")
             )
             .is_allow());
+    }
+
+    #[test]
+    fn policy_epoch_is_recorded_and_pinned_by_sessions() {
+        let e0 = GuardEngine::shared(GuardConfig::strict());
+        assert_eq!(e0.policy_epoch(), 0);
+        let e7 = Arc::new(GuardEngine::with_epoch(GuardConfig::strict(), 7));
+        assert_eq!(e7.policy_epoch(), 7);
+        let s = e7.session("site.com");
+        assert_eq!(s.policy_epoch(), 7);
+        // The session's epoch is a property of the engine it opened on,
+        // not of any later engine.
+        drop(e7);
+        assert_eq!(s.policy_epoch(), 7);
     }
 
     #[test]

@@ -65,17 +65,26 @@ impl GuardStats {
 pub struct GuardSession {
     engine: Arc<GuardEngine>,
     site_id: DomainId,
+    /// The engine's policy generation when this session opened. A
+    /// session pins its engine `Arc` for its whole life, so every
+    /// decision it makes runs under exactly this epoch — the invariant
+    /// the hot-swap drain proof in `cg-service` relies on.
+    opened_epoch: u64,
     metadata: MetadataStore,
     stats: GuardStats,
 }
 
 impl GuardSession {
     /// Opens a session for a visit to `site_domain` on a shared engine.
-    /// The site domain is interned here, once per visit.
+    /// The site domain is interned here, once per visit, and the
+    /// engine's policy epoch is recorded as the session's pinned
+    /// generation.
     pub fn new(engine: Arc<GuardEngine>, site_domain: &str) -> GuardSession {
+        let opened_epoch = engine.policy_epoch();
         GuardSession {
             engine,
             site_id: cg_url::intern(site_domain),
+            opened_epoch,
             metadata: MetadataStore::new(),
             stats: GuardStats::default(),
         }
@@ -84,6 +93,12 @@ impl GuardSession {
     /// The shared policy engine.
     pub fn engine(&self) -> &Arc<GuardEngine> {
         &self.engine
+    }
+
+    /// The policy generation this session opened under (and therefore
+    /// decides under — the session never re-reads a swapped slot).
+    pub fn policy_epoch(&self) -> u64 {
+        self.opened_epoch
     }
 
     /// The guarded site (normalized form).
