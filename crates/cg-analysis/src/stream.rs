@@ -27,8 +27,24 @@ use crate::dataset::reconstruct;
 use crate::sketch::DistinctSketch;
 use cg_crawlstore::StoreError;
 use cg_instrument::{CookieApi, VisitLog, WriteKind};
+use cg_telemetry::{global, Class, Counter};
 use serde::Serialize;
 use std::path::Path;
+use std::sync::OnceLock;
+
+/// The analysis layer's registered metric handles (see `cg-telemetry`):
+/// visits folded is a pure function of the folded store, so it is
+/// `Workload`-class.
+struct AnalysisMetrics {
+    logs_folded: Counter,
+}
+
+fn analysis_metrics() -> &'static AnalysisMetrics {
+    static METRICS: OnceLock<AnalysisMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| AnalysisMetrics {
+        logs_folded: global().counter("analysis.logs_folded", Class::Workload),
+    })
+}
 
 /// Aggregate crawl statistics, computed one visit at a time without
 /// retaining any [`VisitLog`]. All counters are event/site totals over
@@ -85,6 +101,7 @@ impl StreamStats {
     /// Folds one visit and drops it: the caller keeps no reference and
     /// the stats keep no copy.
     pub fn fold(&mut self, log: &VisitLog) {
+        analysis_metrics().logs_folded.incr();
         self.crawled += 1;
         if !log.complete {
             return;

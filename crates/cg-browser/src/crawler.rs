@@ -16,9 +16,26 @@
 //!   or outgrow RAM.
 
 use crate::visit::{visit_site, VisitConfig, VisitOutcome};
+use cg_telemetry::{global, Class, Counter};
 use cg_webgen::WebGenerator;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// The crawler's registered metric handles (see `cg-telemetry`): both
+/// totals are pure functions of the crawled rank range, hence
+/// `Workload`-class (byte-identical across worker counts).
+struct CrawlMetrics {
+    visits: Counter,
+    visits_complete: Counter,
+}
+
+fn crawl_metrics() -> &'static CrawlMetrics {
+    static METRICS: OnceLock<CrawlMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CrawlMetrics {
+        visits: global().counter("crawl.visits", Class::Workload),
+        visits_complete: global().counter("crawl.visits_complete", Class::Workload),
+    })
+}
 
 /// Aggregate facts about a crawl (cheap to keep even when per-site
 /// outcomes are discarded).
@@ -165,10 +182,16 @@ pub fn crawl_into<S: VisitSink>(
                         if sink.is_done(rank) {
                             continue;
                         }
-                        let blueprint = gen.blueprint(rank);
-                        let outcome = visit_site(&blueprint, cfg, gen.site_seed(rank) ^ 0x51_7e);
+                        let outcome = {
+                            let _span = cg_telemetry::span!("visit", rank);
+                            let blueprint = gen.blueprint(rank);
+                            visit_site(&blueprint, cfg, gen.site_seed(rank) ^ 0x51_7e)
+                        };
+                        let tele = crawl_metrics();
+                        tele.visits.incr();
                         visited.fetch_add(1, Ordering::Relaxed);
                         if outcome.log.complete {
+                            tele.visits_complete.incr();
                             complete.fetch_add(1, Ordering::Relaxed);
                         }
                         worker.record(outcome)?;

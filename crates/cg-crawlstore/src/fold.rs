@@ -47,8 +47,18 @@ where
     let streams = segment_streams(dir)?;
     let count = streams.len();
     let threads = threads.max(1).min(count.max(1));
+    // One span + shard count per segment claim, at any thread count.
+    let fold_shard = |i: usize, stream: SegmentStream| {
+        crate::telemetry::metrics().fold_shards.incr();
+        let _span = cg_telemetry::span!("fold_shard", i);
+        fold_segment(stream)
+    };
     if threads <= 1 {
-        return streams.into_iter().map(fold_segment).collect();
+        return streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| fold_shard(i, s))
+            .collect();
     }
 
     // Hand each worker exclusive ownership of whole segments: a slot
@@ -72,7 +82,7 @@ where
                     .expect("segment slot lock poisoned")
                     .take()
                     .expect("segment index claimed twice");
-                let partial = fold_segment(stream);
+                let partial = fold_shard(i, stream);
                 *results[i].lock().expect("result slot lock poisoned") = Some(partial);
             });
         }

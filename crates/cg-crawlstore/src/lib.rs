@@ -66,6 +66,7 @@ pub mod fold;
 pub mod manifest;
 pub mod pread;
 pub mod reader;
+pub(crate) mod telemetry;
 pub mod writer;
 
 pub use codec::SegmentFormat;

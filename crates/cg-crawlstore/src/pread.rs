@@ -180,6 +180,9 @@ impl FrameCursor {
         self.last_rank = Some(header.rank);
         self.offset += (FRAME_HEADER + header.len) as u64;
         self.remaining -= 1;
+        let tele = crate::telemetry::metrics();
+        tele.records_replayed.incr();
+        tele.bytes_replayed.add((FRAME_HEADER + header.len) as u64);
         Ok(Some((header.rank, &self.buf)))
     }
 

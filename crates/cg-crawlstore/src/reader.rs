@@ -144,6 +144,7 @@ impl Segment {
         if self.remaining == 0 {
             return Ok(None);
         }
+        let tele = crate::telemetry::metrics();
         let (rank, body) = match self.format {
             SegmentFormat::Jsonl => {
                 let mut raw = String::new();
@@ -151,6 +152,7 @@ impl Segment {
                 if n == 0 || !raw.ends_with('\n') {
                     return Err(self.short_of_watermark());
                 }
+                tele.bytes_replayed.add(n as u64);
                 raw.pop();
                 let value: serde_json::Value =
                     serde_json::from_str(&raw).map_err(|e| StoreError::Corrupt {
@@ -181,9 +183,12 @@ impl Segment {
                         detail: "frame checksum mismatch below the manifest watermark".to_string(),
                     });
                 }
+                tele.bytes_replayed
+                    .add((FRAME_HEADER + payload.len()) as u64);
                 (header.rank, Body::Bin { payload })
             }
         };
+        tele.records_replayed.incr();
         self.remaining -= 1;
         if let Some(prev) = self.last_rank {
             if rank <= prev {

@@ -237,6 +237,7 @@ impl CrawlWriter {
     /// when a resume back-fills ranks lower than anything already
     /// stored.
     pub fn segment(&self) -> Result<SegmentWriter, StoreError> {
+        crate::telemetry::metrics().segments_opened.incr();
         let n = self.shared.next_seg.fetch_add(1, Ordering::Relaxed);
         let file_name = format!("seg-{n}.{}", self.shared.format.extension());
         let path = self.shared.dir.join(&file_name);
@@ -313,6 +314,7 @@ impl SegmentWriter {
                 ),
             });
         }
+        let buffered = self.buf.len();
         match self.shared.format {
             SegmentFormat::Jsonl => {
                 let line = serde_json::to_string(log).map_err(|e| StoreError::Corrupt {
@@ -330,6 +332,9 @@ impl SegmentWriter {
                 codec::write_frame(&mut self.buf, log.rank as u64, &self.scratch);
             }
         }
+        let tele = crate::telemetry::metrics();
+        tele.records_written.incr();
+        tele.bytes_written.add((self.buf.len() - buffered) as u64);
         self.pending += 1;
         self.max_rank = self.max_rank.max(log.rank as u64);
         self.session_ranks.push(log.rank);
@@ -345,8 +350,10 @@ impl SegmentWriter {
         if self.pending == 0 {
             return Ok(());
         }
+        let _span = cg_telemetry::span!("segment_commit", self.pending);
         self.file.write_all(&self.buf)?;
         self.file.sync_data()?;
+        crate::telemetry::metrics().fsyncs.incr();
         self.records += self.pending;
         self.buf.clear();
         self.pending = 0;
@@ -536,6 +543,7 @@ fn recover_segment(
     file_name: &str,
     format: SegmentFormat,
 ) -> Result<SegmentScan, StoreError> {
+    let _span = cg_telemetry::span!("segment_recover");
     match format {
         SegmentFormat::Jsonl => recover_segment_jsonl(path, file_name),
         SegmentFormat::Binary => recover_segment_bin(path, file_name),
@@ -598,6 +606,7 @@ fn recover_segment_jsonl(path: &Path, file_name: &str) -> Result<SegmentScan, St
         pos += n;
     }
     if keep_until < std::fs::metadata(path)?.len() {
+        crate::telemetry::metrics().torn_tail_recoveries.incr();
         let f = OpenOptions::new().write(true).open(path)?;
         f.set_len(keep_until)?;
         f.sync_data()?;
@@ -664,6 +673,7 @@ fn recover_segment_bin(path: &Path, file_name: &str) -> Result<SegmentScan, Stor
         keep_until = end;
     }
     if keep_until < file_len {
+        crate::telemetry::metrics().torn_tail_recoveries.incr();
         let f = OpenOptions::new().write(true).open(path)?;
         f.set_len(keep_until)?;
         f.sync_data()?;

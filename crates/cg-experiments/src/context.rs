@@ -112,18 +112,19 @@ impl CrawlContext {
                     run.summary.visited,
                     run.summary.visits_per_sec(),
                 );
-                let replay_start = std::time::Instant::now();
+                let watch = cg_telemetry::Stopwatch::start();
                 let reader = CrawlReader::open(dir)
                     .unwrap_or_else(|e| panic!("reading crawl store {}: {e}", dir.display()));
                 let dataset = Dataset::from_reader(reader)
                     .unwrap_or_else(|e| panic!("replaying crawl store {}: {e}", dir.display()));
-                let replay_ms = replay_start.elapsed().as_millis().max(1) as u64;
+                let replay_ms = watch.elapsed_ms();
                 eprintln!(
-                    "[store] replayed {} visits in {replay_ms} ms \
+                    "[store] replayed {} visits in {} \
                      ({:.0} visits/s, {:.1} MB/s); peak RSS {:.1} MB",
                     dataset.crawled,
-                    dataset.crawled as f64 * 1000.0 / replay_ms as f64,
-                    run.stats.bytes as f64 / 1e6 * 1000.0 / replay_ms as f64,
+                    cg_telemetry::render_ms(replay_ms),
+                    cg_telemetry::per_sec(dataset.crawled as u64, replay_ms),
+                    cg_telemetry::per_sec(run.stats.bytes, replay_ms) / 1e6,
                     crate::storebench::peak_rss_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0),
                 );
                 let crawled = dataset.crawled;

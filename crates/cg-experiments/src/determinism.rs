@@ -30,7 +30,17 @@ use serde_json::Value;
 const NONDETERMINISTIC_SUFFIXES: &[&str] = &["_ms", "_ns", "_us", "_per_sec", "_speedup"];
 
 /// Field names that are non-deterministic without carrying a suffix.
-const NONDETERMINISTIC_NAMES: &[&str] = &["peak_rss_bytes", "speedup", "latency"];
+/// `runtime` masks a telemetry snapshot's scheduling-dependent section
+/// wholesale (fsync batching, fold shard counts, gauges — see
+/// `cg_telemetry`); `overhead_pct` is the telemetry-overhead bench
+/// figure, a ratio of two wall-clock rates.
+const NONDETERMINISTIC_NAMES: &[&str] = &[
+    "peak_rss_bytes",
+    "speedup",
+    "latency",
+    "runtime",
+    "overhead_pct",
+];
 
 /// True when `key` names a field whose value varies run to run even for
 /// identical work: wall-clock, rates derived from wall-clock, latency
@@ -96,6 +106,8 @@ mod tests {
             "speedup",
             "peak_rss_bytes",
             "latency",
+            "runtime",
+            "overhead_pct",
         ] {
             assert!(is_nondeterministic_key(key), "{key} must be masked");
         }

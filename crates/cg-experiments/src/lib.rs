@@ -43,5 +43,8 @@ pub use evaluation::{run_fig5, run_table3, run_table4_and_figs};
 pub use extensions::{run_domguard, run_rollout, run_sec5_7};
 pub use measurement::run_measurement_experiments;
 pub use scenarios::{run_scenarios, ScenarioOptions};
-pub use service::{print_serve, run_serve, BenchServiceReport, ServeOptions};
+pub use service::{
+    print_serve, run_serve, BenchServiceReport, ServeOptions, TelemetryOverhead,
+    TELEMETRY_BUDGET_PCT,
+};
 pub use storebench::{peak_rss_bytes, print_storebench, run_storebench, StoreBenchReport};

@@ -11,6 +11,13 @@
 //! A final streaming-source run replays the same store through the
 //! pread cursors to pin that both traffic sources execute the same
 //! operation stream.
+//!
+//! Telemetry rides along: each worker-count run starts from a reset
+//! `cg-telemetry` registry and its masked snapshot (workload section
+//! only — the `runtime` section is nulled by [`crate::determinism`])
+//! must be byte-identical across worker counts. A final interleaved
+//! on/off comparison measures the telemetry overhead against a
+//! documented ≤[`TELEMETRY_BUDGET_PCT`]% decisions/s budget.
 
 use crate::determinism::deterministic_surface;
 use crate::storebench::peak_rss_bytes;
@@ -39,6 +46,11 @@ pub struct ServeOptions {
     pub store: Option<PathBuf>,
     /// Where to write the machine-readable report, if anywhere.
     pub bench_json: Option<PathBuf>,
+    /// Write the final telemetry snapshot here (JSON; a Prometheus text
+    /// rendering lands alongside with a `.prom` extension), if set.
+    pub telemetry_snapshot: Option<PathBuf>,
+    /// Write the flight-recorder dump (JSON event list) here, if set.
+    pub telemetry_dump: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -50,8 +62,34 @@ impl Default for ServeOptions {
             worker_counts: vec![2, 8],
             store: None,
             bench_json: None,
+            telemetry_snapshot: None,
+            telemetry_dump: None,
         }
     }
+}
+
+/// Documented ceiling on the telemetry tax: enabling the registry may
+/// cost at most this share of the replay's decisions/s. CI greps the
+/// bench output for the within-budget line.
+pub const TELEMETRY_BUDGET_PCT: f64 = 3.0;
+
+/// The telemetry-on vs telemetry-off throughput comparison: the same
+/// resident-source replay at the highest worker count, interleaved
+/// on/off pairs, best of each side (interleaving cancels thermal and
+/// cache drift; best-of damps scheduler noise).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TelemetryOverhead {
+    /// Best decisions/s with the registry recording (the default).
+    pub on_decisions_per_sec: f64,
+    /// Best decisions/s with the registry kill switch thrown.
+    pub off_decisions_per_sec: f64,
+    /// Throughput cost of telemetry, percent, clamped at 0 (noise can
+    /// make the instrumented run the faster one).
+    pub overhead_pct: f64,
+    /// The documented budget ([`TELEMETRY_BUDGET_PCT`]).
+    pub budget_pct: f64,
+    /// `overhead_pct <= budget_pct`.
+    pub within_budget: bool,
 }
 
 /// One registered tenant, as serialized into the report.
@@ -82,6 +120,11 @@ pub struct BenchServiceReport {
     pub stream_run: ReplayReport,
     /// Pinned true by the cross-worker-count byte-equality assertion.
     pub counters_identical_across_worker_counts: bool,
+    /// Pinned true by the masked-telemetry-snapshot byte-equality
+    /// assertion across worker counts.
+    pub telemetry_snapshots_identical: bool,
+    /// The telemetry-on vs telemetry-off throughput comparison.
+    pub telemetry_overhead: TelemetryOverhead,
     /// Process peak RSS after everything above (bytes; 0 if unknown).
     pub peak_rss_bytes: u64,
 }
@@ -192,12 +235,18 @@ pub fn run_serve(opts: &ServeOptions) -> BenchServiceReport {
     )
     .unwrap_or_else(|e| panic!("serve store build: {e}"));
 
+    let reg = cg_telemetry::global();
     let mut runs = Vec::new();
+    let mut masked_snapshots = Vec::new();
     for &workers in &opts.worker_counts {
         eprintln!(
             "[serve] replaying through 2 tenants at {workers} workers (2 hot-swaps mid-run)…"
         );
+        // Each run starts from a zeroed registry so its snapshot is a
+        // pure function of that run's work, not of run order.
+        reg.reset();
         runs.push(run_one(&base, opts, workers, ReplaySource::Resident));
+        masked_snapshots.push(deterministic_surface(&reg.snapshot(), &[]));
     }
 
     // Deterministic surface: everything except timing and the
@@ -218,6 +267,16 @@ pub fn run_serve(opts: &ServeOptions) -> BenchServiceReport {
     for run in &runs[1..] {
         assert_eq!(run.counters, runs[0].counters, "counter totals diverged");
     }
+    // Same contract for the telemetry registry: with the runtime
+    // section masked, the snapshot is workload-only and must not see
+    // the worker count.
+    for (i, m) in masked_snapshots.iter().enumerate().skip(1) {
+        assert_eq!(
+            m, &masked_snapshots[0],
+            "masked telemetry snapshot diverged between {} and {} workers",
+            opts.worker_counts[0], opts.worker_counts[i]
+        );
+    }
 
     let max_workers = opts.worker_counts.iter().copied().max().unwrap_or(1);
     eprintln!("[serve] streaming-source run at {max_workers} workers (pread cursors)…");
@@ -226,6 +285,48 @@ pub fn run_serve(opts: &ServeOptions) -> BenchServiceReport {
         stream_run.counters, runs[0].counters,
         "streaming source executed a different op stream than resident"
     );
+
+    eprintln!("[serve] telemetry overhead: 3 interleaved on/off pairs at {max_workers} workers…");
+    let (mut best_on, mut best_off) = (0.0f64, 0.0f64);
+    for _ in 0..3 {
+        reg.set_enabled(true);
+        let on = run_one(&base, opts, max_workers, ReplaySource::Resident);
+        best_on = best_on.max(on.timing.decisions_per_sec);
+        reg.set_enabled(false);
+        let off = run_one(&base, opts, max_workers, ReplaySource::Resident);
+        best_off = best_off.max(off.timing.decisions_per_sec);
+    }
+    reg.set_enabled(true);
+    let overhead_pct = if best_off > 0.0 {
+        ((best_off - best_on) / best_off * 100.0).max(0.0)
+    } else {
+        0.0
+    };
+    let telemetry_overhead = TelemetryOverhead {
+        on_decisions_per_sec: best_on,
+        off_decisions_per_sec: best_off,
+        overhead_pct,
+        budget_pct: TELEMETRY_BUDGET_PCT,
+        within_budget: overhead_pct <= TELEMETRY_BUDGET_PCT,
+    };
+
+    if let Some(path) = &opts.telemetry_snapshot {
+        let prom = path.with_extension("prom");
+        std::fs::write(path, cg_telemetry::snapshot_json(reg))
+            .unwrap_or_else(|e| panic!("writing telemetry snapshot {}: {e}", path.display()));
+        std::fs::write(&prom, cg_telemetry::prometheus_text(reg))
+            .unwrap_or_else(|e| panic!("writing telemetry snapshot {}: {e}", prom.display()));
+        eprintln!(
+            "[serve] telemetry snapshot written to {} (+ {})",
+            path.display(),
+            prom.display()
+        );
+    }
+    if let Some(path) = &opts.telemetry_dump {
+        std::fs::write(path, cg_telemetry::recorder::dump_json())
+            .unwrap_or_else(|e| panic!("writing flight-recorder dump {}: {e}", path.display()));
+        eprintln!("[serve] flight-recorder dump written to {}", path.display());
+    }
 
     if ephemeral {
         let _ = std::fs::remove_dir_all(&base);
@@ -249,6 +350,8 @@ pub fn run_serve(opts: &ServeOptions) -> BenchServiceReport {
         runs,
         stream_run,
         counters_identical_across_worker_counts: true,
+        telemetry_snapshots_identical: true,
+        telemetry_overhead,
         peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
     }
 }
@@ -292,12 +395,26 @@ pub fn print_serve(r: &BenchServiceReport) {
             );
         }
     }
+    let o = &r.telemetry_overhead;
+    println!(
+        "  telemetry: on {:.0} decisions/s, off {:.0} decisions/s → {:.2}% overhead (budget {:.0}%)",
+        o.on_decisions_per_sec, o.off_decisions_per_sec, o.overhead_pct, o.budget_pct
+    );
     println!(
         "  peak RSS: {:.1} MB",
         r.peak_rss_bytes as f64 / (1024.0 * 1024.0)
     );
     // CI grep anchors — keep the wording stable.
     println!("  counters byte-identical across worker counts: ok");
+    println!("  telemetry snapshots byte-identical across worker counts (masked): ok");
+    if o.within_budget {
+        println!("  telemetry overhead within budget: ok");
+    } else {
+        println!(
+            "  telemetry overhead EXCEEDS budget: {:.2}% > {:.0}%",
+            o.overhead_pct, o.budget_pct
+        );
+    }
     println!("  zero dropped decisions: ok (all sessions drained, all epochs freed)");
 }
 
@@ -319,9 +436,30 @@ mod tests {
         assert!(report.counters_identical_across_worker_counts);
         assert_eq!(report.runs[0].counters.visits, 300);
         assert_eq!(report.stream_run.source, "stream");
+        assert!(report.telemetry_snapshots_identical);
+        assert_eq!(report.telemetry_overhead.budget_pct, TELEMETRY_BUDGET_PCT);
+        assert!(report.telemetry_overhead.on_decisions_per_sec > 0.0);
+        // The per-tenant breakdown is part of the deterministic surface.
+        let per_tenant = &report.runs[0].per_tenant;
+        assert_eq!(per_tenant.len(), 2);
+        assert_eq!(
+            per_tenant.iter().map(|t| t.visits).sum::<u64>(),
+            report.runs[0].counters.visits
+        );
+        assert_eq!(
+            per_tenant.iter().map(|t| t.decisions).sum::<u64>(),
+            report.runs[0].counters.decisions
+        );
         // Required metric set for the bench contract.
         let json = serde_json::to_value(&report).unwrap();
-        for key in ["sites", "tenants", "runs", "stream_run", "peak_rss_bytes"] {
+        for key in [
+            "sites",
+            "tenants",
+            "runs",
+            "stream_run",
+            "telemetry_overhead",
+            "peak_rss_bytes",
+        ] {
             assert!(json.get(key).is_some(), "missing report key {key}");
         }
     }

@@ -12,10 +12,10 @@ use crate::context::ExperimentOptions;
 use cg_analysis::{StreamStats, StreamSummary};
 use cg_browser::VisitConfig;
 use cg_crawlstore::{crawl_to_store_with, CrawlReader, SegmentFormat};
+use cg_telemetry::{per_sec, render_ms, Stopwatch};
 use cg_webgen::{GenConfig, WebGenerator};
 use serde::Serialize;
 use std::path::Path;
-use std::time::Instant;
 
 /// Peak resident set size of this process, from `/proc/self/status`
 /// `VmHWM` (Linux only; `None` elsewhere). This is a *high-water mark*:
@@ -101,17 +101,6 @@ pub struct StoreBenchReport {
     pub stream_summary: StreamSummary,
 }
 
-fn ms(start: Instant) -> u64 {
-    start.elapsed().as_millis() as u64
-}
-
-fn per_sec(count: u64, elapsed_ms: u64) -> f64 {
-    if elapsed_ms == 0 {
-        return count as f64 * 1000.0; // sub-ms run: lower bound at 1ms
-    }
-    count as f64 * 1000.0 / elapsed_ms as f64
-}
-
 fn crawl_one(
     dir: &Path,
     gen: &WebGenerator,
@@ -137,13 +126,14 @@ fn crawl_one(
 }
 
 fn replay_one(dir: &Path, bytes: u64) -> ReplaySide {
-    let start = Instant::now();
+    let _span = cg_telemetry::span!("storebench_replay");
+    let watch = Stopwatch::start();
     let mut visits = 0u64;
     for log in CrawlReader::open(dir).unwrap_or_else(|e| panic!("storebench replay open: {e}")) {
         log.unwrap_or_else(|e| panic!("storebench replay: {e}"));
         visits += 1;
     }
-    let elapsed_ms = ms(start);
+    let elapsed_ms = watch.elapsed_ms();
     ReplaySide {
         visits,
         bytes,
@@ -193,12 +183,12 @@ pub fn run_storebench(opts: &ExperimentOptions) -> StoreBenchReport {
     let replay_binary = replay_one(&dir_b, write_binary.bytes);
 
     eprintln!("[storebench] streaming folds at 1 and 8 threads…");
-    let t1 = Instant::now();
+    let t1 = Stopwatch::start();
     let seq = StreamStats::from_store(&dir_b, 1).unwrap_or_else(|e| panic!("storebench fold: {e}"));
-    let threads_1_ms = ms(t1);
-    let t8 = Instant::now();
+    let threads_1_ms = t1.elapsed_ms();
+    let t8 = Stopwatch::start();
     let par = StreamStats::from_store(&dir_b, 8).unwrap_or_else(|e| panic!("storebench fold: {e}"));
-    let threads_8_ms = ms(t8);
+    let threads_8_ms = t8.elapsed_ms();
     assert_eq!(
         serde_json::to_string(&seq).expect("serialize stats"),
         serde_json::to_string(&par).expect("serialize stats"),
@@ -239,27 +229,35 @@ pub fn run_storebench(opts: &ExperimentOptions) -> StoreBenchReport {
 pub fn print_storebench(r: &StoreBenchReport) {
     println!("\n== crawl store throughput ({} sites) ==", r.sites);
     println!(
-        "  write  jsonl : {:>9.0} visits/s  {:>7.0} B/visit  ({} ms)",
-        r.write_jsonl.visits_per_sec, r.write_jsonl.bytes_per_visit, r.write_jsonl.elapsed_ms
+        "  write  jsonl : {:>9.0} visits/s  {:>7.0} B/visit  ({})",
+        r.write_jsonl.visits_per_sec,
+        r.write_jsonl.bytes_per_visit,
+        render_ms(r.write_jsonl.elapsed_ms)
     );
     println!(
-        "  write  binary: {:>9.0} visits/s  {:>7.0} B/visit  ({} ms)",
-        r.write_binary.visits_per_sec, r.write_binary.bytes_per_visit, r.write_binary.elapsed_ms
+        "  write  binary: {:>9.0} visits/s  {:>7.0} B/visit  ({})",
+        r.write_binary.visits_per_sec,
+        r.write_binary.bytes_per_visit,
+        render_ms(r.write_binary.elapsed_ms)
     );
     println!(
-        "  replay jsonl : {:>9.0} visits/s  {:>7.1} MB/s     ({} ms)",
-        r.replay_jsonl.visits_per_sec, r.replay_jsonl.mb_per_sec, r.replay_jsonl.elapsed_ms
+        "  replay jsonl : {:>9.0} visits/s  {:>7.1} MB/s     ({})",
+        r.replay_jsonl.visits_per_sec,
+        r.replay_jsonl.mb_per_sec,
+        render_ms(r.replay_jsonl.elapsed_ms)
     );
     println!(
-        "  replay binary: {:>9.0} visits/s  {:>7.1} MB/s     ({} ms)  — {:.1}× jsonl",
+        "  replay binary: {:>9.0} visits/s  {:>7.1} MB/s     ({})  — {:.1}× jsonl",
         r.replay_binary.visits_per_sec,
         r.replay_binary.mb_per_sec,
-        r.replay_binary.elapsed_ms,
+        render_ms(r.replay_binary.elapsed_ms),
         r.binary_replay_speedup
     );
     println!(
-        "  fold   1 thr : {} ms    8 thr: {} ms   ({:.1}× speedup)",
-        r.fold.threads_1_ms, r.fold.threads_8_ms, r.fold.speedup
+        "  fold   1 thr : {}    8 thr: {}   ({:.1}× speedup)",
+        render_ms(r.fold.threads_1_ms),
+        render_ms(r.fold.threads_8_ms),
+        r.fold.speedup
     );
     println!(
         "  peak RSS     : {:.1} MB",

@@ -47,6 +47,25 @@ pub struct ServiceCounters {
     pub decisions: u64,
 }
 
+/// Deterministic per-tenant slice of a replay's operation totals.
+///
+/// Routing is a pure function of visit rank, so — like
+/// [`ServiceCounters`] — every field here is worker-count-independent
+/// and lives in the byte-compared half of the replay report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct TenantCounters {
+    /// Tenant index (registration order).
+    pub tenant: u64,
+    /// Tenant registration name.
+    pub name: String,
+    /// Visits routed to this tenant.
+    pub visits: u64,
+    /// Sessions opened on this tenant's engines (one per visit).
+    pub sessions: u64,
+    /// Policy decisions executed under this tenant.
+    pub decisions: u64,
+}
+
 impl ServiceCounters {
     /// Element-wise sum. Associative and commutative, so per-worker
     /// shards merge to the same total in any order.

@@ -21,7 +21,7 @@ pub mod events;
 pub mod recorder;
 pub mod sink;
 
-pub use counters::ServiceCounters;
+pub use counters::{ServiceCounters, TenantCounters};
 pub use events::{
     AttrChangeFlags, CookieApi, DomEvent, ProbeEvent, ReadEvent, RequestEvent, ScriptInclusion,
     SetEvent, VisitLog, WriteKind,

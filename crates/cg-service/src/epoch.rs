@@ -100,6 +100,7 @@ impl EpochSlot {
         let mut retired = self.retired.lock().expect("retired list poisoned");
         let from_epoch = self.epoch.load(Ordering::Acquire);
         let to_epoch = from_epoch + 1;
+        let _span = cg_telemetry::span!("swap", to_epoch);
 
         let compile_start = Instant::now();
         let next = Arc::new(GuardEngine::with_epoch(config, to_epoch));
@@ -116,6 +117,10 @@ impl EpochSlot {
 
         retired.push((from_epoch, Arc::downgrade(&displaced)));
         drop(displaced); // if no session pinned it, the Weak dies here
+        let tele = crate::telemetry::metrics();
+        tele.swaps.incr();
+        tele.swap_compile.record(compile_ns);
+        tele.swap_install.record(install_ns);
         SwapReport {
             from_epoch,
             to_epoch,

@@ -51,6 +51,7 @@
 pub mod epoch;
 pub mod replay;
 pub mod stats;
+pub(crate) mod telemetry;
 pub mod tenant;
 
 pub use epoch::{EngineCache, EpochSlot, SwapReport};

@@ -32,7 +32,9 @@ use crate::epoch::{EngineCache, SwapReport};
 use crate::stats::{LatencyHistogram, LatencySummary};
 use crate::tenant::{GuardService, TenantId};
 use cg_crawlstore::{frame_cursors, CrawlReader, StoreError};
-use cg_instrument::{CookieApi, ReadEvent, ServiceCounters, SetEvent, VisitLog, WriteKind};
+use cg_instrument::{
+    CookieApi, ReadEvent, ServiceCounters, SetEvent, TenantCounters, VisitLog, WriteKind,
+};
 use cookieguard_core::{Caller, GuardConfig, GuardStats};
 
 #[cfg(doc)]
@@ -274,6 +276,10 @@ pub struct ReplayReport {
     pub source: String,
     /// Deterministic operation totals (worker-count-independent).
     pub counters: ServiceCounters,
+    /// Deterministic per-tenant slice of those totals, in registration
+    /// order (routing is a pure function of rank). Tenants that drew no
+    /// traffic still appear, zeroed, so the report schema is stable.
+    pub per_tenant: Vec<TenantCounters>,
     /// Epoch-sensitive tallies.
     pub outcomes: ReplayOutcomes,
     /// Timing and latency.
@@ -292,6 +298,16 @@ struct WorkerState {
     stats: GuardStats,
     latency: LatencyHistogram,
     epoch_sessions: BTreeMap<(u64, u64), u64>,
+    per_tenant: BTreeMap<u64, TenantTally>,
+}
+
+/// Per-tenant slice of one worker's deterministic counters; named and
+/// ordered into [`TenantCounters`] when the report is assembled.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantTally {
+    visits: u64,
+    sessions: u64,
+    decisions: u64,
 }
 
 /// Replays one visit through its tenant's current engine. This is the
@@ -305,14 +321,21 @@ fn replay_visit(
     script: &VisitScript,
     state: &mut WorkerState,
 ) {
+    let tele = crate::telemetry::metrics();
+    let _span = cg_telemetry::span!("session", script.rank);
     let tenant = service.route(script.rank);
+    let live = service.tenant(tenant).sessions_live();
     let mut session =
         service.open_session_cached(tenant, &mut caches[tenant.index()], &script.site);
     state.counters.sessions_opened += 1;
+    tele.sessions_opened.incr();
+    tele.sessions_live.incr();
+    live.incr();
     *state
         .epoch_sessions
         .entry((tenant.index() as u64, session.policy_epoch()))
         .or_insert(0) += 1;
+    let decisions_before = state.counters.decisions;
 
     for op in &script.ops {
         match op {
@@ -350,6 +373,17 @@ fn replay_visit(
     drop(session);
     state.counters.sessions_closed += 1;
     state.counters.visits += 1;
+    // Telemetry counters are batched per visit — one atomic add per
+    // metric here, never one per decision on the hot path.
+    let decided = state.counters.decisions - decisions_before;
+    let tally = state.per_tenant.entry(tenant.index() as u64).or_default();
+    tally.visits += 1;
+    tally.sessions += 1;
+    tally.decisions += decided;
+    tele.visits.incr();
+    tele.decisions.add(decided);
+    tele.sessions_live.decr();
+    live.decr();
 }
 
 /// Shared run coordination: global progress, pacing clock, abort flag.
@@ -416,6 +450,12 @@ fn merge_states(states: Vec<WorkerState>) -> WorkerState {
         for (key, n) in state.epoch_sessions {
             *merged.epoch_sessions.entry(key).or_insert(0) += n;
         }
+        for (tenant, tally) in state.per_tenant {
+            let slot = merged.per_tenant.entry(tenant).or_default();
+            slot.visits += tally.visits;
+            slot.sessions += tally.sessions;
+            slot.decisions += tally.decisions;
+        }
     }
     merged
 }
@@ -454,6 +494,9 @@ pub fn replay(
         ReplaySource::Stream => run_stream(service, dir, opts, workers, &shared)?,
     };
     if let Some(e) = shared.error.lock().expect("error slot poisoned").take() {
+        // Surface the flight recorder before bailing: the last spans
+        // show what each worker was doing when the store failed.
+        cg_telemetry::recorder::dump_to_stderr("replay aborted on store error", 32);
         return Err(e);
     }
 
@@ -471,6 +514,23 @@ pub fn replay(
             ReplaySource::Stream => "stream".to_string(),
         },
         counters: merged.counters,
+        per_tenant: service
+            .tenants()
+            .map(|(id, t)| {
+                let tally = merged
+                    .per_tenant
+                    .get(&(id.index() as u64))
+                    .copied()
+                    .unwrap_or_default();
+                TenantCounters {
+                    tenant: id.index() as u64,
+                    name: t.name().to_string(),
+                    visits: tally.visits,
+                    sessions: tally.sessions,
+                    decisions: tally.decisions,
+                }
+            })
+            .collect(),
         outcomes: ReplayOutcomes {
             writes_allowed: merged.stats.writes_allowed,
             writes_blocked: merged.stats.writes_blocked,
@@ -752,6 +812,8 @@ mod tests {
         assert_eq!(c.decisions, 3);
         assert!(c.drained());
         assert_eq!(state.latency.count(), 3);
+        let tally = state.per_tenant.get(&0).copied().expect("tenant 0 tally");
+        assert_eq!((tally.visits, tally.sessions, tally.decisions), (1, 1, 3));
         // Site owner saw both cookies; the foreign delete was blocked.
         assert_eq!(state.stats.deletes_blocked, 1);
         assert_eq!(state.epoch_sessions.get(&(0, 0)), Some(&1));

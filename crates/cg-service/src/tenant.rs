@@ -26,10 +26,20 @@ impl TenantId {
 }
 
 /// One named deployment: a policy preset evolving through epochs.
-#[derive(Debug)]
 pub struct Tenant {
     name: String,
     slot: EpochSlot,
+    /// Live-session gauge for this tenant (`service.tenant.<name>.sessions_live`).
+    sessions_live: cg_telemetry::Gauge,
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("name", &self.name)
+            .field("slot", &self.slot)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Tenant {
@@ -41,6 +51,11 @@ impl Tenant {
     /// The tenant's engine slot.
     pub fn slot(&self) -> &EpochSlot {
         &self.slot
+    }
+
+    /// Gauge of sessions currently open on this tenant.
+    pub(crate) fn sessions_live(&self) -> &cg_telemetry::Gauge {
+        &self.sessions_live
     }
 }
 
@@ -60,9 +75,14 @@ impl GuardService {
     /// Adds a tenant with `config` compiled as its epoch 0.
     pub fn register(&mut self, name: &str, config: GuardConfig) -> TenantId {
         let id = TenantId(u32::try_from(self.tenants.len()).expect("tenant count overflow"));
+        let gauge = cg_telemetry::global().gauge(
+            &format!("service.tenant.{name}.sessions_live"),
+            cg_telemetry::Class::Runtime,
+        );
         self.tenants.push(Tenant {
             name: name.to_string(),
             slot: EpochSlot::new(config),
+            sessions_live: gauge,
         });
         id
     }
@@ -123,9 +143,14 @@ impl GuardService {
     /// `(tenant, epoch)` pairs whose retired engine has not drained yet,
     /// across all tenants. Empty once every pinned session has closed.
     pub fn undrained(&self) -> Vec<(TenantId, u64)> {
-        self.tenants()
+        let undrained: Vec<(TenantId, u64)> = self
+            .tenants()
             .flat_map(|(id, t)| t.slot().undrained().into_iter().map(move |e| (id, e)))
-            .collect()
+            .collect();
+        crate::telemetry::metrics()
+            .engines_undrained
+            .set(undrained.len() as i64);
+        undrained
     }
 }
 

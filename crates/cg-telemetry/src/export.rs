@@ -1,0 +1,104 @@
+//! Snapshot exporters: the stable JSON document and the
+//! Prometheus-style text page.
+//!
+//! Both render the same registry state. The JSON form is the
+//! machine-checked surface — CI flattens its key schema and diffs it
+//! against `ci/telemetry_keys.txt`, and the determinism harness
+//! byte-compares its masked form across worker counts. The text form
+//! is for scrape endpoints and eyeballs: `# TYPE` headers, sanitized
+//! `cg_`-prefixed names, histograms rendered as summary quantiles.
+
+use crate::metrics::{Class, MetricView, Registry};
+
+/// The snapshot as a compact JSON string (sorted keys — byte-stable
+/// for identical registry state).
+pub fn snapshot_json(registry: &Registry) -> String {
+    serde_json::to_string(&registry.snapshot()).expect("serialize telemetry snapshot")
+}
+
+/// A metric name as a Prometheus metric name: `cg_` prefix, every
+/// non-alphanumeric character folded to `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("cg_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// The registry as a Prometheus-style text page. Counters and gauges
+/// carry a `class` label (`workload` / `runtime`); histograms export as
+/// summaries (`quantile` labels plus `_count` and `_max_ns`).
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    registry.for_each(|name, view| {
+        let pname = prom_name(name);
+        match view {
+            MetricView::Counter(v, class) => {
+                out.push_str(&format!("# TYPE {pname} counter\n"));
+                out.push_str(&format!(
+                    "{pname}{{class=\"{}\"}} {v}\n",
+                    class_label(class)
+                ));
+            }
+            MetricView::Gauge(v, class) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n"));
+                out.push_str(&format!(
+                    "{pname}{{class=\"{}\"}} {v}\n",
+                    class_label(class)
+                ));
+            }
+            MetricView::Histogram(h) => {
+                let s = h.summary();
+                out.push_str(&format!("# TYPE {pname} summary\n"));
+                for (q, v) in [(0.5, s.p50_ns), (0.99, s.p99_ns), (0.999, s.p999_ns)] {
+                    out.push_str(&format!("{pname}{{quantile=\"{q}\"}} {v}\n"));
+                }
+                out.push_str(&format!("{pname}_count {}\n", s.count));
+                out.push_str(&format!("{pname}_max_ns {}\n", s.max_ns));
+            }
+            MetricView::Phantom(_) => {}
+        }
+    });
+    out
+}
+
+fn class_label(class: Class) -> &'static str {
+    match class {
+        Class::Workload => "workload",
+        Class::Runtime => "runtime",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_page_renders_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("store.bytes_written", Class::Workload).add(42);
+        reg.gauge("service.sessions_live", Class::Runtime).set(3);
+        reg.histogram("service.swap_install").record(1500);
+        let page = prometheus_text(&reg);
+        assert!(page.contains("# TYPE cg_store_bytes_written counter"));
+        assert!(page.contains("cg_store_bytes_written{class=\"workload\"} 42"));
+        assert!(page.contains("cg_service_sessions_live{class=\"runtime\"} 3"));
+        assert!(page.contains("# TYPE cg_service_swap_install summary"));
+        assert!(page.contains("cg_service_swap_install_count 1"));
+    }
+
+    #[test]
+    fn snapshot_json_is_byte_stable() {
+        let reg = Registry::new();
+        reg.counter("a.one", Class::Workload).add(1);
+        reg.counter("b.two", Class::Runtime).add(2);
+        assert_eq!(snapshot_json(&reg), snapshot_json(&reg));
+        assert!(snapshot_json(&reg).contains("\"deterministic\":false"));
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! Run with:
 //! `cargo run --release --example measure_crawl [SITES] [--store DIR]
-//! [--format jsonl|binary] [--threads N] [--stream]`
+//! [--format jsonl|binary] [--threads N] [--stream] [--telemetry]`
 //!
 //! With `--store DIR` the crawl writes through the durable segmented
 //! crawl store: kill it mid-run and rerun the same command — it resumes
@@ -21,6 +21,12 @@
 //! parallel pass over the segments, peak RSS independent of crawl
 //! size. This is the mode that takes a million-visit store — the
 //! retained path would hold every `VisitLog` in memory.
+//!
+//! `--telemetry` prints the runtime telemetry snapshot (JSON and
+//! Prometheus text) after the run: visit/store/fold counters from the
+//! always-on `cg-telemetry` registry. The snapshot's `workload` section
+//! is a pure function of the work; the `runtime` section
+//! (fsync batches, shard counts) is marked `deterministic: false`.
 
 use cookieguard_repro::analysis::{
     api_usage, cross_domain_summary, detect_exfiltration, detect_manipulation, prevalence_stats,
@@ -46,6 +52,16 @@ fn peak_rss_bytes() -> Option<u64> {
     Some(kb * 1024)
 }
 
+/// Prints the global telemetry registry both ways a consumer would
+/// scrape it: the stable JSON snapshot and the Prometheus text form.
+fn print_telemetry() {
+    let reg = cookieguard_repro::telemetry::global();
+    println!("\n-- telemetry snapshot (JSON) --");
+    println!("{}", cookieguard_repro::telemetry::snapshot_json(reg));
+    println!("\n-- telemetry snapshot (Prometheus) --");
+    print!("{}", cookieguard_repro::telemetry::prometheus_text(reg));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sites: usize = 600;
@@ -53,10 +69,12 @@ fn main() {
     let mut format = SegmentFormat::Jsonl;
     let mut threads: usize = 4;
     let mut stream = false;
+    let mut telemetry = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--stream" => stream = true,
+            "--telemetry" => telemetry = true,
             "--threads" => {
                 i += 1;
                 threads = match args.get(i).and_then(|t| t.parse().ok()) {
@@ -93,7 +111,7 @@ fn main() {
                 Err(_) => {
                     eprintln!(
                         "usage: measure_crawl [SITES] [--store DIR] \
-                         [--format jsonl|binary] [--threads N] [--stream]"
+                         [--format jsonl|binary] [--threads N] [--stream] [--telemetry]"
                     );
                     std::process::exit(2);
                 }
@@ -141,29 +159,29 @@ fn main() {
             );
             if run.summary.visited > 0 {
                 println!(
-                    "  write throughput: {:.0} visits/s ({} ms)",
+                    "  write throughput: {:.0} visits/s ({})",
                     run.summary.visits_per_sec(),
-                    run.summary.elapsed_ms
+                    cookieguard_repro::telemetry::render_ms(run.summary.elapsed_ms)
                 );
             }
             if stream {
                 // Bounded-memory path: parallel per-segment streaming
                 // folds, nothing retained. The only mode that scales to
                 // a million-visit store.
-                let fold_start = std::time::Instant::now();
+                let watch = cookieguard_repro::telemetry::Stopwatch::start();
                 let stats = cookieguard_repro::analysis::StreamStats::from_store(dir, threads)
                     .unwrap_or_else(|e| {
                         eprintln!("streaming fold over the store failed: {e}");
                         std::process::exit(1);
                     });
-                let fold_ms = fold_start.elapsed().as_millis().max(1) as u64;
+                let fold_ms = watch.elapsed_ms();
                 let s = stats.summary();
                 println!(
-                    "  streaming fold ({threads} threads): {:.0} visits/s, {:.1} MB/s ({} ms); \
+                    "  streaming fold ({threads} threads): {:.0} visits/s, {:.1} MB/s ({}); \
                      peak RSS {:.1} MB",
-                    s.crawled as f64 * 1000.0 / fold_ms as f64,
-                    run.stats.bytes as f64 / 1e6 * 1000.0 / fold_ms as f64,
-                    fold_ms,
+                    cookieguard_repro::telemetry::per_sec(s.crawled, fold_ms),
+                    cookieguard_repro::telemetry::per_sec(run.stats.bytes, fold_ms) / 1e6,
+                    cookieguard_repro::telemetry::render_ms(fold_ms),
                     peak_rss_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0)
                 );
                 println!("\n-- streaming summary ({} visits) --", s.crawled);
@@ -192,20 +210,23 @@ fn main() {
                     "  cross-domain deletes:    {} events on {} sites",
                     s.cross_delete_events, s.cross_delete_sites
                 );
+                if telemetry {
+                    print_telemetry();
+                }
                 return;
             }
-            let replay_start = std::time::Instant::now();
+            let watch = cookieguard_repro::telemetry::Stopwatch::start();
             let reader = CrawlReader::open(dir).expect("reopen store for analysis");
             let ds = Dataset::from_reader(reader).unwrap_or_else(|e| {
                 eprintln!("replaying crawl store failed: {e}");
                 std::process::exit(1);
             });
-            let replay_ms = replay_start.elapsed().as_millis().max(1) as u64;
+            let replay_ms = watch.elapsed_ms();
             println!(
-                "  replay throughput: {:.0} visits/s, {:.1} MB/s ({} ms); peak RSS {:.1} MB",
-                ds.crawled as f64 * 1000.0 / replay_ms as f64,
-                run.stats.bytes as f64 / 1e6 * 1000.0 / replay_ms as f64,
-                replay_ms,
+                "  replay throughput: {:.0} visits/s, {:.1} MB/s ({}); peak RSS {:.1} MB",
+                cookieguard_repro::telemetry::per_sec(ds.crawled as u64, replay_ms),
+                cookieguard_repro::telemetry::per_sec(run.stats.bytes, replay_ms) / 1e6,
+                cookieguard_repro::telemetry::render_ms(replay_ms),
                 peak_rss_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0)
             );
             ds
@@ -264,5 +285,9 @@ fn main() {
             "  {:<22} set by {:<22} {:>4} exfiltrator entities, {:>4} destination entities",
             row.cookie, row.owner, row.exfiltrator_entities, row.destination_entities
         );
+    }
+
+    if telemetry {
+        print_telemetry();
     }
 }

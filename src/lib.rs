@@ -22,6 +22,7 @@ pub use cg_instrument as instrument;
 pub use cg_perf as perf;
 pub use cg_script as script;
 pub use cg_service as service;
+pub use cg_telemetry as telemetry;
 pub use cg_url as url;
 pub use cg_webgen as webgen;
 pub use cookieguard_core as cookieguard;
