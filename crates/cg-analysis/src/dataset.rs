@@ -246,7 +246,21 @@ impl Dataset {
         dir: impl AsRef<std::path::Path>,
         threads: usize,
     ) -> Result<Dataset, cg_crawlstore::StoreError> {
-        let partials = cg_crawlstore::par_fold(dir, threads, Dataset::from_reader)?;
+        Dataset::from_store_with(dir, threads, cg_crawlstore::ReadBackend::default())
+    }
+
+    /// [`Dataset::from_store`] with an explicit
+    /// [`ReadBackend`](cg_crawlstore::ReadBackend): partials are folded
+    /// per *chunk* (frame-index boundaries inside binary segments) and
+    /// rank-interleaved back by [`Dataset::merge`] — chunks hold
+    /// disjoint rank ranges, so the merged dataset is byte-identical at
+    /// any thread count and through any backend.
+    pub fn from_store_with(
+        dir: impl AsRef<std::path::Path>,
+        threads: usize,
+        backend: cg_crawlstore::ReadBackend,
+    ) -> Result<Dataset, cg_crawlstore::StoreError> {
+        let partials = cg_crawlstore::par_fold_with(dir, threads, backend, Dataset::from_reader)?;
         Ok(partials.into_iter().fold(Dataset::empty(), Dataset::merge))
     }
 

@@ -25,7 +25,7 @@
 
 use crate::dataset::reconstruct;
 use crate::sketch::DistinctSketch;
-use cg_crawlstore::StoreError;
+use cg_crawlstore::{ReadBackend, StoreError};
 use cg_instrument::{CookieApi, VisitLog, WriteKind};
 use cg_telemetry::{global, Class, Counter};
 use serde::Serialize;
@@ -202,7 +202,21 @@ impl StreamStats {
     /// parallel per-segment folds. Byte-identical serialized output at
     /// any thread count, with peak memory independent of crawl size.
     pub fn from_store(dir: impl AsRef<Path>, threads: usize) -> Result<StreamStats, StoreError> {
-        let partials = cg_crawlstore::par_fold(dir, threads, StreamStats::from_reader)?;
+        StreamStats::from_store_with(dir, threads, ReadBackend::default())
+    }
+
+    /// [`StreamStats::from_store`] with an explicit [`ReadBackend`]:
+    /// folds the store chunk-granular (frame-index boundaries inside
+    /// binary segments), so even a single-segment store parallelizes,
+    /// through mmap'd windows, positioned reads, or buffered streams.
+    /// All backends and thread counts serialize byte-identically.
+    pub fn from_store_with(
+        dir: impl AsRef<Path>,
+        threads: usize,
+        backend: ReadBackend,
+    ) -> Result<StreamStats, StoreError> {
+        let partials =
+            cg_crawlstore::par_fold_with(dir, threads, backend, StreamStats::from_reader)?;
         Ok(partials
             .into_iter()
             .fold(StreamStats::default(), StreamStats::merge))

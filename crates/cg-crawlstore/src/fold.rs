@@ -16,7 +16,19 @@
 //! [`SegmentStream`]s and hands back the partials in segment order;
 //! `cg-analysis` supplies the mergeable partial types (`Dataset`
 //! partials, `StreamStats`).
+//!
+//! [`par_fold_with`] is the chunk-granular successor: binary segments
+//! are cut at frame-index boundaries ([`plan_chunks`](crate::chunk)),
+//! so parallelism exists *within* a segment too — a store written by
+//! one worker still fans out across every fold thread. The soundness
+//! argument extends unchanged: chunks of one segment hold disjoint,
+//! contiguous rank ranges in file order, so reducing the per-chunk
+//! partials in the fixed (segment, chunk) order is deterministic at
+//! any thread count and through any [`ReadBackend`].
 
+use crate::chunk::{plan_chunks, ChunkStream, ReadBackend};
+use crate::codec::SegmentFormat;
+use crate::manifest::Manifest;
 use crate::reader::{segment_streams, SegmentStream};
 use crate::StoreError;
 use std::path::Path;
@@ -94,6 +106,75 @@ where
             slot.into_inner()
                 .expect("result slot lock poisoned")
                 .expect("every segment index was claimed")
+        })
+        .collect()
+}
+
+/// Chunk-granular [`par_fold`]: folds every chunk of the store at
+/// `dir` with `fold_chunk` through the chosen [`ReadBackend`], using up
+/// to `threads` workers, and returns the partials **in (segment,
+/// chunk) order** — the fixed reduce order that keeps parallel results
+/// byte-identical at any thread count and backend.
+///
+/// Binary stores are cut at frame-index stride boundaries (sidecar
+/// `.idx` files, rebuilt by a header scan when absent or refused), so
+/// even a single-segment store saturates every worker. JSONL stores
+/// fall back to one chunk per segment — same closure signature, same
+/// determinism, segment-granular parallelism.
+///
+/// Workers pull chunk indices from a shared counter (work stealing, so
+/// skewed segments load-balance); memory is bounded by
+/// `threads × (one chunk window + one partial)`.
+pub fn par_fold_with<T, F>(
+    dir: impl AsRef<Path>,
+    threads: usize,
+    backend: ReadBackend,
+    fold_chunk: F,
+) -> Result<Vec<T>, StoreError>
+where
+    T: Send,
+    F: Fn(ChunkStream) -> Result<T, StoreError> + Sync,
+{
+    let dir = dir.as_ref();
+    // Line-oriented segments have no frame offsets to cut at: reuse the
+    // segment-granular fold, one whole segment per chunk.
+    let format = Manifest::load(dir)?.map(|m| m.fingerprint.format);
+    if format == Some(SegmentFormat::Jsonl) {
+        return par_fold(dir, threads, |s| fold_chunk(ChunkStream::from_segment(s)));
+    }
+    let plan = plan_chunks(dir)?;
+    let count = plan.len();
+    let threads = threads.max(1).min(count.max(1));
+    let fold_one = |i: usize| -> Result<T, StoreError> {
+        crate::telemetry::metrics().fold_shards.incr();
+        let _span = cg_telemetry::span!("fold_shard", i);
+        fold_chunk(plan.open_chunk(i, backend)?)
+    };
+    if threads <= 1 {
+        return (0..count).map(fold_one).collect();
+    }
+
+    let results: Vec<Mutex<Option<Result<T, StoreError>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                *results[i].lock().expect("result slot lock poisoned") = Some(fold_one(i));
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock poisoned")
+                .expect("every chunk index was claimed")
         })
         .collect()
 }

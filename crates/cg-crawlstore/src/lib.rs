@@ -35,6 +35,15 @@
 //!   own worker and combines the partials in a fixed segment order —
 //!   deterministic (byte-identical statistics) at any thread count,
 //!   because segments hold disjoint rank sets.
+//! * **Chunked zero-copy reads** — binary segments carry a
+//!   `seg-<n>.idx` frame-index sidecar ([`index`]) that cuts each
+//!   segment into independently decodable chunks ([`chunk`]), so
+//!   [`par_fold_with`] parallelizes *within* segments through a chosen
+//!   [`ReadBackend`]: `mmap(2)` windows over the page cache ([`mmap`],
+//!   the default — zero-copy, falling back to `pread` wherever mapping
+//!   fails), positioned reads, or buffered streaming. All backends
+//!   verify the same checksums and watermarks and produce
+//!   byte-identical folds.
 //!
 //! ```no_run
 //! use cg_browser::{crawl_into, VisitConfig};
@@ -59,19 +68,24 @@
 //! killed-and-resumed crawl's merged stream is byte-identical to an
 //! uninterrupted one, in either segment format. **Entry points:**
 //! `open_store`, `open_store_with`, `crawl_to_store`, `CrawlWriter`,
-//! `CrawlReader`, `par_fold`.
+//! `CrawlReader`, `par_fold`, `par_fold_with`.
 
+pub mod chunk;
 pub mod codec;
 pub mod fold;
+pub mod index;
 pub mod manifest;
+pub mod mmap;
 pub mod pread;
 pub mod reader;
 pub(crate) mod telemetry;
 pub mod writer;
 
+pub use chunk::{plan_chunks, ChunkPlan, ChunkSpec, ChunkStream, ReadBackend};
 pub use codec::SegmentFormat;
-pub use fold::par_fold;
+pub use fold::{par_fold, par_fold_with};
 pub use manifest::{Fingerprint, Manifest, SegmentMeta, MANIFEST_FILE};
+pub use mmap::Mmap;
 pub use pread::{frame_cursors, FrameCursor};
 pub use reader::{segment_streams, CrawlReader, SegmentStream};
 pub use writer::{

@@ -32,37 +32,52 @@ use std::path::Path;
 /// shared file cursor. `Ok(false)` is a clean or torn EOF (the frame is
 /// not there in full), distinct from real I/O failure.
 #[cfg(unix)]
-fn pread_exact(file: &File, buf: &mut [u8], offset: u64) -> Result<bool, StoreError> {
+pub(crate) fn pread_exact(file: &File, buf: &mut [u8], offset: u64) -> Result<bool, StoreError> {
+    Ok(pread_upto(file, buf, offset)? == buf.len())
+}
+
+/// Reads up to `buf.len()` bytes at `offset`, stopping early only at
+/// EOF; returns the bytes read. The speculative frame read wants "as
+/// much as is there", where [`pread_exact`]'s all-or-nothing contract
+/// would misread a short tail as absence.
+#[cfg(unix)]
+pub(crate) fn pread_upto(file: &File, buf: &mut [u8], offset: u64) -> Result<usize, StoreError> {
     use std::os::unix::fs::FileExt;
     let mut done = 0usize;
     while done < buf.len() {
         match file.read_at(&mut buf[done..], offset + done as u64) {
-            Ok(0) => return Ok(false),
+            Ok(0) => break,
             Ok(n) => done += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(StoreError::Io(e)),
         }
     }
-    Ok(true)
+    Ok(done)
 }
 
 /// Portable fallback: positioned read via `seek + read` (the file's
 /// cursor is private to this handle, so semantics match `pread`).
 #[cfg(not(unix))]
-fn pread_exact(file: &File, buf: &mut [u8], offset: u64) -> Result<bool, StoreError> {
+pub(crate) fn pread_exact(file: &File, buf: &mut [u8], offset: u64) -> Result<bool, StoreError> {
+    Ok(pread_upto(file, buf, offset)? == buf.len())
+}
+
+/// See the Unix [`pread_upto`]; same contract over `seek + read`.
+#[cfg(not(unix))]
+pub(crate) fn pread_upto(file: &File, buf: &mut [u8], offset: u64) -> Result<usize, StoreError> {
     use std::io::{Read, Seek, SeekFrom};
     let mut f = file;
     f.seek(SeekFrom::Start(offset)).map_err(StoreError::Io)?;
     let mut done = 0usize;
     while done < buf.len() {
         match f.read(&mut buf[done..]) {
-            Ok(0) => return Ok(false),
+            Ok(0) => break,
             Ok(n) => done += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(StoreError::Io(e)),
         }
     }
-    Ok(true)
+    Ok(done)
 }
 
 /// A rewindable positioned-read cursor over one binary segment's
@@ -100,12 +115,21 @@ pub struct FrameCursor {
     records: u64,
     /// Records left in the current pass.
     remaining: u64,
-    /// Reused payload buffer — grows to the largest frame once, then
-    /// stays.
+    /// Reused frame buffer (header + payload) — grows to the largest
+    /// frame once, then stays.
     buf: Vec<u8>,
+    /// Largest payload seen so far: the speculative read size. One
+    /// `pread` fetches header *and* payload whenever the next frame is
+    /// no larger than any frame before it — after the first pass,
+    /// that's every frame.
+    high_water: usize,
     /// Sorted-run enforcement, reset per pass.
     last_rank: Option<u64>,
 }
+
+/// Initial speculative payload size: covers typical frames so even the
+/// first pass mostly takes one syscall per frame.
+const SPECULATIVE_PAYLOAD: usize = 4096;
 
 impl FrameCursor {
     /// Opens one manifest-listed binary segment for positioned reads.
@@ -121,6 +145,7 @@ impl FrameCursor {
             records: meta.synced_records,
             remaining: meta.synced_records,
             buf: Vec::new(),
+            high_water: SPECULATIVE_PAYLOAD,
             last_rank: None,
         })
     }
@@ -151,16 +176,31 @@ impl FrameCursor {
         if self.remaining == 0 {
             return Ok(None);
         }
-        let mut header = [0u8; FRAME_HEADER];
-        if !pread_exact(&self.file, &mut header, self.offset)? {
+        // Speculative coalesced read: header plus up to the largest
+        // payload seen, in ONE positioned read. Only a frame bigger
+        // than every one before it needs a second read for its tail.
+        self.buf.resize(FRAME_HEADER + self.high_water, 0);
+        let got = pread_upto(&self.file, &mut self.buf, self.offset)?;
+        if got < FRAME_HEADER {
             return Err(self.short_of_watermark());
         }
-        let header = codec::parse_header(&header);
-        self.buf.resize(header.len, 0);
-        if !pread_exact(&self.file, &mut self.buf, self.offset + FRAME_HEADER as u64)? {
-            return Err(self.short_of_watermark());
+        let header: &[u8; FRAME_HEADER] = self.buf[..FRAME_HEADER]
+            .try_into()
+            .expect("FRAME_HEADER bytes");
+        let header = codec::parse_header(header);
+        let total = FRAME_HEADER + header.len;
+        self.high_water = self.high_water.max(header.len);
+        if got < total {
+            self.buf.resize(total, 0);
+            if !pread_exact(
+                &self.file,
+                &mut self.buf[got..total],
+                self.offset + got as u64,
+            )? {
+                return Err(self.short_of_watermark());
+            }
         }
-        if codec::frame_check(header.rank, &self.buf) != header.check {
+        if codec::frame_check(header.rank, &self.buf[FRAME_HEADER..total]) != header.check {
             return Err(StoreError::Corrupt {
                 file: self.name.clone(),
                 detail: "frame checksum mismatch below the manifest watermark".to_string(),
@@ -178,12 +218,12 @@ impl FrameCursor {
             }
         }
         self.last_rank = Some(header.rank);
-        self.offset += (FRAME_HEADER + header.len) as u64;
+        self.offset += total as u64;
         self.remaining -= 1;
         let tele = crate::telemetry::metrics();
         tele.records_replayed.incr();
-        tele.bytes_replayed.add((FRAME_HEADER + header.len) as u64);
-        Ok(Some((header.rank, &self.buf)))
+        tele.bytes_replayed.add(total as u64);
+        Ok(Some((header.rank, &self.buf[FRAME_HEADER..total])))
     }
 
     /// Decodes the next durable frame straight to a [`VisitLog`];

@@ -31,6 +31,14 @@ pub(crate) struct StoreMetrics {
     pub bytes_replayed: Counter,
     /// Torn tails truncated away during recovery scans.
     pub torn_tail_recoveries: Counter,
+    /// Bytes decoded through mmap'd chunk windows (0 when the mapped
+    /// backend is unused or unavailable; a pure function of the chunk
+    /// plan otherwise — worker-count independent).
+    pub mmap_bytes: Counter,
+    /// Chunk opens across chunked folds and replay passes — the plan's
+    /// chunk count times the passes over it, independent of who claims
+    /// which chunk.
+    pub chunks_claimed: Counter,
     /// fsync + manifest checkpoints (batch boundaries — worker-count
     /// dependent).
     pub fsyncs: Counter,
@@ -52,6 +60,8 @@ pub(crate) fn metrics() -> &'static StoreMetrics {
             records_replayed: reg.counter("store.records_replayed", Class::Workload),
             bytes_replayed: reg.counter("store.bytes_replayed", Class::Workload),
             torn_tail_recoveries: reg.counter("store.torn_tail_recoveries", Class::Workload),
+            mmap_bytes: reg.counter("store.mmap_bytes", Class::Workload),
+            chunks_claimed: reg.counter("store.chunks_claimed", Class::Workload),
             fsyncs: reg.counter("store.fsyncs", Class::Runtime),
             segments_opened: reg.counter("store.segments_opened", Class::Runtime),
             fold_shards: reg.counter("store.fold_shards", Class::Runtime),

@@ -11,6 +11,7 @@
 //! segment would bury low ranks behind high ones and break the merge.
 
 use crate::codec::{self, SegmentFormat, FRAME_HEADER};
+use crate::index::{self, IndexEntry, INDEX_STRIDE};
 use crate::manifest::{Fingerprint, Manifest};
 use crate::StoreError;
 use cg_browser::{SinkWorker, VisitConfig, VisitOutcome, VisitSink};
@@ -179,10 +180,17 @@ impl CrawlWriter {
                 // Nothing durable survived (a crash before the first
                 // commit): drop the empty file rather than carry it.
                 std::fs::remove_file(&path)?;
+                index::remove_index(&dir, &file);
                 continue;
             }
             for r in &scan.ranks {
                 done.insert(*r);
+            }
+            if format == SegmentFormat::Binary {
+                // The recovery scan just walked every surviving frame;
+                // rewriting the sidecar from it costs nothing extra and
+                // upgrades index-less stores from older writers.
+                let _ = index::write_index(&dir, &file, &scan.index);
             }
             let seg = manifest.segment_mut(&file);
             seg.synced_records = scan.ranks.len() as u64;
@@ -253,8 +261,10 @@ impl CrawlWriter {
             scratch: Vec::new(),
             pending: 0,
             records: 0,
+            durable_bytes: 0,
             max_rank: 0,
             session_ranks: Vec::new(),
+            index: Vec::new(),
         })
     }
 
@@ -288,11 +298,18 @@ pub struct SegmentWriter {
     pending: u64,
     /// Records durable in this segment (recovered + committed).
     records: u64,
+    /// Bytes committed (written + fsync'd) to the file so far — the
+    /// base offset of the in-memory batch, for frame-index entries.
+    durable_bytes: u64,
     /// Highest rank seen in this run's batches.
     max_rank: u64,
     /// Ranks recorded through this handle (fed back into the store's
     /// session-done set when the handle merges).
     session_ranks: Vec<usize>,
+    /// Frame-index entries (binary format only): `(rank, offset)` of
+    /// every [`INDEX_STRIDE`]-th frame, flushed to the `seg-<n>.idx`
+    /// sidecar at each commit.
+    index: Vec<IndexEntry>,
 }
 
 impl SegmentWriter {
@@ -329,6 +346,14 @@ impl SegmentWriter {
                 // JSON text is built on the binary write path.
                 self.scratch.clear();
                 codec::encode_content(&log.to_content(), &mut self.scratch);
+                // Every STRIDE-th frame lands in the sidecar index, so
+                // chunked readers can cut this segment without a scan.
+                if (self.records + self.pending).is_multiple_of(u64::from(INDEX_STRIDE)) {
+                    self.index.push(IndexEntry {
+                        rank: log.rank as u64,
+                        offset: self.durable_bytes + buffered as u64,
+                    });
+                }
                 codec::write_frame(&mut self.buf, log.rank as u64, &self.scratch);
             }
         }
@@ -355,10 +380,19 @@ impl SegmentWriter {
         self.file.sync_data()?;
         crate::telemetry::metrics().fsyncs.incr();
         self.records += self.pending;
+        self.durable_bytes += self.buf.len() as u64;
         self.buf.clear();
         self.pending = 0;
         self.shared
-            .checkpoint(&self.file_name, self.records, self.max_rank)
+            .checkpoint(&self.file_name, self.records, self.max_rank)?;
+        // Refresh the sidecar index to cover everything just made
+        // durable. Advisory: readers validate it and rescan on any
+        // doubt, so its write is not fsync'd and may not fail the
+        // commit path for data that *is* durable.
+        if self.shared.format == SegmentFormat::Binary {
+            let _ = index::write_index(&self.shared.dir, &self.file_name, &self.index);
+        }
+        Ok(())
     }
 
     /// Flushes the final batch and checkpoints. Consumes the writer. A
@@ -368,6 +402,7 @@ impl SegmentWriter {
         self.commit()?;
         if self.records == 0 {
             std::fs::remove_file(self.shared.dir.join(&self.file_name))?;
+            index::remove_index(&self.shared.dir, &self.file_name);
         }
         Ok(())
     }
@@ -533,6 +568,9 @@ fn segment_number(file_name: &str) -> Option<usize> {
 struct SegmentScan {
     /// Ranks of every surviving (complete, parseable) record.
     ranks: Vec<usize>,
+    /// Frame-index entries for the surviving frames (binary only —
+    /// empty for JSONL), rebuilt as a free byproduct of the scan.
+    index: Vec<IndexEntry>,
 }
 
 /// Scans one segment in its on-disk format, truncating a torn tail in
@@ -611,7 +649,10 @@ fn recover_segment_jsonl(path: &Path, file_name: &str) -> Result<SegmentScan, St
         f.set_len(keep_until)?;
         f.sync_data()?;
     }
-    Ok(SegmentScan { ranks })
+    Ok(SegmentScan {
+        ranks,
+        index: Vec::new(),
+    })
 }
 
 /// Scans one binary segment, truncating a torn trailing frame in place.
@@ -633,6 +674,7 @@ fn recover_segment_bin(path: &Path, file_name: &str) -> Result<SegmentScan, Stor
     let file_len = std::fs::metadata(path)?.len();
     let mut reader = BufReader::new(File::open(path)?);
     let mut ranks = Vec::new();
+    let mut index = Vec::new();
     let mut payload = Vec::new();
     let mut pos = 0u64;
     let mut keep_until = 0u64;
@@ -668,6 +710,12 @@ fn recover_segment_bin(path: &Path, file_name: &str) -> Result<SegmentScan, Stor
                 detail: format!("segment not rank-sorted at byte {pos}"),
             });
         }
+        if (ranks.len() as u64).is_multiple_of(u64::from(INDEX_STRIDE)) {
+            index.push(IndexEntry {
+                rank: header.rank,
+                offset: pos,
+            });
+        }
         ranks.push(rank);
         pos = end;
         keep_until = end;
@@ -678,7 +726,7 @@ fn recover_segment_bin(path: &Path, file_name: &str) -> Result<SegmentScan, Stor
         f.set_len(keep_until)?;
         f.sync_data()?;
     }
-    Ok(SegmentScan { ranks })
+    Ok(SegmentScan { ranks, index })
 }
 
 /// Parses one JSONL record far enough to extract its rank; `None` means

@@ -6,7 +6,9 @@
 
 use cg_analysis::{Dataset, StreamStats};
 use cg_browser::VisitConfig;
-use cg_crawlstore::{crawl_to_store_with, open_store_with, CrawlReader, SegmentFormat, StoreError};
+use cg_crawlstore::{
+    crawl_to_store_with, open_store_with, CrawlReader, ReadBackend, SegmentFormat, StoreError,
+};
 use cg_webgen::{GenConfig, WebGenerator};
 use std::path::PathBuf;
 
@@ -158,7 +160,8 @@ fn cross_format_resume_is_refused() {
 }
 
 /// Parallel per-segment folds are byte-identical to sequential ones at
-/// every thread count, for both the streaming and the retained mode.
+/// every thread count, through every read backend, for both the
+/// streaming and the retained mode.
 #[test]
 fn parallel_fold_equals_sequential_fold() {
     let dir = tmp_dir("parfold");
@@ -173,17 +176,25 @@ fn parallel_fold_equals_sequential_fold() {
     assert_eq!(seq_logs, serde_json::to_string(&reader_ds.logs).unwrap());
     assert_eq!(seq_ds.crawled, reader_ds.crawled);
 
-    for threads in [2, 8] {
-        let par_stats =
-            serde_json::to_string(&StreamStats::from_store(&dir, threads).unwrap()).unwrap();
-        assert_eq!(par_stats, seq_stats, "StreamStats at {threads} threads");
-        let par_ds = Dataset::from_store(&dir, threads).unwrap();
-        assert_eq!(
-            serde_json::to_string(&par_ds.logs).unwrap(),
-            seq_logs,
-            "Dataset at {threads} threads"
-        );
-        assert_eq!(par_ds.crawled, seq_ds.crawled);
+    let backends = [ReadBackend::Mmap, ReadBackend::Pread, ReadBackend::Buffered];
+    for backend in backends {
+        for threads in [1, 2, 8] {
+            let par_stats = serde_json::to_string(
+                &StreamStats::from_store_with(&dir, threads, backend).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(
+                par_stats, seq_stats,
+                "StreamStats via {backend} at {threads} threads"
+            );
+            let par_ds = Dataset::from_store_with(&dir, threads, backend).unwrap();
+            assert_eq!(
+                serde_json::to_string(&par_ds.logs).unwrap(),
+                seq_logs,
+                "Dataset via {backend} at {threads} threads"
+            );
+            assert_eq!(par_ds.crawled, seq_ds.crawled);
+        }
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -2,7 +2,7 @@
 
 use cg_analysis::Dataset;
 use cg_browser::{crawl_range, VisitConfig};
-use cg_crawlstore::{crawl_to_store_with, CrawlReader, SegmentFormat};
+use cg_crawlstore::{crawl_to_store_with, ReadBackend, SegmentFormat};
 use cg_entity::EntityMap;
 use cg_filterlist::FilterEngine;
 use cg_webgen::{GenConfig, WebGenerator};
@@ -24,6 +24,14 @@ pub struct ExperimentOptions {
     /// jsonl|binary`). Binary is the replay fast path for large crawls;
     /// the two formats produce byte-identical analyses.
     pub store_format: SegmentFormat,
+    /// How store replays and folds read segment bytes
+    /// (`--read-backend mmap|pread|buffered`). Every backend produces
+    /// byte-identical results; mmap is the zero-copy default.
+    pub read_backend: ReadBackend,
+    /// Store size for the storebench fold benchmark (`--fold-sites N`).
+    /// Defaults to `max(sites, 10_000)` — parallel-fold speedups are
+    /// meaningless on stores that fold in single-digit milliseconds.
+    pub fold_sites: Option<usize>,
 }
 
 impl Default for ExperimentOptions {
@@ -34,6 +42,8 @@ impl Default for ExperimentOptions {
             threads: num_threads(),
             store: None,
             store_format: SegmentFormat::Jsonl,
+            read_backend: ReadBackend::default(),
+            fold_sites: None,
         }
     }
 }
@@ -113,15 +123,17 @@ impl CrawlContext {
                     run.summary.visits_per_sec(),
                 );
                 let watch = cg_telemetry::Stopwatch::start();
-                let reader = CrawlReader::open(dir)
-                    .unwrap_or_else(|e| panic!("reading crawl store {}: {e}", dir.display()));
-                let dataset = Dataset::from_reader(reader)
+                // Chunk-granular parallel replay through the chosen read
+                // backend — byte-identical to a sequential CrawlReader
+                // drain at any thread count.
+                let dataset = Dataset::from_store_with(dir, opts.threads, opts.read_backend)
                     .unwrap_or_else(|e| panic!("replaying crawl store {}: {e}", dir.display()));
                 let replay_ms = watch.elapsed_ms();
                 eprintln!(
-                    "[store] replayed {} visits in {} \
+                    "[store] replayed {} visits via {} in {} \
                      ({:.0} visits/s, {:.1} MB/s); peak RSS {:.1} MB",
                     dataset.crawled,
+                    opts.read_backend,
                     cg_telemetry::render_ms(replay_ms),
                     cg_telemetry::per_sec(dataset.crawled as u64, replay_ms),
                     cg_telemetry::per_sec(run.stats.bytes, replay_ms) / 1e6,

@@ -261,6 +261,23 @@ fn main() {
                     }
                 };
             }
+            "--read-backend" => {
+                i += 1;
+                opts.read_backend = match args.get(i) {
+                    Some(name) => name.parse().unwrap_or_else(|e| {
+                        eprintln!("{e}; see --help");
+                        std::process::exit(2);
+                    }),
+                    None => {
+                        eprintln!("--read-backend requires mmap, pread, or buffered; see --help");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--fold-sites" => {
+                i += 1;
+                opts.fold_sites = Some(parse_numeric_arg(args.get(i), "--fold-sites"));
+            }
             "--bench-json" => {
                 i += 1;
                 match args.get(i) {
@@ -437,7 +454,8 @@ fn print_help() {
     println!();
     println!(
         "USAGE: cg-experiments [--exp LIST] [--sites N] [--seed S] [--threads T] [--json PATH] \
-         [--store DIR] [--store-format jsonl|binary] [--bench-json PATH]"
+         [--store DIR] [--store-format jsonl|binary] [--read-backend mmap|pread|buffered] \
+         [--fold-sites N] [--bench-json PATH]"
     );
     println!(
         "       cg-experiments scenarios [--seed S] [--threads T] [--json PATH] [--golden PATH]"
@@ -472,9 +490,13 @@ fn print_help() {
     println!("rerun with the same seed/sites finishes only the missing ranks);");
     println!("--store-format binary selects the compact framed format — the");
     println!("replay fast path for large crawls, byte-identical analyses.");
+    println!("--read-backend picks how replays and folds read segment bytes:");
+    println!("mmap (zero-copy chunk windows, the default), pread, or buffered —");
+    println!("all three produce byte-identical results.");
     println!();
     println!("--exp storebench benchmarks the store (write/replay throughput");
-    println!("per format, 1-vs-8-thread fold wall time, peak RSS) and with");
-    println!("--bench-json PATH writes the machine-readable report");
-    println!("(BENCH_crawlstore.json).");
+    println!("per format incl. mmap'd chunked replay, 1-vs-8-thread chunked");
+    println!("fold wall time per backend over a ≥10k-visit fold store");
+    println!("(--fold-sites overrides), peak RSS) and with --bench-json PATH");
+    println!("writes the machine-readable report (BENCH_crawlstore.json).");
 }

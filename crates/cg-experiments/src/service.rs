@@ -8,9 +8,9 @@
 //! invariants on every run — zero dropped decisions, every retired
 //! engine freed — and that the deterministic report surface is
 //! byte-identical across worker counts (see [`crate::determinism`]).
-//! A final streaming-source run replays the same store through the
-//! pread cursors to pin that both traffic sources execute the same
-//! operation stream.
+//! A final streaming-source run replays the same store through
+//! mmap'd frame-index chunks to pin that both traffic sources execute
+//! the same operation stream.
 //!
 //! Telemetry rides along: each worker-count run starts from a reset
 //! `cg-telemetry` registry and its masked snapshot (workload section
@@ -279,7 +279,7 @@ pub fn run_serve(opts: &ServeOptions) -> BenchServiceReport {
     }
 
     let max_workers = opts.worker_counts.iter().copied().max().unwrap_or(1);
-    eprintln!("[serve] streaming-source run at {max_workers} workers (pread cursors)…");
+    eprintln!("[serve] streaming-source run at {max_workers} workers (mmap chunks)…");
     let stream_run = run_one(&base, opts, max_workers, ReplaySource::Stream);
     assert_eq!(
         stream_run.counters, runs[0].counters,
@@ -381,7 +381,7 @@ pub fn print_serve(r: &BenchServiceReport) {
     }
     let s = &r.stream_run;
     println!(
-        "  stream({}w): {:>9.0} decisions/s via pread cursors",
+        "  stream({}w): {:>9.0} decisions/s via mmap chunks",
         s.workers, s.timing.decisions_per_sec
     );
     for run in r.runs.iter().take(1) {

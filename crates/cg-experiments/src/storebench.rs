@@ -3,19 +3,27 @@
 //!
 //! One crawl, written through both segment formats, then replayed and
 //! folded under timing: visits/s written, MB/s + visits/s replayed
-//! (JSONL vs binary), parallel-fold wall time at 1 and 8 threads, and
-//! the process peak RSS. The numbers vary run to run; the *keys* are a
-//! schema CI diffs against `ci/bench_crawlstore_keys.txt`, so the
-//! report cannot silently drop a metric.
+//! (JSONL vs binary vs mmap'd chunked binary), chunk-granular
+//! parallel-fold wall time at 1 and 8 threads through the mmap and
+//! pread backends, and the process peak RSS. The fold benchmark runs
+//! over a store of at least [`FOLD_SITES_FLOOR`] visits (its own crawl
+//! when `--sites` is smaller, overridable with `--fold-sites`) —
+//! speedups measured on stores that fold in single-digit milliseconds
+//! are noise. The numbers vary run to run; the *keys* are a schema CI
+//! diffs against `ci/bench_crawlstore_keys.txt`, so the report cannot
+//! silently drop a metric.
 
 use crate::context::ExperimentOptions;
 use cg_analysis::{StreamStats, StreamSummary};
 use cg_browser::VisitConfig;
-use cg_crawlstore::{crawl_to_store_with, CrawlReader, SegmentFormat};
+use cg_crawlstore::{crawl_to_store_with, plan_chunks, CrawlReader, ReadBackend, SegmentFormat};
 use cg_telemetry::{per_sec, render_ms, Stopwatch};
 use cg_webgen::{GenConfig, WebGenerator};
 use serde::Serialize;
 use std::path::Path;
+
+/// Minimum visits in the fold-benchmark store (see module docs).
+pub const FOLD_SITES_FLOOR: usize = 10_000;
 
 /// Peak resident set size of this process, from `/proc/self/status`
 /// `VmHWM` (Linux only; `None` elsewhere). This is a *high-water mark*:
@@ -64,15 +72,39 @@ pub struct ReplaySide {
     pub mb_per_sec: f64,
 }
 
-/// Parallel-fold wall times over the binary store.
+/// One read backend's fold wall times.
 #[derive(Debug, Clone, Copy, Serialize)]
-pub struct FoldSide {
+pub struct BackendFold {
     /// Sequential (1-thread) streaming fold, milliseconds.
     pub threads_1_ms: u64,
     /// 8-thread streaming fold, milliseconds.
     pub threads_8_ms: u64,
     /// `threads_1_ms / threads_8_ms`.
     pub speedup: f64,
+}
+
+/// Chunk-granular parallel-fold measurements over the fold store.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FoldSide {
+    /// Visits in the fold store (≥ [`FOLD_SITES_FLOOR`] unless
+    /// overridden).
+    pub visits: u64,
+    /// Segment files the store holds.
+    pub segments: u64,
+    /// Chunks the frame index cut those segments into — the unit of
+    /// fold parallelism.
+    pub chunks: u64,
+    /// Default-backend (mmap) 1-thread fold, milliseconds.
+    pub threads_1_ms: u64,
+    /// Default-backend (mmap) 8-thread fold, milliseconds.
+    pub threads_8_ms: u64,
+    /// `threads_1_ms / threads_8_ms`.
+    pub speedup: f64,
+    /// The mmap backend's timings (same numbers as the top level —
+    /// mmap is the default — kept per-backend for the schema).
+    pub mmap: BackendFold,
+    /// The pread backend's timings.
+    pub pread: BackendFold,
 }
 
 /// The full machine-readable report (`BENCH_crawlstore.json`).
@@ -88,11 +120,15 @@ pub struct StoreBenchReport {
     pub write_binary: WriteSide,
     /// JSONL replay side.
     pub replay_jsonl: ReplaySide,
-    /// Binary replay side.
+    /// Binary replay side (rank-ordered k-way merge drain).
     pub replay_binary: ReplaySide,
+    /// Binary replay through mmap'd zero-copy chunk windows (1-thread
+    /// chunked drain — the apples-to-apples MB/s comparison against
+    /// `replay_binary`'s pread-based merge).
+    pub replay_binary_mmap: ReplaySide,
     /// Binary replay visits/s over JSONL replay visits/s.
     pub binary_replay_speedup: f64,
-    /// Streaming parallel-fold wall times (binary store).
+    /// Chunk-granular parallel-fold measurements (binary fold store).
     pub fold: FoldSide,
     /// Process peak RSS after everything above (bytes; 0 if unknown).
     pub peak_rss_bytes: u64,
@@ -143,6 +179,61 @@ fn replay_one(dir: &Path, bytes: u64) -> ReplaySide {
     }
 }
 
+/// A full 1-thread decode of the binary store through mmap'd chunk
+/// windows — the zero-copy counterpart of [`replay_one`]'s merge drain.
+fn replay_one_mmap(dir: &Path, bytes: u64) -> ReplaySide {
+    let _span = cg_telemetry::span!("storebench_replay_mmap");
+    let watch = Stopwatch::start();
+    let counts = cg_crawlstore::par_fold_with(dir, 1, ReadBackend::Mmap, |chunk| {
+        let mut n = 0u64;
+        for log in chunk {
+            log?;
+            n += 1;
+        }
+        Ok(n)
+    })
+    .unwrap_or_else(|e| panic!("storebench mmap replay: {e}"));
+    let elapsed_ms = watch.elapsed_ms();
+    let visits = counts.iter().sum();
+    ReplaySide {
+        visits,
+        bytes,
+        elapsed_ms,
+        visits_per_sec: per_sec(visits, elapsed_ms),
+        mb_per_sec: per_sec(bytes, elapsed_ms) / 1e6,
+    }
+}
+
+/// Times `StreamStats::from_store_with` at 1 and 8 threads through one
+/// backend, asserting the two folds serialize identically.
+fn fold_backend(dir: &Path, backend: ReadBackend) -> (BackendFold, StreamStats) {
+    let t1 = Stopwatch::start();
+    let seq = StreamStats::from_store_with(dir, 1, backend)
+        .unwrap_or_else(|e| panic!("storebench fold ({backend}): {e}"));
+    let threads_1_ms = t1.elapsed_ms();
+    let t8 = Stopwatch::start();
+    let par = StreamStats::from_store_with(dir, 8, backend)
+        .unwrap_or_else(|e| panic!("storebench fold ({backend}): {e}"));
+    let threads_8_ms = t8.elapsed_ms();
+    assert_eq!(
+        serde_json::to_string(&seq).expect("serialize stats"),
+        serde_json::to_string(&par).expect("serialize stats"),
+        "parallel {backend} fold diverged from sequential — determinism bug"
+    );
+    (
+        BackendFold {
+            threads_1_ms,
+            threads_8_ms,
+            speedup: if threads_8_ms == 0 {
+                0.0
+            } else {
+                threads_1_ms as f64 / threads_8_ms as f64
+            },
+        },
+        seq,
+    )
+}
+
 /// Runs the crawl-store benchmark. The store directories live under
 /// `opts.store` when set (kept afterwards — reruns resume) or a
 /// temporary directory (removed afterwards).
@@ -181,19 +272,42 @@ pub fn run_storebench(opts: &ExperimentOptions) -> StoreBenchReport {
     eprintln!("[storebench] replaying both stores…");
     let replay_jsonl = replay_one(&dir_j, write_jsonl.bytes);
     let replay_binary = replay_one(&dir_b, write_binary.bytes);
+    let replay_binary_mmap = replay_one_mmap(&dir_b, write_binary.bytes);
 
-    eprintln!("[storebench] streaming folds at 1 and 8 threads…");
-    let t1 = Stopwatch::start();
-    let seq = StreamStats::from_store(&dir_b, 1).unwrap_or_else(|e| panic!("storebench fold: {e}"));
-    let threads_1_ms = t1.elapsed_ms();
-    let t8 = Stopwatch::start();
-    let par = StreamStats::from_store(&dir_b, 8).unwrap_or_else(|e| panic!("storebench fold: {e}"));
-    let threads_8_ms = t8.elapsed_ms();
+    // The fold benchmark needs a store large enough that per-chunk
+    // dispatch is amortized; reuse the main binary store when it
+    // qualifies, otherwise crawl a dedicated one.
+    let fold_sites = opts.fold_sites.unwrap_or(opts.sites.max(FOLD_SITES_FLOOR));
+    let dir_f = if fold_sites == opts.sites {
+        dir_b.clone()
+    } else {
+        let dir_f = base.join("fold");
+        eprintln!("[storebench] crawling {fold_sites} sites → fold-bench binary store…");
+        let fold_gen = WebGenerator::new(GenConfig::small(fold_sites), opts.seed);
+        crawl_one(
+            &dir_f,
+            &fold_gen,
+            &cfg,
+            fold_sites,
+            opts.threads,
+            SegmentFormat::Binary,
+        );
+        dir_f
+    };
+    let plan = plan_chunks(&dir_f).unwrap_or_else(|e| panic!("storebench chunk plan: {e}"));
+    let (segments, chunks) = (plan.segments() as u64, plan.len() as u64);
+    drop(plan);
+
+    eprintln!("[storebench] chunked folds at 1 and 8 threads (mmap, pread)…");
+    let (mmap, mmap_stats) = fold_backend(&dir_f, ReadBackend::Mmap);
+    let (pread, pread_stats) = fold_backend(&dir_f, ReadBackend::Pread);
     assert_eq!(
-        serde_json::to_string(&seq).expect("serialize stats"),
-        serde_json::to_string(&par).expect("serialize stats"),
-        "parallel fold diverged from sequential — determinism bug"
+        serde_json::to_string(&mmap_stats).expect("serialize stats"),
+        serde_json::to_string(&pread_stats).expect("serialize stats"),
+        "mmap fold diverged from pread — backend differential bug"
     );
+    // The summary pins the *measured* crawl, not the fold-bench store.
+    let seq = StreamStats::from_store(&dir_b, 1).unwrap_or_else(|e| panic!("storebench fold: {e}"));
 
     if ephemeral {
         let _ = std::fs::remove_dir_all(&base);
@@ -206,19 +320,21 @@ pub fn run_storebench(opts: &ExperimentOptions) -> StoreBenchReport {
         write_binary,
         replay_jsonl,
         replay_binary,
+        replay_binary_mmap,
         binary_replay_speedup: if replay_jsonl.visits_per_sec > 0.0 {
             replay_binary.visits_per_sec / replay_jsonl.visits_per_sec
         } else {
             0.0
         },
         fold: FoldSide {
-            threads_1_ms,
-            threads_8_ms,
-            speedup: if threads_8_ms == 0 {
-                0.0
-            } else {
-                threads_1_ms as f64 / threads_8_ms as f64
-            },
+            visits: fold_sites as u64,
+            segments,
+            chunks,
+            threads_1_ms: mmap.threads_1_ms,
+            threads_8_ms: mmap.threads_8_ms,
+            speedup: mmap.speedup,
+            mmap,
+            pread,
         },
         peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
         stream_summary: seq.summary(),
@@ -254,10 +370,26 @@ pub fn print_storebench(r: &StoreBenchReport) {
         r.binary_replay_speedup
     );
     println!(
-        "  fold   1 thr : {}    8 thr: {}   ({:.1}× speedup)",
-        render_ms(r.fold.threads_1_ms),
-        render_ms(r.fold.threads_8_ms),
-        r.fold.speedup
+        "  replay mmap  : {:>9.0} visits/s  {:>7.1} MB/s     ({})  — zero-copy chunks",
+        r.replay_binary_mmap.visits_per_sec,
+        r.replay_binary_mmap.mb_per_sec,
+        render_ms(r.replay_binary_mmap.elapsed_ms),
+    );
+    println!(
+        "  fold store   : {} visits, {} segments cut into {} chunks",
+        r.fold.visits, r.fold.segments, r.fold.chunks
+    );
+    println!(
+        "  fold mmap    : 1 thr {}    8 thr {}   ({:.2}× speedup)",
+        render_ms(r.fold.mmap.threads_1_ms),
+        render_ms(r.fold.mmap.threads_8_ms),
+        r.fold.mmap.speedup
+    );
+    println!(
+        "  fold pread   : 1 thr {}    8 thr {}   ({:.2}× speedup)",
+        render_ms(r.fold.pread.threads_1_ms),
+        render_ms(r.fold.pread.threads_8_ms),
+        r.fold.pread.speedup
     );
     println!(
         "  peak RSS     : {:.1} MB",
@@ -283,24 +415,38 @@ mod tests {
             sites: 30,
             seed: 7,
             threads: 2,
+            fold_sites: Some(40), // keep the unit test off the 10k floor
             ..ExperimentOptions::default()
         };
         let report = run_storebench(&opts);
         assert_eq!(report.sites, 30);
         assert_eq!(report.replay_jsonl.visits, report.replay_binary.visits);
+        assert_eq!(
+            report.replay_binary_mmap.visits,
+            report.replay_binary.visits
+        );
         assert!(report.write_binary.bytes < report.write_jsonl.bytes);
+        assert_eq!(report.fold.visits, 40);
+        assert!(report.fold.chunks >= report.fold.segments);
         let json = serde_json::to_value(&report).unwrap();
         for key in [
             "write_jsonl",
             "write_binary",
             "replay_jsonl",
             "replay_binary",
+            "replay_binary_mmap",
             "binary_replay_speedup",
             "fold",
             "peak_rss_bytes",
             "stream_summary",
         ] {
             assert!(json.get(key).is_some(), "missing report key {key}");
+        }
+        for key in ["visits", "segments", "chunks", "mmap", "pread"] {
+            assert!(
+                json["fold"].get(key).is_some(),
+                "missing fold report key {key}"
+            );
         }
     }
 }

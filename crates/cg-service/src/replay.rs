@@ -13,9 +13,12 @@
 //!   (via [`CrawlReader`], either segment format) — the hot-decision
 //!   configuration for measuring sustained decisions/s;
 //! * [`ReplaySource::Stream`] decodes binary segments one frame at a
-//!   time through pread-based [`FrameCursor`](cg_crawlstore::FrameCursor)s, rewinding between
-//!   passes — bounded memory for million-visit stores, never
-//!   re-buffering a segment.
+//!   time from frame-index chunks ([`plan_chunks`]): workers claim
+//!   chunk indices and decode each claim through an mmap'd zero-copy
+//!   [`ChunkStream`](cg_crawlstore::ChunkStream) window (pread
+//!   fallback) — bounded memory for million-visit stores, and
+//!   intra-segment parallelism even when the store has fewer segments
+//!   than workers.
 //!
 //! # Determinism contract
 //!
@@ -31,7 +34,7 @@
 use crate::epoch::{EngineCache, SwapReport};
 use crate::stats::{LatencyHistogram, LatencySummary};
 use crate::tenant::{GuardService, TenantId};
-use cg_crawlstore::{frame_cursors, CrawlReader, StoreError};
+use cg_crawlstore::{plan_chunks, CrawlReader, ReadBackend, StoreError};
 use cg_instrument::{
     CookieApi, ReadEvent, ServiceCounters, SetEvent, TenantCounters, VisitLog, WriteKind,
 };
@@ -43,7 +46,7 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// One cookie operation to replay against a session, in visit order.
@@ -158,8 +161,9 @@ pub fn extract_script(log: &VisitLog) -> VisitScript {
 pub enum ReplaySource {
     /// Pre-extract every script into memory, then replay from RAM.
     Resident,
-    /// Decode binary segments frame-by-frame via pread cursors,
-    /// rewinding between passes (binary stores only).
+    /// Workers claim frame-index chunks and decode them out of mmap'd
+    /// segment windows, re-claiming from the top of the plan on each
+    /// pass (binary stores only).
     Stream,
 }
 
@@ -609,9 +613,15 @@ fn run_stream(
     workers: usize,
     shared: &RunShared,
 ) -> Result<(Vec<WorkerState>, Vec<SwapReport>), StoreError> {
-    let cursors: Vec<Mutex<_>> = frame_cursors(dir)?.into_iter().map(Mutex::new).collect();
-    let claim = AtomicUsize::new(0);
-    let barrier = Barrier::new(workers);
+    // One chunk plan for the whole run: frame-index boundaries cut each
+    // binary segment into independently decodable chunks, so even a
+    // single-segment store spreads across every worker. Each claim
+    // opens a fresh mmap'd ChunkStream (zero-copy window over the page
+    // cache, pread fallback), so there is no cursor state to rewind —
+    // like the resident path, one claim counter per pass suffices and
+    // fast workers roll into the next pass while stragglers finish.
+    let plan = plan_chunks(dir)?;
+    let cursors: Vec<AtomicUsize> = (0..opts.passes).map(|_| AtomicUsize::new(0)).collect();
 
     let result = std::thread::scope(|scope| {
         let swapper = scope.spawn(|| run_swaps(service, shared, &opts.swaps));
@@ -621,17 +631,21 @@ fn run_stream(
                     let mut state = WorkerState::default();
                     let mut caches = new_caches(service);
                     let mut local = 0u64;
-                    for pass in 0..opts.passes {
-                        // Claim whole segments; each worker streams its
-                        // claim frame-by-frame through the pread cursor.
+                    for cursor in &cursors {
                         loop {
-                            let i = claim.fetch_add(1, Ordering::Relaxed);
-                            if i >= cursors.len() || shared.failed() {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= plan.len() || shared.failed() {
                                 break;
                             }
-                            let mut cursor = cursors[i].lock().expect("cursor poisoned");
+                            let mut chunk = match plan.open_chunk(i, ReadBackend::Mmap) {
+                                Ok(chunk) => chunk,
+                                Err(e) => {
+                                    shared.fail(e);
+                                    break;
+                                }
+                            };
                             loop {
-                                match cursor.next_log() {
+                                match chunk.next_log() {
                                     Ok(Some(log)) => {
                                         pace(opts.pacing, workers, local, shared.start);
                                         let script = extract_script(&log);
@@ -646,19 +660,6 @@ fn run_stream(
                                     }
                                 }
                             }
-                        }
-                        // Rewind for the next pass: wait for every
-                        // worker to finish this one, let the leader
-                        // reset the cursors and the claim counter, then
-                        // release everyone together.
-                        if pass + 1 < opts.passes {
-                            if barrier.wait().is_leader() {
-                                for cursor in &cursors {
-                                    cursor.lock().expect("cursor poisoned").rewind();
-                                }
-                                claim.store(0, Ordering::Relaxed);
-                            }
-                            barrier.wait();
                         }
                     }
                     state

@@ -4,7 +4,8 @@
 //!
 //! Run with:
 //! `cargo run --release --example measure_crawl [SITES] [--store DIR]
-//! [--format jsonl|binary] [--threads N] [--stream] [--telemetry]`
+//! [--format jsonl|binary] [--threads N] [--stream]
+//! [--read-backend mmap|pread|buffered] [--telemetry]`
 //!
 //! With `--store DIR` the crawl writes through the durable segmented
 //! crawl store: kill it mid-run and rerun the same command — it resumes
@@ -18,9 +19,14 @@
 //! `--stream` (requires `--store`) replaces the retained [`Dataset`]
 //! analysis with the bounded-memory streaming fold
 //! ([`StreamStats`](cookieguard_repro::analysis::StreamStats)): one
-//! parallel pass over the segments, peak RSS independent of crawl
-//! size. This is the mode that takes a million-visit store — the
-//! retained path would hold every `VisitLog` in memory.
+//! chunk-granular parallel pass over the segments, peak RSS independent
+//! of crawl size. This is the mode that takes a million-visit store —
+//! the retained path would hold every `VisitLog` in memory.
+//!
+//! `--read-backend` picks how store bytes are read back: `mmap`
+//! (zero-copy windows over the page cache — the default; the kernel
+//! reclaims mapped pages under pressure, so VmHWM stays flat), `pread`,
+//! or `buffered`. All three produce byte-identical analyses.
 //!
 //! `--telemetry` prints the runtime telemetry snapshot (JSON and
 //! Prometheus text) after the run: visit/store/fold counters from the
@@ -33,7 +39,7 @@ use cookieguard_repro::analysis::{
     Dataset,
 };
 use cookieguard_repro::browser::{crawl_range, VisitConfig};
-use cookieguard_repro::crawlstore::{crawl_to_store_with, CrawlReader, SegmentFormat};
+use cookieguard_repro::crawlstore::{crawl_to_store_with, ReadBackend, SegmentFormat};
 use cookieguard_repro::webgen::{GenConfig, WebGenerator};
 
 const MASTER_SEED: u64 = 0xC00C1E;
@@ -70,11 +76,22 @@ fn main() {
     let mut threads: usize = 4;
     let mut stream = false;
     let mut telemetry = false;
+    let mut backend = ReadBackend::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--stream" => stream = true,
             "--telemetry" => telemetry = true,
+            "--read-backend" => {
+                i += 1;
+                backend = match args.get(i).and_then(|b| b.parse().ok()) {
+                    Some(b) => b,
+                    None => {
+                        eprintln!("--read-backend must be mmap, pread, or buffered");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--threads" => {
                 i += 1;
                 threads = match args.get(i).and_then(|t| t.parse().ok()) {
@@ -111,7 +128,8 @@ fn main() {
                 Err(_) => {
                     eprintln!(
                         "usage: measure_crawl [SITES] [--store DIR] \
-                         [--format jsonl|binary] [--threads N] [--stream] [--telemetry]"
+                         [--format jsonl|binary] [--threads N] [--stream] \
+                         [--read-backend mmap|pread|buffered] [--telemetry]"
                     );
                     std::process::exit(2);
                 }
@@ -165,24 +183,34 @@ fn main() {
                 );
             }
             if stream {
-                // Bounded-memory path: parallel per-segment streaming
-                // folds, nothing retained. The only mode that scales to
-                // a million-visit store.
+                // Bounded-memory path: chunk-granular parallel streaming
+                // folds through the chosen read backend, nothing
+                // retained. The only mode that scales to a million-visit
+                // store.
                 let watch = cookieguard_repro::telemetry::Stopwatch::start();
-                let stats = cookieguard_repro::analysis::StreamStats::from_store(dir, threads)
-                    .unwrap_or_else(|e| {
-                        eprintln!("streaming fold over the store failed: {e}");
-                        std::process::exit(1);
-                    });
+                let stats = cookieguard_repro::analysis::StreamStats::from_store_with(
+                    dir, threads, backend,
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("streaming fold over the store failed: {e}");
+                    std::process::exit(1);
+                });
                 let fold_ms = watch.elapsed_ms();
                 let s = stats.summary();
                 println!(
-                    "  streaming fold ({threads} threads): {:.0} visits/s, {:.1} MB/s ({}); \
-                     peak RSS {:.1} MB",
+                    "  streaming fold ({threads} threads, {backend}): \
+                     {:.0} visits/s, {:.1} MB/s ({}); peak RSS {:.1} MB",
                     cookieguard_repro::telemetry::per_sec(s.crawled, fold_ms),
                     cookieguard_repro::telemetry::per_sec(run.stats.bytes, fold_ms) / 1e6,
                     cookieguard_repro::telemetry::render_ms(fold_ms),
                     peak_rss_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0)
+                );
+                // Machine-readable line for CI's fold-speedup anchor
+                // (kept above the `-- streaming summary` marker so
+                // between-run summary diffs never see wall times).
+                println!(
+                    "  fold_ms={fold_ms} backend={backend} threads={threads} visits={}",
+                    s.crawled
                 );
                 println!("\n-- streaming summary ({} visits) --", s.crawled);
                 println!("  complete visits:         {}", s.complete);
@@ -216,14 +244,13 @@ fn main() {
                 return;
             }
             let watch = cookieguard_repro::telemetry::Stopwatch::start();
-            let reader = CrawlReader::open(dir).expect("reopen store for analysis");
-            let ds = Dataset::from_reader(reader).unwrap_or_else(|e| {
+            let ds = Dataset::from_store_with(dir, threads, backend).unwrap_or_else(|e| {
                 eprintln!("replaying crawl store failed: {e}");
                 std::process::exit(1);
             });
             let replay_ms = watch.elapsed_ms();
             println!(
-                "  replay throughput: {:.0} visits/s, {:.1} MB/s ({}); peak RSS {:.1} MB",
+                "  replay throughput ({backend}): {:.0} visits/s, {:.1} MB/s ({}); peak RSS {:.1} MB",
                 cookieguard_repro::telemetry::per_sec(ds.crawled as u64, replay_ms),
                 cookieguard_repro::telemetry::per_sec(run.stats.bytes, replay_ms) / 1e6,
                 cookieguard_repro::telemetry::render_ms(replay_ms),
