@@ -101,13 +101,18 @@ impl<'v> LegacyPage<'v> {
                     g.record_http_set_cookie(&sc.name, &self.site_domain.clone());
                 }
                 if !sc.http_only {
-                    self.recorder.record_set(
+                    self.recorder.record_set_with_lifetime(
                         &sc.name,
                         &sc.value,
                         Some(&self.site_domain.clone()),
                         None,
                         CookieApi::HttpHeader,
                         WriteKind::Create,
+                        match (sc.max_age_s, sc.expires_ms) {
+                            (Some(ma), _) => Some(ma),
+                            (None, Some(e)) => Some((e - self.wall_epoch_ms) / 1000),
+                            (None, None) => None,
+                        },
                         None,
                         false,
                         0,
@@ -210,6 +215,7 @@ impl Platform for LegacyPage<'_> {
             (None, None) => None,
         };
         let is_delete = matches!(expires_abs, Some(e) if e <= now);
+        let max_age_s = expires_abs.map(|e| (e - now) / 1000);
         let kind = if is_delete {
             WriteKind::Delete
         } else if prior.is_some() {
@@ -225,13 +231,14 @@ impl Platform for LegacyPage<'_> {
                 g.authorize_write(&caller, &sc.name)
             };
             if !decision.is_allow() {
-                self.recorder.record_set(
+                self.recorder.record_set_with_lifetime(
                     &sc.name,
                     &sc.value,
                     actor.as_deref(),
                     actor_url.as_deref(),
                     CookieApi::DocumentCookie,
                     kind,
+                    max_age_s,
                     None,
                     true,
                     at.now_ms,
@@ -256,13 +263,14 @@ impl Platform for LegacyPage<'_> {
             self.jar.set_document_cookie(raw, &self.url, now).is_ok()
         };
         if applied || is_delete {
-            self.recorder.record_set(
+            self.recorder.record_set_with_lifetime(
                 &sc.name,
                 &sc.value,
                 actor.as_deref(),
                 actor_url.as_deref(),
                 CookieApi::DocumentCookie,
                 kind,
+                max_age_s,
                 changes,
                 false,
                 at.now_ms,
@@ -337,15 +345,17 @@ impl Platform for LegacyPage<'_> {
         } else {
             WriteKind::Create
         };
+        let max_age_s = expires_abs_ms.map(|e| (e - now) / 1000);
         if let Some(g) = self.guard.as_deref_mut() {
             if !g.authorize_write(&caller, name).is_allow() {
-                self.recorder.record_set(
+                self.recorder.record_set_with_lifetime(
                     name,
                     value,
                     actor.as_deref(),
                     actor_url.as_deref(),
                     CookieApi::CookieStore,
                     kind,
+                    max_age_s,
                     None,
                     true,
                     at.now_ms,
@@ -359,13 +369,14 @@ impl Platform for LegacyPage<'_> {
         }
         let ok = self.jar.set_document_cookie(&raw, &self.url, now).is_ok();
         if ok {
-            self.recorder.record_set(
+            self.recorder.record_set_with_lifetime(
                 name,
                 value,
                 actor.as_deref(),
                 actor_url.as_deref(),
                 CookieApi::CookieStore,
                 kind,
+                max_age_s,
                 None,
                 false,
                 at.now_ms,

@@ -478,6 +478,15 @@ impl<'a> Dec<'a> {
         self.varint()
     }
 
+    fn opt_i64(&mut self) -> Result<Option<i64>, String> {
+        if self.bytes.get(self.pos) == Some(&TAG_NULL) {
+            self.pos += 1;
+            return Ok(None);
+        }
+        self.expect_tag(TAG_I64, "a signed integer")?;
+        self.varint().map(|v| Some(unzigzag(v)))
+    }
+
     /// A struct header: `TAG_MAP` with exactly `fields` entries.
     fn struct_header(&mut self, fields: u64, what: &str) -> Result<(), String> {
         self.expect_tag(TAG_MAP, what)?;
@@ -564,7 +573,7 @@ impl<'a> Dec<'a> {
     }
 
     fn set_event(&mut self) -> Result<SetEvent, String> {
-        self.struct_header(9, "SetEvent")?;
+        self.struct_header(10, "SetEvent")?;
         self.key("name")?;
         let name = self.string()?;
         self.key("value")?;
@@ -577,6 +586,8 @@ impl<'a> Dec<'a> {
         let api = self.cookie_api()?;
         self.key("kind")?;
         let kind = self.write_kind()?;
+        self.key("max_age_s")?;
+        let max_age_s = self.opt_i64()?;
         self.key("changes")?;
         let changes = self.attr_changes()?;
         self.key("blocked")?;
@@ -590,6 +601,7 @@ impl<'a> Dec<'a> {
             actor_url,
             api,
             kind,
+            max_age_s,
             changes,
             blocked,
             time_ms,

@@ -8,9 +8,11 @@
 //! explicit-only `ablation`, `rollout`, `baselines` (the defense
 //! matrix: blocklist ± evasion, partitioning, CookieGraph-lite,
 //! CookieGuard), and `csp` (the §2.1 CSP gap). Scale with `--sites N`
-//! (default 20,000) and `--threads T`. Two subcommands ride alongside:
-//! `scenarios` (the adversarial catalog) and `serve` (the multi-tenant
-//! guard-service benchmark behind `BENCH_service.json`).
+//! (default 20,000) and `--threads T`. Three subcommands ride
+//! alongside: `scenarios` (the adversarial catalog), `serve` (the
+//! multi-tenant guard-service benchmark behind `BENCH_service.json`),
+//! and `detect` (the tracking-cookie detector scored against generator
+//! ground truth, behind `BENCH_detect.json`).
 //!
 //! **Layer:** orchestration (the CLI over every other crate).
 //! **Invariant:** experiment output is deterministic for a given
@@ -23,6 +25,7 @@
 pub mod ablation;
 pub mod baselines;
 pub mod context;
+pub mod detect;
 pub mod determinism;
 pub mod evaluation;
 pub mod expectations;
@@ -36,6 +39,7 @@ pub mod storebench;
 pub use ablation::run_ablation;
 pub use baselines::{run_baselines, run_csp_gap_exp};
 pub use context::{CrawlContext, ExperimentOptions};
+pub use detect::{run_detect, DetectBenchReport, DetectOptions};
 pub use determinism::{
     deterministic_surface, is_nondeterministic_key, mask_keys, mask_nondeterministic,
 };

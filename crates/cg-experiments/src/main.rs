@@ -201,6 +201,78 @@ fn run_serve_cli(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// Parses and runs `cg-experiments detect [--sites N] [--seed S]
+/// [--threads T] [--store DIR] [--bench-json PATH]
+/// [--report-json PATH]` — the tracking-cookie detection smoke.
+fn run_detect_cli(args: &[String]) -> ! {
+    let mut opts = cg_experiments::DetectOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sites" => {
+                i += 1;
+                opts.sites = parse_numeric_arg(args.get(i), "--sites");
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = parse_numeric_arg(args.get(i), "--seed");
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = parse_numeric_arg(args.get(i), "--threads");
+            }
+            "--store" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => opts.store = Some(std::path::PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--store requires a directory; see --help");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--bench-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => opts.bench_json = Some(std::path::PathBuf::from(path)),
+                    None => {
+                        eprintln!("--bench-json requires a path; see --help");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--report-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => opts.report_json = Some(std::path::PathBuf::from(path)),
+                    None => {
+                        eprintln!("--report-json requires a path; see --help");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown detect argument {other:?}; see --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let report = cg_experiments::run_detect(&opts);
+    if let Some(path) = &opts.bench_json {
+        let json = serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serialize"))
+            .expect("serialize");
+        match std::fs::write(path, json) {
+            Ok(()) => println!("bench report written to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("scenarios") {
@@ -208,6 +280,9 @@ fn main() {
     }
     if args.get(1).map(String::as_str) == Some("serve") {
         run_serve_cli(&args[2..]);
+    }
+    if args.get(1).map(String::as_str) == Some("detect") {
+        run_detect_cli(&args[2..]);
     }
     let mut opts = ExperimentOptions::default();
     let mut exps: Vec<String> = vec!["all".to_string()];
@@ -464,6 +539,10 @@ fn print_help() {
         "       cg-experiments serve [--sites N] [--seed S] [--passes P] [--workers LIST] \
          [--store DIR] [--bench-json PATH] [--telemetry-snapshot PATH] [--telemetry-dump PATH]"
     );
+    println!(
+        "       cg-experiments detect [--sites N] [--seed S] [--threads T] [--store DIR] \
+         [--bench-json PATH] [--report-json PATH]"
+    );
     println!();
     println!("The `scenarios` subcommand runs the adversarial scenario catalog");
     println!("(crate cg-scenarios) under vanilla + CookieGuard variants + baseline");
@@ -480,6 +559,15 @@ fn print_help() {
     println!("--telemetry-snapshot writes the final registry snapshot as JSON");
     println!("plus a .prom Prometheus rendering, and --telemetry-dump writes");
     println!("the flight-recorder event dump.");
+    println!();
+    println!("The `detect` subcommand scores the first-party tracking-cookie");
+    println!("detector (crate cg-detect) against generator ground truth on a");
+    println!("fresh CNAME-resolving crawl written through a binary store: it");
+    println!("asserts streaming/resident reports byte-identical across thread");
+    println!("counts and read backends, enforces the precision/recall floors");
+    println!("(0.95/0.90, instance-weighted), prints the scoring table and the");
+    println!("guard-vs-detector matrix, and with --bench-json writes the");
+    println!("machine-readable report (BENCH_detect.json).");
     println!();
     println!("Experiments (comma-separated, default 'all'):");
     println!("  measurement: {}", MEASUREMENT_EXPERIMENTS.join(", "));

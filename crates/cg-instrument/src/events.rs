@@ -56,6 +56,9 @@ pub struct SetEvent {
     pub api: CookieApi,
     /// Create / overwrite / delete.
     pub kind: WriteKind,
+    /// Requested lifetime in seconds (`Max-Age`, or derived from
+    /// `Expires`); `None` = session cookie or unrecorded.
+    pub max_age_s: Option<i64>,
     /// Attribute changes (overwrites only).
     pub changes: Option<AttrChangeFlags>,
     /// True when CookieGuard blocked the operation (the write never
@@ -275,6 +278,7 @@ mod tests {
             actor_url: Some("https://x.com/x.js".into()),
             api: CookieApi::DocumentCookie,
             kind: WriteKind::Create,
+            max_age_s: None,
             changes: None,
             blocked: false,
             time_ms: 0,

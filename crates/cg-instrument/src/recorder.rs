@@ -76,6 +76,28 @@ impl Recorder {
         blocked: bool,
         time_ms: u64,
     ) {
+        self.record_set_with_lifetime(
+            name, value, actor, actor_url, api, kind, None, changes, blocked, time_ms,
+        );
+    }
+
+    /// Records a cookie write with the requested lifetime (`max_age_s`,
+    /// relative seconds) — what the detection pipeline reads as
+    /// persistence.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_set_with_lifetime(
+        &mut self,
+        name: &str,
+        value: &str,
+        actor: Option<&str>,
+        actor_url: Option<&str>,
+        api: CookieApi,
+        kind: WriteKind,
+        max_age_s: Option<i64>,
+        changes: Option<AttrChangeFlags>,
+        blocked: bool,
+        time_ms: u64,
+    ) {
         self.log.sets.push(SetEvent {
             name: name.to_string(),
             value: value.to_string(),
@@ -83,6 +105,7 @@ impl Recorder {
             actor_url: actor_url.map(str::to_string),
             api,
             kind,
+            max_age_s,
             changes,
             blocked,
             time_ms,

@@ -686,6 +686,7 @@ mod tests {
             actor_url: None,
             api,
             kind,
+            max_age_s: None,
             changes: None,
             blocked: false,
             time_ms: t,

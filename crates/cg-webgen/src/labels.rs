@@ -1,0 +1,265 @@
+//! Ground-truth cookie labels: which generated cookies are trackers.
+//!
+//! The field studies (COOKIEGRAPH, the sync surveys) score detectors
+//! against sampled manual labels; here the generator itself knows every
+//! cookie's intent, so labels are *derived from realized behaviour*,
+//! not hand-maintained lists. A cookie is a **tracker** exactly when
+//! the ecosystem treats it as a shared identifier:
+//!
+//! 1. its value shape is a stable identifier (GA/FBP-style, UUID, or a
+//!    hex id of ≥ 8 chars — something §4.4 segment extraction can
+//!    latch onto),
+//! 2. it persists (requested lifetime ≥ [`PERSIST_CUTOFF_S`]; session
+//!    cookies such as SSO state tokens never qualify), and
+//! 3. some vendor in the realized registry (core *or* generated
+//!    long-tail) deliberately ships it by name — the union of all
+//!    [`ExfilSelection::Named`] lists. Bulk selections (`All`,
+//!    `Sample`) are indiscriminate payload stuffing, not
+//!    identifier-sharing intent, so they do not make a cookie a
+//!    tracker by themselves.
+//!
+//! This makes labels seed-dependent on purpose: a long-tail ecosystem
+//! that happens to harvest `keep_alive` by name turns that cookie into
+//! a tracker *in that ecosystem*, which is exactly the operational
+//! definition a detector is scored against. Two behaviourally
+//! identical cookie programs always share a label.
+//!
+//! Known honest edge: "dormant" identifiers (persistent ids that no
+//! vendor ships by name — `__gads`, `_clck`, `li_fat_id`, `AMCV_`, …)
+//! are labeled functional even though a human analyst might call them
+//! trackers-in-waiting; nothing in the observable crawl distinguishes
+//! them from device-bound state.
+
+use crate::vendors::{ExfilSelection, VendorRegistry};
+use cg_script::ValueSpec;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Minimum requested lifetime (seconds) for a cookie to count as
+/// persistent — condition 2 of the tracker definition. 10 minutes is
+/// far below every real identifier lifetime in the registry (the
+/// shortest is `__utmb` at 30 minutes) and above every session/probe
+/// cookie.
+pub const PERSIST_CUTOFF_S: i64 = 600;
+
+/// Ground-truth intent of one generated cookie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CookieLabel {
+    /// A stable identifier deliberately shared across entities.
+    Tracker,
+    /// Everything else: consent state, SSO/session tokens, feature
+    /// cookies, probe values, and dormant identifiers nobody ships.
+    Functional,
+}
+
+impl CookieLabel {
+    /// Stable lowercase name for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CookieLabel::Tracker => "tracker",
+            CookieLabel::Functional => "functional",
+        }
+    }
+}
+
+/// The realized label table: every cookie the registry can ghost-write,
+/// keyed by `(name, owning vendor domain)`, plus name-keyed overrides
+/// for the cookies `cg-webgen`'s site builder synthesizes outside the
+/// registry (self-hosted analytics, CNAME-cloaked uid).
+#[derive(Debug, Clone)]
+pub struct CookieLabels {
+    by_pair: BTreeMap<(String, String), CookieLabel>,
+    name_overrides: BTreeMap<String, CookieLabel>,
+    harvested: BTreeSet<String>,
+}
+
+/// Whether a value spec mints a stable identifier — condition 1 of the
+/// tracker definition. Counter/consent/flag shapes are excluded even
+/// though some contain ≥8-char segments (timestamps, consent ids).
+fn stable_identifier(spec: &ValueSpec) -> bool {
+    match spec {
+        ValueSpec::GaStyle | ValueSpec::FbpStyle | ValueSpec::Uuid => true,
+        ValueSpec::HexId(n) => *n >= 8,
+        ValueSpec::Fixed(_)
+        | ValueSpec::CounterTimestampSession
+        | ValueSpec::ConsentString
+        | ValueSpec::UsPrivacy
+        | ValueSpec::Short => false,
+    }
+}
+
+impl CookieLabels {
+    /// Derives the table from a realized registry. Deterministic for a
+    /// given registry (ordered maps throughout).
+    pub fn derive(registry: &VendorRegistry) -> CookieLabels {
+        let mut harvested: BTreeSet<String> = BTreeSet::new();
+        for v in registry.all() {
+            for ex in &v.exfils {
+                if ex.prob <= 0.0 {
+                    continue;
+                }
+                if let ExfilSelection::Named(names) = &ex.selection {
+                    harvested.extend(names.iter().cloned());
+                }
+            }
+        }
+        let mut by_pair = BTreeMap::new();
+        for v in registry.all() {
+            for c in v.sets.iter().chain(&v.store_sets) {
+                let tracker = stable_identifier(&c.value)
+                    && c.max_age_s.is_some_and(|a| a >= PERSIST_CUTOFF_S)
+                    && harvested.contains(&c.name);
+                let label = if tracker {
+                    CookieLabel::Tracker
+                } else {
+                    CookieLabel::Functional
+                };
+                by_pair.insert((c.name.clone(), v.domain.clone()), label);
+            }
+        }
+        // Cookies the site builder synthesizes outside vendor programs.
+        // Both are persistent identifiers their setter always ships
+        // off-site (`SiteBuilder` attaches an unconditional exfil), so
+        // they are trackers wherever they appear — including when the
+        // observed owner is the site itself (self-hosted analytics) or
+        // a CNAME-uncloaked long-tail vendor.
+        let mut name_overrides = BTreeMap::new();
+        name_overrides.insert("_ga".to_string(), CookieLabel::Tracker);
+        name_overrides.insert("_cloaked_uid".to_string(), CookieLabel::Tracker);
+        // Scenario-posed cookies (cg-scenarios catalog) that exist
+        // outside any vendor program but inside the scored universe:
+        // the CNAME-cloaked HTTP identifier, the sync-chain adoptive
+        // copy of `_ga`, and the SSO session token (a persistent UUID
+        // that is never shipped — the canonical must-not-flag case).
+        name_overrides.insert("_dcid".to_string(), CookieLabel::Tracker);
+        name_overrides.insert("_cc_ga".to_string(), CookieLabel::Tracker);
+        name_overrides.insert("idp_session".to_string(), CookieLabel::Functional);
+        CookieLabels {
+            by_pair,
+            name_overrides,
+            harvested,
+        }
+    }
+
+    /// The label for cookie `name` as owned by `owner` (an eTLD+1: a
+    /// vendor domain, or the visited site for first-party-attributed
+    /// writes). `None` = the pair is not a registry cookie (site-local
+    /// names, blind-write collision names) and is outside the scored
+    /// universe.
+    pub fn label_of(&self, name: &str, owner: &str) -> Option<CookieLabel> {
+        if let Some(&l) = self.name_overrides.get(name) {
+            return Some(l);
+        }
+        self.by_pair
+            .get(&(name.to_string(), owner.to_string()))
+            .copied()
+    }
+
+    /// [`CookieLabels::label_of`] that panics with context — the drift
+    /// guard scenario fixtures use so a registry rename cannot silently
+    /// strand a scored cookie.
+    pub fn require(&self, name: &str, owner: &str) -> CookieLabel {
+        self.label_of(name, owner).unwrap_or_else(|| {
+            panic!("cookie ({name}, {owner}) has no ground-truth label — registry drift")
+        })
+    }
+
+    /// Whether any realized vendor ships `name` deliberately (condition
+    /// 3 on its own).
+    pub fn harvested(&self, name: &str) -> bool {
+        self.harvested.contains(name)
+    }
+
+    /// Iterates the name-keyed overrides (cookies labeled regardless of
+    /// observed owner) in sorted order.
+    pub fn name_overrides(&self) -> impl Iterator<Item = (&str, CookieLabel)> {
+        self.name_overrides.iter().map(|(n, &l)| (n.as_str(), l))
+    }
+
+    /// Iterates every labeled `(name, owner)` pair in sorted order.
+    pub fn pairs(&self) -> impl Iterator<Item = (&str, &str, CookieLabel)> {
+        self.by_pair
+            .iter()
+            .map(|((n, o), &l)| (n.as_str(), o.as_str(), l))
+    }
+
+    /// Number of labeled pairs (name overrides excluded).
+    pub fn len(&self) -> usize {
+        self.by_pair.len()
+    }
+
+    /// True when no registry pair is labeled (never, for a real
+    /// registry).
+    pub fn is_empty(&self) -> bool {
+        self.by_pair.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenConfig;
+    use crate::WebGenerator;
+
+    fn labels() -> CookieLabels {
+        let gen = WebGenerator::new(GenConfig::small(200), 7);
+        CookieLabels::derive(gen.registry())
+    }
+
+    #[test]
+    fn canonical_trackers_and_functionals() {
+        let l = labels();
+        assert_eq!(
+            l.label_of("_ga", "googletagmanager.com"),
+            Some(CookieLabel::Tracker)
+        );
+        assert_eq!(
+            l.label_of("_fbp", "facebook.net"),
+            Some(CookieLabel::Tracker)
+        );
+        // Consent signal: structured value, not an id.
+        assert_eq!(
+            l.label_of("OptanonConsent", "cookielaw.org"),
+            Some(CookieLabel::Functional)
+        );
+        // SSO state: session lifetime, never persistent.
+        assert_eq!(
+            l.label_of("fblo_state", "facebook.com"),
+            Some(CookieLabel::Functional)
+        );
+        // Dormant id: persistent but never shipped by name.
+        assert_eq!(
+            l.label_of("__gads", "googlesyndication.com"),
+            Some(CookieLabel::Functional)
+        );
+        // Site-builder synthetics resolve through name overrides.
+        assert_eq!(
+            l.label_of("_cloaked_uid", "anything.example"),
+            Some(CookieLabel::Tracker)
+        );
+        // Unknown pair: outside the scored universe.
+        assert_eq!(l.label_of("sess_id", "some-site.example"), None);
+    }
+
+    #[test]
+    fn labels_are_behaviour_derived_not_category_derived() {
+        let l = labels();
+        // `_awl` is shipped (via `All`) and persistent but its value is
+        // a counter/timestamp, not a stable id → functional.
+        assert_eq!(
+            l.label_of("_awl", "getadmiral.com"),
+            Some(CookieLabel::Functional)
+        );
+        // `us_privacy` is harvested by name but carries no identifier.
+        assert!(l.harvested("us_privacy"));
+        assert_eq!(
+            l.label_of("us_privacy", "ketchjs.com"),
+            Some(CookieLabel::Functional)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no ground-truth label")]
+    fn require_panics_on_drift() {
+        labels().require("definitely_not_a_cookie", "nowhere.example");
+    }
+}

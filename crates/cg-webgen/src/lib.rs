@@ -34,6 +34,7 @@ pub mod blueprint;
 pub mod builder;
 pub mod config;
 pub mod csp;
+pub mod labels;
 pub mod longtail;
 pub mod names;
 pub mod site;
@@ -43,5 +44,6 @@ pub use blueprint::{PageBlueprint, ScriptBlueprint, SiteBlueprint};
 pub use builder::SiteBuilder;
 pub use config::GenConfig;
 pub use csp::{csp_for_site, CspStyle};
+pub use labels::{CookieLabel, CookieLabels};
 pub use site::{ServerForward, SiteCategory, SiteSpec, SsoKind, WebGenerator};
 pub use vendors::{VendorCategory, VendorId, VendorRegistry, VendorSpec};

@@ -367,6 +367,9 @@ impl<'v> GuardedJar<'v> {
             (None, None) => None,
         };
         let is_delete = matches!(expires_abs, Some(e) if e <= now);
+        // The lifetime the write *requested*, relative seconds — what
+        // the detection pipeline reads as persistence.
+        let max_age_s = expires_abs.map(|e| (e - now) / 1000);
         let kind = if is_delete {
             WriteKind::Delete
         } else if prior.is_some() {
@@ -390,6 +393,7 @@ impl<'v> GuardedJar<'v> {
                     &sc.value,
                     CookieApi::DocumentCookie,
                     kind,
+                    max_age_s,
                     None,
                     true,
                 );
@@ -443,6 +447,7 @@ impl<'v> GuardedJar<'v> {
                 &sc.value,
                 CookieApi::DocumentCookie,
                 kind,
+                max_age_s,
                 changes,
                 false,
             )
@@ -476,13 +481,22 @@ impl<'v> GuardedJar<'v> {
         } else {
             WriteKind::Create
         };
+        let max_age_s = expires_abs_ms.map(|e| (e - now) / 1000);
 
         let mut decision = None;
         if let Some(g) = self.guard.as_deref_mut() {
             let d = g.authorize_write(&ctx.caller, name);
             if !d.is_allow() {
-                let event =
-                    self.emit_set(ctx, name, value, CookieApi::CookieStore, kind, None, true);
+                let event = self.emit_set(
+                    ctx,
+                    name,
+                    value,
+                    CookieApi::CookieStore,
+                    kind,
+                    max_age_s,
+                    None,
+                    true,
+                );
                 return Outcome {
                     decision: Some(d),
                     kind,
@@ -508,8 +522,18 @@ impl<'v> GuardedJar<'v> {
             Ok(_) => (true, None),
             Err(e) => (false, Some(e)),
         };
-        let event = applied
-            .then(|| self.emit_set(ctx, name, value, CookieApi::CookieStore, kind, None, false));
+        let event = applied.then(|| {
+            self.emit_set(
+                ctx,
+                name,
+                value,
+                CookieApi::CookieStore,
+                kind,
+                max_age_s,
+                None,
+                false,
+            )
+        });
         Outcome {
             decision,
             kind,
@@ -533,6 +557,7 @@ impl<'v> GuardedJar<'v> {
                     "",
                     CookieApi::CookieStore,
                     WriteKind::Delete,
+                    None,
                     None,
                     true,
                 );
@@ -558,6 +583,7 @@ impl<'v> GuardedJar<'v> {
                 "",
                 CookieApi::CookieStore,
                 WriteKind::Delete,
+                None,
                 None,
                 false,
             )
@@ -609,6 +635,11 @@ impl<'v> GuardedJar<'v> {
                             actor_url: None,
                             api: CookieApi::HttpHeader,
                             kind: WriteKind::Create,
+                            max_age_s: match (sc.max_age_s, sc.expires_ms) {
+                                (Some(ma), _) => Some(ma),
+                                (None, Some(e)) => Some((e - now_ms) / 1000),
+                                (None, None) => None,
+                            },
                             changes: None,
                             blocked: false,
                             time_ms: 0,
@@ -741,6 +772,7 @@ impl<'v> GuardedJar<'v> {
         value: &str,
         api: CookieApi,
         kind: WriteKind,
+        max_age_s: Option<i64>,
         changes: Option<AttrChangeFlags>,
         blocked: bool,
     ) -> SetEvent {
@@ -751,6 +783,7 @@ impl<'v> GuardedJar<'v> {
             actor_url: ctx.actor_url.as_deref().map(str::to_string),
             api,
             kind,
+            max_age_s,
             changes,
             blocked,
             time_ms: ctx.time_ms,
